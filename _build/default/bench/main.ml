@@ -1,0 +1,119 @@
+(* Bechamel benchmark harness: one Test.make per paper table/figure
+   (Section A-G1's table-*.py / figure-*.py scripts).
+
+   Each benchmark regenerates a scaled-down version of its table or
+   figure — same simulation and analysis code paths as the full
+   `protean-tables` runs, restricted to a representative benchmark subset
+   (the artifact's `--bench` shortcuts) so a Bechamel iteration stays in
+   the hundreds of milliseconds.  Table/figure text output is suppressed
+   during timing. *)
+
+open Bechamel
+open Toolkit
+module E = Protean_harness.Experiment
+module Tables = Protean_harness.Tables
+module Figures = Protean_harness.Figures
+module Studies = Protean_harness.Studies
+module Fuzz = Protean_amulet.Fuzz
+module Defense = Protean_defense.Defense
+
+(* Run [f] with standard-formatter output discarded. *)
+let silently f =
+  let buf = Buffer.create 4096 in
+  let old = Format.get_formatter_output_functions () in
+  Format.set_formatter_output_functions (Buffer.add_substring buf) (fun () -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Format.print_flush ();
+      let out, flush = old in
+      Format.set_formatter_output_functions out flush)
+    f
+
+(* Representative per-suite subsets (the artifact's quick mode: the
+   benchmark with the shortest host runtime per suite, §A-F1). *)
+let quick_table_v =
+  [ "lbm"; "hacl.poly1305"; "bearssl"; "ossl.bnexp"; "nginx.c1r1" ]
+
+let quick_spec = [ "perlbench"; "leela" ]
+let quick_parsec = [ "swaptions.p" ]
+
+let table_i () =
+  silently (fun () ->
+      Tables.table_i ~benches:quick_table_v (E.create_session ()))
+
+let table_ii () =
+  silently (fun () -> Tables.table_ii ~programs:3 ~inputs:2 ())
+
+let table_iv () =
+  silently (fun () ->
+      Tables.table_iv ~benches:(quick_spec @ quick_parsec) (E.create_session ()))
+
+let table_v () =
+  silently (fun () ->
+      Tables.table_v ~benches:quick_table_v (E.create_session ()))
+
+let figure_5 () =
+  silently (fun () -> Figures.figure_5 ~benches:quick_spec (E.create_session ()))
+
+let figure_6 () =
+  silently (fun () ->
+      Figures.figure_6 ~benches:(quick_spec @ quick_parsec) (E.create_session ()))
+
+let protcc_overhead () =
+  silently (fun () ->
+      Studies.protcc_overhead ~benches:quick_spec (E.create_session ()))
+
+let l1d_variants () =
+  silently (fun () ->
+      Studies.l1d_variants ~benches:quick_spec (E.create_session ()))
+
+let ablation () =
+  silently (fun () ->
+      Studies.ablation_access ~benches:quick_spec (E.create_session ()))
+
+let control_model () =
+  silently (fun () ->
+      Studies.control_model ~benches:quick_spec (E.create_session ()))
+
+let bugfix_cost () =
+  silently (fun () ->
+      Studies.bugfix_cost ~benches:quick_spec (E.create_session ()))
+
+let tests =
+  [
+    Test.make ~name:"table-i" (Staged.stage table_i);
+    Test.make ~name:"table-ii" (Staged.stage table_ii);
+    Test.make ~name:"table-iv" (Staged.stage table_iv);
+    Test.make ~name:"table-v" (Staged.stage table_v);
+    Test.make ~name:"figure-5" (Staged.stage figure_5);
+    Test.make ~name:"figure-6" (Staged.stage figure_6);
+    Test.make ~name:"protcc-overhead (IX-A2)" (Staged.stage protcc_overhead);
+    Test.make ~name:"l1d-variants (IX-A3)" (Staged.stage l1d_variants);
+    Test.make ~name:"ablation-access (IX-A4)" (Staged.stage ablation);
+    Test.make ~name:"control-model (IX-A6)" (Staged.stage control_model);
+    Test.make ~name:"bugfix-cost (IX-A7)" (Staged.stage bugfix_cost);
+  ]
+
+let benchmark test =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let tbl = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-28s %12.3f ms/run\n%!" name (est /. 1e6)
+      | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+    tbl
+
+let () =
+  print_endline "PROTEAN benchmark harness: one entry per paper table/figure";
+  print_endline "(scaled-down benchmark subsets; see protean-tables for full runs)";
+  print_endline "";
+  List.iter benchmark tests

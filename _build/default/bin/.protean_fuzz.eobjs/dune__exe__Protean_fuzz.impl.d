@@ -1,0 +1,1 @@
+bin/protean_fuzz.ml: Arg Cmd Cmdliner Printf Protean_amulet Protean_defense Protean_harness Protean_protcc String Term

@@ -1,0 +1,1 @@
+bin/protean_fuzz.mli:

@@ -1,0 +1,1 @@
+bin/protean_sim.ml: Arg Array Cmd Cmdliner Format List Printf Protean_defense Protean_isa Protean_ooo Protean_protcc Protean_workloads Term

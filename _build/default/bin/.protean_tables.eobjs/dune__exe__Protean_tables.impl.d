@@ -1,0 +1,1 @@
+bin/protean_tables.ml: Arg Cmd Cmdliner List Protean_harness Term

@@ -1,0 +1,100 @@
+(* protean-fuzz: AMuLeT*-style security fuzzing of the simulated
+   hardware configurations against security contracts (Section VII-B).
+
+     protean-fuzz --defense prot-track --contract ct --programs 50
+     protean-fuzz --table-ii            # the scaled-down Table II grid *)
+
+open Cmdliner
+module Fuzz = Protean_amulet.Fuzz
+module Gen = Protean_amulet.Gen
+module Defense = Protean_defense.Defense
+module Protcc = Protean_protcc.Protcc
+module Tables = Protean_harness.Tables
+
+let defense_arg =
+  Arg.(value & opt string "prot-track" & info [ "defense"; "d" ] ~docv:"ID"
+         ~doc:"Defense to test.")
+
+let contract_arg =
+  Arg.(value & opt string "ct" & info [ "contract"; "c" ] ~docv:"CONTRACT"
+         ~doc:"Contract: arch, cts, ct, unprot.")
+
+let programs_arg =
+  Arg.(value & opt int 20 & info [ "programs"; "n" ] ~docv:"N"
+         ~doc:"Number of random programs.")
+
+let inputs_arg =
+  Arg.(value & opt int 5 & info [ "inputs"; "i" ] ~docv:"K"
+         ~doc:"Input pairs per program.")
+
+let adversary_arg =
+  Arg.(value & opt string "cache" & info [ "adversary"; "a" ] ~docv:"ADV"
+         ~doc:"Adversary model: cache (cache+TLB tags) or timing.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let squash_bug_arg =
+  Arg.(value & flag & info [ "squash-bug" ]
+         ~doc:"Re-enable the pending-squash corner case (Section VII-B4b).")
+
+let table_ii_arg =
+  Arg.(value & flag & info [ "table-ii" ]
+         ~doc:"Run the scaled-down Table II campaign grid and exit.")
+
+let campaign_of contract adversary programs inputs seed squash_bug =
+  let mode_of, gen_klass, instrumentation =
+    match contract with
+    | "arch" -> (Fuzz.arch_seq, Gen.G_arch, Fuzz.I_none)
+    | "cts" -> (Fuzz.cts_seq, Gen.G_ct, Fuzz.I_pass Protcc.P_cts)
+    | "ct" -> (Fuzz.ct_seq, Gen.G_ct, Fuzz.I_pass Protcc.P_ct)
+    | "unprot" -> (Fuzz.unprot_seq, Gen.G_ct, Fuzz.I_pass (Protcc.P_rand (seed, 0.5)))
+    | s -> invalid_arg ("unknown contract: " ^ s)
+  in
+  let adversary =
+    match adversary with
+    | "cache" -> Fuzz.Cache_tlb
+    | "timing" -> Fuzz.Timing
+    | s -> invalid_arg ("unknown adversary: " ^ s)
+  in
+  {
+    Fuzz.default_campaign with
+    Fuzz.seed;
+    programs;
+    inputs_per_program = inputs;
+    mode_of;
+    gen_klass;
+    instrumentation;
+    adversary;
+    squash_bug;
+  }
+
+let run table_ii defense contract programs inputs adversary seed squash_bug =
+  if table_ii then Tables.table_ii ~programs ~inputs ()
+  else begin
+    let d = Defense.find defense in
+    let campaign = campaign_of contract adversary programs inputs seed squash_bug in
+    let out = Fuzz.run campaign d in
+    Printf.printf
+      "%s vs %s-SEQ (%s adversary): %d tests, %d skipped, %d violations, %d \
+       false positives\n"
+      d.Defense.id (String.uppercase_ascii contract)
+      (Fuzz.adversary_name campaign.Fuzz.adversary)
+      out.Fuzz.tests out.Fuzz.skipped out.Fuzz.violations
+      out.Fuzz.false_positives;
+    (match out.Fuzz.example with
+    | Some (pseed, k) ->
+        Printf.printf "first violation: program seed %d, input pair %d\n" pseed k
+    | None -> ());
+    if out.Fuzz.violations > 0 then exit 1
+  end
+
+let cmd =
+  let doc = "fuzz simulated Spectre defenses against security contracts" in
+  Cmd.v
+    (Cmd.info "protean-fuzz" ~doc)
+    Term.(
+      const run $ table_ii_arg $ defense_arg $ contract_arg $ programs_arg
+      $ inputs_arg $ adversary_arg $ seed_arg $ squash_bug_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,112 @@
+(* protean-sim: run one benchmark under one defense configuration and
+   print execution statistics.
+
+     protean-sim --bench milc --defense prot-track --pass ct --core p
+
+   Mirrors the artifact's per-benchmark entry point (Section A-G3). *)
+
+open Cmdliner
+module Suite = Protean_workloads.Suite
+module Defense = Protean_defense.Defense
+module Protcc = Protean_protcc.Protcc
+module Config = Protean_ooo.Config
+module Pipeline = Protean_ooo.Pipeline
+module Multicore = Protean_ooo.Multicore
+module Policy = Protean_ooo.Policy
+module Stats = Protean_ooo.Stats
+
+let bench_arg =
+  let doc = "Benchmark name (see --list)." in
+  Arg.(value & opt string "milc" & info [ "bench"; "b" ] ~docv:"NAME" ~doc)
+
+let defense_arg =
+  let doc =
+    "Defense: unsafe, nda, stt, spt, spt-sb, prot-delay, prot-track, ..."
+  in
+  Arg.(value & opt string "unsafe" & info [ "defense"; "d" ] ~docv:"ID" ~doc)
+
+let pass_arg =
+  let doc = "ProtCC pass: none, arch, cts, ct, unr, multiclass." in
+  Arg.(value & opt string "none" & info [ "pass"; "p" ] ~docv:"PASS" ~doc)
+
+let core_arg =
+  let doc = "Core configuration: p, e or test." in
+  Arg.(value & opt string "p" & info [ "core" ] ~docv:"CORE" ~doc)
+
+let spec_model_arg =
+  let doc = "Speculation model: atcommit or control." in
+  Arg.(value & opt string "atcommit" & info [ "spec-model" ] ~docv:"MODEL" ~doc)
+
+let list_arg =
+  let doc = "List available benchmarks and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let config_of = function
+  | "p" -> Config.p_core
+  | "e" -> Config.e_core
+  | "test" -> Config.test_core
+  | s -> invalid_arg ("unknown core: " ^ s)
+
+let model_of = function
+  | "atcommit" -> Policy.Atcommit
+  | "control" -> Policy.Control
+  | s -> invalid_arg ("unknown speculation model: " ^ s)
+
+let instrument pass program =
+  match pass with
+  | "none" -> program
+  | "multiclass" -> (Protcc.instrument program).Protcc.program
+  | p ->
+      let pass =
+        match p with
+        | "arch" -> Protcc.P_arch
+        | "cts" -> Protcc.P_cts
+        | "ct" -> Protcc.P_ct
+        | "unr" -> Protcc.P_unr
+        | s -> invalid_arg ("unknown pass: " ^ s)
+      in
+      (Protcc.instrument ~pass_override:pass program).Protcc.program
+
+let run list bench defense pass core spec_model =
+  if list then
+    List.iter
+      (fun (b : Suite.benchmark) ->
+        Printf.printf "%-18s %-12s %s\n" b.Suite.name b.Suite.suite
+          (Protean_isa.Program.string_of_klass b.Suite.klass))
+      Suite.all
+  else begin
+    let b = Suite.find bench in
+    let d = Defense.find defense in
+    let config = config_of core in
+    let spec_model = model_of spec_model in
+    match b.Suite.kind with
+    | Suite.Single f ->
+        let program = instrument pass (f ()) in
+        let r =
+          Pipeline.run ~spec_model ~fuel:50_000_000 config (d.Defense.make ())
+            program ~overlays:[]
+        in
+        Format.printf "%s under %s on %s:@.  %a@.  measured cycles: %d@."
+          bench d.Defense.id config.Config.name Stats.pp r.Pipeline.stats
+          (Stats.measured_cycles r.Pipeline.stats)
+    | Suite.Multi f ->
+        let programs = Array.map (instrument pass) (f ()) in
+        let r =
+          Multicore.run ~spec_model ~fuel:50_000_000 config
+            ~make_policy:d.Defense.make programs
+        in
+        Format.printf "%s under %s on %d cores: %d cycles@." bench
+          d.Defense.id (Array.length programs) r.Multicore.cycles;
+        Array.iteri
+          (fun i (c : Pipeline.result) ->
+            Format.printf "  core %d: %a@." i Stats.pp c.Pipeline.stats)
+          r.Multicore.per_core
+  end
+
+let cmd =
+  let doc = "simulate a PROTEAN benchmark under a Spectre defense" in
+  Cmd.v
+    (Cmd.info "protean-sim" ~doc)
+    Term.(const run $ list_arg $ bench_arg $ defense_arg $ pass_arg $ core_arg $ spec_model_arg)
+
+let () = exit (Cmd.eval cmd)

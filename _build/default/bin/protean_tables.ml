@@ -1,0 +1,64 @@
+(* protean-tables: regenerate the paper's results tables and figures
+   (the artifact's table-*.py / figure-*.py scripts, Section A-G).
+
+     protean-tables table-v
+     protean-tables table-iv --bench perlbench --bench milc
+     protean-tables all *)
+
+open Cmdliner
+module E = Protean_harness.Experiment
+module Tables = Protean_harness.Tables
+module Figures = Protean_harness.Figures
+module Studies = Protean_harness.Studies
+
+let what_arg =
+  let doc =
+    "What to generate: table-i, table-ii, table-iv, table-v, figure-5, \
+     figure-6, protcc-overhead, l1d-variants, ablation-access, \
+     control-model, bugfix-cost, area, or all."
+  in
+  Arg.(value & pos 0 string "table-v" & info [] ~docv:"WHAT" ~doc)
+
+let bench_arg =
+  let doc = "Restrict to these benchmarks (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "bench"; "b" ] ~docv:"NAME" ~doc)
+
+let fuzz_programs_arg =
+  Arg.(value & opt int 10 & info [ "fuzz-programs" ] ~docv:"N"
+         ~doc:"Programs per Table II campaign.")
+
+let run what benches fuzz_programs =
+  let benches = match benches with [] -> None | bs -> Some bs in
+  let session = E.create_session ~log:true () in
+  let gen = function
+    | "table-i" -> Tables.table_i ?benches session
+    | "table-ii" -> Tables.table_ii ~programs:fuzz_programs ()
+    | "table-iv" -> Tables.table_iv ?benches session
+    | "table-v" -> Tables.table_v ?benches session
+    | "figure-5" -> Figures.figure_5 ?benches session
+    | "figure-6" -> Figures.figure_6 ?benches session
+    | "protcc-overhead" -> Studies.protcc_overhead ?benches session
+    | "l1d-variants" -> Studies.l1d_variants ?benches session
+    | "ablation-access" -> Studies.ablation_access ?benches session
+    | "control-model" -> Studies.control_model ?benches session
+    | "bugfix-cost" -> Studies.bugfix_cost ?benches session
+    | "area" -> Studies.area_report ()
+    | s -> invalid_arg ("unknown table/figure: " ^ s)
+  in
+  match what with
+  | "all" ->
+      List.iter gen
+        [
+          "table-v"; "table-iv"; "table-i"; "figure-6"; "figure-5";
+          "protcc-overhead"; "l1d-variants"; "ablation-access";
+          "control-model"; "bugfix-cost"; "area"; "table-ii";
+        ]
+  | w -> gen w
+
+let cmd =
+  let doc = "regenerate the PROTEAN paper's tables and figures" in
+  Cmd.v
+    (Cmd.info "protean-tables" ~doc)
+    Term.(const run $ what_arg $ bench_arg $ fuzz_programs_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/crypto_ct.ml: Array Printf Protean Protean_workloads String

@@ -1,0 +1,1 @@
+examples/fuzz_defense.ml: Printf Protean Protean_amulet

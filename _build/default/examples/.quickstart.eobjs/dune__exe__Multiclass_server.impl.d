@@ -1,0 +1,1 @@
+examples/multiclass_server.ml: List Printf Protean Protean_workloads

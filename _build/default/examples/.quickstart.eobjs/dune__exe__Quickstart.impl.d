@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asm Int64 List Printf Program Protean Protean_isa Reg String

@@ -1,0 +1,1 @@
+lib/amulet/fuzz.ml: Config Contract Gen Hashtbl Hw_trace List Observer Pipeline Policy Protean_arch Protean_defense Protean_ooo Protean_protcc Random

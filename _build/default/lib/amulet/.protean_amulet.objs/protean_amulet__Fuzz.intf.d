@@ -1,0 +1,1 @@
+lib/amulet/fuzz.mli: Config Gen Observer Policy Protean_arch Protean_defense Protean_ooo Protean_protcc

@@ -1,0 +1,1 @@
+lib/amulet/gen.ml: Asm Char Insn Int64 List Printf Program Protean_isa Random Reg String

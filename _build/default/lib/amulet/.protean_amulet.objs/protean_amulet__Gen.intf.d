@@ -1,0 +1,1 @@
+lib/amulet/gen.mli: Protean_isa Random

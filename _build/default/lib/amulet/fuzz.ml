@@ -1,0 +1,148 @@
+(* The AMuLeT* fuzzing loop (Section VII-B): relational testing of
+   microarchitectures against hardware-software security contracts.
+
+   For each random program and input pair:
+   1. run the SEQ contract executor under the configured observer mode on
+      both inputs; skip the pair unless the contract traces are equal
+      (the inputs are then contract-equivalent);
+   2. run the hardware configuration under test on both inputs, recording
+      attacker-visible events;
+   3. compare the adversary's views: a difference on contract-equivalent
+      inputs is a contract violation;
+   4. classify as a false positive if the committed instruction streams of
+      the two hardware executions differ (sequential, not transient,
+      divergence — AMuLeT*'s automated post-processing filter). *)
+
+open Protean_arch
+open Protean_ooo
+
+type adversary = Cache_tlb | Timing
+
+let adversary_name = function Cache_tlb -> "cache+tlb" | Timing -> "timing"
+
+type instrumentation =
+  | I_none (* unmodified binary *)
+  | I_pass of Protean_protcc.Protcc.pass
+
+type campaign = {
+  seed : int;
+  programs : int;
+  inputs_per_program : int;
+  gen_klass : Gen.klass_gen;
+  mode_of : Observer.typing -> Observer.mode;
+      (* the contract's observer mode (may consume the CTS typing) *)
+  instrumentation : instrumentation;
+  adversary : adversary;
+  config : Config.t;
+  squash_bug : bool;
+  spec_model : Policy.spec_model;
+}
+
+let default_campaign =
+  {
+    seed = 1;
+    programs = 20;
+    inputs_per_program = 6;
+    gen_klass = Gen.G_arch;
+    mode_of = (fun _ -> Observer.Arch_mode);
+    instrumentation = I_none;
+    adversary = Cache_tlb;
+    config = Config.test_core;
+    squash_bug = false;
+    spec_model = Policy.Atcommit;
+  }
+
+type outcome = {
+  mutable tests : int; (* contract-equivalent pairs actually compared *)
+  mutable skipped : int; (* pairs filtered by contract-equivalence *)
+  mutable violations : int;
+  mutable false_positives : int;
+  mutable example : (int * int) option; (* (program seed, input index) *)
+}
+
+let fresh_outcome () =
+  { tests = 0; skipped = 0; violations = 0; false_positives = 0; example = None }
+
+(* Committed-PC projection of a hardware trace: equal streams mean any
+   adversary-view divergence is transient leakage (true positive). *)
+let committed_stream trace =
+  List.filter_map
+    (function
+      | Hw_trace.E_timing { pc; _ } -> Some pc
+      | _ -> None)
+    (Hw_trace.all trace)
+
+let adversary_view adversary trace =
+  match adversary with
+  | Cache_tlb -> Hw_trace.cache_tlb_view trace
+  | Timing -> Hw_trace.timing_view trace
+
+let run_hw campaign (defense : Protean_defense.Defense.t) program overlays =
+  Pipeline.run ~trace:true ~squash_bug:campaign.squash_bug
+    ~spec_model:campaign.spec_model ~fuel:400_000 campaign.config
+    (defense.Protean_defense.Defense.make ())
+    program ~overlays
+
+(* Test one (program, input-pair); updates [out]. *)
+let test_pair campaign defense program mode ~public ~secret_a ~secret_b out
+    ~tag =
+  let overlays_a = [ public; secret_a ] in
+  let overlays_b = [ public; secret_b ] in
+  let ca = Contract.run ~fuel:50_000 mode program ~overlays:overlays_a in
+  let cb = Contract.run ~fuel:50_000 mode program ~overlays:overlays_b in
+  if ca.Contract.exhausted || cb.Contract.exhausted then out.skipped <- out.skipped + 1
+  else if not (Contract.traces_equal ca.Contract.trace cb.Contract.trace) then
+    out.skipped <- out.skipped + 1
+  else begin
+    let ha = run_hw campaign defense program overlays_a in
+    let hb = run_hw campaign defense program overlays_b in
+    out.tests <- out.tests + 1;
+    let va = adversary_view campaign.adversary ha.Pipeline.trace in
+    let vb = adversary_view campaign.adversary hb.Pipeline.trace in
+    if not (Hw_trace.view_equal va vb) then begin
+      let fp =
+        committed_stream ha.Pipeline.trace <> committed_stream hb.Pipeline.trace
+      in
+      if fp then out.false_positives <- out.false_positives + 1
+      else begin
+        out.violations <- out.violations + 1;
+        if out.example = None then out.example <- Some tag
+      end
+    end
+  end
+
+(* Instrument a generated program per the campaign, returning the program
+   to run and the CTS typing table for the observer. *)
+let prepare campaign program =
+  match campaign.instrumentation with
+  | I_none -> (program, Hashtbl.create 0)
+  | I_pass pass ->
+      let r = Protean_protcc.Protcc.instrument ~pass_override:pass program in
+      (r.Protean_protcc.Protcc.program, r.Protean_protcc.Protcc.typing)
+
+let run campaign (defense : Protean_defense.Defense.t) =
+  let out = fresh_outcome () in
+  for p = 0 to campaign.programs - 1 do
+    let pseed = campaign.seed + (p * 7919) in
+    let program =
+      Gen.generate { Gen.default_spec with Gen.seed = pseed; klass = campaign.gen_klass }
+    in
+    let program, typing = prepare campaign program in
+    let mode = campaign.mode_of typing in
+    let rng = Random.State.make [| pseed; 0xfeed |] in
+    let public = Gen.random_public rng in
+    let base_secret = Gen.random_secret rng in
+    for k = 1 to campaign.inputs_per_program do
+      let other = Gen.random_secret rng in
+      test_pair campaign defense program mode ~public ~secret_a:base_secret
+        ~secret_b:other out ~tag:(pseed, k)
+    done
+  done;
+  out
+
+(* --- contract shorthands -------------------------------------------- *)
+
+let arch_seq = (fun _ -> Observer.Arch_mode)
+let ct_seq = (fun _ -> Observer.Ct_mode)
+let cts_seq = (fun typing -> Observer.Cts_mode typing)
+let unprot_seq = (fun _ -> Observer.Unprot_mode)

@@ -1,0 +1,57 @@
+(** The AMuLeT* fuzzing loop (Section VII-B): relational testing of
+    microarchitectures against hardware-software security contracts.
+
+    For each random program and input pair: run the SEQ contract executor
+    on both inputs and skip the pair unless the traces are equal; run the
+    hardware configuration on both inputs recording attacker-visible
+    events; report a violation when the adversary's views differ;
+    classify it as a false positive when the committed instruction
+    streams differ (sequential, not transient, divergence — the automated
+    post-processing filter of Section VII-B1e). *)
+
+open Protean_arch
+open Protean_ooo
+
+type adversary =
+  | Cache_tlb  (** AMuLeT's default: data-cache and TLB tag changes *)
+  | Timing
+      (** AMuLeT*'s addition: per-stage cycles of committed instructions,
+          squash timing and divider activity — what an SMT receiver sees *)
+
+val adversary_name : adversary -> string
+
+type instrumentation = I_none | I_pass of Protean_protcc.Protcc.pass
+
+type campaign = {
+  seed : int;
+  programs : int;
+  inputs_per_program : int;
+  gen_klass : Gen.klass_gen;
+  mode_of : Observer.typing -> Observer.mode;
+      (** contract observer mode (may consume the ProtCC-CTS typing) *)
+  instrumentation : instrumentation;
+  adversary : adversary;
+  config : Config.t;
+  squash_bug : bool;
+  spec_model : Policy.spec_model;
+}
+
+val default_campaign : campaign
+
+type outcome = {
+  mutable tests : int;  (** contract-equivalent pairs compared *)
+  mutable skipped : int;  (** pairs filtered by contract-equivalence *)
+  mutable violations : int;
+  mutable false_positives : int;
+  mutable example : (int * int) option;
+      (** (program seed, input index) of the first violation *)
+}
+
+val run : campaign -> Protean_defense.Defense.t -> outcome
+
+(** Contract shorthands (observer-mode constructors). *)
+
+val arch_seq : Observer.typing -> Observer.mode
+val ct_seq : Observer.typing -> Observer.mode
+val cts_seq : Observer.typing -> Observer.mode
+val unprot_seq : Observer.typing -> Observer.mode

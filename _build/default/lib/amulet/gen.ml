@@ -1,0 +1,326 @@
+(* Random test-program generator (the llvm-stress-based generator of
+   AMuLeT*, Section VII-B1a).
+
+   Programs operate on three data regions:
+   - a *public* array whose contents are identical across a test pair;
+   - a *secret* array whose contents the fuzzer varies;
+   - a *probe* array large enough to act as a cache side-channel.
+
+   Generation is class-aware: the generator tracks which registers hold
+   secret-derived data and confines them according to the class under
+   test (ARCH code never architecturally touches the secret region; CT
+   code may hold secrets but never passes them to transmitter-sensitive
+   operands; UNR code is unconstrained).  Spectre gadgets — bounds-check
+   style branches guarding a secret load followed by a secret-indexed
+   probe load — are inserted so that mispredictions open real transient
+   leaks, with an architectural re-quarantine so that architecturally-dead
+   gadgets keep test pairs contract-equivalent. *)
+
+open Protean_isa
+
+let public_base = 0x2000
+let public_size = 256
+let secret_base = 0x6000
+let secret_size = 64
+let probe_base = 0xA000
+let probe_size = 4096
+
+(* A cold, zero-initialized region used to delay gadget guards: loads from
+   it miss the caches, widening the transient window (the fuzzing
+   equivalent of an attacker flushing the bounds variable). *)
+let cold_base = 0xE000
+let cold_size = 4096
+
+type klass_gen = G_arch | G_ct | G_unr
+
+type spec = {
+  seed : int;
+  klass : klass_gen;
+  blocks : int;
+  block_len : int;
+}
+
+let default_spec = { seed = 0; klass = G_arch; blocks = 6; block_len = 7 }
+
+module Regset = struct
+  type t = int
+
+  let empty = 0
+  let mem r s = s land (1 lsl Reg.to_int r) <> 0
+  let add r s = s lor (1 lsl Reg.to_int r)
+  let remove r s = s land lnot (1 lsl Reg.to_int r)
+end
+
+type gstate = {
+  rng : Random.State.t;
+  asm : Asm.ctx;
+  mutable secret : Regset.t; (* registers currently holding secrets *)
+  klass : klass_gen;
+  mutable fresh : int; (* fresh label counter *)
+}
+
+(* Working registers (rsp excluded; rbp reserved as a scratch pointer). *)
+let pool =
+  [
+    Reg.rax; Reg.rcx; Reg.rdx; Reg.rbx; Reg.rsi; Reg.rdi; Reg.r8; Reg.r9;
+    Reg.r10; Reg.r11; Reg.r12; Reg.r13; Reg.r14; Reg.r15;
+  ]
+
+let pick g xs = List.nth xs (Random.State.int g.rng (List.length xs))
+
+let any_reg g = pick g pool
+let public_reg g =
+  let pub = List.filter (fun r -> not (Regset.mem r g.secret)) pool in
+  match pub with [] -> Reg.rbp | _ -> pick g pub
+
+let mark_secret g r = g.secret <- Regset.add r g.secret
+let mark_public g r = g.secret <- Regset.remove r g.secret
+let is_secret g r = Regset.mem r g.secret
+
+let fresh_label g prefix =
+  g.fresh <- g.fresh + 1;
+  Printf.sprintf "%s_%d" prefix g.fresh
+
+(* Emit index-masking into rbp: rbp = (src & mask) + base. *)
+let masked_addr g src ~base ~mask =
+  Asm.mov g.asm Reg.rbp (Asm.r src);
+  Asm.and_ g.asm Reg.rbp (Asm.i mask);
+  Asm.add g.asm Reg.rbp (Asm.i base);
+  Reg.rbp
+
+(* --- random instruction kinds --------------------------------------- *)
+
+let gen_alu g =
+  let dst = any_reg g in
+  let op = pick g Insn.[ Add; Sub; And; Or; Xor; Shl; Shr; Mul ] in
+  let src =
+    if Random.State.bool g.rng then Insn.Reg (any_reg g)
+    else Insn.Imm (Int64.of_int (Random.State.int g.rng 256))
+  in
+  (match op with
+  | Insn.Shl | Insn.Shr ->
+      (* Keep shift amounts small and public. *)
+      Asm.binop g.asm op dst (Asm.i (1 + Random.State.int g.rng 7))
+  | _ -> Asm.binop g.asm op dst src);
+  let src_secret =
+    match src with Insn.Reg r -> is_secret g r | Insn.Imm _ -> false
+  in
+  if is_secret g dst || src_secret then mark_secret g dst else mark_public g dst
+
+let gen_mov g =
+  let dst = any_reg g in
+  if Random.State.bool g.rng then begin
+    let src = any_reg g in
+    Asm.mov g.asm dst (Asm.r src);
+    if is_secret g src then mark_secret g dst else mark_public g dst
+  end
+  else begin
+    Asm.mov g.asm dst (Asm.i (Random.State.int g.rng 4096));
+    mark_public g dst
+  end
+
+let gen_load_public g =
+  let idx = public_reg g in
+  let dst = any_reg g in
+  let a = masked_addr g idx ~base:public_base ~mask:(public_size - 8) in
+  Asm.load g.asm dst (Asm.mb a);
+  mark_public g dst
+
+(* A load of secret data with a public address: legal for CT/UNR code. *)
+let gen_load_secret g =
+  let idx = public_reg g in
+  let dst = any_reg g in
+  let a = masked_addr g idx ~base:secret_base ~mask:(secret_size - 8) in
+  Asm.load g.asm dst (Asm.mb a);
+  mark_secret g dst
+
+let gen_store g =
+  let idx = public_reg g in
+  let data = if g.klass = G_arch then public_reg g else any_reg g in
+  (* Secret stores go to the (never publicly re-read) upper half of the
+     secret region so the generator's register secrecy tracking stays
+     sound for memory too. *)
+  let base, mask =
+    if is_secret g data then (secret_base + secret_size, secret_size - 8)
+    else (public_base, public_size - 8)
+  in
+  let a = masked_addr g idx ~base ~mask in
+  Asm.store g.asm (Asm.mb a) (Asm.r data)
+
+let gen_div g =
+  let dst = any_reg g in
+  let n =
+    match g.klass with G_unr -> any_reg g | G_arch | G_ct -> public_reg g
+  in
+  let d = public_reg g in
+  (* Architecturally nonzero public divisor. *)
+  Asm.mov g.asm Reg.rbp (Asm.r d);
+  Asm.and_ g.asm Reg.rbp (Asm.i 63);
+  Asm.or_ g.asm Reg.rbp (Asm.i 3);
+  Asm.div g.asm dst n (Asm.r Reg.rbp);
+  if is_secret g n then mark_secret g dst else mark_public g dst
+
+let gen_cmov g =
+  let c = pick g Insn.[ Z; Nz; Lt; Ge ] in
+  let a = public_reg g in
+  Asm.cmp g.asm a (Asm.i (Random.State.int g.rng 64));
+  let dst = any_reg g in
+  let src = any_reg g in
+  Asm.cmov g.asm c dst (Asm.r src);
+  if is_secret g dst || is_secret g src then mark_secret g dst
+  else mark_public g dst
+
+(* Secret-dependent control flow: only unrestricted code may do this
+   (test pairs where the branch outcome differs get filtered by
+   contract-equivalence). *)
+let gen_secret_branch g =
+  let s = any_reg g in
+  let skip = fresh_label g "sb" in
+  Asm.test g.asm s (Asm.i 1);
+  Asm.jz g.asm skip;
+  let dst = any_reg g in
+  Asm.add g.asm dst (Asm.i 1);
+  if is_secret g s then mark_secret g dst;
+  Asm.label g.asm skip
+
+(* The Spectre gadget: a branch whose condition hangs off a chain of two
+   dependent cold loads guards a secret load and a secret-indexed probe
+   load.  The guard condition is architecturally always nonzero (the body
+   is dead code), but the slow condition chain means the branch resolves
+   long after the predictor has sent the frontend down the body: the
+   secret transiently reaches a cache-modulating transmitter.  This is
+   exactly the structure of a Spectre bounds-check-bypass with a flushed
+   bound. *)
+let gen_gadget g =
+  let idx = public_reg g in
+  let s = any_reg g in
+  let w = any_reg g in
+  let skip = fresh_label g "gadget" in
+  (* Window widener: two dependent cold loads feeding the guard. *)
+  let off1 = Random.State.int g.rng (cold_size - 64) land lnot 7 in
+  Asm.mov g.asm w (Asm.i (cold_base + off1));
+  Asm.load g.asm w (Asm.mb w);
+  Asm.and_ g.asm w (Asm.i (cold_size - 64));
+  Asm.add g.asm w (Asm.i cold_base);
+  Asm.load g.asm w (Asm.mb w);
+  Asm.or_ g.asm w (Asm.i 1) (* architecturally always nonzero *);
+  Asm.test g.asm w (Asm.r w);
+  Asm.jnz g.asm skip;
+  (* Transient-only body: secret load + secret-indexed probe load. *)
+  let a = masked_addr g idx ~base:secret_base ~mask:(secret_size - 8) in
+  Asm.load g.asm s (Asm.mb a);
+  if Random.State.int g.rng 100 < 40 then begin
+    (* Pending-squash probe (Section VII-B4b): a transient branch whose
+       predicate is the (tainted/protected) secret, followed by a younger
+       *untainted* misprediction.  On buggy hardware the older secret
+       branch's misprediction conditionally occupies the notification
+       slot and delays the younger squash — a secret-dependent timing. *)
+    let l1 = fresh_label g "bq" in
+    let l2 = fresh_label g "bq" in
+    Asm.test g.asm s (Asm.i 1);
+    Asm.jz g.asm l1 (* tainted, mispredicted iff the secret bit is 0 *);
+    Asm.nop g.asm;
+    Asm.label g.asm l1;
+    Asm.cmp g.asm Reg.rsp (Asm.i 0);
+    Asm.jnz g.asm l2 (* untainted, always mispredicted when cold *);
+    Asm.nop g.asm;
+    Asm.label g.asm l2
+  end;
+  Asm.and_ g.asm s (Asm.i 63);
+  Asm.shl g.asm s (Asm.i 6);
+  Asm.add g.asm s (Asm.i probe_base);
+  Asm.load g.asm s (Asm.mb s);
+  Asm.label g.asm skip;
+  (* Architecturally the body never ran; keep the generator's view of
+     [s] and [w] public and deterministic. *)
+  Asm.mov g.asm s (Asm.i 0);
+  Asm.mov g.asm w (Asm.i 0);
+  mark_public g s;
+  mark_public g w
+
+let gen_insn g =
+  let w = Random.State.int g.rng 100 in
+  match g.klass with
+  | G_arch ->
+      if w < 30 then gen_alu g
+      else if w < 45 then gen_mov g
+      else if w < 65 then gen_load_public g
+      else if w < 75 then gen_store g
+      else if w < 80 then gen_div g
+      else if w < 88 then gen_cmov g
+      else gen_gadget g
+  | G_ct ->
+      if w < 25 then gen_alu g
+      else if w < 40 then gen_mov g
+      else if w < 52 then gen_load_public g
+      else if w < 64 then gen_load_secret g
+      else if w < 74 then gen_store g
+      else if w < 79 then gen_div g
+      else if w < 86 then gen_cmov g
+      else gen_gadget g
+  | G_unr ->
+      if w < 25 then gen_alu g
+      else if w < 38 then gen_mov g
+      else if w < 50 then gen_load_public g
+      else if w < 60 then gen_load_secret g
+      else if w < 70 then gen_store g
+      else if w < 75 then gen_div g
+      else if w < 82 then gen_cmov g
+      else if w < 90 then gen_secret_branch g
+      else gen_gadget g
+
+let klass_of_gen = function
+  | G_arch -> Program.Arch
+  | G_ct -> Program.Ct
+  | G_unr -> Program.Unr
+
+let generate (spec : spec) =
+  let rng = Random.State.make [| spec.seed; 0x9e3779b9 |] in
+  let asm = Asm.create () in
+  let g = { rng; asm; secret = Regset.empty; klass = spec.klass; fresh = 0 } in
+  Asm.data asm ~addr:(Int64.of_int public_base) (String.make public_size '\000');
+  Asm.data asm
+    ~addr:(Int64.of_int secret_base)
+    ~secret:true
+    (String.make (2 * secret_size) '\000');
+  Asm.data asm ~addr:(Int64.of_int probe_base) (String.make probe_size '\000');
+  Asm.data asm ~addr:(Int64.of_int cold_base) (String.make cold_size '\000');
+  Asm.func asm ~klass:(klass_of_gen spec.klass) "main";
+  (* Seed registers from the public array so inputs influence control
+     flow and addresses. *)
+  List.iteri
+    (fun k reg ->
+      if k < 6 then begin
+        Asm.mov g.asm Reg.rbp (Asm.i (public_base + (8 * k)));
+        Asm.load g.asm reg (Asm.mb Reg.rbp)
+      end
+      else Asm.mov g.asm reg (Asm.i (k * 17)))
+    pool;
+  for b = 0 to spec.blocks - 1 do
+    Asm.label asm (Printf.sprintf "block_%d" b);
+    for _ = 1 to spec.block_len do
+      gen_insn g
+    done;
+    (* Forward-only terminators guarantee termination. *)
+    if b < spec.blocks - 1 && Random.State.int g.rng 100 < 40 then begin
+      let target =
+        Printf.sprintf "block_%d"
+          (b + 1 + Random.State.int g.rng (spec.blocks - b - 1))
+      in
+      let c = pick g Insn.[ Z; Nz; Lt; Ge; B; Ae ] in
+      let a = public_reg g in
+      Asm.cmp g.asm a (Asm.i (Random.State.int g.rng 128));
+      Asm.jcc g.asm c target
+    end
+  done;
+  Asm.label asm (Printf.sprintf "block_%d" spec.blocks);
+  Asm.halt asm;
+  Asm.finish asm
+
+(* Random input overlays: [public] is shared across a test pair, [secret]
+   varies. *)
+let random_bytes rng n = String.init n (fun _ -> Char.chr (Random.State.int rng 256))
+
+let random_public rng = (Int64.of_int public_base, random_bytes rng public_size)
+let random_secret rng =
+  (Int64.of_int secret_base, random_bytes rng (2 * secret_size))

@@ -1,0 +1,1 @@
+lib/arch/contract.ml: Array Exec Format List Observer Program Protean_isa Protset Reg

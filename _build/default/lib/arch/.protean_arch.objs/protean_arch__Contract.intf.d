@@ -1,0 +1,1 @@
+lib/arch/contract.mli: Exec Format Observer Protean_isa

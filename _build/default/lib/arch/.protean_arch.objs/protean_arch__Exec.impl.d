@@ -1,0 +1,1 @@
+lib/arch/exec.ml: Array Insn Int64 List Memory Program Protean_isa Reg Sem

@@ -1,0 +1,1 @@
+lib/arch/exec.mli: Insn Memory Program Protean_isa Reg

@@ -1,0 +1,1 @@
+lib/arch/observer.ml: Exec Format Hashtbl Insn Int64 List Option Protean_isa Protset Reg Sem

@@ -1,0 +1,1 @@
+lib/arch/observer.mli: Exec Format Hashtbl Protean_isa Protset Reg

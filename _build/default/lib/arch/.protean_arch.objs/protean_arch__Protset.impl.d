@@ -1,0 +1,1 @@
+lib/arch/protset.ml: Array Bytes Exec Hashtbl Insn Int64 List Protean_isa Reg

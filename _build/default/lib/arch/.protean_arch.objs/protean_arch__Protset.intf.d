@@ -1,0 +1,1 @@
+lib/arch/protset.mli: Exec Insn Protean_isa Reg

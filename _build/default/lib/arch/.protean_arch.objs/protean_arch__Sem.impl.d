@@ -1,0 +1,1 @@
+lib/arch/sem.ml: Insn Int64 Protean_isa

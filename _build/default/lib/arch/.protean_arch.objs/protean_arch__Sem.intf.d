@@ -1,0 +1,1 @@
+lib/arch/sem.mli: Insn Protean_isa Reg

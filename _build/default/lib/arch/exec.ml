@@ -1,0 +1,219 @@
+(* Sequential (architectural) execution of Protean ISA programs.
+
+   This is the reference semantics: the out-of-order pipeline must produce
+   exactly the same architectural results (a property test enforces it),
+   and the SEQ execution mode of security contracts (Section II-C) is a
+   run of this machine under an observer. *)
+
+open Protean_isa
+
+type state = {
+  regs : int64 array;
+  mem : Memory.t;
+  mutable pc : int;
+  mutable halted : bool;
+  mutable steps : int;
+}
+
+(* Everything one instruction did, for observers and ProtSet tracking. *)
+type effect_ = {
+  e_pc : int;
+  e_insn : Insn.t;
+  e_next_pc : int;
+  e_load : (int64 * int * int64) option; (* addr, size, value *)
+  e_store : (int64 * int * int64) option;
+  e_branch : (bool * int) option; (* taken, actual target *)
+  e_div : (int64 * int64) option; (* dividend, divisor *)
+  e_fault : bool;
+  e_written : (Reg.t * int64) list;
+}
+
+let no_effect pc insn next =
+  {
+    e_pc = pc;
+    e_insn = insn;
+    e_next_pc = next;
+    e_load = None;
+    e_store = None;
+    e_branch = None;
+    e_div = None;
+    e_fault = false;
+    e_written = [];
+  }
+
+let init (p : Program.t) =
+  let mem = Memory.create () in
+  List.iter (fun (d : Program.data_init) -> Memory.write_string mem d.addr d.bytes) p.data;
+  let regs = Array.make Reg.count 0L in
+  regs.(Reg.to_int Reg.rsp) <- p.stack_base;
+  { regs; mem; pc = p.main; halted = false; steps = 0 }
+
+(* Apply extra memory overlays (e.g. the fuzzer's secret-region inputs). *)
+let overlay state overlays =
+  List.iter (fun (addr, bytes) -> Memory.write_string state.mem addr bytes) overlays
+
+let reg state r = state.regs.(Reg.to_int r)
+let set_reg state r v = state.regs.(Reg.to_int r) <- v
+
+let src_value state = function
+  | Insn.Reg r -> reg state r
+  | Insn.Imm v -> v
+
+let ea state m = Sem.effective_address (reg state) m
+
+let write_reg state w r v =
+  let old = reg state r in
+  let v' = Sem.apply_width w ~old v in
+  set_reg state r v';
+  (r, v')
+
+(* Execute the instruction at [state.pc].  Returns its effect; advances
+   the state.  Running off the end of the code array halts. *)
+let step (p : Program.t) state =
+  if state.halted then no_effect state.pc (Insn.make Insn.Halt) state.pc
+  else if not (Program.in_bounds p state.pc) then begin
+    state.halted <- true;
+    no_effect state.pc (Insn.make Insn.Halt) state.pc
+  end
+  else begin
+    let pc = state.pc in
+    let insn = Program.insn p pc in
+    state.steps <- state.steps + 1;
+    let next = pc + 1 in
+    let eff = no_effect pc insn next in
+    let eff =
+      match insn.op with
+      | Insn.Nop -> eff
+      | Insn.Halt ->
+          state.halted <- true;
+          { eff with e_next_pc = pc }
+      | Insn.Mov (w, d, s) ->
+          let wr = write_reg state w d (src_value state s) in
+          { eff with e_written = [ wr ] }
+      | Insn.Lea (d, m) ->
+          let wr = write_reg state Insn.W64 d (ea state m) in
+          { eff with e_written = [ wr ] }
+      | Insn.Load (w, d, m) ->
+          let addr = ea state m in
+          let size = Insn.width_bytes w in
+          let v = Memory.read state.mem addr size in
+          let wr = write_reg state w d v in
+          { eff with e_load = Some (addr, size, v); e_written = [ wr ] }
+      | Insn.Store (w, m, s) ->
+          let addr = ea state m in
+          let size = Insn.width_bytes w in
+          let v = Sem.truncate_width w (src_value state s) in
+          Memory.write state.mem addr size v;
+          { eff with e_store = Some (addr, size, v) }
+      | Insn.Binop (o, d, s) ->
+          let r, fl = Sem.eval_binop o (reg state d) (src_value state s) in
+          let wr = write_reg state Insn.W64 d r in
+          let wf = write_reg state Insn.W64 Reg.flags fl in
+          { eff with e_written = [ wr; wf ] }
+      | Insn.Unop (o, d) ->
+          let r, fl = Sem.eval_unop o (reg state d) in
+          let wr = write_reg state Insn.W64 d r in
+          let wf = write_reg state Insn.W64 Reg.flags fl in
+          { eff with e_written = [ wr; wf ] }
+      | Insn.Div (d, n, s) ->
+          let nv = reg state n in
+          let dv = src_value state s in
+          if Int64.equal dv 0L then
+            (* Suppressed architectural fault: the quotient reads as
+               all-ones and execution continues, but the event is recorded
+               so the pipeline can model the conditional machine clear. *)
+            let wr = write_reg state Insn.W64 d Int64.minus_one in
+            { eff with e_div = Some (nv, dv); e_fault = true; e_written = [ wr ] }
+          else
+            let wr = write_reg state Insn.W64 d (Sem.eval_div nv dv) in
+            { eff with e_div = Some (nv, dv); e_written = [ wr ] }
+      | Insn.Rem (d, n, s) ->
+          let nv = reg state n in
+          let dv = src_value state s in
+          if Int64.equal dv 0L then
+            let wr = write_reg state Insn.W64 d Int64.minus_one in
+            { eff with e_div = Some (nv, dv); e_fault = true; e_written = [ wr ] }
+          else
+            let wr = write_reg state Insn.W64 d (Sem.eval_rem nv dv) in
+            { eff with e_div = Some (nv, dv); e_written = [ wr ] }
+      | Insn.Cmp (a, s) ->
+          let fl = Sem.eval_cmp (reg state a) (src_value state s) in
+          let wf = write_reg state Insn.W64 Reg.flags fl in
+          { eff with e_written = [ wf ] }
+      | Insn.Test (a, s) ->
+          let fl = Sem.eval_test (reg state a) (src_value state s) in
+          let wf = write_reg state Insn.W64 Reg.flags fl in
+          { eff with e_written = [ wf ] }
+      | Insn.Setcc (c, d) ->
+          let v = if Sem.eval_cond c (reg state Reg.flags) then 1L else 0L in
+          let wr = write_reg state Insn.W64 d v in
+          { eff with e_written = [ wr ] }
+      | Insn.Cmov (c, d, s) ->
+          let v =
+            if Sem.eval_cond c (reg state Reg.flags) then src_value state s
+            else reg state d
+          in
+          let wr = write_reg state Insn.W64 d v in
+          { eff with e_written = [ wr ] }
+      | Insn.Jcc (c, t) ->
+          let taken = Sem.eval_cond c (reg state Reg.flags) in
+          let target = if taken then t else next in
+          { eff with e_branch = Some (taken, target); e_next_pc = target }
+      | Insn.Jmp t -> { eff with e_branch = Some (true, t); e_next_pc = t }
+      | Insn.Jmpi rt ->
+          let target = Int64.to_int (reg state rt) in
+          { eff with e_branch = Some (true, target); e_next_pc = target }
+      | Insn.Call t ->
+          let sp = Int64.sub (reg state Reg.rsp) 8L in
+          Memory.write state.mem sp 8 (Int64.of_int next);
+          let wr = write_reg state Insn.W64 Reg.rsp sp in
+          {
+            eff with
+            e_store = Some (sp, 8, Int64.of_int next);
+            e_branch = Some (true, t);
+            e_next_pc = t;
+            e_written = [ wr ];
+          }
+      | Insn.Ret ->
+          let sp = reg state Reg.rsp in
+          let v = Memory.read state.mem sp 8 in
+          let target = Int64.to_int v in
+          let wr = write_reg state Insn.W64 Reg.rsp (Int64.add sp 8L) in
+          let wt = write_reg state Insn.W64 Reg.tmp v in
+          {
+            eff with
+            e_load = Some (sp, 8, v);
+            e_branch = Some (true, target);
+            e_next_pc = target;
+            e_written = [ wr; wt ];
+          }
+      | Insn.Push s ->
+          let sp = Int64.sub (reg state Reg.rsp) 8L in
+          let v = src_value state s in
+          Memory.write state.mem sp 8 v;
+          let wr = write_reg state Insn.W64 Reg.rsp sp in
+          { eff with e_store = Some (sp, 8, v); e_written = [ wr ] }
+      | Insn.Pop d ->
+          let sp = reg state Reg.rsp in
+          let v = Memory.read state.mem sp 8 in
+          let wr = write_reg state Insn.W64 d v in
+          let ws = write_reg state Insn.W64 Reg.rsp (Int64.add sp 8L) in
+          { eff with e_load = Some (sp, 8, v); e_written = [ wr; ws ] }
+    in
+    state.pc <- eff.e_next_pc;
+    eff
+  end
+
+(* Run until halt or [fuel] instructions, applying [f] to each effect. *)
+let run ?(fuel = 1_000_000) p state ~f =
+  let rec loop n =
+    if n <= 0 || state.halted then ()
+    else begin
+      let eff = step p state in
+      f eff;
+      loop (n - 1)
+    end
+  in
+  loop fuel
+
+let run_to_halt ?fuel p state = run ?fuel p state ~f:(fun _ -> ())

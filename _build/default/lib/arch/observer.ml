@@ -1,0 +1,115 @@
+(* Observer modes for hardware-software security contracts (Section II-C).
+
+   An observer mode defines what architectural state a contract exposes at
+   each execution step of the SEQ execution mode:
+
+   - ARCH   exposes all accessed data (the assumption made by
+            non-secret-accessing code);
+   - CT     exposes the sensitive operands of transmitters: the program
+            counter, individual address registers (the AMuLeT* refinement),
+            effective addresses, branch conditions/targets, and the partial
+            function of division operands that the divider leaks;
+   - CTS    extends CT with the values written to publicly-typed registers
+            (per a static secrecy typing);
+   - UNPROT extends CT with the values held in ProtISA-unprotected
+            registers, for testing arbitrary ProtISA binaries. *)
+
+open Protean_isa
+
+type atom =
+  | O_pc of int
+  | O_addr_reg of Reg.t * int64
+  | O_addr of int64
+  | O_branch of bool * int
+  | O_div of int * int * bool (* bit-length of dividend/divisor, divisor=0 *)
+  | O_data of int64
+  | O_reg of Reg.t * int64
+
+let atom_equal (a : atom) (b : atom) = a = b
+
+let pp_atom fmt = function
+  | O_pc pc -> Format.fprintf fmt "pc:%d" pc
+  | O_addr_reg (r, v) -> Format.fprintf fmt "areg:%a=%Ld" Reg.pp r v
+  | O_addr a -> Format.fprintf fmt "addr:%Ld" a
+  | O_branch (t, tgt) -> Format.fprintf fmt "br:%b->%d" t tgt
+  | O_div (n, d, z) -> Format.fprintf fmt "div:%d/%d%s" n d (if z then "!" else "")
+  | O_data v -> Format.fprintf fmt "data:%Ld" v
+  | O_reg (r, v) -> Format.fprintf fmt "reg:%a=%Ld" Reg.pp r v
+
+(* A static secrecy typing: for each pc, the output registers that are
+   publicly typed at that definition (produced by ProtCC-CTS). *)
+type typing = (int, Reg.t list) Hashtbl.t
+
+type mode =
+  | Arch_mode
+  | Ct_mode
+  | Cts_mode of typing
+  | Unprot_mode
+
+let mode_name = function
+  | Arch_mode -> "ARCH"
+  | Ct_mode -> "CT"
+  | Cts_mode _ -> "CTS"
+  | Unprot_mode -> "UNPROT"
+
+(* Observations every mode shares: control flow and transmitter operands.
+   [regv] reads a register value *before* the instruction executed. *)
+let ct_atoms ~regv (eff : Exec.effect_) =
+  let insn = eff.e_insn in
+  let acc = ref [ O_pc eff.e_pc ] in
+  let push a = acc := a :: !acc in
+  (* Individual address registers of memory operands. *)
+  List.iter
+    (fun (r, role) ->
+      match role with
+      | Insn.Addr -> push (O_addr_reg (r, regv r))
+      | Insn.Target -> push (O_addr_reg (r, regv r))
+      | Insn.Data | Insn.Cond_in | Insn.Divide -> ())
+    (Insn.reads insn.op);
+  (match eff.e_load with Some (a, _, _) -> push (O_addr a) | None -> ());
+  (match eff.e_store with Some (a, _, _) -> push (O_addr a) | None -> ());
+  (match eff.e_branch with
+  | Some (taken, target) -> push (O_branch (taken, target))
+  | None -> ());
+  (match eff.e_div with
+  | Some (n, d) ->
+      push (O_div (Sem.bit_length n, Sem.bit_length d, Int64.equal d 0L))
+  | None -> ());
+  List.rev !acc
+
+(* Observe one architectural step.  [protset] must be the ProtSet state
+   *after* the step for [Unprot_mode] (unprotected outputs are exposed). *)
+let observe mode ~regv ~protset (eff : Exec.effect_) =
+  let base = ct_atoms ~regv eff in
+  match mode with
+  | Ct_mode -> base
+  | Arch_mode ->
+      let data =
+        List.filter_map
+          (fun x -> x)
+          [
+            Option.map (fun (_, _, v) -> O_data v) eff.e_load;
+            Option.map (fun (_, _, v) -> O_data v) eff.e_store;
+          ]
+      in
+      base @ data
+  | Cts_mode typing ->
+      let public =
+        match Hashtbl.find_opt typing eff.e_pc with
+        | None -> []
+        | Some regs ->
+            List.filter_map
+              (fun (r, v) ->
+                if List.exists (Reg.equal r) regs then Some (O_reg (r, v))
+                else None)
+              eff.e_written
+      in
+      base @ public
+  | Unprot_mode ->
+      let unprot =
+        List.filter_map
+          (fun (r, v) ->
+            if Protset.reg_protected protset r then None else Some (O_reg (r, v)))
+          eff.e_written
+      in
+      base @ unprot

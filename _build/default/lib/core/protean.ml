@@ -1,0 +1,80 @@
+(* PROTEAN: a comprehensive, programmer-transparent, programmable Spectre
+   defense — the top-level facade.
+
+   The paper's contribution is the combination
+   ProtISA + ProtCC + (ProtDelay | ProtTrack):
+
+   - {!Isa} defines the ISA with the PROT prefix (ProtISA);
+   - {!Protcc} programs ProtSets automatically per code class;
+   - {!Defense} provides the hardware protection mechanisms, including
+     the ProtDelay and ProtTrack enforcement of ProtISA ProtSets and the
+     secure baselines (STT, SPT, SPT-SB) it is evaluated against;
+   - {!Ooo} is the speculative out-of-order core they run on;
+   - {!Arch} is the sequential reference machine, ProtSet semantics and
+     security-contract observers.
+
+   [secure] below is the one-call API: compile a program with the
+   appropriate ProtCC passes and run it on PROTEAN hardware. *)
+
+module Isa = struct
+  module Reg = Protean_isa.Reg
+  module Insn = Protean_isa.Insn
+  module Asm = Protean_isa.Asm
+  module Program = Protean_isa.Program
+  module Encode = Protean_isa.Encode
+end
+
+module Arch = struct
+  module Memory = Protean_arch.Memory
+  module Sem = Protean_arch.Sem
+  module Exec = Protean_arch.Exec
+  module Protset = Protean_arch.Protset
+  module Observer = Protean_arch.Observer
+  module Contract = Protean_arch.Contract
+end
+
+module Ooo = struct
+  module Config = Protean_ooo.Config
+  module Pipeline = Protean_ooo.Pipeline
+  module Policy = Protean_ooo.Policy
+  module Stats = Protean_ooo.Stats
+  module Hw_trace = Protean_ooo.Hw_trace
+end
+
+module Protcc = Protean_protcc.Protcc
+module Defense = Protean_defense.Defense
+
+type mechanism = Delay | Track
+
+let policy_of_mechanism = function
+  | Delay -> Protean_defense.Defense.prot_delay
+  | Track -> Protean_defense.Defense.prot_track
+
+(* Compile [program] with ProtCC (honouring per-function class labels and
+   any [classes] overrides) and run it on PROTEAN hardware with the given
+   protection [mechanism].  Returns the instrumented program and the
+   pipeline result. *)
+let secure ?(mechanism = Track) ?(config = Protean_ooo.Config.p_core)
+    ?classes ?pass_override ?(overlays = []) ?fuel ?trace program =
+  let compiled = Protcc.instrument ?classes ?pass_override program in
+  let defense = policy_of_mechanism mechanism in
+  let result =
+    Protean_ooo.Pipeline.run ?fuel ?trace config
+      (defense.Protean_defense.Defense.make ())
+      compiled.Protcc.program ~overlays
+  in
+  (compiled, result)
+
+(* Run an uninstrumented program on the unsafe baseline, for overhead
+   normalization. *)
+let run_unsafe ?(config = Protean_ooo.Config.p_core) ?(overlays = []) ?fuel
+    ?trace program =
+  Protean_ooo.Pipeline.run ?fuel ?trace config Protean_ooo.Policy.unsafe
+    program ~overlays
+
+(* Sequential reference execution, for functional validation. *)
+let run_sequential ?fuel ?(overlays = []) program =
+  let state = Protean_arch.Exec.init program in
+  Protean_arch.Exec.overlay state overlays;
+  Protean_arch.Exec.run_to_halt ?fuel program state;
+  state

@@ -1,0 +1,79 @@
+(** PROTEAN: a comprehensive, programmer-transparent, programmable
+    Spectre defense — the top-level facade.
+
+    The paper's contribution is the combination
+    ProtISA + ProtCC + (ProtDelay | ProtTrack):
+
+    - {!Isa} defines the ISA with the PROT prefix (ProtISA);
+    - {!Protcc} programs ProtSets automatically per vulnerable-code class;
+    - {!Defense} provides the hardware protection mechanisms, including
+      ProtDelay/ProtTrack and the secure baselines (STT, SPT, SPT-SB);
+    - {!Ooo} is the speculative out-of-order core they run on;
+    - {!Arch} is the sequential reference machine, the architectural
+      ProtSet semantics and the security-contract observers. *)
+
+module Isa : sig
+  module Reg = Protean_isa.Reg
+  module Insn = Protean_isa.Insn
+  module Asm = Protean_isa.Asm
+  module Program = Protean_isa.Program
+  module Encode = Protean_isa.Encode
+end
+
+module Arch : sig
+  module Memory = Protean_arch.Memory
+  module Sem = Protean_arch.Sem
+  module Exec = Protean_arch.Exec
+  module Protset = Protean_arch.Protset
+  module Observer = Protean_arch.Observer
+  module Contract = Protean_arch.Contract
+end
+
+module Ooo : sig
+  module Config = Protean_ooo.Config
+  module Pipeline = Protean_ooo.Pipeline
+  module Policy = Protean_ooo.Policy
+  module Stats = Protean_ooo.Stats
+  module Hw_trace = Protean_ooo.Hw_trace
+end
+
+module Protcc = Protean_protcc.Protcc
+module Defense = Protean_defense.Defense
+
+type mechanism =
+  | Delay  (** ProtDelay: lower hardware complexity (Section VI-B1) *)
+  | Track  (** ProtTrack: higher performance (Section VI-B2) *)
+
+val policy_of_mechanism : mechanism -> Defense.t
+
+val secure :
+  ?mechanism:mechanism ->
+  ?config:Protean_ooo.Config.t ->
+  ?classes:(string * Protean_isa.Program.klass) list ->
+  ?pass_override:Protcc.pass ->
+  ?overlays:(int64 * string) list ->
+  ?fuel:int ->
+  ?trace:bool ->
+  Protean_isa.Program.t ->
+  Protcc.result * Protean_ooo.Pipeline.result
+(** Compile a program with ProtCC (honouring per-function class labels
+    and any [classes] overrides) and run it on PROTEAN hardware with the
+    given protection [mechanism].  Returns the instrumented program and
+    the pipeline result. *)
+
+val run_unsafe :
+  ?config:Protean_ooo.Config.t ->
+  ?overlays:(int64 * string) list ->
+  ?fuel:int ->
+  ?trace:bool ->
+  Protean_isa.Program.t ->
+  Protean_ooo.Pipeline.result
+(** Run an uninstrumented program on the unsafe baseline (for overhead
+    normalization). *)
+
+val run_sequential :
+  ?fuel:int ->
+  ?overlays:(int64 * string) list ->
+  Protean_isa.Program.t ->
+  Protean_arch.Exec.state
+(** Sequential reference execution, for functional validation. *)

@@ -1,0 +1,1 @@
+lib/defense/access_delay.ml: Policy Protean_ooo Rob_entry

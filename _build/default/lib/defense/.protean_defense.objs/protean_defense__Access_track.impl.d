@@ -1,0 +1,1 @@
+lib/defense/access_track.ml: Policy Protean_ooo Rob_entry Taint

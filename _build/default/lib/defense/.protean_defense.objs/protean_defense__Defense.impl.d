@@ -1,0 +1,1 @@
+lib/defense/defense.ml: Access_delay Access_track List Policy Printf Prot_delay Prot_track Protean_ooo Spt Spt_sb String

@@ -1,0 +1,1 @@
+lib/defense/defense.mli: Protean_ooo

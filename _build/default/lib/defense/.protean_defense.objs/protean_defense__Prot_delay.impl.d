@@ -1,0 +1,1 @@
+lib/defense/prot_delay.ml: Policy Protean_ooo Rob_entry Taint

@@ -1,0 +1,1 @@
+lib/defense/prot_track.ml: Bytes Hashtbl Policy Protean_ooo Rob_entry Stats Taint

@@ -1,0 +1,1 @@
+lib/defense/spt.ml: Array Insn List Policy Protean_arch Protean_isa Protean_ooo Protset Reg Rob_entry Taint

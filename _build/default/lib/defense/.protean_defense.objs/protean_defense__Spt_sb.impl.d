@@ -1,0 +1,1 @@
+lib/defense/spt_sb.ml: Policy Protean_ooo

@@ -1,0 +1,1 @@
+lib/defense/taint.ml: Array Insn Policy Protean_isa Protean_ooo Rob_entry

@@ -1,0 +1,19 @@
+(* AccessDelay — the protection mechanism of NDA and SpecShield
+   (Section VI-A1).
+
+   Hardware-defined ProtSet: all of memory, no registers; targets
+   non-secret-accessing (ARCH) code.  Access instructions are loads.  They
+   may execute and write back speculatively but may not wake up their
+   dependents until they become non-speculative, so transiently-accessed
+   data never reaches a transmitter. *)
+
+open Protean_ooo
+
+let make () =
+  {
+    Policy.unsafe with
+    Policy.name = "access-delay";
+    may_forward =
+      (fun api e ->
+        if Rob_entry.is_load e then not (Policy.is_speculative api e) else true);
+  }

@@ -1,0 +1,99 @@
+(* Registry of the evaluated Spectre defenses (Section VIII-A5).
+
+   Each defense is a fresh-state policy constructor: policies carry
+   mutable per-run state (taint scratch, predictors, SPT's transmitted
+   shadow), so a new instance must be made for every simulation. *)
+
+open Protean_ooo
+
+type t = {
+  id : string;
+  description : string;
+  make : unit -> Policy.t;
+}
+
+let unsafe =
+  { id = "unsafe"; description = "unmodified O3 core"; make = (fun () -> Policy.unsafe) }
+
+let nda =
+  {
+    id = "nda";
+    description = "AccessDelay (NDA / SpecShield)";
+    make = Access_delay.make;
+  }
+
+let stt =
+  { id = "stt"; description = "AccessTrack (STT)"; make = Access_track.make }
+
+let spt =
+  {
+    id = "spt";
+    description = "Speculative Privacy Tracking";
+    make = (fun () -> Spt.make ());
+  }
+
+let spt_no_w32_fix =
+  {
+    id = "spt-no-w32-fix";
+    description = "SPT without the 32-bit untaint performance fix";
+    make = (fun () -> Spt.make ~w32_fix:false ());
+  }
+
+let spt_sb =
+  { id = "spt-sb"; description = "SPT secure baseline (XmitDelay)"; make = Spt_sb.make }
+
+let prot_delay =
+  {
+    id = "prot-delay";
+    description = "PROTEAN ProtDelay";
+    make = (fun () -> Prot_delay.make ());
+  }
+
+let prot_delay_unselective =
+  {
+    id = "prot-delay-unselective";
+    description = "AccessDelay applied directly to ProtISA (ablation)";
+    make = (fun () -> Prot_delay.make ~selective_wakeup:false ());
+  }
+
+let prot_track =
+  {
+    id = "prot-track";
+    description = "PROTEAN ProtTrack (1024-entry access predictor)";
+    make = (fun () -> Prot_track.make ());
+  }
+
+let prot_track_nopred =
+  {
+    id = "prot-track-nopred";
+    description = "AccessTrack applied directly to ProtISA (ablation)";
+    make = (fun () -> Prot_track.make ~predictor:false ());
+  }
+
+let prot_track_entries n =
+  {
+    id = Printf.sprintf "prot-track-%d" n;
+    description =
+      (if n = 0 then "ProtTrack with an infinite access predictor"
+       else Printf.sprintf "ProtTrack with a %d-entry access predictor" n);
+    make = (fun () -> Prot_track.make ~predictor_entries:n ());
+  }
+
+let all =
+  [
+    unsafe;
+    nda;
+    stt;
+    spt;
+    spt_no_w32_fix;
+    spt_sb;
+    prot_delay;
+    prot_delay_unselective;
+    prot_track;
+    prot_track_nopred;
+  ]
+
+let find id =
+  match List.find_opt (fun d -> String.equal d.id id) all with
+  | Some d -> d
+  | None -> invalid_arg ("Defense.find: unknown defense " ^ id)

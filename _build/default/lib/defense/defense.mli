@@ -1,0 +1,52 @@
+(** Registry of the evaluated Spectre defenses (Section VIII-A5).
+
+    Each defense is a fresh-state policy constructor: policies carry
+    mutable per-run state (taint scratch, access predictors, SPT's
+    transmitted-state shadow), so a new instance must be made for every
+    simulation. *)
+
+type t = {
+  id : string;
+  description : string;
+  make : unit -> Protean_ooo.Policy.t;
+}
+
+val unsafe : t
+(** The unmodified out-of-order core. *)
+
+val nda : t
+(** AccessDelay (NDA / SpecShield): loads don't wake dependents until
+    non-speculative. *)
+
+val stt : t
+(** AccessTrack (STT): taint load outputs; delay tainted transmitters. *)
+
+val spt : t
+(** Speculative Privacy Tracking: only already-transmitted data may be
+    transmitted speculatively. *)
+
+val spt_no_w32_fix : t
+(** SPT without the 32-bit untaint performance fix (Section VII-B4c). *)
+
+val spt_sb : t
+(** SPT's secure baseline (XmitDelay): every transmitter waits until it
+    is non-speculative — the only prior defense securing UNR code. *)
+
+val prot_delay : t
+(** PROTEAN's ProtDelay (Section VI-B1). *)
+
+val prot_delay_unselective : t
+(** AccessDelay applied directly to ProtISA (the Section IX-A4 ablation). *)
+
+val prot_track : t
+(** PROTEAN's ProtTrack with its 1024-entry access predictor (VI-B2). *)
+
+val prot_track_nopred : t
+(** AccessTrack applied directly to ProtISA (the Section IX-A4 ablation). *)
+
+val prot_track_entries : int -> t
+(** ProtTrack with an [n]-entry access predictor ([0] = infinite), for
+    the Fig. 5 sensitivity study. *)
+
+val all : t list
+val find : string -> t

@@ -1,0 +1,211 @@
+(* SPT — Speculative Privacy Tracking (Section III-C, VI-B2).
+
+   Hardware-defined ProtSet: all registers and memory bytes that have not
+   been architecturally transmitted in the past; targets constant-time
+   code.  SPT extends AccessTrack in two ways:
+
+   - it tracks a *transmitted* (therefore public) status for architectural
+     registers and memory: once a transmitter retires, its sensitive
+     operands become transmitted, and outputs computed solely from
+     transmitted data are transmitted too;
+   - a transmitter whose sensitive operand holds *untransmitted* data may
+     only execute/resolve once it is non-speculative — only already-leaked
+     data may leak speculatively.
+
+   Because SPT cannot know at rename whether a load will read transmitted
+   memory, it conservatively taints every load's output (the performance
+   conservatism ProtTrack's predictor removes).
+
+   [w32_fix] models the paper's upstreamed performance patch (Section
+   VII-B4c): with the fix, a 32-bit register write — which zeroes the
+   upper 32 bits — takes the transmitted-status of its source; without it,
+   the stale status of the old upper bits lingers, keeping the register
+   conservatively protected. *)
+
+open Protean_ooo
+open Protean_isa
+open Protean_arch
+
+type state = {
+  reg_xmit : bool array; (* committed transmitted-status per register *)
+  mem_xmit : Protset.t; (* protected = untransmitted *)
+  w32_fix : bool;
+}
+
+let src_pub st (e : Rob_entry.t) api i =
+  let r, _ = e.Rob_entry.srcs.(i) in
+  let p = e.Rob_entry.src_producer.(i) in
+  if p < 0 then st.reg_xmit.(Reg.to_int r)
+  else
+    match api.Policy.get_entry p with
+    | Some prod ->
+        (* An in-flight producer's flags output is always a fresh,
+           untransmitted value (its [pol_out_pub] describes the data
+           destination). *)
+        if Reg.equal r Reg.flags then false else prod.Rob_entry.pol_out_pub
+    | None -> st.reg_xmit.(Reg.to_int r)
+
+(* Transmitted-status of the value a register operand holds, looked up in
+   the per-entry snapshot filled at rename. *)
+let reg_pub (e : Rob_entry.t) r =
+  let n = Array.length e.Rob_entry.srcs in
+  let rec loop i =
+    if i >= n then false
+    else if Reg.equal (fst e.Rob_entry.srcs.(i)) r then
+      e.Rob_entry.pol_src_pub.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+(* Is the (non-flags) value produced by [e] transmitted-equivalent to
+   already-transmitted data?  SPT's unprotection extends from directly
+   transmitted values only through *invertible* arithmetic dependencies
+   (Section III-C): register moves, add/sub/xor/not/neg and stack-pointer
+   bumps.  Lossy operations (and/or/shifts/mul/div/compares) produce
+   fresh, untransmitted values even from transmitted inputs — which is
+   why SPT must stall the first transmission of such values until they
+   are non-speculative, its main cost on constant-time code
+   (Section IX-B3).  Loads are resolved at execute from the memory
+   shadow; here they are conservatively private.
+
+   Flags outputs are never transmitted-equivalent: a comparison is not
+   invertible.  They become transmitted only when a conditional branch
+   retires (fully transmitting its condition). *)
+let out_pub st (e : Rob_entry.t) =
+  let op = e.Rob_entry.insn.Insn.op in
+  let src_ok = function
+    | Insn.Imm _ -> true
+    | Insn.Reg r -> reg_pub e r
+  in
+  match op with
+  | Insn.Mov (Insn.W64, _, s) -> src_ok s
+  | Insn.Mov (Insn.W32, d, s) ->
+      if st.w32_fix then src_ok s else src_ok s && reg_pub e d
+  | Insn.Mov (Insn.W8, _, _) -> false (* partial merge: not invertible *)
+  | Insn.Lea (_, m) -> (
+      (* base + index*scale + disp is invertible in at most one register
+         operand. *)
+      match Insn.mem_regs m with
+      | [ r ] -> reg_pub e r
+      | [] -> true
+      | _ -> List.for_all (fun r -> reg_pub e r) (Insn.mem_regs m))
+  | Insn.Binop ((Insn.Add | Insn.Sub | Insn.Xor), d, s) ->
+      reg_pub e d && src_ok s
+  | Insn.Binop ((Insn.And | Insn.Or | Insn.Shl | Insn.Shr | Insn.Sar | Insn.Mul), _, _)
+    ->
+      false
+  | Insn.Unop ((Insn.Not | Insn.Neg), d) -> reg_pub e d
+  | Insn.Div _ | Insn.Rem _ -> false
+  | Insn.Cmp _ | Insn.Test _ -> false
+  | Insn.Setcc _ -> false
+  | Insn.Cmov _ -> false
+  | Insn.Call _ | Insn.Push _ -> reg_pub e Reg.rsp
+  | Insn.Pop _ | Insn.Ret
+  | Insn.Load _ | Insn.Store _ | Insn.Jcc _ | Insn.Jmp _ | Insn.Jmpi _
+  | Insn.Nop | Insn.Halt ->
+      false
+
+(* Sensitive operands all hold transmitted data? *)
+let sensitive_pub (e : Rob_entry.t) =
+  let ok = ref true in
+  Array.iteri
+    (fun i (_, role) ->
+      match role with
+      | Insn.Addr | Insn.Cond_in | Insn.Target | Insn.Divide ->
+          if not e.Rob_entry.pol_src_pub.(i) then ok := false
+      | Insn.Data -> ())
+    e.Rob_entry.srcs;
+  !ok
+
+let make ?(w32_fix = true) () =
+  let st =
+    {
+      reg_xmit = Array.make Reg.count false;
+      mem_xmit = Protset.create ();
+      w32_fix;
+    }
+  in
+  (* The stack pointer's initial value is public. *)
+  st.reg_xmit.(Reg.to_int Reg.rsp) <- true;
+  let on_rename api (e : Rob_entry.t) =
+    Array.iteri
+      (fun i _ -> e.Rob_entry.pol_src_pub.(i) <- src_pub st e api i)
+      e.Rob_entry.pol_src_pub;
+    e.Rob_entry.pol_out_pub <- out_pub st e;
+    (* AccessTrack-style taint: every load taints its output at rename. *)
+    let inherited = Policy.inherited_taint api e in
+    let self = if Rob_entry.is_load e then e.Rob_entry.seq else -1 in
+    e.Rob_entry.access_at_rename <- Rob_entry.is_load e;
+    e.Rob_entry.taint_root <- max inherited self
+  in
+  let on_load_executed _api (e : Rob_entry.t) =
+    (* The shadow tracks transmitted memory precisely: a load of
+       transmitted bytes produces transmitted (public) data. *)
+    if not (Protset.mem_protected st.mem_xmit e.Rob_entry.addr e.Rob_entry.msize)
+    then e.Rob_entry.pol_out_pub <- true
+  in
+  let may_execute_transmitter api (e : Rob_entry.t) =
+    (not (Policy.is_speculative api e))
+    || (sensitive_pub e && not (Taint.sensitive_tainted api e))
+  in
+  let may_resolve api (e : Rob_entry.t) =
+    (not (Policy.is_speculative api e))
+    || (sensitive_pub e
+       && (not (Taint.sensitive_tainted api e))
+       && ((not (Taint.resolves_from_memory e))
+          || (e.Rob_entry.pol_out_pub && not (Taint.own_load_tainted api e))))
+  in
+  let on_commit _api (e : Rob_entry.t) =
+    (* Outputs derived from transmitted data are transmitted.  The stack
+       pointer update of pop/ret is public arithmetic on rsp even though
+       the loaded destination may be private. *)
+    let op = e.Rob_entry.insn.Insn.op in
+    let dst_pub r =
+      if Reg.equal r Reg.flags then false (* fresh flags: untransmitted *)
+      else
+        match op with
+        | Insn.Pop d ->
+            if Reg.equal r d then e.Rob_entry.pol_out_pub else reg_pub e Reg.rsp
+        | Insn.Ret ->
+            if Reg.equal r Reg.tmp then e.Rob_entry.pol_out_pub
+            else reg_pub e Reg.rsp
+        | _ -> e.Rob_entry.pol_out_pub
+    in
+    Array.iter
+      (fun r -> st.reg_xmit.(Reg.to_int r) <- dst_pub r)
+      e.Rob_entry.dsts;
+    (* Stores write their data operand's status into the memory shadow;
+       call pushes a public return address. *)
+    if Rob_entry.is_store e then begin
+      let data_pub =
+        match op with
+        | Insn.Call _ -> true
+        | Insn.Store (_, _, Insn.Imm _) | Insn.Push (Insn.Imm _) -> true
+        | Insn.Store (_, _, Insn.Reg r) | Insn.Push (Insn.Reg r) ->
+            reg_pub e r
+        | _ -> false
+      in
+      Protset.set_mem st.mem_xmit e.Rob_entry.addr e.Rob_entry.msize
+        ~protected:(not data_pub)
+    end;
+    (* Retiring a transmitter architecturally transmits its sensitive
+       register operands: they are now public forever. *)
+    if Rob_entry.is_transmitter e then
+      Array.iteri
+        (fun i (r, role) ->
+          match role with
+          | Insn.Addr | Insn.Cond_in | Insn.Target ->
+              ignore i;
+              st.reg_xmit.(Reg.to_int r) <- true
+          | Insn.Divide | Insn.Data -> ())
+        e.Rob_entry.srcs
+  in
+  {
+    Policy.unsafe with
+    Policy.name = (if w32_fix then "spt" else "spt-no-w32-fix");
+    on_rename;
+    on_load_executed;
+    may_execute_transmitter;
+    may_resolve;
+    on_commit;
+  }

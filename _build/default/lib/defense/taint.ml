@@ -1,0 +1,47 @@
+(* Shared taint machinery for the tracking-based protection mechanisms
+   (AccessTrack/STT, SPT, ProtTrack).
+
+   Taint is represented per ROB entry by the sequence number of the
+   youngest speculative access instruction the entry's data transitively
+   depends on (STT's youngest root of taint).  An entry is tainted while
+   that root is still speculative under the configured speculation model;
+   untainting is therefore implicit when the root reaches the ROB head
+   (ATCOMMIT) or all older branches resolve (CONTROL) — no broadcast
+   needed. *)
+
+open Protean_ooo
+open Protean_isa
+
+(* Taint root of one renamed source: the producer's root (committed
+   producers are untainted). *)
+let src_root (api : Policy.api) (e : Rob_entry.t) i =
+  let p = e.Rob_entry.src_producer.(i) in
+  if p < 0 then -1
+  else
+    match api.Policy.get_entry p with
+    | Some prod -> prod.Rob_entry.taint_root
+    | None -> -1
+
+(* Is any *sensitive* operand of [e] tainted?  Used to gate transmitter
+   execution and branch resolution. *)
+let sensitive_tainted (api : Policy.api) (e : Rob_entry.t) =
+  let tainted = ref false in
+  Array.iteri
+    (fun i (_, role) ->
+      match role with
+      | Insn.Addr | Insn.Cond_in | Insn.Target | Insn.Divide ->
+          if Policy.root_speculative api (src_root api e i) then tainted := true
+      | Insn.Data -> ())
+    e.Rob_entry.srcs;
+  !tainted
+
+(* The taint of an indirect branch's loaded target ([ret] pops its target
+   from the stack): the entry's own access status. *)
+let own_load_tainted (api : Policy.api) (e : Rob_entry.t) =
+  (e.Rob_entry.access_at_rename || e.Rob_entry.late_access)
+  && Policy.root_speculative api e.Rob_entry.seq
+
+(* Does the entry's resolution depend on its own loaded data?  True for
+   [ret] (and any indirect control transfer through memory). *)
+let resolves_from_memory (e : Rob_entry.t) =
+  match e.Rob_entry.insn.Insn.op with Insn.Ret -> true | _ -> false

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array Hashtbl List Printf Protean_defense Protean_ooo Protean_protcc Protean_workloads

@@ -1,0 +1,1 @@
+lib/harness/studies.ml: Experiment Format List Printf Protean_defense Protean_ooo Protean_protcc Protean_workloads Tables Textplot

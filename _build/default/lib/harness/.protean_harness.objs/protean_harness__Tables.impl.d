@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Experiment Format List Printf Program Protean_amulet Protean_defense Protean_isa Protean_ooo Protean_protcc Protean_workloads Textplot

@@ -1,0 +1,1 @@
+lib/harness/textplot.ml: Array Format List Printf String

@@ -1,0 +1,185 @@
+(* Experiment runner: simulate (benchmark, defense-configuration) pairs
+   and report runtimes normalized to the unsafe baseline, with
+   memoization so the table/figure generators can share runs.
+
+   Following the paper's methodology (Section VIII-A):
+   - baselines (unsafe, STT, SPT, SPT-SB) run the *base* binary;
+   - PROTEAN configurations run the *ProtCC* binary, compiled with the
+     appropriate pass (or with per-function classes for multi-class
+     programs);
+   - normalized runtime = cycles(defense) / cycles(unsafe-on-base). *)
+
+module Defense = Protean_defense.Defense
+module Protcc = Protean_protcc.Protcc
+module Config = Protean_ooo.Config
+module Pipeline = Protean_ooo.Pipeline
+module Policy = Protean_ooo.Policy
+module Multicore = Protean_ooo.Multicore
+module Stats = Protean_ooo.Stats
+module Suite = Protean_workloads.Suite
+
+type defense_cfg = {
+  label : string;
+  defense : Defense.t;
+  pass : Protcc.pass option;
+      (* ProtCC pass to compile the benchmark with; [None] = base binary.
+         [Some P_arch] also runs the base binary (ProtCC-ARCH is a no-op)
+         but is kept distinct for labelling. *)
+}
+
+let base label defense = { label; defense; pass = None }
+
+let protean label defense pass = { label; defense; pass = Some pass }
+
+(* The named configurations of the evaluation (Section VIII-A5). *)
+let cfg_unsafe = base "unsafe" Defense.unsafe
+let cfg_stt = base "STT" Defense.stt
+let cfg_spt = base "SPT" Defense.spt
+let cfg_spt_sb = base "SPT-SB" Defense.spt_sb
+
+let protean_cfg mech pass =
+  let d, mname =
+    match mech with
+    | `Delay -> (Defense.prot_delay, "Delay")
+    | `Track -> (Defense.prot_track, "Track")
+  in
+  let pname = Protcc.pass_name pass in
+  protean (Printf.sprintf "PROTEAN-%s-%s" mname pname) d pass
+
+(* Multi-class PROTEAN: instrument with each function's own class. *)
+let protean_multiclass mech =
+  let d, mname =
+    match mech with
+    | `Delay -> (Defense.prot_delay, "Delay")
+    | `Track -> (Defense.prot_track, "Track")
+  in
+  { label = "PROTEAN-" ^ mname; defense = d; pass = None }
+
+type run_spec = {
+  bench : Suite.benchmark;
+  dcfg : defense_cfg;
+  config : Config.t;
+  spec_model : Policy.spec_model;
+  squash_bug : bool;
+  multiclass : bool; (* instrument with per-function classes *)
+}
+
+type run_result = {
+  cycles : float;
+  stats : Stats.t list; (* one per core *)
+  code_size_ratio : float;
+  inserted_moves : int;
+}
+
+let default_fuel = 30_000_000
+
+let instrument_program spec program =
+  match (spec.dcfg.pass, spec.multiclass) with
+  | None, false -> (program, 1.0, 0)
+  | None, true ->
+      let r = Protcc.instrument program in
+      (r.Protcc.program, r.Protcc.code_size_ratio, r.Protcc.inserted_moves)
+  | Some pass, _ ->
+      let r = Protcc.instrument ~pass_override:pass program in
+      (r.Protcc.program, r.Protcc.code_size_ratio, r.Protcc.inserted_moves)
+
+let execute spec =
+  match spec.bench.Suite.kind with
+  | Suite.Single f ->
+      let program, ratio, moves = instrument_program spec (f ()) in
+      let r =
+        Pipeline.run ~squash_bug:spec.squash_bug ~spec_model:spec.spec_model
+          ~fuel:default_fuel spec.config
+          (spec.dcfg.defense.Defense.make ())
+          program ~overlays:[]
+      in
+      if not r.Pipeline.finished then
+        failwith
+          (Printf.sprintf "experiment %s/%s did not finish"
+             spec.bench.Suite.name spec.dcfg.label);
+      {
+        cycles = float_of_int (Stats.measured_cycles r.Pipeline.stats);
+        stats = [ r.Pipeline.stats ];
+        code_size_ratio = ratio;
+        inserted_moves = moves;
+      }
+  | Suite.Multi f ->
+      let programs = f () in
+      let ratio = ref 1.0 and moves = ref 0 in
+      let programs =
+        Array.map
+          (fun p ->
+            let p', r, m = instrument_program spec p in
+            ratio := r;
+            moves := m;
+            p')
+          programs
+      in
+      let r =
+        Multicore.run ~squash_bug:spec.squash_bug ~spec_model:spec.spec_model
+          ~fuel:default_fuel spec.config
+          ~make_policy:spec.dcfg.defense.Defense.make programs
+      in
+      if not r.Multicore.finished then
+        failwith
+          (Printf.sprintf "experiment %s/%s did not finish"
+             spec.bench.Suite.name spec.dcfg.label);
+      {
+        cycles = float_of_int r.Multicore.cycles;
+        stats =
+          Array.to_list
+            (Array.map (fun (c : Pipeline.result) -> c.Pipeline.stats) r.Multicore.per_core);
+        code_size_ratio = !ratio;
+        inserted_moves = !moves;
+      }
+
+(* Memoized session. *)
+type session = {
+  cache : (string, run_result) Hashtbl.t;
+  mutable log : bool;
+}
+
+let create_session ?(log = false) () = { cache = Hashtbl.create 128; log }
+
+let key spec =
+  (* The suite qualifies the name: e.g. `mcf` exists in both the
+     SPEC2017 and the ARCH-Wasm suites. *)
+  Printf.sprintf "%s/%s|%s|%s|%s|%b|%b" spec.bench.Suite.suite
+    spec.bench.Suite.name spec.dcfg.label spec.config.Config.name
+    (Policy.spec_model_name spec.spec_model)
+    spec.squash_bug spec.multiclass
+
+let run session spec =
+  let k = key spec in
+  match Hashtbl.find_opt session.cache k with
+  | Some r -> r
+  | None ->
+      if session.log then (Printf.eprintf "[run] %s\n%!" k);
+      let r = execute spec in
+      Hashtbl.replace session.cache k r;
+      r
+
+let spec ?(config = Config.p_core) ?(spec_model = Policy.Atcommit)
+    ?(squash_bug = false) ?(multiclass = false) bench dcfg =
+  { bench; dcfg; config; spec_model; squash_bug; multiclass }
+
+(* Normalized runtime of [dcfg] on [bench] against the unsafe baseline on
+   the base binary, same core configuration. *)
+let normalized session ?config ?spec_model ?multiclass bench dcfg =
+  let r = run session (spec ?config ?spec_model ?multiclass bench dcfg) in
+  let u = run session (spec ?config ?spec_model bench cfg_unsafe) in
+  r.cycles /. u.cycles
+
+let geomean xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+      exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+(* ProtCC static overhead (Section IX-A2): code size ratio and the
+   runtime ratio of the instrumented binary on *unsafe* hardware. *)
+let protcc_overhead session bench pass =
+  let dcfg = { label = "unsafe+" ^ Protcc.pass_name pass; defense = Defense.unsafe; pass = Some pass } in
+  let r = run session (spec bench dcfg) in
+  let u = run session (spec bench cfg_unsafe) in
+  (r.code_size_ratio, r.cycles /. u.cycles, r.inserted_moves)

@@ -1,0 +1,93 @@
+(* Generators for the paper's figures. *)
+
+module E = Experiment
+module Suite = Protean_workloads.Suite
+module Protcc = Protean_protcc.Protcc
+module Config = Protean_ooo.Config
+module Defense = Protean_defense.Defense
+module Pipeline = Protean_ooo.Pipeline
+module Stats = Protean_ooo.Stats
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5: ProtTrack access-predictor sensitivity — misprediction rate *)
+(* and runtime overhead vs number of predictor entries (0 = infinite). *)
+(* ------------------------------------------------------------------ *)
+
+let predictor_sizes = [ 16; 64; 256; 1024; 4096; 0 ]
+
+let figure_5 ?benches session =
+  Format.printf
+    "Fig. 5: ProtTrack access predictor sensitivity (SPEC2017int, P-core; \
+     entries = 0 means infinite)@.@.";
+  let specint = Tables.filter_benches benches Suite.spec2017_int in
+  let points =
+    List.map
+      (fun entries ->
+        let d = Defense.prot_track_entries entries in
+        let per_pass pass =
+          let dcfg =
+            {
+              E.label = Printf.sprintf "%s-%d" (Protcc.pass_name pass) entries;
+              defense = d;
+              pass = Some pass;
+            }
+          in
+          let norms = List.map (fun b -> E.normalized session b dcfg) specint in
+          let rates =
+            List.map
+              (fun b ->
+                let r = E.run session (E.spec b dcfg) in
+                List.fold_left
+                  (fun acc (s : Stats.t) ->
+                    acc
+                    +.
+                    if s.Stats.access_pred_lookups = 0 then 0.0
+                    else
+                      float_of_int s.Stats.access_pred_mispredicts
+                      /. float_of_int s.Stats.access_pred_lookups)
+                  0.0 r.E.stats
+                /. float_of_int (List.length r.E.stats))
+              specint
+          in
+          ( E.geomean norms,
+            List.fold_left ( +. ) 0.0 rates /. float_of_int (List.length rates) )
+        in
+        let arch_norm, arch_rate = per_pass Protcc.P_arch in
+        let ct_norm, ct_rate = per_pass Protcc.P_ct in
+        let label = if entries = 0 then "inf" else string_of_int entries in
+        (label, [ arch_rate; arch_norm; ct_rate; ct_norm ]))
+      predictor_sizes
+  in
+  Textplot.series ~xlabel:"entries"
+    ~series_names:
+      [ "ARCH mispredict"; "ARCH runtime"; "CT mispredict"; "CT runtime" ]
+    points;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: per-benchmark normalized runtime of PROTEAN-Track-ARCH/-CT  *)
+(* vs STT/SPT on SPEC2017 (P-core) and PARSEC.                         *)
+(* ------------------------------------------------------------------ *)
+
+let figure_6 ?benches session =
+  Format.printf
+    "Fig. 6: normalized runtime of PROTEAN-Track-ARCH/-CT vs STT/SPT \
+     (SPEC2017 *.s on P-core, PARSEC *.p on the full configuration)@.@.";
+  let track_arch = E.protean_cfg `Track Protcc.P_arch in
+  let track_ct = E.protean_cfg `Track Protcc.P_ct in
+  let groups =
+    List.map
+      (fun (b : Suite.benchmark) ->
+        let suffix = if b.Suite.suite = "parsec" then "" else ".s" in
+        ( b.Suite.name ^ suffix,
+          [
+            E.normalized session b E.cfg_stt;
+            E.normalized session b track_arch;
+            E.normalized session b E.cfg_spt;
+            E.normalized session b track_ct;
+          ] ))
+      (Tables.filter_benches benches (Suite.spec2017 @ Suite.parsec))
+  in
+  Textplot.bars
+    ~series_names:[ "STT"; "PROTEAN-Track-ARCH"; "SPT"; "PROTEAN-Track-CT" ]
+    groups

@@ -1,0 +1,174 @@
+(* The diagnostic studies of Section IX: ProtCC static overhead, the
+   protection-tagged-L1D variants, the AccessDelay/AccessTrack ablation,
+   the CONTROL speculation model case study, the secure-baseline bug-fix
+   cost, and the protection-bit area model. *)
+
+module E = Experiment
+module Suite = Protean_workloads.Suite
+module Protcc = Protean_protcc.Protcc
+module Config = Protean_ooo.Config
+module Defense = Protean_defense.Defense
+module Policy = Protean_ooo.Policy
+
+let specint ?benches () = Tables.filter_benches benches Suite.spec2017_int
+
+(* Section IX-A2: code-size and runtime overhead of ProtCC instrumentation
+   with PROTEAN's protections disabled (unsafe hardware). *)
+let protcc_overhead ?benches session =
+  Format.printf
+    "ProtCC overhead (Section IX-A2): instrumented binaries on unsafe \
+     hardware, SPEC2017int P-core@.@.";
+  let rows =
+    List.map
+      (fun pass ->
+        let sizes, runs =
+          List.split
+            (List.map
+               (fun b ->
+                 let size, run, _ = E.protcc_overhead session b pass in
+                 (size, run))
+               (specint ?benches ()))
+        in
+        [
+          Protcc.pass_name pass;
+          Printf.sprintf "%.1f%%" ((E.geomean sizes -. 1.0) *. 100.0);
+          Printf.sprintf "%.1f%%" ((E.geomean runs -. 1.0) *. 100.0);
+        ])
+      [ Protcc.P_cts; Protcc.P_ct; Protcc.P_unr ]
+  in
+  Textplot.table ~header:[ "pass"; "code size"; "runtime" ] rows;
+  Format.printf "@."
+
+(* Section IX-A3: the protection-tagged L1D against its disabled and
+   idealized (shadow-memory) variants. *)
+let l1d_variants ?benches session =
+  Format.printf
+    "Protection-tagged L1D variants (Section IX-A3): PROTEAN-Track overhead \
+     on SPEC2017int, P-core@.@.";
+  let variant name mode pass =
+    let config = Config.with_prot_mem mode Config.p_core in
+    let dcfg = E.protean_cfg `Track pass in
+    let v =
+      E.geomean
+        (List.map (fun b -> E.normalized session ~config b dcfg) (specint ?benches ()))
+    in
+    [ name; Protcc.pass_name pass; Printf.sprintf "%.1f%%" ((v -. 1.0) *. 100.0) ]
+  in
+  Textplot.table
+    ~header:[ "L1D protection tags"; "pass"; "overhead" ]
+    [
+      variant "disabled (all memory protected)" Config.Prot_mem_none Protcc.P_arch;
+      variant "tagged L1D (PROTEAN)" Config.Prot_mem_l1d Protcc.P_arch;
+      variant "perfect shadow memory" Config.Prot_mem_perfect Protcc.P_arch;
+      variant "disabled (all memory protected)" Config.Prot_mem_none Protcc.P_ct;
+      variant "tagged L1D (PROTEAN)" Config.Prot_mem_l1d Protcc.P_ct;
+      variant "perfect shadow memory" Config.Prot_mem_perfect Protcc.P_ct;
+    ];
+  Format.printf "@."
+
+(* Section IX-A4: AccessDelay/AccessTrack applied directly to ProtISA —
+   ProtTrack without its predictor, ProtDelay without selective wakeup. *)
+let ablation_access ?benches session =
+  Format.printf
+    "AccessDelay/AccessTrack ablation (Section IX-A4): SPEC2017int, \
+     P-core@.@.";
+  let geo d pass =
+    let dcfg = { E.label = d.Defense.id ^ "+" ^ Protcc.pass_name pass; defense = d; pass = Some pass } in
+    E.geomean
+      (List.map (fun b -> E.normalized session b dcfg) (specint ?benches ()))
+  in
+  let row name full ablated pass =
+    let f = geo full pass and a = geo ablated pass in
+    [
+      name;
+      Protcc.pass_name pass;
+      Printf.sprintf "%.1f%%" ((f -. 1.0) *. 100.0);
+      Printf.sprintf "%.1f%%" ((a -. 1.0) *. 100.0);
+      Printf.sprintf "+%.1f%%" ((a -. f) *. 100.0);
+    ]
+  in
+  Textplot.table
+    ~header:[ "mechanism"; "pass"; "PROTEAN"; "ablated"; "delta" ]
+    [
+      row "ProtTrack vs AccessTrack" Defense.prot_track Defense.prot_track_nopred Protcc.P_arch;
+      row "ProtTrack vs AccessTrack" Defense.prot_track Defense.prot_track_nopred Protcc.P_ct;
+      row "ProtDelay vs AccessDelay" Defense.prot_delay Defense.prot_delay_unselective Protcc.P_arch;
+      row "ProtDelay vs AccessDelay" Defense.prot_delay Defense.prot_delay_unselective Protcc.P_ct;
+    ];
+  Format.printf "@."
+
+(* Section IX-A6: the noncomprehensive CONTROL speculation model. *)
+let control_model ?benches session =
+  Format.printf
+    "CONTROL speculation model (Section IX-A6): SPEC2017int, P-core@.@.";
+  let geo dcfg =
+    E.geomean
+      (List.map
+         (fun b -> E.normalized session ~spec_model:Policy.Control b dcfg)
+         (specint ?benches ()))
+  in
+  let p v = Printf.sprintf "%.1f%%" ((v -. 1.0) *. 100.0) in
+  Textplot.table
+    ~header:[ "defense"; "overhead under CONTROL" ]
+    [
+      [ "STT"; p (geo E.cfg_stt) ];
+      [ "PROTEAN-Track-ARCH"; p (geo (E.protean_cfg `Track Protcc.P_arch)) ];
+      [ "SPT"; p (geo E.cfg_spt) ];
+      [ "PROTEAN-Track-CT"; p (geo (E.protean_cfg `Track Protcc.P_ct)) ];
+    ];
+  Format.printf "@."
+
+(* Section IX-A7: the runtime cost of the secure-baseline fixes — here
+   the SPT 32-bit-untaint performance fix, plus the squash-bug fix cost
+   measured by running with the bug re-enabled. *)
+let bugfix_cost ?benches session =
+  Format.printf
+    "Secure-baseline fix costs (Section IX-A7): SPEC2017int, P-core@.@.";
+  let geo ?squash_bug dcfg =
+    E.geomean
+      (List.map
+         (fun b ->
+           let r = E.run session (E.spec ?squash_bug b dcfg) in
+           let u = E.run session (E.spec b E.cfg_unsafe) in
+           r.E.cycles /. u.E.cycles)
+         (specint ?benches ()))
+  in
+  let p v = Printf.sprintf "%.3f" v in
+  let spt_nofix = { E.label = "SPT-no-w32-fix"; defense = Defense.spt_no_w32_fix; pass = None } in
+  (* The w32 fix only matters where 32-bit register writes feed
+     transmitters; SPECint kernels barely use them, so the dedicated
+     microbenchmark is reported alongside. *)
+  let micro = List.hd Suite.micro in
+  let micro_norm dcfg = E.normalized session micro dcfg in
+  Textplot.table
+    ~header:[ "configuration"; "normalized runtime" ]
+    [
+      [ "SPT (fixed)"; p (geo E.cfg_spt) ];
+      [ "SPT without 32-bit untaint fix"; p (geo spt_nofix) ];
+      [ "SPT (fixed), w32-index micro"; p (micro_norm E.cfg_spt) ];
+      [ "SPT no-fix, w32-index micro"; p (micro_norm spt_nofix) ];
+      [ "STT (squash fix applied)"; p (geo E.cfg_stt) ];
+      [ "STT with pending-squash bug"; p (geo ~squash_bug:true E.cfg_stt) ];
+      [ "SPT-SB (squash fix applied)"; p (geo E.cfg_spt_sb) ];
+      [ "SPT-SB with pending-squash bug"; p (geo ~squash_bug:true E.cfg_spt_sb) ];
+    ];
+  Format.printf "@."
+
+(* Section IV-C2a: the protection-bit storage/area model. *)
+let area_report () =
+  Format.printf "L1D protection-bit storage (Section IV-C2a)@.@.";
+  let row (cfg : Config.t) =
+    let kib = cfg.Config.l1d.Config.size_kib in
+    [
+      cfg.Config.name;
+      Printf.sprintf "%d KiB" kib;
+      Printf.sprintf "%d KiB" (kib / 8);
+      "12.5%";
+    ]
+  in
+  Textplot.table
+    ~header:[ "core"; "L1D"; "protection bits"; "bit overhead" ]
+    [ row Config.p_core; row Config.e_core ];
+  Format.printf
+    "(one protection bit per data byte; the paper's Cacti estimate puts the \
+     corresponding area overhead at ~1.4%% of the L1D macro)@.@."

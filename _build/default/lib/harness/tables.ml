@@ -1,0 +1,291 @@
+(* Generators for the paper's results tables.
+
+   Each function regenerates one table of the evaluation from fresh
+   simulations (Section VIII/IX); `~benches` narrows the benchmark set
+   (the artifact's --bench flag), and the bench harness uses the same
+   entry points with scaled-down inputs. *)
+
+open Protean_isa
+module E = Experiment
+module Suite = Protean_workloads.Suite
+module Protcc = Protean_protcc.Protcc
+module Config = Protean_ooo.Config
+module Defense = Protean_defense.Defense
+
+let fmt_norm v = Printf.sprintf "%.3f" v
+
+let filter_benches names benches =
+  match names with
+  | None -> benches
+  | Some ns -> List.filter (fun (b : Suite.benchmark) -> List.mem b.Suite.name ns) benches
+
+(* The (baseline, pass) pairing per class, per Table I/IV/V. *)
+let class_rows =
+  [
+    (Program.Arch, E.cfg_stt, Protcc.P_arch);
+    (Program.Cts, E.cfg_spt, Protcc.P_cts);
+    (Program.Ct, E.cfg_spt, Protcc.P_ct);
+    (Program.Unr, E.cfg_spt_sb, Protcc.P_unr);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Table IV: geomean normalized runtimes on SPEC2017 and PARSEC for    *)
+(* all eight PROTEAN single-class configurations and their baselines.  *)
+(* ------------------------------------------------------------------ *)
+
+let table_iv ?benches session =
+  let spec = filter_benches benches Suite.spec2017 in
+  let parsec = filter_benches benches Suite.parsec in
+  let geo benches cfg config =
+    E.geomean (List.map (fun b -> E.normalized session ~config b cfg) benches)
+  in
+  Format.printf
+    "Table IV: geomean normalized runtime (SPEC2017 P/E-core, PARSEC)@.@.";
+  List.iter
+    (fun (klass, baseline, pass) ->
+      let delay = E.protean_cfg `Delay pass in
+      let track = E.protean_cfg `Track pass in
+      Format.printf "-- class %s --@." (Program.string_of_klass klass);
+      Textplot.table
+        ~header:[ ""; baseline.E.label; delay.E.label; track.E.label ]
+        [
+          [
+            "SPEC2017 P-core";
+            fmt_norm (geo spec baseline Config.p_core);
+            fmt_norm (geo spec delay Config.p_core);
+            fmt_norm (geo spec track Config.p_core);
+          ];
+          [
+            "SPEC2017 E-core";
+            fmt_norm (geo spec baseline Config.e_core);
+            fmt_norm (geo spec delay Config.e_core);
+            fmt_norm (geo spec track Config.e_core);
+          ];
+          [
+            "PARSEC";
+            fmt_norm (geo parsec baseline Config.p_core);
+            fmt_norm (geo parsec delay Config.p_core);
+            fmt_norm (geo parsec track Config.p_core);
+          ];
+        ];
+      Format.printf "@.")
+    class_rows
+
+(* ------------------------------------------------------------------ *)
+(* Table V: per-benchmark normalized runtimes for the single-class     *)
+(* suites and multi-class nginx, on a P-core.                          *)
+(* ------------------------------------------------------------------ *)
+
+let suite_rows =
+  [
+    ("ARCH-Wasm", Suite.arch_wasm, E.cfg_stt, Some Protcc.P_arch);
+    ("CTS-Crypto", Suite.cts_crypto, E.cfg_spt, Some Protcc.P_cts);
+    ("CT-Crypto", Suite.ct_crypto, E.cfg_spt, Some Protcc.P_ct);
+    ("UNR-Crypto", Suite.unr_crypto, E.cfg_spt_sb, Some Protcc.P_unr);
+    ("Multi-Class Web Server", Suite.nginx, E.cfg_spt_sb, None);
+  ]
+
+let protean_cfgs_for pass =
+  match pass with
+  | Some p -> (E.protean_cfg `Delay p, E.protean_cfg `Track p)
+  | None -> (E.protean_multiclass `Delay, E.protean_multiclass `Track)
+
+let table_v ?benches session =
+  Format.printf
+    "Table V: normalized runtime on single-class and multi-class workloads \
+     (P-core)@.@.";
+  List.iter
+    (fun (suite_name, suite, baseline, pass) ->
+      let suite = filter_benches benches suite in
+      if suite <> [] then begin
+        let delay, track = protean_cfgs_for pass in
+        let multiclass = pass = None in
+        let rows =
+          List.map
+            (fun (b : Suite.benchmark) ->
+              [
+                b.Suite.name;
+                fmt_norm (E.normalized session b baseline);
+                fmt_norm (E.normalized session ~multiclass b delay);
+                fmt_norm (E.normalized session ~multiclass b track);
+              ])
+            suite
+        in
+        let geo cfg multiclass =
+          E.geomean
+            (List.map
+               (fun b ->
+                 E.normalized session ~multiclass b cfg)
+               suite)
+        in
+        let rows =
+          rows
+          @ [
+              [
+                "geomean";
+                fmt_norm (geo baseline false);
+                fmt_norm (geo delay multiclass);
+                fmt_norm (geo track multiclass);
+              ];
+            ]
+        in
+        Format.printf "-- %s --@." suite_name;
+        Textplot.table
+          ~header:[ "benchmark"; baseline.E.label; "PROTEAN-Delay"; "PROTEAN-Track" ]
+          rows;
+        Format.printf "@."
+      end)
+    suite_rows
+
+(* ------------------------------------------------------------------ *)
+(* Table I: the overhead summary by targeted class.                    *)
+(* ------------------------------------------------------------------ *)
+
+let pct v = Printf.sprintf "%.0f%%" ((v -. 1.0) *. 100.0)
+
+let table_i ?benches session =
+  Format.printf
+    "Table I: runtime overhead of securing each vulnerable-code class with \
+     the most performant defense that secures it@.@.";
+  let geo_suite suite cfg multiclass =
+    let suite = filter_benches benches suite in
+    E.geomean (List.map (fun b -> E.normalized session ~multiclass b cfg) suite)
+  in
+  let rows =
+    List.map
+      (fun (suite_name, suite, baseline, pass) ->
+        let suite' = filter_benches benches suite in
+        if suite' = [] then [ suite_name; "-"; "-"; "-" ]
+        else
+          let delay, track = protean_cfgs_for pass in
+          let multiclass = pass = None in
+          [
+            suite_name;
+            pct (geo_suite suite baseline false);
+            pct (geo_suite suite delay multiclass);
+            pct (geo_suite suite track multiclass);
+          ])
+      suite_rows
+  in
+  Textplot.table
+    ~header:[ "class"; "best secure baseline"; "PROTEAN-Delay"; "PROTEAN-Track" ]
+    rows;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Table II: AMuLeT* contract violations.                              *)
+(* ------------------------------------------------------------------ *)
+
+module Fuzz = Protean_amulet.Fuzz
+module Gen = Protean_amulet.Gen
+
+type fuzz_row = {
+  contract : string;
+  instrumentation : string;
+  campaign : Fuzz.campaign;
+}
+
+let fuzz_rows ~programs ~inputs =
+  let base c = { Fuzz.default_campaign with Fuzz.programs; inputs_per_program = inputs; seed = 7; adversary = c } in
+  let with_adv c = base c in
+  List.concat_map
+    (fun adversary ->
+      [
+        {
+          contract = "UNPROT-SEQ";
+          instrumentation = "ProtCC-RAND";
+          campaign =
+            {
+              (with_adv adversary) with
+              Fuzz.mode_of = Fuzz.unprot_seq;
+              (* ARCH-style generation: architecturally secret-free, so
+                 the random PROT prefixes do not expose secret data and
+                 test pairs stay contract-equivalent — the transient
+                 gadget leaks are what the contract must catch. *)
+              gen_klass = Gen.G_arch;
+              instrumentation = Fuzz.I_pass (Protcc.P_rand (11, 0.5));
+            };
+        };
+        {
+          contract = "ARCH-SEQ";
+          instrumentation = "ProtCC-ARCH";
+          campaign =
+            {
+              (with_adv adversary) with
+              Fuzz.mode_of = Fuzz.arch_seq;
+              gen_klass = Gen.G_arch;
+              instrumentation = Fuzz.I_none;
+            };
+        };
+        {
+          contract = "CTS-SEQ";
+          instrumentation = "ProtCC-CTS";
+          campaign =
+            {
+              (with_adv adversary) with
+              Fuzz.mode_of = Fuzz.cts_seq;
+              gen_klass = Gen.G_ct;
+              instrumentation = Fuzz.I_pass Protcc.P_cts;
+            };
+        };
+        {
+          contract = "CT-SEQ";
+          instrumentation = "ProtCC-CT";
+          campaign =
+            {
+              (with_adv adversary) with
+              Fuzz.mode_of = Fuzz.ct_seq;
+              gen_klass = Gen.G_ct;
+              instrumentation = Fuzz.I_pass Protcc.P_ct;
+            };
+        };
+        {
+          contract = "CT-SEQ";
+          instrumentation = "ProtCC-UNR";
+          campaign =
+            {
+              (with_adv adversary) with
+              Fuzz.mode_of = Fuzz.ct_seq;
+              gen_klass = Gen.G_unr;
+              instrumentation = Fuzz.I_pass Protcc.P_unr;
+            };
+        };
+      ])
+    [ Fuzz.Cache_tlb; Fuzz.Timing ]
+
+(* Merge the two adversaries' outcomes per (contract, pass) row, like the
+   paper's Table II. *)
+let table_ii ?(programs = 10) ?(inputs = 4) () =
+  Format.printf
+    "Table II: AMuLeT*-detected contract violations (true positives, false \
+     positives in parentheses)@.@.";
+  let rows = fuzz_rows ~programs ~inputs in
+  let defenses =
+    [ ("Unsafe", Defense.unsafe); ("ProtDelay", Defense.prot_delay); ("ProtTrack", Defense.prot_track) ]
+  in
+  (* fold both adversaries per (contract,instrumentation) *)
+  let keys =
+    List.sort_uniq compare (List.map (fun r -> (r.contract, r.instrumentation)) rows)
+  in
+  let cells =
+    List.map
+      (fun (contract, instr) ->
+        let rs = List.filter (fun r -> r.contract = contract && r.instrumentation = instr) rows in
+        let per_defense =
+          List.map
+            (fun (_, d) ->
+              let totals =
+                List.map (fun r -> Fuzz.run r.campaign d) rs
+              in
+              let v = List.fold_left (fun a o -> a + o.Fuzz.violations) 0 totals in
+              let fp = List.fold_left (fun a o -> a + o.Fuzz.false_positives) 0 totals in
+              Printf.sprintf "%d (%d)" v fp)
+            defenses
+        in
+        (contract, instr, per_defense))
+      keys
+  in
+  Textplot.table
+    ~header:([ "contract"; "instrumentation" ] @ List.map fst defenses)
+    (List.map (fun (c, i, cs) -> c :: i :: cs) cells);
+  Format.printf "@."

@@ -1,0 +1,67 @@
+(* Minimal text rendering for tables and figures: aligned tables,
+   horizontal bar charts (Fig. 6) and line series (Fig. 5). *)
+
+let pad width s =
+  if String.length s >= width then s else s ^ String.make (width - String.length s) ' '
+
+let pad_left width s =
+  if String.length s >= width then s else String.make (width - String.length s) ' ' ^ s
+
+(* Render a table: header row + data rows, auto-sized columns. *)
+let table ?(out = Format.std_formatter) ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let line r =
+    String.concat "  "
+      (List.mapi (fun i cell -> if i = 0 then pad widths.(i) cell else pad_left widths.(i) cell) r)
+  in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  Format.fprintf out "%s@." (line header);
+  Format.fprintf out "%s@." sep;
+  List.iter (fun r -> Format.fprintf out "%s@." (line r)) rows
+
+(* Horizontal bar chart of (label, series of values); one bar group per
+   label, one bar per series. *)
+let bars ?(out = Format.std_formatter) ?(width = 50) ~series_names groups =
+  let vmax =
+    List.fold_left
+      (fun m (_, vs) -> List.fold_left max m vs)
+      0.0 groups
+  in
+  let scale v = int_of_float (v /. vmax *. float_of_int width) in
+  let lwidth =
+    List.fold_left (fun m (l, _) -> max m (String.length l)) 8 groups
+  in
+  let swidth =
+    List.fold_left (fun m s -> max m (String.length s)) 4 series_names
+  in
+  List.iter
+    (fun (label, vs) ->
+      List.iteri
+        (fun i v ->
+          let name = List.nth series_names i in
+          Format.fprintf out "%s  %s |%s %.3f@."
+            (pad lwidth (if i = 0 then label else ""))
+            (pad swidth name)
+            (String.make (scale v) '#')
+            v)
+        vs;
+      Format.fprintf out "@.")
+    groups
+
+(* Line series: x values with one column of y per series. *)
+let series ?(out = Format.std_formatter) ~xlabel ~series_names points =
+  let header = xlabel :: series_names in
+  let rows =
+    List.map
+      (fun (x, ys) -> x :: List.map (fun y -> Printf.sprintf "%.4f" y) ys)
+      points
+  in
+  table ~out ~header rows

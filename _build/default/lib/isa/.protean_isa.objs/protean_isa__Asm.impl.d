@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Buffer Hashtbl Insn Int64 List Program String

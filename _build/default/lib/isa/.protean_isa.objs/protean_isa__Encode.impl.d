@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Array Buffer Bytes Char Insn Int32 List Printf Reg String

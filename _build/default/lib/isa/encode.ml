@@ -1,0 +1,355 @@
+(* Binary encoding of Protean ISA instructions.
+
+   ProtISA is realized (as on x86, Section IV) with a one-byte instruction
+   prefix: a leading [prot_prefix] byte marks the instruction PROT-prefixed.
+   The rest is a simple variable-length format: an opcode byte followed by
+   the operand fields.  Code is stored as the concatenation of encoded
+   instructions; [decode_program] recovers the instruction array. *)
+
+let prot_prefix = 0x50
+
+let width_code = function Insn.W8 -> 0 | Insn.W32 -> 1 | Insn.W64 -> 2
+
+let width_of_code = function
+  | 0 -> Insn.W8
+  | 1 -> Insn.W32
+  | 2 -> Insn.W64
+  | n -> invalid_arg (Printf.sprintf "Encode: bad width code %d" n)
+
+let binop_code = function
+  | Insn.Add -> 0
+  | Insn.Sub -> 1
+  | Insn.And -> 2
+  | Insn.Or -> 3
+  | Insn.Xor -> 4
+  | Insn.Shl -> 5
+  | Insn.Shr -> 6
+  | Insn.Sar -> 7
+  | Insn.Mul -> 8
+
+let binop_of_code = function
+  | 0 -> Insn.Add
+  | 1 -> Insn.Sub
+  | 2 -> Insn.And
+  | 3 -> Insn.Or
+  | 4 -> Insn.Xor
+  | 5 -> Insn.Shl
+  | 6 -> Insn.Shr
+  | 7 -> Insn.Sar
+  | 8 -> Insn.Mul
+  | n -> invalid_arg (Printf.sprintf "Encode: bad binop code %d" n)
+
+let cond_code = function
+  | Insn.Z -> 0
+  | Insn.Nz -> 1
+  | Insn.Lt -> 2
+  | Insn.Le -> 3
+  | Insn.Gt -> 4
+  | Insn.Ge -> 5
+  | Insn.B -> 6
+  | Insn.Be -> 7
+  | Insn.A -> 8
+  | Insn.Ae -> 9
+
+let cond_of_code = function
+  | 0 -> Insn.Z
+  | 1 -> Insn.Nz
+  | 2 -> Insn.Lt
+  | 3 -> Insn.Le
+  | 4 -> Insn.Gt
+  | 5 -> Insn.Ge
+  | 6 -> Insn.B
+  | 7 -> Insn.Be
+  | 8 -> Insn.A
+  | 9 -> Insn.Ae
+  | n -> invalid_arg (Printf.sprintf "Encode: bad cond code %d" n)
+
+(* Opcode bytes. *)
+let op_nop = 0
+let op_halt = 1
+let op_mov = 2
+let op_lea = 3
+let op_load = 4
+let op_store = 5
+let op_binop = 6
+let op_unop = 7
+let op_div = 8
+let op_rem = 9
+let op_cmp = 10
+let op_test = 11
+let op_setcc = 12
+let op_cmov = 13
+let op_jcc = 14
+let op_jmp = 15
+let op_jmpi = 16
+let op_call = 17
+let op_ret = 18
+let op_push = 19
+let op_pop = 20
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let put_reg b r = Buffer.add_uint8 b (Reg.to_int r)
+
+let put_opt_reg b = function
+  | Some r -> Buffer.add_uint8 b (Reg.to_int r)
+  | None -> Buffer.add_uint8 b 0xff
+
+let put_src b = function
+  | Insn.Reg r ->
+      Buffer.add_uint8 b 0;
+      put_reg b r
+  | Insn.Imm v ->
+      Buffer.add_uint8 b 1;
+      Buffer.add_int64_le b v
+
+let put_mem b (m : Insn.mem) =
+  put_opt_reg b m.base;
+  put_opt_reg b m.index;
+  Buffer.add_uint8 b m.scale;
+  Buffer.add_int32_le b (Int32.of_int m.disp)
+
+let put_target b t = Buffer.add_int32_le b (Int32.of_int t)
+
+let encode_op b op =
+  let u8 = Buffer.add_uint8 b in
+  match op with
+  | Insn.Nop -> u8 op_nop
+  | Insn.Halt -> u8 op_halt
+  | Insn.Mov (w, d, s) ->
+      u8 op_mov;
+      u8 (width_code w);
+      put_reg b d;
+      put_src b s
+  | Insn.Lea (d, m) ->
+      u8 op_lea;
+      put_reg b d;
+      put_mem b m
+  | Insn.Load (w, d, m) ->
+      u8 op_load;
+      u8 (width_code w);
+      put_reg b d;
+      put_mem b m
+  | Insn.Store (w, m, s) ->
+      u8 op_store;
+      u8 (width_code w);
+      put_mem b m;
+      put_src b s
+  | Insn.Binop (o, d, s) ->
+      u8 op_binop;
+      u8 (binop_code o);
+      put_reg b d;
+      put_src b s
+  | Insn.Unop (o, d) ->
+      u8 op_unop;
+      u8 (match o with Insn.Not -> 0 | Insn.Neg -> 1);
+      put_reg b d
+  | Insn.Div (d, n, s) ->
+      u8 op_div;
+      put_reg b d;
+      put_reg b n;
+      put_src b s
+  | Insn.Rem (d, n, s) ->
+      u8 op_rem;
+      put_reg b d;
+      put_reg b n;
+      put_src b s
+  | Insn.Cmp (r, s) ->
+      u8 op_cmp;
+      put_reg b r;
+      put_src b s
+  | Insn.Test (r, s) ->
+      u8 op_test;
+      put_reg b r;
+      put_src b s
+  | Insn.Setcc (c, d) ->
+      u8 op_setcc;
+      u8 (cond_code c);
+      put_reg b d
+  | Insn.Cmov (c, d, s) ->
+      u8 op_cmov;
+      u8 (cond_code c);
+      put_reg b d;
+      put_src b s
+  | Insn.Jcc (c, t) ->
+      u8 op_jcc;
+      u8 (cond_code c);
+      put_target b t
+  | Insn.Jmp t ->
+      u8 op_jmp;
+      put_target b t
+  | Insn.Jmpi r ->
+      u8 op_jmpi;
+      put_reg b r
+  | Insn.Call t ->
+      u8 op_call;
+      put_target b t
+  | Insn.Ret -> u8 op_ret
+  | Insn.Push s ->
+      u8 op_push;
+      put_src b s
+  | Insn.Pop d ->
+      u8 op_pop;
+      put_reg b d
+
+let encode_insn b (insn : Insn.t) =
+  if insn.prot then Buffer.add_uint8 b prot_prefix;
+  encode_op b insn.op
+
+let encode_program code =
+  let b = Buffer.create (16 * Array.length code) in
+  Array.iter (encode_insn b) code;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { s : string; mutable pos : int }
+
+let byte c =
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_reg c = Reg.of_int (byte c)
+
+let get_opt_reg c =
+  match byte c with 0xff -> None | n -> Some (Reg.of_int n)
+
+let get_i64 c =
+  let v = String.get_int64_le c.s c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let get_i32 c =
+  let v = Int32.to_int (String.get_int32_le c.s c.pos) in
+  c.pos <- c.pos + 4;
+  v
+
+let get_src c =
+  match byte c with
+  | 0 -> Insn.Reg (get_reg c)
+  | 1 -> Insn.Imm (get_i64 c)
+  | n -> invalid_arg (Printf.sprintf "Encode: bad src tag %d" n)
+
+let get_mem c =
+  let base = get_opt_reg c in
+  let index = get_opt_reg c in
+  let scale = byte c in
+  let disp = get_i32 c in
+  { Insn.base; index; scale; disp }
+
+let decode_op c =
+  let opc = byte c in
+  if opc = op_nop then Insn.Nop
+  else if opc = op_halt then Insn.Halt
+  else if opc = op_mov then
+    let w = width_of_code (byte c) in
+    let d = get_reg c in
+    Insn.Mov (w, d, get_src c)
+  else if opc = op_lea then
+    let d = get_reg c in
+    Insn.Lea (d, get_mem c)
+  else if opc = op_load then
+    let w = width_of_code (byte c) in
+    let d = get_reg c in
+    Insn.Load (w, d, get_mem c)
+  else if opc = op_store then
+    let w = width_of_code (byte c) in
+    let m = get_mem c in
+    Insn.Store (w, m, get_src c)
+  else if opc = op_binop then
+    let o = binop_of_code (byte c) in
+    let d = get_reg c in
+    Insn.Binop (o, d, get_src c)
+  else if opc = op_unop then
+    let o = match byte c with 0 -> Insn.Not | _ -> Insn.Neg in
+    Insn.Unop (o, get_reg c)
+  else if opc = op_div then
+    let d = get_reg c in
+    let n = get_reg c in
+    Insn.Div (d, n, get_src c)
+  else if opc = op_rem then
+    let d = get_reg c in
+    let n = get_reg c in
+    Insn.Rem (d, n, get_src c)
+  else if opc = op_cmp then
+    let r = get_reg c in
+    Insn.Cmp (r, get_src c)
+  else if opc = op_test then
+    let r = get_reg c in
+    Insn.Test (r, get_src c)
+  else if opc = op_setcc then
+    let cd = cond_of_code (byte c) in
+    Insn.Setcc (cd, get_reg c)
+  else if opc = op_cmov then
+    let cd = cond_of_code (byte c) in
+    let d = get_reg c in
+    Insn.Cmov (cd, d, get_src c)
+  else if opc = op_jcc then
+    let cd = cond_of_code (byte c) in
+    Insn.Jcc (cd, get_i32 c)
+  else if opc = op_jmp then Insn.Jmp (get_i32 c)
+  else if opc = op_jmpi then Insn.Jmpi (get_reg c)
+  else if opc = op_call then Insn.Call (get_i32 c)
+  else if opc = op_ret then Insn.Ret
+  else if opc = op_push then Insn.Push (get_src c)
+  else if opc = op_pop then Insn.Pop (get_reg c)
+  else invalid_arg (Printf.sprintf "Encode: bad opcode %d" opc)
+
+let decode_insn c =
+  let prot = Char.code c.s.[c.pos] = prot_prefix in
+  if prot then c.pos <- c.pos + 1;
+  let op = decode_op c in
+  { Insn.op; prot }
+
+let decode_program s =
+  let c = { s; pos = 0 } in
+  let rec loop acc =
+    if c.pos >= String.length s then Array.of_list (List.rev acc)
+    else loop (decode_insn c :: acc)
+  in
+  loop []
+
+let encoded_size insn =
+  let b = Buffer.create 16 in
+  encode_insn b insn;
+  Buffer.length b
+
+(* ------------------------------------------------------------------ *)
+(* Metadata-table encoding (prefix-less ISAs)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper notes ProtISA extends to ISAs without instruction prefixes
+   by storing PROT bits in a separate instruction metadata table
+   (Section IV).  Encode the instructions prefix-free and pack their
+   PROT bits one-per-instruction into a side table. *)
+let encode_metadata_table code =
+  let b = Buffer.create (16 * Array.length code) in
+  Array.iter (fun (insn : Insn.t) -> encode_op b insn.Insn.op) code;
+  let n = Array.length code in
+  let table = Bytes.make ((n + 7) / 8) '\000' in
+  Array.iteri
+    (fun i (insn : Insn.t) ->
+      if insn.Insn.prot then
+        Bytes.set table (i / 8)
+          (Char.chr (Char.code (Bytes.get table (i / 8)) lor (1 lsl (i mod 8)))))
+    code;
+  (Buffer.contents b, Bytes.to_string table)
+
+let decode_with_metadata code table =
+  let c = { s = code; pos = 0 } in
+  let rec loop i acc =
+    if c.pos >= String.length code then Array.of_list (List.rev acc)
+    else
+      let op = decode_op c in
+      let prot =
+        i / 8 < String.length table
+        && Char.code table.[i / 8] land (1 lsl (i mod 8)) <> 0
+      in
+      loop (i + 1) ({ Insn.op; prot } :: acc)
+  in
+  loop 0 []

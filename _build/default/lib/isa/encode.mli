@@ -1,0 +1,31 @@
+(** Binary encoding of Protean ISA instructions.
+
+    ProtISA is realized, as on x86 (Section IV-B), with a one-byte
+    instruction prefix: a leading {!prot_prefix} byte marks the
+    instruction PROT-prefixed.  The rest is a variable-length format —
+    opcode byte followed by operand fields.
+
+    For ISAs without instruction prefixes the paper proposes storing
+    protections in a separate instruction metadata table (Section IV);
+    {!encode_metadata_table}/{!decode_with_metadata} implement that
+    alternative encoding: prefix-free instruction bytes plus a bit-packed
+    side table of PROT bits. *)
+
+val prot_prefix : int
+(** The PROT prefix byte. *)
+
+val encode_insn : Buffer.t -> Insn.t -> unit
+val encode_program : Insn.t array -> string
+val decode_program : string -> Insn.t array
+(** Inverse of {!encode_program}.  Raises [Invalid_argument] on malformed
+    input. *)
+
+val encoded_size : Insn.t -> int
+(** Size in bytes of one encoded instruction (PROT prefix included). *)
+
+val encode_metadata_table : Insn.t array -> string * string
+(** [(code, table)]: prefix-free instruction bytes plus the bit-packed
+    PROT metadata table (one bit per instruction), for prefix-less ISAs. *)
+
+val decode_with_metadata : string -> string -> Insn.t array
+(** Inverse of {!encode_metadata_table}. *)

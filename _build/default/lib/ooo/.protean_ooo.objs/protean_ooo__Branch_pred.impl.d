@@ -1,0 +1,1 @@
+lib/ooo/branch_pred.ml: Array Config Tage

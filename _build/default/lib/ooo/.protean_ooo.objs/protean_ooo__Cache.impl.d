@@ -1,0 +1,1 @@
+lib/ooo/cache.ml: Array Bytes Config Int64 Option

@@ -1,0 +1,1 @@
+lib/ooo/cache.mli: Config

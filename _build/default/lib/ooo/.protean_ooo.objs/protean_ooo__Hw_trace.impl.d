@@ -1,0 +1,1 @@
+lib/ooo/hw_trace.ml: Format List

@@ -1,0 +1,1 @@
+lib/ooo/multicore.ml: Array Cache Config Option Pipeline Policy Protean_isa

@@ -1,0 +1,1 @@
+lib/ooo/multicore.mli: Config Pipeline Policy Protean_isa

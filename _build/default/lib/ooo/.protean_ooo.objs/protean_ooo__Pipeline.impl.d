@@ -1,0 +1,1 @@
+lib/ooo/pipeline.ml: Array Branch_pred Bytes Cache Config Hw_trace Insn Int64 List Memory Option Policy Printf Program Protean_arch Protean_isa Protset Queue Reg Rob_entry Sem Stats String Tlb

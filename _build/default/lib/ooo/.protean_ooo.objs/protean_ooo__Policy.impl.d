@@ -1,0 +1,1 @@
+lib/ooo/policy.ml: Array Config Rob_entry Stats

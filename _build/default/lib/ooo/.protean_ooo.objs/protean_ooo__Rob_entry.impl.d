@@ -1,0 +1,1 @@
+lib/ooo/rob_entry.ml: Array Insn Protean_isa Reg

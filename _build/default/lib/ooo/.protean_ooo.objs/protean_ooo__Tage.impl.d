@@ -1,0 +1,1 @@
+lib/ooo/tage.ml: Array

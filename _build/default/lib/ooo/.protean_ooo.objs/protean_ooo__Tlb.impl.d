@@ -1,0 +1,1 @@
+lib/ooo/tlb.ml: Array Int64

@@ -1,0 +1,75 @@
+(* Branch prediction: a bimodal (2-bit counter) direction predictor, a
+   branch target buffer for indirect jumps, and a return stack buffer.
+   Mispredictions are what open the transient windows Spectre attacks
+   exploit, so the predictor is deliberately trainable. *)
+
+type t = {
+  cfg : Config.bp_cfg;
+  counters : int array; (* 2-bit saturating counters *)
+  tage : Tage.t option; (* optional TAGE backing (Table III) *)
+  btb_tags : int array;
+  btb_targets : int array;
+  rsb : int array;
+  mutable rsb_top : int; (* number of valid entries *)
+}
+
+let create (cfg : Config.bp_cfg) =
+  {
+    cfg;
+    counters = Array.make cfg.bimodal_entries 1 (* weakly not-taken *);
+    tage = (if cfg.Config.use_tage then Some (Tage.create ()) else None);
+    btb_tags = Array.make cfg.btb_entries (-1);
+    btb_targets = Array.make cfg.btb_entries 0;
+    rsb = Array.make cfg.rsb_depth 0;
+    rsb_top = 0;
+  }
+
+let bim_index t pc = pc land (t.cfg.bimodal_entries - 1)
+let btb_index t pc = pc land (t.cfg.btb_entries - 1)
+
+let predict_direction t pc =
+  match t.tage with
+  | Some tg ->
+      let taken = Tage.predict tg pc in
+      Tage.push_history tg taken (* speculative history update at fetch *);
+      taken
+  | None -> t.counters.(bim_index t pc) >= 2
+
+let update_direction t pc taken =
+  (match t.tage with Some tg -> Tage.update tg pc taken | None -> ());
+  let i = bim_index t pc in
+  let c = t.counters.(i) in
+  t.counters.(i) <- (if taken then min 3 (c + 1) else max 0 (c - 1))
+
+let predict_indirect t pc =
+  let i = btb_index t pc in
+  if t.btb_tags.(i) = pc then Some t.btb_targets.(i) else None
+
+let update_indirect t pc target =
+  let i = btb_index t pc in
+  t.btb_tags.(i) <- pc;
+  t.btb_targets.(i) <- target
+
+let rsb_push t ret_pc =
+  if t.rsb_top < t.cfg.rsb_depth then begin
+    t.rsb.(t.rsb_top) <- ret_pc;
+    t.rsb_top <- t.rsb_top + 1
+  end
+  else begin
+    (* Overflow: shift (oldest entry lost). *)
+    Array.blit t.rsb 1 t.rsb 0 (t.cfg.rsb_depth - 1);
+    t.rsb.(t.cfg.rsb_depth - 1) <- ret_pc
+  end
+
+let rsb_pop t =
+  if t.rsb_top > 0 then begin
+    t.rsb_top <- t.rsb_top - 1;
+    Some t.rsb.(t.rsb_top)
+  end
+  else None
+
+(* Speculative RSB and TAGE-history state is not checkpointed: a squash
+   simply clears it, like the simple recovery schemes of small cores. *)
+let rsb_clear t =
+  t.rsb_top <- 0;
+  match t.tage with Some tg -> Tage.clear_history tg | None -> ()

@@ -1,0 +1,24 @@
+(** Branch prediction: a bimodal (2-bit counter) direction predictor —
+    optionally backed by the TAGE predictor of Table III
+    ({!Config.with_tage}) — a branch target buffer for indirect jumps,
+    and a return stack buffer.
+
+    Mispredictions are what open the transient windows Spectre attacks
+    exploit, so the predictor is deliberately trainable; counters start
+    weakly not-taken so unseen forward branches fall through. *)
+
+type t
+
+val create : Config.bp_cfg -> t
+
+val predict_direction : t -> int -> bool
+val update_direction : t -> int -> bool -> unit
+
+val predict_indirect : t -> int -> int option
+val update_indirect : t -> int -> int -> unit
+
+val rsb_push : t -> int -> unit
+val rsb_pop : t -> int option
+
+val rsb_clear : t -> unit
+(** Speculative RSB state is not checkpointed: a squash clears it. *)

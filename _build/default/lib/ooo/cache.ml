@@ -1,0 +1,144 @@
+(* Set-associative cache with LRU replacement and, for the L1D, the
+   per-byte protection bits of ProtISA's memory ProtSet tracking
+   (Section IV-C2a).
+
+   The cache models timing and tag state only; data always comes from the
+   memory module (architectural state) or the LSQ.  Protection bits are
+   attached to L1D lines: a line fill starts with every byte protected
+   (evictions make ProtISA forget what was unprotected), committing
+   unprefixed loads clear the bits of accessed bytes, and stores write
+   their data operand's protection. *)
+
+type line = {
+  mutable tag : int64;
+  mutable valid : bool;
+  mutable lru : int; (* higher = more recently used *)
+  mutable prot : Bytes.t; (* one byte per line byte: 1 = protected *)
+}
+
+type t = {
+  cfg : Config.cache_cfg;
+  sets : line array array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create (cfg : Config.cache_cfg) =
+  let nsets = Config.cache_sets cfg in
+  let sets =
+    Array.init nsets (fun _ ->
+        Array.init cfg.ways (fun _ ->
+            {
+              tag = 0L;
+              valid = false;
+              lru = 0;
+              prot = Bytes.make cfg.line '\001';
+            }))
+  in
+  { cfg; sets; clock = 0; accesses = 0; misses = 0 }
+
+let line_bits t =
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+  log2 t.cfg.line
+
+let set_index t addr =
+  let nsets = Array.length t.sets in
+  Int64.to_int
+    (Int64.rem
+       (Int64.shift_right_logical addr (line_bits t))
+       (Int64.of_int nsets))
+
+let tag_of t addr = Int64.shift_right_logical addr (line_bits t)
+let line_addr t addr =
+  Int64.shift_left (tag_of t addr) (line_bits t)
+let line_offset t addr = Int64.to_int (Int64.logand addr (Int64.of_int (t.cfg.line - 1)))
+
+let find t addr =
+  let set = t.sets.(set_index t addr) in
+  let tag = tag_of t addr in
+  let rec loop i =
+    if i >= Array.length set then None
+    else if set.(i).valid && Int64.equal set.(i).tag tag then Some set.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+let touch t line =
+  t.clock <- t.clock + 1;
+  line.lru <- t.clock
+
+type result = {
+  hit : bool;
+  set : int;
+  tag : int64;
+  evicted : int64 option; (* line address of the victim, if any *)
+}
+
+(* Access the line containing [addr]: update LRU, allocate on miss
+   (evicting the LRU way).  Newly-filled lines have all bytes protected. *)
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  let set_idx = set_index t addr in
+  let tag = tag_of t addr in
+  match find t addr with
+  | Some line ->
+      touch t line;
+      { hit = true; set = set_idx; tag; evicted = None }
+  | None ->
+      t.misses <- t.misses + 1;
+      let set = t.sets.(set_idx) in
+      let victim =
+        Array.fold_left
+          (fun acc line ->
+            match acc with
+            | None -> Some line
+            | Some best ->
+                if (not line.valid) && best.valid then Some line
+                else if line.valid = best.valid && line.lru < best.lru then
+                  Some line
+                else acc)
+          None set
+      in
+      let line = Option.get victim in
+      let evicted =
+        if line.valid then
+          Some (Int64.shift_left line.tag (line_bits t))
+        else None
+      in
+      line.valid <- true;
+      line.tag <- tag;
+      Bytes.fill line.prot 0 t.cfg.line '\001';
+      touch t line;
+      { hit = false; set = set_idx; tag; evicted }
+
+
+let _probe t addr = find t addr
+
+(* --- Protection bits ------------------------------------------------ *)
+
+(* Are any of the [size] bytes at [addr] protected?  Bytes not present in
+   the cache are protected by definition. *)
+let protected_bytes t addr size =
+  let rec loop i =
+    if i >= size then false
+    else
+      let a = Int64.add addr (Int64.of_int i) in
+      match find t a with
+      | None -> true
+      | Some line ->
+          Bytes.get line.prot (line_offset t a) = '\001' || loop (i + 1)
+  in
+  loop 0
+
+(* Set the protection of the [size] bytes at [addr] that are present. *)
+let set_protection t addr size ~protected =
+  let v = if protected then '\001' else '\000' in
+  for i = 0 to size - 1 do
+    let a = Int64.add addr (Int64.of_int i) in
+    match find t a with
+    | None -> ()
+    | Some line -> Bytes.set line.prot (line_offset t a) v
+  done
+
+let stats t = (t.accesses, t.misses)

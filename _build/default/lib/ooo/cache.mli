@@ -1,0 +1,36 @@
+(** Set-associative cache with LRU replacement and, for the L1D, the
+    per-byte protection bits of ProtISA's memory ProtSet tracking
+    (Section IV-C2a).
+
+    The cache models timing and tag state only; data always comes from
+    the memory module or the LSQ.  A line fill starts with every byte
+    protected — evictions make ProtISA forget what was unprotected. *)
+
+type t
+
+val create : Config.cache_cfg -> t
+
+type result = {
+  hit : bool;
+  set : int;
+  tag : int64;
+  evicted : int64 option;  (** line address of the victim, if any *)
+}
+
+val access : t -> int64 -> result
+(** Access the line containing the address: LRU update, allocate on miss
+    (evicting the LRU way; new lines all-protected). *)
+
+val line_addr : t -> int64 -> int64
+val set_index : t -> int64 -> int
+val tag_of : t -> int64 -> int64
+
+val protected_bytes : t -> int64 -> int -> bool
+(** Are any of the [size] bytes at the address protected?  Bytes not
+    present in the cache are protected by definition. *)
+
+val set_protection : t -> int64 -> int -> protected:bool -> unit
+(** Set the protection of the bytes that are present in the cache. *)
+
+val stats : t -> int * int
+(** [(accesses, misses)]. *)

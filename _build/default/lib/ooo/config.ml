@@ -1,0 +1,123 @@
+(* Processor configurations.  The P-core and E-core presets follow the
+   paper's Table III (an Intel Alder Lake i9-12900KS hybrid): pipeline
+   widths, ROB/LQ/SQ sizes, predictor sizes and the cache hierarchy. *)
+
+type cache_cfg = {
+  size_kib : int;
+  ways : int;
+  line : int; (* bytes *)
+  latency : int; (* cycles on hit *)
+}
+
+type bp_cfg = {
+  bimodal_entries : int;
+  btb_entries : int;
+  rsb_depth : int;
+  use_tage : bool;
+      (* Table III names a TAGE predictor; the default configurations use
+         the bimodal tables for run-to-run comparability, and the TAGE
+         implementation can be enabled per-configuration *)
+}
+
+(* How ProtISA tracks its memory ProtSet (Section IX-A3 variants). *)
+type prot_mem_mode =
+  | Prot_mem_l1d (* protection-tagged L1D: the paper's design *)
+  | Prot_mem_none (* tagging disabled: all memory assumed protected *)
+  | Prot_mem_perfect (* idealized shadow memory tracking all of memory *)
+
+type t = {
+  name : string;
+  fetch_width : int;
+  rename_width : int;
+  issue_width : int;
+  commit_width : int;
+  rob_size : int;
+  lq_size : int;
+  sq_size : int;
+  frontend_latency : int; (* fetch-to-rename delay, cycles *)
+  l1d : cache_cfg;
+  l2 : cache_cfg;
+  l3 : cache_cfg option;
+  mem_latency : int;
+  tlb_entries : int;
+  tlb_miss_latency : int;
+  bp : bp_cfg;
+  alu_latency : int;
+  mul_latency : int;
+  div_base_latency : int;
+  load_agu_latency : int; (* address generation before the cache access *)
+  store_forward_latency : int;
+  prot_mem : prot_mem_mode;
+}
+
+let p_core =
+  {
+    name = "P-core";
+    fetch_width = 6;
+    rename_width = 6;
+    issue_width = 6;
+    commit_width = 6;
+    rob_size = 512;
+    lq_size = 192;
+    sq_size = 114;
+    frontend_latency = 4;
+    l1d = { size_kib = 48; ways = 12; line = 64; latency = 4 };
+    l2 = { size_kib = 1280; ways = 10; line = 64; latency = 14 };
+    l3 = Some { size_kib = 30 * 1024; ways = 12; line = 64; latency = 42 };
+    mem_latency = 150;
+    tlb_entries = 64;
+    tlb_miss_latency = 20;
+    bp = { bimodal_entries = 4096; btb_entries = 4096; rsb_depth = 16; use_tage = false };
+    alu_latency = 1;
+    mul_latency = 3;
+    div_base_latency = 12;
+    load_agu_latency = 1;
+    store_forward_latency = 2;
+    prot_mem = Prot_mem_l1d;
+  }
+
+let e_core =
+  {
+    p_core with
+    name = "E-core";
+    fetch_width = 5;
+    rename_width = 5;
+    issue_width = 5;
+    commit_width = 5;
+    rob_size = 256;
+    lq_size = 80;
+    sq_size = 50;
+    frontend_latency = 4;
+    l1d = { size_kib = 32; ways = 8; line = 64; latency = 4 };
+    l2 = { size_kib = 2048; ways = 8; line = 64; latency = 16 };
+    l3 = Some { size_kib = 30 * 1024; ways = 12; line = 64; latency = 42 };
+  }
+
+(* A small configuration for unit tests and fuzzing: short pipelines keep
+   test programs fast while still exercising deep speculation. *)
+let test_core =
+  {
+    p_core with
+    name = "test-core";
+    rob_size = 64;
+    lq_size = 24;
+    sq_size = 16;
+    l1d = { size_kib = 4; ways = 2; line = 64; latency = 4 };
+    l2 = { size_kib = 32; ways = 4; line = 64; latency = 12 };
+    l3 = None;
+    mem_latency = 60;
+    bp = { bimodal_entries = 64; btb_entries = 64; rsb_depth = 8; use_tage = false };
+  }
+
+let prot_mem_name = function
+  | Prot_mem_l1d -> "l1d"
+  | Prot_mem_none -> "none"
+  | Prot_mem_perfect -> "perfect"
+
+let with_prot_mem mode t =
+  { t with prot_mem = mode; name = t.name ^ "+protmem-" ^ prot_mem_name mode }
+
+let with_tage t =
+  { t with bp = { t.bp with use_tage = true }; name = t.name ^ "+tage" }
+
+let cache_sets (c : cache_cfg) = c.size_kib * 1024 / (c.line * c.ways)

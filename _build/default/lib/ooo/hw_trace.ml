@@ -1,0 +1,64 @@
+(* Attacker-visible hardware events and the two adversary models of the
+   security evaluation (Section VII-B1):
+
+   - the default AMuLeT adversary observes data-cache and TLB tag state
+     changes (the sequence of fills and evictions, without timestamps);
+   - the AMuLeT* timing-based adversary additionally observes the cycle at
+     which each committed instruction reaches each pipeline stage, squash
+     timing, and divider activity, surfacing fine-grained timing channels
+     visible to SMT receivers. *)
+
+type event =
+  | E_cache_fill of { level : int; set : int; tag : int64 }
+  | E_cache_evict of { level : int; line : int64 }
+  | E_tlb_fill of int64 (* page *)
+  | E_timing of {
+      pc : int;
+      fetch : int;
+      rename : int;
+      issue : int;
+      complete : int;
+      commit : int;
+    }
+  | E_squash of { cycle : int; flushed : int }
+  | E_machine_clear of { cycle : int }
+  | E_div_busy of { cycle : int; latency : int }
+
+type t = { mutable events : event list; mutable enabled : bool }
+
+let create ~enabled = { events = []; enabled }
+
+let record t e = if t.enabled then t.events <- e :: t.events
+
+let all t = List.rev t.events
+
+(* Projection for the default cache+TLB adversary: tag-state changes
+   only, in order, no timing. *)
+let cache_tlb_view t =
+  List.filter
+    (function
+      | E_cache_fill _ | E_cache_evict _ | E_tlb_fill _ -> true
+      | E_timing _ | E_squash _ | E_machine_clear _ | E_div_busy _ -> false)
+    (all t)
+
+(* Projection for the timing-based adversary: everything, including
+   per-stage cycles of committed instructions, squashes and divider
+   busy periods. *)
+let timing_view t = all t
+
+let view_equal a b = a = b
+
+let pp_event fmt = function
+  | E_cache_fill { level; set; tag } ->
+      Format.fprintf fmt "L%d fill set=%d tag=%Ld" level set tag
+  | E_cache_evict { level; line } ->
+      Format.fprintf fmt "L%d evict line=%Ld" level line
+  | E_tlb_fill p -> Format.fprintf fmt "TLB fill page=%Ld" p
+  | E_timing { pc; fetch; rename; issue; complete; commit } ->
+      Format.fprintf fmt "timing pc=%d f=%d r=%d i=%d x=%d c=%d" pc fetch
+        rename issue complete commit
+  | E_squash { cycle; flushed } ->
+      Format.fprintf fmt "squash cycle=%d flushed=%d" cycle flushed
+  | E_machine_clear { cycle } -> Format.fprintf fmt "machine-clear cycle=%d" cycle
+  | E_div_busy { cycle; latency } ->
+      Format.fprintf fmt "div cycle=%d lat=%d" cycle latency

@@ -1,0 +1,40 @@
+(** Attacker-visible hardware events and the two adversary models of the
+    security evaluation (Section VII-B1).
+
+    The default AMuLeT adversary observes data-cache and TLB tag-state
+    changes (fills and evictions, unordered in time); the AMuLeT*
+    timing-based adversary additionally observes per-stage cycles of
+    committed instructions, squash timing and divider activity — the
+    fine-grained information available to SMT receivers, which is what
+    surfaced the division channel and the pending-squash bug. *)
+
+type event =
+  | E_cache_fill of { level : int; set : int; tag : int64 }
+  | E_cache_evict of { level : int; line : int64 }
+  | E_tlb_fill of int64
+  | E_timing of {
+      pc : int;
+      fetch : int;
+      rename : int;
+      issue : int;
+      complete : int;
+      commit : int;
+    }
+  | E_squash of { cycle : int; flushed : int }
+  | E_machine_clear of { cycle : int }
+  | E_div_busy of { cycle : int; latency : int }
+
+type t
+
+val create : enabled:bool -> t
+val record : t -> event -> unit
+val all : t -> event list
+
+val cache_tlb_view : t -> event list
+(** Projection for the default cache+TLB adversary. *)
+
+val timing_view : t -> event list
+(** Projection for the timing-based adversary (everything). *)
+
+val view_equal : event list -> event list -> bool
+val pp_event : Format.formatter -> event -> unit

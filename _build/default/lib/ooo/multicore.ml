@@ -1,0 +1,38 @@
+(* Lockstep multicore simulation for the multi-thread (PARSEC-style)
+   workloads: one pipeline per thread, sharing the last-level cache, all
+   stepped cycle-by-cycle; the run ends when every core has halted
+   (runtime = the slowest thread, a barrier at program end).
+
+   Threads operate on disjoint address spaces (each core has its own
+   memory image), so no coherence traffic is modelled; the shared L3
+   still creates the capacity interactions that matter for the
+   evaluation's normalized runtimes. *)
+
+type result = {
+  cycles : int;
+  per_core : Pipeline.result array;
+  finished : bool;
+}
+
+let run ?squash_bug ?spec_model ?(fuel = 10_000_000) (cfg : Config.t)
+    ~(make_policy : unit -> Policy.t) (programs : Protean_isa.Program.t array)
+    =
+  let shared_l3 = Option.map Cache.create cfg.Config.l3 in
+  let cores =
+    Array.map
+      (fun program ->
+        Pipeline.create ?squash_bug ?spec_model ?shared_l3 cfg (make_policy ())
+          program ~overlays:[])
+      programs
+  in
+  let cycles = ref 0 in
+  let all_done () = Array.for_all Pipeline.is_done cores in
+  while (not (all_done ())) && !cycles < fuel do
+    Array.iter (fun core -> if not (Pipeline.is_done core) then Pipeline.step core) cores;
+    incr cycles
+  done;
+  {
+    cycles = !cycles;
+    per_core = Array.map Pipeline.finish cores;
+    finished = all_done ();
+  }

@@ -1,0 +1,21 @@
+(** Lockstep multicore simulation for multi-thread (PARSEC-style)
+    workloads: one pipeline per thread sharing the last-level cache, all
+    stepped cycle-by-cycle until every core halts (a barrier at program
+    end — runtime is the slowest thread). *)
+
+type result = {
+  cycles : int;
+  per_core : Pipeline.result array;
+  finished : bool;
+}
+
+val run :
+  ?squash_bug:bool ->
+  ?spec_model:Policy.spec_model ->
+  ?fuel:int ->
+  Config.t ->
+  make_policy:(unit -> Policy.t) ->
+  Protean_isa.Program.t array ->
+  result
+(** [make_policy] is called once per core: policies carry per-core
+    mutable state. *)

@@ -1,0 +1,89 @@
+(* The protection-mechanism interface: Spectre defenses plug into the
+   pipeline through this record of hooks (Section VI).
+
+   A policy can
+   - classify and taint instructions at rename ([on_rename]),
+   - gate the execution/resolution of transmitters
+     ([may_execute_transmitter], [may_resolve]),
+   - gate the forwarding of a completed instruction's results to its
+     dependents ([may_forward], the AccessDelay/ProtDelay mechanism),
+   - react to a load learning whether it read protected memory
+     ([on_load_executed]) and to commits ([on_commit]).
+
+   The speculation model (Section II-B2) determines when an instruction
+   stops being speculative: ATCOMMIT (at the ROB head — covers all
+   speculation) or CONTROL (when all older branches have resolved). *)
+
+type spec_model = Atcommit | Control
+
+let spec_model_name = function Atcommit -> "ATCOMMIT" | Control -> "CONTROL"
+
+type api = {
+  cfg : Config.t;
+  spec_model : spec_model;
+  head_seq : unit -> int; (* seq at the ROB head; max_int when empty *)
+  oldest_unresolved_branch : unit -> int; (* max_int when none *)
+  get_entry : int -> Rob_entry.t option;
+  l1d_protected : int64 -> int -> bool;
+  stats : Stats.t;
+}
+
+(* Is [e] still speculative under the configured speculation model? *)
+let is_speculative api (e : Rob_entry.t) =
+  match api.spec_model with
+  | Atcommit -> e.Rob_entry.seq > api.head_seq ()
+  | Control -> api.oldest_unresolved_branch () < e.Rob_entry.seq
+
+(* Is the access instruction with sequence number [root] still
+   speculative?  Roots that already committed are never speculative. *)
+let root_speculative api root =
+  root >= 0
+  &&
+  match api.spec_model with
+  | Atcommit -> root > api.head_seq ()
+  | Control -> api.oldest_unresolved_branch () < root
+
+let tainted api (e : Rob_entry.t) = root_speculative api e.Rob_entry.taint_root
+
+(* Taint inherited from the producers of [e]'s sources: the maximum of
+   their taint roots (the youngest root dominates, exactly STT's
+   youngest-root-of-taint).  Committed producers contribute no taint. *)
+let inherited_taint api (e : Rob_entry.t) =
+  let root = ref (-1) in
+  Array.iter
+    (fun p ->
+      if p >= 0 then
+        match api.get_entry p with
+        | Some prod -> root := max !root prod.Rob_entry.taint_root
+        | None -> ())
+    e.Rob_entry.src_producer;
+  !root
+
+type t = {
+  name : string;
+  uses_protisa : bool;
+      (* whether the pipeline should consult ProtISA protection tags
+         (rename map, LSQ, L1D protection bits) for this policy *)
+  on_rename : api -> Rob_entry.t -> unit;
+  may_execute_transmitter : api -> Rob_entry.t -> bool;
+  may_forward : api -> Rob_entry.t -> bool;
+  may_resolve : api -> Rob_entry.t -> bool;
+  on_load_executed : api -> Rob_entry.t -> unit;
+  on_commit : api -> Rob_entry.t -> unit;
+}
+
+let nop_hook _ _ = ()
+let always _ _ = true
+
+(* The unmodified out-of-order core: no protection at all. *)
+let unsafe =
+  {
+    name = "unsafe";
+    uses_protisa = false;
+    on_rename = nop_hook;
+    may_execute_transmitter = always;
+    may_forward = always;
+    may_resolve = always;
+    on_load_executed = nop_hook;
+    on_commit = nop_hook;
+  }

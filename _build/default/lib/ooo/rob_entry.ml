@@ -1,0 +1,141 @@
+(* A reorder-buffer entry: one in-flight instruction with its renamed
+   sources, results, memory/branch state, ProtISA protection tags and the
+   defense policies' taint bookkeeping. *)
+
+open Protean_isa
+
+type mem_kind = M_none | M_load | M_store
+
+type t = {
+  seq : int;
+  pc : int;
+  insn : Insn.t;
+  (* Renamed sources, in the order of [Insn.reads]. *)
+  srcs : (Reg.t * Insn.role) array;
+  src_producer : int array; (* producer seq, or -1 when read from regfile *)
+  src_val : int64 array;
+  src_ready : bool array;
+  src_prot : bool array; (* ProtISA protection tags captured at rename *)
+  (* Destinations, in the order of [Insn.writes]. *)
+  dsts : Reg.t array;
+  dst_val : int64 array;
+  mutable out_prot : bool;
+  (* Execution status. *)
+  mutable issued : bool;
+  mutable cycles_left : int;
+  mutable executed : bool; (* results computed and visible *)
+  mutable fault : bool; (* division fault pending (machine clear at commit) *)
+  (* Memory access state (LSQ). *)
+  mem_kind : mem_kind;
+  mutable addr : int64;
+  mutable msize : int;
+  mutable addr_ready : bool;
+  mutable mem_value : int64; (* loaded value / store data *)
+  mutable mem_prot : bool; (* LSQ protection bit (Section IV-C2b) *)
+  mutable fwd_from : int; (* seq of the store this load forwarded from *)
+  (* Branch state. *)
+  is_branch : bool;
+  mutable pred_target : int;
+  mutable actual_target : int;
+  mutable mispredicted : bool;
+  mutable resolved : bool;
+  (* Defense policy state. *)
+  mutable taint_root : int;
+      (* seq of the youngest speculative access instruction this entry's
+         data transitively depends on; -1 when untainted (STT's YRoT) *)
+  mutable access_at_rename : bool;
+  mutable late_access : bool;
+      (* ProtTrack false negative: predicted no-access, read protected
+         memory; triggers the ProtDelay fallback (Section VI-B2b) *)
+  mutable fwd_block_store : int;
+      (* seq of a tainted store this load forwarded from; blocks wakeup
+         until the store's data untaints (Section VI-B2c) *)
+  mutable pred_no_access : bool;
+  pol_src_pub : bool array;
+      (* per-source scratch for policies that track their own notion of
+         public data (SPT's transmitted-state), parallel to [srcs] *)
+  mutable pol_out_pub : bool;
+  (* Timing, for the timing-based adversary and statistics. *)
+  mutable t_fetch : int;
+  mutable t_rename : int;
+  mutable t_issue : int;
+  mutable t_complete : int;
+}
+
+let mem_kind_of op =
+  if Insn.is_load op then M_load
+  else if Insn.is_store op then M_store
+  else M_none
+
+let create ~seq ~pc ~(insn : Insn.t) ~t_fetch =
+  let srcs = Array.of_list (Insn.reads insn.op) in
+  let dsts = Array.of_list (Insn.writes insn.op) in
+  let n = Array.length srcs in
+  {
+    seq;
+    pc;
+    insn;
+    srcs;
+    src_producer = Array.make n (-1);
+    src_val = Array.make n 0L;
+    src_ready = Array.make n false;
+    src_prot = Array.make n false;
+    dsts;
+    dst_val = Array.make (Array.length dsts) 0L;
+    out_prot = insn.prot;
+    issued = false;
+    cycles_left = -1;
+    executed = false;
+    fault = false;
+    mem_kind = mem_kind_of insn.op;
+    addr = 0L;
+    msize = 0;
+    addr_ready = false;
+    mem_value = 0L;
+    mem_prot = false;
+    fwd_from = -1;
+    is_branch = Insn.is_branch insn.op;
+    pred_target = -1;
+    actual_target = -1;
+    mispredicted = false;
+    resolved = false;
+    taint_root = -1;
+    access_at_rename = false;
+    late_access = false;
+    fwd_block_store = -1;
+    pred_no_access = false;
+    pol_src_pub = Array.make n false;
+    pol_out_pub = false;
+    t_fetch;
+    t_rename = -1;
+    t_issue = -1;
+    t_complete = -1;
+  }
+
+let is_load e = e.mem_kind = M_load
+let is_store e = e.mem_kind = M_store
+let is_transmitter e = Insn.is_transmitter e.insn.Insn.op
+
+(* Does this entry have a protected *sensitive* register operand?  Access
+   transmitters (Definition 1) additionally include loads whose sensitive
+   memory input is protected, checked at execute via [mem_prot]. *)
+let protected_sensitive_reg e =
+  let any = ref false in
+  Array.iteri
+    (fun i (_, role) ->
+      match role with
+      | Insn.Addr | Insn.Cond_in | Insn.Target | Insn.Divide ->
+          if e.src_prot.(i) then any := true
+      | Insn.Data -> ())
+    e.srcs;
+  !any
+
+(* Any protected register input at all (including data inputs). *)
+let protected_reg_input e = Array.exists (fun b -> b) e.src_prot
+
+let find_src e reg role =
+  let found = ref (-1) in
+  Array.iteri
+    (fun i (r, ro) -> if Reg.equal r reg && ro = role && !found < 0 then found := i)
+    e.srcs;
+  !found

@@ -1,0 +1,12 @@
+(** A small fully-associative TLB with LRU replacement.
+
+    TLB fills are part of the default adversary model's observations
+    (AMuLeT's cache+TLB adversary), and misses add translation latency. *)
+
+type t
+
+val create : int -> t
+val page_of : int64 -> int64
+
+val access : t -> int64 -> bool
+(** True on hit; fills (with LRU eviction) on miss. *)

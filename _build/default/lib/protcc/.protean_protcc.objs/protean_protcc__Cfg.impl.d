@@ -1,0 +1,1 @@
+lib/protcc/cfg.ml: Array Insn List Protean_isa

@@ -1,0 +1,1 @@
+lib/protcc/cfg.mli: Protean_isa

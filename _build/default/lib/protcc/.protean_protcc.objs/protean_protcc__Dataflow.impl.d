@@ -1,0 +1,1 @@
+lib/protcc/dataflow.ml: Array Cfg List Queue Regset

@@ -1,0 +1,1 @@
+lib/protcc/dataflow.mli: Cfg Regset

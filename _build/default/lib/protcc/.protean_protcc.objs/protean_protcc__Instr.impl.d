@@ -1,0 +1,1 @@
+lib/protcc/instr.ml: Array Insn List Protean_isa Reg Regset

@@ -1,0 +1,1 @@
+lib/protcc/leak.ml: Insn List Protean_isa Reg Regset

@@ -1,0 +1,1 @@
+lib/protcc/pass_ct.ml: Array Cfg Dataflow Insn Instr Leak List Protean_isa Regset

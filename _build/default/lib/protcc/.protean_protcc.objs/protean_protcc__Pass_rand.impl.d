@@ -1,0 +1,1 @@
+lib/protcc/pass_rand.ml: Array Instr Protean_isa Random

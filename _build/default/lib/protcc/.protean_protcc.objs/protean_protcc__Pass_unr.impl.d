@@ -1,0 +1,1 @@
+lib/protcc/pass_unr.ml: Array Cfg Dataflow Insn Instr Leak List Protean_isa Reg Regset

@@ -1,0 +1,1 @@
+lib/protcc/protcc.ml: Array Hashtbl Insn Instr Leak List Pass_ct Pass_cts Pass_rand Pass_unr Program Protean_arch Protean_isa Regset

@@ -1,0 +1,1 @@
+lib/protcc/protcc.mli: Program Protean_arch Protean_isa Reg

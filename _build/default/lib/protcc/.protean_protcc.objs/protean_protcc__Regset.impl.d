@@ -1,0 +1,1 @@
+lib/protcc/regset.ml: Format List Protean_isa Reg String

@@ -1,0 +1,1 @@
+lib/protcc/regset.mli: Format Protean_isa Reg

@@ -1,0 +1,52 @@
+(* Instruction-granular control-flow graph of one function.
+
+   ProtCC's analyses are register-level dataflow analyses over machine
+   code (Section V-A), so an instruction-level CFG is the natural
+   representation.  Branch targets outside the function range and
+   indirect jumps are treated as function exits. *)
+
+open Protean_isa
+
+type t = {
+  lo : int; (* first pc of the function *)
+  hi : int; (* one past the last pc *)
+  succs : int list array; (* indexed by pc - lo *)
+  preds : int list array;
+  exits : int list; (* pcs with no intra-function successor *)
+}
+
+let size t = t.hi - t.lo
+let idx t pc = pc - t.lo
+let pc_of t i = t.lo + i
+
+let successor_pcs ~lo ~hi pc (insn : Insn.t) =
+  let in_range t = t >= lo && t < hi in
+  let fall = if pc + 1 < hi then [ pc + 1 ] else [] in
+  match insn.op with
+  | Insn.Jcc (_, t) -> if in_range t then t :: fall else fall
+  | Insn.Jmp t -> if in_range t then [ t ] else []
+  | Insn.Call _ -> fall (* the callee returns; analyzed separately *)
+  | Insn.Ret | Insn.Jmpi _ | Insn.Halt -> []
+  | _ -> fall
+
+let build (code : Insn.t array) ~lo ~hi =
+  let n = hi - lo in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  for pc = lo to hi - 1 do
+    succs.(pc - lo) <- successor_pcs ~lo ~hi pc code.(pc)
+  done;
+  Array.iteri
+    (fun i ss ->
+      List.iter (fun s -> preds.(s - lo) <- (lo + i) :: preds.(s - lo)) ss)
+    succs;
+  let exits =
+    List.filter_map
+      (fun i -> if succs.(i) = [] then Some (lo + i) else None)
+      (List.init n (fun i -> i))
+  in
+  { lo; hi; succs; preds; exits }
+
+let succs t pc = t.succs.(idx t pc)
+let preds t pc = t.preds.(idx t pc)
+let is_exit t pc = t.succs.(idx t pc) = []

@@ -1,0 +1,23 @@
+(** Instruction-granular control-flow graph of one function.
+
+    ProtCC's analyses are register-level dataflow analyses over machine
+    code (Section V-A).  Branch targets outside the function range and
+    indirect jumps are treated as function exits; calls fall through (the
+    callee is analyzed separately). *)
+
+type t = {
+  lo : int;  (** first pc of the function *)
+  hi : int;  (** one past the last pc *)
+  succs : int list array;  (** indexed by [pc - lo] *)
+  preds : int list array;
+  exits : int list;
+}
+
+val size : t -> int
+val idx : t -> int -> int
+val pc_of : t -> int -> int
+val successor_pcs : lo:int -> hi:int -> int -> Protean_isa.Insn.t -> int list
+val build : Protean_isa.Insn.t array -> lo:int -> hi:int -> t
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+val is_exit : t -> int -> bool

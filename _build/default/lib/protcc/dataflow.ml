@@ -1,0 +1,74 @@
+(* Generic worklist dataflow solver over an instruction-level CFG, with
+   register-set facts.  Used by every non-trivial ProtCC pass. *)
+
+type dir = Forward | Backward
+
+(* Solve a dataflow problem; returns (before, after) fact arrays indexed
+   by [pc - cfg.lo].
+
+   For a [Forward] problem, [before] is the meet over predecessors'
+   [after] facts (or [boundary] at the function entry / when there are no
+   predecessors) and [after.(i) = transfer pc before.(i)].  For a
+   [Backward] problem the roles of predecessors and successors swap and
+   [boundary] applies at exits.
+
+   [top] is the identity of [meet] and the initial interior fact. *)
+let solve (cfg : Cfg.t) ~dir ~top ~boundary ~meet ~transfer =
+  let n = Cfg.size cfg in
+  let before = Array.make n top in
+  let after = Array.make n top in
+  if n = 0 then (before, after)
+  else begin
+    let inputs, outputs, input_edges =
+      match dir with
+      | Forward -> (before, after, fun pc -> Cfg.preds cfg pc)
+      | Backward -> (after, before, fun pc -> Cfg.succs cfg pc)
+    in
+    let boundary_at pc =
+      match dir with
+      | Forward -> pc = cfg.Cfg.lo
+      | Backward -> Cfg.is_exit cfg pc
+    in
+    let in_work = Array.make n true in
+    let work = Queue.create () in
+    (* Process in an order friendly to the direction to converge fast. *)
+    (match dir with
+    | Forward -> for i = 0 to n - 1 do Queue.add i work done
+    | Backward -> for i = n - 1 downto 0 do Queue.add i work done);
+    while not (Queue.is_empty work) do
+      let i = Queue.pop work in
+      in_work.(i) <- false;
+      let pc = Cfg.pc_of cfg i in
+      let edge_facts =
+        List.map (fun p -> outputs.(Cfg.idx cfg p)) (input_edges pc)
+      in
+      let input =
+        let base = if boundary_at pc then boundary else top in
+        match edge_facts with
+        | [] -> base
+        | _ when boundary_at pc ->
+            (* Entries/exits with edges still meet the boundary fact. *)
+            List.fold_left meet base edge_facts
+        | f :: fs -> List.fold_left meet f fs
+      in
+      inputs.(i) <- input;
+      let out = transfer pc input in
+      if not (Regset.equal out outputs.(i)) then begin
+        outputs.(i) <- out;
+        let push =
+          match dir with
+          | Forward -> Cfg.succs cfg pc
+          | Backward -> Cfg.preds cfg pc
+        in
+        List.iter
+          (fun s ->
+            let j = Cfg.idx cfg s in
+            if not in_work.(j) then begin
+              in_work.(j) <- true;
+              Queue.add j work
+            end)
+          push
+      end
+    done;
+    (before, after)
+  end

@@ -1,0 +1,18 @@
+(** Generic worklist dataflow solver over an instruction-level CFG with
+    register-set facts; used by every non-trivial ProtCC pass. *)
+
+type dir = Forward | Backward
+
+val solve :
+  Cfg.t ->
+  dir:dir ->
+  top:Regset.t ->
+  boundary:Regset.t ->
+  meet:(Regset.t -> Regset.t -> Regset.t) ->
+  transfer:(int -> Regset.t -> Regset.t) ->
+  Regset.t array * Regset.t array
+(** [(before, after)] fact arrays indexed by [pc - cfg.lo].  For a
+    [Forward] problem, [before] is the meet over predecessors' [after]
+    facts (the [boundary] fact applies at the entry) and
+    [after.(i) = transfer pc before.(i)].  For [Backward] the roles swap
+    and [boundary] applies at exits.  [top] is the meet identity. *)

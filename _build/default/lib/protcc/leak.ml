@@ -1,0 +1,103 @@
+(* Shared helpers for ProtCC's leakage analyses: which operands of an
+   instruction are fully transmitted, and whether an output's value is a
+   deterministic function of already-public inputs. *)
+
+open Protean_isa
+
+(* Register operands that are *fully* transmitted when the instruction
+   executes/resolves: memory-address registers, branch conditions and
+   indirect targets.  Division operands are only *partially* transmitted
+   (Section II-B1), so ProtCC-CT may not treat them as leaked; ProtCC-CTS
+   must still require them to be publicly typed.  Non-transmitters (e.g.
+   cmov/setcc, whose flags input has the [Cond_in] role but is pure data
+   flow) transmit nothing. *)
+let fully_transmitted op =
+  if not (Insn.is_transmitter op) then Regset.empty
+  else
+    List.fold_left
+      (fun acc (r, role) ->
+        match role with
+        | Insn.Addr | Insn.Cond_in | Insn.Target -> Regset.add r acc
+        | Insn.Data | Insn.Divide -> acc)
+      Regset.empty (Insn.reads op)
+
+(* All sensitive operands, including the partially-transmitted division
+   inputs. *)
+let sensitive op =
+  if not (Insn.is_transmitter op) then Regset.empty
+  else
+    List.fold_left
+      (fun acc (r, _) -> Regset.add r acc)
+      Regset.empty (Insn.sensitive_reads op)
+
+(* Register inputs that flow into the instruction's outputs.  For
+   transmitters these are the [Data]-role reads (address registers are
+   separately forced public as sensitive operands); for non-transmitters
+   every read flows into the output — in particular the flags input of
+   cmov/setcc. *)
+let data_inputs op =
+  if not (Insn.is_transmitter op) then
+    List.fold_left (fun acc (r, _) -> Regset.add r acc) Regset.empty
+      (Insn.reads op)
+  else
+    List.fold_left
+      (fun acc (r, role) ->
+        match role with
+        | Insn.Data -> Regset.add r acc
+        | Insn.Addr | Insn.Cond_in | Insn.Target | Insn.Divide -> acc)
+      Regset.empty (Insn.reads op)
+
+let src_public pub = function
+  | Insn.Imm _ -> true
+  | Insn.Reg r -> Regset.mem r pub
+
+let mem_public pub (m : Insn.mem) =
+  List.for_all (fun r -> Regset.mem r pub) (Insn.mem_regs m)
+
+(* Is the value written to output [r] by [op] a deterministic function of
+   registers that are public in [pub] (or of constants)?  Loaded values
+   are never considered public this way: they come from memory. *)
+let output_public pub op r =
+  let regs_pub rs = List.for_all (fun x -> Regset.mem x pub) rs in
+  match op with
+  | Insn.Mov (Insn.W64, d, s) when Reg.equal d r -> src_public pub s
+  | Insn.Mov (Insn.W32, d, s) when Reg.equal d r -> src_public pub s
+  | Insn.Mov (Insn.W8, d, s) when Reg.equal d r ->
+      (* A byte write merges with the old value, so both must be public. *)
+      src_public pub s && Regset.mem d pub
+  | Insn.Mov _ -> false
+  | Insn.Lea (d, m) when Reg.equal d r -> mem_public pub m
+  | Insn.Lea _ -> false
+  | Insn.Load _ -> false
+  | Insn.Store _ -> false
+  | Insn.Binop (_, d, s) ->
+      (* Both the destination and the flags output are functions of the
+         two inputs. *)
+      ignore r;
+      Regset.mem d pub && src_public pub s
+  | Insn.Unop (_, d) -> Regset.mem d pub
+  | Insn.Div (d, n, s) when Reg.equal d r -> regs_pub [ n ] && src_public pub s
+  | Insn.Div _ -> false
+  | Insn.Rem (d, n, s) when Reg.equal d r -> regs_pub [ n ] && src_public pub s
+  | Insn.Rem _ -> false
+  | Insn.Cmp (a, s) -> Regset.mem a pub && src_public pub s
+  | Insn.Test (a, s) -> Regset.mem a pub && src_public pub s
+  | Insn.Setcc (_, _) -> Regset.mem Reg.flags pub
+  | Insn.Cmov (_, d, s) ->
+      Regset.mem Reg.flags pub && Regset.mem d pub && src_public pub s
+  | Insn.Jcc _ | Insn.Jmp _ | Insn.Jmpi _ -> false
+  | Insn.Call _ | Insn.Push _ ->
+      (* Output is the decremented stack pointer. *)
+      Regset.mem Reg.rsp pub
+  | Insn.Pop d ->
+      if Reg.equal d r then false (* loaded value *)
+      else Regset.mem Reg.rsp pub (* rsp update *)
+  | Insn.Ret ->
+      if Reg.equal r Reg.tmp then false else Regset.mem Reg.rsp pub
+  | Insn.Nop | Insn.Halt -> false
+
+(* Output registers whose protection status matters to ProtCC.  The hidden
+   temporary holds the (public, code-pointer) return address; protecting
+   it would needlessly turn every [ret] into an access transmitter. *)
+let relevant_outputs op =
+  List.filter (fun r -> not (Reg.equal r Reg.tmp)) (Insn.writes op)

@@ -1,0 +1,111 @@
+(* ProtCC-CT (Section V-A3): instrumentation for constant-time code.
+
+   Constant-time programs never place secrets in registers that are
+   architecturally fully transmitted.  Therefore a register is safe to
+   leave (or make) unprotected at a program point whenever its value
+
+   - was already fully transmitted on all control-flow paths reaching the
+     point, or is a deterministic function of such data or of constants
+     (the *past-leaked* forward must-analysis), or
+   - is bound to be fully transmitted on all control-flow paths leaving
+     the point before being overwritten (the *bound-to-leak* backward
+     must-analysis).
+
+   The pass PROT-prefixes every instruction with an output register that
+   is neither past-leaked nor bound-to-leak, and inserts identity moves
+   where a register newly becomes unprotectable, architecturally
+   declassifying it as early as possible. *)
+
+open Protean_isa
+
+type facts = {
+  pl_before : Regset.t array;
+  pl_after : Regset.t array;
+  btl_before : Regset.t array;
+  btl_after : Regset.t array;
+}
+
+(* Forward past-leaked analysis.  [entry_public] (user annotations,
+   Section V-C) seeds registers that are public on entry. *)
+let past_leaked ~entry_public (code : Insn.t array) cfg =
+  let transfer pc x =
+    let op = code.(pc).Insn.op in
+    (* Executing the instruction fully transmits its sensitive operands. *)
+    let x = Regset.union x (Leak.fully_transmitted op) in
+    (* Calls clobber the analysis state: the callee is analyzed
+       separately and may overwrite anything (conservatively keep only
+       what the call itself leaks). *)
+    let x = match op with Insn.Call _ -> Leak.fully_transmitted op | _ -> x in
+    List.fold_left
+      (fun acc r ->
+        if Leak.output_public x op r then Regset.add r acc
+        else Regset.remove r acc)
+      x (Insn.writes op)
+  in
+  Dataflow.solve cfg ~dir:Dataflow.Forward ~top:Regset.full
+    ~boundary:entry_public ~meet:Regset.inter ~transfer
+
+(* Backward bound-to-leak analysis. *)
+let bound_to_leak (code : Insn.t array) cfg =
+  let transfer pc a =
+    let op = code.(pc).Insn.op in
+    match op with
+    | Insn.Call _ ->
+        (* Nothing is known to leak across a call. *)
+        Leak.fully_transmitted op
+    | _ ->
+        let writes = Regset.of_list (Insn.writes op) in
+        let b = Regset.diff a writes in
+        let b = Regset.union b (Leak.fully_transmitted op) in
+        (* A full-width register copy whose destination is bound to leak
+           also dooms the source. *)
+        let b =
+          match op with
+          | Insn.Mov (Insn.W64, d, Insn.Reg s) when Regset.mem d a ->
+              Regset.add s b
+          | _ -> b
+        in
+        b
+  in
+  Dataflow.solve cfg ~dir:Dataflow.Backward ~top:Regset.full
+    ~boundary:Regset.empty ~meet:Regset.inter ~transfer
+
+let analyze ~entry_public code cfg =
+  let pl_before, pl_after = past_leaked ~entry_public code cfg in
+  let btl_before, btl_after = bound_to_leak code cfg in
+  { pl_before; pl_after; btl_before; btl_after }
+
+let run ?(entry_public = Regset.empty) (code : Insn.t array) ~lo ~hi =
+  let cfg = Cfg.build code ~lo ~hi in
+  let f = analyze ~entry_public code cfg in
+  let out = Instr.make ~lo ~hi in
+  let pub_before i = Regset.union f.pl_before.(i) f.btl_before.(i) in
+  let pub_after i = Regset.union f.pl_after.(i) f.btl_after.(i) in
+  for pc = lo to hi - 1 do
+    let i = pc - lo in
+    let op = code.(pc).Insn.op in
+    (* PROT-prefix instructions with an output that may hold a secret. *)
+    let needs_prot =
+      List.exists
+        (fun r -> not (Regset.mem r (pub_after i)))
+        (Leak.relevant_outputs op)
+    in
+    out.Instr.prot.(i) <- needs_prot;
+    (* Unprotect registers that become publicly-known at this point but
+       were not on every incoming edge.  Unprotection is justified by the
+       point's own must-fact, so placing the moves before the join is
+       safe even when only some edges made the register public. *)
+    let incoming =
+      match Cfg.preds cfg pc with
+      | [] -> Regset.empty
+      | q :: qs ->
+          List.fold_left
+            (fun acc q -> Regset.inter acc (pub_after (q - lo)))
+            (pub_after (q - lo))
+            qs
+    in
+    let incoming = if pc = lo then Regset.empty else incoming in
+    let newly = Regset.diff (pub_before i) incoming in
+    out.Instr.unprotect_before.(i) <- Regset.inter newly Instr.movable
+  done;
+  out

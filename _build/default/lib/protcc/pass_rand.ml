@@ -1,0 +1,11 @@
+(* ProtCC-RAND (Section VII-B4b): a testing-only pass that PROT-prefixes a
+   random subset of instructions, producing arbitrary ProtISA binaries for
+   fuzzing PROTEAN against the UNPROT-SEQ contract. *)
+
+let run ~seed ~prob (_code : Protean_isa.Insn.t array) ~lo ~hi =
+  let rng = Random.State.make [| seed; lo; hi |] in
+  let out = Instr.make ~lo ~hi in
+  for pc = lo to hi - 1 do
+    out.Instr.prot.(pc - lo) <- Random.State.float rng 1.0 < prob
+  done;
+  out

@@ -1,0 +1,45 @@
+(* ProtCC-UNR (Section V-A4): instrumentation for unrestricted code.
+
+   Unrestricted programs may place secrets in any data register, so only
+   registers that *never* hold secret program data may stay unprotected:
+   the stack pointer, registers initialized with constants, and registers
+   computed solely from those.  A forward must-analysis computes this
+   "safe" register set; everything else is PROT-prefixed.
+
+   This is what lets PROTEAN-UNR dramatically outperform SPT-SB on
+   stack-heavy code (Section IX-A1): fixed-offset stack accesses have an
+   unprotected address operand and need not be stalled. *)
+
+open Protean_isa
+
+let safe_registers ~entry_public (code : Insn.t array) cfg =
+  let transfer pc x =
+    let op = code.(pc).Insn.op in
+    match op with
+    | Insn.Call _ ->
+        (* Only the stack pointer is guaranteed safe across a call. *)
+        if Regset.mem Reg.rsp x then Regset.singleton Reg.rsp
+        else Regset.empty
+    | _ ->
+        List.fold_left
+          (fun acc r ->
+            if Leak.output_public x op r then Regset.add r acc
+            else Regset.remove r acc)
+          x (Insn.writes op)
+  in
+  Dataflow.solve cfg ~dir:Dataflow.Forward ~top:Regset.full
+    ~boundary:(Regset.add Reg.rsp entry_public) ~meet:Regset.inter ~transfer
+
+let run ?(entry_public = Regset.empty) (code : Insn.t array) ~lo ~hi =
+  let cfg = Cfg.build code ~lo ~hi in
+  let _, after = safe_registers ~entry_public code cfg in
+  let out = Instr.make ~lo ~hi in
+  for pc = lo to hi - 1 do
+    let i = pc - lo in
+    let op = code.(pc).Insn.op in
+    out.Instr.prot.(i) <-
+      List.exists
+        (fun r -> not (Regset.mem r after.(i)))
+        (Leak.relevant_outputs op)
+  done;
+  out

@@ -1,0 +1,150 @@
+(* ProtCC driver (Section V): instruments a program function-by-function
+   according to each function's vulnerable-code class, then relays out the
+   code (identity-move insertions shift instruction addresses) and patches
+   all static control-flow targets.
+
+   Return addresses need no relocation: [call] pushes the address of its
+   own successor at run time, which is correct in the new layout. *)
+
+open Protean_isa
+
+type pass =
+  | P_arch
+  | P_cts
+  | P_ct
+  | P_unr
+  | P_rand of int * float (* seed, probability *)
+
+let pass_for_klass = function
+  | Program.Arch -> P_arch
+  | Program.Cts -> P_cts
+  | Program.Ct -> P_ct
+  | Program.Unr -> P_unr
+
+let pass_name = function
+  | P_arch -> "ProtCC-ARCH"
+  | P_cts -> "ProtCC-CTS"
+  | P_ct -> "ProtCC-CT"
+  | P_unr -> "ProtCC-UNR"
+  | P_rand _ -> "ProtCC-RAND"
+
+type result = {
+  program : Program.t;
+  typing : Protean_arch.Observer.typing;
+      (* publicly-typed output registers per (new) pc, for the CTS-SEQ
+         observer mode *)
+  old_to_new : int array; (* length old+1; start position of each old pc *)
+  inserted_moves : int;
+  code_size_ratio : float;
+}
+
+let run_pass pass ~entry_public code ~lo ~hi =
+  match pass with
+  | P_arch -> None (* no-op: unmodified binaries program the ARCH ProtSet *)
+  | P_cts -> Some (Pass_cts.run ~entry_public code ~lo ~hi)
+  | P_ct -> Some (Pass_ct.run ~entry_public code ~lo ~hi)
+  | P_unr -> Some (Pass_unr.run ~entry_public code ~lo ~hi)
+  | P_rand (seed, prob) -> Some (Pass_rand.run ~seed ~prob code ~lo ~hi)
+
+(* Instrument [p].  [classes] overrides the class of named functions (the
+   user-facing compilation flags of Section V-A); [pass_override] forces a
+   single pass for every function (used for single-class experiments and
+   fuzzing). *)
+let instrument ?(classes = []) ?(annotations = []) ?pass_override
+    (p : Program.t) =
+  let len = Array.length p.Program.code in
+  let new_prot = Array.map (fun i -> i.Insn.prot) p.Program.code in
+  let insert_before = Array.make len Regset.empty in
+  let is_cts_pc = Array.make len false in
+  (* Run the per-function passes. *)
+  List.iter
+    (fun (f : Program.func) ->
+      let klass =
+        match List.assoc_opt f.Program.fname classes with
+        | Some k -> k
+        | None -> f.Program.klass
+      in
+      let pass =
+        match pass_override with Some pv -> pv | None -> pass_for_klass klass
+      in
+      let entry_public =
+        match List.assoc_opt f.Program.fname annotations with
+        | Some regs -> Regset.of_list regs
+        | None -> Regset.empty
+      in
+      let lo = f.Program.entry and hi = f.Program.entry + f.Program.size in
+      match run_pass pass ~entry_public p.Program.code ~lo ~hi with
+      | None -> ()
+      | Some instr ->
+          for pc = lo to hi - 1 do
+            new_prot.(pc) <- instr.Instr.prot.(pc - lo);
+            insert_before.(pc) <- instr.Instr.unprotect_before.(pc - lo);
+            if pass = P_cts then is_cts_pc.(pc) <- true
+          done)
+    p.Program.funcs;
+  (* Relayout. *)
+  let buf = ref [] in
+  let n = ref 0 in
+  let emit i =
+    buf := i :: !buf;
+    incr n
+  in
+  let old_to_new = Array.make (len + 1) 0 in
+  let inserted = ref 0 in
+  let typing : Protean_arch.Observer.typing = Hashtbl.create 64 in
+  for pc = 0 to len - 1 do
+    old_to_new.(pc) <- !n;
+    let moves = Instr.id_moves insert_before.(pc) in
+    inserted := !inserted + List.length moves;
+    List.iter
+      (fun (m : Insn.t) ->
+        if is_cts_pc.(pc) then
+          Hashtbl.replace typing !n (Leak.relevant_outputs m.Insn.op);
+        emit m)
+      moves;
+    let insn = { (p.Program.code.(pc)) with Insn.prot = new_prot.(pc) } in
+    if is_cts_pc.(pc) && not insn.Insn.prot then
+      Hashtbl.replace typing !n (Leak.relevant_outputs insn.Insn.op);
+    emit insn
+  done;
+  old_to_new.(len) <- !n;
+  let code = Array.of_list (List.rev !buf) in
+  (* Patch static targets. *)
+  let remap t = if t >= 0 && t <= len then old_to_new.(t) else t in
+  Array.iteri
+    (fun i (insn : Insn.t) ->
+      let op' =
+        match insn.Insn.op with
+        | Insn.Jcc (c, t) -> Insn.Jcc (c, remap t)
+        | Insn.Jmp t -> Insn.Jmp (remap t)
+        | Insn.Call t -> Insn.Call (remap t)
+        | op -> op
+      in
+      code.(i) <- { insn with Insn.op = op' })
+    code;
+  let funcs =
+    List.map
+      (fun (f : Program.func) ->
+        let entry = old_to_new.(f.Program.entry) in
+        let size = old_to_new.(f.Program.entry + f.Program.size) - entry in
+        { f with Program.entry; size })
+      p.Program.funcs
+  in
+  let program =
+    {
+      p with
+      Program.code;
+      funcs;
+      main = old_to_new.(p.Program.main);
+    }
+  in
+  let ratio =
+    if len = 0 then 1.0 else float_of_int (Array.length code) /. float_of_int len
+  in
+  {
+    program;
+    typing;
+    old_to_new;
+    inserted_moves = !inserted;
+    code_size_ratio = ratio;
+  }

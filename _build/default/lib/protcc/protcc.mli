@@ -1,0 +1,46 @@
+(** ProtCC: compiler passes that automatically program ProtISA ProtSets
+    (Section V).
+
+    ProtCC instruments a program function-by-function according to each
+    function's vulnerable-code class, then relays the code out (identity
+    moves shift instruction addresses) and patches static control-flow
+    targets.  Return addresses need no relocation: [call] pushes its
+    successor's address at run time. *)
+
+open Protean_isa
+
+type pass =
+  | P_arch  (** no-op: unmodified binaries program the ARCH ProtSet *)
+  | P_cts  (** Serberus-style secrecy-type inference (Section V-A2) *)
+  | P_ct  (** past-leaked + bound-to-leak dataflow analyses (V-A3) *)
+  | P_unr  (** unprotect only stack-pointer/constant-derived data (V-A4) *)
+  | P_rand of int * float
+      (** PROT-prefix a random subset: seed, probability (testing only,
+          Section VII-B4b) *)
+
+val pass_for_klass : Program.klass -> pass
+val pass_name : pass -> string
+
+type result = {
+  program : Program.t;  (** the instrumented, relaid-out ProtISA binary *)
+  typing : Protean_arch.Observer.typing;
+      (** publicly-typed output registers per new pc, for the CTS-SEQ
+          observer mode *)
+  old_to_new : int array;  (** start position of each old pc (length+1) *)
+  inserted_moves : int;
+  code_size_ratio : float;
+}
+
+val instrument :
+  ?classes:(string * Program.klass) list ->
+  ?annotations:(string * Reg.t list) list ->
+  ?pass_override:pass ->
+  Program.t ->
+  result
+(** Instrument a program.  [classes] overrides the class of named
+    functions (the user-facing compilation flags of Section V-A);
+    [annotations] declares per-function registers that are public at
+    entry, refining the inferred ProtSets (the Section V-C extension);
+    [pass_override] forces one pass for every function (single-class
+    experiments and fuzzing).  By default each function is compiled with
+    the pass for its own class — the multi-class mode of Fig. 1. *)

@@ -1,0 +1,1 @@
+lib/workloads/chacha20.ml: Array Asm Buffer Ckit Insn Int32 Int64 List Program Protean_isa Reg

@@ -1,0 +1,1 @@
+lib/workloads/chacha20.mli: Protean_isa

@@ -1,0 +1,1 @@
+lib/workloads/ckit.ml: Asm Int64 Protean_isa

@@ -1,0 +1,1 @@
+lib/workloads/ckit.mli: Asm Protean_isa Reg

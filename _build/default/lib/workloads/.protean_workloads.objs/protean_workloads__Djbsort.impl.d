@@ -1,0 +1,1 @@
+lib/workloads/djbsort.ml: Array Asm Buffer Insn Int64 List Program Protean_isa Reg

@@ -1,0 +1,1 @@
+lib/workloads/djbsort.mli: Protean_isa

@@ -1,0 +1,1 @@
+lib/workloads/nginx_sim.ml: Asm Buffer Char Ckit Insn Int64 Program Protean_isa Reg String

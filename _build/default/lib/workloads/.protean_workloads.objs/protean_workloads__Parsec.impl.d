@@ -1,0 +1,1 @@
+lib/workloads/parsec.ml: Array Asm Char Insn Int64 Program Protean_isa Reg String

@@ -1,0 +1,1 @@
+lib/workloads/poly1305.ml: Array Asm Buffer Ckit Insn Int64 Program Protean_isa Reg

@@ -1,0 +1,1 @@
+lib/workloads/poly1305.mli: Protean_isa

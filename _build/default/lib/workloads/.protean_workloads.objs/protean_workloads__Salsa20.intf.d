@@ -1,0 +1,1 @@
+lib/workloads/salsa20.mli: Protean_isa

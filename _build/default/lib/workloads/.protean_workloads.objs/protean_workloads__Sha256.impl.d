@@ -1,0 +1,1 @@
+lib/workloads/sha256.ml: Array Asm Buffer Char Ckit Insn Int32 Int64 Program Protean_isa Reg String

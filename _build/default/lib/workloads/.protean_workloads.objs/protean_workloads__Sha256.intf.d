@@ -1,0 +1,1 @@
+lib/workloads/sha256.mli: Protean_isa

@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Asm Char Insn Int64 Program Protean_isa Reg String

@@ -1,0 +1,1 @@
+lib/workloads/speck.ml: Array Asm Buffer Ckit Insn Int64 Program Protean_isa Reg

@@ -1,0 +1,1 @@
+lib/workloads/speck.mli: Protean_isa

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Asm Chacha20 Char Djbsort Insn List Nginx_sim Parsec Poly1305 Program Protean_isa Reg Salsa20 Sha256 Spec Speck String Unr_crypto Wasm X25519 Xtea

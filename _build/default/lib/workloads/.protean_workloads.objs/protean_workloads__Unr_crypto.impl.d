@@ -1,0 +1,1 @@
+lib/workloads/unr_crypto.ml: Asm Buffer Ckit Int64 Program Protean_isa Reg

@@ -1,0 +1,1 @@
+lib/workloads/unr_crypto.mli: Protean_isa

@@ -1,0 +1,1 @@
+lib/workloads/x25519.ml: Asm Buffer Ckit Int64 Program Protean_isa Reg

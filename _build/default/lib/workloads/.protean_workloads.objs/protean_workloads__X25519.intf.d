@@ -1,0 +1,1 @@
+lib/workloads/x25519.mli: Protean_isa

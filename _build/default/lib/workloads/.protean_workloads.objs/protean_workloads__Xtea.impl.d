@@ -1,0 +1,1 @@
+lib/workloads/xtea.ml: Array Asm Buffer Ckit Insn Int32 Int64 Program Protean_isa Reg

@@ -1,0 +1,1 @@
+lib/workloads/xtea.mli: Protean_isa

@@ -1,0 +1,22 @@
+(** ChaCha20 keystream generation (RFC 8439 block function) as a
+    CTS-class kernel: 32-bit ARX quarter-rounds on a memory-held state,
+    secret key words, public addresses and counters. *)
+
+val init_base : int
+val work_base : int
+val out_base : int
+
+val make :
+  ?variant:[ `Unrolled | `Looped ] ->
+  ?blocks:int ->
+  ?klass:Protean_isa.Program.klass ->
+  unit ->
+  Protean_isa.Program.t
+(** [`Unrolled] is the HACL*-style fully unrolled double-round variant;
+    [`Looped] the OpenSSL-style round loop. *)
+
+val ref_block : int -> int32 array
+(** Pure-OCaml reference keystream block for a counter value. *)
+
+val ref_output : int -> string
+(** Expected output bytes at {!out_base} for [blocks] blocks. *)

@@ -1,0 +1,134 @@
+(* Emission helpers shared by the crypto kernels: 32-bit arithmetic in
+   64-bit registers, rotations, and field arithmetic modulo the Mersenne
+   prime 2^61 - 1 (the narrower stand-in field documented in DESIGN.md:
+   same code structure as the 255-bit originals — multiply, square,
+   shift-based reduction, branchless conditional swaps — at a width our
+   ISA handles natively). *)
+
+open Protean_isa
+
+let m32 = 0xffffffffL
+
+(* 2^61 - 1: a Mersenne prime, so reduction is shift-and-add. *)
+let p61 = Int64.sub (Int64.shift_left 1L 61) 1L
+
+let mask32 c r = Asm.and_ c r (Asm.i64 m32)
+
+(* dst = rotl32(dst, k), clobbers tmp. *)
+let rotl32 c dst ~tmp k =
+  Asm.mov c tmp (Asm.r dst);
+  Asm.shl c dst (Asm.i k);
+  Asm.shr c tmp (Asm.i (32 - k));
+  Asm.or_ c dst (Asm.r tmp);
+  mask32 c dst
+
+(* dst = rotl64(dst, k), clobbers tmp. *)
+let rotl64 c dst ~tmp k =
+  Asm.mov c tmp (Asm.r dst);
+  Asm.shl c dst (Asm.i k);
+  Asm.shr c tmp (Asm.i (64 - k));
+  Asm.or_ c dst (Asm.r tmp)
+
+(* dst = rotr64(dst, k), clobbers tmp. *)
+let rotr64 c dst ~tmp k =
+  Asm.mov c tmp (Asm.r dst);
+  Asm.shr c dst (Asm.i k);
+  Asm.shl c tmp (Asm.i (64 - k));
+  Asm.or_ c dst (Asm.r tmp)
+
+let rotr32 c dst ~tmp k = rotl32 c dst ~tmp (32 - k)
+
+(* Reduce dst modulo 2^61-1 (dst < 2^62 expected): branchless
+   fold-and-conditionally-subtract. *)
+let reduce61 c dst ~tmp =
+  Asm.mov c tmp (Asm.r dst);
+  Asm.shr c tmp (Asm.i 61);
+  Asm.and_ c dst (Asm.i64 p61);
+  Asm.add c dst (Asm.r tmp);
+  (* One more fold in case of wrap. *)
+  Asm.mov c tmp (Asm.r dst);
+  Asm.shr c tmp (Asm.i 61);
+  Asm.and_ c dst (Asm.i64 p61);
+  Asm.add c dst (Asm.r tmp)
+
+(* Field multiplication dst = (a * b) mod (2^61-1), using 30/31-bit limb
+   products so nothing overflows 64 bits: a = a1*2^31 + a0, b = b1*2^31 + b0,
+   and 2^62 ≡ 2 (mod p).  Clobbers t1 t2 t3; dst must differ from a, b. *)
+let mul61 c ~dst ~a ~b ~t1 ~t2 ~t3 =
+  (* t1 = a0*b0 (31+31 bits -> 62 bits, safe) *)
+  Asm.mov c t1 (Asm.r a);
+  Asm.and_ c t1 (Asm.i64 0x7fffffffL);
+  Asm.mov c t2 (Asm.r b);
+  Asm.and_ c t2 (Asm.i64 0x7fffffffL);
+  Asm.mov c dst (Asm.r t1);
+  Asm.mul c dst (Asm.r t2);
+  (* cross terms: (a1*b0 + a0*b1) * 2^31 — accumulate with folding *)
+  Asm.mov c t3 (Asm.r a);
+  Asm.shr c t3 (Asm.i 31);
+  Asm.mul c t3 (Asm.r t2) (* a1*b0, ≤ 61 bits *);
+  (* dst += (t3 << 31) mod p: split t3 = hi*2^30 + lo *)
+  Asm.mov c t2 (Asm.r t3);
+  Asm.shr c t2 (Asm.i 30);
+  Asm.and_ c t3 (Asm.i64 0x3fffffffL);
+  Asm.shl c t3 (Asm.i 31);
+  Asm.add c dst (Asm.r t3);
+  reduce61 c dst ~tmp:t3;
+  Asm.add c dst (Asm.r t2) (* hi*2^61 ≡ hi *);
+  reduce61 c dst ~tmp:t3;
+  (* a0*b1 *)
+  Asm.mov c t1 (Asm.r a);
+  Asm.and_ c t1 (Asm.i64 0x7fffffffL);
+  Asm.mov c t3 (Asm.r b);
+  Asm.shr c t3 (Asm.i 31);
+  Asm.mul c t3 (Asm.r t1);
+  Asm.mov c t2 (Asm.r t3);
+  Asm.shr c t2 (Asm.i 30);
+  Asm.and_ c t3 (Asm.i64 0x3fffffffL);
+  Asm.shl c t3 (Asm.i 31);
+  Asm.add c dst (Asm.r t3);
+  reduce61 c dst ~tmp:t3;
+  Asm.add c dst (Asm.r t2);
+  reduce61 c dst ~tmp:t3;
+  (* a1*b1 * 2^62 ≡ 2*a1*b1 *)
+  Asm.mov c t1 (Asm.r a);
+  Asm.shr c t1 (Asm.i 31);
+  Asm.mov c t3 (Asm.r b);
+  Asm.shr c t3 (Asm.i 31);
+  Asm.mul c t1 (Asm.r t3) (* ≤ 60 bits *);
+  Asm.shl c t1 (Asm.i 1);
+  Asm.add c dst (Asm.r t1);
+  reduce61 c dst ~tmp:t3
+
+(* Reference field arithmetic in OCaml, for oracles and constants. *)
+let fadd a b = Int64.rem (Int64.add a b) p61
+
+let fmul a b =
+  (* Exact via splitting into 31-bit halves, mirroring [mul61]. *)
+  let lo31 x = Int64.logand x 0x7fffffffL in
+  let hi x = Int64.shift_right_logical x 31 in
+  let fold x =
+    let r =
+      Int64.add (Int64.logand x p61) (Int64.shift_right_logical x 61)
+    in
+    if Int64.unsigned_compare r p61 >= 0 then Int64.sub r p61 else r
+  in
+  let shl31_mod x =
+    (* (x * 2^31) mod p *)
+    let hi30 = Int64.shift_right_logical x 30 in
+    let lo = Int64.logand x 0x3fffffffL in
+    fold (Int64.add (Int64.shift_left lo 31) hi30)
+  in
+  let a0 = lo31 a and a1 = hi a and b0 = lo31 b and b1 = hi b in
+  let r = fold (Int64.mul a0 b0) in
+  let r = fold (Int64.add r (shl31_mod (Int64.mul a1 b0))) in
+  let r = fold (Int64.add r (shl31_mod (Int64.mul a0 b1))) in
+  fold (Int64.add r (fold (Int64.shift_left (Int64.mul a1 b1) 1)))
+
+let fpow b e =
+  let rec go acc b e =
+    if Int64.equal e 0L then acc
+    else
+      let acc = if Int64.logand e 1L = 1L then fmul acc b else acc in
+      go acc (fmul b b) (Int64.shift_right_logical e 1)
+  in
+  go 1L (Int64.rem b p61) e

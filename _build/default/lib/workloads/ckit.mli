@@ -1,0 +1,33 @@
+(** Emission helpers shared by the crypto kernels: 32-bit arithmetic in
+    64-bit registers, rotations, and field arithmetic modulo the Mersenne
+    prime 2^61 - 1 (the documented stand-in for the papers' wide fields:
+    same structure — multiply, square, shift-based reduction — at a width
+    the ISA handles natively). *)
+
+open Protean_isa
+
+val m32 : int64
+val p61 : int64
+(** 2^61 - 1, a Mersenne prime: reduction is shift-and-add. *)
+
+val mask32 : Asm.ctx -> Reg.t -> unit
+val rotl32 : Asm.ctx -> Reg.t -> tmp:Reg.t -> int -> unit
+val rotl64 : Asm.ctx -> Reg.t -> tmp:Reg.t -> int -> unit
+val rotr64 : Asm.ctx -> Reg.t -> tmp:Reg.t -> int -> unit
+val rotr32 : Asm.ctx -> Reg.t -> tmp:Reg.t -> int -> unit
+
+val reduce61 : Asm.ctx -> Reg.t -> tmp:Reg.t -> unit
+(** Branchless fold of a value < 2^62 modulo p (result may be the
+    non-canonical representative p ≡ 0). *)
+
+val mul61 :
+  Asm.ctx ->
+  dst:Reg.t -> a:Reg.t -> b:Reg.t -> t1:Reg.t -> t2:Reg.t -> t3:Reg.t -> unit
+(** Field multiplication via 31-bit limb products (nothing overflows 64
+    bits); [dst] must differ from [a] and [b]; clobbers the temporaries. *)
+
+(** Reference field arithmetic for oracles and constants. *)
+
+val fadd : int64 -> int64 -> int64
+val fmul : int64 -> int64 -> int64
+val fpow : int64 -> int64 -> int64

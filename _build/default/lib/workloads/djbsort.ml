@@ -1,0 +1,71 @@
+(* djbsort-style constant-time sorting: a Batcher odd-even merge sorting
+   network over secret 64-bit values, with branchless compare-exchange
+   (cmp + cmov) — the same data-independent structure as djbsort's int32
+   networks.  All addresses and the network shape are public; only the
+   values are secret. *)
+
+open Protean_isa
+
+let data_base = 0x2000
+let n_default = 32
+
+(* Batcher odd-even merge sort network for [n] a power of two: the list
+   of (i, j) compare-exchange pairs, in order. *)
+let batcher n =
+  let pairs = ref [] in
+  let rec merge lo cnt step =
+    if step < cnt then begin
+      if step * 2 < cnt then begin
+        merge lo cnt (step * 2);
+        merge (lo + step) cnt (step * 2);
+        let i = ref (lo + step) in
+        while !i + step < lo + cnt do
+          pairs := (!i, !i + step) :: !pairs;
+          i := !i + (2 * step)
+        done
+      end
+      else pairs := (lo, lo + step) :: !pairs
+    end
+  in
+  let rec sort lo cnt =
+    if cnt > 1 then begin
+      let m = cnt / 2 in
+      sort lo m;
+      sort (lo + m) m;
+      merge lo cnt 1
+    end
+  in
+  sort 0 n;
+  List.rev !pairs
+
+let values n = Array.init n (fun i -> Int64.of_int (((i * 0x9e37) lxor 0x7f4a) land 0xffff))
+
+let make ?(n = n_default) ?(klass = Program.Ct) () =
+  let c = Asm.create () in
+  let vb = Buffer.create (8 * n) in
+  Array.iter (fun v -> Buffer.add_int64_le vb v) (values n);
+  Asm.data c ~addr:(Int64.of_int data_base) ~secret:true (Buffer.contents vb);
+  Asm.func c ~klass "djbsort_network";
+  List.iter
+    (fun (i, j) ->
+      let mi = Asm.mem ~disp:(data_base + (8 * i)) () in
+      let mj = Asm.mem ~disp:(data_base + (8 * j)) () in
+      Asm.load c Reg.rax mi;
+      Asm.load c Reg.rbx mj;
+      Asm.mov c Reg.rcx (Asm.r Reg.rax);
+      Asm.cmp c Reg.rax (Asm.r Reg.rbx);
+      Asm.cmov c Insn.Gt Reg.rcx (Asm.r Reg.rbx) (* min *);
+      Asm.mov c Reg.rdx (Asm.r Reg.rbx);
+      Asm.cmov c Insn.Gt Reg.rdx (Asm.r Reg.rax) (* max *);
+      Asm.store c mi (Asm.r Reg.rcx);
+      Asm.store c mj (Asm.r Reg.rdx))
+    (batcher n);
+  Asm.halt c;
+  Asm.finish c
+
+let ref_sorted n =
+  let v = values n in
+  Array.sort Int64.compare v;
+  let b = Buffer.create (8 * n) in
+  Array.iter (fun x -> Buffer.add_int64_le b x) v;
+  Buffer.contents b

@@ -1,0 +1,14 @@
+(** djbsort-style constant-time sorting: a Batcher odd-even merge network
+    over secret values with branchless (cmp + cmov) compare-exchanges. *)
+
+val data_base : int
+
+val batcher : int -> (int * int) list
+(** The network: compare-exchange pairs in order, for power-of-two n. *)
+
+val values : int -> int64 array
+
+val make :
+  ?n:int -> ?klass:Protean_isa.Program.klass -> unit -> Protean_isa.Program.t
+
+val ref_sorted : int -> string

@@ -1,0 +1,190 @@
+(* The multi-class HTTPS web-server workload (Section VIII-B3, Fig. 1).
+
+   The paper's nginx experiment composes all four vulnerable-code classes
+   in one program: a non-secret-accessing main server (request parsing,
+   routing, session lookup) that delegates secret computation to
+   cryptographic functions of different classes.  This workload mirrors
+   that composition:
+
+     server_main        ARCH  request parse + routing + session table
+     dh_key_exchange    UNR   square-and-multiply modexp (branches on the
+                              secret exponent — non-constant-time)
+     record_encrypt     CTS   ChaCha20-style ARX block over the session key
+     record_mac         CT    SHA-like compression over the record
+
+   ProtCC compiles each function with its class's pass; SPT-SB (the only
+   prior defense that secures the whole program) must treat everything as
+   unrestricted.  Parameters [clients]/[requests] mirror the paper's
+   c×r sweep (nginx.c1r1 ... nginx.c4r4). *)
+
+open Protean_isa
+
+let req_base = 0x2000 (* request bytes, public *)
+let req_len = 256
+let session_base = 0x3000 (* session table *)
+let key_base = 0x4000 (* server private key, secret *)
+let state_base = 0x5000 (* crypto working state *)
+let out_base = 0x6000
+
+let secret_exponent = 0x1b3a59c2d4e6f071L
+
+let request_bytes clients requests =
+  String.init (req_len * clients * requests) (fun i ->
+      Char.chr (0x20 + ((i * 37) land 0x5f)))
+
+let make ?(clients = 1) ?(requests = 1) () =
+  let c = Asm.create () in
+  let total = clients * requests in
+  Asm.data c ~addr:(Int64.of_int req_base) (request_bytes clients requests);
+  Asm.bss c ~addr:(Int64.of_int session_base) (64 * 8);
+  let kb = Buffer.create 8 in
+  Buffer.add_int64_le kb secret_exponent;
+  Asm.data c ~addr:(Int64.of_int key_base) ~secret:true (Buffer.contents kb);
+  Asm.bss c ~addr:(Int64.of_int state_base) 256;
+  Asm.bss c ~addr:(Int64.of_int out_base) (16 * total);
+  Asm.set_main c;
+
+  (* ------------------------------------------------------------------ *)
+  (* ARCH: the main server loop — parse, route, session lookup.          *)
+  (* ------------------------------------------------------------------ *)
+  Asm.func c ~klass:Program.Arch "server_main";
+  Asm.mov c Reg.r15 (Asm.i 0) (* request index *);
+  Asm.label c "accept";
+  (* parse: scan the request for the header/body split, hashing bytes *)
+  Asm.mov c Reg.rcx (Asm.i 0);
+  Asm.mov c Reg.r8 (Asm.i 5381) (* uri hash *);
+  Asm.mov c Reg.rdi (Asm.r Reg.r15);
+  Asm.mul c Reg.rdi (Asm.i req_len);
+  Asm.label c "parse";
+  Asm.mov c Reg.rsi (Asm.r Reg.rdi);
+  Asm.add c Reg.rsi (Asm.r Reg.rcx);
+  Asm.load c ~w:Insn.W8 Reg.rax (Asm.mem ~index:Reg.rsi ~disp:req_base ());
+  Asm.mul c Reg.r8 (Asm.i 33);
+  Asm.add c Reg.r8 (Asm.r Reg.rax);
+  Asm.cmp c Reg.rax (Asm.i 0x2f) (* '/' ends the method token *);
+  Asm.jz c "parsed";
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i req_len);
+  Asm.jlt c "parse";
+  Asm.label c "parsed";
+  (* session lookup: open-addressing probe *)
+  Asm.mov c Reg.rsi (Asm.r Reg.r8);
+  Asm.and_ c Reg.rsi (Asm.i 63);
+  Asm.label c "probe";
+  Asm.load c Reg.rax (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:session_base ());
+  Asm.test c Reg.rax (Asm.r Reg.rax);
+  Asm.jz c "miss";
+  Asm.cmp c Reg.rax (Asm.r Reg.r8);
+  Asm.jz c "hit";
+  Asm.add c Reg.rsi (Asm.i 1);
+  Asm.and_ c Reg.rsi (Asm.i 63);
+  Asm.jmp c "probe";
+  Asm.label c "miss";
+  Asm.store c (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:session_base ()) (Asm.r Reg.r8);
+  (* new session: run the DH key exchange (UNR) *)
+  Asm.call c "dh_key_exchange";
+  Asm.label c "hit";
+  (* encrypt the response record (CTS) and MAC it (CT) *)
+  Asm.call c "record_encrypt";
+  Asm.call c "record_mac";
+  (* store the response tag *)
+  Asm.mov c Reg.rsi (Asm.r Reg.r15);
+  Asm.mul c Reg.rsi (Asm.i 16);
+  Asm.add c Reg.rsi (Asm.i out_base);
+  Asm.store c (Asm.mb Reg.rsi) (Asm.r Reg.rax);
+  Asm.add c Reg.r15 (Asm.i 1);
+  Asm.cmp c Reg.r15 (Asm.i total);
+  Asm.jlt c "accept";
+  Asm.halt c;
+
+  (* ------------------------------------------------------------------ *)
+  (* UNR: DH key exchange — branches on secret exponent bits.            *)
+  (* ------------------------------------------------------------------ *)
+  Asm.func c ~klass:Program.Unr "dh_key_exchange";
+  Asm.push c (Asm.r Reg.rcx);
+  Asm.push c (Asm.r Reg.r8);
+  Asm.mov c Reg.rbx (Asm.i 7) (* generator *);
+  Asm.load c Reg.r13 (Asm.mem ~disp:key_base ());
+  Asm.mov c Reg.r8 (Asm.i 1) (* acc *);
+  Asm.mov c Reg.r14 (Asm.i 0);
+  Asm.label c "dh_bits";
+  Asm.mov c Reg.rax (Asm.r Reg.r13);
+  Asm.shr c Reg.rax (Asm.r Reg.r14);
+  Asm.and_ c Reg.rax (Asm.i 1);
+  Asm.test c Reg.rax (Asm.r Reg.rax);
+  Asm.jz c "dh_skip" (* secret-dependent branch *);
+  Ckit.mul61 c ~dst:Reg.r10 ~a:Reg.r8 ~b:Reg.rbx ~t1:Reg.rcx ~t2:Reg.rdx
+    ~t3:Reg.rsi;
+  Asm.mov c Reg.r8 (Asm.r Reg.r10);
+  Asm.label c "dh_skip";
+  Asm.mov c Reg.r9 (Asm.r Reg.rbx);
+  Ckit.mul61 c ~dst:Reg.r10 ~a:Reg.rbx ~b:Reg.r9 ~t1:Reg.rcx ~t2:Reg.rdx
+    ~t3:Reg.rsi;
+  Asm.mov c Reg.rbx (Asm.r Reg.r10);
+  Asm.add c Reg.r14 (Asm.i 1);
+  Asm.cmp c Reg.r14 (Asm.i 20) (* scaled-down exponent window *);
+  Asm.jlt c "dh_bits";
+  (* derived session key into the crypto state *)
+  Asm.store c (Asm.mem ~disp:state_base ()) (Asm.r Reg.r8);
+  Asm.pop c Reg.r8;
+  Asm.pop c Reg.rcx;
+  Asm.ret c;
+
+  (* ------------------------------------------------------------------ *)
+  (* CTS: record encryption — ChaCha-style ARX over the session key.     *)
+  (* ------------------------------------------------------------------ *)
+  Asm.func c ~klass:Program.Cts "record_encrypt";
+  Asm.push c (Asm.r Reg.rcx);
+  Asm.load c Reg.rax (Asm.mem ~disp:state_base ()) (* session key *);
+  Asm.mov c Reg.rbx (Asm.i64 0x61707865L);
+  Asm.mov c Reg.rdx (Asm.i64 0x3320646eL);
+  Asm.mov c Reg.rcx (Asm.i 0);
+  Asm.label c "enc_round";
+  Asm.add c Reg.rax (Asm.r Reg.rbx);
+  Asm.xor c Reg.rdx (Asm.r Reg.rax);
+  Ckit.rotl64 c Reg.rdx ~tmp:Reg.rsi 16;
+  Asm.add c Reg.rbx (Asm.r Reg.rdx);
+  Asm.xor c Reg.rax (Asm.r Reg.rbx);
+  Ckit.rotl64 c Reg.rax ~tmp:Reg.rsi 12;
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i 20);
+  Asm.jlt c "enc_round";
+  Asm.store c (Asm.mem ~disp:(state_base + 8) ()) (Asm.r Reg.rax);
+  Asm.store c (Asm.mem ~disp:(state_base + 16) ()) (Asm.r Reg.rdx);
+  Asm.pop c Reg.rcx;
+  Asm.ret c;
+
+  (* ------------------------------------------------------------------ *)
+  (* CT: record MAC — SHA-like mixing of the ciphertext words.           *)
+  (* ------------------------------------------------------------------ *)
+  Asm.func c ~klass:Program.Ct "record_mac";
+  Asm.push c (Asm.r Reg.rcx);
+  Asm.load c Reg.rax (Asm.mem ~disp:(state_base + 8) ());
+  Asm.load c Reg.rbx (Asm.mem ~disp:(state_base + 16) ());
+  Asm.mov c Reg.rdx (Asm.i64 0x6a09e667bb67ae85L);
+  Asm.mov c Reg.rcx (Asm.i 0);
+  Asm.label c "mac_round";
+  Asm.mov c Reg.rsi (Asm.r Reg.rax);
+  Ckit.rotr64 c Reg.rsi ~tmp:Reg.rdi 6;
+  Asm.xor c Reg.rdx (Asm.r Reg.rsi);
+  Asm.add c Reg.rdx (Asm.r Reg.rbx);
+  Asm.mov c Reg.rsi (Asm.r Reg.rbx);
+  Ckit.rotr64 c Reg.rsi ~tmp:Reg.rdi 11;
+  Asm.xor c Reg.rax (Asm.r Reg.rsi);
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i 16);
+  Asm.jlt c "mac_round";
+  Asm.mov c Reg.rax (Asm.r Reg.rdx) (* tag in rax *);
+  Asm.pop c Reg.rcx;
+  Asm.ret c;
+  Asm.finish c
+
+(* The c×r sweep of Table V. *)
+let variants =
+  [
+    ("nginx.c1r1", (1, 1));
+    ("nginx.c2r2", (2, 2));
+    ("nginx.c1r4", (1, 4));
+    ("nginx.c4r1", (4, 1));
+    ("nginx.c4r4", (4, 4));
+  ]

@@ -1,0 +1,285 @@
+(* The PARSEC-style multi-thread suite (DESIGN.md substitution): each
+   benchmark is an array of per-thread programs run in lockstep on the
+   full multicore configuration with a shared L3; threads partition
+   disjoint data (runtime = the slowest thread).
+
+   blackscholes and swaptions are deliberately stack-heavy — lots of
+   fixed-offset [rsp+k] temporaries, push/pop-saved registers and
+   divisions — because that is what drives the paper's SPT-SB vs
+   PROTEAN-UNR gap (Section IX-A1: all top transmitters stalled by SPT-SB
+   on blackscholes are fixed-offset stack accesses, which ProtCC-UNR
+   avoids stalling by unprotecting the stack pointer). *)
+
+open Protean_isa
+
+let data_base = 0x10000
+let out_base = 0x8000
+
+let thread_prologue tid =
+  let c = Asm.create () in
+  Asm.data c
+    ~addr:(Int64.of_int data_base)
+    (String.init 8192 (fun i -> Char.chr ((i * 59 + (tid * 7)) land 0xff)));
+  Asm.bss c ~addr:(Int64.of_int out_base) 64;
+  c
+
+let finish_with c reg =
+  Asm.store c (Asm.mem ~disp:out_base ()) (Asm.r reg);
+  Asm.halt c;
+  Asm.finish c
+
+(* bs_price(rdi=spot) -> rax: a rational CND-style approximation with
+   stack temporaries (fixed-offset stack traffic). *)
+let blackscholes_price c =
+  Asm.func c ~klass:Program.Unr "bs_price";
+  Asm.push c (Asm.r Reg.rbx);
+  Asm.push c (Asm.r Reg.r12);
+  Asm.sub c Reg.rsp (Asm.i 48);
+  (* d1 = (spot * 181 + 1000) / (spot + 13) *)
+  Asm.mov c Reg.rax (Asm.r Reg.rdi);
+  Asm.mul c Reg.rax (Asm.i 181);
+  Asm.add c Reg.rax (Asm.i 1000);
+  Asm.mov c Reg.rbx (Asm.r Reg.rdi);
+  Asm.add c Reg.rbx (Asm.i 13);
+  Asm.div c Reg.r12 Reg.rax (Asm.r Reg.rbx);
+  Asm.store c (Asm.mbd Reg.rsp 0) (Asm.r Reg.r12);
+  (* polynomial in d1 with stack-held coefficients *)
+  Asm.mov c Reg.rax (Asm.r Reg.r12);
+  Asm.mul c Reg.rax (Asm.r Reg.r12);
+  Asm.store c (Asm.mbd Reg.rsp 8) (Asm.r Reg.rax);
+  Asm.mul c Reg.rax (Asm.r Reg.r12);
+  Asm.store c (Asm.mbd Reg.rsp 16) (Asm.r Reg.rax);
+  Asm.load c Reg.rbx (Asm.mbd Reg.rsp 0);
+  Asm.mul c Reg.rbx (Asm.i 319);
+  Asm.load c Reg.rax (Asm.mbd Reg.rsp 8);
+  Asm.mul c Reg.rax (Asm.i 356);
+  Asm.sub c Reg.rbx (Asm.r Reg.rax);
+  Asm.load c Reg.rax (Asm.mbd Reg.rsp 16);
+  Asm.mul c Reg.rax (Asm.i 178);
+  Asm.add c Reg.rbx (Asm.r Reg.rax);
+  Asm.store c (Asm.mbd Reg.rsp 24) (Asm.r Reg.rbx);
+  (* normalize *)
+  Asm.load c Reg.rax (Asm.mbd Reg.rsp 24);
+  Asm.mov c Reg.rbx (Asm.r Reg.rdi);
+  Asm.or_ c Reg.rbx (Asm.i 7);
+  Asm.div c Reg.rax Reg.rax (Asm.r Reg.rbx);
+  Asm.and_ c Reg.rax (Asm.i64 0xffffffL);
+  Asm.add c Reg.rsp (Asm.i 48);
+  Asm.pop c Reg.r12;
+  Asm.pop c Reg.rbx;
+  Asm.ret c
+
+(* canneal: random element swaps with cost evaluation (scattered loads,
+   data-dependent accept/reject branch). *)
+let canneal ?(moves = 384) tid =
+  let c = thread_prologue tid in
+  Asm.func c ~klass:Program.Unr "canneal_main";
+  Asm.mov c Reg.r13 (Asm.i (88172645 + tid)) (* rng *);
+  Asm.mov c Reg.rcx (Asm.i 0);
+  Asm.mov c Reg.r8 (Asm.i 0) (* accepted *);
+  Asm.label c "move";
+  Asm.mov c Reg.rax (Asm.r Reg.r13);
+  Asm.shl c Reg.rax (Asm.i 13);
+  Asm.xor c Reg.r13 (Asm.r Reg.rax);
+  Asm.mov c Reg.rax (Asm.r Reg.r13);
+  Asm.shr c Reg.rax (Asm.i 7);
+  Asm.xor c Reg.r13 (Asm.r Reg.rax);
+  Asm.mov c Reg.rsi (Asm.r Reg.r13);
+  Asm.and_ c Reg.rsi (Asm.i 1015);
+  Asm.load c Reg.rax (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:data_base ());
+  Asm.load c Reg.rbx (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:(data_base + 64) ());
+  Asm.cmp c Reg.rax (Asm.r Reg.rbx);
+  Asm.jle c "reject";
+  (* swap *)
+  Asm.store c (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:data_base ()) (Asm.r Reg.rbx);
+  Asm.store c (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:(data_base + 64) ()) (Asm.r Reg.rax);
+  Asm.add c Reg.r8 (Asm.i 1);
+  Asm.label c "reject";
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i moves);
+  Asm.jlt c "move";
+  finish_with c Reg.r8
+
+(* dedup: rolling-hash chunking plus duplicate lookups. *)
+let dedup ?(n = 2048) tid =
+  let c = thread_prologue tid in
+  Asm.bss c ~addr:0x30000L (1024 * 8);
+  Asm.func c ~klass:Program.Unr "dedup_main";
+  Asm.mov c Reg.rcx (Asm.i 0);
+  Asm.mov c Reg.r8 (Asm.i 0) (* rolling hash *);
+  Asm.mov c Reg.r9 (Asm.i 0) (* chunks *);
+  Asm.label c "byte";
+  Asm.mov c Reg.rsi (Asm.r Reg.rcx);
+  Asm.and_ c Reg.rsi (Asm.i 8191);
+  Asm.load c ~w:Insn.W8 Reg.rax (Asm.mem ~index:Reg.rsi ~disp:data_base ());
+  Asm.mul c Reg.r8 (Asm.i 31);
+  Asm.add c Reg.r8 (Asm.r Reg.rax);
+  Asm.and_ c Reg.r8 (Asm.i64 0xffffffffL);
+  (* chunk boundary when low bits zero *)
+  Asm.mov c Reg.rbx (Asm.r Reg.r8);
+  Asm.and_ c Reg.rbx (Asm.i 63);
+  Asm.test c Reg.rbx (Asm.r Reg.rbx);
+  Asm.jnz c "no_boundary";
+  (* dedup table probe *)
+  Asm.mov c Reg.rsi (Asm.r Reg.r8);
+  Asm.shr c Reg.rsi (Asm.i 6);
+  Asm.and_ c Reg.rsi (Asm.i 1023);
+  Asm.load c Reg.rbx (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:0x30000 ());
+  Asm.cmp c Reg.rbx (Asm.r Reg.r8);
+  Asm.jz c "dup";
+  Asm.store c (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:0x30000 ()) (Asm.r Reg.r8);
+  Asm.add c Reg.r9 (Asm.i 1);
+  Asm.label c "dup";
+  Asm.label c "no_boundary";
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i n);
+  Asm.jlt c "byte";
+  finish_with c Reg.r9
+
+(* ferret: L2-distance ranking of feature vectors. *)
+let ferret ?(queries = 24) ?(veclen = 16) ?(corpus = 24) tid =
+  let c = thread_prologue tid in
+  Asm.func c ~klass:Program.Unr "ferret_main";
+  Asm.mov c Reg.rcx (Asm.i 0) (* query *);
+  Asm.mov c Reg.r8 (Asm.i 0) (* best-distance accumulator *);
+  Asm.label c "query";
+  Asm.mov c Reg.rdx (Asm.i 0) (* candidate *);
+  Asm.mov c Reg.r10 (Asm.i64 0x7fffffffL) (* best *);
+  Asm.label c "cand";
+  Asm.mov c Reg.r9 (Asm.i 0) (* dist *);
+  Asm.mov c Reg.rsi (Asm.i 0) (* component *);
+  Asm.label c "comp";
+  Asm.mov c Reg.rax (Asm.r Reg.rcx);
+  Asm.mul c Reg.rax (Asm.i veclen);
+  Asm.add c Reg.rax (Asm.r Reg.rsi);
+  Asm.and_ c Reg.rax (Asm.i 1023);
+  Asm.load c Reg.rbx (Asm.mem ~index:Reg.rax ~scale:8 ~disp:data_base ());
+  Asm.mov c Reg.rax (Asm.r Reg.rdx);
+  Asm.mul c Reg.rax (Asm.i veclen);
+  Asm.add c Reg.rax (Asm.r Reg.rsi);
+  Asm.and_ c Reg.rax (Asm.i 1023);
+  Asm.load c Reg.rdi (Asm.mem ~index:Reg.rax ~scale:8 ~disp:(data_base + 2048) ());
+  Asm.sub c Reg.rbx (Asm.r Reg.rdi);
+  Asm.and_ c Reg.rbx (Asm.i64 0xffffL);
+  Asm.mul c Reg.rbx (Asm.r Reg.rbx);
+  Asm.add c Reg.r9 (Asm.r Reg.rbx);
+  Asm.add c Reg.rsi (Asm.i 1);
+  Asm.cmp c Reg.rsi (Asm.i veclen);
+  Asm.jlt c "comp";
+  Asm.cmp c Reg.r9 (Asm.r Reg.r10);
+  Asm.jge c "not_best";
+  Asm.mov c Reg.r10 (Asm.r Reg.r9);
+  Asm.label c "not_best";
+  Asm.add c Reg.rdx (Asm.i 1);
+  Asm.cmp c Reg.rdx (Asm.i corpus);
+  Asm.jlt c "cand";
+  Asm.add c Reg.r8 (Asm.r Reg.r10);
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i queries);
+  Asm.jlt c "query";
+  finish_with c Reg.r8
+
+(* fluidanimate: grid-neighbour force updates. *)
+let fluidanimate ?(cells = 1024) ?(steps = 3) tid =
+  let c = thread_prologue tid in
+  Asm.func c ~klass:Program.Unr "fluid_main";
+  Asm.mov c Reg.r9 (Asm.i 0);
+  Asm.label c "step";
+  Asm.mov c Reg.rcx (Asm.i 1);
+  Asm.label c "cell";
+  Asm.mov c Reg.rsi (Asm.r Reg.rcx);
+  Asm.and_ c Reg.rsi (Asm.i 1022);
+  Asm.load c Reg.rax (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:data_base ());
+  Asm.load c Reg.rbx (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:(data_base + 8) ());
+  Asm.load c Reg.rdx (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:(data_base - 8) ());
+  Asm.add c Reg.rbx (Asm.r Reg.rdx);
+  Asm.sar c Reg.rbx (Asm.i 1);
+  Asm.sub c Reg.rax (Asm.r Reg.rbx);
+  Asm.sar c Reg.rax (Asm.i 2);
+  Asm.store c (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:data_base ()) (Asm.r Reg.rax);
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i cells);
+  Asm.jlt c "cell";
+  Asm.add c Reg.r9 (Asm.i 1);
+  Asm.cmp c Reg.r9 (Asm.i steps);
+  Asm.jlt c "step";
+  finish_with c Reg.rax
+
+(* swaptions: Monte-Carlo path simulation with stack temporaries and
+   divisions. *)
+let swaptions ?(paths = 64) ?(horizon = 12) tid =
+  let c = thread_prologue tid in
+  Asm.set_main c;
+  Asm.func c ~klass:Program.Unr "swaptions_main";
+  Asm.mov c Reg.rcx (Asm.i 0);
+  Asm.mov c Reg.r8 (Asm.i 0);
+  Asm.mov c Reg.r13 (Asm.i (424243 + tid));
+  Asm.label c "path";
+  Asm.push c (Asm.r Reg.rcx);
+  Asm.sub c Reg.rsp (Asm.i 32);
+  Asm.mov c Reg.rdi (Asm.i 10000) (* rate *);
+  Asm.mov c Reg.rdx (Asm.i 0);
+  Asm.label c "stepv";
+  Asm.mul c Reg.r13 (Asm.i64 6364136223846793005L);
+  Asm.add c Reg.r13 (Asm.i64 1442695040888963407L);
+  Asm.mov c Reg.rax (Asm.r Reg.r13);
+  Asm.shr c Reg.rax (Asm.i 33);
+  Asm.and_ c Reg.rax (Asm.i 255);
+  Asm.store c (Asm.mbd Reg.rsp 0) (Asm.r Reg.rax);
+  Asm.load c Reg.rbx (Asm.mbd Reg.rsp 0);
+  Asm.add c Reg.rdi (Asm.r Reg.rbx);
+  Asm.sub c Reg.rdi (Asm.i 128);
+  Asm.store c (Asm.mbd Reg.rsp 8) (Asm.r Reg.rdi);
+  Asm.load c Reg.rax (Asm.mbd Reg.rsp 8);
+  Asm.mov c Reg.rbx (Asm.i 100);
+  Asm.div c Reg.rsi Reg.rax (Asm.r Reg.rbx);
+  Asm.store c (Asm.mbd Reg.rsp 16) (Asm.r Reg.rsi);
+  Asm.add c Reg.rdx (Asm.i 1);
+  Asm.cmp c Reg.rdx (Asm.i horizon);
+  Asm.jlt c "stepv";
+  Asm.load c Reg.rax (Asm.mbd Reg.rsp 16);
+  Asm.add c Reg.r8 (Asm.r Reg.rax);
+  Asm.add c Reg.rsp (Asm.i 32);
+  Asm.pop c Reg.rcx;
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i paths);
+  Asm.jlt c "path";
+  finish_with c Reg.r8
+
+let threads_default = 4
+
+(* Each benchmark: name, per-thread program builder. *)
+let blackscholes_threads () =
+  Array.init threads_default (fun tid ->
+      let c = thread_prologue tid in
+      Asm.set_main c;
+      Asm.func c ~klass:Program.Unr "bs_main";
+      Asm.mov c Reg.rcx (Asm.i 0);
+      Asm.mov c Reg.r8 (Asm.i 0);
+      Asm.label c "opt";
+      Asm.mov c Reg.rsi (Asm.r Reg.rcx);
+      Asm.and_ c Reg.rsi (Asm.i 1023);
+      Asm.load c Reg.rdi (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:data_base ());
+      Asm.and_ c Reg.rdi (Asm.i64 0xffffffL);
+      Asm.or_ c Reg.rdi (Asm.i 1);
+      Asm.call c "bs_price";
+      Asm.add c Reg.r8 (Asm.r Reg.rax);
+      Asm.add c Reg.rcx (Asm.i 1);
+      Asm.cmp c Reg.rcx (Asm.i 48);
+      Asm.jlt c "opt";
+      Asm.store c (Asm.mem ~disp:out_base ()) (Asm.r Reg.r8);
+      Asm.halt c;
+      blackscholes_price c;
+      Asm.finish c)
+
+let simple_threads f = Array.init threads_default (fun tid -> f tid)
+
+let all =
+  [
+    ("blackscholes", blackscholes_threads);
+    ("canneal", fun () -> simple_threads (fun tid -> canneal tid));
+    ("dedup", fun () -> simple_threads (fun tid -> dedup tid));
+    ("ferret", fun () -> simple_threads (fun tid -> ferret tid));
+    ("fluidanimate", fun () -> simple_threads (fun tid -> fluidanimate tid));
+    ("swaptions", fun () -> simple_threads (fun tid -> swaptions tid));
+  ]

@@ -1,0 +1,78 @@
+(* Poly1305-style one-time MAC, transplanted to the Mersenne field
+   GF(2^61-1) (DESIGN.md substitution: the original evaluates a
+   polynomial over 2^130-5 with multi-limb arithmetic; ours evaluates the
+   same Horner recurrence h = (h + m_i) * r over a narrower Mersenne
+   field with the same structure — secret key r, secret message, public
+   addresses, branchless reduction). *)
+
+open Protean_isa
+
+let key_base = 0x2000 (* r (8 bytes) then s (8 bytes), secret *)
+let msg_base = 0x2100 (* secret message words *)
+let out_base = 0x2600
+
+let r_key = 0x0eadbeef12345677L
+let s_key = 0x1455667788990011L
+
+let message n = Array.init n (fun i -> Int64.of_int ((i * 0x51ed) lxor 0x3c6e))
+
+let make ?(words = 64) ?(klass = Program.Cts) () =
+  let c = Asm.create () in
+  let kb = Buffer.create 16 in
+  Buffer.add_int64_le kb r_key;
+  Buffer.add_int64_le kb s_key;
+  Asm.data c ~addr:(Int64.of_int key_base) ~secret:true (Buffer.contents kb);
+  let mb = Buffer.create (8 * words) in
+  Array.iter (fun w -> Buffer.add_int64_le mb w) (message words);
+  Asm.data c ~addr:(Int64.of_int msg_base) ~secret:true (Buffer.contents mb);
+  Asm.bss c ~addr:(Int64.of_int out_base) 8;
+  Asm.func c ~klass "poly1305_mac";
+  (* rbx = r (clamped into the field), r8 = h = 0, r9 = message index. *)
+  Asm.mov c Reg.rdi (Asm.i key_base);
+  Asm.load c Reg.rbx (Asm.mb Reg.rdi);
+  Asm.and_ c Reg.rbx (Asm.i64 Ckit.p61);
+  Asm.mov c Reg.r8 (Asm.i 0);
+  Asm.mov c Reg.r9 (Asm.i 0);
+  Asm.label c "absorb";
+  (* h += m[i] (folded), h *= r (mod p) *)
+  Asm.load c Reg.rax
+    { Insn.base = None; index = Some Reg.r9; scale = 8; disp = msg_base };
+  Asm.and_ c Reg.rax (Asm.i64 Ckit.p61);
+  Asm.add c Reg.r8 (Asm.r Reg.rax);
+  Ckit.reduce61 c Reg.r8 ~tmp:Reg.rsi;
+  Ckit.mul61 c ~dst:Reg.r10 ~a:Reg.r8 ~b:Reg.rbx ~t1:Reg.rcx ~t2:Reg.rdx
+    ~t3:Reg.rsi;
+  Asm.mov c Reg.r8 (Asm.r Reg.r10);
+  Asm.add c Reg.r9 (Asm.i 1);
+  Asm.cmp c Reg.r9 (Asm.i words);
+  Asm.jlt c "absorb";
+  (* tag = h + s *)
+  Asm.load c Reg.rax (Asm.mbd Reg.rdi 8);
+  Asm.add c Reg.r8 (Asm.r Reg.rax);
+  Asm.mov c Reg.rsi (Asm.i out_base);
+  Asm.store c (Asm.mb Reg.rsi) (Asm.r Reg.r8);
+  Asm.halt c;
+  Asm.finish c
+
+(* --- OCaml reference -------------------------------------------------- *)
+
+let ref_tag words =
+  let r = Int64.logand r_key Ckit.p61 in
+  let h =
+    Array.fold_left
+      (fun h m ->
+        let m = Int64.logand m Ckit.p61 in
+        Ckit.fmul (Int64.rem (Int64.add h m) Ckit.p61) r)
+      0L (message words)
+  in
+  Int64.add h s_key
+
+(* The simulated tag may carry a non-canonical representation of the
+   field element (p instead of 0 in intermediate folds); compare modulo
+   the field. *)
+let tags_match simulated words =
+  let expected = ref_tag words in
+  Int64.equal simulated expected
+  || Int64.equal
+       (Int64.rem (Int64.sub simulated s_key) Ckit.p61)
+       (Int64.rem (Int64.sub expected s_key) Ckit.p61)

@@ -1,0 +1,19 @@
+(** Poly1305-style one-time MAC over GF(2^61-1): the Horner recurrence
+    h = (h + m_i) * r with secret key and message — a CTS-class kernel
+    (see DESIGN.md for the field-width substitution). *)
+
+val key_base : int
+val msg_base : int
+val out_base : int
+val r_key : int64
+val s_key : int64
+val message : int -> int64 array
+
+val make :
+  ?words:int -> ?klass:Protean_isa.Program.klass -> unit -> Protean_isa.Program.t
+
+val ref_tag : int -> int64
+
+val tags_match : int64 -> int -> bool
+(** Compare a simulated tag against the reference modulo the field (the
+    hardware may hold a non-canonical representative). *)

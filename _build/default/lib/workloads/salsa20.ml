@@ -1,0 +1,116 @@
+(* Salsa20 core (the libsodium-style column/row rounds), as a CTS-class
+   kernel.  Same ARX structure as ChaCha20 with a different quarter-round
+   (xor of a rotated sum) and round pattern. *)
+
+open Protean_isa
+
+let state_base = 0x2000
+let work_base = 0x2100
+let out_base = 0x3000
+
+let initial =
+  [|
+    0x61707865l; 0x13213141l; 0x51617181l; 0x91a1b1c1l;
+    0xd1e1f101l; 0x3320646el; 0x21324354l; 0x65768798l;
+    0xa9bacbdcl; 0xedfe0f10l; 0x79622d32l; 0x31425364l;
+    0x75869708l; 0xa9caebfcl; 0x0d1e2f30l; 0x6b206574l;
+  |]
+
+(* Secret words of the state (the key positions of salsa20). *)
+let secret_words = [ 1; 2; 3; 4; 11; 12; 13; 14 ]
+
+(* The four (a,b,c,d) quadruples of a column round and of a row round. *)
+let column_quads = [ (4, 0, 12, 8); (9, 5, 1, 13); (14, 10, 6, 2); (3, 15, 11, 7) ]
+let row_quads = [ (1, 0, 3, 2); (6, 5, 4, 7); (11, 10, 9, 8); (12, 15, 14, 13) ]
+
+(* b ^= rotl32(a + d, k) on state words, salsa-style: each quad applies
+   four such steps with rotations 7, 9, 13, 18. *)
+let emit_quad c (x1, x0, x3, x2) =
+  let tmp = Reg.rsi and t2 = Reg.rbp in
+  let w i = Asm.mbd Reg.rdi (4 * i) in
+  let step dst a b k =
+    Asm.load c ~w:Insn.W32 Reg.rax (w a);
+    Asm.load c ~w:Insn.W32 Reg.rbx (w b);
+    Asm.add c Reg.rax (Asm.r Reg.rbx);
+    Ckit.mask32 c Reg.rax;
+    Ckit.rotl32 c Reg.rax ~tmp k;
+    ignore t2;
+    Asm.load c ~w:Insn.W32 Reg.rcx (w dst);
+    Asm.xor c Reg.rcx (Asm.r Reg.rax);
+    Asm.store c ~w:Insn.W32 (w dst) (Asm.r Reg.rcx)
+  in
+  step x1 x0 x3 7;
+  step x2 x1 x0 9;
+  step x3 x2 x1 13;
+  step x0 x3 x2 18
+
+let emit_double_round c =
+  List.iter (emit_quad c) column_quads;
+  List.iter (emit_quad c) row_quads
+
+let make ?(rounds = 10) ?(klass = Program.Cts) () =
+  let c = Asm.create () in
+  let buf = Buffer.create 64 in
+  Array.iteri
+    (fun i w -> if not (List.mem i secret_words) then Buffer.add_int32_le buf w
+      else Buffer.add_int32_le buf 0l)
+    initial;
+  Asm.data c ~addr:(Int64.of_int state_base) (Buffer.contents buf);
+  (* Secret key words overlay. *)
+  let kb = Buffer.create 32 in
+  List.iter (fun i -> Buffer.add_int32_le kb initial.(i)) secret_words;
+  List.iteri
+    (fun k i ->
+      Asm.data c
+        ~addr:(Int64.of_int (state_base + (4 * i)))
+        ~secret:true
+        (String.sub (Buffer.contents kb) (4 * k) 4))
+    secret_words;
+  Asm.bss c ~addr:(Int64.of_int out_base) 64;
+  Asm.func c ~klass "salsa20_core";
+  (* Working copy. *)
+  Asm.mov c Reg.rdi (Asm.i state_base);
+  Asm.mov c Reg.r8 (Asm.i work_base);
+  for i = 0 to 15 do
+    Asm.load c ~w:Insn.W32 Reg.rax (Asm.mbd Reg.rdi (4 * i));
+    Asm.store c ~w:Insn.W32 (Asm.mbd Reg.r8 (4 * i)) (Asm.r Reg.rax)
+  done;
+  Asm.mov c Reg.rdi (Asm.i work_base);
+  Asm.mov c Reg.r10 (Asm.i 0);
+  Asm.label c "round_loop";
+  emit_double_round c;
+  Asm.add c Reg.r10 (Asm.i 1);
+  Asm.cmp c Reg.r10 (Asm.i rounds);
+  Asm.jlt c "round_loop";
+  (* Feed-forward into the output. *)
+  Asm.mov c Reg.rsi (Asm.i state_base);
+  Asm.mov c Reg.r8 (Asm.i out_base);
+  for i = 0 to 15 do
+    Asm.load c ~w:Insn.W32 Reg.rax (Asm.mbd Reg.rdi (4 * i));
+    Asm.load c ~w:Insn.W32 Reg.rbx (Asm.mbd Reg.rsi (4 * i));
+    Asm.add c Reg.rax (Asm.r Reg.rbx);
+    Ckit.mask32 c Reg.rax;
+    Asm.store c ~w:Insn.W32 (Asm.mbd Reg.r8 (4 * i)) (Asm.r Reg.rax)
+  done;
+  Asm.halt c;
+  Asm.finish c
+
+(* --- OCaml reference -------------------------------------------------- *)
+
+let ref_output rounds =
+  let w = Array.copy initial in
+  let rotl x k = Int32.logor (Int32.shift_left x k) (Int32.shift_right_logical x (32 - k)) in
+  let step dst a b k = w.(dst) <- Int32.logxor w.(dst) (rotl (Int32.add w.(a) w.(b)) k) in
+  let quad (x1, x0, x3, x2) =
+    step x1 x0 x3 7;
+    step x2 x1 x0 9;
+    step x3 x2 x1 13;
+    step x0 x3 x2 18
+  in
+  for _ = 1 to rounds do
+    List.iter quad column_quads;
+    List.iter quad row_quads
+  done;
+  let b = Buffer.create 64 in
+  Array.iteri (fun i x -> Buffer.add_int32_le b (Int32.add x initial.(i))) w;
+  Buffer.contents b

@@ -1,0 +1,10 @@
+(** Salsa20 core (libsodium-style column/row rounds) as a CTS-class
+    kernel. *)
+
+val state_base : int
+val out_base : int
+
+val make :
+  ?rounds:int -> ?klass:Protean_isa.Program.klass -> unit -> Protean_isa.Program.t
+
+val ref_output : int -> string

@@ -1,0 +1,253 @@
+(* SHA-256 compression (FIPS 180-4) over secret message blocks: message
+   schedule expansion plus the 64-round loop, all branchless except the
+   public round/block counters — a CTS-class kernel. *)
+
+open Protean_isa
+
+let h_base = 0x2000 (* 8 u32 running state *)
+let msg_base = 0x2100 (* message blocks, secret *)
+let w_base = 0x2200 (* 64-word schedule *)
+let k_base = 0x2400 (* round constants *)
+let out_base = 0x2500
+
+let k_constants =
+  [|
+    0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
+    0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
+    0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
+    0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
+    0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
+    0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+    0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
+    0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
+    0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
+    0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
+    0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
+    0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+    0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l;
+  |]
+
+let h_init =
+  [|
+    0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;
+    0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l;
+  |]
+
+let message blocks =
+  String.init (64 * blocks) (fun i -> Char.chr ((i * 131) land 0xff))
+
+(* dst = rotr32(src, k) into a fresh register, clobbers tmp. *)
+let rotr_into c dst src ~tmp k =
+  Asm.mov c dst (Asm.r src);
+  Ckit.rotr32 c dst ~tmp k
+
+let make ?(blocks = 2) ?(klass = Program.Cts) () =
+  let c = Asm.create () in
+  let words_data arr =
+    let b = Buffer.create (4 * Array.length arr) in
+    Array.iter (fun w -> Buffer.add_int32_le b w) arr;
+    Buffer.contents b
+  in
+  Asm.data c ~addr:(Int64.of_int h_base) (words_data h_init);
+  Asm.data c ~addr:(Int64.of_int msg_base) ~secret:true (message blocks);
+  Asm.data c ~addr:(Int64.of_int k_base) (words_data k_constants);
+  Asm.bss c ~addr:(Int64.of_int out_base) 32;
+  let widx reg base = { Insn.base = None; index = Some reg; scale = 4; disp = base } in
+  Asm.func c ~klass "sha256_compress";
+  Asm.mov c Reg.r14 (Asm.i 0) (* block counter *);
+  Asm.label c "block_loop";
+  (* Schedule: W[0..15] from the message block (big-endian load is
+     immaterial for the benchmark; we use little-endian words and a
+     matching oracle). *)
+  Asm.mov c Reg.r12 (Asm.i 0);
+  Asm.mov c Reg.r13 (Asm.r Reg.r14);
+  Asm.mul c Reg.r13 (Asm.i 64) (* byte offset of this block *);
+  Asm.label c "w_copy";
+  Asm.mov c Reg.rsi (Asm.r Reg.r12);
+  Asm.mul c Reg.rsi (Asm.i 4);
+  Asm.add c Reg.rsi (Asm.r Reg.r13);
+  Asm.add c Reg.rsi (Asm.i msg_base);
+  Asm.load c ~w:Insn.W32 Reg.rax (Asm.mb Reg.rsi);
+  Asm.store c ~w:Insn.W32 (widx Reg.r12 w_base) (Asm.r Reg.rax);
+  Asm.add c Reg.r12 (Asm.i 1);
+  Asm.cmp c Reg.r12 (Asm.i 16);
+  Asm.jlt c "w_copy";
+  (* W[16..63] expansion. *)
+  Asm.label c "w_expand";
+  (* s0 = rotr7 ^ rotr18 ^ shr3 of W[t-15] *)
+  Asm.load c ~w:Insn.W32 Reg.rax (widx Reg.r12 (w_base - (15 * 4)));
+  rotr_into c Reg.rbx Reg.rax ~tmp:Reg.rsi 7;
+  rotr_into c Reg.rcx Reg.rax ~tmp:Reg.rsi 18;
+  Asm.xor c Reg.rbx (Asm.r Reg.rcx);
+  Asm.shr c Reg.rax (Asm.i 3);
+  Asm.xor c Reg.rbx (Asm.r Reg.rax) (* rbx = s0 *);
+  (* s1 = rotr17 ^ rotr19 ^ shr10 of W[t-2] *)
+  Asm.load c ~w:Insn.W32 Reg.rax (widx Reg.r12 (w_base - (2 * 4)));
+  rotr_into c Reg.rdx Reg.rax ~tmp:Reg.rsi 17;
+  rotr_into c Reg.rcx Reg.rax ~tmp:Reg.rsi 19;
+  Asm.xor c Reg.rdx (Asm.r Reg.rcx);
+  Asm.shr c Reg.rax (Asm.i 10);
+  Asm.xor c Reg.rdx (Asm.r Reg.rax) (* rdx = s1 *);
+  Asm.load c ~w:Insn.W32 Reg.rax (widx Reg.r12 (w_base - (16 * 4)));
+  Asm.load c ~w:Insn.W32 Reg.rcx (widx Reg.r12 (w_base - (7 * 4)));
+  Asm.add c Reg.rax (Asm.r Reg.rcx);
+  Asm.add c Reg.rax (Asm.r Reg.rbx);
+  Asm.add c Reg.rax (Asm.r Reg.rdx);
+  Ckit.mask32 c Reg.rax;
+  Asm.store c ~w:Insn.W32 (widx Reg.r12 w_base) (Asm.r Reg.rax);
+  Asm.add c Reg.r12 (Asm.i 1);
+  Asm.cmp c Reg.r12 (Asm.i 64);
+  Asm.jlt c "w_expand";
+  (* Working variables: a..d in rax..rdx, e..h in r8..r11. *)
+  Asm.mov c Reg.rdi (Asm.i h_base);
+  Asm.load c ~w:Insn.W32 Reg.rax (Asm.mbd Reg.rdi 0);
+  Asm.load c ~w:Insn.W32 Reg.rbx (Asm.mbd Reg.rdi 4);
+  Asm.load c ~w:Insn.W32 Reg.rcx (Asm.mbd Reg.rdi 8);
+  Asm.load c ~w:Insn.W32 Reg.rdx (Asm.mbd Reg.rdi 12);
+  Asm.load c ~w:Insn.W32 Reg.r8 (Asm.mbd Reg.rdi 16);
+  Asm.load c ~w:Insn.W32 Reg.r9 (Asm.mbd Reg.rdi 20);
+  Asm.load c ~w:Insn.W32 Reg.r10 (Asm.mbd Reg.rdi 24);
+  Asm.load c ~w:Insn.W32 Reg.r11 (Asm.mbd Reg.rdi 28);
+  Asm.mov c Reg.r12 (Asm.i 0);
+  Asm.label c "rounds";
+  (* t1 = h + S1(e) + Ch(e,f,g) + K[t] + W[t], in rbp. *)
+  rotr_into c Reg.rbp Reg.r8 ~tmp:Reg.rsi 6;
+  rotr_into c Reg.rdi Reg.r8 ~tmp:Reg.rsi 11;
+  Asm.xor c Reg.rbp (Asm.r Reg.rdi);
+  rotr_into c Reg.rdi Reg.r8 ~tmp:Reg.rsi 25;
+  Asm.xor c Reg.rbp (Asm.r Reg.rdi) (* S1 *);
+  Asm.mov c Reg.rdi (Asm.r Reg.r8);
+  Asm.and_ c Reg.rdi (Asm.r Reg.r9);
+  Asm.mov c Reg.rsi (Asm.r Reg.r8);
+  Asm.not_ c Reg.rsi;
+  Asm.and_ c Reg.rsi (Asm.r Reg.r10);
+  Asm.xor c Reg.rdi (Asm.r Reg.rsi) (* Ch *);
+  Asm.add c Reg.rbp (Asm.r Reg.rdi);
+  Asm.add c Reg.rbp (Asm.r Reg.r11);
+  Asm.load c ~w:Insn.W32 Reg.rdi (widx Reg.r12 k_base);
+  Asm.add c Reg.rbp (Asm.r Reg.rdi);
+  Asm.load c ~w:Insn.W32 Reg.rdi (widx Reg.r12 w_base);
+  Asm.add c Reg.rbp (Asm.r Reg.rdi);
+  Ckit.mask32 c Reg.rbp (* t1 *);
+  (* t2 = S0(a) + Maj(a,b,c), in r13. *)
+  rotr_into c Reg.r13 Reg.rax ~tmp:Reg.rsi 2;
+  rotr_into c Reg.rdi Reg.rax ~tmp:Reg.rsi 13;
+  Asm.xor c Reg.r13 (Asm.r Reg.rdi);
+  rotr_into c Reg.rdi Reg.rax ~tmp:Reg.rsi 22;
+  Asm.xor c Reg.r13 (Asm.r Reg.rdi) (* S0 *);
+  Asm.mov c Reg.rdi (Asm.r Reg.rax);
+  Asm.and_ c Reg.rdi (Asm.r Reg.rbx);
+  Asm.mov c Reg.rsi (Asm.r Reg.rax);
+  Asm.and_ c Reg.rsi (Asm.r Reg.rcx);
+  Asm.xor c Reg.rdi (Asm.r Reg.rsi);
+  Asm.mov c Reg.rsi (Asm.r Reg.rbx);
+  Asm.and_ c Reg.rsi (Asm.r Reg.rcx);
+  Asm.xor c Reg.rdi (Asm.r Reg.rsi) (* Maj *);
+  Asm.add c Reg.r13 (Asm.r Reg.rdi);
+  Ckit.mask32 c Reg.r13 (* t2 *);
+  (* Rotate the working variables. *)
+  Asm.mov c Reg.r11 (Asm.r Reg.r10) (* h = g *);
+  Asm.mov c Reg.r10 (Asm.r Reg.r9) (* g = f *);
+  Asm.mov c Reg.r9 (Asm.r Reg.r8) (* f = e *);
+  Asm.mov c Reg.r8 (Asm.r Reg.rdx);
+  Asm.add c Reg.r8 (Asm.r Reg.rbp);
+  Ckit.mask32 c Reg.r8 (* e = d + t1 *);
+  Asm.mov c Reg.rdx (Asm.r Reg.rcx) (* d = c *);
+  Asm.mov c Reg.rcx (Asm.r Reg.rbx) (* c = b *);
+  Asm.mov c Reg.rbx (Asm.r Reg.rax) (* b = a *);
+  Asm.mov c Reg.rax (Asm.r Reg.rbp);
+  Asm.add c Reg.rax (Asm.r Reg.r13);
+  Ckit.mask32 c Reg.rax (* a = t1 + t2 *);
+  Asm.add c Reg.r12 (Asm.i 1);
+  Asm.cmp c Reg.r12 (Asm.i 64);
+  Asm.jlt c "rounds";
+  (* Add back into the running state. *)
+  Asm.mov c Reg.rdi (Asm.i h_base);
+  let addback reg off =
+    Asm.load c ~w:Insn.W32 Reg.rsi (Asm.mbd Reg.rdi off);
+    Asm.add c Reg.rsi (Asm.r reg);
+    Ckit.mask32 c Reg.rsi;
+    Asm.store c ~w:Insn.W32 (Asm.mbd Reg.rdi off) (Asm.r Reg.rsi)
+  in
+  addback Reg.rax 0;
+  addback Reg.rbx 4;
+  addback Reg.rcx 8;
+  addback Reg.rdx 12;
+  addback Reg.r8 16;
+  addback Reg.r9 20;
+  addback Reg.r10 24;
+  addback Reg.r11 28;
+  Asm.add c Reg.r14 (Asm.i 1);
+  Asm.cmp c Reg.r14 (Asm.i blocks);
+  Asm.jlt c "block_loop";
+  (* Copy the digest out. *)
+  Asm.mov c Reg.rdi (Asm.i h_base);
+  Asm.mov c Reg.r8 (Asm.i out_base);
+  for i = 0 to 7 do
+    Asm.load c ~w:Insn.W32 Reg.rax (Asm.mbd Reg.rdi (4 * i));
+    Asm.store c ~w:Insn.W32 (Asm.mbd Reg.r8 (4 * i)) (Asm.r Reg.rax)
+  done;
+  Asm.halt c;
+  Asm.finish c
+
+(* --- OCaml reference -------------------------------------------------- *)
+
+let ref_digest blocks =
+  let msg = message blocks in
+  let h = Array.copy h_init in
+  let rotr x k = Int32.logor (Int32.shift_right_logical x k) (Int32.shift_left x (32 - k)) in
+  for blk = 0 to blocks - 1 do
+    let w = Array.make 64 0l in
+    for t = 0 to 15 do
+      let off = (64 * blk) + (4 * t) in
+      w.(t) <- String.get_int32_le msg off
+    done;
+    for t = 16 to 63 do
+      let s0 =
+        Int32.logxor
+          (Int32.logxor (rotr w.(t - 15) 7) (rotr w.(t - 15) 18))
+          (Int32.shift_right_logical w.(t - 15) 3)
+      in
+      let s1 =
+        Int32.logxor
+          (Int32.logxor (rotr w.(t - 2) 17) (rotr w.(t - 2) 19))
+          (Int32.shift_right_logical w.(t - 2) 10)
+      in
+      w.(t) <- Int32.add (Int32.add w.(t - 16) s0) (Int32.add w.(t - 7) s1)
+    done;
+    let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+    let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+    for t = 0 to 63 do
+      let s1 = Int32.logxor (Int32.logxor (rotr !e 6) (rotr !e 11)) (rotr !e 25) in
+      let ch = Int32.logxor (Int32.logand !e !f) (Int32.logand (Int32.lognot !e) !g) in
+      let t1 =
+        Int32.add (Int32.add (Int32.add !hh s1) (Int32.add ch k_constants.(t))) w.(t)
+      in
+      let s0 = Int32.logxor (Int32.logxor (rotr !a 2) (rotr !a 13)) (rotr !a 22) in
+      let maj =
+        Int32.logxor
+          (Int32.logxor (Int32.logand !a !b) (Int32.logand !a !c))
+          (Int32.logand !b !c)
+      in
+      let t2 = Int32.add s0 maj in
+      hh := !g;
+      g := !f;
+      f := !e;
+      e := Int32.add !d t1;
+      d := !c;
+      c := !b;
+      b := !a;
+      a := Int32.add t1 t2
+    done;
+    h.(0) <- Int32.add h.(0) !a;
+    h.(1) <- Int32.add h.(1) !b;
+    h.(2) <- Int32.add h.(2) !c;
+    h.(3) <- Int32.add h.(3) !d;
+    h.(4) <- Int32.add h.(4) !e;
+    h.(5) <- Int32.add h.(5) !f;
+    h.(6) <- Int32.add h.(6) !g;
+    h.(7) <- Int32.add h.(7) !hh
+  done;
+  let b = Buffer.create 32 in
+  Array.iter (fun x -> Buffer.add_int32_le b x) h;
+  Buffer.contents b

@@ -1,0 +1,12 @@
+(** SHA-256 compression (FIPS 180-4) over secret message blocks: message
+    schedule expansion plus the 64-round loop — a CTS-class kernel. *)
+
+val h_base : int
+val msg_base : int
+val out_base : int
+
+val make :
+  ?blocks:int -> ?klass:Protean_isa.Program.klass -> unit -> Protean_isa.Program.t
+
+val ref_digest : int -> string
+(** Expected digest bytes at {!out_base} after [blocks] blocks. *)

@@ -1,0 +1,618 @@
+(* The SPEC CPU2017-style suite (DESIGN.md substitution): one synthetic
+   kernel per paper benchmark, each reproducing the microarchitectural
+   behaviour that dominates its namesake — branchy byte scanning
+   (perlbench, xz), table-driven dispatch (gcc), pointer chasing (mcf),
+   heap management (omnetpp), tree walks (xalancbmk), block SAD (x264),
+   bitboards (deepsjeng), RNG playouts (leela), recursive backtracking
+   (exchange2), dense linear algebra and stencils (bwaves, cactuBSSN,
+   fotonik3d) and mixed arithmetic with divisions (nab).  All kernels
+   are general-purpose (ARCH-class) code. *)
+
+open Protean_isa
+
+let data_base = 0x10000
+let data_size = 16 * 1024
+let heap_base = 0x20000
+let out_base = 0x8000
+
+let prologue () =
+  let c = Asm.create () in
+  Asm.data c
+    ~addr:(Int64.of_int data_base)
+    (String.init data_size (fun i -> Char.chr ((i * 131 + (i lsr 5)) land 0xff)));
+  Asm.bss c ~addr:(Int64.of_int heap_base) (16 * 1024);
+  Asm.bss c ~addr:(Int64.of_int out_base) 64;
+  c
+
+let finish_with c reg =
+  Asm.store c (Asm.mem ~disp:out_base ()) (Asm.r reg);
+  Asm.halt c;
+  Asm.finish c
+
+(* perlbench: string hashing with branchy character classification. *)
+let perlbench ?(n = 4096) () =
+  let c = prologue () in
+  Asm.func c ~klass:Program.Arch "perlbench_kernel";
+  Asm.mov c Reg.rcx (Asm.i 0);
+  Asm.mov c Reg.r8 (Asm.i 5381) (* hash *);
+  Asm.mov c Reg.r9 (Asm.i 0) (* word count *);
+  Asm.mark_measurement c;
+  Asm.label c "scan";
+  Asm.load c ~w:Insn.W8 Reg.rax (Asm.mem ~index:Reg.rcx ~disp:data_base ());
+  (* hash = hash*33 + ch *)
+  Asm.mov c Reg.rbx (Asm.r Reg.r8);
+  Asm.mul c Reg.r8 (Asm.i 33);
+  Asm.add c Reg.r8 (Asm.r Reg.rax);
+  ignore Reg.rbx;
+  (* classify: alpha? digit? space? *)
+  Asm.cmp c Reg.rax (Asm.i 0x61);
+  Asm.jlt c "not_lower";
+  Asm.cmp c Reg.rax (Asm.i 0x7a);
+  Asm.jgt c "not_lower";
+  Asm.add c Reg.r9 (Asm.i 1);
+  Asm.jmp c "next";
+  Asm.label c "not_lower";
+  Asm.cmp c Reg.rax (Asm.i 0x30);
+  Asm.jlt c "next";
+  Asm.cmp c Reg.rax (Asm.i 0x39);
+  Asm.jgt c "next";
+  Asm.add c Reg.r9 (Asm.i 2);
+  Asm.label c "next";
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i n);
+  Asm.jlt c "scan";
+  Asm.add c Reg.r8 (Asm.r Reg.r9);
+  finish_with c Reg.r8
+
+(* gcc: four interleaved table-driven finite-state machines — the
+   loaded state feeds the next transition-table address, and independent
+   machines give the unsafe core memory-level parallelism. *)
+let gcc ?(n = 3072) ?(states = 16) () =
+  let c = prologue () in
+  Asm.func c ~klass:Program.Arch "gcc_kernel";
+  (* transition table at heap: next = (state*7 + sym + 1) mod states *)
+  Asm.mov c Reg.rcx (Asm.i 0);
+  Asm.label c "build";
+  Asm.mov c Reg.rax (Asm.r Reg.rcx);
+  Asm.mul c Reg.rax (Asm.i 7);
+  Asm.add c Reg.rax (Asm.i 1);
+  Asm.rem c Reg.rbx Reg.rax (Asm.i states);
+  Asm.store c (Asm.mem ~index:Reg.rcx ~scale:8 ~disp:heap_base ()) (Asm.r Reg.rbx);
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i (states * 8));
+  Asm.jlt c "build";
+  Asm.mark_measurement c;
+  Asm.mov c Reg.rcx (Asm.i 0);
+  Asm.mov c Reg.rdi (Asm.i 0) (* machine A state *);
+  Asm.mov c Reg.r9 (Asm.i 1) (* machine B state *);
+  Asm.mov c Reg.r10 (Asm.i 2) (* machine C state *);
+  Asm.mov c Reg.r11 (Asm.i 3) (* machine D state *);
+  Asm.mov c Reg.r8 (Asm.i 0) (* accepting count *);
+  Asm.label c "run";
+  let step state off =
+    Asm.mov c Reg.rsi (Asm.r Reg.rcx);
+    Asm.add c Reg.rsi (Asm.i off);
+    Asm.and_ c Reg.rsi (Asm.i (data_size - 1));
+    Asm.load c ~w:Insn.W8 Reg.rax (Asm.mem ~index:Reg.rsi ~disp:data_base ());
+    Asm.and_ c Reg.rax (Asm.i 7);
+    Asm.mov c Reg.rbx (Asm.r state);
+    Asm.mul c Reg.rbx (Asm.i 8);
+    Asm.add c Reg.rbx (Asm.r Reg.rax);
+    Asm.load c state (Asm.mem ~index:Reg.rbx ~scale:8 ~disp:heap_base ());
+    Asm.add c Reg.r8 (Asm.r state)
+  in
+  step Reg.rdi 0;
+  step Reg.r9 1024;
+  step Reg.r10 2048;
+  step Reg.r11 3072;
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i n);
+  Asm.jlt c "run";
+  finish_with c Reg.r8
+
+(* mcf: network-simplex-flavoured arc relaxation with pointer chasing. *)
+let mcf ?(nodes = 384) ?(rounds = 4) () =
+  let c = prologue () in
+  Asm.func c ~klass:Program.Arch "mcf_kernel";
+  Asm.mov c Reg.rcx (Asm.i 0);
+  Asm.label c "init";
+  Asm.mov c Reg.rax (Asm.r Reg.rcx);
+  Asm.mul c Reg.rax (Asm.i 193);
+  Asm.add c Reg.rax (Asm.i 71);
+  Asm.rem c Reg.rbx Reg.rax (Asm.i nodes);
+  Asm.mov c Reg.rsi (Asm.r Reg.rcx);
+  Asm.mul c Reg.rsi (Asm.i 24);
+  Asm.add c Reg.rsi (Asm.i heap_base);
+  Asm.store c (Asm.mb Reg.rsi) (Asm.r Reg.rbx) (* next *);
+  Asm.mul c Reg.rbx (Asm.i 3);
+  Asm.store c (Asm.mbd Reg.rsi 8) (Asm.r Reg.rbx) (* cost *);
+  Asm.mov c Reg.rax (Asm.i 1000000);
+  Asm.store c (Asm.mbd Reg.rsi 16) (Asm.r Reg.rax) (* potential *);
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i nodes);
+  Asm.jlt c "init";
+  Asm.mov c Reg.r9 (Asm.i 0);
+  Asm.label c "round";
+  Asm.mov c Reg.rdi (Asm.i 0) (* cur *);
+  Asm.mov c Reg.r10 (Asm.i 0) (* visits *);
+  Asm.label c "relax";
+  Asm.mov c Reg.rsi (Asm.r Reg.rdi);
+  Asm.mul c Reg.rsi (Asm.i 24);
+  Asm.add c Reg.rsi (Asm.i heap_base);
+  Asm.load c Reg.rbx (Asm.mb Reg.rsi) (* next *);
+  Asm.load c Reg.rdx (Asm.mbd Reg.rsi 8) (* cost *);
+  Asm.load c Reg.rax (Asm.mbd Reg.rsi 16) (* potential *);
+  (* neighbour potential *)
+  Asm.mov c Reg.r11 (Asm.r Reg.rbx);
+  Asm.mul c Reg.r11 (Asm.i 24);
+  Asm.add c Reg.r11 (Asm.i heap_base);
+  Asm.load c Reg.r12 (Asm.mbd Reg.r11 16);
+  Asm.add c Reg.r12 (Asm.r Reg.rdx);
+  Asm.cmp c Reg.r12 (Asm.r Reg.rax);
+  Asm.jge c "no_improve";
+  Asm.store c (Asm.mbd Reg.rsi 16) (Asm.r Reg.r12);
+  Asm.label c "no_improve";
+  Asm.mov c Reg.rdi (Asm.r Reg.rbx);
+  Asm.add c Reg.r10 (Asm.i 1);
+  Asm.cmp c Reg.r10 (Asm.i nodes);
+  Asm.jlt c "relax";
+  Asm.mark_measurement c;
+  Asm.add c Reg.r9 (Asm.i 1);
+  Asm.cmp c Reg.r9 (Asm.i rounds);
+  Asm.jlt c "round";
+  finish_with c Reg.r12
+
+(* omnetpp: binary-heap event queue insert/extract churn. *)
+let omnetpp ?(events = 512) () =
+  let c = prologue () in
+  Asm.func c ~klass:Program.Arch "omnetpp_kernel";
+  (* heap array at heap_base; r8 = heap size; process events in a loop *)
+  Asm.mov c Reg.r8 (Asm.i 0);
+  Asm.mov c Reg.rcx (Asm.i 0) (* event counter *);
+  Asm.mov c Reg.r13 (Asm.i 12345) (* rng *);
+  Asm.label c "evloop";
+  (* rng = rng * 1103515245 + 12345 *)
+  Asm.mul c Reg.r13 (Asm.i 1103515245);
+  Asm.add c Reg.r13 (Asm.i 12345);
+  Asm.and_ c Reg.r13 (Asm.i64 0x7fffffffL);
+  (* insert rng as key: sift up *)
+  Asm.mov c Reg.rdi (Asm.r Reg.r8);
+  Asm.store c (Asm.mem ~index:Reg.rdi ~scale:8 ~disp:heap_base ()) (Asm.r Reg.r13);
+  Asm.add c Reg.r8 (Asm.i 1);
+  Asm.label c "siftup";
+  Asm.test c Reg.rdi (Asm.r Reg.rdi);
+  Asm.jz c "inserted";
+  Asm.mov c Reg.rsi (Asm.r Reg.rdi);
+  Asm.sub c Reg.rsi (Asm.i 1);
+  Asm.shr c Reg.rsi (Asm.i 1) (* parent *);
+  Asm.load c Reg.rax (Asm.mem ~index:Reg.rdi ~scale:8 ~disp:heap_base ());
+  Asm.load c Reg.rbx (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:heap_base ());
+  Asm.cmp c Reg.rax (Asm.r Reg.rbx);
+  Asm.jge c "inserted";
+  Asm.store c (Asm.mem ~index:Reg.rdi ~scale:8 ~disp:heap_base ()) (Asm.r Reg.rbx);
+  Asm.store c (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:heap_base ()) (Asm.r Reg.rax);
+  Asm.mov c Reg.rdi (Asm.r Reg.rsi);
+  Asm.jmp c "siftup";
+  Asm.label c "inserted";
+  (* every other event, pop the min (replace root with last, sift down
+     one level only — bounded work per event) *)
+  Asm.test c Reg.rcx (Asm.i 1);
+  Asm.jz c "no_pop";
+  Asm.sub c Reg.r8 (Asm.i 1);
+  Asm.load c Reg.rax (Asm.mem ~index:Reg.r8 ~scale:8 ~disp:heap_base ());
+  Asm.store c (Asm.mem ~disp:heap_base ()) (Asm.r Reg.rax);
+  Asm.label c "no_pop";
+  Asm.mark_measurement c;
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i events);
+  Asm.jlt c "evloop";
+  finish_with c Reg.r8
+
+(* xalancbmk: repeated walks down a pointer-linked DOM-style tree:
+   each step loads the child pointer from the current node. *)
+let xalancbmk ?(walks = 384) ?(depth = 10) ?(tree_nodes = 1024) () =
+  let c = prologue () in
+  Asm.func c ~klass:Program.Arch "xalanc_kernel";
+  (* build: node k at heap + 24k: [left; right; tag] *)
+  Asm.mov c Reg.rcx (Asm.i 0);
+  Asm.label c "build";
+  Asm.mov c Reg.rax (Asm.r Reg.rcx);
+  Asm.mul c Reg.rax (Asm.i 1663);
+  Asm.add c Reg.rax (Asm.i 5);
+  Asm.and_ c Reg.rax (Asm.i (tree_nodes - 1));
+  Asm.mul c Reg.rax (Asm.i 24);
+  Asm.add c Reg.rax (Asm.i heap_base);
+  Asm.mov c Reg.rbx (Asm.r Reg.rcx);
+  Asm.mul c Reg.rbx (Asm.i 24);
+  Asm.add c Reg.rbx (Asm.i heap_base);
+  Asm.store c (Asm.mb Reg.rbx) (Asm.r Reg.rax) (* left *);
+  Asm.add c Reg.rax (Asm.i 24);
+  Asm.store c (Asm.mbd Reg.rbx 8) (Asm.r Reg.rax) (* right *);
+  Asm.store c (Asm.mbd Reg.rbx 16) (Asm.r Reg.rcx) (* tag *);
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i tree_nodes);
+  Asm.jlt c "build";
+  Asm.mark_measurement c;
+  Asm.mov c Reg.rcx (Asm.i 0);
+  Asm.mov c Reg.r8 (Asm.i 0) (* checksum *);
+  Asm.label c "walk";
+  Asm.mov c Reg.rdi (Asm.i heap_base) (* root *);
+  Asm.mov c Reg.rdx (Asm.r Reg.rcx) (* path bits *);
+  Asm.mov c Reg.r9 (Asm.i 0);
+  Asm.label c "descend";
+  Asm.load c Reg.rax (Asm.mbd Reg.rdi 16);
+  Asm.add c Reg.r8 (Asm.r Reg.rax);
+  (* child select by path bit *)
+  Asm.mov c Reg.rbx (Asm.r Reg.rdx);
+  Asm.and_ c Reg.rbx (Asm.i 1);
+  Asm.shr c Reg.rdx (Asm.i 1);
+  Asm.mul c Reg.rbx (Asm.i 8);
+  Asm.add c Reg.rbx (Asm.r Reg.rdi);
+  Asm.load c Reg.rdi (Asm.mb Reg.rbx);
+  Asm.add c Reg.r9 (Asm.i 1);
+  Asm.cmp c Reg.r9 (Asm.i depth);
+  Asm.jlt c "descend";
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i walks);
+  Asm.jlt c "walk";
+  finish_with c Reg.r8
+
+(* x264: sum-of-absolute-differences block search. *)
+let x264 ?(blocks = 48) ?(block_size = 16) () =
+  let c = prologue () in
+  Asm.func c ~klass:Program.Arch "x264_kernel";
+  Asm.mov c Reg.rcx (Asm.i 0) (* block *);
+  Asm.mov c Reg.r8 (Asm.i 0) (* best *);
+  Asm.label c "blk";
+  Asm.mov c Reg.rdx (Asm.i 0) (* offset candidate *);
+  Asm.label c "cand";
+  (* motion vector loaded from a table: its value offsets the reference *)
+  Asm.mov c Reg.r10 (Asm.r Reg.rcx);
+  Asm.add c Reg.r10 (Asm.r Reg.rdx);
+  Asm.and_ c Reg.r10 (Asm.i 1023);
+  Asm.load c Reg.r11 (Asm.mem ~index:Reg.r10 ~scale:8 ~disp:heap_base ());
+  Asm.and_ c Reg.r11 (Asm.i 4095);
+  Asm.mov c Reg.r9 (Asm.i 0) (* sad *);
+  Asm.mov c Reg.rsi (Asm.i 0) (* pixel *);
+  Asm.label c "pix";
+  Asm.mov c Reg.rax (Asm.r Reg.rcx);
+  Asm.mul c Reg.rax (Asm.i block_size);
+  Asm.add c Reg.rax (Asm.r Reg.rsi);
+  Asm.and_ c Reg.rax (Asm.i 8191);
+  Asm.load c ~w:Insn.W8 Reg.rbx (Asm.mem ~index:Reg.rax ~disp:data_base ());
+  Asm.add c Reg.rax (Asm.r Reg.r11);
+  Asm.and_ c Reg.rax (Asm.i 8191);
+  Asm.load c ~w:Insn.W8 Reg.rdi (Asm.mem ~index:Reg.rax ~disp:(data_base + 8192) ());
+  Asm.sub c Reg.rbx (Asm.r Reg.rdi);
+  (* abs via mask *)
+  Asm.mov c Reg.rdi (Asm.r Reg.rbx);
+  Asm.sar c Reg.rdi (Asm.i 63);
+  Asm.xor c Reg.rbx (Asm.r Reg.rdi);
+  Asm.sub c Reg.rbx (Asm.r Reg.rdi);
+  Asm.add c Reg.r9 (Asm.r Reg.rbx);
+  Asm.add c Reg.rsi (Asm.i 1);
+  Asm.cmp c Reg.rsi (Asm.i block_size);
+  Asm.jlt c "pix";
+  Asm.add c Reg.r8 (Asm.r Reg.r9);
+  Asm.add c Reg.rdx (Asm.i 1);
+  Asm.cmp c Reg.rdx (Asm.i 4);
+  Asm.jlt c "cand";
+  Asm.mark_measurement c;
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i blocks);
+  Asm.jlt c "blk";
+  finish_with c Reg.r8
+
+(* deepsjeng: bitboard attacks — shifts, masks, table lookups addressed
+   by board bits, and a branchy popcount. *)
+let deepsjeng ?(positions = 768) () =
+  let c = prologue () in
+  Asm.func c ~klass:Program.Arch "deepsjeng_kernel";
+  Asm.mov c Reg.rcx (Asm.i 0);
+  Asm.mov c Reg.r8 (Asm.i 0);
+  Asm.mov c Reg.r13 (Asm.i64 0x123456789abcdefL) (* board *);
+  Asm.label c "pos";
+  (* board update: xorshift *)
+  Asm.mov c Reg.rax (Asm.r Reg.r13);
+  Asm.shl c Reg.rax (Asm.i 13);
+  Asm.xor c Reg.r13 (Asm.r Reg.rax);
+  Asm.mov c Reg.rax (Asm.r Reg.r13);
+  Asm.shr c Reg.rax (Asm.i 7);
+  Asm.xor c Reg.r13 (Asm.r Reg.rax);
+  (* attack-table lookup chain: board bits -> table entry -> next table *)
+  Asm.mov c Reg.rsi (Asm.r Reg.r13);
+  Asm.and_ c Reg.rsi (Asm.i (data_size / 8 - 1));
+  Asm.load c Reg.rbx (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:data_base ());
+  Asm.mov c Reg.rsi (Asm.r Reg.rbx);
+  Asm.and_ c Reg.rsi (Asm.i (data_size / 8 - 1));
+  Asm.load c Reg.rbx (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:data_base ());
+  Asm.and_ c Reg.rbx (Asm.r Reg.r13);
+  (* branchy popcount of the attack set (bounded) *)
+  Asm.and_ c Reg.rbx (Asm.i 0xffff);
+  Asm.mov c Reg.r9 (Asm.i 0);
+  Asm.label c "popcnt";
+  Asm.test c Reg.rbx (Asm.r Reg.rbx);
+  Asm.jz c "counted";
+  Asm.mov c Reg.rax (Asm.r Reg.rbx);
+  Asm.sub c Reg.rax (Asm.i 1);
+  Asm.and_ c Reg.rbx (Asm.r Reg.rax);
+  Asm.add c Reg.r9 (Asm.i 1);
+  Asm.jmp c "popcnt";
+  Asm.label c "counted";
+  Asm.add c Reg.r8 (Asm.r Reg.r9);
+  Asm.mark_measurement c;
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i positions);
+  Asm.jlt c "pos";
+  finish_with c Reg.r8
+
+(* leela: RNG-driven playouts over a board array. *)
+let leela ?(playouts = 96) ?(moves = 32) () =
+  let c = prologue () in
+  Asm.func c ~klass:Program.Arch "leela_kernel";
+  Asm.mov c Reg.rcx (Asm.i 0);
+  Asm.mov c Reg.r13 (Asm.i 88172645) (* rng *);
+  Asm.mov c Reg.r8 (Asm.i 0) (* wins *);
+  Asm.label c "playout";
+  Asm.mov c Reg.rdx (Asm.i 0);
+  Asm.label c "move";
+  Asm.mov c Reg.rax (Asm.r Reg.r13);
+  Asm.shl c Reg.rax (Asm.i 13);
+  Asm.xor c Reg.r13 (Asm.r Reg.rax);
+  Asm.mov c Reg.rax (Asm.r Reg.r13);
+  Asm.shr c Reg.rax (Asm.i 17);
+  Asm.xor c Reg.r13 (Asm.r Reg.rax);
+  Asm.mov c Reg.rsi (Asm.r Reg.r13);
+  Asm.and_ c Reg.rsi (Asm.i 511);
+  Asm.load c Reg.rax (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:heap_base ());
+  Asm.add c Reg.rax (Asm.i 1);
+  Asm.store c (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:heap_base ()) (Asm.r Reg.rax);
+  Asm.add c Reg.rdx (Asm.i 1);
+  Asm.cmp c Reg.rdx (Asm.i moves);
+  Asm.jlt c "move";
+  Asm.test c Reg.r13 (Asm.i 1);
+  Asm.jz c "lost";
+  Asm.add c Reg.r8 (Asm.i 1);
+  Asm.label c "lost";
+  Asm.mark_measurement c;
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i playouts);
+  Asm.jlt c "playout";
+  finish_with c Reg.r8
+
+(* exchange2: recursive backtracking over permutations (call/ret heavy). *)
+let exchange2 ?(depth = 6) () =
+  let c = prologue () in
+  Asm.set_main c;
+  Asm.func c ~klass:Program.Arch "exchange2_main";
+  Asm.mov c Reg.rdi (Asm.i 0) (* level *);
+  Asm.mov c Reg.r8 (Asm.i 0) (* solutions *);
+  Asm.call c "permute";
+  Asm.mark_measurement c;
+  Asm.call c "permute";
+  Asm.store c (Asm.mem ~disp:out_base ()) (Asm.r Reg.r8);
+  Asm.halt c;
+  Asm.func c ~klass:Program.Arch "permute";
+  Asm.cmp c Reg.rdi (Asm.i depth);
+  Asm.jlt c "recurse";
+  Asm.add c Reg.r8 (Asm.i 1);
+  Asm.ret c;
+  Asm.label c "recurse";
+  Asm.mov c Reg.rcx (Asm.i 0);
+  Asm.label c "choices";
+  Asm.push c (Asm.r Reg.rcx);
+  Asm.push c (Asm.r Reg.rdi);
+  Asm.add c Reg.rdi (Asm.i 1);
+  Asm.call c "permute";
+  Asm.pop c Reg.rdi;
+  Asm.pop c Reg.rcx;
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i 3);
+  Asm.jlt c "choices";
+  Asm.ret c;
+  Asm.finish c
+
+(* xz: LZ77-style longest-match search (byte compares, branchy). *)
+let xz ?(n = 1024) ?(window = 64) () =
+  let c = prologue () in
+  Asm.func c ~klass:Program.Arch "xz_kernel";
+  Asm.mov c Reg.rcx (Asm.i window) (* position *);
+  Asm.mov c Reg.r8 (Asm.i 0) (* total match length *);
+  Asm.label c "pos_loop";
+  Asm.mov c Reg.rdx (Asm.i 1) (* candidate distance *);
+  Asm.mov c Reg.r9 (Asm.i 0) (* best length *);
+  Asm.label c "cand_loop";
+  Asm.mov c Reg.rsi (Asm.i 0) (* match length *);
+  Asm.label c "match_loop";
+  Asm.mov c Reg.rax (Asm.r Reg.rcx);
+  Asm.add c Reg.rax (Asm.r Reg.rsi);
+  Asm.and_ c Reg.rax (Asm.i (data_size - 1));
+  Asm.load c ~w:Insn.W8 Reg.rbx (Asm.mem ~index:Reg.rax ~disp:data_base ());
+  Asm.sub c Reg.rax (Asm.r Reg.rdx);
+  Asm.and_ c Reg.rax (Asm.i (data_size - 1));
+  Asm.load c ~w:Insn.W8 Reg.rdi (Asm.mem ~index:Reg.rax ~disp:data_base ());
+  Asm.cmp c Reg.rbx (Asm.r Reg.rdi);
+  Asm.jnz c "match_done";
+  Asm.add c Reg.rsi (Asm.i 1);
+  Asm.cmp c Reg.rsi (Asm.i 8);
+  Asm.jlt c "match_loop";
+  Asm.label c "match_done";
+  Asm.cmp c Reg.rsi (Asm.r Reg.r9);
+  Asm.jle c "not_better";
+  Asm.mov c Reg.r9 (Asm.r Reg.rsi);
+  Asm.label c "not_better";
+  Asm.shl c Reg.rdx (Asm.i 1);
+  Asm.cmp c Reg.rdx (Asm.i window);
+  Asm.jle c "cand_loop";
+  Asm.add c Reg.r8 (Asm.r Reg.r9);
+  Asm.mark_measurement c;
+  Asm.add c Reg.rcx (Asm.i 3);
+  Asm.cmp c Reg.rcx (Asm.i n);
+  Asm.jlt c "pos_loop";
+  finish_with c Reg.r8
+
+(* bwaves: dense matrix-vector products. *)
+let bwaves ?(dim = 40) ?(reps = 3) () =
+  let c = prologue () in
+  Asm.func c ~klass:Program.Arch "bwaves_kernel";
+  Asm.mov c Reg.r9 (Asm.i 0);
+  Asm.label c "rep";
+  Asm.mov c Reg.rcx (Asm.i 0) (* row *);
+  Asm.mov c Reg.r10 (Asm.i 0) (* row*dim, maintained additively *);
+  Asm.label c "row";
+  Asm.mov c Reg.rdx (Asm.i 0) (* col *);
+  Asm.mov c Reg.r8 (Asm.i 0) (* dot *);
+  Asm.label c "col";
+  Asm.mov c Reg.rax (Asm.r Reg.r10);
+  Asm.add c Reg.rax (Asm.r Reg.rdx);
+  Asm.load c Reg.rbx (Asm.mem ~index:Reg.rax ~scale:8 ~disp:data_base ());
+  Asm.load c Reg.rsi (Asm.mem ~index:Reg.rdx ~scale:8 ~disp:heap_base ());
+  Asm.mul c Reg.rbx (Asm.r Reg.rsi);
+  Asm.mov c Reg.rdi (Asm.r Reg.rbx);
+  Asm.mul c Reg.rdi (Asm.i 5);
+  Asm.add c Reg.rbx (Asm.r Reg.rdi);
+  Asm.sar c Reg.rbx (Asm.i 2);
+  Asm.add c Reg.r8 (Asm.r Reg.rbx);
+  Asm.add c Reg.rdx (Asm.i 1);
+  Asm.cmp c Reg.rdx (Asm.i dim);
+  Asm.jlt c "col";
+  Asm.store c (Asm.mem ~index:Reg.rcx ~scale:8 ~disp:heap_base ()) (Asm.r Reg.r8);
+  Asm.add c Reg.r10 (Asm.i dim);
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i dim);
+  Asm.jlt c "row";
+  Asm.mark_measurement c;
+  Asm.add c Reg.r9 (Asm.i 1);
+  Asm.cmp c Reg.r9 (Asm.i reps);
+  Asm.jlt c "rep";
+  finish_with c Reg.r8
+
+(* cactuBSSN: wide-stencil arithmetic with many live temporaries. *)
+let cactubssn ?(cells = 1200) () =
+  let c = prologue () in
+  Asm.func c ~klass:Program.Arch "cactu_kernel";
+  Asm.mov c Reg.rcx (Asm.i 4);
+  Asm.mark_measurement c;
+  Asm.label c "cell";
+  Asm.mov c Reg.rsi (Asm.r Reg.rcx);
+  Asm.load c Reg.rax (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:data_base ());
+  Asm.load c Reg.rbx (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:(data_base + 8) ());
+  Asm.load c Reg.rdx (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:(data_base + 16) ());
+  Asm.load c Reg.rdi (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:(data_base + 24) ());
+  Asm.mov c Reg.r8 (Asm.r Reg.rax);
+  Asm.mul c Reg.r8 (Asm.r Reg.rbx);
+  Asm.mov c Reg.r9 (Asm.r Reg.rdx);
+  Asm.mul c Reg.r9 (Asm.r Reg.rdi);
+  Asm.add c Reg.r8 (Asm.r Reg.r9);
+  Asm.mov c Reg.r9 (Asm.r Reg.rax);
+  Asm.add c Reg.r9 (Asm.r Reg.rdx);
+  Asm.mul c Reg.r9 (Asm.r Reg.rbx);
+  Asm.sub c Reg.r8 (Asm.r Reg.r9);
+  (* Christoffel-style dependent products *)
+  Asm.mov c Reg.r10 (Asm.r Reg.r8);
+  Asm.mul c Reg.r10 (Asm.r Reg.r8);
+  Asm.add c Reg.r10 (Asm.r Reg.rax);
+  Asm.mul c Reg.r10 (Asm.r Reg.rbx);
+  Asm.add c Reg.r10 (Asm.r Reg.rdx);
+  Asm.mul c Reg.r10 (Asm.i 3);
+  Asm.add c Reg.r8 (Asm.r Reg.r10);
+  Asm.sar c Reg.r8 (Asm.i 5);
+  Asm.store c (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:heap_base ()) (Asm.r Reg.r8);
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i cells);
+  Asm.jlt c "cell";
+  finish_with c Reg.r8
+
+(* fotonik3d: 3D stencil over a flattened grid. *)
+let fotonik3d ?(dim = 12) ?(sweeps = 3) () =
+  let c = prologue () in
+  Asm.func c ~klass:Program.Arch "fotonik_kernel";
+  let plane = dim * dim in
+  Asm.mov c Reg.r9 (Asm.i 0);
+  Asm.label c "sweep";
+  Asm.mov c Reg.rcx (Asm.i (plane + dim + 1));
+  Asm.label c "cell";
+  Asm.mov c Reg.rsi (Asm.r Reg.rcx);
+  Asm.load c Reg.rax (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:data_base ());
+  Asm.load c Reg.rbx (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:(data_base + 8) ());
+  Asm.add c Reg.rax (Asm.r Reg.rbx);
+  Asm.load c Reg.rbx (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:(data_base + (8 * dim)) ());
+  Asm.add c Reg.rax (Asm.r Reg.rbx);
+  Asm.load c Reg.rbx (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:(data_base + (8 * plane)) ());
+  Asm.add c Reg.rax (Asm.r Reg.rbx);
+  Asm.mov c Reg.rdi (Asm.r Reg.rax);
+  Asm.mul c Reg.rdi (Asm.r Reg.rax);
+  Asm.add c Reg.rdi (Asm.i 9);
+  Asm.mul c Reg.rdi (Asm.i 11);
+  Asm.add c Reg.rax (Asm.r Reg.rdi);
+  Asm.sar c Reg.rax (Asm.i 2);
+  Asm.store c (Asm.mem ~index:Reg.rsi ~scale:8 ~disp:heap_base ()) (Asm.r Reg.rax);
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i (dim * dim * dim));
+  Asm.jlt c "cell";
+  Asm.mark_measurement c;
+  Asm.add c Reg.r9 (Asm.i 1);
+  Asm.cmp c Reg.r9 (Asm.i sweeps);
+  Asm.jlt c "sweep";
+  finish_with c Reg.rax
+
+(* nab: molecular-mechanics-style mixed arithmetic with divisions. *)
+let nab ?(atoms = 640) () =
+  let c = prologue () in
+  Asm.func c ~klass:Program.Arch "nab_kernel";
+  Asm.mov c Reg.rcx (Asm.i 1);
+  Asm.mov c Reg.r8 (Asm.i 0);
+  Asm.label c "atom";
+  Asm.mov c Reg.rax (Asm.r Reg.rcx);
+  Asm.mul c Reg.rax (Asm.r Reg.rcx);
+  Asm.add c Reg.rax (Asm.i 17);
+  (* dependent force-field polynomial (serial arithmetic chain) *)
+  Asm.mov c Reg.r9 (Asm.r Reg.rax);
+  Asm.mul c Reg.r9 (Asm.r Reg.rax);
+  Asm.add c Reg.r9 (Asm.r Reg.rax);
+  Asm.mul c Reg.r9 (Asm.i 13);
+  Asm.add c Reg.r9 (Asm.i 7);
+  Asm.mul c Reg.r9 (Asm.r Reg.r9);
+  Asm.add c Reg.rax (Asm.r Reg.r9);
+  Asm.mov c Reg.rbx (Asm.r Reg.rcx);
+  Asm.add c Reg.rbx (Asm.i 3);
+  Asm.test c Reg.rcx (Asm.i 3);
+  Asm.jnz c "no_div" (* one inverse-sqrt-style division per 4 atoms *);
+  Asm.div c Reg.rdx Reg.rax (Asm.r Reg.rbx) (* distance-like quotient *);
+  Asm.rem c Reg.rsi Reg.rax (Asm.r Reg.rbx);
+  Asm.add c Reg.rdx (Asm.r Reg.rsi);
+  Asm.mul c Reg.rdx (Asm.r Reg.rdx);
+  Asm.add c Reg.r8 (Asm.r Reg.rdx);
+  Asm.label c "no_div";
+  Asm.add c Reg.r8 (Asm.r Reg.rax);
+  Asm.mark_measurement c;
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i atoms);
+  Asm.jlt c "atom";
+  finish_with c Reg.r8
+
+(* The SPECint subset used for the ProtCC overhead and predictor
+   studies. *)
+let int_names =
+  [
+    "perlbench"; "gcc"; "mcf"; "omnetpp"; "xalancbmk"; "x264"; "deepsjeng";
+    "leela"; "exchange2"; "xz";
+  ]
+
+let all =
+  [
+    ("perlbench", fun () -> perlbench ());
+    ("gcc", fun () -> gcc ());
+    ("mcf", fun () -> mcf ());
+    ("omnetpp", fun () -> omnetpp ());
+    ("xalancbmk", fun () -> xalancbmk ());
+    ("x264", fun () -> x264 ());
+    ("deepsjeng", fun () -> deepsjeng ());
+    ("leela", fun () -> leela ());
+    ("exchange2", fun () -> exchange2 ());
+    ("xz", fun () -> xz ());
+    ("bwaves", fun () -> bwaves ());
+    ("cactuBSSN", fun () -> cactubssn ());
+    ("fotonik3d", fun () -> fotonik3d ());
+    ("nab", fun () -> nab ());
+  ]

@@ -1,0 +1,114 @@
+(* SPECK-128/128 block encryption (Beaulieu et al., the NSA lightweight
+   ARX cipher) — the CT-class block-cipher kernel standing in for the
+   bitsliced `ctaes` benchmark (DESIGN.md substitution: both are
+   branchless constant-time block ciphers; SPECK's ARX structure maps
+   directly onto our ISA).  Key schedule and encryption are computed
+   in-simulation with the key as secret input. *)
+
+open Protean_isa
+
+let key_base = 0x2000 (* 2 x u64, secret *)
+let rk_base = 0x2100 (* 32 round keys *)
+let msg_base = 0x2300 (* plaintext blocks, secret *)
+let out_base = 0x2500
+
+let rounds = 32
+let key = (0x0f0e0d0c0b0a0908L, 0x0706050403020100L)
+
+let plaintext blocks =
+  Array.init (2 * blocks) (fun i -> Int64.of_int ((i * 0x6c61) lxor 0x2074))
+
+(* One SPECK round on registers (x, y) with round key in [k]:
+   x = (rotr x 8 + y) ^ k; y = rotl y 3 ^ x. *)
+let emit_round c ~x ~y ~k ~tmp =
+  Ckit.rotr64 c x ~tmp 8;
+  Asm.add c x (Asm.r y);
+  Asm.xor c x (Asm.r k);
+  Ckit.rotl64 c y ~tmp 3;
+  Asm.xor c y (Asm.r x)
+
+let make ?(blocks = 8) ?(klass = Program.Ct) () =
+  let c = Asm.create () in
+  let kb = Buffer.create 16 in
+  let k1, k0 = key in
+  Buffer.add_int64_le kb k0;
+  Buffer.add_int64_le kb k1;
+  Asm.data c ~addr:(Int64.of_int key_base) ~secret:true (Buffer.contents kb);
+  let pb = Buffer.create (16 * blocks) in
+  Array.iter (fun w -> Buffer.add_int64_le pb w) (plaintext blocks);
+  Asm.data c ~addr:(Int64.of_int msg_base) ~secret:true (Buffer.contents pb);
+  Asm.bss c ~addr:(Int64.of_int rk_base) (8 * rounds);
+  Asm.bss c ~addr:(Int64.of_int out_base) (16 * blocks);
+  Asm.func c ~klass "speck_encrypt";
+  (* Key schedule: a = k0, b = k1; rk[i] = a; (b,a) = round(b,a) with i. *)
+  Asm.mov c Reg.rdi (Asm.i key_base);
+  Asm.load c Reg.rax (Asm.mb Reg.rdi) (* a *);
+  Asm.load c Reg.rbx (Asm.mbd Reg.rdi 8) (* b *);
+  Asm.mov c Reg.rcx (Asm.i 0);
+  Asm.label c "ks_loop";
+  Asm.store c
+    { Insn.base = None; index = Some Reg.rcx; scale = 8; disp = rk_base }
+    (Asm.r Reg.rax);
+  emit_round c ~x:Reg.rbx ~y:Reg.rax ~k:Reg.rcx ~tmp:Reg.rsi;
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i (rounds - 1));
+  Asm.jle c "ks_loop";
+  (* Encrypt each block. *)
+  Asm.mov c Reg.r9 (Asm.i 0) (* block index *);
+  Asm.label c "blk_loop";
+  Asm.mov c Reg.rdi (Asm.r Reg.r9);
+  Asm.mul c Reg.rdi (Asm.i 16);
+  Asm.mov c Reg.r10 (Asm.r Reg.rdi);
+  Asm.add c Reg.rdi (Asm.i msg_base);
+  Asm.add c Reg.r10 (Asm.i out_base);
+  Asm.load c Reg.rdx (Asm.mb Reg.rdi) (* y *);
+  Asm.load c Reg.rcx (Asm.mbd Reg.rdi 8) (* x *);
+  Asm.mov c Reg.r11 (Asm.i 0);
+  Asm.label c "enc_loop";
+  Asm.load c Reg.r8
+    { Insn.base = None; index = Some Reg.r11; scale = 8; disp = rk_base };
+  emit_round c ~x:Reg.rcx ~y:Reg.rdx ~k:Reg.r8 ~tmp:Reg.rsi;
+  Asm.add c Reg.r11 (Asm.i 1);
+  Asm.cmp c Reg.r11 (Asm.i rounds);
+  Asm.jlt c "enc_loop";
+  Asm.store c (Asm.mb Reg.r10) (Asm.r Reg.rdx);
+  Asm.store c (Asm.mbd Reg.r10 8) (Asm.r Reg.rcx);
+  Asm.add c Reg.r9 (Asm.i 1);
+  Asm.cmp c Reg.r9 (Asm.i blocks);
+  Asm.jlt c "blk_loop";
+  Asm.halt c;
+  Asm.finish c
+
+(* --- OCaml reference -------------------------------------------------- *)
+
+let rotr x k = Int64.logor (Int64.shift_right_logical x k) (Int64.shift_left x (64 - k))
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let ref_round (x, y) k =
+  let x = Int64.logxor (Int64.add (rotr x 8) y) k in
+  let y = Int64.logxor (rotl y 3) x in
+  (x, y)
+
+let ref_encrypt blocks =
+  let k1, k0 = key in
+  let rk = Array.make rounds 0L in
+  let a = ref k0 and b = ref k1 in
+  for i = 0 to rounds - 1 do
+    rk.(i) <- !a;
+    let b', a' = ref_round (!b, !a) (Int64.of_int i) in
+    b := b';
+    a := a'
+  done;
+  let pt = plaintext blocks in
+  let out = Buffer.create (16 * blocks) in
+  for blk = 0 to blocks - 1 do
+    let y = ref pt.(2 * blk) and x = ref pt.((2 * blk) + 1) in
+    for i = 0 to rounds - 1 do
+      let x', y' = ref_round (!x, !y) rk.(i) in
+      x := x';
+      y := y'
+    done;
+    Buffer.add_int64_le out !y;
+    Buffer.add_int64_le out !x
+  done;
+  Buffer.contents out

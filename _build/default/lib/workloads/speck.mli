@@ -1,0 +1,13 @@
+(** SPECK-128/128 block encryption (ARX): key schedule plus block loop,
+    secret key and plaintext — the CT-class stand-in for the bitsliced
+    `ctaes` benchmark. *)
+
+val key_base : int
+val msg_base : int
+val out_base : int
+val rounds : int
+
+val make :
+  ?blocks:int -> ?klass:Protean_isa.Program.klass -> unit -> Protean_isa.Program.t
+
+val ref_encrypt : int -> string

@@ -1,0 +1,123 @@
+(* Registry of every benchmark in the evaluation, with suite and class
+   metadata (Section VIII-B).  The experiment harness iterates these. *)
+
+open Protean_isa
+
+type kind =
+  | Single of (unit -> Program.t)
+  | Multi of (unit -> Program.t array) (* one program per thread *)
+
+type benchmark = {
+  name : string;
+  suite : string;
+  klass : Program.klass; (* class of the (single-class) benchmark *)
+  kind : kind;
+}
+
+let single suite klass (name, f) = { name; suite; klass; kind = Single f }
+
+(* SPEC CPU2017-style kernels: general-purpose ARCH code. *)
+let spec2017 = List.map (single "spec2017" Program.Arch) Spec.all
+
+let spec2017_int =
+  List.filter (fun b -> List.mem b.name Spec.int_names) spec2017
+
+(* PARSEC-style multi-thread kernels. *)
+let parsec =
+  List.map
+    (fun (name, f) ->
+      { name = name ^ ".p"; suite = "parsec"; klass = Program.Unr; kind = Multi f })
+    Parsec.all
+
+(* ARCH-Wasm: sandboxed SPEC2006-style kernels. *)
+let arch_wasm = List.map (single "arch-wasm" Program.Arch) Wasm.all
+
+(* CTS-Crypto: static constant-time primitives, in the upstream-variant
+   naming of Table V. *)
+let cts_crypto =
+  [
+    single "cts-crypto" Program.Cts
+      ("hacl.chacha20", fun () -> Chacha20.make ~variant:`Unrolled ~blocks:2 ());
+    single "cts-crypto" Program.Cts ("hacl.curve25519", fun () -> X25519.make ());
+    single "cts-crypto" Program.Cts
+      ("hacl.poly1305", fun () -> Poly1305.make ~words:64 ());
+    single "cts-crypto" Program.Cts
+      ("sodium.salsa20", fun () -> Salsa20.make ~rounds:10 ());
+    single "cts-crypto" Program.Cts
+      ("sodium.sha256", fun () -> Sha256.make ~blocks:2 ());
+    single "cts-crypto" Program.Cts
+      ("ossl.chacha20", fun () -> Chacha20.make ~variant:`Looped ~blocks:2 ());
+    single "cts-crypto" Program.Cts
+      ("ossl.curve25519", fun () -> X25519.make ());
+    single "cts-crypto" Program.Cts
+      ("ossl.sha256", fun () -> Sha256.make ~blocks:3 ());
+  ]
+
+(* CT-Crypto: constant-time but not statically typeable primitives. *)
+let ct_crypto =
+  [
+    single "ct-crypto" Program.Ct ("bearssl", fun () -> Xtea.make ~blocks:16 ());
+    single "ct-crypto" Program.Ct ("ctaes", fun () -> Speck.make ~blocks:8 ());
+    single "ct-crypto" Program.Ct ("djbsort", fun () -> Djbsort.make ~n:32 ());
+  ]
+
+(* UNR-Crypto: non-constant-time OpenSSL-style primitives. *)
+let unr_crypto =
+  [
+    single "unr-crypto" Program.Unr ("ossl.bnexp", fun () -> Unr_crypto.modexp ());
+    single "unr-crypto" Program.Unr ("ossl.dh", fun () -> Unr_crypto.dh ());
+    single "unr-crypto" Program.Unr ("ossl.ecadd", fun () -> Unr_crypto.ecadd ());
+  ]
+
+(* Multi-class nginx: per-function classes are already in the program's
+   function table. *)
+let nginx =
+  List.map
+    (fun (name, (clients, requests)) ->
+      {
+        name;
+        suite = "nginx";
+        klass = Program.Unr;
+        kind = Single (fun () -> Nginx_sim.make ~clients ~requests ());
+      })
+    Nginx_sim.variants
+
+(* Microbenchmarks for targeted studies. *)
+let micro =
+  let open Protean_isa in
+  let w32_index () =
+    (* 32-bit register writes whose (zero-extended) values feed load
+       addresses: the pattern behind SPT's 32-bit untaint performance
+       fix (Section VII-B4c). *)
+    let c = Asm.create () in
+    Asm.data c ~addr:0x3000L (String.init 8192 (fun i -> Char.chr (i land 0xff)));
+    Asm.func c ~klass:Program.Arch "w32_index";
+    Asm.mov c Reg.rcx (Asm.i 0);
+    Asm.mov c Reg.r8 (Asm.i 0);
+    Asm.label c "loop";
+    Asm.mov c ~w:Insn.W32 Reg.rax (Asm.i 64);
+    Asm.add c Reg.rax (Asm.r Reg.rcx);
+    Asm.load c Reg.rbx (Asm.mem ~index:Reg.rax ~disp:0x3000 ());
+    Asm.add c Reg.r8 (Asm.r Reg.rbx);
+    Asm.mov c ~w:Insn.W32 Reg.rdx (Asm.i 128);
+    Asm.add c Reg.rdx (Asm.r Reg.rcx);
+    Asm.load c Reg.rsi (Asm.mem ~index:Reg.rdx ~disp:0x3000 ());
+    Asm.add c Reg.r8 (Asm.r Reg.rsi);
+    Asm.add c Reg.rcx (Asm.i 1);
+    Asm.cmp c Reg.rcx (Asm.i 2048);
+    Asm.jlt c "loop";
+    Asm.store c (Asm.mem ~disp:0x8000 ()) (Asm.r Reg.r8);
+    Asm.halt c;
+    Asm.finish c
+  in
+  [ { name = "w32-index"; suite = "micro"; klass = Program.Arch;
+      kind = Single w32_index } ]
+
+let all =
+  spec2017 @ parsec @ arch_wasm @ cts_crypto @ ct_crypto @ unr_crypto @ nginx
+  @ micro
+
+let find name =
+  match List.find_opt (fun b -> String.equal b.name name) all with
+  | Some b -> b
+  | None -> invalid_arg ("Suite.find: unknown benchmark " ^ name)

@@ -1,0 +1,47 @@
+(** Registry of every benchmark in the performance evaluation
+    (Section VIII-B), with suite and vulnerable-code-class metadata. *)
+
+open Protean_isa
+
+type kind =
+  | Single of (unit -> Program.t)
+  | Multi of (unit -> Program.t array)  (** one program per thread *)
+
+type benchmark = {
+  name : string;
+  suite : string;
+  klass : Program.klass;
+  kind : kind;
+}
+
+val spec2017 : benchmark list
+(** SPEC CPU2017-style general-purpose kernels (ARCH class). *)
+
+val spec2017_int : benchmark list
+(** The SPECint subset used by the Section IX studies. *)
+
+val parsec : benchmark list
+(** PARSEC-style multi-thread kernels, run on the full multicore. *)
+
+val arch_wasm : benchmark list
+(** Sandboxed SPEC CPU2006-to-WebAssembly-style kernels. *)
+
+val cts_crypto : benchmark list
+(** Static constant-time primitives, in Table V's upstream-variant
+    naming (hacl, sodium and ossl prefixes). *)
+
+val ct_crypto : benchmark list
+(** Constant-time (but not statically typeable) primitives. *)
+
+val unr_crypto : benchmark list
+(** Non-constant-time OpenSSL-style primitives. *)
+
+val nginx : benchmark list
+(** The multi-class web server, over the c×r client/request sweep. *)
+
+val micro : benchmark list
+(** Microbenchmarks for targeted studies (e.g. the 32-bit-index pattern
+    behind SPT's w32 untaint fix). *)
+
+val all : benchmark list
+val find : string -> benchmark

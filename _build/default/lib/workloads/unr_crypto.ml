@@ -1,0 +1,288 @@
+(* The UNR-Crypto suite (Section VIII-B2): cryptographic routines that
+   are *not* constant-time — they branch on and index by secret data, so
+   only defenses that protect all architectural state (SPT-SB) or
+   PROTEAN with ProtCC-UNR can fully secure them.
+
+   - [modexp]  square-and-multiply modular exponentiation with a branch
+     on each secret exponent bit (the classic non-CT `BN_mod_exp`
+     pattern, over the GF(2^61-1) stand-in field);
+   - [dh]      a Diffie–Hellman key agreement built from two modexps;
+   - [ecadd]   repeated elliptic-curve point addition in affine
+     coordinates with branchy special cases and a non-CT extended-
+     Euclid modular inverse (the `EC_POINT_add` pattern). *)
+
+open Protean_isa
+
+let key_base = 0x2000
+let out_base = 0x2100
+let work_base = 0x2200
+
+let secret_exponent = 0x1b3a59c2d4e6f071L
+let generator = 7L
+
+(* rbx^r13 mod p → r8, with a data-dependent branch per exponent bit.
+   Clobbers most registers. *)
+let emit_modexp c ~label_prefix =
+  let l s = label_prefix ^ s in
+  Asm.mov c Reg.r8 (Asm.i 1) (* acc *);
+  Asm.mov c Reg.r14 (Asm.i 0) (* bit index *);
+  Asm.label c (l "bit_loop");
+  Asm.mov c Reg.rax (Asm.r Reg.r13);
+  Asm.shr c Reg.rax (Asm.r Reg.r14);
+  Asm.and_ c Reg.rax (Asm.i 1);
+  Asm.test c Reg.rax (Asm.r Reg.rax);
+  Asm.jz c (l "skip_mul") (* secret-dependent branch: UNR code *);
+  Ckit.mul61 c ~dst:Reg.r10 ~a:Reg.r8 ~b:Reg.rbx ~t1:Reg.rcx ~t2:Reg.rdx
+    ~t3:Reg.rsi;
+  Asm.mov c Reg.r8 (Asm.r Reg.r10);
+  Asm.label c (l "skip_mul");
+  Asm.mov c Reg.r9 (Asm.r Reg.rbx);
+  Ckit.mul61 c ~dst:Reg.r10 ~a:Reg.rbx ~b:Reg.r9 ~t1:Reg.rcx ~t2:Reg.rdx
+    ~t3:Reg.rsi;
+  Asm.mov c Reg.rbx (Asm.r Reg.r10);
+  Asm.add c Reg.r14 (Asm.i 1);
+  Asm.cmp c Reg.r14 (Asm.i 61);
+  Asm.jlt c (l "bit_loop")
+
+let modexp ?(klass = Program.Unr) () =
+  let c = Asm.create () in
+  let kb = Buffer.create 8 in
+  Buffer.add_int64_le kb secret_exponent;
+  Asm.data c ~addr:(Int64.of_int key_base) ~secret:true (Buffer.contents kb);
+  Asm.bss c ~addr:(Int64.of_int out_base) 8;
+  Asm.func c ~klass "bn_mod_exp";
+  Asm.mov c Reg.rdi (Asm.i key_base);
+  Asm.load c Reg.r13 (Asm.mb Reg.rdi);
+  Asm.mov c Reg.rbx (Asm.i64 generator);
+  emit_modexp c ~label_prefix:"me_";
+  Asm.mov c Reg.rsi (Asm.i out_base);
+  Asm.store c (Asm.mb Reg.rsi) (Asm.r Reg.r8);
+  Asm.halt c;
+  Asm.finish c
+
+let ref_modexp () = Ckit.fpow generator secret_exponent
+
+(* Diffie–Hellman: A = g^a, then shared = A'^a for a received public
+   value A' (two modexps over the secret exponent). *)
+let peer_public = 0x0123456789abcdL
+
+let dh ?(klass = Program.Unr) () =
+  let c = Asm.create () in
+  let kb = Buffer.create 8 in
+  Buffer.add_int64_le kb secret_exponent;
+  Asm.data c ~addr:(Int64.of_int key_base) ~secret:true (Buffer.contents kb);
+  Asm.bss c ~addr:(Int64.of_int out_base) 16;
+  Asm.func c ~klass "dh_agree";
+  Asm.mov c Reg.rdi (Asm.i key_base);
+  Asm.load c Reg.r13 (Asm.mb Reg.rdi);
+  Asm.mov c Reg.rbx (Asm.i64 generator);
+  emit_modexp c ~label_prefix:"dh1_";
+  Asm.mov c Reg.rsi (Asm.i out_base);
+  Asm.store c (Asm.mb Reg.rsi) (Asm.r Reg.r8) (* our public value *);
+  Asm.load c Reg.r13 (Asm.mb Reg.rdi);
+  Asm.mov c Reg.rbx (Asm.i64 peer_public);
+  emit_modexp c ~label_prefix:"dh2_";
+  Asm.mov c Reg.rsi (Asm.i out_base);
+  Asm.store c (Asm.mbd Reg.rsi 8) (Asm.r Reg.r8) (* shared secret *);
+  Asm.halt c;
+  Asm.finish c
+
+let ref_dh () = (Ckit.fpow generator secret_exponent, Ckit.fpow peer_public secret_exponent)
+
+(* Elliptic-curve point addition on y^2 = x^3 + 3x + 11 over GF(2^61-1),
+   affine coordinates: slope = (y2-y1)/(x2-x1) via a branchy extended-
+   Euclid inverse, with the usual special-case branches — repeatedly
+   adding a secret point to an accumulator (scalar-multiply by small
+   count). *)
+
+let ec_a = 3L
+
+(* Secret input point. *)
+let px = 0x0102030405060708L
+let py = 0x1a2b3c4d5e6f7a8bL
+
+let adds_default = 6
+
+(* Extended-Euclid inverse of r9 modulo p into r8; branch-heavy (UNR).
+   Uses the iterative algorithm with division; clobbers many registers.
+   Registers: r = r9, old_r = r10, s = r11, old_s = r12. *)
+let emit_inverse c ~label_prefix =
+  let l s = label_prefix ^ s in
+  Asm.mov c Reg.r10 (Asm.i64 Ckit.p61) (* old_r = p *);
+  Asm.mov c Reg.r11 (Asm.i 1) (* s = 1 *);
+  Asm.mov c Reg.r12 (Asm.i 0) (* old_s = 0 *);
+  Asm.label c (l "inv_loop");
+  Asm.test c Reg.r9 (Asm.r Reg.r9);
+  Asm.jz c (l "inv_done");
+  (* q = old_r / r; (old_r, r) = (r, old_r - q*r); same for s. *)
+  Asm.div c Reg.rax Reg.r10 (Asm.r Reg.r9);
+  Asm.mov c Reg.rbx (Asm.r Reg.rax);
+  Asm.mul c Reg.rbx (Asm.r Reg.r9);
+  Asm.mov c Reg.rcx (Asm.r Reg.r10);
+  Asm.sub c Reg.rcx (Asm.r Reg.rbx) (* new r *);
+  Asm.mov c Reg.r10 (Asm.r Reg.r9);
+  Asm.mov c Reg.r9 (Asm.r Reg.rcx);
+  (* s update over the integers is fine modulo p afterwards: do it in the
+     field: new_s = old_s - q*s (mod p). *)
+  Asm.mov c Reg.rdx (Asm.r Reg.rax);
+  Asm.and_ c Reg.rdx (Asm.i64 Ckit.p61) (* q mod p; q < p anyway *);
+  Ckit.mul61 c ~dst:Reg.rsi ~a:Reg.rdx ~b:Reg.r11 ~t1:Reg.rbx ~t2:Reg.rcx
+    ~t3:Reg.rbp;
+  Asm.mov c Reg.rdx (Asm.r Reg.r12);
+  Asm.add c Reg.rdx (Asm.i64 Ckit.p61);
+  Asm.sub c Reg.rdx (Asm.r Reg.rsi);
+  Ckit.reduce61 c Reg.rdx ~tmp:Reg.rbp;
+  Asm.mov c Reg.r12 (Asm.r Reg.r11);
+  Asm.mov c Reg.r11 (Asm.r Reg.rdx);
+  Asm.jmp c (l "inv_loop");
+  Asm.label c (l "inv_done");
+  Asm.mov c Reg.r8 (Asm.r Reg.r12)
+
+(* Point slots in the work area: accumulator (ax, ay, inf flag) and the
+   secret point (px, py). *)
+let s_ax = 0
+let s_ay = 1
+let s_ainf = 2
+let s_px = 3
+let s_py = 4
+let s_sx = 5 (* slope *)
+let s_t = 6
+let s_t2 = 7
+
+let slot i = Asm.mem ~disp:(work_base + (8 * i)) ()
+
+let ecadd ?(adds = adds_default) ?(klass = Program.Unr) () =
+  let c = Asm.create () in
+  let kb = Buffer.create 16 in
+  Buffer.add_int64_le kb px;
+  Buffer.add_int64_le kb py;
+  Asm.data c ~addr:(Int64.of_int key_base) ~secret:true (Buffer.contents kb);
+  Asm.bss c ~addr:(Int64.of_int work_base) (8 * 8);
+  Asm.bss c ~addr:(Int64.of_int out_base) 24;
+  let fmul_slots ~dst ~a ~b =
+    Asm.load c Reg.r8 (slot a);
+    Asm.load c Reg.r9 (slot b);
+    Ckit.mul61 c ~dst:Reg.r10 ~a:Reg.r8 ~b:Reg.r9 ~t1:Reg.rcx ~t2:Reg.rdx
+      ~t3:Reg.rsi;
+    Asm.store c (slot dst) (Asm.r Reg.r10)
+  in
+  let fsub_slots ~dst ~a ~b =
+    Asm.load c Reg.r8 (slot a);
+    Asm.load c Reg.r9 (slot b);
+    Asm.add c Reg.r8 (Asm.i64 Ckit.p61);
+    Asm.sub c Reg.r8 (Asm.r Reg.r9);
+    Ckit.reduce61 c Reg.r8 ~tmp:Reg.rsi;
+    Asm.store c (slot dst) (Asm.r Reg.r8)
+  in
+  Asm.func c ~klass "ec_point_add";
+  (* Load the secret point; accumulator starts at infinity. *)
+  Asm.mov c Reg.rdi (Asm.i key_base);
+  Asm.load c Reg.rax (Asm.mb Reg.rdi);
+  Asm.and_ c Reg.rax (Asm.i64 Ckit.p61);
+  Asm.store c (slot s_px) (Asm.r Reg.rax);
+  Asm.load c Reg.rax (Asm.mbd Reg.rdi 8);
+  Asm.and_ c Reg.rax (Asm.i64 Ckit.p61);
+  Asm.store c (slot s_py) (Asm.r Reg.rax);
+  Asm.mov c Reg.rax (Asm.i 1);
+  Asm.store c (slot s_ainf) (Asm.r Reg.rax);
+  Asm.mov c Reg.r15 (Asm.i 0) (* add counter *);
+  Asm.label c "add_loop";
+  (* if accumulator is infinity: acc = P *)
+  Asm.load c Reg.rax (slot s_ainf);
+  Asm.test c Reg.rax (Asm.r Reg.rax);
+  Asm.jz c "not_inf";
+  Asm.load c Reg.rax (slot s_px);
+  Asm.store c (slot s_ax) (Asm.r Reg.rax);
+  Asm.load c Reg.rax (slot s_py);
+  Asm.store c (slot s_ay) (Asm.r Reg.rax);
+  Asm.mov c Reg.rax (Asm.i 0);
+  Asm.store c (slot s_ainf) (Asm.r Reg.rax);
+  Asm.jmp c "next_add";
+  Asm.label c "not_inf";
+  (* if ax == px (secret-dependent branch): doubling case *)
+  Asm.load c Reg.rax (slot s_ax);
+  Asm.load c Reg.rbx (slot s_px);
+  Asm.cmp c Reg.rax (Asm.r Reg.rbx);
+  Asm.jz c "double_case";
+  (* slope = (py - ay) / (px - ax) *)
+  fsub_slots ~dst:s_t ~a:s_py ~b:s_ay;
+  fsub_slots ~dst:s_sx ~a:s_px ~b:s_ax;
+  Asm.load c Reg.r9 (slot s_sx);
+  emit_inverse c ~label_prefix:"add_";
+  Asm.store c (slot s_sx) (Asm.r Reg.r8);
+  fmul_slots ~dst:s_sx ~a:s_sx ~b:s_t;
+  Asm.jmp c "have_slope";
+  Asm.label c "double_case";
+  (* slope = (3*ax^2 + a) / (2*ay) *)
+  fmul_slots ~dst:s_t ~a:s_ax ~b:s_ax;
+  Asm.load c Reg.r8 (slot s_t);
+  Asm.mov c Reg.r9 (Asm.i 3);
+  Ckit.mul61 c ~dst:Reg.r10 ~a:Reg.r8 ~b:Reg.r9 ~t1:Reg.rcx ~t2:Reg.rdx
+    ~t3:Reg.rsi;
+  Asm.mov c Reg.rax (Asm.i64 ec_a);
+  Asm.add c Reg.r10 (Asm.r Reg.rax);
+  Ckit.reduce61 c Reg.r10 ~tmp:Reg.rsi;
+  Asm.store c (slot s_t) (Asm.r Reg.r10);
+  Asm.load c Reg.r9 (slot s_ay);
+  Asm.add c Reg.r9 (Asm.r Reg.r9);
+  Ckit.reduce61 c Reg.r9 ~tmp:Reg.rsi;
+  emit_inverse c ~label_prefix:"dbl_";
+  Asm.store c (slot s_sx) (Asm.r Reg.r8);
+  fmul_slots ~dst:s_sx ~a:s_sx ~b:s_t;
+  Asm.label c "have_slope";
+  (* x3 = s^2 - ax - px; y3 = s*(ax - x3) - ay *)
+  fmul_slots ~dst:s_t ~a:s_sx ~b:s_sx;
+  fsub_slots ~dst:s_t ~a:s_t ~b:s_ax;
+  fsub_slots ~dst:s_t ~a:s_t ~b:s_px (* t = x3 *);
+  fsub_slots ~dst:s_t2 ~a:s_ax ~b:s_t (* t2 = ax - x3 *);
+  fmul_slots ~dst:s_t2 ~a:s_sx ~b:s_t2 (* t2 = s*(ax - x3) *);
+  fsub_slots ~dst:s_t2 ~a:s_t2 ~b:s_ay (* t2 = y3 *);
+  Asm.load c Reg.rax (slot s_t);
+  Asm.store c (slot s_ax) (Asm.r Reg.rax);
+  Asm.load c Reg.rax (slot s_t2);
+  Asm.store c (slot s_ay) (Asm.r Reg.rax);
+  Asm.label c "next_add";
+  Asm.add c Reg.r15 (Asm.i 1);
+  Asm.cmp c Reg.r15 (Asm.i adds);
+  Asm.jlt c "add_loop";
+  (* Output the accumulator. *)
+  Asm.mov c Reg.rsi (Asm.i out_base);
+  Asm.load c Reg.rax (slot s_ax);
+  Asm.store c (Asm.mb Reg.rsi) (Asm.r Reg.rax);
+  Asm.load c Reg.rax (slot s_ay);
+  Asm.store c (Asm.mbd Reg.rsi 8) (Asm.r Reg.rax);
+  Asm.load c Reg.rax (slot s_ainf);
+  Asm.store c (Asm.mbd Reg.rsi 16) (Asm.r Reg.rax);
+  Asm.halt c;
+  Asm.finish c
+
+(* --- OCaml reference -------------------------------------------------- *)
+
+let ref_ecadd ?(adds = adds_default) () =
+  let p = Ckit.p61 in
+  let fsub a b = Int64.rem (Int64.add (Int64.sub a b) p) p in
+  let fadd a b = Int64.rem (Int64.add a b) p in
+  let finv a = Ckit.fpow a (Int64.sub p 2L) in
+  let pxr = Int64.logand px p and pyr = Int64.logand py p in
+  let ax = ref 0L and ay = ref 0L and inf = ref true in
+  for _ = 1 to adds do
+    if !inf then begin
+      ax := pxr;
+      ay := pyr;
+      inf := false
+    end
+    else begin
+      let s =
+        if Int64.equal (Int64.rem !ax p) (Int64.rem pxr p) then
+          Ckit.fmul
+            (fadd (Ckit.fmul 3L (Ckit.fmul !ax !ax)) ec_a)
+            (finv (fadd !ay !ay))
+        else Ckit.fmul (fsub pyr !ay) (finv (fsub pxr !ax))
+      in
+      let x3 = fsub (fsub (Ckit.fmul s s) !ax) pxr in
+      let y3 = fsub (Ckit.fmul s (fsub !ax x3)) !ay in
+      ax := x3;
+      ay := y3
+    end
+  done;
+  (Int64.rem !ax p, Int64.rem !ay p)

@@ -1,0 +1,27 @@
+(** The UNR-Crypto suite (Section VIII-B2): cryptographic routines that
+    are *not* constant-time — they branch on and index by secret data, so
+    only SPT-SB or PROTEAN with ProtCC-UNR fully secure them. *)
+
+val key_base : int
+val out_base : int
+val secret_exponent : int64
+val generator : int64
+
+val modexp :
+  ?klass:Protean_isa.Program.klass -> unit -> Protean_isa.Program.t
+(** Square-and-multiply with a branch per secret exponent bit (the
+    non-constant-time `BN_mod_exp` pattern). *)
+
+val ref_modexp : unit -> int64
+
+val dh : ?klass:Protean_isa.Program.klass -> unit -> Protean_isa.Program.t
+(** Diffie–Hellman agreement: two modexps over the secret exponent. *)
+
+val ref_dh : unit -> int64 * int64
+
+val ecadd :
+  ?adds:int -> ?klass:Protean_isa.Program.klass -> unit -> Protean_isa.Program.t
+(** Repeated affine EC point addition with branchy special cases and a
+    non-constant-time extended-Euclid inverse (`EC_POINT_add`). *)
+
+val ref_ecadd : ?adds:int -> unit -> int64 * int64

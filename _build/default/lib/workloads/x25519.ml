@@ -1,0 +1,195 @@
+(* Curve25519-style X-only Montgomery ladder, over GF(2^61-1)
+   (DESIGN.md substitution: the 255-bit field becomes the native-width
+   Mersenne field; the code structure is exactly that of a constant-time
+   X25519 implementation — a fixed-trip ladder of field
+   multiplications/squarings with branchless conditional swaps driven by
+   the secret scalar bits). *)
+
+open Protean_isa
+
+let key_base = 0x2000 (* secret scalar *)
+let work_base = 0x2100 (* field-element slots *)
+let out_base = 0x2300
+
+let scalar = 0x1c44556677881235L
+let base_x = 9L
+let a24 = 121666L
+let bits = 61
+
+(* Field-element slots in the work area. *)
+let s_x1 = 0
+let s_x2 = 1
+let s_z2 = 2
+let s_x3 = 3
+let s_z3 = 4
+let s_a = 5
+let s_b = 6
+let s_c = 7
+let s_d = 8
+let s_aa = 9
+let s_bb = 10
+let s_e = 11
+let s_da = 12
+let s_cb = 13
+let s_t = 14
+
+let slot_mem slot = Asm.mem ~disp:(work_base + (8 * slot)) ()
+
+let emit_ld c reg slot = Asm.load c reg (slot_mem slot)
+let emit_st c slot reg = Asm.store c (slot_mem slot) (Asm.r reg)
+
+(* dst_slot = a_slot * b_slot mod p *)
+let emit_fmul c ~dst ~a ~b =
+  emit_ld c Reg.r8 a;
+  emit_ld c Reg.r9 b;
+  Ckit.mul61 c ~dst:Reg.r10 ~a:Reg.r8 ~b:Reg.r9 ~t1:Reg.rcx ~t2:Reg.rdx
+    ~t3:Reg.rsi;
+  emit_st c dst Reg.r10
+
+let emit_fadd c ~dst ~a ~b =
+  emit_ld c Reg.r8 a;
+  emit_ld c Reg.r9 b;
+  Asm.add c Reg.r8 (Asm.r Reg.r9);
+  Ckit.reduce61 c Reg.r8 ~tmp:Reg.rsi;
+  emit_st c dst Reg.r8
+
+(* dst = a - b mod p, via a + p - b (both operands ≤ p). *)
+let emit_fsub c ~dst ~a ~b =
+  emit_ld c Reg.r8 a;
+  emit_ld c Reg.r9 b;
+  Asm.add c Reg.r8 (Asm.i64 Ckit.p61);
+  Asm.sub c Reg.r8 (Asm.r Reg.r9);
+  Ckit.reduce61 c Reg.r8 ~tmp:Reg.rsi;
+  emit_st c dst Reg.r8
+
+(* Branchless conditional swap of two slots under mask register r11. *)
+let emit_cswap c sa sb =
+  emit_ld c Reg.r8 sa;
+  emit_ld c Reg.r9 sb;
+  Asm.mov c Reg.r10 (Asm.r Reg.r8);
+  Asm.xor c Reg.r10 (Asm.r Reg.r9);
+  Asm.and_ c Reg.r10 (Asm.r Reg.r11);
+  Asm.xor c Reg.r8 (Asm.r Reg.r10);
+  Asm.xor c Reg.r9 (Asm.r Reg.r10);
+  emit_st c sa Reg.r8;
+  emit_st c sb Reg.r9
+
+let make ?(klass = Program.Cts) () =
+  let c = Asm.create () in
+  let kb = Buffer.create 8 in
+  Buffer.add_int64_le kb scalar;
+  Asm.data c ~addr:(Int64.of_int key_base) ~secret:true (Buffer.contents kb);
+  Asm.bss c ~addr:(Int64.of_int work_base) (8 * 16);
+  Asm.bss c ~addr:(Int64.of_int out_base) 16;
+  Asm.func c ~klass "x25519_ladder";
+  (* Initialize: x1 = base, x2 = 1, z2 = 0, x3 = base, z3 = 1. *)
+  Asm.mov c Reg.rax (Asm.i64 base_x);
+  emit_st c s_x1 Reg.rax;
+  emit_st c s_x3 Reg.rax;
+  Asm.mov c Reg.rax (Asm.i 1);
+  emit_st c s_x2 Reg.rax;
+  emit_st c s_z3 Reg.rax;
+  Asm.mov c Reg.rax (Asm.i 0);
+  emit_st c s_z2 Reg.rax;
+  (* r13 = scalar (secret), r14 = bit index, r15 = running swap. *)
+  Asm.mov c Reg.rdi (Asm.i key_base);
+  Asm.load c Reg.r13 (Asm.mb Reg.rdi);
+  Asm.mov c Reg.r14 (Asm.i (bits - 1));
+  Asm.mov c Reg.r15 (Asm.i 0);
+  Asm.label c "ladder";
+  (* bit = (k >> t) & 1; swap ^= bit; mask = -swap. *)
+  Asm.mov c Reg.rbx (Asm.r Reg.r13);
+  Asm.shr c Reg.rbx (Asm.r Reg.r14);
+  Asm.and_ c Reg.rbx (Asm.i 1);
+  Asm.xor c Reg.r15 (Asm.r Reg.rbx);
+  Asm.mov c Reg.r11 (Asm.i 0);
+  Asm.sub c Reg.r11 (Asm.r Reg.r15);
+  emit_cswap c s_x2 s_x3;
+  emit_cswap c s_z2 s_z3;
+  Asm.mov c Reg.r15 (Asm.r Reg.rbx);
+  (* Ladder step. *)
+  emit_fadd c ~dst:s_a ~a:s_x2 ~b:s_z2;
+  emit_fmul c ~dst:s_aa ~a:s_a ~b:s_a;
+  emit_fsub c ~dst:s_b ~a:s_x2 ~b:s_z2;
+  emit_fmul c ~dst:s_bb ~a:s_b ~b:s_b;
+  emit_fsub c ~dst:s_e ~a:s_aa ~b:s_bb;
+  emit_fadd c ~dst:s_c ~a:s_x3 ~b:s_z3;
+  emit_fsub c ~dst:s_d ~a:s_x3 ~b:s_z3;
+  emit_fmul c ~dst:s_da ~a:s_d ~b:s_a;
+  emit_fmul c ~dst:s_cb ~a:s_c ~b:s_b;
+  (* x3 = (DA + CB)^2 *)
+  emit_fadd c ~dst:s_t ~a:s_da ~b:s_cb;
+  emit_fmul c ~dst:s_x3 ~a:s_t ~b:s_t;
+  (* z3 = x1 * (DA - CB)^2 *)
+  emit_fsub c ~dst:s_t ~a:s_da ~b:s_cb;
+  emit_fmul c ~dst:s_t ~a:s_t ~b:s_t;
+  emit_fmul c ~dst:s_z3 ~a:s_x1 ~b:s_t;
+  (* x2 = AA * BB *)
+  emit_fmul c ~dst:s_x2 ~a:s_aa ~b:s_bb;
+  (* z2 = E * (AA + a24 * E) *)
+  emit_ld c Reg.r8 s_e;
+  Asm.mov c Reg.r9 (Asm.i64 a24);
+  Ckit.mul61 c ~dst:Reg.r10 ~a:Reg.r8 ~b:Reg.r9 ~t1:Reg.rcx ~t2:Reg.rdx
+    ~t3:Reg.rsi;
+  emit_st c s_t Reg.r10;
+  emit_fadd c ~dst:s_t ~a:s_aa ~b:s_t;
+  emit_fmul c ~dst:s_z2 ~a:s_e ~b:s_t;
+  (* Loop. *)
+  Asm.sub c Reg.r14 (Asm.i 1);
+  Asm.cmp c Reg.r14 (Asm.i 0);
+  Asm.jge c "ladder";
+  (* Final conditional swap. *)
+  Asm.mov c Reg.r11 (Asm.i 0);
+  Asm.sub c Reg.r11 (Asm.r Reg.r15);
+  emit_cswap c s_x2 s_x3;
+  emit_cswap c s_z2 s_z3;
+  (* Output x2, z2. *)
+  emit_ld c Reg.rax s_x2;
+  Asm.store c (Asm.mem ~disp:out_base ()) (Asm.r Reg.rax);
+  emit_ld c Reg.rax s_z2;
+  Asm.store c (Asm.mem ~disp:(out_base + 8) ()) (Asm.r Reg.rax);
+  Asm.halt c;
+  Asm.finish c
+
+(* --- OCaml reference -------------------------------------------------- *)
+
+let ref_ladder () =
+  let fadd a b = Int64.rem (Int64.add a b) Ckit.p61 in
+  let fsub a b = Int64.rem (Int64.add (Int64.sub a b) Ckit.p61) Ckit.p61 in
+  let fmul = Ckit.fmul in
+  let x1 = base_x in
+  let x2 = ref 1L and z2 = ref 0L and x3 = ref base_x and z3 = ref 1L in
+  let swap = ref 0L in
+  for t = bits - 1 downto 0 do
+    let bit = Int64.logand (Int64.shift_right_logical scalar t) 1L in
+    swap := Int64.logxor !swap bit;
+    if Int64.equal !swap 1L then begin
+      let tx = !x2 and tz = !z2 in
+      x2 := !x3;
+      z2 := !z3;
+      x3 := tx;
+      z3 := tz
+    end;
+    swap := bit;
+    let a = fadd !x2 !z2 in
+    let aa = fmul a a in
+    let b = fsub !x2 !z2 in
+    let bb = fmul b b in
+    let e = fsub aa bb in
+    let cc = fadd !x3 !z3 in
+    let d = fsub !x3 !z3 in
+    let da = fmul d a in
+    let cb = fmul cc b in
+    x3 := fmul (fadd da cb) (fadd da cb);
+    z3 := fmul x1 (fmul (fsub da cb) (fsub da cb));
+    x2 := fmul aa bb;
+    z2 := fmul e (fadd aa (fmul a24 e))
+  done;
+  if Int64.equal !swap 1L then begin
+    let tx = !x2 and tz = !z2 in
+    x2 := !x3;
+    z2 := !z3;
+    x3 := tx;
+    z3 := tz
+  end;
+  (Int64.rem !x2 Ckit.p61, Int64.rem !z2 Ckit.p61)

@@ -1,0 +1,14 @@
+(** Curve25519-style X-only Montgomery ladder over GF(2^61-1): a
+    fixed-trip ladder of field multiplications with branchless
+    conditional swaps driven by secret scalar bits — CTS class. *)
+
+val key_base : int
+val out_base : int
+val scalar : int64
+val base_x : int64
+val bits : int
+
+val make : ?klass:Protean_isa.Program.klass -> unit -> Protean_isa.Program.t
+
+val ref_ladder : unit -> int64 * int64
+(** Canonical (x2, z2) after the ladder. *)

@@ -1,0 +1,106 @@
+(* XTEA block encryption (Needham–Wheeler) — the CT-class Feistel kernel
+   standing in for the `bearssl` constant-time AES benchmark (DESIGN.md
+   substitution: both are branchless block ciphers; XTEA's
+   add/shift/xor rounds are natively expressible on our ISA). *)
+
+open Protean_isa
+
+let key_base = 0x2000 (* 4 x u32, secret *)
+let msg_base = 0x2100
+let out_base = 0x2200
+
+let num_rounds = 32
+let delta = 0x9e3779b9L
+let key = [| 0x01234567l; 0x89abcdefl; 0xfedcba98l; 0x76543210l |]
+
+let plaintext blocks =
+  Array.init (2 * blocks) (fun i -> Int32.of_int ((i * 0x1357) lxor 0xbeef))
+
+let make ?(blocks = 16) ?(klass = Program.Ct) () =
+  let c = Asm.create () in
+  let kb = Buffer.create 16 in
+  Array.iter (fun w -> Buffer.add_int32_le kb w) key;
+  Asm.data c ~addr:(Int64.of_int key_base) ~secret:true (Buffer.contents kb);
+  let pb = Buffer.create (8 * 2 * blocks) in
+  Array.iter (fun w -> Buffer.add_int32_le pb w) (plaintext blocks);
+  Asm.data c ~addr:(Int64.of_int msg_base) ~secret:true (Buffer.contents pb);
+  Asm.bss c ~addr:(Int64.of_int out_base) (8 * blocks);
+  (* One half-round: v0 += (((v1<<4 ^ v1>>5) + v1) ^ (sum + key[sum&3])).
+     v0 = rax, v1 = rbx, sum = rcx; temporaries rdx, rsi, rdi. *)
+  let half c ~v0 ~v1 ~keyidx_shift =
+    Asm.mov c Reg.rdx (Asm.r v1);
+    Asm.shl c Reg.rdx (Asm.i 4);
+    Ckit.mask32 c Reg.rdx;
+    Asm.mov c Reg.rsi (Asm.r v1);
+    Asm.shr c Reg.rsi (Asm.i 5);
+    Asm.xor c Reg.rdx (Asm.r Reg.rsi);
+    Asm.add c Reg.rdx (Asm.r v1);
+    Ckit.mask32 c Reg.rdx;
+    (* key index: (sum >> shift) & 3 *)
+    Asm.mov c Reg.rsi (Asm.r Reg.rcx);
+    if keyidx_shift > 0 then Asm.shr c Reg.rsi (Asm.i keyidx_shift);
+    Asm.and_ c Reg.rsi (Asm.i 3);
+    Asm.load c ~w:Insn.W32 Reg.rdi
+      { Insn.base = None; index = Some Reg.rsi; scale = 4; disp = key_base };
+    Asm.add c Reg.rdi (Asm.r Reg.rcx);
+    Ckit.mask32 c Reg.rdi;
+    Asm.xor c Reg.rdx (Asm.r Reg.rdi);
+    Asm.add c v0 (Asm.r Reg.rdx);
+    Ckit.mask32 c v0
+  in
+  Asm.func c ~klass "xtea_encrypt";
+  Asm.mov c Reg.r9 (Asm.i 0) (* block index *);
+  Asm.label c "blk";
+  Asm.mov c Reg.r10 (Asm.r Reg.r9);
+  Asm.mul c Reg.r10 (Asm.i 8);
+  Asm.mov c Reg.r11 (Asm.r Reg.r10);
+  Asm.add c Reg.r10 (Asm.i msg_base);
+  Asm.add c Reg.r11 (Asm.i out_base);
+  Asm.load c ~w:Insn.W32 Reg.rax (Asm.mb Reg.r10) (* v0 *);
+  Asm.load c ~w:Insn.W32 Reg.rbx (Asm.mbd Reg.r10 4) (* v1 *);
+  Asm.mov c Reg.rcx (Asm.i 0) (* sum *);
+  Asm.mov c Reg.r8 (Asm.i 0) (* round counter *);
+  Asm.label c "round";
+  half c ~v0:Reg.rax ~v1:Reg.rbx ~keyidx_shift:0;
+  Asm.add c Reg.rcx (Asm.i64 delta);
+  Ckit.mask32 c Reg.rcx;
+  half c ~v0:Reg.rbx ~v1:Reg.rax ~keyidx_shift:11;
+  Asm.add c Reg.r8 (Asm.i 1);
+  Asm.cmp c Reg.r8 (Asm.i num_rounds);
+  Asm.jlt c "round";
+  Asm.store c ~w:Insn.W32 (Asm.mb Reg.r11) (Asm.r Reg.rax);
+  Asm.store c ~w:Insn.W32 (Asm.mbd Reg.r11 4) (Asm.r Reg.rbx);
+  Asm.add c Reg.r9 (Asm.i 1);
+  Asm.cmp c Reg.r9 (Asm.i blocks);
+  Asm.jlt c "blk";
+  Asm.halt c;
+  Asm.finish c
+
+(* --- OCaml reference -------------------------------------------------- *)
+
+let ref_encrypt blocks =
+  let pt = plaintext blocks in
+  let out = Buffer.create (8 * blocks) in
+  let m32 v = Int32.of_int (Int64.to_int (Int64.logand v 0xffffffffL)) in
+  for blk = 0 to blocks - 1 do
+    let v0 = ref pt.(2 * blk) and v1 = ref pt.((2 * blk) + 1) in
+    let sum = ref 0L in
+    for _ = 1 to num_rounds do
+      let mix v k =
+        Int32.logxor
+          (Int32.add
+             (Int32.logxor (Int32.shift_left v 4) (Int32.shift_right_logical v 5))
+             v)
+          k
+      in
+      let k0 = Int32.add (m32 !sum) key.(Int64.to_int (Int64.logand !sum 3L)) in
+      v0 := Int32.add !v0 (mix !v1 k0);
+      sum := Int64.logand (Int64.add !sum delta) 0xffffffffL;
+      let ki = Int64.to_int (Int64.logand (Int64.shift_right_logical !sum 11) 3L) in
+      let k1 = Int32.add (m32 !sum) key.(ki) in
+      v1 := Int32.add !v1 (mix !v0 k1)
+    done;
+    Buffer.add_int32_le out !v0;
+    Buffer.add_int32_le out !v1
+  done;
+  Buffer.contents out

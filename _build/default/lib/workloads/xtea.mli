@@ -1,0 +1,12 @@
+(** XTEA block encryption (Feistel, add/shift/xor): the CT-class stand-in
+    for the `bearssl` constant-time AES benchmark. *)
+
+val key_base : int
+val msg_base : int
+val out_base : int
+val num_rounds : int
+
+val make :
+  ?blocks:int -> ?klass:Protean_isa.Program.klass -> unit -> Protean_isa.Program.t
+
+val ref_encrypt : int -> string

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Asm Buffer Bytes Char Insn Int64 List Printf Program Protean_arch Protean_isa Protean_ooo Reg String

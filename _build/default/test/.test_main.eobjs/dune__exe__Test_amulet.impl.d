@@ -1,0 +1,1 @@
+test/test_amulet.ml: Alcotest Helpers List Protean_amulet Protean_arch Protean_defense Protean_ooo Protean_protcc QCheck2 QCheck_alcotest

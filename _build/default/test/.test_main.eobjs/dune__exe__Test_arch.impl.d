@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Array Asm Buffer Insn Int64 Program Protean_arch Protean_isa QCheck2 QCheck_alcotest Reg String

@@ -1,0 +1,1 @@
+test/test_defense.ml: Alcotest Asm Helpers Insn Int64 List Printf Program Protean_defense Protean_isa Protean_ooo Protean_workloads Reg String

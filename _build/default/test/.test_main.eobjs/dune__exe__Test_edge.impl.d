@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Asm Buffer Char Encode Hashtbl Helpers Int64 List Program Protean_arch Protean_defense Protean_isa Protean_ooo Reg String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Buffer Format Helpers Protean_harness Protean_isa Protean_protcc Protean_workloads String

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Encode Insn Int64 List Program Protean_isa QCheck2 QCheck_alcotest Reg String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_amulet Test_arch Test_defense Test_edge Test_harness Test_isa Test_ooo Test_protcc Test_workloads

@@ -1,0 +1,1 @@
+test/test_ooo.ml: Alcotest Array Asm Helpers List Printf Program Protean_amulet Protean_arch Protean_defense Protean_isa Protean_ooo Protean_protcc Protean_workloads QCheck2 QCheck_alcotest Reg

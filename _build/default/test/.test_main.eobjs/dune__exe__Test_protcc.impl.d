@@ -1,0 +1,1 @@
+test/test_protcc.ml: Alcotest Array Asm Char Helpers Insn List Printf Program Protean_amulet Protean_arch Protean_isa Protean_protcc QCheck2 QCheck_alcotest Reg String

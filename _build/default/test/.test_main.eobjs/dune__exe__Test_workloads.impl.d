@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Int64 List Program Protean_arch Protean_isa Protean_workloads QCheck2 String

@@ -1,0 +1,193 @@
+(* Architectural machine tests: sequential semantics, flags, memory,
+   ProtSet tracking and the contract observers. *)
+
+open Protean_isa
+module Exec = Protean_arch.Exec
+module Memory = Protean_arch.Memory
+module Sem = Protean_arch.Sem
+module Protset = Protean_arch.Protset
+module Observer = Protean_arch.Observer
+module Contract = Protean_arch.Contract
+
+let reg st r = st.Exec.regs.(Reg.to_int r)
+
+let run_prog p =
+  let st = Exec.init p in
+  Exec.run_to_halt ~fuel:100_000 p st;
+  st
+
+let test_arith_flags () =
+  let c = Asm.create () in
+  Asm.func c ~klass:Program.Arch "main";
+  Asm.mov c Reg.rax (Asm.i 5);
+  Asm.sub c Reg.rax (Asm.i 5);
+  Asm.setcc c Insn.Z Reg.rbx (* 1: result was zero *);
+  Asm.mov c Reg.rcx (Asm.i 3);
+  Asm.cmp c Reg.rcx (Asm.i 10);
+  Asm.setcc c Insn.Lt Reg.rdx (* 1: 3 < 10 *);
+  Asm.setcc c Insn.B Reg.rsi (* 1: 3 <u 10 *);
+  Asm.mov c Reg.rdi (Asm.i (-1));
+  Asm.cmp c Reg.rdi (Asm.i 1);
+  Asm.setcc c Insn.Lt Reg.r8 (* 1: -1 < 1 signed *);
+  Asm.setcc c Insn.B Reg.r9 (* 0: 0xfff... not <u 1 *);
+  Asm.halt c;
+  let st = run_prog (Asm.finish c) in
+  Alcotest.(check int64) "zf" 1L (reg st Reg.rbx);
+  Alcotest.(check int64) "lt" 1L (reg st Reg.rdx);
+  Alcotest.(check int64) "b" 1L (reg st Reg.rsi);
+  Alcotest.(check int64) "signed lt" 1L (reg st Reg.r8);
+  Alcotest.(check int64) "unsigned not below" 0L (reg st Reg.r9)
+
+let test_width_semantics () =
+  let c = Asm.create () in
+  Asm.func c ~klass:Program.Arch "main";
+  Asm.mov c Reg.rax (Asm.i64 0x1122334455667788L);
+  Asm.mov c ~w:Insn.W32 Reg.rax (Asm.i64 0xaabbccddL) (* zero-extends *);
+  Asm.mov c Reg.rbx (Asm.i64 0x1111111111111111L);
+  Asm.mov c ~w:Insn.W8 Reg.rbx (Asm.i 0xff) (* merges low byte *);
+  Asm.halt c;
+  let st = run_prog (Asm.finish c) in
+  Alcotest.(check int64) "w32 zero-extend" 0xaabbccddL (reg st Reg.rax);
+  Alcotest.(check int64) "w8 merge" 0x11111111111111ffL (reg st Reg.rbx)
+
+let test_div_fault_suppressed () =
+  let c = Asm.create () in
+  Asm.func c ~klass:Program.Arch "main";
+  Asm.mov c Reg.rax (Asm.i 100);
+  Asm.mov c Reg.rbx (Asm.i 0);
+  Asm.div c Reg.rcx Reg.rax (Asm.r Reg.rbx);
+  Asm.halt c;
+  let st = run_prog (Asm.finish c) in
+  Alcotest.(check int64) "div/0 = all ones" Int64.minus_one (reg st Reg.rcx);
+  Alcotest.(check bool) "halted" true st.Exec.halted
+
+let test_memory_endianness () =
+  let m = Memory.create () in
+  Memory.write m 0x100L 8 0x0102030405060708L;
+  Alcotest.(check int64) "byte 0 is LSB" 8L (Int64.of_int (Memory.read_byte m 0x100L));
+  Alcotest.(check int64) "read back" 0x0102030405060708L (Memory.read m 0x100L 8);
+  Alcotest.(check int64) "partial" 0x0708L (Memory.read m 0x100L 2);
+  Alcotest.(check int64) "unmapped reads zero" 0L (Memory.read m 0x999999L 8)
+
+let test_protset_rules () =
+  let c = Asm.create () in
+  Asm.func c ~klass:Program.Unr "main";
+  Asm.mov c ~prot:true Reg.rax (Asm.i 1) (* protect rax *);
+  Asm.mov c Reg.rbx (Asm.i 2) (* unprotect rbx *);
+  Asm.mov c Reg.rdi (Asm.i 0x5000);
+  Asm.store c (Asm.mb Reg.rdi) (Asm.r Reg.rax) (* secret store: mem protected *);
+  Asm.store c (Asm.mbd Reg.rdi 8) (Asm.r Reg.rbx) (* public store: unprot *);
+  Asm.load c ~prot:true Reg.rcx (Asm.mb Reg.rdi) (* PROT load: mem unchanged *);
+  Asm.load c Reg.rdx (Asm.mbd Reg.rdi 8) (* unprefixed: mem + dst unprot *);
+  Asm.halt c;
+  let p = Asm.finish c in
+  let st = Exec.init p in
+  let ps = Protset.create () in
+  let rec loop () =
+    if not st.Exec.halted then begin
+      let eff = Exec.step p st in
+      Protset.step ps eff;
+      loop ()
+    end
+  in
+  loop ();
+  Alcotest.(check bool) "rax protected" true (Protset.reg_protected ps Reg.rax);
+  Alcotest.(check bool) "rbx unprotected" false (Protset.reg_protected ps Reg.rbx);
+  Alcotest.(check bool) "rcx protected (PROT load)" true (Protset.reg_protected ps Reg.rcx);
+  Alcotest.(check bool) "rdx unprotected" false (Protset.reg_protected ps Reg.rdx);
+  Alcotest.(check bool) "secret bytes protected" true
+    (Protset.mem_protected ps 0x5000L 8);
+  Alcotest.(check bool) "public bytes unprotected" false
+    (Protset.mem_protected ps 0x5008L 8)
+
+(* W8 sub-register writes leave full-register protection unchanged when
+   unprefixed (Section IV-B1). *)
+let test_protset_subregister () =
+  let c = Asm.create () in
+  Asm.func c ~klass:Program.Unr "main";
+  Asm.mov c ~prot:true Reg.rax (Asm.i 1);
+  Asm.mov c ~w:Insn.W8 Reg.rax (Asm.i 0) (* unprefixed W8: rax stays protected *);
+  Asm.mov c ~prot:true Reg.rbx (Asm.i 1);
+  Asm.mov c ~w:Insn.W32 Reg.rbx (Asm.i 0) (* W32 is a full write: unprotects *);
+  Asm.halt c;
+  let p = Asm.finish c in
+  let st = Exec.init p in
+  let ps = Protset.create () in
+  while not st.Exec.halted do
+    Protset.step ps (Exec.step p st)
+  done;
+  Alcotest.(check bool) "w8 keeps protection" true (Protset.reg_protected ps Reg.rax);
+  Alcotest.(check bool) "w32 unprotects" false (Protset.reg_protected ps Reg.rbx)
+
+(* Observer modes: secret-independent programs give equal traces when
+   only secrets vary; a program that loads a secret differs under ARCH
+   but not under CT when addresses are public. *)
+let secret_prog ~use_secret =
+  let c = Asm.create () in
+  Asm.data c ~addr:0x6000L ~secret:true (String.make 8 '\000');
+  Asm.func c ~klass:Program.Ct "main";
+  Asm.mov c Reg.rdi (Asm.i 0x6000);
+  if use_secret then Asm.load c Reg.rax (Asm.mb Reg.rdi)
+  else Asm.mov c Reg.rax (Asm.i 7);
+  Asm.add c Reg.rax (Asm.r Reg.rax);
+  Asm.halt c;
+  Asm.finish c
+
+let overlay v = [ (0x6000L, let b = Buffer.create 8 in Buffer.add_int64_le b v; Buffer.contents b) ]
+
+let test_observer_modes () =
+  let p = secret_prog ~use_secret:true in
+  let arch_a = Contract.run Observer.Arch_mode p ~overlays:(overlay 1L) in
+  let arch_b = Contract.run Observer.Arch_mode p ~overlays:(overlay 2L) in
+  Alcotest.(check bool) "ARCH exposes loaded secret" false
+    (Contract.traces_equal arch_a.Contract.trace arch_b.Contract.trace);
+  let ct_a = Contract.run Observer.Ct_mode p ~overlays:(overlay 1L) in
+  let ct_b = Contract.run Observer.Ct_mode p ~overlays:(overlay 2L) in
+  Alcotest.(check bool) "CT hides secret data" true
+    (Contract.traces_equal ct_a.Contract.trace ct_b.Contract.trace)
+
+let test_unprot_observer () =
+  (* An unprefixed load of the secret exposes it under UNPROT-SEQ; a
+     PROT-prefixed load hides it. *)
+  let make_prog prot =
+    let c = Asm.create () in
+    Asm.data c ~addr:0x6000L ~secret:true (String.make 8 '\000');
+    Asm.func c ~klass:Program.Unr "main";
+    Asm.mov c Reg.rdi (Asm.i 0x6000);
+    Asm.load c ~prot Reg.rax (Asm.mb Reg.rdi);
+    Asm.halt c;
+    Asm.finish c
+  in
+  let diff prot =
+    let p = make_prog prot in
+    let a = Contract.run Observer.Unprot_mode p ~overlays:(overlay 1L) in
+    let b = Contract.run Observer.Unprot_mode p ~overlays:(overlay 2L) in
+    not (Contract.traces_equal a.Contract.trace b.Contract.trace)
+  in
+  Alcotest.(check bool) "unprefixed load exposes" true (diff false);
+  Alcotest.(check bool) "PROT load hides" false (diff true)
+
+(* Property: Exec matches Sem on binop/flags algebra for random values. *)
+let prop_sub_flags =
+  QCheck2.Test.make ~name:"sub flags match comparisons" ~count:300
+    QCheck2.Gen.(pair (map Int64.of_int int) (map Int64.of_int int))
+    (fun (a, b) ->
+      let fl = Sem.eval_cmp a b in
+      Sem.eval_cond Insn.Z fl = Int64.equal a b
+      && Sem.eval_cond Insn.Lt fl = (Int64.compare a b < 0)
+      && Sem.eval_cond Insn.B fl = (Int64.unsigned_compare a b < 0)
+      && Sem.eval_cond Insn.Ge fl = (Int64.compare a b >= 0)
+      && Sem.eval_cond Insn.Ae fl = (Int64.unsigned_compare a b >= 0))
+
+let tests =
+  [
+    Alcotest.test_case "arithmetic flags" `Quick test_arith_flags;
+    Alcotest.test_case "width semantics" `Quick test_width_semantics;
+    Alcotest.test_case "div fault suppressed" `Quick test_div_fault_suppressed;
+    Alcotest.test_case "memory endianness" `Quick test_memory_endianness;
+    Alcotest.test_case "protset rules" `Quick test_protset_rules;
+    Alcotest.test_case "protset subregister" `Quick test_protset_subregister;
+    Alcotest.test_case "observer modes" `Quick test_observer_modes;
+    Alcotest.test_case "unprot observer" `Quick test_unprot_observer;
+    QCheck_alcotest.to_alcotest prop_sub_flags;
+  ]

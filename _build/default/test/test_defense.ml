@@ -1,0 +1,168 @@
+(* Defense-mechanism unit tests: targeted micro-programs checking the
+   stall/forward decisions each policy makes. *)
+
+open Protean_isa
+module Pipeline = Protean_ooo.Pipeline
+module Config = Protean_ooo.Config
+module Stats = Protean_ooo.Stats
+module Defense = Protean_defense.Defense
+
+let run ?(config = Config.test_core) policy p =
+  Pipeline.run ~fuel:500_000 config policy p ~overlays:[]
+
+(* A Spectre-style gadget: slow guard, transient secret load + dependent
+   probe load. *)
+let gadget_program () =
+  let c = Asm.create () in
+  Asm.data c ~addr:0x6000L ~secret:true (String.make 64 '\042');
+  Asm.data c ~addr:0xA000L (String.make 4096 '\000');
+  Asm.data c ~addr:0xE000L (String.make 256 '\000');
+  Asm.func c ~klass:Program.Arch "main";
+  (* slow condition chain *)
+  Asm.mov c Reg.rbx (Asm.i 0xE000);
+  Asm.load c Reg.rbx (Asm.mb Reg.rbx);
+  Asm.or_ c Reg.rbx (Asm.i 1);
+  Asm.test c Reg.rbx (Asm.r Reg.rbx);
+  Asm.jnz c "skip";
+  (* transient body *)
+  Asm.mov c Reg.rdi (Asm.i 0x6000);
+  Asm.load c Reg.rax (Asm.mb Reg.rdi);
+  Asm.and_ c Reg.rax (Asm.i 63);
+  Asm.shl c Reg.rax (Asm.i 6);
+  Asm.add c Reg.rax (Asm.i 0xA000);
+  Asm.load c Reg.rax (Asm.mb Reg.rax);
+  Asm.label c "skip";
+  Asm.mov c Reg.rax (Asm.i 0);
+  Asm.halt c;
+  Asm.finish c
+
+let count_probe_fills trace =
+  List.length
+    (List.filter
+       (function
+         | Protean_ooo.Hw_trace.E_cache_fill { tag; _ } ->
+             (* probe array lines have addresses 0xA000..0xAFFF *)
+             let addr = Int64.shift_left tag 6 in
+             Int64.compare addr 0xA000L >= 0 && Int64.compare addr 0xB000L < 0
+         | _ -> false)
+       (Protean_ooo.Hw_trace.all trace))
+
+let probe_touched policy =
+  let p = gadget_program () in
+  let r =
+    Pipeline.run ~trace:true ~fuel:500_000 Config.test_core policy p
+      ~overlays:[]
+  in
+  count_probe_fills r.Pipeline.trace > 0
+
+let test_unsafe_transient_leak () =
+  Alcotest.(check bool) "unsafe lets the probe load execute transiently" true
+    (probe_touched Protean_ooo.Policy.unsafe)
+
+let test_defenses_block_gadget () =
+  List.iter
+    (fun (d : Defense.t) ->
+      Alcotest.(check bool)
+        (d.Defense.id ^ " blocks the transient probe access")
+        false
+        (probe_touched (d.Defense.make ())))
+    [ Defense.stt; Defense.spt; Defense.spt_sb; Defense.prot_delay; Defense.prot_track ]
+
+(* NDA (AccessDelay) blocks the dependent probe load even though it does
+   not gate transmitter execution directly. *)
+let test_nda_blocks_dependents () =
+  Alcotest.(check bool) "nda blocks" false (probe_touched (Defense.nda.Defense.make ()))
+
+(* ProtTrack's access predictor: after warmup on unprotected data, loads
+   are predicted no-access and mispredictions are rare. *)
+let test_predictor_learns () =
+  let p = Helpers.store_load_sum 32 in
+  let r = run (Defense.prot_track.Defense.make ()) p in
+  let s = r.Pipeline.stats in
+  Alcotest.(check bool) "lookups happened" true (s.Stats.access_pred_lookups > 0);
+  Alcotest.(check bool) "misprediction rate < 30%" true
+    (float_of_int s.Stats.access_pred_mispredicts
+     /. float_of_int (max 1 s.Stats.access_pred_lookups)
+    < 0.3)
+
+(* Ordering: PROTEAN-Track is at least as fast as the ablated
+   AccessTrack-on-ProtISA configuration, and the unselective ProtDelay is
+   at least as slow as ProtDelay, on an ARCH workload. *)
+let test_ablation_ordering () =
+  let p = Protean_workloads.Wasm.milc ~passes:3 () in
+  let cyc d = (run ~config:Config.p_core (d ()) p).Pipeline.stats.Stats.cycles in
+  let track = cyc Defense.prot_track.Defense.make in
+  let nopred = cyc Defense.prot_track_nopred.Defense.make in
+  let delay = cyc Defense.prot_delay.Defense.make in
+  let unsel = cyc Defense.prot_delay_unselective.Defense.make in
+  Alcotest.(check bool) "predictor helps" true (track <= nopred);
+  Alcotest.(check bool) "selective wakeup helps" true (delay <= unsel)
+
+(* SPT's w32 fix: the fixed configuration is never slower. *)
+let test_spt_w32_fix () =
+  let c = Asm.create () in
+  Asm.data c ~addr:0x3000L (String.make 2048 '\001');
+  Asm.func c ~klass:Program.Arch "main";
+  Asm.mov c Reg.rcx (Asm.i 0);
+  Asm.label c "loop";
+  (* 32-bit write of a public constant, then use as an index *)
+  Asm.mov c ~w:Insn.W32 Reg.rax (Asm.i 64);
+  Asm.add c Reg.rax (Asm.r Reg.rcx);
+  Asm.and_ c Reg.rax (Asm.i 1023);
+  Asm.load c Reg.rbx (Asm.mem ~index:Reg.rax ~disp:0x3000 ());
+  Asm.add c Reg.rcx (Asm.i 1);
+  Asm.cmp c Reg.rcx (Asm.i 512);
+  Asm.jlt c "loop";
+  Asm.halt c;
+  let p = Asm.finish c in
+  let fixed = (run (Defense.spt.Defense.make ()) p).Pipeline.stats.Stats.cycles in
+  let broken =
+    (run (Defense.spt_no_w32_fix.Defense.make ()) p).Pipeline.stats.Stats.cycles
+  in
+  Alcotest.(check bool) "fix does not hurt" true (fixed <= broken)
+
+(* The Section IX-A3 variants: disabling the protection-tagged L1D can
+   only slow PROTEAN down; a perfect shadow can only speed it up. *)
+let test_l1d_variants_ordering () =
+  let p = Protean_workloads.Wasm.milc ~passes:3 () in
+  let cyc mode =
+    let config = Config.with_prot_mem mode Config.p_core in
+    (run ~config (Defense.prot_track.Defense.make ()) p).Pipeline.stats.Stats.cycles
+  in
+  let none = cyc Config.Prot_mem_none in
+  let l1d = cyc Config.Prot_mem_l1d in
+  let perfect = cyc Config.Prot_mem_perfect in
+  Alcotest.(check bool) "tagged L1D beats disabled" true (l1d <= none);
+  Alcotest.(check bool) "perfect shadow beats tagged L1D" true (perfect <= l1d)
+
+(* Fig. 5's headline: a 1024-entry access predictor performs within a
+   few percent of an infinitely-sized one. *)
+let test_predictor_size_convergence () =
+  let p = Protean_workloads.Wasm.milc ~passes:3 () in
+  let cyc n =
+    let d = Defense.prot_track_entries n in
+    (run ~config:Config.p_core (d.Defense.make ()) p).Pipeline.stats.Stats.cycles
+  in
+  let finite = cyc 1024 in
+  let infinite = cyc 0 in
+  let ratio = float_of_int finite /. float_of_int infinite in
+  Alcotest.(check bool)
+    (Printf.sprintf "1024 entries within 5%% of infinite (%.3f)" ratio)
+    true
+    (ratio < 1.05);
+  (* A tiny predictor must not be better than the infinite one. *)
+  let tiny = cyc 16 in
+  Alcotest.(check bool) "16 entries >= infinite" true (tiny >= infinite)
+
+let tests =
+  [
+    Alcotest.test_case "predictor size convergence" `Quick
+      test_predictor_size_convergence;
+    Alcotest.test_case "unsafe transient leak" `Quick test_unsafe_transient_leak;
+    Alcotest.test_case "defenses block the gadget" `Quick test_defenses_block_gadget;
+    Alcotest.test_case "nda blocks dependents" `Quick test_nda_blocks_dependents;
+    Alcotest.test_case "access predictor learns" `Quick test_predictor_learns;
+    Alcotest.test_case "ablation ordering" `Quick test_ablation_ordering;
+    Alcotest.test_case "spt w32 fix" `Quick test_spt_w32_fix;
+    Alcotest.test_case "l1d variant ordering" `Quick test_l1d_variants_ordering;
+  ]

@@ -1,0 +1,65 @@
+(* Harness tests: memoization, normalization sanity, geomean, and the
+   text renderers. *)
+
+module E = Protean_harness.Experiment
+module Textplot = Protean_harness.Textplot
+module Suite = Protean_workloads.Suite
+
+let tiny =
+  {
+    Suite.name = "tiny";
+    suite = "test";
+    klass = Protean_isa.Program.Arch;
+    kind = Suite.Single (fun () -> Helpers.store_load_sum 8);
+  }
+
+let test_normalized_unsafe_is_one () =
+  let session = E.create_session () in
+  Alcotest.(check (float 1e-9)) "unsafe/unsafe = 1" 1.0
+    (E.normalized session tiny E.cfg_unsafe)
+
+let test_memoization () =
+  let session = E.create_session () in
+  let r1 = E.run session (E.spec tiny E.cfg_unsafe) in
+  let r2 = E.run session (E.spec tiny E.cfg_unsafe) in
+  Alcotest.(check bool) "same object" true (r1 == r2)
+
+let test_defense_never_free_lunch () =
+  (* SPT-SB can never be faster than unsafe on a transmitter-containing
+     benchmark (it only ever adds stalls). *)
+  let session = E.create_session () in
+  Alcotest.(check bool) "spt-sb >= 1" true
+    (E.normalized session tiny E.cfg_spt_sb >= 1.0)
+
+let test_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (E.geomean [ 1.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "singleton" 3.0 (E.geomean [ 3.0 ])
+
+let test_textplot_table () =
+  let buf = Buffer.create 64 in
+  let out = Format.formatter_of_buffer buf in
+  Textplot.table ~out ~header:[ "a"; "bb" ] [ [ "x"; "1" ]; [ "yy"; "22" ] ];
+  Format.pp_print_flush out ();
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "header present" true
+    (String.length s > 0
+    && String.index_opt s 'a' <> None
+    && String.index_opt s '-' <> None)
+
+let test_protcc_overhead_metric () =
+  let session = E.create_session () in
+  let size, runtime, _ =
+    E.protcc_overhead session tiny Protean_protcc.Protcc.P_ct
+  in
+  Alcotest.(check bool) "code grows or stays" true (size >= 1.0);
+  Alcotest.(check bool) "runtime sane" true (runtime > 0.5 && runtime < 3.0)
+
+let tests =
+  [
+    Alcotest.test_case "normalized unsafe = 1" `Quick test_normalized_unsafe_is_one;
+    Alcotest.test_case "memoization" `Quick test_memoization;
+    Alcotest.test_case "spt-sb never free" `Quick test_defense_never_free_lunch;
+    Alcotest.test_case "geomean" `Quick test_geomean;
+    Alcotest.test_case "textplot table" `Quick test_textplot_table;
+    Alcotest.test_case "protcc overhead metric" `Quick test_protcc_overhead_metric;
+  ]

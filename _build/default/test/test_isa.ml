@@ -1,0 +1,166 @@
+(* ISA-level tests: register naming, operand metadata, the assembler and
+   the binary encoder (including PROT-prefix round-trips). *)
+
+open Protean_isa
+
+let test_reg_names () =
+  Alcotest.(check string) "rax" "rax" (Reg.name Reg.rax);
+  Alcotest.(check string) "flags" "flags" (Reg.name Reg.flags);
+  Alcotest.(check bool) "of_name inverse" true
+    (List.for_all (fun r -> Reg.equal (Reg.of_name (Reg.name r)) r) Reg.all);
+  Alcotest.(check bool) "rsp is gpr" true (Reg.is_gpr Reg.rsp);
+  Alcotest.(check bool) "flags not gpr" false (Reg.is_gpr Reg.flags)
+
+let test_reads_writes () =
+  let op = Insn.Binop (Insn.Add, Reg.rax, Insn.Reg Reg.rbx) in
+  Alcotest.(check bool) "add reads rax rbx" true
+    (List.mem Reg.rax (Insn.read_regs op) && List.mem Reg.rbx (Insn.read_regs op));
+  Alcotest.(check bool) "add writes flags" true
+    (List.mem Reg.flags (Insn.writes op));
+  let load = Insn.Load (Insn.W64, Reg.rcx, Asm.mb Reg.rdi) in
+  Alcotest.(check bool) "load addr role" true
+    (List.exists (fun (r, role) -> Reg.equal r Reg.rdi && role = Insn.Addr)
+       (Insn.reads load));
+  (* W8 loads merge: destination counts as a read *)
+  let load8 = Insn.Load (Insn.W8, Reg.rcx, Asm.mb Reg.rdi) in
+  Alcotest.(check bool) "w8 load reads dst" true
+    (List.mem Reg.rcx (Insn.read_regs load8))
+
+let test_transmitters () =
+  let check op expected =
+    Alcotest.(check bool) (Insn.to_string (Insn.make op)) expected
+      (Insn.is_transmitter op)
+  in
+  check (Insn.Load (Insn.W64, Reg.rax, Asm.mb Reg.rdi)) true;
+  check (Insn.Store (Insn.W64, Asm.mb Reg.rdi, Asm.r Reg.rax)) true;
+  check (Insn.Jcc (Insn.Z, 3)) true;
+  check (Insn.Div (Reg.rax, Reg.rbx, Asm.r Reg.rcx)) true;
+  check Insn.Ret true;
+  check (Insn.Binop (Insn.Add, Reg.rax, Asm.i 1)) false;
+  check (Insn.Cmov (Insn.Z, Reg.rax, Asm.r Reg.rbx)) false;
+  check (Insn.Cmp (Reg.rax, Asm.i 0)) false
+
+let test_asm_labels () =
+  let c = Asm.create () in
+  Asm.func c ~klass:Program.Arch "main";
+  Asm.jmp c "end";
+  Asm.mov c Reg.rax (Asm.i 1);
+  Asm.label c "end";
+  Asm.halt c;
+  let p = Asm.finish c in
+  (match p.Program.code.(0).Insn.op with
+  | Insn.Jmp 2 -> ()
+  | op -> Alcotest.failf "bad target: %a" Insn.pp_op op);
+  Alcotest.(check int) "func size" 3
+    (match Program.find_func p "main" with
+    | Some f -> f.Program.size
+    | None -> -1)
+
+let test_asm_duplicate_label () =
+  let c = Asm.create () in
+  Asm.label c "x";
+  Alcotest.check_raises "duplicate" (Invalid_argument "Asm.label: duplicate label x")
+    (fun () -> Asm.label c "x")
+
+let test_encode_roundtrip_basic () =
+  let insns =
+    [
+      Insn.make ~prot:true (Insn.Mov (Insn.W64, Reg.rax, Asm.i64 (-5L)));
+      Insn.make (Insn.Load (Insn.W8, Reg.rbx, Asm.mbd Reg.rsp (-16)));
+      Insn.make ~prot:true (Insn.Store (Insn.W32, Asm.mbis Reg.rdi Reg.rcx 4, Asm.r Reg.rdx));
+      Insn.make (Insn.Jcc (Insn.Ae, 12345));
+      Insn.make Insn.Ret;
+      Insn.make (Insn.Div (Reg.rax, Reg.rbx, Asm.i 7));
+    ]
+  in
+  let code = Array.of_list insns in
+  let decoded = Encode.decode_program (Encode.encode_program code) in
+  Alcotest.(check int) "length" (Array.length code) (Array.length decoded);
+  Array.iteri
+    (fun i insn ->
+      Alcotest.(check string) "insn" (Insn.to_string insn) (Insn.to_string decoded.(i));
+      Alcotest.(check bool) "prot" insn.Insn.prot decoded.(i).Insn.prot)
+    code
+
+(* Property: encode/decode is the identity on random instructions. *)
+let arbitrary_insn =
+  let open QCheck2.Gen in
+  let reg = map Reg.of_int (int_range 0 15) in
+  let imm = map Int64.of_int (int_range (-1000000) 1000000) in
+  let src = oneof [ map (fun r -> Insn.Reg r) reg; map (fun v -> Insn.Imm v) imm ] in
+  let width = oneofl [ Insn.W8; Insn.W32; Insn.W64 ] in
+  let cond =
+    oneofl Insn.[ Z; Nz; Lt; Le; Gt; Ge; B; Be; A; Ae ]
+  in
+  let mem =
+    map3
+      (fun base index disp -> { Insn.base; index; scale = 8; disp })
+      (opt reg) (opt reg) (int_range (-4096) 4096)
+  in
+  let op =
+    oneof
+      [
+        map3 (fun w d s -> Insn.Mov (w, d, s)) width reg src;
+        map2 (fun d m -> Insn.Lea (d, m)) reg mem;
+        map3 (fun w d m -> Insn.Load (w, d, m)) width reg mem;
+        map3 (fun w m s -> Insn.Store (w, m, s)) width mem src;
+        map3
+          (fun o d s -> Insn.Binop (o, d, s))
+          (oneofl Insn.[ Add; Sub; And; Or; Xor; Shl; Shr; Sar; Mul ])
+          reg src;
+        map2 (fun c d -> Insn.Setcc (c, d)) cond reg;
+        map3 (fun c d s -> Insn.Cmov (c, d, s)) cond reg src;
+        map2 (fun c t -> Insn.Jcc (c, t)) cond (int_range 0 100000);
+        map (fun t -> Insn.Jmp t) (int_range 0 100000);
+        map (fun r -> Insn.Jmpi r) reg;
+        map (fun t -> Insn.Call t) (int_range 0 100000);
+        return Insn.Ret;
+        map (fun s -> Insn.Push s) src;
+        map (fun d -> Insn.Pop d) reg;
+        return Insn.Nop;
+        return Insn.Halt;
+      ]
+  in
+  map2 (fun op prot -> { Insn.op; prot }) op bool
+
+let prop_encode_roundtrip =
+  QCheck2.Test.make ~name:"encode/decode roundtrip" ~count:500 arbitrary_insn
+    (fun insn ->
+      let decoded = Encode.decode_program (Encode.encode_program [| insn |]) in
+      Array.length decoded = 1
+      && String.equal (Insn.to_string decoded.(0)) (Insn.to_string insn)
+      && decoded.(0).Insn.prot = insn.Insn.prot)
+
+let prop_metadata_table_roundtrip =
+  QCheck2.Test.make ~name:"metadata-table encoding roundtrip" ~count:300
+    QCheck2.Gen.(list_size (int_range 1 20) arbitrary_insn)
+    (fun insns ->
+      let code = Array.of_list insns in
+      let bytes, table = Encode.encode_metadata_table code in
+      let decoded = Encode.decode_with_metadata bytes table in
+      Array.length decoded = Array.length code
+      && Array.for_all2
+           (fun (a : Insn.t) (b : Insn.t) ->
+             String.equal (Insn.to_string a) (Insn.to_string b)
+             && a.Insn.prot = b.Insn.prot)
+           code decoded)
+
+let prop_prot_prefix_size =
+  QCheck2.Test.make ~name:"PROT prefix adds exactly one byte" ~count:200
+    arbitrary_insn (fun insn ->
+      let with_prot = Encode.encoded_size { insn with Insn.prot = true } in
+      let without = Encode.encoded_size { insn with Insn.prot = false } in
+      with_prot = without + 1)
+
+let tests =
+  [
+    Alcotest.test_case "register names" `Quick test_reg_names;
+    Alcotest.test_case "reads/writes metadata" `Quick test_reads_writes;
+    Alcotest.test_case "transmitter classification" `Quick test_transmitters;
+    Alcotest.test_case "assembler labels" `Quick test_asm_labels;
+    Alcotest.test_case "duplicate label rejected" `Quick test_asm_duplicate_label;
+    Alcotest.test_case "encode roundtrip basic" `Quick test_encode_roundtrip_basic;
+    QCheck_alcotest.to_alcotest prop_encode_roundtrip;
+    QCheck_alcotest.to_alcotest prop_metadata_table_roundtrip;
+    QCheck_alcotest.to_alcotest prop_prot_prefix_size;
+  ]

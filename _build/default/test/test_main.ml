@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "protean"
+    [
+      ("isa", Test_isa.tests);
+      ("arch", Test_arch.tests);
+      ("protcc", Test_protcc.tests);
+      ("ooo", Test_ooo.tests);
+      ("defense", Test_defense.tests);
+      ("workloads", Test_workloads.tests);
+      ("amulet", Test_amulet.tests);
+      ("harness", Test_harness.tests);
+      ("edge", Test_edge.tests);
+    ]

@@ -1,0 +1,229 @@
+(* ProtCC tests: the paper's Fig. 3 example under each pass, semantic
+   preservation, and the security invariants of the analyses. *)
+
+open Protean_isa
+module Protcc = Protean_protcc.Protcc
+module Exec = Protean_arch.Exec
+
+(* The paper's Fig. 3a example:
+     x = *p; y = 0; if (x >= 0) y = A[x]; return y;
+   with Rp=rdi, Rx=rax, Ry=rbx, A at 0x4000. *)
+let fig3 klass =
+  let c = Asm.create () in
+  Asm.data c ~addr:0x4000L (String.init 64 (fun i -> Char.chr i));
+  Asm.data c ~addr:0x5000L ~secret:true (String.make 8 '\007');
+  Asm.func c ~klass "foo";
+  Asm.load c Reg.rax (Asm.mb Reg.rdi) (* x = *p *);
+  Asm.mov c Reg.rbx (Asm.i 0) (* y = 0 *);
+  Asm.cmp c Reg.rax (Asm.i 0);
+  Asm.jlt c "skip";
+  Asm.and_ c Reg.rax (Asm.i 63);
+  Asm.load c Reg.rbx (Asm.mbi Reg.rdi Reg.rax) (* y = A[x] (base=p) *);
+  Asm.label c "skip";
+  Asm.halt c;
+  Asm.finish c
+
+let count_prot p =
+  Array.fold_left (fun n (i : Insn.t) -> if i.Insn.prot then n + 1 else n) 0
+    p.Program.code
+
+let instrument klass pass =
+  let p = fig3 klass in
+  Protcc.instrument ~pass_override:pass p
+
+let test_arch_noop () =
+  let r = instrument Program.Arch Protcc.P_arch in
+  Alcotest.(check int) "no PROT prefixes" 0 (count_prot r.Protcc.program);
+  Alcotest.(check int) "no insertions" 0 r.Protcc.inserted_moves
+
+let test_ct_pass () =
+  let r = instrument Program.Ct Protcc.P_ct in
+  let p = r.Protcc.program in
+  (* The first load's output rax is bound-to-leak only on the not-taken
+     path; at the load it is neither past-leaked nor bound-to-leak on all
+     paths, so it is PROT-prefixed, and an identity move appears on the
+     fall-through edge where rax becomes bound-to-leak. *)
+  Alcotest.(check bool) "some PROT prefixes" true (count_prot p > 0);
+  Alcotest.(check bool) "identity moves inserted" true (r.Protcc.inserted_moves > 0);
+  let has_id_move =
+    Array.exists
+      (fun (i : Insn.t) ->
+        match i.Insn.op with
+        | Insn.Mov (Insn.W64, d, Insn.Reg s) -> Reg.equal d s
+        | _ -> false)
+      p.Program.code
+  in
+  Alcotest.(check bool) "mov r,r present" true has_id_move
+
+let test_unr_pass () =
+  let r = instrument Program.Unr Protcc.P_unr in
+  let p = r.Protcc.program in
+  (* Everything except constant/stack-derived outputs is protected: the
+     `mov rbx, 0` stays unprefixed; both loads are prefixed. *)
+  Array.iter
+    (fun (i : Insn.t) ->
+      match i.Insn.op with
+      | Insn.Mov (_, _, Insn.Imm _) ->
+          Alcotest.(check bool) "constant mov unprefixed" false i.Insn.prot
+      | Insn.Load _ ->
+          Alcotest.(check bool) "loads prefixed" true i.Insn.prot
+      | _ -> ())
+    p.Program.code
+
+let test_cts_entry_moves () =
+  let r = instrument Program.Cts Protcc.P_cts in
+  (* rdi is a sensitive (address) operand: it must be publicly typed and
+     unprotected at entry via an identity move. *)
+  let p = r.Protcc.program in
+  let first_is_id_rdi =
+    Array.exists
+      (fun (i : Insn.t) ->
+        match i.Insn.op with
+        | Insn.Mov (Insn.W64, d, Insn.Reg s) ->
+            Reg.equal d Reg.rdi && Reg.equal s Reg.rdi
+        | _ -> false)
+      p.Program.code
+  in
+  Alcotest.(check bool) "entry unprotects rdi" true first_is_id_rdi
+
+(* Semantic preservation: every pass preserves architectural results on
+   the shared test programs (PROT prefixes and identity moves are
+   semantically transparent). *)
+let preservation_tests =
+  let passes =
+    [
+      ("arch", Protcc.P_arch);
+      ("cts", Protcc.P_cts);
+      ("ct", Protcc.P_ct);
+      ("unr", Protcc.P_unr);
+      ("rand", Protcc.P_rand (99, 0.3));
+    ]
+  in
+  List.concat_map
+    (fun (pname, program) ->
+      List.map
+        (fun (passname, pass) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s preserved under %s" pname passname)
+            `Quick
+            (fun () ->
+              let base = Helpers.run_sequential program in
+              let r = Protcc.instrument ~pass_override:pass program in
+              let inst = Helpers.run_sequential r.Protcc.program in
+              Alcotest.(check bool) "registers equal" true
+                (Helpers.regs_equal base.Exec.regs inst.Exec.regs);
+              (* stack pages hold relayout-dependent return addresses *)
+              Alcotest.(check bool) "memory equal" true
+                (Helpers.mem_equal
+                   ~exclude:(Helpers.stack_pages program)
+                   base.Exec.mem inst.Exec.mem)))
+        passes)
+    Helpers.all_programs
+
+(* Branch-target remapping: relayout moves code but control flow still
+   reaches the same architectural result (covered above); additionally
+   the function table must stay consistent. *)
+let test_relayout_functions () =
+  let p = Helpers.call_ret () in
+  let r = Protcc.instrument ~pass_override:Protcc.P_ct p in
+  let p' = r.Protcc.program in
+  List.iter
+    (fun (f : Program.func) ->
+      Alcotest.(check bool)
+        (f.Program.fname ^ " entry in bounds")
+        true
+        (f.Program.entry >= 0
+        && f.Program.entry + f.Program.size <= Array.length p'.Program.code))
+    p'.Program.funcs
+
+(* Security invariant (CTS): a register holding loaded secret data that
+   never flows to a transmitter must be PROT-prefixed. *)
+let test_cts_protects_secrets () =
+  let c = Asm.create () in
+  Asm.data c ~addr:0x5000L ~secret:true (String.make 8 '\001');
+  Asm.func c ~klass:Program.Cts "main";
+  Asm.mov c Reg.rdi (Asm.i 0x5000);
+  Asm.load c Reg.rax (Asm.mb Reg.rdi) (* secret *);
+  Asm.add c Reg.rax (Asm.r Reg.rax) (* derived secret *);
+  Asm.store c (Asm.mb Reg.rdi) (Asm.r Reg.rax);
+  Asm.halt c;
+  let r = Protcc.instrument ~pass_override:Protcc.P_cts (Asm.finish c) in
+  let prot_of_load =
+    Array.to_list r.Protcc.program.Program.code
+    |> List.filter_map (fun (i : Insn.t) ->
+           match i.Insn.op with
+           | Insn.Load _ -> Some i.Insn.prot
+           | Insn.Binop (Insn.Add, _, _) -> Some i.Insn.prot
+           | _ -> None)
+  in
+  Alcotest.(check (list bool)) "secret load and add protected" [ true; true ]
+    prot_of_load
+
+(* Property: on random generated programs, every pass preserves the
+   architectural result. *)
+let prop_pass_preserves =
+  QCheck2.Test.make ~name:"ProtCC passes preserve semantics" ~count:30
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 0 3))
+    (fun (seed, which) ->
+      let program =
+        Protean_amulet.Gen.generate
+          { Protean_amulet.Gen.default_spec with Protean_amulet.Gen.seed }
+      in
+      let pass =
+        match which with
+        | 0 -> Protcc.P_cts
+        | 1 -> Protcc.P_ct
+        | 2 -> Protcc.P_unr
+        | _ -> Protcc.P_rand (seed, 0.5)
+      in
+      let base = Helpers.run_sequential program in
+      let r = Protcc.instrument ~pass_override:pass program in
+      let inst = Helpers.run_sequential r.Protcc.program in
+      Helpers.regs_equal base.Exec.regs inst.Exec.regs
+      && Helpers.mem_equal ~exclude:(Helpers.stack_pages program) base.Exec.mem
+           inst.Exec.mem)
+
+(* Section V-C annotations: declaring rdi public at entry lets
+   ProtCC-UNR leave rdi-derived addressing unprotected, reducing the
+   number of PROT prefixes. *)
+let test_annotations_refine () =
+  (* A function whose arithmetic derives entirely from the argument rdi:
+     without the annotation ProtCC-UNR must protect every result; with
+     "rdi is public" the whole chain stays unprotected. *)
+  let p =
+    let c = Asm.create () in
+    Asm.func c ~klass:Program.Unr "foo";
+    Asm.mov c Reg.rax (Asm.r Reg.rdi);
+    Asm.add c Reg.rax (Asm.r Reg.rdi);
+    Asm.add c Reg.rax (Asm.i 1);
+    Asm.mov c Reg.rbx (Asm.r Reg.rax);
+    Asm.halt c;
+    Asm.finish c
+  in
+  let plain = Protcc.instrument ~pass_override:Protcc.P_unr p in
+  let annotated =
+    Protcc.instrument
+      ~annotations:[ ("foo", [ Reg.rdi ]) ]
+      ~pass_override:Protcc.P_unr p
+  in
+  Alcotest.(check bool) "fewer PROT prefixes with annotations" true
+    (count_prot annotated.Protcc.program < count_prot plain.Protcc.program);
+  (* Semantics unchanged. *)
+  let a = Helpers.run_sequential plain.Protcc.program in
+  let b = Helpers.run_sequential annotated.Protcc.program in
+  Alcotest.(check bool) "same result" true
+    (Helpers.regs_equal a.Exec.regs b.Exec.regs)
+
+let tests =
+  [
+    Alcotest.test_case "ProtCC-ARCH is a no-op" `Quick test_arch_noop;
+    Alcotest.test_case "annotations refine ProtSets" `Quick
+      test_annotations_refine;
+    Alcotest.test_case "ProtCC-CT on Fig.3" `Quick test_ct_pass;
+    Alcotest.test_case "ProtCC-UNR on Fig.3" `Quick test_unr_pass;
+    Alcotest.test_case "ProtCC-CTS entry moves" `Quick test_cts_entry_moves;
+    Alcotest.test_case "relayout function table" `Quick test_relayout_functions;
+    Alcotest.test_case "CTS protects secrets" `Quick test_cts_protects_secrets;
+    QCheck_alcotest.to_alcotest prop_pass_preserves;
+  ]
+  @ preservation_tests
