@@ -2,12 +2,19 @@
    hardware configurations against security contracts (Section VII-B).
 
      protean-fuzz --defense prot-track --contract ct --programs 50
-     protean-fuzz --table-ii            # the scaled-down Table II grid *)
+     protean-fuzz --inject-faults      # self-test: must catch planted bugs
+     protean-fuzz --resume state.json  # checkpointed, crash-resilient run
+     protean-fuzz --table-ii           # the scaled-down Table II grid
+
+   Exit status: 0 = clean; 1 = real contract violations found, or an
+   injected fault went undetected (a detector gap) — so CI can gate on
+   either direction of failure. *)
 
 open Cmdliner
 module Fuzz = Protean_amulet.Fuzz
 module Gen = Protean_amulet.Gen
 module Defense = Protean_defense.Defense
+module Fault_inject = Protean_defense.Fault_inject
 module Protcc = Protean_protcc.Protcc
 module Tables = Protean_harness.Tables
 
@@ -42,15 +49,26 @@ let table_ii_arg =
   Arg.(value & flag & info [ "table-ii" ]
          ~doc:"Run the scaled-down Table II campaign grid and exit.")
 
-let campaign_of contract adversary programs inputs seed squash_bug =
-  let mode_of, gen_klass, instrumentation =
-    match contract with
-    | "arch" -> (Fuzz.arch_seq, Gen.G_arch, Fuzz.I_none)
-    | "cts" -> (Fuzz.cts_seq, Gen.G_ct, Fuzz.I_pass Protcc.P_cts)
-    | "ct" -> (Fuzz.ct_seq, Gen.G_ct, Fuzz.I_pass Protcc.P_ct)
-    | "unprot" -> (Fuzz.unprot_seq, Gen.G_ct, Fuzz.I_pass (Protcc.P_rand (seed, 0.5)))
-    | s -> invalid_arg ("unknown contract: " ^ s)
-  in
+let timeout_arg =
+  Arg.(value & opt (some int) None & info [ "timeout-cycles" ] ~docv:"CYCLES"
+         ~doc:"Per-simulation cycle budget; a run exceeding it is skipped \
+               (with a report) instead of hanging the campaign.")
+
+let resume_arg =
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE"
+         ~doc:"Checkpoint file: progress is saved there after every program \
+               and a matching interrupted campaign resumes from it.")
+
+let inject_arg =
+  Arg.(value & flag & info [ "inject-faults" ]
+         ~doc:"Self-test the fuzzer: inject deliberate faults into the \
+               defenses and verify each one is caught as a violation. \
+               Runs the canonical fault-mode/defense/contract matrix \
+               (each fault paired with a defense where the faulted layer \
+               is load-bearing), so --defense/--contract are ignored. \
+               Undetected faults (detector gaps) fail the run.")
+
+let campaign_of contract adversary programs inputs seed squash_bug timeout =
   let adversary =
     match adversary with
     | "cache" -> Fuzz.Cache_tlb
@@ -58,35 +76,77 @@ let campaign_of contract adversary programs inputs seed squash_bug =
     | s -> invalid_arg ("unknown adversary: " ^ s)
   in
   {
-    Fuzz.default_campaign with
-    Fuzz.seed;
-    programs;
-    inputs_per_program = inputs;
-    mode_of;
-    gen_klass;
-    instrumentation;
-    adversary;
+    (Fuzz.campaign_for ~seed ~programs ~inputs contract) with
+    Fuzz.adversary;
     squash_bug;
+    timeout_cycles = timeout;
   }
 
-let run table_ii defense contract programs inputs adversary seed squash_bug =
+let report_skips (r : Fuzz.report) =
+  (match r.Fuzz.r_resumed_from with
+  | Some i -> Printf.printf "resumed from checkpoint at program %d\n" i
+  | None -> ());
+  List.iter
+    (fun (s : Fuzz.skip) ->
+      Printf.printf "skipped program %d (seed %d) after retry: %s\n"
+        s.Fuzz.sk_index s.Fuzz.sk_seed s.Fuzz.sk_reason)
+    r.Fuzz.r_skipped
+
+let run_self_test ~programs ~inputs ~seed ~timeout =
+  let rows = Fuzz.self_test_matrix ~seed ~programs ~inputs ?timeout_cycles:timeout () in
+  Printf.printf "fuzzer self-test (%d injected fault modes):\n"
+    (List.length rows);
+  List.iter
+    (fun (defense_id, contract, (g : Fuzz.gap)) ->
+      Printf.printf "  %-20s on %-10s vs %-6s %3d tests, %3d violations -> %s\n"
+        (Fault_inject.mode_name g.Fuzz.g_mode)
+        defense_id
+        (String.uppercase_ascii contract ^ "-SEQ")
+        g.Fuzz.g_tests g.Fuzz.g_violations
+        (if g.Fuzz.g_detected then "caught" else "NOT CAUGHT (detector gap)"))
+    rows;
+  let missed = Fuzz.gaps (List.map (fun (_, _, g) -> g) rows) in
+  if missed <> [] then begin
+    Printf.printf "%d/%d injected faults went undetected\n" (List.length missed)
+      (List.length rows);
+    exit 1
+  end
+  else Printf.printf "all injected faults detected\n"
+
+let run_campaign campaign d contract resume =
+  let r = Fuzz.run_resilient ?checkpoint:resume campaign d in
+  let out = r.Fuzz.r_outcome in
+  Printf.printf
+    "%s vs %s-SEQ (%s adversary): %d tests, %d skipped, %d violations, %d \
+     false positives (%d/%d programs completed)\n"
+    d.Defense.id (String.uppercase_ascii contract)
+    (Fuzz.adversary_name campaign.Fuzz.adversary)
+    out.Fuzz.tests out.Fuzz.skipped out.Fuzz.violations
+    out.Fuzz.false_positives r.Fuzz.r_completed campaign.Fuzz.programs;
+  report_skips r;
+  (match out.Fuzz.example with
+  | Some (pseed, k) ->
+      Printf.printf "first violation: program seed %d, input pair %d\n" pseed k
+  | None -> ());
+  (match r.Fuzz.r_counterexample with
+  | Some sh ->
+      Printf.printf
+        "counterexample shrunk from %d to %d instructions (%d replays%s)\n"
+        sh.Fuzz.sh_original_insns sh.Fuzz.sh_insns sh.Fuzz.sh_attempts
+        (if sh.Fuzz.sh_verified then "" else "; NOT verified")
+  | None -> ());
+  if out.Fuzz.violations > 0 then exit 1
+
+let run table_ii defense contract programs inputs adversary seed squash_bug
+    timeout resume inject =
   if table_ii then Tables.table_ii ~programs ~inputs ()
+  else if inject then run_self_test ~programs ~inputs ~seed ~timeout
   else begin
     let d = Defense.find defense in
-    let campaign = campaign_of contract adversary programs inputs seed squash_bug in
-    let out = Fuzz.run campaign d in
-    Printf.printf
-      "%s vs %s-SEQ (%s adversary): %d tests, %d skipped, %d violations, %d \
-       false positives\n"
-      d.Defense.id (String.uppercase_ascii contract)
-      (Fuzz.adversary_name campaign.Fuzz.adversary)
-      out.Fuzz.tests out.Fuzz.skipped out.Fuzz.violations
-      out.Fuzz.false_positives;
-    (match out.Fuzz.example with
-    | Some (pseed, k) ->
-        Printf.printf "first violation: program seed %d, input pair %d\n" pseed k
-    | None -> ());
-    if out.Fuzz.violations > 0 then exit 1
+    let campaign =
+      campaign_of contract adversary programs inputs seed squash_bug timeout
+    in
+    run_campaign campaign d contract resume
   end
 
 let cmd =
@@ -95,6 +155,7 @@ let cmd =
     (Cmd.info "protean-fuzz" ~doc)
     Term.(
       const run $ table_ii_arg $ defense_arg $ contract_arg $ programs_arg
-      $ inputs_arg $ adversary_arg $ seed_arg $ squash_bug_arg)
+      $ inputs_arg $ adversary_arg $ seed_arg $ squash_bug_arg $ timeout_arg
+      $ resume_arg $ inject_arg)
 
 let () = exit (Cmd.eval cmd)

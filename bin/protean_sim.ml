@@ -67,6 +67,31 @@ let instrument pass program =
       in
       (Protcc.instrument ~pass_override:pass program).Protcc.program
 
+let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
+    bench =
+  match b.Suite.kind with
+  | Suite.Single f ->
+      let program = instrument pass (f ()) in
+      let r =
+        Pipeline.run ~spec_model ~fuel:50_000_000 config (d.Defense.make ())
+          program ~overlays:[]
+      in
+      Format.printf "%s under %s on %s:@.  %a@.  measured cycles: %d@."
+        bench d.Defense.id config.Config.name Stats.pp r.Pipeline.stats
+        (Stats.measured_cycles r.Pipeline.stats)
+  | Suite.Multi f ->
+      let programs = Array.map (instrument pass) (f ()) in
+      let r =
+        Multicore.run ~spec_model ~fuel:50_000_000 config
+          ~make_policy:d.Defense.make programs
+      in
+      Format.printf "%s under %s on %d cores: %d cycles@." bench
+        d.Defense.id (Array.length programs) r.Multicore.cycles;
+      Array.iteri
+        (fun i (c : Pipeline.result) ->
+          Format.printf "  core %d: %a@." i Stats.pp c.Pipeline.stats)
+        r.Multicore.per_core
+
 let run list bench defense pass core spec_model =
   if list then
     List.iter
@@ -79,28 +104,13 @@ let run list bench defense pass core spec_model =
     let d = Defense.find defense in
     let config = config_of core in
     let spec_model = model_of spec_model in
-    match b.Suite.kind with
-    | Suite.Single f ->
-        let program = instrument pass (f ()) in
-        let r =
-          Pipeline.run ~spec_model ~fuel:50_000_000 config (d.Defense.make ())
-            program ~overlays:[]
-        in
-        Format.printf "%s under %s on %s:@.  %a@.  measured cycles: %d@."
-          bench d.Defense.id config.Config.name Stats.pp r.Pipeline.stats
-          (Stats.measured_cycles r.Pipeline.stats)
-    | Suite.Multi f ->
-        let programs = Array.map (instrument pass) (f ()) in
-        let r =
-          Multicore.run ~spec_model ~fuel:50_000_000 config
-            ~make_policy:d.Defense.make programs
-        in
-        Format.printf "%s under %s on %d cores: %d cycles@." bench
-          d.Defense.id (Array.length programs) r.Multicore.cycles;
-        Array.iteri
-          (fun i (c : Pipeline.result) ->
-            Format.printf "  core %d: %a@." i Stats.pp c.Pipeline.stats)
-          r.Multicore.per_core
+    try simulate b d config spec_model pass bench
+    with Pipeline.Sim_fault f ->
+      (* Report the faulting configuration instead of dying with a raw
+         backtrace, and exit non-zero so scripts notice. *)
+      Printf.eprintf "[fault] bench=%s defense=%s core=%s: %s\n%!" bench
+        d.Defense.id config.Config.name (Pipeline.fault_to_string f);
+      exit 3
   end
 
 let cmd =

@@ -11,10 +11,21 @@
       inputs is a contract violation;
    4. classify as a false positive if the committed instruction streams of
       the two hardware executions differ (sequential, not transient,
-      divergence — AMuLeT*'s automated post-processing filter). *)
+      divergence — AMuLeT*'s automated post-processing filter).
 
+   Long campaigns additionally get a robustness layer:
+   - [run_resilient] wraps every program in an exception barrier
+     (retry once, then skip and report) with a per-program cycle budget
+     enforced by the pipeline watchdog, shrinks the first violating
+     program, and checkpoints progress to a JSON state file;
+   - [self_test] injects deliberate faults into the defense under test
+     ([Fault_inject]) and reports any injected fault the campaign fails
+     to flag — a detector gap. *)
+
+open Protean_isa
 open Protean_arch
 open Protean_ooo
+module Fault_inject = Protean_defense.Fault_inject
 
 type adversary = Cache_tlb | Timing
 
@@ -36,6 +47,9 @@ type campaign = {
   config : Config.t;
   squash_bug : bool;
   spec_model : Policy.spec_model;
+  timeout_cycles : int option;
+      (* per-simulation watchdog budget: a run exceeding it raises
+         [Pipeline.Sim_fault], which [run_resilient] turns into a skip *)
 }
 
 let default_campaign =
@@ -50,6 +64,7 @@ let default_campaign =
     config = Config.test_core;
     squash_bug = false;
     spec_model = Policy.Atcommit;
+    timeout_cycles = None;
   }
 
 type outcome = {
@@ -62,6 +77,13 @@ type outcome = {
 
 let fresh_outcome () =
   { tests = 0; skipped = 0; violations = 0; false_positives = 0; example = None }
+
+let merge_outcome ~into:(a : outcome) (b : outcome) =
+  a.tests <- a.tests + b.tests;
+  a.skipped <- a.skipped + b.skipped;
+  a.violations <- a.violations + b.violations;
+  a.false_positives <- a.false_positives + b.false_positives;
+  if a.example = None then a.example <- b.example
 
 (* Committed-PC projection of a hardware trace: equal streams mean any
    adversary-view divergence is transient leakage (true positive). *)
@@ -78,21 +100,33 @@ let adversary_view adversary trace =
   | Timing -> Hw_trace.timing_view trace
 
 let run_hw campaign (defense : Protean_defense.Defense.t) program overlays =
+  let watchdog =
+    { Pipeline.default_watchdog with Pipeline.budget = campaign.timeout_cycles }
+  in
   Pipeline.run ~trace:true ~squash_bug:campaign.squash_bug
-    ~spec_model:campaign.spec_model ~fuel:400_000 campaign.config
+    ~spec_model:campaign.spec_model ~watchdog ~fuel:400_000 campaign.config
     (defense.Protean_defense.Defense.make ())
     program ~overlays
 
-(* Test one (program, input-pair); updates [out]. *)
+type pair_status = P_skipped | P_clean | P_violation | P_false_positive
+
+(* Test one (program, input-pair); updates [out] and reports the pair's
+   classification. *)
 let test_pair campaign defense program mode ~public ~secret_a ~secret_b out
     ~tag =
   let overlays_a = [ public; secret_a ] in
   let overlays_b = [ public; secret_b ] in
   let ca = Contract.run ~fuel:50_000 mode program ~overlays:overlays_a in
   let cb = Contract.run ~fuel:50_000 mode program ~overlays:overlays_b in
-  if ca.Contract.exhausted || cb.Contract.exhausted then out.skipped <- out.skipped + 1
-  else if not (Contract.traces_equal ca.Contract.trace cb.Contract.trace) then
-    out.skipped <- out.skipped + 1
+  if ca.Contract.exhausted || cb.Contract.exhausted then begin
+    out.skipped <- out.skipped + 1;
+    P_skipped
+  end
+  else if not (Contract.traces_equal ca.Contract.trace cb.Contract.trace)
+  then begin
+    out.skipped <- out.skipped + 1;
+    P_skipped
+  end
   else begin
     let ha = run_hw campaign defense program overlays_a in
     let hb = run_hw campaign defense program overlays_b in
@@ -103,12 +137,17 @@ let test_pair campaign defense program mode ~public ~secret_a ~secret_b out
       let fp =
         committed_stream ha.Pipeline.trace <> committed_stream hb.Pipeline.trace
       in
-      if fp then out.false_positives <- out.false_positives + 1
+      if fp then begin
+        out.false_positives <- out.false_positives + 1;
+        P_false_positive
+      end
       else begin
         out.violations <- out.violations + 1;
-        if out.example = None then out.example <- Some tag
+        if out.example = None then out.example <- Some tag;
+        P_violation
       end
     end
+    else P_clean
   end
 
 (* Instrument a generated program per the campaign, returning the program
@@ -120,25 +159,437 @@ let prepare campaign program =
       let r = Protean_protcc.Protcc.instrument ~pass_override:pass program in
       (r.Protean_protcc.Protcc.program, r.Protean_protcc.Protcc.typing)
 
-let run campaign (defense : Protean_defense.Defense.t) =
+let program_seed campaign index = campaign.seed + (index * 7919)
+
+let generate_program campaign index =
+  Gen.generate
+    {
+      Gen.default_spec with
+      Gen.seed = program_seed campaign index;
+      klass = campaign.gen_klass;
+    }
+
+(* Everything needed to replay one violating input pair, for shrinking. *)
+type witness = {
+  w_program : Program.t; (* instrumented program that violated *)
+  w_mode : Observer.mode;
+  w_public : int64 * string;
+  w_secret_a : int64 * string;
+  w_secret_b : int64 * string;
+  w_tag : int * int;
+}
+
+(* Run every input pair of program [index] into a fresh outcome; the
+   caller merges it on success, so a mid-program fault never leaves
+   half-counted pairs behind.  [witness] captures the first violation. *)
+let test_program ?witness campaign defense ~index ~program =
   let out = fresh_outcome () in
-  for p = 0 to campaign.programs - 1 do
-    let pseed = campaign.seed + (p * 7919) in
-    let program =
-      Gen.generate { Gen.default_spec with Gen.seed = pseed; klass = campaign.gen_klass }
-    in
-    let program, typing = prepare campaign program in
-    let mode = campaign.mode_of typing in
-    let rng = Random.State.make [| pseed; 0xfeed |] in
-    let public = Gen.random_public rng in
-    let base_secret = Gen.random_secret rng in
-    for k = 1 to campaign.inputs_per_program do
-      let other = Gen.random_secret rng in
+  let pseed = program_seed campaign index in
+  let program, typing = prepare campaign program in
+  let mode = campaign.mode_of typing in
+  let rng = Random.State.make [| pseed; 0xfeed |] in
+  let public = Gen.random_public rng in
+  let base_secret = Gen.random_secret rng in
+  for k = 1 to campaign.inputs_per_program do
+    let other = Gen.random_secret rng in
+    let status =
       test_pair campaign defense program mode ~public ~secret_a:base_secret
         ~secret_b:other out ~tag:(pseed, k)
-    done
+    in
+    match (status, witness) with
+    | P_violation, Some w when !w = None ->
+        w :=
+          Some
+            {
+              w_program = program;
+              w_mode = mode;
+              w_public = public;
+              w_secret_a = base_secret;
+              w_secret_b = other;
+              w_tag = (pseed, k);
+            }
+    | _ -> ()
   done;
   out
+
+let run campaign (defense : Protean_defense.Defense.t) =
+  let out = fresh_outcome () in
+  for index = 0 to campaign.programs - 1 do
+    let program = generate_program campaign index in
+    merge_outcome ~into:out (test_program campaign defense ~index ~program)
+  done;
+  out
+
+(* --- counterexample shrinking --------------------------------------- *)
+
+(* Does the witness pair still violate when [w_program]'s code is
+   replaced?  Runs the full contract-equivalence + adversary-view pipe,
+   so a shrink step that changes the committed behaviour (breaking
+   contract equivalence, or turning the divergence sequential) is
+   rejected rather than misreported. *)
+let pair_violates campaign defense program mode ~public ~secret_a ~secret_b =
+  let scratch = fresh_outcome () in
+  match
+    test_pair campaign defense program mode ~public ~secret_a ~secret_b
+      scratch ~tag:(0, 0)
+  with
+  | P_violation -> true
+  | P_skipped | P_clean | P_false_positive -> false
+  | exception Pipeline.Sim_fault _ -> false
+
+type shrunk = {
+  sh_program : Program.t; (* instrumented, shrunk *)
+  sh_original_insns : int;
+  sh_insns : int; (* live (non-nop, pre-halt) instructions left *)
+  sh_attempts : int; (* candidate executions spent *)
+  sh_verified : bool; (* the shrunk program still violates *)
+}
+
+let live_insns code cut =
+  let n = ref 0 in
+  for i = 0 to cut - 1 do
+    match code.(i).Insn.op with Insn.Nop -> () | _ -> incr n
+  done;
+  !n
+
+(* Greedy structural shrinking of a violating program: first truncate the
+   tail (replacing a suffix with [halt]), then nop out surviving
+   instructions one at a time, keeping every step that preserves the
+   violation.  Branch targets are absolute, so both operations leave the
+   surviving code's control flow intact. *)
+let shrink_witness ?(budget = 64) campaign defense (w : witness) =
+  let halt = Insn.make Insn.Halt in
+  let nop = Insn.make Insn.Nop in
+  let code0 = w.w_program.Program.code in
+  let len = Array.length code0 in
+  let attempts = ref 0 in
+  let violates code =
+    incr attempts;
+    pair_violates campaign defense
+      (Program.with_code w.w_program code)
+      w.w_mode ~public:w.w_public ~secret_a:w.w_secret_a
+      ~secret_b:w.w_secret_b
+  in
+  let truncate_at c =
+    Array.mapi (fun i insn -> if i >= c then halt else insn) code0
+  in
+  (* Phase 1: pull the halt boundary towards the entry point. *)
+  let cut = ref len in
+  let step = ref (len / 2) in
+  while !step >= 1 && !attempts < budget do
+    let c = !cut - !step in
+    if c > w.w_program.Program.main && violates (truncate_at c) then cut := c
+    else step := !step / 2
+  done;
+  (* Phase 2: nop out individual surviving instructions. *)
+  let code = ref (truncate_at !cut) in
+  for i = 0 to !cut - 1 do
+    if !attempts < budget then begin
+      match !code.(i).Insn.op with
+      | Insn.Nop | Insn.Halt -> ()
+      | _ ->
+          let cand = Array.copy !code in
+          cand.(i) <- nop;
+          if violates cand then code := cand
+    end
+  done;
+  let final = Program.with_code w.w_program !code in
+  {
+    sh_program = final;
+    sh_original_insns = len;
+    sh_insns = live_insns !code !cut;
+    sh_attempts = !attempts;
+    sh_verified =
+      pair_violates campaign defense final w.w_mode ~public:w.w_public
+        ~secret_a:w.w_secret_a ~secret_b:w.w_secret_b;
+  }
+
+(* --- campaign checkpointing ------------------------------------------ *)
+
+module Checkpoint = struct
+  (* Campaign progress persisted after every program, so an interrupted
+     multi-hour run resumes where it stopped instead of restarting.  The
+     format is a single flat JSON object of integers. *)
+  type t = {
+    ck_seed : int;
+    ck_programs : int;
+    ck_inputs : int;
+    ck_next : int; (* next program index to run *)
+    ck_tests : int;
+    ck_skipped : int;
+    ck_violations : int;
+    ck_false_positives : int;
+    ck_faulted : int;
+    ck_example_seed : int; (* -1 = no violation example yet *)
+    ck_example_input : int;
+  }
+
+  let to_json c =
+    Printf.sprintf
+      "{\"version\":1,\"seed\":%d,\"programs\":%d,\"inputs\":%d,\"next\":%d,\"tests\":%d,\"skipped\":%d,\"violations\":%d,\"false_positives\":%d,\"faulted\":%d,\"example_seed\":%d,\"example_input\":%d}"
+      c.ck_seed c.ck_programs c.ck_inputs c.ck_next c.ck_tests c.ck_skipped
+      c.ck_violations c.ck_false_positives c.ck_faulted c.ck_example_seed
+      c.ck_example_input
+
+  (* Minimal parser for the flat integer-object format above; returns
+     [None] on any malformed input rather than raising. *)
+  let int_field s key =
+    let pat = "\"" ^ key ^ "\":" in
+    let plen = String.length pat and slen = String.length s in
+    let rec find i =
+      if i + plen > slen then None
+      else if String.sub s i plen = pat then Some (i + plen)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start ->
+        let stop = ref start in
+        if !stop < slen && s.[!stop] = '-' then incr stop;
+        while !stop < slen && s.[!stop] >= '0' && s.[!stop] <= '9' do
+          incr stop
+        done;
+        if !stop = start then None
+        else int_of_string_opt (String.sub s start (!stop - start))
+
+  let of_json s =
+    let ( let* ) = Option.bind in
+    let* version = int_field s "version" in
+    if version <> 1 then None
+    else
+      let* ck_seed = int_field s "seed" in
+      let* ck_programs = int_field s "programs" in
+      let* ck_inputs = int_field s "inputs" in
+      let* ck_next = int_field s "next" in
+      let* ck_tests = int_field s "tests" in
+      let* ck_skipped = int_field s "skipped" in
+      let* ck_violations = int_field s "violations" in
+      let* ck_false_positives = int_field s "false_positives" in
+      let* ck_faulted = int_field s "faulted" in
+      let* ck_example_seed = int_field s "example_seed" in
+      let* ck_example_input = int_field s "example_input" in
+      Some
+        {
+          ck_seed;
+          ck_programs;
+          ck_inputs;
+          ck_next;
+          ck_tests;
+          ck_skipped;
+          ck_violations;
+          ck_false_positives;
+          ck_faulted;
+          ck_example_seed;
+          ck_example_input;
+        }
+
+  let save path c =
+    (* Write-then-rename so an interruption mid-write never corrupts the
+       previous checkpoint. *)
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    output_string oc (to_json c);
+    output_char oc '\n';
+    close_out oc;
+    Sys.rename tmp path
+
+  let load path =
+    if not (Sys.file_exists path) then None
+    else begin
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      of_json s
+    end
+
+  let matches campaign c =
+    c.ck_seed = campaign.seed
+    && c.ck_programs = campaign.programs
+    && c.ck_inputs = campaign.inputs_per_program
+end
+
+(* --- crash-resilient campaigns --------------------------------------- *)
+
+type skip = {
+  sk_index : int; (* program index in the campaign *)
+  sk_seed : int; (* its generator seed *)
+  sk_reason : string;
+}
+
+type report = {
+  r_outcome : outcome;
+  r_completed : int; (* programs fully tested (including resumed ones) *)
+  r_skipped : skip list; (* programs dropped after retry, oldest first *)
+  r_resumed_from : int option; (* index a matching checkpoint resumed at *)
+  r_counterexample : shrunk option; (* shrunk first violation *)
+}
+
+let describe_exn = function
+  | Pipeline.Sim_fault f -> Pipeline.fault_to_string f
+  | e -> Printexc.to_string e
+
+(* Run a campaign with a per-program exception barrier: a program whose
+   simulation faults (watchdog, invariant failure, or any other
+   exception) is retried once and then skipped with a structured report,
+   instead of aborting the whole campaign.  [checkpoint] names a JSON
+   state file for resume; [program_of] lets harnesses splice specific
+   programs into the campaign (used by the robustness self-tests). *)
+let run_resilient ?checkpoint ?(shrink = true) ?(shrink_budget = 64)
+    ?program_of campaign (defense : Protean_defense.Defense.t) =
+  let out = fresh_outcome () in
+  let start, prior_faults, resumed_from =
+    match Option.map Checkpoint.load checkpoint with
+    | Some (Some c) when Checkpoint.matches campaign c ->
+        out.tests <- c.Checkpoint.ck_tests;
+        out.skipped <- c.Checkpoint.ck_skipped;
+        out.violations <- c.Checkpoint.ck_violations;
+        out.false_positives <- c.Checkpoint.ck_false_positives;
+        if c.Checkpoint.ck_example_seed >= 0 then
+          out.example <-
+            Some (c.Checkpoint.ck_example_seed, c.Checkpoint.ck_example_input);
+        (c.Checkpoint.ck_next, c.Checkpoint.ck_faulted, Some c.Checkpoint.ck_next)
+    | _ -> (0, 0, None)
+  in
+  let skips = ref [] in
+  let faulted = ref prior_faults in
+  let witness = ref None in
+  for index = start to campaign.programs - 1 do
+    let pseed = program_seed campaign index in
+    let program =
+      match program_of with
+      | Some f -> ( match f index with
+          | Some p -> p
+          | None -> generate_program campaign index)
+      | None -> generate_program campaign index
+    in
+    let attempt () = test_program ~witness campaign defense ~index ~program in
+    (match attempt () with
+    | sub -> merge_outcome ~into:out sub
+    | exception _ -> (
+        (* Retry once — then skip the program and continue the campaign. *)
+        match attempt () with
+        | sub -> merge_outcome ~into:out sub
+        | exception e ->
+            incr faulted;
+            skips :=
+              { sk_index = index; sk_seed = pseed; sk_reason = describe_exn e }
+              :: !skips));
+    match checkpoint with
+    | Some path ->
+        Checkpoint.save path
+          {
+            Checkpoint.ck_seed = campaign.seed;
+            ck_programs = campaign.programs;
+            ck_inputs = campaign.inputs_per_program;
+            ck_next = index + 1;
+            ck_tests = out.tests;
+            ck_skipped = out.skipped;
+            ck_violations = out.violations;
+            ck_false_positives = out.false_positives;
+            ck_faulted = !faulted;
+            ck_example_seed = (match out.example with Some (s, _) -> s | None -> -1);
+            ck_example_input =
+              (match out.example with Some (_, k) -> k | None -> -1);
+          }
+    | None -> ()
+  done;
+  let counterexample =
+    match !witness with
+    | Some w when shrink ->
+        Some (shrink_witness ~budget:shrink_budget campaign defense w)
+    | _ -> None
+  in
+  {
+    r_outcome = out;
+    r_completed = campaign.programs - !faulted;
+    r_skipped = List.rev !skips;
+    r_resumed_from = resumed_from;
+    r_counterexample = counterexample;
+  }
+
+(* --- fuzzer self-test via fault injection ----------------------------- *)
+
+type gap = {
+  g_mode : Fault_inject.mode;
+  g_tests : int;
+  g_violations : int;
+  g_detected : bool; (* the campaign flagged the injected fault *)
+}
+
+(* Inject each fault mode into [defense] and rerun the campaign: a mode
+   whose campaign reports no violation is a detector gap — the harness
+   would also miss a comparable real bug. *)
+let self_test ?(modes = Fault_inject.all_modes) campaign defense =
+  List.map
+    (fun m ->
+      let faulty = Fault_inject.inject m defense in
+      let r = run_resilient ~shrink:false campaign faulty in
+      {
+        g_mode = m;
+        g_tests = r.r_outcome.tests;
+        g_violations = r.r_outcome.violations;
+        g_detected = r.r_outcome.violations > 0;
+      })
+    modes
+
+let gaps reports = List.filter (fun g -> not g.g_detected) reports
+
+(* Campaign skeleton for a named contract (the CLI's --contract values). *)
+let campaign_for ?(seed = 1) ~programs ~inputs contract =
+  let mode_of, gen_klass, instrumentation =
+    match contract with
+    | "arch" -> ((fun _ -> Observer.Arch_mode), Gen.G_arch, I_none)
+    | "cts" ->
+        ( (fun typing -> Observer.Cts_mode typing),
+          Gen.G_ct,
+          I_pass Protean_protcc.Protcc.P_cts )
+    | "ct" ->
+        ((fun _ -> Observer.Ct_mode), Gen.G_ct, I_pass Protean_protcc.Protcc.P_ct)
+    | "unprot" ->
+        ( (fun _ -> Observer.Unprot_mode),
+          Gen.G_ct,
+          I_pass (Protean_protcc.Protcc.P_rand (seed, 0.5)) )
+    | s -> invalid_arg ("Fuzz.campaign_for: unknown contract " ^ s)
+  in
+  {
+    default_campaign with
+    seed;
+    programs;
+    inputs_per_program = inputs;
+    mode_of;
+    gen_klass;
+    instrumentation;
+  }
+
+(* The defenses are layered, so a fault in one layer is often masked by
+   another (e.g. dropping ProtISA protection bits under ProtTrack leaves
+   its STT-style taint layer intact).  Each fault mode is therefore
+   paired with a defense and contract where the broken layer is
+   load-bearing: a functioning fuzzer MUST flag every row, so any miss
+   is a detector gap regardless of which defense the user fuzzes. *)
+let canonical_pairings =
+  [
+    (Fault_inject.F_unprotect, "prot-delay", "ct");
+    (Fault_inject.F_drop_taint, "stt", "arch");
+    (Fault_inject.F_corrupt_predictor, "prot-track", "arch");
+    (Fault_inject.F_open_execute_gate, "prot-track", "ct");
+    (Fault_inject.F_open_forward_gate, "nda", "arch");
+    (Fault_inject.F_open_resolve_gate, "prot-track", "ct");
+  ]
+
+let self_test_matrix ?(seed = 1) ?(programs = 8) ?(inputs = 3) ?timeout_cycles
+    () =
+  List.map
+    (fun (m, defense_id, contract) ->
+      let campaign =
+        { (campaign_for ~seed ~programs ~inputs contract) with timeout_cycles }
+      in
+      let d = Protean_defense.Defense.find defense_id in
+      match self_test ~modes:[ m ] campaign d with
+      | [ g ] -> (defense_id, contract, g)
+      | _ -> assert false)
+    canonical_pairings
 
 (* --- contract shorthands -------------------------------------------- *)
 

@@ -7,8 +7,16 @@
     events; report a violation when the adversary's views differ;
     classify it as a false positive when the committed instruction
     streams differ (sequential, not transient, divergence — the automated
-    post-processing filter of Section VII-B1e). *)
+    post-processing filter of Section VII-B1e).
 
+    Long campaigns additionally get a robustness layer: a per-program
+    exception barrier with retry-once-then-skip ([run_resilient]),
+    watchdog-enforced per-simulation cycle budgets, counterexample
+    shrinking, JSON checkpoint/resume, and a fault-injection self-test
+    ([self_test]) that verifies the campaign would actually flag a broken
+    defense. *)
+
+open Protean_isa
 open Protean_arch
 open Protean_ooo
 
@@ -34,6 +42,10 @@ type campaign = {
   config : Config.t;
   squash_bug : bool;
   spec_model : Policy.spec_model;
+  timeout_cycles : int option;
+      (** per-simulation watchdog budget: a hardware run exceeding it
+          raises {!Pipeline.Sim_fault}, which {!run_resilient} turns into
+          a reported per-program skip *)
 }
 
 val default_campaign : campaign
@@ -47,7 +59,142 @@ type outcome = {
       (** (program seed, input index) of the first violation *)
 }
 
+val program_seed : campaign -> int -> int
+(** Generator seed of the campaign's [index]-th program. *)
+
 val run : campaign -> Protean_defense.Defense.t -> outcome
+(** The plain campaign loop: no barrier, first simulator fault aborts. *)
+
+(** {1 Counterexample shrinking} *)
+
+val pair_violates :
+  campaign ->
+  Protean_defense.Defense.t ->
+  Program.t ->
+  Observer.mode ->
+  public:int64 * string ->
+  secret_a:int64 * string ->
+  secret_b:int64 * string ->
+  bool
+(** Replay one already-instrumented (program, input pair) and report
+    whether it is a (true-positive) contract violation.  Simulator
+    faults count as "no violation". *)
+
+type shrunk = {
+  sh_program : Program.t;  (** instrumented, shrunk *)
+  sh_original_insns : int;
+  sh_insns : int;  (** live (non-nop, pre-halt) instructions left *)
+  sh_attempts : int;  (** candidate replays spent *)
+  sh_verified : bool;  (** the shrunk program still violates *)
+}
+
+(** {1 Campaign checkpointing} *)
+
+module Checkpoint : sig
+  type t = {
+    ck_seed : int;
+    ck_programs : int;
+    ck_inputs : int;
+    ck_next : int;  (** next program index to run *)
+    ck_tests : int;
+    ck_skipped : int;
+    ck_violations : int;
+    ck_false_positives : int;
+    ck_faulted : int;
+    ck_example_seed : int;  (** -1 = no violation example yet *)
+    ck_example_input : int;
+  }
+
+  val to_json : t -> string
+  val of_json : string -> t option
+  val save : string -> t -> unit
+  (** Atomic (write-then-rename) save. *)
+
+  val load : string -> t option
+  (** [None] when the file is absent or malformed. *)
+
+  val matches : campaign -> t -> bool
+  (** Does the checkpoint belong to this campaign (seed, sizes)? *)
+end
+
+(** {1 Crash-resilient campaigns} *)
+
+type skip = {
+  sk_index : int;  (** program index in the campaign *)
+  sk_seed : int;  (** its generator seed *)
+  sk_reason : string;
+}
+
+type report = {
+  r_outcome : outcome;
+  r_completed : int;  (** programs fully tested (including resumed ones) *)
+  r_skipped : skip list;  (** programs dropped after retry, oldest first *)
+  r_resumed_from : int option;
+      (** index a matching checkpoint resumed at *)
+  r_counterexample : shrunk option;  (** shrunk first violation *)
+}
+
+val run_resilient :
+  ?checkpoint:string ->
+  ?shrink:bool ->
+  ?shrink_budget:int ->
+  ?program_of:(int -> Program.t option) ->
+  campaign ->
+  Protean_defense.Defense.t ->
+  report
+(** Run a campaign with a per-program exception barrier: a program whose
+    simulation faults (watchdog, invariant failure, any exception) is
+    retried once, then skipped with a structured report, and the campaign
+    continues.  [checkpoint] names a JSON state file saved after every
+    program and resumed from when it matches the campaign.  [shrink]
+    (default true) shrinks the first violating program.  [program_of]
+    overrides the generated program at selected indices (harness
+    self-tests). *)
+
+(** {1 Fuzzer self-test via fault injection} *)
+
+type gap = {
+  g_mode : Protean_defense.Fault_inject.mode;
+  g_tests : int;
+  g_violations : int;
+  g_detected : bool;  (** the campaign flagged the injected fault *)
+}
+
+val self_test :
+  ?modes:Protean_defense.Fault_inject.mode list ->
+  campaign ->
+  Protean_defense.Defense.t ->
+  gap list
+(** Inject each fault mode into the defense and rerun the campaign; a
+    mode whose campaign reports no violation is a detector gap. *)
+
+val gaps : gap list -> gap list
+(** The undetected subset of a {!self_test} result. *)
+
+val campaign_for :
+  ?seed:int -> programs:int -> inputs:int -> string -> campaign
+(** Campaign skeleton for a named contract ("arch", "cts", "ct",
+    "unprot"): observer mode, generator class and ProtCC instrumentation
+    set consistently.  Raises [Invalid_argument] on unknown names. *)
+
+val canonical_pairings :
+  (Protean_defense.Fault_inject.mode * string * string) list
+(** For each fault mode, a (defense id, contract) pairing in which the
+    faulted layer is load-bearing, so the fault is observable.  Layered
+    defenses mask single-layer faults (e.g. ProtTrack's taint layer
+    compensates for dropped protection bits), so self-testing all modes
+    against one defense reports spurious gaps. *)
+
+val self_test_matrix :
+  ?seed:int ->
+  ?programs:int ->
+  ?inputs:int ->
+  ?timeout_cycles:int ->
+  unit ->
+  (string * string * gap) list
+(** Run {!self_test} over {!canonical_pairings}; every returned gap
+    should have [g_detected = true] for a healthy fuzzer.  Returns
+    (defense id, contract, gap) per mode. *)
 
 (** Contract shorthands (observer-mode constructors). *)
 

@@ -1,0 +1,109 @@
+(* Deliberate fault injection into defenses, used to self-test the
+   fuzzer (mutation testing for the security harness): each mode breaks
+   one layer of a protection mechanism in a way that must show up as a
+   contract violation.  A campaign that does NOT flag an injected fault
+   has a detector gap — its passing verdicts on the real defenses carry
+   no weight.
+
+   Faults wrap an existing [Defense.t]'s policy hooks; the pipeline and
+   the defense itself are untouched, exactly like a hardware bug slipping
+   into one gate of the implementation. *)
+
+open Protean_ooo
+
+type mode =
+  | F_unprotect
+      (* clear ProtISA protection bits (sources and output) at rename:
+         models a rename-map tag bit stuck at zero *)
+  | F_drop_taint
+      (* drop the taint root of loads after rename: models a broken
+         taint-propagation network (STT/ProtTrack YRoT lost) *)
+  | F_corrupt_predictor
+      (* force no-access predictions on every load and disable the
+         false-negative (ProtDelay fallback) recovery: models a corrupted
+         access predictor with broken misprediction handling *)
+  | F_open_execute_gate
+      (* transmitters always allowed to execute speculatively *)
+  | F_open_forward_gate
+      (* completed results always forwarded to dependents immediately *)
+  | F_open_resolve_gate
+      (* branches always allowed to resolve (and squash) immediately *)
+
+let all_modes =
+  [
+    F_unprotect;
+    F_drop_taint;
+    F_corrupt_predictor;
+    F_open_execute_gate;
+    F_open_forward_gate;
+    F_open_resolve_gate;
+  ]
+
+let mode_name = function
+  | F_unprotect -> "unprotect"
+  | F_drop_taint -> "drop-taint"
+  | F_corrupt_predictor -> "corrupt-predictor"
+  | F_open_execute_gate -> "open-execute-gate"
+  | F_open_forward_gate -> "open-forward-gate"
+  | F_open_resolve_gate -> "open-resolve-gate"
+
+let mode_of_string s =
+  match List.find_opt (fun m -> String.equal (mode_name m) s) all_modes with
+  | Some m -> m
+  | None -> invalid_arg ("Fault_inject.mode_of_string: " ^ s)
+
+let mode_description = function
+  | F_unprotect -> "protection bits cleared at rename"
+  | F_drop_taint -> "taint roots of loads dropped"
+  | F_corrupt_predictor -> "access predictor forced no-access, fallback dead"
+  | F_open_execute_gate -> "transmitter execution gate stuck open"
+  | F_open_forward_gate -> "wakeup/forwarding gate stuck open"
+  | F_open_resolve_gate -> "branch-resolution gate stuck open"
+
+let wrap mode (p : Policy.t) : Policy.t =
+  match mode with
+  | F_unprotect ->
+      {
+        p with
+        Policy.on_rename =
+          (fun api (e : Rob_entry.t) ->
+            Array.iteri
+              (fun i _ -> e.Rob_entry.src_prot.(i) <- false)
+              e.Rob_entry.src_prot;
+            e.Rob_entry.out_prot <- false;
+            p.Policy.on_rename api e);
+      }
+  | F_drop_taint ->
+      {
+        p with
+        Policy.on_rename =
+          (fun api (e : Rob_entry.t) ->
+            p.Policy.on_rename api e;
+            if Rob_entry.is_load e then e.Rob_entry.taint_root <- -1);
+      }
+  | F_corrupt_predictor ->
+      {
+        p with
+        Policy.on_rename =
+          (fun api (e : Rob_entry.t) ->
+            p.Policy.on_rename api e;
+            if Rob_entry.is_load e then begin
+              e.Rob_entry.pred_no_access <- true;
+              e.Rob_entry.access_at_rename <- false;
+              e.Rob_entry.taint_root <- Policy.inherited_taint api e
+            end);
+        on_load_executed = Policy.nop_hook;
+      }
+  | F_open_execute_gate ->
+      { p with Policy.may_execute_transmitter = Policy.always }
+  | F_open_forward_gate -> { p with Policy.may_forward = Policy.always }
+  | F_open_resolve_gate -> { p with Policy.may_resolve = Policy.always }
+
+let inject mode (d : Defense.t) : Defense.t =
+  {
+    Defense.id = d.Defense.id ^ "+" ^ mode_name mode;
+    description =
+      Printf.sprintf "%s with injected fault: %s" d.Defense.description
+        (mode_description mode);
+    make = (fun () -> wrap mode (d.Defense.make ()));
+  }

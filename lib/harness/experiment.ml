@@ -149,13 +149,34 @@ let key spec =
     (Policy.spec_model_name spec.spec_model)
     spec.squash_bug spec.multiclass
 
+(* Sentinel for a faulted run: grids keep going and the affected table
+   cells read as nan instead of the whole process aborting. *)
+let faulted_result =
+  { cycles = nan; stats = []; code_size_ratio = nan; inserted_moves = 0 }
+
 let run session spec =
   let k = key spec in
   match Hashtbl.find_opt session.cache k with
   | Some r -> r
   | None ->
       if session.log then (Printf.eprintf "[run] %s\n%!" k);
-      let r = execute spec in
+      let r =
+        match execute spec with
+        | r -> r
+        | exception Pipeline.Sim_fault f ->
+            (* A deadlocked/livelocked simulation fails this cell only:
+               report the faulting configuration and continue the grid. *)
+            Printf.eprintf
+              "[fault] bench=%s defense=%s core=%s spec_model=%s: %s\n%!"
+              spec.bench.Suite.name spec.dcfg.label spec.config.Config.name
+              (Policy.spec_model_name spec.spec_model)
+              (Pipeline.fault_to_string f);
+            faulted_result
+        | exception Failure msg ->
+            Printf.eprintf "[fault] bench=%s defense=%s core=%s: %s\n%!"
+              spec.bench.Suite.name spec.dcfg.label spec.config.Config.name msg;
+            faulted_result
+      in
       Hashtbl.replace session.cache k r;
       r
 

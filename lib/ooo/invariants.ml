@@ -1,0 +1,183 @@
+(* Microarchitectural invariant checker for the out-of-order core.
+
+   The pipeline's internal consistency rests on a handful of structural
+   invariants (ROB ring layout, LSQ occupancy accounting, rename-map
+   producer validity, ProtISA protection-bit conservation, fetch-buffer
+   sanity).  Violating any of them silently corrupts a simulation — and a
+   corrupted simulation can report a defense as secure when it is not.
+
+   [check] audits a pipeline snapshot and returns the violations it
+   finds; [checker] packages it as a per-cycle hook for [Pipeline.run]'s
+   [on_cycle] with off/warn/fail modes, sampled every [every] cycles. *)
+
+open Protean_isa
+
+type mode = Off | Warn | Fail
+
+let mode_name = function Off -> "off" | Warn -> "warn" | Fail -> "fail"
+
+let mode_of_string = function
+  | "off" -> Off
+  | "warn" -> Warn
+  | "fail" -> Fail
+  | s -> invalid_arg ("Invariants.mode_of_string: " ^ s)
+
+type violation = { inv : string; detail : string }
+
+let check (t : Pipeline.t) : violation list =
+  let vs = ref [] in
+  let fail inv fmt =
+    Printf.ksprintf (fun detail -> vs := { inv; detail } :: !vs) fmt
+  in
+  let rob = t.Pipeline.rob in
+  let n = Array.length rob in
+  let count = t.Pipeline.count in
+  let head_seq = t.Pipeline.head_seq in
+  let head_idx = t.Pipeline.head_idx in
+  (* --- ROB ring/count consistency ---------------------------------- *)
+  if count < 0 || count > n then
+    fail "rob-count" "count %d outside [0, %d]" count n
+  else begin
+    (* Every occupied slot holds the sequence number its position
+       implies; every slot outside the live window is empty. *)
+    for i = 0 to count - 1 do
+      let idx = (head_idx + i) mod n in
+      match rob.(idx) with
+      | None -> fail "rob-ring" "hole at slot %d (expected seq %d)" i (head_seq + i)
+      | Some e ->
+          if e.Rob_entry.seq <> head_seq + i then
+            fail "rob-ring" "slot %d holds seq %d, expected %d" i
+              e.Rob_entry.seq (head_seq + i)
+    done;
+    for i = count to n - 1 do
+      let idx = (head_idx + i) mod n in
+      match rob.(idx) with
+      | Some e ->
+          fail "rob-ring" "stale entry seq %d outside the live window"
+            e.Rob_entry.seq
+      | None -> ()
+    done
+  end;
+  if t.Pipeline.next_seq <> head_seq + count then
+    fail "rob-seq" "next_seq %d <> head_seq %d + count %d" t.Pipeline.next_seq
+      head_seq count;
+  (* --- LSQ occupancy ------------------------------------------------ *)
+  let loads = ref 0 and stores = ref 0 in
+  Pipeline.iter_rob t (fun e ->
+      if Rob_entry.is_load e then incr loads;
+      if Rob_entry.is_store e then incr stores);
+  if t.Pipeline.lq_used <> !loads then
+    fail "lsq-count" "lq_used %d but %d loads in the ROB" t.Pipeline.lq_used
+      !loads;
+  if t.Pipeline.sq_used <> !stores then
+    fail "lsq-count" "sq_used %d but %d stores in the ROB" t.Pipeline.sq_used
+      !stores;
+  if t.Pipeline.lq_used > t.Pipeline.cfg.Config.lq_size then
+    fail "lsq-bound" "lq_used %d exceeds lq_size %d" t.Pipeline.lq_used
+      t.Pipeline.cfg.Config.lq_size;
+  if t.Pipeline.sq_used > t.Pipeline.cfg.Config.sq_size then
+    fail "lsq-bound" "sq_used %d exceeds sq_size %d" t.Pipeline.sq_used
+      t.Pipeline.cfg.Config.sq_size;
+  (* --- Rename-map producer validity -------------------------------- *)
+  Array.iteri
+    (fun ri p ->
+      if p >= 0 then begin
+        let r = Reg.of_int ri in
+        match Pipeline.get_entry t p with
+        | None ->
+            fail "rmap-producer" "%s maps to seq %d, not in the ROB"
+              (Reg.name r) p
+        | Some e ->
+            if not (Array.exists (fun d -> Reg.equal d r) e.Rob_entry.dsts)
+            then
+              fail "rmap-producer" "%s maps to seq %d which does not write it"
+                (Reg.name r) p
+            else
+              (* The mapping must name the *youngest* in-flight writer. *)
+              Pipeline.iter_rob t (fun y ->
+                  if
+                    y.Rob_entry.seq > p
+                    && Array.exists (fun d -> Reg.equal d r) y.Rob_entry.dsts
+                  then
+                    fail "rmap-producer"
+                      "%s maps to seq %d but seq %d is a younger writer"
+                      (Reg.name r) p y.Rob_entry.seq)
+      end)
+    t.Pipeline.rmap_producer;
+  (* --- Protection-bit conservation ---------------------------------- *)
+  (* A register with no in-flight writer (released at commit or rebuilt
+     by a squash) must agree with the committed architectural state, for
+     both its value and its ProtISA protection bit — squash replay or
+     commit release dropping a protection bit is a security bug, not
+     just a correctness one. *)
+  Array.iteri
+    (fun ri p ->
+      if p < 0 then begin
+        let r = Reg.of_int ri in
+        if t.Pipeline.rmap_prot.(ri) <> t.Pipeline.reg_prot.(ri) then
+          fail "prot-conservation"
+            "%s has no in-flight writer but rmap_prot=%b <> reg_prot=%b"
+            (Reg.name r) t.Pipeline.rmap_prot.(ri) t.Pipeline.reg_prot.(ri);
+        if not (Int64.equal t.Pipeline.rmap_value.(ri) t.Pipeline.regs.(ri))
+        then
+          fail "rmap-value"
+            "%s has no in-flight writer but rmap_value=%Ld <> regs=%Ld"
+            (Reg.name r) t.Pipeline.rmap_value.(ri) t.Pipeline.regs.(ri)
+      end)
+    t.Pipeline.rmap_producer;
+  (* --- Fetch-buffer sanity ------------------------------------------ *)
+  let buf_len = Queue.length t.Pipeline.fetch_buf in
+  if buf_len > Pipeline.fetch_buf_capacity then
+    fail "fetch-buf" "length %d exceeds capacity %d" buf_len
+      Pipeline.fetch_buf_capacity;
+  Queue.iter
+    (fun (item : Pipeline.fetch_item) ->
+      if item.Pipeline.f_fetched > t.Pipeline.cycle then
+        fail "fetch-buf" "item at pc %d fetched in the future (cycle %d)"
+          item.Pipeline.f_pc item.Pipeline.f_fetched;
+      if
+        item.Pipeline.f_ready - item.Pipeline.f_fetched
+        <> t.Pipeline.cfg.Config.frontend_latency
+      then
+        fail "fetch-buf" "item at pc %d has ready-fetched delta %d, expected %d"
+          item.Pipeline.f_pc
+          (item.Pipeline.f_ready - item.Pipeline.f_fetched)
+          t.Pipeline.cfg.Config.frontend_latency)
+    t.Pipeline.fetch_buf;
+  List.rev !vs
+
+let violations_to_string vs =
+  String.concat "; " (List.map (fun v -> v.inv ^ ": " ^ v.detail) vs)
+
+(* A per-cycle hook for [Pipeline.run]'s [on_cycle], sampling the checks
+   every [every] cycles.  [Warn] reports each distinct invariant once per
+   checker instance on stderr; [Fail] raises [Pipeline.Sim_fault] with
+   the full violation list in the dump. *)
+let checker ?(every = 1) (mode : mode) : Pipeline.t -> unit =
+  let every = max 1 every in
+  let warned = Hashtbl.create 8 in
+  fun t ->
+    match mode with
+    | Off -> ()
+    | Warn | Fail -> (
+        if t.Pipeline.cycle mod every = 0 then
+          match check t with
+          | [] -> ()
+          | vs -> (
+              match mode with
+              | Off -> ()
+              | Warn ->
+                  List.iter
+                    (fun v ->
+                      if not (Hashtbl.mem warned v.inv) then begin
+                        Hashtbl.replace warned v.inv ();
+                        Printf.eprintf "[invariant:%s] cycle %d: %s\n%!" v.inv
+                          t.Pipeline.cycle v.detail
+                      end)
+                    vs
+              | Fail ->
+                  raise
+                    (Pipeline.Sim_fault
+                       (Pipeline.fault t
+                          (Pipeline.Invariant_violation
+                             (violations_to_string vs))))))

@@ -1058,12 +1058,76 @@ let commit_stage t =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Watchdog and structured faults                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Abnormal terminations are reported as a [Sim_fault] carrying a
+   pipeline-state dump rather than a bare exception, so harnesses can log
+   the faulting run and continue with the rest of a grid or campaign. *)
+
+type fault_kind =
+  | Commit_stall (* no commit for [heartbeat] cycles: deadlock/livelock *)
+  | Budget_exhausted (* the watchdog's hard cycle budget ran out *)
+  | Invariant_violation of string (* from [Invariants], in [Fail] mode *)
+
+type fault_info = {
+  fault_kind : fault_kind;
+  fault_cycle : int;
+  fault_fetch_pc : int;
+  fault_head_pc : int; (* pc of the ROB head entry; -1 when empty *)
+  fault_head_seq : int;
+  fault_rob_count : int;
+  fault_last_commit : int; (* cycle of the last commit *)
+  fault_policy : string;
+}
+
+exception Sim_fault of fault_info
+
+let fault t kind =
+  {
+    fault_kind = kind;
+    fault_cycle = t.cycle;
+    fault_fetch_pc = t.fetch_pc;
+    fault_head_pc =
+      (match head_entry t with Some e -> e.Rob_entry.pc | None -> -1);
+    fault_head_seq = t.head_seq;
+    fault_rob_count = t.count;
+    fault_last_commit = t.last_commit_cycle;
+    fault_policy = t.policy.Policy.name;
+  }
+
+let fault_kind_name = function
+  | Commit_stall -> "commit-stall"
+  | Budget_exhausted -> "cycle-budget-exhausted"
+  | Invariant_violation _ -> "invariant-violation"
+
+let fault_to_string f =
+  let detail =
+    match f.fault_kind with Invariant_violation d -> ": " ^ d | _ -> ""
+  in
+  Printf.sprintf
+    "%s%s (cycle=%d fetch_pc=%d head_pc=%d head_seq=%d rob=%d last_commit=%d \
+     policy=%s)"
+    (fault_kind_name f.fault_kind)
+    detail f.fault_cycle f.fault_fetch_pc f.fault_head_pc f.fault_head_seq
+    f.fault_rob_count f.fault_last_commit f.fault_policy
+
+type watchdog = {
+  heartbeat : int;
+      (* maximum cycles without a commit before declaring a deadlock or
+         livelock (the pipeline keeps cycling but makes no progress) *)
+  budget : int option;
+      (* hard per-run cycle cap: unlike [fuel] (which returns with
+         [finished = false]), exceeding the budget is reported as a fault *)
+}
+
+let default_watchdog = { heartbeat = 20_000; budget = None }
+
+(* ------------------------------------------------------------------ *)
 (* Top level                                                           *)
 (* ------------------------------------------------------------------ *)
 
-exception Deadlock of int (* cycle *)
-
-let step t =
+let step ?(watchdog = default_watchdog) t =
   commit_stage t;
   if not t.done_ then begin
     resolve_stage t;
@@ -1073,8 +1137,13 @@ let step t =
   end;
   t.cycle <- t.cycle + 1;
   t.stats.Stats.cycles <- t.cycle;
-  if (not t.done_) && t.cycle - t.last_commit_cycle > 20_000 then
-    raise (Deadlock t.cycle)
+  if not t.done_ then begin
+    if t.cycle - t.last_commit_cycle > watchdog.heartbeat then
+      raise (Sim_fault (fault t Commit_stall));
+    match watchdog.budget with
+    | Some b when t.cycle >= b -> raise (Sim_fault (fault t Budget_exhausted))
+    | _ -> ()
+  end
 
 type result = {
   stats : Stats.t;
@@ -1085,13 +1154,15 @@ type result = {
 }
 
 let run ?trace ?squash_bug ?spec_model ?shared_l3 ?(fuel = 5_000_000)
-    (cfg : Config.t) (policy : Policy.t) (program : Program.t) ~overlays =
+    ?(watchdog = default_watchdog) ?on_cycle (cfg : Config.t)
+    (policy : Policy.t) (program : Program.t) ~overlays =
   let t =
     create ?trace ?squash_bug ?spec_model ?shared_l3 cfg policy program
       ~overlays
   in
   while (not t.done_) && t.cycle < fuel do
-    step t
+    step ~watchdog t;
+    match on_cycle with Some f -> f t | None -> ()
   done;
   {
     stats = t.stats;

@@ -10,4 +10,5 @@ let () =
       ("amulet", Test_amulet.tests);
       ("harness", Test_harness.tests);
       ("edge", Test_edge.tests);
+      ("robustness", Test_robustness.tests);
     ]
