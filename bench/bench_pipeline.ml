@@ -1,0 +1,94 @@
+(* Pipeline micro-benchmark: simulation throughput of the stage-module
+   pipeline, and the parallel-grid scaling of `-j N`.
+
+     dune exec bench/bench_pipeline.exe            # writes BENCH_pipeline.json
+     dune exec bench/bench_pipeline.exe -- out.json
+
+   Two measurements:
+
+   - single: the UNR workload (ossl.bnexp compiled with ProtCC-UNR,
+     ProtTrack defense, P-core) on one domain — simulated cycles per
+     wall-clock second, the basic cost of a pipeline step;
+   - grid: the golden corpus (44 mixed single/multicore cells) at
+     -j 1/2/4, asserting the lines are identical at every width and
+     recording wall-clock speedup over serial.
+
+   Speedups are only meaningful relative to `host_cores` (a 1-core
+   container can verify determinism but not show speedup; extra domains
+   there cost minor-GC barrier synchronization instead). *)
+
+module Suite = Protean_workloads.Suite
+module Protcc = Protean_protcc.Protcc
+module Defense = Protean_defense.Defense
+module Config = Protean_ooo.Config
+module Pipeline = Protean_ooo.Pipeline
+module Stats = Protean_ooo.Stats
+module Golden = Protean_harness.Golden
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let bench_single () =
+  let b = Suite.find "ossl.bnexp" in
+  let program =
+    match b.Suite.kind with
+    | Suite.Single f -> (Protcc.instrument ~pass_override:Protcc.P_unr (f ())).Protcc.program
+    | Suite.Multi _ -> assert false
+  in
+  let d = Defense.find "prot-track" in
+  (* One warm-up run so the measurement excludes first-touch costs. *)
+  let run () =
+    Pipeline.run ~fuel:30_000_000 Config.p_core (d.Defense.make ()) program
+      ~overlays:[]
+  in
+  ignore (run ());
+  let r, wall = timed run in
+  let cycles = r.Pipeline.stats.Stats.cycles in
+  let committed = r.Pipeline.stats.Stats.committed in
+  Printf.printf "single: %d cycles, %d committed in %.3fs (%.0f cycles/s)\n%!"
+    cycles committed wall
+    (float_of_int cycles /. wall);
+  (cycles, committed, wall)
+
+let bench_grid () =
+  let baseline, t1 = timed (fun () -> Golden.lines ()) in
+  Printf.printf "grid: -j 1 %.3fs (%d cells)\n%!" t1 (List.length baseline);
+  let points =
+    List.map
+      (fun jobs ->
+        let lines, tj = timed (fun () -> Golden.lines ~jobs ()) in
+        let identical = lines = baseline in
+        Printf.printf "grid: -j %d %.3fs speedup %.2f identical %b\n%!" jobs
+          tj (t1 /. tj) identical;
+        if not identical then failwith "parallel grid diverged from serial";
+        (jobs, tj, t1 /. tj))
+      [ 2; 4 ]
+  in
+  (List.length baseline, t1, points)
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_pipeline.json" in
+  let cycles, committed, wall = bench_single () in
+  let cells, t1, points = bench_grid () in
+  let oc = open_out out in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"single\": {\n";
+  Printf.fprintf oc "    \"bench\": \"ossl.bnexp\", \"pass\": \"unr\", \"defense\": \"prot-track\", \"core\": \"p\",\n";
+  Printf.fprintf oc "    \"cycles\": %d, \"committed\": %d, \"wall_s\": %.3f,\n" cycles committed wall;
+  Printf.fprintf oc "    \"cycles_per_sec\": %.0f\n" (float_of_int cycles /. wall);
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"grid\": {\n";
+  Printf.fprintf oc "    \"corpus\": \"golden\", \"cells\": %d, \"serial_wall_s\": %.3f,\n" cells t1;
+  Printf.fprintf oc "    \"parallel\": [\n";
+  List.iteri
+    (fun i (jobs, tj, sp) ->
+      Printf.fprintf oc "      {\"jobs\": %d, \"wall_s\": %.3f, \"speedup\": %.2f, \"identical\": true}%s\n"
+        jobs tj sp
+        (if i = List.length points - 1 then "" else ","))
+    points;
+  Printf.fprintf oc "    ]\n  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out

@@ -17,6 +17,7 @@ module Defense = Protean_defense.Defense
 module Fault_inject = Protean_defense.Fault_inject
 module Protcc = Protean_protcc.Protcc
 module Tables = Protean_harness.Tables
+module Parallel = Protean_harness.Parallel
 
 let defense_arg =
   Arg.(value & opt string "prot-track" & info [ "defense"; "d" ] ~docv:"ID"
@@ -59,6 +60,13 @@ let resume_arg =
          ~doc:"Checkpoint file: progress is saved there after every program \
                and a matching interrupted campaign resumes from it.")
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Domains fuzzing programs concurrently; 0 = all cores. The \
+               outcome is identical to -j 1 (programs are independent). \
+               Incompatible with --resume: checkpointing is sequential, so \
+               a resumed campaign runs serially (with a warning).")
+
 let inject_arg =
   Arg.(value & flag & info [ "inject-faults" ]
          ~doc:"Self-test the fuzzer: inject deliberate faults into the \
@@ -92,8 +100,26 @@ let report_skips (r : Fuzz.report) =
         s.Fuzz.sk_index s.Fuzz.sk_seed s.Fuzz.sk_reason)
     r.Fuzz.r_skipped
 
-let run_self_test ~programs ~inputs ~seed ~timeout =
-  let rows = Fuzz.self_test_matrix ~seed ~programs ~inputs ?timeout_cycles:timeout () in
+let run_self_test ~jobs ~programs ~inputs ~seed ~timeout =
+  (* The canonical fault-mode pairings are independent campaigns: fan
+     them out and print the matrix in its fixed order. *)
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun (m, defense_id, contract) () ->
+           let campaign =
+             {
+               (Fuzz.campaign_for ~seed ~programs ~inputs contract) with
+               Fuzz.timeout_cycles = timeout;
+             }
+           in
+           let d = Defense.find defense_id in
+           match Fuzz.self_test ~modes:[ m ] campaign d with
+           | [ g ] -> (defense_id, contract, g)
+           | _ -> assert false)
+         Fuzz.canonical_pairings)
+  in
+  let rows = Array.to_list (Parallel.map ~jobs tasks) in
   Printf.printf "fuzzer self-test (%d injected fault modes):\n"
     (List.length rows);
   List.iter
@@ -113,8 +139,17 @@ let run_self_test ~programs ~inputs ~seed ~timeout =
   end
   else Printf.printf "all injected faults detected\n"
 
-let run_campaign campaign d contract resume =
-  let r = Fuzz.run_resilient ?checkpoint:resume campaign d in
+let run_campaign ~jobs campaign d contract resume =
+  let r =
+    match resume with
+    | None when jobs > 1 -> Parallel.fuzz_run_resilient ~jobs campaign d
+    | _ ->
+        if jobs > 1 then
+          Printf.eprintf
+            "warning: --resume checkpoints sequentially; ignoring -j %d\n%!"
+            jobs;
+        Fuzz.run_resilient ?checkpoint:resume campaign d
+  in
   let out = r.Fuzz.r_outcome in
   Printf.printf
     "%s vs %s-SEQ (%s adversary): %d tests, %d skipped, %d violations, %d \
@@ -138,15 +173,16 @@ let run_campaign campaign d contract resume =
   if out.Fuzz.violations > 0 then exit 1
 
 let run table_ii defense contract programs inputs adversary seed squash_bug
-    timeout resume inject =
-  if table_ii then Tables.table_ii ~programs ~inputs ()
-  else if inject then run_self_test ~programs ~inputs ~seed ~timeout
+    timeout resume inject jobs =
+  let jobs = if jobs = 0 then Parallel.default_jobs () else max 1 jobs in
+  if table_ii then Tables.table_ii ~jobs ~programs ~inputs ()
+  else if inject then run_self_test ~jobs ~programs ~inputs ~seed ~timeout
   else begin
     let d = Defense.find defense in
     let campaign =
       campaign_of contract adversary programs inputs seed squash_bug timeout
     in
-    run_campaign campaign d contract resume
+    run_campaign ~jobs campaign d contract resume
   end
 
 let cmd =
@@ -156,6 +192,6 @@ let cmd =
     Term.(
       const run $ table_ii_arg $ defense_arg $ contract_arg $ programs_arg
       $ inputs_arg $ adversary_arg $ seed_arg $ squash_bug_arg $ timeout_arg
-      $ resume_arg $ inject_arg)
+      $ resume_arg $ inject_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,9 +1,12 @@
-(* protean-sim: run one benchmark under one defense configuration and
+(* protean-sim: run benchmarks under one defense configuration and
    print execution statistics.
 
      protean-sim --bench milc --defense prot-track --pass ct --core p
+     protean-sim -b milc -b lbm -b mcf -d stt -j 3 --invariants warn
 
-   Mirrors the artifact's per-benchmark entry point (Section A-G3). *)
+   Mirrors the artifact's per-benchmark entry point (Section A-G3).
+   Multiple --bench flags simulate on `-j N` domains; reports print in
+   benchmark order either way. *)
 
 open Cmdliner
 module Suite = Protean_workloads.Suite
@@ -13,11 +16,13 @@ module Config = Protean_ooo.Config
 module Pipeline = Protean_ooo.Pipeline
 module Multicore = Protean_ooo.Multicore
 module Policy = Protean_ooo.Policy
+module Invariants = Protean_ooo.Invariants
 module Stats = Protean_ooo.Stats
+module Parallel = Protean_harness.Parallel
 
 let bench_arg =
-  let doc = "Benchmark name (see --list)." in
-  Arg.(value & opt string "milc" & info [ "bench"; "b" ] ~docv:"NAME" ~doc)
+  let doc = "Benchmark name (repeatable; see --list)." in
+  Arg.(value & opt_all string [ "milc" ] & info [ "bench"; "b" ] ~docv:"NAME" ~doc)
 
 let defense_arg =
   let doc =
@@ -36,6 +41,21 @@ let core_arg =
 let spec_model_arg =
   let doc = "Speculation model: atcommit or control." in
   Arg.(value & opt string "atcommit" & info [ "spec-model" ] ~docv:"MODEL" ~doc)
+
+let invariants_arg =
+  let doc =
+    "Microarchitectural invariant checking: off, warn (report on stderr, \
+     keep going) or fail (raise a simulation fault)."
+  in
+  Arg.(value & opt string "off" & info [ "invariants" ] ~docv:"MODE" ~doc)
+
+let invariant_every_arg =
+  let doc = "Check invariants every N cycles (with --invariants)." in
+  Arg.(value & opt int 1 & info [ "invariant-every" ] ~docv:"N" ~doc)
+
+let jobs_arg =
+  let doc = "Domains for multi-benchmark runs; 0 = all cores." in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let list_arg =
   let doc = "List available benchmarks and exit." in
@@ -67,32 +87,44 @@ let instrument pass program =
       in
       (Protcc.instrument ~pass_override:pass program).Protcc.program
 
+(* Render one benchmark's report into a string, so parallel runs can
+   print completed reports in benchmark order. *)
 let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
-    bench =
+    invariants invariant_every bench =
   match b.Suite.kind with
   | Suite.Single f ->
       let program = instrument pass (f ()) in
-      let r =
-        Pipeline.run ~spec_model ~fuel:50_000_000 config (d.Defense.make ())
-          program ~overlays:[]
+      let on_cycle =
+        match invariants with
+        | Invariants.Off -> None
+        | mode -> Some (Invariants.checker ~every:invariant_every mode)
       in
-      Format.printf "%s under %s on %s:@.  %a@.  measured cycles: %d@."
+      let r =
+        Pipeline.run ~spec_model ~fuel:50_000_000 ?on_cycle config
+          (d.Defense.make ()) program ~overlays:[]
+      in
+      Format.asprintf "%s under %s on %s:@.  %a@.  measured cycles: %d@."
         bench d.Defense.id config.Config.name Stats.pp r.Pipeline.stats
         (Stats.measured_cycles r.Pipeline.stats)
   | Suite.Multi f ->
       let programs = Array.map (instrument pass) (f ()) in
       let r =
-        Multicore.run ~spec_model ~fuel:50_000_000 config
-          ~make_policy:d.Defense.make programs
+        Multicore.run ~spec_model ~fuel:50_000_000 ~invariants
+          ~invariant_every config ~make_policy:d.Defense.make programs
       in
-      Format.printf "%s under %s on %d cores: %d cycles@." bench
+      let buf = Buffer.create 256 in
+      let ppf = Format.formatter_of_buffer buf in
+      Format.fprintf ppf "%s under %s on %d cores: %d cycles@." bench
         d.Defense.id (Array.length programs) r.Multicore.cycles;
       Array.iteri
         (fun i (c : Pipeline.result) ->
-          Format.printf "  core %d: %a@." i Stats.pp c.Pipeline.stats)
-        r.Multicore.per_core
+          Format.fprintf ppf "  core %d: %a@." i Stats.pp c.Pipeline.stats)
+        r.Multicore.per_core;
+      Format.pp_print_flush ppf ();
+      Buffer.contents buf
 
-let run list bench defense pass core spec_model =
+let run list benches defense pass core spec_model invariants invariant_every
+    jobs =
   if list then
     List.iter
       (fun (b : Suite.benchmark) ->
@@ -100,23 +132,46 @@ let run list bench defense pass core spec_model =
           (Protean_isa.Program.string_of_klass b.Suite.klass))
       Suite.all
   else begin
-    let b = Suite.find bench in
+    let jobs = if jobs = 0 then Parallel.default_jobs () else max 1 jobs in
     let d = Defense.find defense in
     let config = config_of core in
     let spec_model = model_of spec_model in
-    try simulate b d config spec_model pass bench
-    with Pipeline.Sim_fault f ->
-      (* Report the faulting configuration instead of dying with a raw
-         backtrace, and exit non-zero so scripts notice. *)
-      Printf.eprintf "[fault] bench=%s defense=%s core=%s: %s\n%!" bench
-        d.Defense.id config.Config.name (Pipeline.fault_to_string f);
-      exit 3
+    let invariants = Invariants.mode_of_string invariants in
+    let tasks =
+      Array.of_list
+        (List.map
+           (fun bench () ->
+             let b = Suite.find bench in
+             match
+               simulate b d config spec_model pass invariants invariant_every
+                 bench
+             with
+             | report -> Ok report
+             | exception Pipeline.Sim_fault f -> Error (bench, f))
+           benches)
+    in
+    let reports = Parallel.map ~jobs tasks in
+    let faulted = ref false in
+    Array.iter
+      (function
+        | Ok report -> print_string report
+        | Error (bench, f) ->
+            (* Report the faulting configuration instead of dying with a
+               raw backtrace, and exit non-zero so scripts notice. *)
+            Printf.eprintf "[fault] bench=%s defense=%s core=%s: %s\n%!"
+              bench d.Defense.id config.Config.name
+              (Pipeline.fault_to_string f);
+            faulted := true)
+      reports;
+    if !faulted then exit 3
   end
 
 let cmd =
   let doc = "simulate a PROTEAN benchmark under a Spectre defense" in
   Cmd.v
     (Cmd.info "protean-sim" ~doc)
-    Term.(const run $ list_arg $ bench_arg $ defense_arg $ pass_arg $ core_arg $ spec_model_arg)
+    Term.(
+      const run $ list_arg $ bench_arg $ defense_arg $ pass_arg $ core_arg
+      $ spec_model_arg $ invariants_arg $ invariant_every_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

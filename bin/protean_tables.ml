@@ -3,10 +3,14 @@
 
      protean-tables table-v
      protean-tables table-iv --bench perlbench --bench milc
-     protean-tables all *)
+     protean-tables all -j 8
+
+   `-j N` runs the experiment grid on N domains via Experiment.prewarm;
+   the printed output is byte-identical to the serial run. *)
 
 open Cmdliner
 module E = Protean_harness.Experiment
+module Parallel = Protean_harness.Parallel
 module Tables = Protean_harness.Tables
 module Figures = Protean_harness.Figures
 module Studies = Protean_harness.Studies
@@ -15,7 +19,7 @@ let what_arg =
   let doc =
     "What to generate: table-i, table-ii, table-iv, table-v, figure-5, \
      figure-6, protcc-overhead, l1d-variants, ablation-access, \
-     control-model, bugfix-cost, area, or all."
+     control-model, bugfix-cost, area, golden, or all."
   in
   Arg.(value & pos 0 string "table-v" & info [] ~docv:"WHAT" ~doc)
 
@@ -27,38 +31,64 @@ let fuzz_programs_arg =
   Arg.(value & opt int 10 & info [ "fuzz-programs" ] ~docv:"N"
          ~doc:"Programs per Table II campaign.")
 
-let run what benches fuzz_programs =
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Simulation domains; 0 = all cores. Output is byte-identical \
+               to -j 1.")
+
+let run what benches fuzz_programs jobs =
+  let jobs = if jobs = 0 then Parallel.default_jobs () else max 1 jobs in
   let benches = match benches with [] -> None | bs -> Some bs in
   let session = E.create_session ~log:true () in
-  let gen = function
-    | "table-i" -> Tables.table_i ?benches session
-    | "table-ii" -> Tables.table_ii ~programs:fuzz_programs ()
-    | "table-iv" -> Tables.table_iv ?benches session
-    | "table-v" -> Tables.table_v ?benches session
-    | "figure-5" -> Figures.figure_5 ?benches session
-    | "figure-6" -> Figures.figure_6 ?benches session
-    | "protcc-overhead" -> Studies.protcc_overhead ?benches session
-    | "l1d-variants" -> Studies.l1d_variants ?benches session
-    | "ablation-access" -> Studies.ablation_access ?benches session
-    | "control-model" -> Studies.control_model ?benches session
-    | "bugfix-cost" -> Studies.bugfix_cost ?benches session
-    | "area" -> Studies.area_report ()
-    | s -> invalid_arg ("unknown table/figure: " ^ s)
+  (* Targets memoized through [session] can be prewarmed in parallel;
+     the rest manage their own parallelism (or have none to exploit). *)
+  let session_gen = function
+    | "table-i" -> Some (fun () -> Tables.table_i ?benches session)
+    | "table-iv" -> Some (fun () -> Tables.table_iv ?benches session)
+    | "table-v" -> Some (fun () -> Tables.table_v ?benches session)
+    | "figure-5" -> Some (fun () -> Figures.figure_5 ?benches session)
+    | "figure-6" -> Some (fun () -> Figures.figure_6 ?benches session)
+    | "protcc-overhead" -> Some (fun () -> Studies.protcc_overhead ?benches session)
+    | "l1d-variants" -> Some (fun () -> Studies.l1d_variants ?benches session)
+    | "ablation-access" -> Some (fun () -> Studies.ablation_access ?benches session)
+    | "control-model" -> Some (fun () -> Studies.control_model ?benches session)
+    | "bugfix-cost" -> Some (fun () -> Studies.bugfix_cost ?benches session)
+    | _ -> None
+  in
+  let gen w =
+    match session_gen w with
+    | Some g -> E.prewarm ~jobs session g
+    | None -> (
+        match w with
+        | "table-ii" -> Tables.table_ii ~jobs ~programs:fuzz_programs ()
+        | "area" -> Studies.area_report ()
+        | "golden" ->
+            (* Regenerate the golden determinism corpus
+               (test/golden_pipeline.expected). *)
+            List.iter print_endline (Protean_harness.Golden.lines ~jobs ())
+        | s -> invalid_arg ("unknown table/figure: " ^ s))
   in
   match what with
   | "all" ->
-      List.iter gen
+      let session_targets =
         [
           "table-v"; "table-iv"; "table-i"; "figure-6"; "figure-5";
           "protcc-overhead"; "l1d-variants"; "ablation-access";
-          "control-model"; "bugfix-cost"; "area"; "table-ii";
+          "control-model"; "bugfix-cost";
         ]
+      in
+      (* One prewarm across every session target so the whole grid fills
+         in a single parallel pass (cells shared between tables run once). *)
+      E.prewarm ~jobs session (fun () ->
+          List.iter (fun w -> Option.get (session_gen w) ()) session_targets);
+      gen "area";
+      gen "table-ii"
   | w -> gen w
 
 let cmd =
   let doc = "regenerate the PROTEAN paper's tables and figures" in
   Cmd.v
     (Cmd.info "protean-tables" ~doc)
-    Term.(const run $ what_arg $ bench_arg $ fuzz_programs_arg)
+    Term.(const run $ what_arg $ bench_arg $ fuzz_programs_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -65,6 +65,42 @@ val program_seed : campaign -> int -> int
 val run : campaign -> Protean_defense.Defense.t -> outcome
 (** The plain campaign loop: no barrier, first simulator fault aborts. *)
 
+(** {1 Per-program primitives}
+
+    The campaign decomposed per program, for parallel drivers
+    ([Protean_harness.Parallel]): programs are independent (per-program
+    seeded RNG), so running [test_program] for each index and merging
+    the sub-outcomes in index order reproduces [run] exactly. *)
+
+val fresh_outcome : unit -> outcome
+
+val merge_outcome : into:outcome -> outcome -> unit
+(** Add [b]'s counters into [into]; keeps [into]'s violation example
+    when it already has one (so index-order merging preserves the
+    serial campaign's first example). *)
+
+val generate_program : campaign -> int -> Program.t
+(** The campaign's [index]-th random program (before instrumentation). *)
+
+type witness
+(** Everything needed to replay one violating input pair. *)
+
+val test_program :
+  ?witness:witness option ref ->
+  campaign ->
+  Protean_defense.Defense.t ->
+  index:int ->
+  program:Program.t ->
+  outcome
+(** Run every input pair of program [index] into a fresh outcome; the
+    caller merges it on success, so a mid-program fault never leaves
+    half-counted pairs behind.  [witness] captures the first violation
+    for {!shrink_witness}. *)
+
+val describe_exn : exn -> string
+(** [Sim_fault] dumps rendered via {!Pipeline.fault_to_string}; other
+    exceptions via [Printexc]. *)
+
 (** {1 Counterexample shrinking} *)
 
 val pair_violates :
@@ -87,6 +123,11 @@ type shrunk = {
   sh_attempts : int;  (** candidate replays spent *)
   sh_verified : bool;  (** the shrunk program still violates *)
 }
+
+val shrink_witness :
+  ?budget:int -> campaign -> Protean_defense.Defense.t -> witness -> shrunk
+(** Shrink a captured {!witness} (nop-out live instructions while the
+    violation persists); used by parallel drivers after the campaign. *)
 
 (** {1 Campaign checkpointing} *)
 

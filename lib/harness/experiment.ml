@@ -73,20 +73,65 @@ type run_result = {
 
 let default_fuel = 30_000_000
 
-let instrument_program spec program =
+(* Compiled-ProtCC-binary cache: instrumentation is deterministic per
+   (workload, pass), and the same instrumented binary is re-simulated
+   under many defense configurations, so grids (especially parallel
+   ones) share compilations instead of re-running the passes.  Guarded
+   by a mutex: parallel prewarm fills run on multiple domains. *)
+let protcc_cache :
+    (string, Protean_isa.Program.t * float * int) Hashtbl.t =
+  Hashtbl.create 64
+
+let protcc_cache_lock = Mutex.create ()
+
+let pass_id = function
+  | Protcc.P_rand (seed, prob) -> Printf.sprintf "rand:%d:%g" seed prob
+  | p -> Protcc.pass_name p
+
+(* [ckey] identifies the source program (benchmark + core index). *)
+let instrument_program ~ckey spec program =
+  let compile () =
+    match (spec.dcfg.pass, spec.multiclass) with
+    | None, false -> (program, 1.0, 0)
+    | None, true ->
+        let r = Protcc.instrument program in
+        (r.Protcc.program, r.Protcc.code_size_ratio, r.Protcc.inserted_moves)
+    | Some pass, _ ->
+        let r = Protcc.instrument ~pass_override:pass program in
+        (r.Protcc.program, r.Protcc.code_size_ratio, r.Protcc.inserted_moves)
+  in
   match (spec.dcfg.pass, spec.multiclass) with
-  | None, false -> (program, 1.0, 0)
-  | None, true ->
-      let r = Protcc.instrument program in
-      (r.Protcc.program, r.Protcc.code_size_ratio, r.Protcc.inserted_moves)
-  | Some pass, _ ->
-      let r = Protcc.instrument ~pass_override:pass program in
-      (r.Protcc.program, r.Protcc.code_size_ratio, r.Protcc.inserted_moves)
+  | None, false -> compile ()
+  | _ ->
+      let k =
+        Printf.sprintf "%s|%s|%b" ckey
+          (match spec.dcfg.pass with
+          | Some pass -> pass_id pass
+          | None -> "multiclass")
+          spec.multiclass
+      in
+      let cached =
+        Mutex.lock protcc_cache_lock;
+        let c = Hashtbl.find_opt protcc_cache k in
+        Mutex.unlock protcc_cache_lock;
+        c
+      in
+      (match cached with
+      | Some r -> r
+      | None ->
+          let r = compile () in
+          Mutex.lock protcc_cache_lock;
+          Hashtbl.replace protcc_cache k r;
+          Mutex.unlock protcc_cache_lock;
+          r)
 
 let execute spec =
+  let bkey =
+    Printf.sprintf "%s/%s" spec.bench.Suite.suite spec.bench.Suite.name
+  in
   match spec.bench.Suite.kind with
   | Suite.Single f ->
-      let program, ratio, moves = instrument_program spec (f ()) in
+      let program, ratio, moves = instrument_program ~ckey:bkey spec (f ()) in
       let r =
         Pipeline.run ~squash_bug:spec.squash_bug ~spec_model:spec.spec_model
           ~fuel:default_fuel spec.config
@@ -107,9 +152,10 @@ let execute spec =
       let programs = f () in
       let ratio = ref 1.0 and moves = ref 0 in
       let programs =
-        Array.map
-          (fun p ->
-            let p', r, m = instrument_program spec p in
+        Array.mapi
+          (fun i p ->
+            let ckey = Printf.sprintf "%s#%d" bkey i in
+            let p', r, m = instrument_program ~ckey spec p in
             ratio := r;
             moves := m;
             p')
@@ -133,13 +179,18 @@ let execute spec =
         inserted_moves = !moves;
       }
 
-(* Memoized session. *)
+(* Memoized session.  [collect], when set, switches [run] into a
+   discovery mode used by {!prewarm}: cache misses are recorded (keyed
+   for dedup) instead of simulated, so one silenced dry run of a
+   generator yields the work-list for the parallel grid fill. *)
 type session = {
   cache : (string, run_result) Hashtbl.t;
   mutable log : bool;
+  mutable collect : (string, run_spec) Hashtbl.t option;
 }
 
-let create_session ?(log = false) () = { cache = Hashtbl.create 128; log }
+let create_session ?(log = false) () =
+  { cache = Hashtbl.create 128; log; collect = None }
 
 let key spec =
   (* The suite qualifies the name: e.g. `mcf` exists in both the
@@ -154,31 +205,47 @@ let key spec =
 let faulted_result =
   { cycles = nan; stats = []; code_size_ratio = nan; inserted_moves = 0 }
 
+(* stderr is shared by parallel fill workers; serialize fault reports so
+   they don't interleave mid-line. *)
+let fault_log_lock = Mutex.create ()
+
+(* One cell, with the fault barrier: a deadlocked/livelocked simulation
+   fails this cell only — report the faulting configuration and let the
+   grid continue with a nan cell. *)
+let compute spec =
+  match execute spec with
+  | r -> r
+  | exception Pipeline.Sim_fault f ->
+      Mutex.lock fault_log_lock;
+      Printf.eprintf "[fault] bench=%s defense=%s core=%s spec_model=%s: %s\n%!"
+        spec.bench.Suite.name spec.dcfg.label spec.config.Config.name
+        (Policy.spec_model_name spec.spec_model)
+        (Pipeline.fault_to_string f);
+      Mutex.unlock fault_log_lock;
+      faulted_result
+  | exception Failure msg ->
+      Mutex.lock fault_log_lock;
+      Printf.eprintf "[fault] bench=%s defense=%s core=%s: %s\n%!"
+        spec.bench.Suite.name spec.dcfg.label spec.config.Config.name msg;
+      Mutex.unlock fault_log_lock;
+      faulted_result
+
 let run session spec =
   let k = key spec in
   match Hashtbl.find_opt session.cache k with
   | Some r -> r
-  | None ->
-      if session.log then (Printf.eprintf "[run] %s\n%!" k);
-      let r =
-        match execute spec with
-        | r -> r
-        | exception Pipeline.Sim_fault f ->
-            (* A deadlocked/livelocked simulation fails this cell only:
-               report the faulting configuration and continue the grid. *)
-            Printf.eprintf
-              "[fault] bench=%s defense=%s core=%s spec_model=%s: %s\n%!"
-              spec.bench.Suite.name spec.dcfg.label spec.config.Config.name
-              (Policy.spec_model_name spec.spec_model)
-              (Pipeline.fault_to_string f);
-            faulted_result
-        | exception Failure msg ->
-            Printf.eprintf "[fault] bench=%s defense=%s core=%s: %s\n%!"
-              spec.bench.Suite.name spec.dcfg.label spec.config.Config.name msg;
-            faulted_result
-      in
-      Hashtbl.replace session.cache k r;
-      r
+  | None -> (
+      match session.collect with
+      | Some pending ->
+          (* Discovery pass: record the miss, return a placeholder
+             (not cached — the parallel fill supplies the real result). *)
+          if not (Hashtbl.mem pending k) then Hashtbl.replace pending k spec;
+          faulted_result
+      | None ->
+          if session.log then Printf.eprintf "[run] %s\n%!" k;
+          let r = compute spec in
+          Hashtbl.replace session.cache k r;
+          r)
 
 let spec ?(config = Config.p_core) ?(spec_model = Policy.Atcommit)
     ?(squash_bug = false) ?(multiclass = false) bench dcfg =
@@ -204,3 +271,65 @@ let protcc_overhead session bench pass =
   let r = run session (spec bench dcfg) in
   let u = run session (spec bench cfg_unsafe) in
   (r.code_size_ratio, r.cycles /. u.cycles, r.inserted_moves)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel grid prewarm                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [gen] (a table/figure generator driving [run] through [session])
+   with all its simulations executed on [jobs] domains, producing output
+   byte-identical to the serial run.  Three phases:
+
+   1. discovery — [gen] runs once with [Format.std_formatter] silenced
+      and the session in collect mode, so every cache miss is recorded
+      (deduplicated, no simulation happens);
+   2. fill — the recorded cells, sorted by key for a deterministic task
+      order, run under {!Parallel.map} and land in the session cache;
+   3. replay — [gen] runs again serially; every [run] now hits the warm
+      cache, so the printed output is exactly the serial output.
+
+   Correctness rests on generators being output-only consumers: the set
+   of cells they request doesn't depend on cell results, and cells are
+   pure functions of their spec.  [jobs <= 1] just runs [gen]. *)
+let prewarm ?(jobs = Parallel.default_jobs ()) session (gen : unit -> unit) =
+  if jobs <= 1 then gen ()
+  else begin
+    let pending = Hashtbl.create 64 in
+    let saved_log = session.log in
+    let ppf = Format.std_formatter in
+    let saved_out = Format.pp_get_formatter_out_functions ppf () in
+    Format.pp_print_flush ppf ();
+    session.collect <- Some pending;
+    session.log <- false;
+    Format.pp_set_formatter_out_functions ppf
+      {
+        Format.out_string = (fun _ _ _ -> ());
+        out_flush = (fun () -> ());
+        out_newline = (fun () -> ());
+        out_spaces = (fun _ -> ());
+        out_indent = (fun _ -> ());
+      };
+    Fun.protect
+      ~finally:(fun () ->
+        Format.pp_print_flush ppf ();
+        Format.pp_set_formatter_out_functions ppf saved_out;
+        session.collect <- None;
+        session.log <- saved_log)
+      gen;
+    let cells =
+      List.sort
+        (fun (a, _) (b, _) -> compare a b)
+        (Hashtbl.fold (fun k s acc -> (k, s) :: acc) pending [])
+    in
+    if session.log then
+      Printf.eprintf "[prewarm] %d cells on %d domains\n%!" (List.length cells)
+        jobs;
+    let tasks =
+      Array.of_list (List.map (fun (_, s) () -> compute s) cells)
+    in
+    let results = Parallel.map ~jobs tasks in
+    List.iteri
+      (fun i (k, _) -> Hashtbl.replace session.cache k results.(i))
+      cells;
+    gen ()
+  end

@@ -1,0 +1,201 @@
+(* Golden determinism corpus: a fixed set of (program × defense ×
+   configuration) cells whose cycle counts and observer-trace digests
+   were recorded from the pre-refactor (seed) pipeline.
+
+   The stage-module pipeline must be *cycle-exact*: it has to reproduce
+   every recorded line bit-for-bit, serially and under a parallel grid
+   (`-j 4`).  `test/golden_pipeline.expected` holds the recorded lines;
+   `protean-tables golden` regenerates them (only ever rerecord from a
+   pipeline known to be correct). *)
+
+module Defense = Protean_defense.Defense
+module Protcc = Protean_protcc.Protcc
+module Config = Protean_ooo.Config
+module Pipeline = Protean_ooo.Pipeline
+module Multicore = Protean_ooo.Multicore
+module Policy = Protean_ooo.Policy
+module Stats = Protean_ooo.Stats
+module Hw_trace = Protean_ooo.Hw_trace
+module Suite = Protean_workloads.Suite
+module Gen = Protean_amulet.Gen
+
+type source =
+  | Bench of string (* Suite benchmark name *)
+  | Rand of Gen.klass_gen * int (* generated program, by class and seed *)
+
+type cell = {
+  c_source : source;
+  c_defense : string; (* Defense id *)
+  c_pass : string; (* none | arch | cts | ct | unr | multiclass *)
+  c_config : string; (* test | p *)
+  c_model : Policy.spec_model;
+  c_squash_bug : bool;
+}
+
+let cell ?(pass = "none") ?(config = "test") ?(model = Policy.Atcommit)
+    ?(squash_bug = false) source defense =
+  {
+    c_source = source;
+    c_defense = defense;
+    c_pass = pass;
+    c_config = config;
+    c_model = model;
+    c_squash_bug = squash_bug;
+  }
+
+let source_name = function
+  | Bench n -> n
+  | Rand (k, seed) ->
+      let kn =
+        match k with Gen.G_arch -> "arch" | Gen.G_ct -> "ct" | Gen.G_unr -> "unr"
+      in
+      Printf.sprintf "gen:%s:%d" kn seed
+
+let key c =
+  Printf.sprintf "%s|%s|%s|%s|%s|%b" (source_name c.c_source) c.c_defense
+    c.c_pass c.c_config
+    (Policy.spec_model_name c.c_model)
+    c.c_squash_bug
+
+let config_of = function
+  | "test" -> Config.test_core
+  | "p" -> Config.p_core
+  | s -> invalid_arg ("Golden.config_of: " ^ s)
+
+let instrument pass program =
+  match pass with
+  | "none" -> program
+  | "multiclass" -> (Protcc.instrument program).Protcc.program
+  | p ->
+      let pass =
+        match p with
+        | "arch" -> Protcc.P_arch
+        | "cts" -> Protcc.P_cts
+        | "ct" -> Protcc.P_ct
+        | "unr" -> Protcc.P_unr
+        | s -> invalid_arg ("Golden.instrument: " ^ s)
+      in
+      (Protcc.instrument ~pass_override:pass program).Protcc.program
+
+let trace_digest trace =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Format.asprintf "%a" Hw_trace.pp_event e);
+      Buffer.add_char buf '\n')
+    (Hw_trace.all trace);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* One corpus line: the cell key followed by its observable outcome. *)
+let run_cell c =
+  let d = Defense.find c.c_defense in
+  let config = config_of c.c_config in
+  let fuel = 30_000_000 in
+  let outcome =
+    match c.c_source with
+    | Rand (klass, seed) ->
+        let program =
+          instrument c.c_pass
+            (Gen.generate { Gen.seed; klass; blocks = 24; block_len = 12 })
+        in
+        let r =
+          Pipeline.run ~trace:true ~squash_bug:c.c_squash_bug
+            ~spec_model:c.c_model ~fuel config (d.Defense.make ()) program
+            ~overlays:[]
+        in
+        Printf.sprintf "%d|%d|%d|%s" r.Pipeline.stats.Stats.cycles
+          r.Pipeline.stats.Stats.committed r.Pipeline.stats.Stats.squashes
+          (trace_digest r.Pipeline.trace)
+    | Bench name -> (
+        let b = Suite.find name in
+        match b.Suite.kind with
+        | Suite.Single f ->
+            let program = instrument c.c_pass (f ()) in
+            let r =
+              Pipeline.run ~trace:true ~squash_bug:c.c_squash_bug
+                ~spec_model:c.c_model ~fuel config (d.Defense.make ()) program
+                ~overlays:[]
+            in
+            Printf.sprintf "%d|%d|%d|%s" r.Pipeline.stats.Stats.cycles
+              r.Pipeline.stats.Stats.committed r.Pipeline.stats.Stats.squashes
+              (trace_digest r.Pipeline.trace)
+        | Suite.Multi f ->
+            let programs = Array.map (instrument c.c_pass) (f ()) in
+            let r =
+              Multicore.run ~squash_bug:c.c_squash_bug ~spec_model:c.c_model
+                ~fuel config ~make_policy:d.Defense.make programs
+            in
+            let per_core =
+              Array.to_list r.Multicore.per_core
+              |> List.map (fun (p : Pipeline.result) ->
+                     Printf.sprintf "%d:%d" p.Pipeline.stats.Stats.cycles
+                       p.Pipeline.stats.Stats.committed)
+              |> String.concat ","
+            in
+            Printf.sprintf "%d|%b|%s" r.Multicore.cycles r.Multicore.finished
+              per_core)
+  in
+  key c ^ "|" ^ outcome
+
+let corpus =
+  (* Random programs exercise deep speculation, squashes, forwarding and
+     the defense gates on the small test core. *)
+  let rand =
+    List.concat_map
+      (fun seed ->
+        List.map
+          (fun d -> cell (Rand (Gen.G_arch, seed)) d)
+          [ "unsafe"; "nda"; "stt"; "spt"; "spt-sb" ])
+      [ 101; 102; 103 ]
+    @ List.concat_map
+        (fun seed ->
+          List.map
+            (fun d -> cell ~pass:"ct" (Rand (Gen.G_ct, seed)) d)
+            [ "prot-delay"; "prot-track"; "spt" ])
+        [ 201; 202 ]
+    @ List.map
+        (fun d -> cell ~pass:"unr" (Rand (Gen.G_unr, 301)) d)
+        [ "prot-delay"; "prot-track" ]
+    (* The pending-squash corner case and the CONTROL speculation model. *)
+    @ [
+        cell ~squash_bug:true (Rand (Gen.G_arch, 101)) "stt";
+        cell ~squash_bug:true (Rand (Gen.G_arch, 101)) "spt-sb";
+        cell ~model:Policy.Control (Rand (Gen.G_arch, 102)) "stt";
+        cell ~model:Policy.Control ~pass:"arch" (Rand (Gen.G_arch, 102))
+          "prot-track";
+      ]
+    (* The three-level hierarchy (P-core has an L3; the test core none). *)
+    @ [ cell ~config:"p" (Rand (Gen.G_arch, 101)) "unsafe" ]
+  in
+  (* Real workloads: each defense × a few benchmarks per class. *)
+  let benches =
+    [
+      cell (Bench "bearssl") "unsafe";
+      cell (Bench "bearssl") "stt";
+      cell ~pass:"ct" (Bench "bearssl") "prot-track";
+      cell (Bench "hacl.poly1305") "unsafe";
+      cell ~pass:"cts" (Bench "hacl.poly1305") "prot-delay";
+      cell (Bench "ossl.bnexp") "unsafe";
+      cell (Bench "ossl.bnexp") "spt-sb";
+      cell ~pass:"unr" (Bench "ossl.bnexp") "prot-track";
+      cell (Bench "w32-index") "spt";
+      cell (Bench "w32-index") "spt-no-w32-fix";
+      cell (Bench "lbm") "unsafe";
+      cell ~config:"p" (Bench "lbm") "unsafe";
+      cell (Bench "lbm") "stt";
+      (* Multicore cells: lockstep cores sharing the LLC. *)
+      cell (Bench "swaptions.p") "unsafe";
+      cell (Bench "swaptions.p") "stt";
+      cell ~pass:"multiclass" (Bench "nginx.c1r1") "prot-track";
+    ]
+  in
+  rand @ benches
+
+(* All corpus lines, in corpus order.  [jobs > 1] runs the cells on a
+   parallel grid ([Parallel.map]); the lines are identical either way —
+   that equality is the determinism property the golden suite asserts. *)
+let lines ?(jobs = 1) () =
+  if jobs <= 1 then List.map run_cell corpus
+  else
+    let tasks = Array.of_list (List.map (fun c () -> run_cell c) corpus) in
+    Array.to_list (Parallel.map ~jobs tasks)

@@ -255,7 +255,7 @@ let fuzz_rows ~programs ~inputs =
 
 (* Merge the two adversaries' outcomes per (contract, pass) row, like the
    paper's Table II. *)
-let table_ii ?(programs = 10) ?(inputs = 4) () =
+let table_ii ?(jobs = 1) ?(programs = 10) ?(inputs = 4) () =
   Format.printf
     "Table II: AMuLeT*-detected contract violations (true positives, false \
      positives in parentheses)@.@.";
@@ -275,7 +275,7 @@ let table_ii ?(programs = 10) ?(inputs = 4) () =
           List.map
             (fun (_, d) ->
               let totals =
-                List.map (fun r -> Fuzz.run r.campaign d) rs
+                List.map (fun r -> Parallel.fuzz_run ~jobs r.campaign d) rs
               in
               let v = List.fold_left (fun a o -> a + o.Fuzz.violations) 0 totals in
               let fp = List.fold_left (fun a o -> a + o.Fuzz.false_positives) 0 totals in

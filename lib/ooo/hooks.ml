@@ -1,0 +1,82 @@
+(* The pipeline hook bus.
+
+   Every cross-cutting concern — statistics, the hardware observer trace,
+   the invariant checker, fault injection and the Policy defense
+   notifications — observes the core through one registration point
+   instead of hand-threaded callbacks.  Stage modules *emit* typed
+   events at fixed program points; subscribers react.
+
+   Contract (see docs/architecture.md for the full table):
+   - Events are emitted synchronously, in program order, at exactly the
+     program points listed below; subscribers run in registration order.
+   - Subscribers may mutate bookkeeping state they own (stats counters,
+     the trace, policy-private tables, ROB-entry policy fields) but must
+     not touch the pipeline's structural state (ROB ring, rename map,
+     LSQ counters, fetch state) — the stage modules own those.
+   - A subscriber may raise (the invariant checker's [Fail] mode raises
+     [Pipeline_state.Sim_fault]); the emission point then unwinds, so
+     raising subscribers should be registered last.
+
+   The bus is parameterized over the state type to break the circular
+   dependency with [Pipeline_state] (whose record carries its bus). *)
+
+type mem_step =
+  | M_tlb_fill of int64 (* page *)
+  | M_fill of { level : int; set : int; tag : int64 }
+  | M_evict of { level : int; line : int64 }
+
+type event =
+  | On_fetch of { pc : int; insn : Protean_isa.Insn.t }
+      (* an instruction entered the fetch buffer *)
+  | On_rename of Rob_entry.t
+      (* entry renamed and inserted into the ROB (the Policy taint point) *)
+  | On_wakeup of { consumer : Rob_entry.t; producer : Rob_entry.t }
+      (* an executed in-flight producer forwarded a value to a source *)
+  | On_wakeup_blocked of { consumer : Rob_entry.t; producer : Rob_entry.t }
+      (* the policy refused the forward this cycle (wakeup delay) *)
+  | On_exec_blocked of Rob_entry.t
+      (* a ready transmitter was denied execution this cycle *)
+  | On_resolve_blocked of Rob_entry.t
+      (* an executed branch was denied resolution this cycle *)
+  | On_forward of { load : Rob_entry.t; store : Rob_entry.t }
+      (* store-to-load forwarding hit in the LSQ *)
+  | On_load_executed of Rob_entry.t
+      (* a load (or pop/ret) read memory or the LSQ *)
+  | On_mem_access of {
+      addr : int64;
+      l1_hit : bool;
+      latency : int;
+      path : mem_step list; (* fills/evicts down the hierarchy, in order *)
+    }
+  | On_div_busy of { latency : int } (* the divider was occupied *)
+  | On_mispredict of Rob_entry.t
+      (* a mispredicted branch won the squash slot this cycle *)
+  | On_order_violation of { store : Rob_entry.t; load : Rob_entry.t }
+      (* a store's address resolved under an already-executed younger load *)
+  | On_squash of { from_seq : int; new_pc : int; flushed : int }
+      (* emitted after the ROB flush and rename-map rebuild *)
+  | On_machine_clear (* a faulting instruction committed *)
+  | On_commit of Rob_entry.t
+      (* after architectural effects, before ROB removal *)
+  | On_cycle_end (* end of [Pipeline.step], after the watchdog *)
+
+type 'state handler = 'state -> event -> unit
+type 'state subscriber = { name : string; handler : 'state handler }
+type 'state t = { mutable subs : 'state subscriber array }
+
+let create () = { subs = [||] }
+
+let subscribe bus ~name handler =
+  bus.subs <- Array.append bus.subs [| { name; handler } |]
+
+let unsubscribe bus name =
+  bus.subs <-
+    Array.of_list (List.filter (fun s -> s.name <> name) (Array.to_list bus.subs))
+
+let subscribers bus = Array.to_list (Array.map (fun s -> s.name) bus.subs)
+
+let emit bus state ev =
+  let subs = bus.subs in
+  for i = 0 to Array.length subs - 1 do
+    subs.(i).handler state ev
+  done

@@ -7,10 +7,14 @@
    corrupted simulation can report a defense as secure when it is not.
 
    [check] audits a pipeline snapshot and returns the violations it
-   finds; [checker] packages it as a per-cycle hook for [Pipeline.run]'s
-   [on_cycle] with off/warn/fail modes, sampled every [every] cycles. *)
+   finds; [checker] packages it as a per-cycle hook (usable directly as
+   [Pipeline.run]'s [on_cycle]) with off/warn/fail modes, sampled every
+   [every] cycles; [attach] subscribes the same checker to the
+   pipeline's hook bus on [On_cycle_end], which is how [Multicore.run]
+   wires it per core. *)
 
 open Protean_isa
+module S = Pipeline_state
 
 type mode = Off | Warn | Fail
 
@@ -24,16 +28,16 @@ let mode_of_string = function
 
 type violation = { inv : string; detail : string }
 
-let check (t : Pipeline.t) : violation list =
+let check (t : S.t) : violation list =
   let vs = ref [] in
   let fail inv fmt =
     Printf.ksprintf (fun detail -> vs := { inv; detail } :: !vs) fmt
   in
-  let rob = t.Pipeline.rob in
+  let rob = t.S.rob in
   let n = Array.length rob in
-  let count = t.Pipeline.count in
-  let head_seq = t.Pipeline.head_seq in
-  let head_idx = t.Pipeline.head_idx in
+  let count = t.S.count in
+  let head_seq = t.S.head_seq in
+  let head_idx = t.S.head_idx in
   (* --- ROB ring/count consistency ---------------------------------- *)
   if count < 0 || count > n then
     fail "rob-count" "count %d outside [0, %d]" count n
@@ -58,32 +62,30 @@ let check (t : Pipeline.t) : violation list =
       | None -> ()
     done
   end;
-  if t.Pipeline.next_seq <> head_seq + count then
-    fail "rob-seq" "next_seq %d <> head_seq %d + count %d" t.Pipeline.next_seq
+  if t.S.next_seq <> head_seq + count then
+    fail "rob-seq" "next_seq %d <> head_seq %d + count %d" t.S.next_seq
       head_seq count;
   (* --- LSQ occupancy ------------------------------------------------ *)
   let loads = ref 0 and stores = ref 0 in
-  Pipeline.iter_rob t (fun e ->
+  S.iter_rob t (fun e ->
       if Rob_entry.is_load e then incr loads;
       if Rob_entry.is_store e then incr stores);
-  if t.Pipeline.lq_used <> !loads then
-    fail "lsq-count" "lq_used %d but %d loads in the ROB" t.Pipeline.lq_used
-      !loads;
-  if t.Pipeline.sq_used <> !stores then
-    fail "lsq-count" "sq_used %d but %d stores in the ROB" t.Pipeline.sq_used
-      !stores;
-  if t.Pipeline.lq_used > t.Pipeline.cfg.Config.lq_size then
-    fail "lsq-bound" "lq_used %d exceeds lq_size %d" t.Pipeline.lq_used
-      t.Pipeline.cfg.Config.lq_size;
-  if t.Pipeline.sq_used > t.Pipeline.cfg.Config.sq_size then
-    fail "lsq-bound" "sq_used %d exceeds sq_size %d" t.Pipeline.sq_used
-      t.Pipeline.cfg.Config.sq_size;
+  if t.S.lq_used <> !loads then
+    fail "lsq-count" "lq_used %d but %d loads in the ROB" t.S.lq_used !loads;
+  if t.S.sq_used <> !stores then
+    fail "lsq-count" "sq_used %d but %d stores in the ROB" t.S.sq_used !stores;
+  if t.S.lq_used > t.S.cfg.Config.lq_size then
+    fail "lsq-bound" "lq_used %d exceeds lq_size %d" t.S.lq_used
+      t.S.cfg.Config.lq_size;
+  if t.S.sq_used > t.S.cfg.Config.sq_size then
+    fail "lsq-bound" "sq_used %d exceeds sq_size %d" t.S.sq_used
+      t.S.cfg.Config.sq_size;
   (* --- Rename-map producer validity -------------------------------- *)
   Array.iteri
     (fun ri p ->
       if p >= 0 then begin
         let r = Reg.of_int ri in
-        match Pipeline.get_entry t p with
+        match S.get_entry t p with
         | None ->
             fail "rmap-producer" "%s maps to seq %d, not in the ROB"
               (Reg.name r) p
@@ -94,7 +96,7 @@ let check (t : Pipeline.t) : violation list =
                 (Reg.name r) p
             else
               (* The mapping must name the *youngest* in-flight writer. *)
-              Pipeline.iter_rob t (fun y ->
+              S.iter_rob t (fun y ->
                   if
                     y.Rob_entry.seq > p
                     && Array.exists (fun d -> Reg.equal d r) y.Rob_entry.dsts
@@ -103,7 +105,7 @@ let check (t : Pipeline.t) : violation list =
                       "%s maps to seq %d but seq %d is a younger writer"
                       (Reg.name r) p y.Rob_entry.seq)
       end)
-    t.Pipeline.rmap_producer;
+    t.S.rmap_producer;
   (* --- Protection-bit conservation ---------------------------------- *)
   (* A register with no in-flight writer (released at commit or rebuilt
      by a squash) must agree with the committed architectural state, for
@@ -114,53 +116,51 @@ let check (t : Pipeline.t) : violation list =
     (fun ri p ->
       if p < 0 then begin
         let r = Reg.of_int ri in
-        if t.Pipeline.rmap_prot.(ri) <> t.Pipeline.reg_prot.(ri) then
+        if t.S.rmap_prot.(ri) <> t.S.reg_prot.(ri) then
           fail "prot-conservation"
             "%s has no in-flight writer but rmap_prot=%b <> reg_prot=%b"
-            (Reg.name r) t.Pipeline.rmap_prot.(ri) t.Pipeline.reg_prot.(ri);
-        if not (Int64.equal t.Pipeline.rmap_value.(ri) t.Pipeline.regs.(ri))
-        then
+            (Reg.name r) t.S.rmap_prot.(ri) t.S.reg_prot.(ri);
+        if not (Int64.equal t.S.rmap_value.(ri) t.S.regs.(ri)) then
           fail "rmap-value"
             "%s has no in-flight writer but rmap_value=%Ld <> regs=%Ld"
-            (Reg.name r) t.Pipeline.rmap_value.(ri) t.Pipeline.regs.(ri)
+            (Reg.name r) t.S.rmap_value.(ri) t.S.regs.(ri)
       end)
-    t.Pipeline.rmap_producer;
+    t.S.rmap_producer;
   (* --- Fetch-buffer sanity ------------------------------------------ *)
-  let buf_len = Queue.length t.Pipeline.fetch_buf in
-  if buf_len > Pipeline.fetch_buf_capacity then
+  let buf_len = Queue.length t.S.fetch_buf in
+  if buf_len > S.fetch_buf_capacity then
     fail "fetch-buf" "length %d exceeds capacity %d" buf_len
-      Pipeline.fetch_buf_capacity;
+      S.fetch_buf_capacity;
   Queue.iter
-    (fun (item : Pipeline.fetch_item) ->
-      if item.Pipeline.f_fetched > t.Pipeline.cycle then
+    (fun (item : S.fetch_item) ->
+      if item.S.f_fetched > t.S.cycle then
         fail "fetch-buf" "item at pc %d fetched in the future (cycle %d)"
-          item.Pipeline.f_pc item.Pipeline.f_fetched;
+          item.S.f_pc item.S.f_fetched;
       if
-        item.Pipeline.f_ready - item.Pipeline.f_fetched
-        <> t.Pipeline.cfg.Config.frontend_latency
+        item.S.f_ready - item.S.f_fetched <> t.S.cfg.Config.frontend_latency
       then
         fail "fetch-buf" "item at pc %d has ready-fetched delta %d, expected %d"
-          item.Pipeline.f_pc
-          (item.Pipeline.f_ready - item.Pipeline.f_fetched)
-          t.Pipeline.cfg.Config.frontend_latency)
-    t.Pipeline.fetch_buf;
+          item.S.f_pc
+          (item.S.f_ready - item.S.f_fetched)
+          t.S.cfg.Config.frontend_latency)
+    t.S.fetch_buf;
   List.rev !vs
 
 let violations_to_string vs =
   String.concat "; " (List.map (fun v -> v.inv ^ ": " ^ v.detail) vs)
 
-(* A per-cycle hook for [Pipeline.run]'s [on_cycle], sampling the checks
-   every [every] cycles.  [Warn] reports each distinct invariant once per
-   checker instance on stderr; [Fail] raises [Pipeline.Sim_fault] with
-   the full violation list in the dump. *)
-let checker ?(every = 1) (mode : mode) : Pipeline.t -> unit =
+(* A per-cycle hook sampling the checks every [every] cycles.  [Warn]
+   reports each distinct invariant once per checker instance on stderr;
+   [Fail] raises [Pipeline_state.Sim_fault] with the full violation list
+   in the dump. *)
+let checker ?(every = 1) (mode : mode) : S.t -> unit =
   let every = max 1 every in
   let warned = Hashtbl.create 8 in
   fun t ->
     match mode with
     | Off -> ()
     | Warn | Fail -> (
-        if t.Pipeline.cycle mod every = 0 then
+        if t.S.cycle mod every = 0 then
           match check t with
           | [] -> ()
           | vs -> (
@@ -172,12 +172,19 @@ let checker ?(every = 1) (mode : mode) : Pipeline.t -> unit =
                       if not (Hashtbl.mem warned v.inv) then begin
                         Hashtbl.replace warned v.inv ();
                         Printf.eprintf "[invariant:%s] cycle %d: %s\n%!" v.inv
-                          t.Pipeline.cycle v.detail
+                          t.S.cycle v.detail
                       end)
                     vs
               | Fail ->
                   raise
-                    (Pipeline.Sim_fault
-                       (Pipeline.fault t
-                          (Pipeline.Invariant_violation
-                             (violations_to_string vs))))))
+                    (S.Sim_fault
+                       (S.fault t
+                          (S.Invariant_violation (violations_to_string vs))))))
+
+(* Subscribe a [checker] to the pipeline's hook bus, firing at
+   [On_cycle_end].  One checker instance per pipeline: the warn-once
+   table is per subscription. *)
+let attach ?every mode (t : S.t) =
+  let f = checker ?every mode in
+  Hooks.subscribe t.S.hooks ~name:"invariants" (fun st ev ->
+      match ev with Hooks.On_cycle_end -> f st | _ -> ())

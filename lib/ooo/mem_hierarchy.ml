@@ -1,0 +1,49 @@
+(* The L1D/L2/L3 + TLB access path.
+
+   Walking the hierarchy mutates cache and TLB state (fills, evictions,
+   replacement metadata) — wrong-path accesses included, since transient
+   fills are exactly the side channel the defenses must close.  The walk
+   is reported as a single [On_mem_access] event whose [path] lists the
+   fills and evictions in the order they happened; the trace observer
+   replays them, the stats observer counts the L1D access/miss. *)
+
+module S = Pipeline_state
+
+(* Walk the hierarchy for a data access at [addr]; returns the latency. *)
+let access (t : S.t) addr =
+  let path = ref [] in
+  let add s = path := s :: !path in
+  let fill level (r : Cache.result) =
+    if not r.Cache.hit then begin
+      add (Hooks.M_fill { level; set = r.Cache.set; tag = r.Cache.tag });
+      match r.Cache.evicted with
+      | Some line -> add (Hooks.M_evict { level; line })
+      | None -> ()
+    end
+  in
+  let tlb_hit = Tlb.access t.S.tlb addr in
+  if not tlb_hit then add (Hooks.M_tlb_fill (Tlb.page_of addr));
+  let tlb_penalty = if tlb_hit then 0 else t.S.cfg.Config.tlb_miss_latency in
+  let r1 = Cache.access t.S.l1d addr in
+  fill 1 r1;
+  let l1_hit = r1.Cache.hit in
+  let latency =
+    if l1_hit then tlb_penalty + t.S.cfg.Config.l1d.Config.latency
+    else begin
+      let r2 = Cache.access t.S.l2 addr in
+      fill 2 r2;
+      if r2.Cache.hit then tlb_penalty + t.S.cfg.Config.l2.Config.latency
+      else
+        match t.S.l3 with
+        | Some l3 ->
+            let r3 = Cache.access l3 addr in
+            fill 3 r3;
+            if r3.Cache.hit then
+              tlb_penalty
+              + (match t.S.cfg.Config.l3 with Some c -> c.Config.latency | None -> 0)
+            else tlb_penalty + t.S.cfg.Config.mem_latency
+        | None -> tlb_penalty + t.S.cfg.Config.mem_latency
+    end
+  in
+  S.emit t (Hooks.On_mem_access { addr; l1_hit; latency; path = List.rev !path });
+  latency

@@ -6,7 +6,15 @@
    Threads operate on disjoint address spaces (each core has its own
    memory image), so no coherence traffic is modelled; the shared L3
    still creates the capacity interactions that matter for the
-   evaluation's normalized runtimes. *)
+   evaluation's normalized runtimes.
+
+   Each core is the same stage-module composition as a single-core run
+   ([Pipeline.step] = commit → resolve → execute → rename → fetch over
+   the core's [Pipeline_state]), including the per-core watchdog and,
+   when requested, a per-core invariant checker subscribed to the
+   core's hook bus — so a deadlocked or corrupted core raises a
+   structured [Pipeline.Sim_fault] (tagged with its core index in
+   [fault_core]) instead of silently burning fuel. *)
 
 type result = {
   cycles : int;
@@ -14,9 +22,10 @@ type result = {
   finished : bool;
 }
 
-let run ?squash_bug ?spec_model ?(fuel = 10_000_000) (cfg : Config.t)
-    ~(make_policy : unit -> Policy.t) (programs : Protean_isa.Program.t array)
-    =
+let run ?squash_bug ?spec_model ?(fuel = 10_000_000)
+    ?(watchdog = Pipeline.default_watchdog) ?(invariants = Invariants.Off)
+    ?invariant_every (cfg : Config.t) ~(make_policy : unit -> Policy.t)
+    (programs : Protean_isa.Program.t array) =
   let shared_l3 = Option.map Cache.create cfg.Config.l3 in
   let cores =
     Array.map
@@ -25,10 +34,22 @@ let run ?squash_bug ?spec_model ?(fuel = 10_000_000) (cfg : Config.t)
           program ~overlays:[])
       programs
   in
+  (match invariants with
+  | Invariants.Off -> ()
+  | mode ->
+      Array.iter
+        (fun core -> Invariants.attach ?every:invariant_every mode core)
+        cores);
   let cycles = ref 0 in
   let all_done () = Array.for_all Pipeline.is_done cores in
   while (not (all_done ())) && !cycles < fuel do
-    Array.iter (fun core -> if not (Pipeline.is_done core) then Pipeline.step core) cores;
+    Array.iteri
+      (fun i core ->
+        if not (Pipeline.is_done core) then
+          try Pipeline.step ~watchdog core
+          with Pipeline.Sim_fault f ->
+            raise (Pipeline.Sim_fault { f with Pipeline.fault_core = i }))
+      cores;
     incr cycles
   done;
   {

@@ -13,9 +13,17 @@ val run :
   ?squash_bug:bool ->
   ?spec_model:Policy.spec_model ->
   ?fuel:int ->
+  ?watchdog:Pipeline.watchdog ->
+  ?invariants:Invariants.mode ->
+  ?invariant_every:int ->
   Config.t ->
   make_policy:(unit -> Policy.t) ->
   Protean_isa.Program.t array ->
   result
 (** [make_policy] is called once per core: policies carry per-core
-    mutable state. *)
+    mutable state.  The [watchdog] applies per core (default
+    {!Pipeline.default_watchdog}); [invariants] (default [Off])
+    subscribes a per-core invariant checker, sampled every
+    [invariant_every] cycles, to each core's hook bus.  Either failure
+    raises {!Pipeline.Sim_fault} with [fault_core] set to the faulting
+    core's index. *)

@@ -1,1139 +1,110 @@
-(* The speculative out-of-order core.
+(* The speculative out-of-order core: a cycle-level model in the style
+   of the gem5 O3 CPU.
 
-   A cycle-level model in the style of the gem5 O3 CPU: fetch with branch
-   prediction, a fetch-to-rename frontend delay, register renaming with
-   ProtISA protection tags (Section IV-C), a reorder buffer with
-   load/store-queue occupancy limits, dynamic issue with store-to-load
-   forwarding and memory-order speculation, delayed (policy-gated) branch
-   resolution, and in-order commit.
+   This module is a thin coordinator.  The machine state lives in
+   [Pipeline_state]; each pipeline stage is its own module
+   ([Stage_fetch], [Stage_rename], [Stage_issue_exec], [Stage_memory],
+   [Stage_commit]) with [Squash] and [Mem_hierarchy] for the recovery
+   and L1/L2/L3+TLB paths; cross-cutting concerns (stats, the hardware
+   observer trace, the Policy defense notifications, the invariant
+   checker) subscribe to the [Hooks] event bus installed by [create].
+   See docs/architecture.md for the event contract.
 
-   Wrong-path instructions really execute: transient loads fill and evict
-   cache lines, divisions occupy the divider, and squashes have visible
-   timing — these are the side channels the defenses must close.
+   Wrong-path instructions really execute: transient loads fill and
+   evict cache lines, divisions occupy the divider, and squashes have
+   visible timing — these are the side channels the defenses must
+   close.  Defense policies (Section VI) hook in through [Policy.t]:
+   they can taint at rename, gate transmitter execution and branch
+   resolution, and gate the forwarding of completed results to
+   dependents. *)
 
-   Defense policies (Section VI) hook in through [Policy.t]: they can
-   taint at rename, gate transmitter execution and branch resolution, and
-   gate the forwarding of completed results to dependents. *)
-
-open Protean_isa
 open Protean_arch
 
-type fetch_item = {
+(* Re-exported state types: [t] *is* [Pipeline_state.t], so existing
+   consumers (and the invariant checker) keep working unchanged. *)
+
+type t = Pipeline_state.t
+
+type fetch_item = Pipeline_state.fetch_item = {
   f_pc : int;
-  f_insn : Insn.t;
-  f_pred_target : int; (* -1 = no prediction (fetch stalled after this) *)
-  f_ready : int; (* cycle at which the item can rename *)
+  f_insn : Protean_isa.Insn.t;
+  f_pred_target : int;
+  f_ready : int;
   f_fetched : int;
 }
 
-type t = {
-  cfg : Config.t;
-  policy : Policy.t;
-  spec_model : Policy.spec_model;
-  squash_bug : bool;
-      (* reintroduces the pending-squash corner case inherited from STT's
-         gem5 implementation (Section VII-B4b) when true *)
-  program : Program.t;
-  mem : Memory.t; (* committed memory *)
-  regs : int64 array; (* committed registers *)
-  reg_prot : bool array; (* committed ProtISA register protections *)
-  (* Rename map. *)
-  rmap_producer : int array; (* per arch register: seq, or -1 *)
-  rmap_value : int64 array;
-  rmap_prot : bool array;
-  (* Reorder buffer: a ring indexed by sequence number. *)
-  rob : Rob_entry.t option array;
-  mutable head_idx : int;
-  mutable head_seq : int;
-  mutable count : int;
-  mutable next_seq : int;
-  mutable lq_used : int;
-  mutable sq_used : int;
-  (* Frontend. *)
-  mutable fetch_pc : int;
-  mutable fetch_stalled : bool;
-  fetch_buf : fetch_item Queue.t;
-  bp : Branch_pred.t;
-  mdp : Bytes.t;
-      (* memory-dependence predictor (store-set style): a bit per load PC
-         set after a memory-order violation; flagged loads wait until all
-         older store addresses are known *)
-  (* Memory hierarchy. *)
-  l1d : Cache.t;
-  l2 : Cache.t;
-  l3 : Cache.t option;
-  tlb : Tlb.t;
-  shadow_prot : Protset.t option; (* Prot_mem_perfect variant *)
-  (* Bookkeeping. *)
-  trace : Hw_trace.t;
-  stats : Stats.t;
-  mutable cycle : int;
-  mutable done_ : bool;
-  mutable last_commit_cycle : int;
-  mutable unresolved_memo_cycle : int;
-  mutable unresolved_memo : int;
-}
+let fetch_buf_capacity = Pipeline_state.fetch_buf_capacity
 
-let fetch_buf_capacity = 48
+(* ROB / policy-API accessors. *)
+let rob_size = Pipeline_state.rob_size
+let get_entry = Pipeline_state.get_entry
+let head_entry = Pipeline_state.head_entry
+let iter_rob = Pipeline_state.iter_rob
+let tail_seq = Pipeline_state.tail_seq
+let oldest_unresolved_branch = Pipeline_state.oldest_unresolved_branch
+let l1d_protected = Pipeline_state.l1d_protected
+let api = Pipeline_state.api
+let measurement_marker = Stage_commit.measurement_marker
 
-let create ?(trace = false) ?(squash_bug = false)
-    ?(spec_model = Policy.Atcommit) ?shared_l3 (cfg : Config.t)
-    (policy : Policy.t) (program : Program.t) ~overlays =
-  let mem = Memory.create () in
-  List.iter
-    (fun (d : Program.data_init) -> Memory.write_string mem d.addr d.bytes)
-    program.Program.data;
-  List.iter (fun (addr, bytes) -> Memory.write_string mem addr bytes) overlays;
-  let regs = Array.make Reg.count 0L in
-  regs.(Reg.to_int Reg.rsp) <- program.Program.stack_base;
-  let l3 =
-    match shared_l3 with
-    | Some c -> Some c
-    | None -> Option.map Cache.create cfg.Config.l3
-  in
-  {
-    cfg;
-    policy;
-    spec_model;
-    squash_bug;
-    program;
-    mem;
-    regs;
-    reg_prot = Array.make Reg.count false;
-    rmap_producer = Array.make Reg.count (-1);
-    rmap_value = Array.copy regs;
-    rmap_prot = Array.make Reg.count false;
-    rob = Array.make cfg.Config.rob_size None;
-    head_idx = 0;
-    head_seq = 0;
-    count = 0;
-    next_seq = 0;
-    lq_used = 0;
-    sq_used = 0;
-    fetch_pc = program.Program.main;
-    fetch_stalled = false;
-    fetch_buf = Queue.create ();
-    bp = Branch_pred.create cfg.Config.bp;
-    mdp = Bytes.make 1024 '\000';
-    l1d = Cache.create cfg.Config.l1d;
-    l2 = Cache.create cfg.Config.l2;
-    l3;
-    tlb = Tlb.create cfg.Config.tlb_entries;
-    shadow_prot =
-      (match cfg.Config.prot_mem with
-      | Config.Prot_mem_perfect -> Some (Protset.create ())
-      | Config.Prot_mem_l1d | Config.Prot_mem_none -> None);
-    trace = Hw_trace.create ~enabled:trace;
-    stats = Stats.create ();
-    cycle = 0;
-    done_ = false;
-    last_commit_cycle = 0;
-    unresolved_memo_cycle = -1;
-    unresolved_memo = max_int;
-  }
+(* Structured faults and the watchdog. *)
 
-(* ------------------------------------------------------------------ *)
-(* ROB ring operations                                                 *)
-(* ------------------------------------------------------------------ *)
+type fault_kind = Pipeline_state.fault_kind =
+  | Commit_stall
+  | Budget_exhausted
+  | Invariant_violation of string
 
-let rob_size t = Array.length t.rob
-let rob_full t = t.count >= rob_size t
-
-let idx_of_seq t seq = (t.head_idx + (seq - t.head_seq)) mod rob_size t
-
-let get_entry t seq =
-  if seq < t.head_seq || seq >= t.head_seq + t.count then None
-  else t.rob.(idx_of_seq t seq)
-
-let head_entry t = if t.count = 0 then None else t.rob.(t.head_idx)
-
-(* Iterate over ROB entries from oldest to youngest. *)
-let iter_rob t f =
-  for i = 0 to t.count - 1 do
-    match t.rob.((t.head_idx + i) mod rob_size t) with
-    | Some e -> f e
-    | None -> ()
-  done
-
-let tail_seq t = t.head_seq + t.count - 1
-
-(* ------------------------------------------------------------------ *)
-(* Policy API                                                          *)
-(* ------------------------------------------------------------------ *)
-
-let oldest_unresolved_branch t =
-  if t.unresolved_memo_cycle = t.cycle then t.unresolved_memo
-  else begin
-    let min_seq = ref max_int in
-    (try
-       iter_rob t (fun e ->
-           if e.Rob_entry.is_branch && not e.Rob_entry.resolved then begin
-             min_seq := e.Rob_entry.seq;
-             raise Exit
-           end)
-     with Exit -> ());
-    t.unresolved_memo_cycle <- t.cycle;
-    t.unresolved_memo <- !min_seq;
-    !min_seq
-  end
-
-let invalidate_unresolved_memo t = t.unresolved_memo_cycle <- -1
-
-let l1d_protected t addr size =
-  match t.cfg.Config.prot_mem with
-  | Config.Prot_mem_none -> true
-  | Config.Prot_mem_l1d -> Cache.protected_bytes t.l1d addr size
-  | Config.Prot_mem_perfect ->
-      Protset.mem_protected (Option.get t.shadow_prot) addr size
-
-let api t : Policy.api =
-  {
-    Policy.cfg = t.cfg;
-    spec_model = t.spec_model;
-    head_seq = (fun () -> if t.count = 0 then max_int else t.head_seq);
-    oldest_unresolved_branch = (fun () -> oldest_unresolved_branch t);
-    get_entry = (fun seq -> get_entry t seq);
-    l1d_protected = (fun addr size -> l1d_protected t addr size);
-    stats = t.stats;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Fetch                                                               *)
-(* ------------------------------------------------------------------ *)
-
-let predict_next t pc (insn : Insn.t) =
-  match insn.Insn.op with
-  | Insn.Jcc (_, target) ->
-      if Branch_pred.predict_direction t.bp pc then target else pc + 1
-  | Insn.Jmp target -> target
-  | Insn.Call target ->
-      Branch_pred.rsb_push t.bp (pc + 1);
-      target
-  | Insn.Ret -> (
-      match Branch_pred.rsb_pop t.bp with Some p -> p | None -> -1)
-  | Insn.Jmpi _ -> (
-      match Branch_pred.predict_indirect t.bp pc with
-      | Some target -> target
-      | None -> -1)
-  | Insn.Halt -> -1
-  | _ -> pc + 1
-
-let fetch_stage t =
-  let fetched = ref 0 in
-  while
-    (not t.fetch_stalled)
-    && !fetched < t.cfg.Config.fetch_width
-    && Queue.length t.fetch_buf < fetch_buf_capacity
-  do
-    let pc = t.fetch_pc in
-    let insn =
-      if Program.in_bounds t.program pc then Program.insn t.program pc
-      else Insn.make Insn.Halt
-    in
-    let next = predict_next t pc insn in
-    Queue.add
-      {
-        f_pc = pc;
-        f_insn = insn;
-        f_pred_target = next;
-        f_ready = t.cycle + t.cfg.Config.frontend_latency;
-        f_fetched = t.cycle;
-      }
-      t.fetch_buf;
-    t.stats.Stats.fetched <- t.stats.Stats.fetched + 1;
-    incr fetched;
-    if next < 0 then t.fetch_stalled <- true else t.fetch_pc <- next
-  done
-
-(* ------------------------------------------------------------------ *)
-(* Rename / dispatch                                                   *)
-(* ------------------------------------------------------------------ *)
-
-let rename_one t (item : fetch_item) =
-  let insn = item.f_insn in
-  let seq = t.next_seq in
-  let e = Rob_entry.create ~seq ~pc:item.f_pc ~insn ~t_fetch:item.f_fetched in
-  e.Rob_entry.t_rename <- t.cycle;
-  (* Read sources through the rename map. *)
-  Array.iteri
-    (fun i (r, _role) ->
-      let ri = Reg.to_int r in
-      let producer = t.rmap_producer.(ri) in
-      e.Rob_entry.src_producer.(i) <- producer;
-      e.Rob_entry.src_prot.(i) <- t.rmap_prot.(ri);
-      if producer < 0 then begin
-        e.Rob_entry.src_val.(i) <- t.rmap_value.(ri);
-        e.Rob_entry.src_ready.(i) <- true
-      end)
-    e.Rob_entry.srcs;
-  (* ProtISA output tag: PROT-prefixed instructions protect their outputs;
-     unprefixed sub-register writes leave the old protection unchanged
-     (Section IV-B1). *)
-  let subreg_dst =
-    match insn.Insn.op with
-    | Insn.Mov (Insn.W8, d, _) | Insn.Load (Insn.W8, d, _) -> Some d
-    | _ -> None
-  in
-  e.Rob_entry.out_prot <-
-    (match subreg_dst with
-    | Some d when not insn.Insn.prot -> t.rmap_prot.(Reg.to_int d)
-    | _ -> insn.Insn.prot);
-  (* Update the rename map. *)
-  Array.iter
-    (fun r ->
-      let ri = Reg.to_int r in
-      t.rmap_producer.(ri) <- seq;
-      (match subreg_dst with
-      | Some d when (not insn.Insn.prot) && Reg.equal d r -> ()
-      | _ -> t.rmap_prot.(ri) <- insn.Insn.prot))
-    e.Rob_entry.dsts;
-  (* Branch prediction bookkeeping. *)
-  if e.Rob_entry.is_branch then e.Rob_entry.pred_target <- item.f_pred_target;
-  (* Insert into the ROB. *)
-  let idx = (t.head_idx + t.count) mod rob_size t in
-  if t.count = 0 then begin
-    t.head_idx <- idx;
-    t.head_seq <- seq
-  end;
-  t.rob.(idx) <- Some e;
-  t.count <- t.count + 1;
-  t.next_seq <- seq + 1;
-  if Rob_entry.is_load e then t.lq_used <- t.lq_used + 1;
-  if Rob_entry.is_store e then t.sq_used <- t.sq_used + 1;
-  t.policy.Policy.on_rename (api t) e
-
-let rename_stage t =
-  let renamed = ref 0 in
-  let continue_ = ref true in
-  while !continue_ && !renamed < t.cfg.Config.rename_width do
-    match Queue.peek_opt t.fetch_buf with
-    | None -> continue_ := false
-    | Some item ->
-        if item.f_ready > t.cycle || rob_full t then continue_ := false
-        else begin
-          let is_ld = Insn.is_load item.f_insn.Insn.op in
-          let is_st = Insn.is_store item.f_insn.Insn.op in
-          if
-            (is_ld && t.lq_used >= t.cfg.Config.lq_size)
-            || (is_st && t.sq_used >= t.cfg.Config.sq_size)
-          then continue_ := false
-          else begin
-            ignore (Queue.pop t.fetch_buf);
-            rename_one t item;
-            incr renamed
-          end
-        end
-  done
-
-(* ------------------------------------------------------------------ *)
-(* Source readiness                                                    *)
-(* ------------------------------------------------------------------ *)
-
-(* Value produced for register [r] by entry [p]. *)
-let producer_value (p : Rob_entry.t) r =
-  let n = Array.length p.Rob_entry.dsts in
-  let rec loop i =
-    if i >= n then None
-    else if Reg.equal p.Rob_entry.dsts.(i) r then Some p.Rob_entry.dst_val.(i)
-    else loop (i + 1)
-  in
-  loop 0
-
-(* Try to make all of [e]'s sources ready; returns true when they are.
-   Values from in-flight producers are only visible once the producer has
-   executed *and* the policy allows it to forward (the AccessDelay /
-   ProtDelay wakeup-gating point). *)
-let sources_ready t (e : Rob_entry.t) =
-  let ap = api t in
-  let all = ref true in
-  Array.iteri
-    (fun i ready ->
-      if not ready then begin
-        let r, _ = e.Rob_entry.srcs.(i) in
-        let p = e.Rob_entry.src_producer.(i) in
-        match get_entry t p with
-        | None ->
-            (* Producer committed: its value is in the architectural
-               register file (no younger writer can have committed). *)
-            e.Rob_entry.src_val.(i) <- t.regs.(Reg.to_int r);
-            e.Rob_entry.src_ready.(i) <- true
-        | Some prod ->
-            if prod.Rob_entry.executed then
-              if t.policy.Policy.may_forward ap prod then begin
-                (match producer_value prod r with
-                | Some v -> e.Rob_entry.src_val.(i) <- v
-                | None -> ());
-                e.Rob_entry.src_ready.(i) <- true
-              end
-              else begin
-                t.stats.Stats.wakeup_delay_cycles <-
-                  t.stats.Stats.wakeup_delay_cycles + 1;
-                all := false
-              end
-            else all := false
-      end)
-    e.Rob_entry.src_ready;
-  !all
-
-let src_value (e : Rob_entry.t) reg role =
-  let i = Rob_entry.find_src e reg role in
-  if i >= 0 then e.Rob_entry.src_val.(i)
-  else invalid_arg "Pipeline.src_value: operand not found"
-
-(* Value of a [src] operand (register via the renamed sources, or an
-   immediate). *)
-let operand_value (e : Rob_entry.t) (s : Insn.src) role =
-  match s with Insn.Imm v -> v | Insn.Reg r -> src_value e r role
-
-let ea_of (e : Rob_entry.t) (m : Insn.mem) =
-  let read r = src_value e r Insn.Addr in
-  Sem.effective_address read m
-
-(* ------------------------------------------------------------------ *)
-(* Memory access                                                       *)
-(* ------------------------------------------------------------------ *)
-
-(* Walk the cache hierarchy for a data access at [addr]; returns the
-   latency and records fill/evict events. *)
-let hierarchy_access t addr =
-  let record_fill level (r : Cache.result) =
-    if not r.Cache.hit then begin
-      Hw_trace.record t.trace
-        (Hw_trace.E_cache_fill { level; set = r.Cache.set; tag = r.Cache.tag });
-      match r.Cache.evicted with
-      | Some line -> Hw_trace.record t.trace (Hw_trace.E_cache_evict { level; line })
-      | None -> ()
-    end
-  in
-  let tlb_hit = Tlb.access t.tlb addr in
-  if not tlb_hit then
-    Hw_trace.record t.trace (Hw_trace.E_tlb_fill (Tlb.page_of addr));
-  let tlb_penalty = if tlb_hit then 0 else t.cfg.Config.tlb_miss_latency in
-  let r1 = Cache.access t.l1d addr in
-  record_fill 1 r1;
-  t.stats.Stats.l1d_accesses <- t.stats.Stats.l1d_accesses + 1;
-  if r1.Cache.hit then tlb_penalty + t.cfg.Config.l1d.Config.latency
-  else begin
-    t.stats.Stats.l1d_misses <- t.stats.Stats.l1d_misses + 1;
-    let r2 = Cache.access t.l2 addr in
-    record_fill 2 r2;
-    if r2.Cache.hit then tlb_penalty + t.cfg.Config.l2.Config.latency
-    else
-      match t.l3 with
-      | Some l3 ->
-          let r3 = Cache.access l3 addr in
-          record_fill 3 r3;
-          if r3.Cache.hit then
-            tlb_penalty + (match t.cfg.Config.l3 with Some c -> c.Config.latency | None -> 0)
-          else tlb_penalty + t.cfg.Config.mem_latency
-      | None -> tlb_penalty + t.cfg.Config.mem_latency
-  end
-
-let mdp_index pc = pc land 1023
-let mdp_flagged t pc = Bytes.get t.mdp (mdp_index pc) = '\001'
-let mdp_flag t pc = Bytes.set t.mdp (mdp_index pc) '\001'
-
-(* Is there an older store whose address is still unknown? *)
-let older_store_addr_unknown t (e : Rob_entry.t) =
-  let found = ref false in
-  (try
-     for seq = e.Rob_entry.seq - 1 downto t.head_seq do
-       match get_entry t seq with
-       | Some st when Rob_entry.is_store st && not st.Rob_entry.addr_ready ->
-           found := true;
-           raise Exit
-       | _ -> ()
-     done
-   with Exit -> ());
-  !found
-
-type fwd_result =
-  | Fwd_value of Rob_entry.t (* fully-covering executed older store *)
-  | Fwd_wait (* overlapping older store not ready to forward *)
-  | Fwd_none
-
-(* Youngest older store overlapping the load's bytes.  Older stores whose
-   address is still unknown are speculatively ignored (memory-order
-   speculation); mis-speculation is caught when the store executes. *)
-let forward_search t (e : Rob_entry.t) addr size =
-  let result = ref Fwd_none in
-  (try
-     for seq = e.Rob_entry.seq - 1 downto t.head_seq do
-       match get_entry t seq with
-       | Some st
-         when Rob_entry.is_store st && st.Rob_entry.addr_ready ->
-           let sa = st.Rob_entry.addr and ss = st.Rob_entry.msize in
-           let overlap =
-             Int64.compare sa (Int64.add addr (Int64.of_int size)) < 0
-             && Int64.compare addr (Int64.add sa (Int64.of_int ss)) < 0
-           in
-           if overlap then begin
-             let covers =
-               Int64.compare sa addr <= 0
-               && Int64.compare (Int64.add sa (Int64.of_int ss))
-                    (Int64.add addr (Int64.of_int size))
-                  >= 0
-             in
-             if covers && st.Rob_entry.executed then result := Fwd_value st
-             else result := Fwd_wait;
-             raise Exit
-           end
-       | _ -> ()
-     done
-   with Exit -> ());
-  !result
-
-(* Extract the forwarded bytes from a covering store. *)
-let forwarded_value (st : Rob_entry.t) addr size =
-  let shift = Int64.to_int (Int64.sub addr st.Rob_entry.addr) * 8 in
-  let v = Int64.shift_right_logical st.Rob_entry.mem_value shift in
-  if size >= 8 then v
-  else Int64.logand v (Int64.sub (Int64.shift_left 1L (8 * size)) 1L)
-
-(* Memory-order violation check, run when a store's address becomes
-   known: any younger load that already executed on overlapping bytes
-   without forwarding from this store read stale data. *)
-let check_order_violation t (st : Rob_entry.t) =
-  let victim = ref None in
-  iter_rob t (fun ld ->
-      if
-        Rob_entry.is_load ld
-        && ld.Rob_entry.seq > st.Rob_entry.seq
-        && ld.Rob_entry.addr_ready
-        && ld.Rob_entry.issued
-        && ld.Rob_entry.fwd_from <> st.Rob_entry.seq
-      then
-        let overlap =
-          Int64.compare st.Rob_entry.addr
-            (Int64.add ld.Rob_entry.addr (Int64.of_int ld.Rob_entry.msize))
-          < 0
-          && Int64.compare ld.Rob_entry.addr
-               (Int64.add st.Rob_entry.addr (Int64.of_int st.Rob_entry.msize))
-             < 0
-        in
-        if overlap then
-          match !victim with
-          | Some (v : Rob_entry.t) when v.Rob_entry.seq <= ld.Rob_entry.seq -> ()
-          | _ -> victim := Some ld);
-  !victim
-
-(* ------------------------------------------------------------------ *)
-(* Squash                                                              *)
-(* ------------------------------------------------------------------ *)
-
-(* Remove every entry with seq >= [from_seq] and refetch at [new_pc]. *)
-let squash t ~from_seq ~new_pc =
-  let flushed = ref 0 in
-  let keep = from_seq - t.head_seq in
-  let keep = if keep < 0 then 0 else keep in
-  for i = keep to t.count - 1 do
-    let idx = (t.head_idx + i) mod rob_size t in
-    (match t.rob.(idx) with
-    | Some e ->
-        incr flushed;
-        if Rob_entry.is_load e then t.lq_used <- t.lq_used - 1;
-        if Rob_entry.is_store e then t.sq_used <- t.sq_used - 1
-    | None -> ());
-    t.rob.(idx) <- None
-  done;
-  t.count <- min t.count keep;
-  (* Squashed sequence numbers are reused so the ROB ring stays
-     contiguous.  Every surviving reference (source producers, taint
-     roots, forwarding stores) points at strictly older entries, so no
-     alias with a reused number can arise. *)
-  t.next_seq <- t.head_seq + t.count;
-  flushed := !flushed + Queue.length t.fetch_buf;
-  Queue.clear t.fetch_buf;
-  (* Rebuild the rename map from the committed state plus surviving
-     entries, replaying ProtISA's protection updates in order. *)
-  Array.iteri
-    (fun ri _ ->
-      t.rmap_producer.(ri) <- -1;
-      t.rmap_value.(ri) <- t.regs.(ri);
-      t.rmap_prot.(ri) <- t.reg_prot.(ri))
-    t.rmap_producer;
-  iter_rob t (fun e ->
-      let insn = e.Rob_entry.insn in
-      let subreg_dst =
-        match insn.Insn.op with
-        | Insn.Mov (Insn.W8, d, _) | Insn.Load (Insn.W8, d, _) -> Some d
-        | _ -> None
-      in
-      Array.iter
-        (fun r ->
-          let ri = Reg.to_int r in
-          t.rmap_producer.(ri) <- e.Rob_entry.seq;
-          match subreg_dst with
-          | Some d when (not insn.Insn.prot) && Reg.equal d r -> ()
-          | _ -> t.rmap_prot.(ri) <- insn.Insn.prot)
-        e.Rob_entry.dsts);
-  Branch_pred.rsb_clear t.bp;
-  t.fetch_stalled <- false;
-  t.fetch_pc <- new_pc;
-  t.stats.Stats.squashes <- t.stats.Stats.squashes + 1;
-  t.stats.Stats.squashed_insns <- t.stats.Stats.squashed_insns + !flushed;
-  Hw_trace.record t.trace (Hw_trace.E_squash { cycle = t.cycle; flushed = !flushed });
-  invalidate_unresolved_memo t
-
-(* ------------------------------------------------------------------ *)
-(* Execute                                                             *)
-(* ------------------------------------------------------------------ *)
-
-let alu_latency t (op : Insn.op) =
-  match op with
-  | Insn.Binop (Insn.Mul, _, _) -> t.cfg.Config.mul_latency
-  | _ -> t.cfg.Config.alu_latency
-
-let set_dst (e : Rob_entry.t) r v =
-  let n = Array.length e.Rob_entry.dsts in
-  let rec loop i =
-    if i < n then
-      if Reg.equal e.Rob_entry.dsts.(i) r then e.Rob_entry.dst_val.(i) <- v
-      else loop (i + 1)
-  in
-  loop 0
-
-(* Begin executing [e]; all sources are ready.  Returns false when the
-   instruction could not start (e.g. a load waiting on a store).  Sets
-   [cycles_left]; results are computed here and become architectural when
-   the entry commits. *)
-let start_execution t (e : Rob_entry.t) =
-  let insn = e.Rob_entry.insn in
-  let old_of r = src_value e r Insn.Data in
-  let started = ref true in
-  (match insn.Insn.op with
-  | Insn.Nop | Insn.Halt -> e.Rob_entry.cycles_left <- 1
-  | Insn.Mov (w, d, s) ->
-      let v = operand_value e s Insn.Data in
-      let old = match w with Insn.W8 -> old_of d | _ -> 0L in
-      set_dst e d (Sem.apply_width w ~old v);
-      e.Rob_entry.cycles_left <- alu_latency t insn.Insn.op
-  | Insn.Lea (d, m) ->
-      let read r = src_value e r Insn.Data in
-      set_dst e d (Sem.effective_address read m);
-      e.Rob_entry.cycles_left <- alu_latency t insn.Insn.op
-  | Insn.Binop (o, d, s) ->
-      let r, fl = Sem.eval_binop o (old_of d) (operand_value e s Insn.Data) in
-      set_dst e d r;
-      set_dst e Reg.flags fl;
-      e.Rob_entry.cycles_left <- alu_latency t insn.Insn.op
-  | Insn.Unop (o, d) ->
-      let r, fl = Sem.eval_unop o (old_of d) in
-      set_dst e d r;
-      set_dst e Reg.flags fl;
-      e.Rob_entry.cycles_left <- alu_latency t insn.Insn.op
-  | Insn.Div (d, n, s) | Insn.Rem (d, n, s) ->
-      let nv = src_value e n Insn.Divide in
-      let dv = operand_value e s Insn.Divide in
-      let lat =
-        if Int64.equal dv 0L then t.cfg.Config.div_base_latency
-        else t.cfg.Config.div_base_latency + (Sem.bit_length nv / 8)
-      in
-      Hw_trace.record t.trace (Hw_trace.E_div_busy { cycle = t.cycle; latency = lat });
-      if Int64.equal dv 0L then begin
-        e.Rob_entry.fault <- true;
-        set_dst e d Int64.minus_one
-      end
-      else begin
-        let q =
-          match insn.Insn.op with
-          | Insn.Div _ -> Sem.eval_div nv dv
-          | _ -> Sem.eval_rem nv dv
-        in
-        set_dst e d q
-      end;
-      e.Rob_entry.cycles_left <- lat
-  | Insn.Cmp (a, s) ->
-      set_dst e Reg.flags (Sem.eval_cmp (src_value e a Insn.Data) (operand_value e s Insn.Data));
-      e.Rob_entry.cycles_left <- alu_latency t insn.Insn.op
-  | Insn.Test (a, s) ->
-      set_dst e Reg.flags (Sem.eval_test (src_value e a Insn.Data) (operand_value e s Insn.Data));
-      e.Rob_entry.cycles_left <- alu_latency t insn.Insn.op
-  | Insn.Setcc (c, d) ->
-      let fl = src_value e Reg.flags Insn.Cond_in in
-      set_dst e d (if Sem.eval_cond c fl then 1L else 0L);
-      e.Rob_entry.cycles_left <- alu_latency t insn.Insn.op
-  | Insn.Cmov (c, d, s) ->
-      let fl = src_value e Reg.flags Insn.Cond_in in
-      let v =
-        if Sem.eval_cond c fl then operand_value e s Insn.Data else old_of d
-      in
-      set_dst e d v;
-      e.Rob_entry.cycles_left <- alu_latency t insn.Insn.op
-  | Insn.Jcc (c, target) ->
-      let fl = src_value e Reg.flags Insn.Cond_in in
-      e.Rob_entry.actual_target <-
-        (if Sem.eval_cond c fl then target else e.Rob_entry.pc + 1);
-      e.Rob_entry.cycles_left <- 1
-  | Insn.Jmp target ->
-      e.Rob_entry.actual_target <- target;
-      e.Rob_entry.cycles_left <- 1
-  | Insn.Jmpi r ->
-      e.Rob_entry.actual_target <- Int64.to_int (src_value e r Insn.Target);
-      e.Rob_entry.cycles_left <- 1
-  | Insn.Load (w, d, m) ->
-      let addr = ea_of e m in
-      let size = Insn.width_bytes w in
-      (match forward_search t e addr size with
-      | Fwd_wait -> started := false
-      | Fwd_value st ->
-          e.Rob_entry.addr <- addr;
-          e.Rob_entry.msize <- size;
-          e.Rob_entry.addr_ready <- true;
-          e.Rob_entry.fwd_from <- st.Rob_entry.seq;
-          let v = forwarded_value st addr size in
-          e.Rob_entry.mem_value <- v;
-          e.Rob_entry.mem_prot <- st.Rob_entry.mem_prot;
-          let old = match w with Insn.W8 -> old_of d | _ -> 0L in
-          set_dst e d (Sem.apply_width w ~old (Sem.truncate_width w v));
-          e.Rob_entry.cycles_left <- t.cfg.Config.store_forward_latency
-      | Fwd_none ->
-          e.Rob_entry.addr <- addr;
-          e.Rob_entry.msize <- size;
-          e.Rob_entry.addr_ready <- true;
-          let v = Memory.read t.mem addr size in
-          e.Rob_entry.mem_value <- v;
-          e.Rob_entry.mem_prot <- l1d_protected t addr size;
-          let old = match w with Insn.W8 -> old_of d | _ -> 0L in
-          set_dst e d (Sem.apply_width w ~old v);
-          let lat = t.cfg.Config.load_agu_latency + hierarchy_access t addr in
-          e.Rob_entry.cycles_left <- lat);
-      if !started then begin
-        t.stats.Stats.loads_executed <- t.stats.Stats.loads_executed + 1;
-        if e.Rob_entry.mem_prot then
-          t.stats.Stats.loads_protected_mem <-
-            t.stats.Stats.loads_protected_mem + 1;
-        t.policy.Policy.on_load_executed (api t) e
-      end
-  | Insn.Store (w, m, s) ->
-      let addr = ea_of e m in
-      let size = Insn.width_bytes w in
-      e.Rob_entry.addr <- addr;
-      e.Rob_entry.msize <- size;
-      e.Rob_entry.addr_ready <- true;
-      e.Rob_entry.mem_value <-
-        Sem.truncate_width w (operand_value e s Insn.Data);
-      (* The store's LSQ protection bit: its data operand's tag. *)
-      e.Rob_entry.mem_prot <-
-        (match s with
-        | Insn.Reg r ->
-            let i = Rob_entry.find_src e r Insn.Data in
-            i >= 0 && e.Rob_entry.src_prot.(i)
-        | Insn.Imm _ -> false);
-      ignore (Tlb.access t.tlb addr);
-      e.Rob_entry.cycles_left <- 1
-  | Insn.Push s ->
-      let sp = src_value e Reg.rsp Insn.Addr in
-      let addr = Int64.sub sp 8L in
-      e.Rob_entry.addr <- addr;
-      e.Rob_entry.msize <- 8;
-      e.Rob_entry.addr_ready <- true;
-      e.Rob_entry.mem_value <- operand_value e s Insn.Data;
-      e.Rob_entry.mem_prot <-
-        (match s with
-        | Insn.Reg r ->
-            let i = Rob_entry.find_src e r Insn.Data in
-            i >= 0 && e.Rob_entry.src_prot.(i)
-        | Insn.Imm _ -> false);
-      set_dst e Reg.rsp addr;
-      ignore (Tlb.access t.tlb addr);
-      e.Rob_entry.cycles_left <- 1
-  | Insn.Call target ->
-      let sp = src_value e Reg.rsp Insn.Addr in
-      let addr = Int64.sub sp 8L in
-      e.Rob_entry.addr <- addr;
-      e.Rob_entry.msize <- 8;
-      e.Rob_entry.addr_ready <- true;
-      e.Rob_entry.mem_value <- Int64.of_int (e.Rob_entry.pc + 1);
-      e.Rob_entry.mem_prot <- false;
-      set_dst e Reg.rsp addr;
-      e.Rob_entry.actual_target <- target;
-      ignore (Tlb.access t.tlb addr);
-      e.Rob_entry.cycles_left <- 1
-  | Insn.Pop d ->
-      let sp = src_value e Reg.rsp Insn.Addr in
-      (match forward_search t e sp 8 with
-      | Fwd_wait -> started := false
-      | Fwd_value st ->
-          e.Rob_entry.addr <- sp;
-          e.Rob_entry.msize <- 8;
-          e.Rob_entry.addr_ready <- true;
-          e.Rob_entry.fwd_from <- st.Rob_entry.seq;
-          let v = forwarded_value st sp 8 in
-          e.Rob_entry.mem_value <- v;
-          e.Rob_entry.mem_prot <- st.Rob_entry.mem_prot;
-          set_dst e d v;
-          set_dst e Reg.rsp (Int64.add sp 8L);
-          e.Rob_entry.cycles_left <- t.cfg.Config.store_forward_latency
-      | Fwd_none ->
-          e.Rob_entry.addr <- sp;
-          e.Rob_entry.msize <- 8;
-          e.Rob_entry.addr_ready <- true;
-          let v = Memory.read t.mem sp 8 in
-          e.Rob_entry.mem_value <- v;
-          e.Rob_entry.mem_prot <- l1d_protected t sp 8;
-          set_dst e d v;
-          set_dst e Reg.rsp (Int64.add sp 8L);
-          e.Rob_entry.cycles_left <-
-            t.cfg.Config.load_agu_latency + hierarchy_access t sp);
-      if !started then begin
-        t.stats.Stats.loads_executed <- t.stats.Stats.loads_executed + 1;
-        t.policy.Policy.on_load_executed (api t) e
-      end
-  | Insn.Ret ->
-      let sp = src_value e Reg.rsp Insn.Addr in
-      (match forward_search t e sp 8 with
-      | Fwd_wait -> started := false
-      | Fwd_value st ->
-          e.Rob_entry.addr <- sp;
-          e.Rob_entry.msize <- 8;
-          e.Rob_entry.addr_ready <- true;
-          e.Rob_entry.fwd_from <- st.Rob_entry.seq;
-          let v = forwarded_value st sp 8 in
-          e.Rob_entry.mem_value <- v;
-          e.Rob_entry.mem_prot <- st.Rob_entry.mem_prot;
-          set_dst e Reg.tmp v;
-          set_dst e Reg.rsp (Int64.add sp 8L);
-          e.Rob_entry.actual_target <- Int64.to_int v;
-          e.Rob_entry.cycles_left <- t.cfg.Config.store_forward_latency
-      | Fwd_none ->
-          e.Rob_entry.addr <- sp;
-          e.Rob_entry.msize <- 8;
-          e.Rob_entry.addr_ready <- true;
-          let v = Memory.read t.mem sp 8 in
-          e.Rob_entry.mem_value <- v;
-          e.Rob_entry.mem_prot <- l1d_protected t sp 8;
-          set_dst e Reg.tmp v;
-          set_dst e Reg.rsp (Int64.add sp 8L);
-          e.Rob_entry.actual_target <- Int64.to_int v;
-          e.Rob_entry.cycles_left <-
-            t.cfg.Config.load_agu_latency + hierarchy_access t sp);
-      if !started then begin
-        t.stats.Stats.loads_executed <- t.stats.Stats.loads_executed + 1;
-        t.policy.Policy.on_load_executed (api t) e
-      end);
-  if !started then begin
-    e.Rob_entry.issued <- true;
-    e.Rob_entry.t_issue <- t.cycle;
-    (* A store whose address just resolved may expose a memory-order
-       violation by a younger, already-executed load. *)
-    if Rob_entry.is_store e then
-      match check_order_violation t e with
-      | Some ld ->
-          t.stats.Stats.mem_order_violations <-
-            t.stats.Stats.mem_order_violations + 1;
-          mdp_flag t ld.Rob_entry.pc;
-          squash t ~from_seq:ld.Rob_entry.seq ~new_pc:ld.Rob_entry.pc
-      | None -> ()
-  end;
-  !started
-
-(* Transmitters whose execution (as opposed to resolution) the policy can
-   delay: memory accesses and divisions.  Branch resolution is gated
-   separately. *)
-let execution_gated (e : Rob_entry.t) =
-  match e.Rob_entry.insn.Insn.op with
-  | Insn.Load _ | Insn.Store _ | Insn.Push _ | Insn.Pop _ | Insn.Ret
-  | Insn.Call _ | Insn.Div _ | Insn.Rem _ ->
-      true
-  | _ -> false
-
-let execute_stage t =
-  let ap = api t in
-  let issued = ref 0 in
-  (try
-     iter_rob t (fun e ->
-         (* Tick in-flight instructions. *)
-         if e.Rob_entry.issued && not e.Rob_entry.executed then begin
-           e.Rob_entry.cycles_left <- e.Rob_entry.cycles_left - 1;
-           if e.Rob_entry.cycles_left <= 0 then begin
-             e.Rob_entry.executed <- true;
-             e.Rob_entry.t_complete <- t.cycle
-           end
-         end
-         else if not e.Rob_entry.issued then begin
-           if !issued < t.cfg.Config.issue_width && sources_ready t e then begin
-             if
-               execution_gated e
-               && not (t.policy.Policy.may_execute_transmitter ap e)
-             then
-               t.stats.Stats.transmitter_stall_cycles <-
-                 t.stats.Stats.transmitter_stall_cycles + 1
-             else if
-               Rob_entry.is_load e
-               && mdp_flagged t e.Rob_entry.pc
-               && older_store_addr_unknown t e
-             then () (* memory-dependence predictor: wait for stores *)
-             else if start_execution t e then incr issued
-           end
-         end)
-   with Exit -> ())
-
-(* ------------------------------------------------------------------ *)
-(* Branch resolution                                                   *)
-(* ------------------------------------------------------------------ *)
-
-(* Resolve branches: confirm correctly-predicted ones and initiate at most
-   one squash per cycle from the oldest eligible misprediction.
-
-   With [squash_bug] set, the stage instead considers the oldest
-   *detected* misprediction regardless of whether the policy allows it to
-   resolve — so an older protected/tainted branch can block a younger
-   unprotected one from squashing, a secret-dependent timing difference
-   (the corner case AMuLeT* found in STT/SPT/SPT-SB, Section VII-B4b). *)
-let resolve_stage t =
-  let ap = api t in
-  (* Confirm correct predictions (no squash needed). *)
-  iter_rob t (fun e ->
-      if
-        e.Rob_entry.is_branch && e.Rob_entry.executed
-        && (not e.Rob_entry.resolved)
-        && (not e.Rob_entry.mispredicted)
-        && e.Rob_entry.actual_target = e.Rob_entry.pred_target
-      then
-        if t.policy.Policy.may_resolve ap e then begin
-          e.Rob_entry.resolved <- true;
-          invalidate_unresolved_memo t
-        end
-        else
-          t.stats.Stats.resolution_delay_cycles <-
-            t.stats.Stats.resolution_delay_cycles + 1);
-  (* Detect mispredictions. *)
-  iter_rob t (fun e ->
-      if
-        e.Rob_entry.is_branch && e.Rob_entry.executed
-        && (not e.Rob_entry.resolved)
-        && e.Rob_entry.actual_target <> e.Rob_entry.pred_target
-      then e.Rob_entry.mispredicted <- true);
-  let candidate = ref None in
-  (try
-     iter_rob t (fun e ->
-         if e.Rob_entry.is_branch && e.Rob_entry.executed
-            && (not e.Rob_entry.resolved) && e.Rob_entry.mispredicted
-         then begin
-           if t.squash_bug then begin
-             (* Buggy notification: the oldest detected misprediction wins
-                the single notification slot even if its squash must be
-                deferred. *)
-             candidate := Some e;
-             raise Exit
-           end
-           else if t.policy.Policy.may_resolve ap e then begin
-             candidate := Some e;
-             raise Exit
-           end
-           else
-             t.stats.Stats.resolution_delay_cycles <-
-               t.stats.Stats.resolution_delay_cycles + 1
-         end)
-   with Exit -> ());
-  match !candidate with
-  | Some e when t.policy.Policy.may_resolve ap e ->
-      e.Rob_entry.resolved <- true;
-      t.stats.Stats.branch_mispredicts <- t.stats.Stats.branch_mispredicts + 1;
-      invalidate_unresolved_memo t;
-      squash t ~from_seq:(e.Rob_entry.seq + 1) ~new_pc:e.Rob_entry.actual_target
-  | Some _ | None -> ()
-
-(* ------------------------------------------------------------------ *)
-(* Commit                                                              *)
-(* ------------------------------------------------------------------ *)
-
-(* ProtISA commit-side updates (Section IV-C2): stores write their LSQ
-   protection bit into the L1D; unprefixed loads clear the protection of
-   the bytes they accessed. *)
-let commit_protisa_memory t (e : Rob_entry.t) =
-  (match t.shadow_prot with
-  | Some shadow ->
-      if Rob_entry.is_store e then
-        Protset.set_mem shadow e.Rob_entry.addr e.Rob_entry.msize
-          ~protected:e.Rob_entry.mem_prot
-      else if Rob_entry.is_load e && not e.Rob_entry.out_prot then
-        Protset.set_mem shadow e.Rob_entry.addr e.Rob_entry.msize
-          ~protected:false
-  | None -> ());
-  match t.cfg.Config.prot_mem with
-  | Config.Prot_mem_l1d ->
-      if Rob_entry.is_store e then
-        Cache.set_protection t.l1d e.Rob_entry.addr e.Rob_entry.msize
-          ~protected:e.Rob_entry.mem_prot
-      else if Rob_entry.is_load e && not e.Rob_entry.out_prot then
-        Cache.set_protection t.l1d e.Rob_entry.addr e.Rob_entry.msize
-          ~protected:false
-  | Config.Prot_mem_none | Config.Prot_mem_perfect -> ()
-
-(* Stores to this address mark the start of measurement (end of the
-   benchmark's warmup phase). *)
-let measurement_marker = 0x7770L
-
-let commit_one t (e : Rob_entry.t) =
-  (* Architectural effects. *)
-  if
-    Rob_entry.is_store e
-    && Int64.equal e.Rob_entry.addr measurement_marker
-    && t.stats.Stats.marker_cycle = 0
-  then t.stats.Stats.marker_cycle <- t.cycle;
-  if Rob_entry.is_store e then begin
-    Memory.write t.mem e.Rob_entry.addr e.Rob_entry.msize e.Rob_entry.mem_value;
-    (* Writeback allocates in the L1D. *)
-    ignore (hierarchy_access t e.Rob_entry.addr)
-  end;
-  commit_protisa_memory t e;
-  Array.iteri
-    (fun i r ->
-      let ri = Reg.to_int r in
-      t.regs.(ri) <- e.Rob_entry.dst_val.(i);
-      t.reg_prot.(ri) <- e.Rob_entry.out_prot)
-    e.Rob_entry.dsts;
-  (* Release the rename-map mapping if this entry is still the youngest
-     writer. *)
-  Array.iter
-    (fun r ->
-      let ri = Reg.to_int r in
-      if t.rmap_producer.(ri) = e.Rob_entry.seq then begin
-        t.rmap_producer.(ri) <- -1;
-        t.rmap_value.(ri) <- t.regs.(ri)
-      end)
-    e.Rob_entry.dsts;
-  (* Train predictors. *)
-  (match e.Rob_entry.insn.Insn.op with
-  | Insn.Jcc (_, target) ->
-      Branch_pred.update_direction t.bp e.Rob_entry.pc
-        (e.Rob_entry.actual_target = target && target <> e.Rob_entry.pc + 1)
-  | Insn.Jmpi _ ->
-      Branch_pred.update_indirect t.bp e.Rob_entry.pc e.Rob_entry.actual_target
-  | _ -> ());
-  t.policy.Policy.on_commit (api t) e;
-  Hw_trace.record t.trace
-    (Hw_trace.E_timing
-       {
-         pc = e.Rob_entry.pc;
-         fetch = e.Rob_entry.t_fetch;
-         rename = e.Rob_entry.t_rename;
-         issue = e.Rob_entry.t_issue;
-         complete = e.Rob_entry.t_complete;
-         commit = t.cycle;
-       });
-  (* Remove from the ROB. *)
-  t.rob.(t.head_idx) <- None;
-  t.head_idx <- (t.head_idx + 1) mod rob_size t;
-  t.head_seq <- t.head_seq + 1;
-  t.count <- t.count - 1;
-  if Rob_entry.is_load e then t.lq_used <- t.lq_used - 1;
-  if Rob_entry.is_store e then t.sq_used <- t.sq_used - 1;
-  t.stats.Stats.committed <- t.stats.Stats.committed + 1;
-  t.last_commit_cycle <- t.cycle
-
-let commit_stage t =
-  let committed = ref 0 in
-  let continue_ = ref true in
-  while !continue_ && !committed < t.cfg.Config.commit_width && not t.done_ do
-    match head_entry t with
-    | None -> continue_ := false
-    | Some e ->
-        if not e.Rob_entry.executed then continue_ := false
-        else if e.Rob_entry.is_branch && not e.Rob_entry.resolved then
-          (* The resolution stage handles it (at the head the policy must
-             allow resolution: the branch is non-speculative). *)
-          continue_ := false
-        else begin
-          let was_halt = e.Rob_entry.insn.Insn.op = Insn.Halt in
-          let faulted = e.Rob_entry.fault in
-          let next_pc = e.Rob_entry.pc + 1 in
-          commit_one t e;
-          incr committed;
-          if was_halt then begin
-            t.done_ <- true;
-            continue_ := false
-          end
-          else if faulted then begin
-            (* Division fault: machine clear (squash everything younger
-               and refetch). *)
-            t.stats.Stats.machine_clears <- t.stats.Stats.machine_clears + 1;
-            Hw_trace.record t.trace (Hw_trace.E_machine_clear { cycle = t.cycle });
-            squash t ~from_seq:t.head_seq ~new_pc:next_pc;
-            continue_ := false
-          end
-        end
-  done
-
-(* ------------------------------------------------------------------ *)
-(* Watchdog and structured faults                                      *)
-(* ------------------------------------------------------------------ *)
-
-(* Abnormal terminations are reported as a [Sim_fault] carrying a
-   pipeline-state dump rather than a bare exception, so harnesses can log
-   the faulting run and continue with the rest of a grid or campaign. *)
-
-type fault_kind =
-  | Commit_stall (* no commit for [heartbeat] cycles: deadlock/livelock *)
-  | Budget_exhausted (* the watchdog's hard cycle budget ran out *)
-  | Invariant_violation of string (* from [Invariants], in [Fail] mode *)
-
-type fault_info = {
+type fault_info = Pipeline_state.fault_info = {
   fault_kind : fault_kind;
   fault_cycle : int;
   fault_fetch_pc : int;
-  fault_head_pc : int; (* pc of the ROB head entry; -1 when empty *)
+  fault_head_pc : int;
   fault_head_seq : int;
   fault_rob_count : int;
-  fault_last_commit : int; (* cycle of the last commit *)
+  fault_last_commit : int;
   fault_policy : string;
+  fault_core : int;
 }
 
-exception Sim_fault of fault_info
+exception Sim_fault = Pipeline_state.Sim_fault
 
-let fault t kind =
-  {
-    fault_kind = kind;
-    fault_cycle = t.cycle;
-    fault_fetch_pc = t.fetch_pc;
-    fault_head_pc =
-      (match head_entry t with Some e -> e.Rob_entry.pc | None -> -1);
-    fault_head_seq = t.head_seq;
-    fault_rob_count = t.count;
-    fault_last_commit = t.last_commit_cycle;
-    fault_policy = t.policy.Policy.name;
-  }
+let fault = Pipeline_state.fault
+let fault_kind_name = Pipeline_state.fault_kind_name
+let fault_to_string = Pipeline_state.fault_to_string
 
-let fault_kind_name = function
-  | Commit_stall -> "commit-stall"
-  | Budget_exhausted -> "cycle-budget-exhausted"
-  | Invariant_violation _ -> "invariant-violation"
-
-let fault_to_string f =
-  let detail =
-    match f.fault_kind with Invariant_violation d -> ": " ^ d | _ -> ""
-  in
-  Printf.sprintf
-    "%s%s (cycle=%d fetch_pc=%d head_pc=%d head_seq=%d rob=%d last_commit=%d \
-     policy=%s)"
-    (fault_kind_name f.fault_kind)
-    detail f.fault_cycle f.fault_fetch_pc f.fault_head_pc f.fault_head_seq
-    f.fault_rob_count f.fault_last_commit f.fault_policy
-
-type watchdog = {
+type watchdog = Pipeline_state.watchdog = {
   heartbeat : int;
-      (* maximum cycles without a commit before declaring a deadlock or
-         livelock (the pipeline keeps cycling but makes no progress) *)
   budget : int option;
-      (* hard per-run cycle cap: unlike [fuel] (which returns with
-         [finished = false]), exceeding the budget is reported as a fault *)
 }
 
-let default_watchdog = { heartbeat = 20_000; budget = None }
+let default_watchdog = Pipeline_state.default_watchdog
 
-(* ------------------------------------------------------------------ *)
-(* Top level                                                           *)
-(* ------------------------------------------------------------------ *)
+(* Observer registration: extra subscribers (profilers, checkers) on top
+   of the defaults installed by [create]. *)
+let subscribe (t : t) ~name handler =
+  Hooks.subscribe t.Pipeline_state.hooks ~name handler
 
-let step ?(watchdog = default_watchdog) t =
-  commit_stage t;
+let unsubscribe (t : t) name = Hooks.unsubscribe t.Pipeline_state.hooks name
+
+let create ?trace ?squash_bug ?spec_model ?shared_l3 (cfg : Config.t)
+    (policy : Policy.t) (program : Protean_isa.Program.t) ~overlays =
+  let t =
+    Pipeline_state.create ?trace ?squash_bug ?spec_model ?shared_l3 cfg policy
+      program ~overlays
+  in
+  Observers.install t;
+  t
+
+(* One cycle: commit → resolve → execute → rename → fetch (reverse stage
+   order, so each instruction spends ≥ 1 cycle per stage), then the
+   watchdog, then [On_cycle_end]. *)
+let step ?(watchdog = default_watchdog) (t : t) =
+  let open Pipeline_state in
+  Stage_commit.run t;
   if not t.done_ then begin
-    resolve_stage t;
-    execute_stage t;
-    rename_stage t;
-    fetch_stage t
+    Stage_issue_exec.resolve t;
+    Stage_issue_exec.run t;
+    Stage_rename.run t;
+    Stage_fetch.run t
   end;
   t.cycle <- t.cycle + 1;
   t.stats.Stats.cycles <- t.cycle;
@@ -1143,7 +114,8 @@ let step ?(watchdog = default_watchdog) t =
     match watchdog.budget with
     | Some b when t.cycle >= b -> raise (Sim_fault (fault t Budget_exhausted))
     | _ -> ()
-  end
+  end;
+  Pipeline_state.emit t Hooks.On_cycle_end
 
 type result = {
   stats : Stats.t;
@@ -1153,67 +125,32 @@ type result = {
   finished : bool; (* halted cleanly (vs. fuel exhausted) *)
 }
 
+let is_done = Pipeline_state.is_done
+
+(* Snapshot the results of a pipeline driven externally via [step]. *)
+let finish (t : t) =
+  let open Pipeline_state in
+  {
+    stats = t.stats;
+    trace = t.trace;
+    regs = t.regs;
+    mem = t.mem;
+    finished = t.done_;
+  }
+
 let run ?trace ?squash_bug ?spec_model ?shared_l3 ?(fuel = 5_000_000)
     ?(watchdog = default_watchdog) ?on_cycle (cfg : Config.t)
-    (policy : Policy.t) (program : Program.t) ~overlays =
+    (policy : Policy.t) (program : Protean_isa.Program.t) ~overlays =
   let t =
     create ?trace ?squash_bug ?spec_model ?shared_l3 cfg policy program
       ~overlays
   in
+  let open Pipeline_state in
   while (not t.done_) && t.cycle < fuel do
     step ~watchdog t;
     match on_cycle with Some f -> f t | None -> ()
   done;
-  {
-    stats = t.stats;
-    trace = t.trace;
-    regs = t.regs;
-    mem = t.mem;
-    finished = t.done_;
-  }
+  finish t
 
-(* Diagnostic dump of pipeline state, for debugging. *)
-let debug_dump t =
-  Printf.printf "cycle=%d head_seq=%d count=%d fetch_pc=%d stalled=%b buf=%d done=%b\n"
-    t.cycle t.head_seq t.count t.fetch_pc t.fetch_stalled
-    (Queue.length t.fetch_buf) t.done_;
-  iter_rob t (fun e ->
-      Printf.printf
-        "  seq=%d pc=%d %s issued=%b exec=%b resolved=%b mispred=%b cycles=%d ready=[%s]\n"
-        e.Rob_entry.seq e.Rob_entry.pc
-        (Insn.to_string e.Rob_entry.insn)
-        e.Rob_entry.issued e.Rob_entry.executed e.Rob_entry.resolved
-        e.Rob_entry.mispredicted e.Rob_entry.cycles_left
-        (String.concat ","
-           (Array.to_list
-              (Array.map (fun b -> if b then "1" else "0") e.Rob_entry.src_ready))))
-
-(* Invariant check used while debugging: every occupied slot must hold the
-   sequence number its position implies. *)
-let check_ring t =
-  for i = 0 to t.count - 1 do
-    let idx = (t.head_idx + i) mod rob_size t in
-    match t.rob.(idx) with
-    | Some e ->
-        if e.Rob_entry.seq <> t.head_seq + i then begin
-          debug_dump t;
-          failwith
-            (Printf.sprintf "ring desync: slot %d has seq %d, expected %d" i
-               e.Rob_entry.seq (t.head_seq + i))
-        end
-    | None ->
-        debug_dump t;
-        failwith (Printf.sprintf "ring hole at slot %d (seq %d)" i (t.head_seq + i))
-  done
-
-let is_done (t : t) = t.done_
-
-(* Snapshot the results of a pipeline driven externally via [step]. *)
-let finish (t : t) =
-  {
-    stats = t.stats;
-    trace = t.trace;
-    regs = t.regs;
-    mem = t.mem;
-    finished = t.done_;
-  }
+let debug_dump = Pipeline_state.debug_dump
+let check_ring = Pipeline_state.check_ring

@@ -1,0 +1,302 @@
+(* The shared pipeline state record and its primitive operations.
+
+   Every stage module ([Stage_fetch] … [Stage_commit]), the memory
+   hierarchy walker and the squash engine operate on this one typed
+   record; cross-cutting observers react to [Hooks] events carried by
+   the [hooks] bus embedded in the record.  [Pipeline] composes the
+   stages into a cycle and owns the public API. *)
+
+open Protean_isa
+open Protean_arch
+
+type fetch_item = {
+  f_pc : int;
+  f_insn : Insn.t;
+  f_pred_target : int; (* -1 = no prediction (fetch stalled after this) *)
+  f_ready : int; (* cycle at which the item can rename *)
+  f_fetched : int;
+}
+
+type t = {
+  cfg : Config.t;
+  policy : Policy.t;
+  spec_model : Policy.spec_model;
+  squash_bug : bool;
+      (* reintroduces the pending-squash corner case inherited from STT's
+         gem5 implementation (Section VII-B4b) when true *)
+  program : Program.t;
+  mem : Memory.t; (* committed memory *)
+  regs : int64 array; (* committed registers *)
+  reg_prot : bool array; (* committed ProtISA register protections *)
+  (* Rename map. *)
+  rmap_producer : int array; (* per arch register: seq, or -1 *)
+  rmap_value : int64 array;
+  rmap_prot : bool array;
+  (* Reorder buffer: a ring indexed by sequence number. *)
+  rob : Rob_entry.t option array;
+  mutable head_idx : int;
+  mutable head_seq : int;
+  mutable count : int;
+  mutable next_seq : int;
+  mutable lq_used : int;
+  mutable sq_used : int;
+  (* Frontend. *)
+  mutable fetch_pc : int;
+  mutable fetch_stalled : bool;
+  fetch_buf : fetch_item Queue.t;
+  bp : Branch_pred.t;
+  mdp : Bytes.t;
+      (* memory-dependence predictor (store-set style): a bit per load PC
+         set after a memory-order violation; flagged loads wait until all
+         older store addresses are known *)
+  (* Memory hierarchy. *)
+  l1d : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t option;
+  tlb : Tlb.t;
+  shadow_prot : Protset.t option; (* Prot_mem_perfect variant *)
+  (* Bookkeeping. *)
+  trace : Hw_trace.t;
+  stats : Stats.t;
+  hooks : t Hooks.t;
+  mutable cycle : int;
+  mutable done_ : bool;
+  mutable last_commit_cycle : int;
+  mutable unresolved_memo_cycle : int;
+  mutable unresolved_memo : int;
+}
+
+let fetch_buf_capacity = 48
+
+let create ?(trace = false) ?(squash_bug = false)
+    ?(spec_model = Policy.Atcommit) ?shared_l3 (cfg : Config.t)
+    (policy : Policy.t) (program : Program.t) ~overlays =
+  let mem = Memory.create () in
+  List.iter
+    (fun (d : Program.data_init) -> Memory.write_string mem d.addr d.bytes)
+    program.Program.data;
+  List.iter (fun (addr, bytes) -> Memory.write_string mem addr bytes) overlays;
+  let regs = Array.make Reg.count 0L in
+  regs.(Reg.to_int Reg.rsp) <- program.Program.stack_base;
+  let l3 =
+    match shared_l3 with
+    | Some c -> Some c
+    | None -> Option.map Cache.create cfg.Config.l3
+  in
+  {
+    cfg;
+    policy;
+    spec_model;
+    squash_bug;
+    program;
+    mem;
+    regs;
+    reg_prot = Array.make Reg.count false;
+    rmap_producer = Array.make Reg.count (-1);
+    rmap_value = Array.copy regs;
+    rmap_prot = Array.make Reg.count false;
+    rob = Array.make cfg.Config.rob_size None;
+    head_idx = 0;
+    head_seq = 0;
+    count = 0;
+    next_seq = 0;
+    lq_used = 0;
+    sq_used = 0;
+    fetch_pc = program.Program.main;
+    fetch_stalled = false;
+    fetch_buf = Queue.create ();
+    bp = Branch_pred.create cfg.Config.bp;
+    mdp = Bytes.make 1024 '\000';
+    l1d = Cache.create cfg.Config.l1d;
+    l2 = Cache.create cfg.Config.l2;
+    l3;
+    tlb = Tlb.create cfg.Config.tlb_entries;
+    shadow_prot =
+      (match cfg.Config.prot_mem with
+      | Config.Prot_mem_perfect -> Some (Protset.create ())
+      | Config.Prot_mem_l1d | Config.Prot_mem_none -> None);
+    trace = Hw_trace.create ~enabled:trace;
+    stats = Stats.create ();
+    hooks = Hooks.create ();
+    cycle = 0;
+    done_ = false;
+    last_commit_cycle = 0;
+    unresolved_memo_cycle = -1;
+    unresolved_memo = max_int;
+  }
+
+let emit t ev = Hooks.emit t.hooks t ev
+
+(* ------------------------------------------------------------------ *)
+(* ROB ring operations                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rob_size t = Array.length t.rob
+let rob_full t = t.count >= rob_size t
+
+let idx_of_seq t seq = (t.head_idx + (seq - t.head_seq)) mod rob_size t
+
+let get_entry t seq =
+  if seq < t.head_seq || seq >= t.head_seq + t.count then None
+  else t.rob.(idx_of_seq t seq)
+
+let head_entry t = if t.count = 0 then None else t.rob.(t.head_idx)
+
+(* Iterate over ROB entries from oldest to youngest. *)
+let iter_rob t f =
+  for i = 0 to t.count - 1 do
+    match t.rob.((t.head_idx + i) mod rob_size t) with
+    | Some e -> f e
+    | None -> ()
+  done
+
+let tail_seq t = t.head_seq + t.count - 1
+
+(* ------------------------------------------------------------------ *)
+(* Policy API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let oldest_unresolved_branch t =
+  if t.unresolved_memo_cycle = t.cycle then t.unresolved_memo
+  else begin
+    let min_seq = ref max_int in
+    (try
+       iter_rob t (fun e ->
+           if e.Rob_entry.is_branch && not e.Rob_entry.resolved then begin
+             min_seq := e.Rob_entry.seq;
+             raise Exit
+           end)
+     with Exit -> ());
+    t.unresolved_memo_cycle <- t.cycle;
+    t.unresolved_memo <- !min_seq;
+    !min_seq
+  end
+
+let invalidate_unresolved_memo t = t.unresolved_memo_cycle <- -1
+
+let l1d_protected t addr size =
+  match t.cfg.Config.prot_mem with
+  | Config.Prot_mem_none -> true
+  | Config.Prot_mem_l1d -> Cache.protected_bytes t.l1d addr size
+  | Config.Prot_mem_perfect ->
+      Protset.mem_protected (Option.get t.shadow_prot) addr size
+
+let api t : Policy.api =
+  {
+    Policy.cfg = t.cfg;
+    spec_model = t.spec_model;
+    head_seq = (fun () -> if t.count = 0 then max_int else t.head_seq);
+    oldest_unresolved_branch = (fun () -> oldest_unresolved_branch t);
+    get_entry = (fun seq -> get_entry t seq);
+    l1d_protected = (fun addr size -> l1d_protected t addr size);
+    stats = t.stats;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog and structured faults                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Abnormal terminations are reported as a [Sim_fault] carrying a
+   pipeline-state dump rather than a bare exception, so harnesses can log
+   the faulting run and continue with the rest of a grid or campaign. *)
+
+type fault_kind =
+  | Commit_stall (* no commit for [heartbeat] cycles: deadlock/livelock *)
+  | Budget_exhausted (* the watchdog's hard cycle budget ran out *)
+  | Invariant_violation of string (* from [Invariants], in [Fail] mode *)
+
+type fault_info = {
+  fault_kind : fault_kind;
+  fault_cycle : int;
+  fault_fetch_pc : int;
+  fault_head_pc : int; (* pc of the ROB head entry; -1 when empty *)
+  fault_head_seq : int;
+  fault_rob_count : int;
+  fault_last_commit : int; (* cycle of the last commit *)
+  fault_policy : string;
+  fault_core : int; (* core index under [Multicore]; 0 for single-core *)
+}
+
+exception Sim_fault of fault_info
+
+let fault t kind =
+  {
+    fault_kind = kind;
+    fault_cycle = t.cycle;
+    fault_fetch_pc = t.fetch_pc;
+    fault_head_pc =
+      (match head_entry t with Some e -> e.Rob_entry.pc | None -> -1);
+    fault_head_seq = t.head_seq;
+    fault_rob_count = t.count;
+    fault_last_commit = t.last_commit_cycle;
+    fault_policy = t.policy.Policy.name;
+    fault_core = 0;
+  }
+
+let fault_kind_name = function
+  | Commit_stall -> "commit-stall"
+  | Budget_exhausted -> "cycle-budget-exhausted"
+  | Invariant_violation _ -> "invariant-violation"
+
+let fault_to_string f =
+  let detail =
+    match f.fault_kind with Invariant_violation d -> ": " ^ d | _ -> ""
+  in
+  let core = if f.fault_core > 0 then Printf.sprintf " core=%d" f.fault_core else "" in
+  Printf.sprintf
+    "%s%s (cycle=%d fetch_pc=%d head_pc=%d head_seq=%d rob=%d last_commit=%d \
+     policy=%s%s)"
+    (fault_kind_name f.fault_kind)
+    detail f.fault_cycle f.fault_fetch_pc f.fault_head_pc f.fault_head_seq
+    f.fault_rob_count f.fault_last_commit f.fault_policy core
+
+type watchdog = {
+  heartbeat : int;
+      (* maximum cycles without a commit before declaring a deadlock or
+         livelock (the pipeline keeps cycling but makes no progress) *)
+  budget : int option;
+      (* hard per-run cycle cap: unlike [fuel] (which returns with
+         [finished = false]), exceeding the budget is reported as a fault *)
+}
+
+let default_watchdog = { heartbeat = 20_000; budget = None }
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let is_done t = t.done_
+
+(* Diagnostic dump of pipeline state, for debugging. *)
+let debug_dump t =
+  Printf.printf "cycle=%d head_seq=%d count=%d fetch_pc=%d stalled=%b buf=%d done=%b\n"
+    t.cycle t.head_seq t.count t.fetch_pc t.fetch_stalled
+    (Queue.length t.fetch_buf) t.done_;
+  iter_rob t (fun e ->
+      Printf.printf
+        "  seq=%d pc=%d %s issued=%b exec=%b resolved=%b mispred=%b cycles=%d ready=[%s]\n"
+        e.Rob_entry.seq e.Rob_entry.pc
+        (Insn.to_string e.Rob_entry.insn)
+        e.Rob_entry.issued e.Rob_entry.executed e.Rob_entry.resolved
+        e.Rob_entry.mispredicted e.Rob_entry.cycles_left
+        (String.concat ","
+           (Array.to_list
+              (Array.map (fun b -> if b then "1" else "0") e.Rob_entry.src_ready))))
+
+(* Invariant check used while debugging: every occupied slot must hold the
+   sequence number its position implies. *)
+let check_ring t =
+  for i = 0 to t.count - 1 do
+    let idx = (t.head_idx + i) mod rob_size t in
+    match t.rob.(idx) with
+    | Some e ->
+        if e.Rob_entry.seq <> t.head_seq + i then begin
+          debug_dump t;
+          failwith
+            (Printf.sprintf "ring desync: slot %d has seq %d, expected %d" i
+               e.Rob_entry.seq (t.head_seq + i))
+        end
+    | None ->
+        debug_dump t;
+        failwith (Printf.sprintf "ring hole at slot %d (seq %d)" i (t.head_seq + i))
+  done

@@ -1,0 +1,63 @@
+(* The squash engine: flush wrong-path state and restart fetch.
+
+   Used by branch resolution (mispredictions), the memory stage
+   (order-violation recovery) and commit (machine clears).  The flush
+   itself — ROB truncation, LSQ accounting, rename-map rebuild with
+   ProtISA protection replay, RSB clear — is structural state owned
+   here; observers learn about it from the [On_squash] event emitted
+   once the pipeline is consistent again. *)
+
+open Protean_isa
+module S = Pipeline_state
+
+(* Remove every entry with seq >= [from_seq] and refetch at [new_pc]. *)
+let flush (t : S.t) ~from_seq ~new_pc =
+  let flushed = ref 0 in
+  let keep = from_seq - t.S.head_seq in
+  let keep = if keep < 0 then 0 else keep in
+  for i = keep to t.S.count - 1 do
+    let idx = (t.S.head_idx + i) mod S.rob_size t in
+    (match t.S.rob.(idx) with
+    | Some e ->
+        incr flushed;
+        if Rob_entry.is_load e then t.S.lq_used <- t.S.lq_used - 1;
+        if Rob_entry.is_store e then t.S.sq_used <- t.S.sq_used - 1
+    | None -> ());
+    t.S.rob.(idx) <- None
+  done;
+  t.S.count <- min t.S.count keep;
+  (* Squashed sequence numbers are reused so the ROB ring stays
+     contiguous.  Every surviving reference (source producers, taint
+     roots, forwarding stores) points at strictly older entries, so no
+     alias with a reused number can arise. *)
+  t.S.next_seq <- t.S.head_seq + t.S.count;
+  flushed := !flushed + Queue.length t.S.fetch_buf;
+  Queue.clear t.S.fetch_buf;
+  (* Rebuild the rename map from the committed state plus surviving
+     entries, replaying ProtISA's protection updates in order. *)
+  Array.iteri
+    (fun ri _ ->
+      t.S.rmap_producer.(ri) <- -1;
+      t.S.rmap_value.(ri) <- t.S.regs.(ri);
+      t.S.rmap_prot.(ri) <- t.S.reg_prot.(ri))
+    t.S.rmap_producer;
+  S.iter_rob t (fun e ->
+      let insn = e.Rob_entry.insn in
+      let subreg_dst =
+        match insn.Insn.op with
+        | Insn.Mov (Insn.W8, d, _) | Insn.Load (Insn.W8, d, _) -> Some d
+        | _ -> None
+      in
+      Array.iter
+        (fun r ->
+          let ri = Reg.to_int r in
+          t.S.rmap_producer.(ri) <- e.Rob_entry.seq;
+          match subreg_dst with
+          | Some d when (not insn.Insn.prot) && Reg.equal d r -> ()
+          | _ -> t.S.rmap_prot.(ri) <- insn.Insn.prot)
+        e.Rob_entry.dsts);
+  Branch_pred.rsb_clear t.S.bp;
+  t.S.fetch_stalled <- false;
+  t.S.fetch_pc <- new_pc;
+  S.invalidate_unresolved_memo t;
+  S.emit t (Hooks.On_squash { from_seq; new_pc; flushed = !flushed })

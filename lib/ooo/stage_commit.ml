@@ -1,0 +1,117 @@
+(* In-order commit stage.
+
+   Makes results architectural: memory writeback (allocating in the L1D
+   via [Mem_hierarchy]), ProtISA's commit-side protection updates,
+   register-file and rename-map release, predictor training, then the
+   [On_commit] event (policy notification, timing trace, counters) and
+   ROB removal.  A committing faulting instruction triggers a machine
+   clear ([On_machine_clear] + full squash); committing HALT finishes
+   the run. *)
+
+open Protean_isa
+open Protean_arch
+module S = Pipeline_state
+
+(* ProtISA commit-side updates (Section IV-C2): stores write their LSQ
+   protection bit into the L1D; unprefixed loads clear the protection of
+   the bytes they accessed. *)
+let commit_protisa_memory (t : S.t) (e : Rob_entry.t) =
+  (match t.S.shadow_prot with
+  | Some shadow ->
+      if Rob_entry.is_store e then
+        Protset.set_mem shadow e.Rob_entry.addr e.Rob_entry.msize
+          ~protected:e.Rob_entry.mem_prot
+      else if Rob_entry.is_load e && not e.Rob_entry.out_prot then
+        Protset.set_mem shadow e.Rob_entry.addr e.Rob_entry.msize
+          ~protected:false
+  | None -> ());
+  match t.S.cfg.Config.prot_mem with
+  | Config.Prot_mem_l1d ->
+      if Rob_entry.is_store e then
+        Cache.set_protection t.S.l1d e.Rob_entry.addr e.Rob_entry.msize
+          ~protected:e.Rob_entry.mem_prot
+      else if Rob_entry.is_load e && not e.Rob_entry.out_prot then
+        Cache.set_protection t.S.l1d e.Rob_entry.addr e.Rob_entry.msize
+          ~protected:false
+  | Config.Prot_mem_none | Config.Prot_mem_perfect -> ()
+
+(* Stores to this address mark the start of measurement (end of the
+   benchmark's warmup phase). *)
+let measurement_marker = 0x7770L
+
+let commit_one (t : S.t) (e : Rob_entry.t) =
+  (* Architectural effects. *)
+  if Rob_entry.is_store e then begin
+    Memory.write t.S.mem e.Rob_entry.addr e.Rob_entry.msize
+      e.Rob_entry.mem_value;
+    (* Writeback allocates in the L1D. *)
+    ignore (Mem_hierarchy.access t e.Rob_entry.addr)
+  end;
+  commit_protisa_memory t e;
+  Array.iteri
+    (fun i r ->
+      let ri = Reg.to_int r in
+      t.S.regs.(ri) <- e.Rob_entry.dst_val.(i);
+      t.S.reg_prot.(ri) <- e.Rob_entry.out_prot)
+    e.Rob_entry.dsts;
+  (* Release the rename-map mapping if this entry is still the youngest
+     writer. *)
+  Array.iter
+    (fun r ->
+      let ri = Reg.to_int r in
+      if t.S.rmap_producer.(ri) = e.Rob_entry.seq then begin
+        t.S.rmap_producer.(ri) <- -1;
+        t.S.rmap_value.(ri) <- t.S.regs.(ri)
+      end)
+    e.Rob_entry.dsts;
+  (* Train predictors. *)
+  (match e.Rob_entry.insn.Insn.op with
+  | Insn.Jcc (_, target) ->
+      Branch_pred.update_direction t.S.bp e.Rob_entry.pc
+        (e.Rob_entry.actual_target = target && target <> e.Rob_entry.pc + 1)
+  | Insn.Jmpi _ ->
+      Branch_pred.update_indirect t.S.bp e.Rob_entry.pc
+        e.Rob_entry.actual_target
+  | _ -> ());
+  S.emit t (Hooks.On_commit e);
+  (* Remove from the ROB. *)
+  t.S.rob.(t.S.head_idx) <- None;
+  t.S.head_idx <- (t.S.head_idx + 1) mod S.rob_size t;
+  t.S.head_seq <- t.S.head_seq + 1;
+  t.S.count <- t.S.count - 1;
+  if Rob_entry.is_load e then t.S.lq_used <- t.S.lq_used - 1;
+  if Rob_entry.is_store e then t.S.sq_used <- t.S.sq_used - 1;
+  t.S.last_commit_cycle <- t.S.cycle
+
+let run (t : S.t) =
+  let committed = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !committed < t.S.cfg.Config.commit_width && not t.S.done_
+  do
+    match S.head_entry t with
+    | None -> continue_ := false
+    | Some e ->
+        if not e.Rob_entry.executed then continue_ := false
+        else if e.Rob_entry.is_branch && not e.Rob_entry.resolved then
+          (* The resolution stage handles it (at the head the policy must
+             allow resolution: the branch is non-speculative). *)
+          continue_ := false
+        else begin
+          let was_halt = e.Rob_entry.insn.Insn.op = Insn.Halt in
+          let faulted = e.Rob_entry.fault in
+          let next_pc = e.Rob_entry.pc + 1 in
+          commit_one t e;
+          incr committed;
+          if was_halt then begin
+            t.S.done_ <- true;
+            continue_ := false
+          end
+          else if faulted then begin
+            (* Division fault: machine clear (squash everything younger
+               and refetch). *)
+            S.emit t Hooks.On_machine_clear;
+            Squash.flush t ~from_seq:t.S.head_seq ~new_pc:next_pc;
+            continue_ := false
+          end
+        end
+  done

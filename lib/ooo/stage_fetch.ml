@@ -1,0 +1,52 @@
+(* Fetch stage: branch-predicted instruction fetch into the fetch buffer.
+
+   Owns [fetch_pc], [fetch_stalled] and the fetch buffer; consults (and
+   updates, for calls/returns) the branch predictor's RSB.  Emits
+   [On_fetch] per fetched instruction. *)
+
+open Protean_isa
+module S = Pipeline_state
+
+let predict_next (t : S.t) pc (insn : Insn.t) =
+  match insn.Insn.op with
+  | Insn.Jcc (_, target) ->
+      if Branch_pred.predict_direction t.S.bp pc then target else pc + 1
+  | Insn.Jmp target -> target
+  | Insn.Call target ->
+      Branch_pred.rsb_push t.S.bp (pc + 1);
+      target
+  | Insn.Ret -> (
+      match Branch_pred.rsb_pop t.S.bp with Some p -> p | None -> -1)
+  | Insn.Jmpi _ -> (
+      match Branch_pred.predict_indirect t.S.bp pc with
+      | Some target -> target
+      | None -> -1)
+  | Insn.Halt -> -1
+  | _ -> pc + 1
+
+let run (t : S.t) =
+  let fetched = ref 0 in
+  while
+    (not t.S.fetch_stalled)
+    && !fetched < t.S.cfg.Config.fetch_width
+    && Queue.length t.S.fetch_buf < S.fetch_buf_capacity
+  do
+    let pc = t.S.fetch_pc in
+    let insn =
+      if Program.in_bounds t.S.program pc then Program.insn t.S.program pc
+      else Insn.make Insn.Halt
+    in
+    let next = predict_next t pc insn in
+    Queue.add
+      {
+        S.f_pc = pc;
+        f_insn = insn;
+        f_pred_target = next;
+        f_ready = t.S.cycle + t.S.cfg.Config.frontend_latency;
+        f_fetched = t.S.cycle;
+      }
+      t.S.fetch_buf;
+    S.emit t (Hooks.On_fetch { pc; insn });
+    incr fetched;
+    if next < 0 then t.S.fetch_stalled <- true else t.S.fetch_pc <- next
+  done

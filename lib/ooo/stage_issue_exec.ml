@@ -1,0 +1,419 @@
+(* Issue/execute and branch-resolution stages.
+
+   Dynamic issue under the policy's transmitter/wakeup/resolution gates:
+   wakeup (source readiness through [may_forward]), dispatch of ready
+   instructions up to [issue_width], per-opcode execution including the
+   load/store paths (store-to-load forwarding, memory-order speculation
+   with MDP-guided stalls, hierarchy walks via [Mem_hierarchy]), and
+   delayed branch resolution with at most one squash per cycle.
+
+   Events: [On_wakeup]/[On_wakeup_blocked] per source, [On_exec_blocked]
+   and [On_resolve_blocked] per denied cycle, [On_forward] on LSQ hits,
+   [On_load_executed], [On_div_busy], [On_order_violation],
+   [On_mispredict]. *)
+
+open Protean_isa
+open Protean_arch
+module S = Pipeline_state
+
+(* Value produced for register [r] by entry [p]. *)
+let producer_value (p : Rob_entry.t) r =
+  let n = Array.length p.Rob_entry.dsts in
+  let rec loop i =
+    if i >= n then None
+    else if Reg.equal p.Rob_entry.dsts.(i) r then Some p.Rob_entry.dst_val.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+(* Try to make all of [e]'s sources ready; returns true when they are.
+   Values from in-flight producers are only visible once the producer has
+   executed *and* the policy allows it to forward (the AccessDelay /
+   ProtDelay wakeup-gating point). *)
+let sources_ready (t : S.t) (e : Rob_entry.t) =
+  let ap = S.api t in
+  let all = ref true in
+  Array.iteri
+    (fun i ready ->
+      if not ready then begin
+        let r, _ = e.Rob_entry.srcs.(i) in
+        let p = e.Rob_entry.src_producer.(i) in
+        match S.get_entry t p with
+        | None ->
+            (* Producer committed: its value is in the architectural
+               register file (no younger writer can have committed). *)
+            e.Rob_entry.src_val.(i) <- t.S.regs.(Reg.to_int r);
+            e.Rob_entry.src_ready.(i) <- true
+        | Some prod ->
+            if prod.Rob_entry.executed then
+              if t.S.policy.Policy.may_forward ap prod then begin
+                (match producer_value prod r with
+                | Some v -> e.Rob_entry.src_val.(i) <- v
+                | None -> ());
+                e.Rob_entry.src_ready.(i) <- true;
+                S.emit t (Hooks.On_wakeup { consumer = e; producer = prod })
+              end
+              else begin
+                S.emit t
+                  (Hooks.On_wakeup_blocked { consumer = e; producer = prod });
+                all := false
+              end
+            else all := false
+      end)
+    e.Rob_entry.src_ready;
+  !all
+
+let src_value (e : Rob_entry.t) reg role =
+  let i = Rob_entry.find_src e reg role in
+  if i >= 0 then e.Rob_entry.src_val.(i)
+  else invalid_arg "Pipeline.src_value: operand not found"
+
+(* Value of a [src] operand (register via the renamed sources, or an
+   immediate). *)
+let operand_value (e : Rob_entry.t) (s : Insn.src) role =
+  match s with Insn.Imm v -> v | Insn.Reg r -> src_value e r role
+
+let ea_of (e : Rob_entry.t) (m : Insn.mem) =
+  let read r = src_value e r Insn.Addr in
+  Sem.effective_address read m
+
+let alu_latency (t : S.t) (op : Insn.op) =
+  match op with
+  | Insn.Binop (Insn.Mul, _, _) -> t.S.cfg.Config.mul_latency
+  | _ -> t.S.cfg.Config.alu_latency
+
+let set_dst (e : Rob_entry.t) r v =
+  let n = Array.length e.Rob_entry.dsts in
+  let rec loop i =
+    if i < n then
+      if Reg.equal e.Rob_entry.dsts.(i) r then e.Rob_entry.dst_val.(i) <- v
+      else loop (i + 1)
+  in
+  loop 0
+
+(* Begin executing [e]; all sources are ready.  Returns false when the
+   instruction could not start (e.g. a load waiting on a store).  Sets
+   [cycles_left]; results are computed here and become architectural when
+   the entry commits. *)
+let start_execution (t : S.t) (e : Rob_entry.t) =
+  let insn = e.Rob_entry.insn in
+  let old_of r = src_value e r Insn.Data in
+  let started = ref true in
+  (match insn.Insn.op with
+  | Insn.Nop | Insn.Halt -> e.Rob_entry.cycles_left <- 1
+  | Insn.Mov (w, d, s) ->
+      let v = operand_value e s Insn.Data in
+      let old = match w with Insn.W8 -> old_of d | _ -> 0L in
+      set_dst e d (Sem.apply_width w ~old v);
+      e.Rob_entry.cycles_left <- alu_latency t insn.Insn.op
+  | Insn.Lea (d, m) ->
+      let read r = src_value e r Insn.Data in
+      set_dst e d (Sem.effective_address read m);
+      e.Rob_entry.cycles_left <- alu_latency t insn.Insn.op
+  | Insn.Binop (o, d, s) ->
+      let r, fl = Sem.eval_binop o (old_of d) (operand_value e s Insn.Data) in
+      set_dst e d r;
+      set_dst e Reg.flags fl;
+      e.Rob_entry.cycles_left <- alu_latency t insn.Insn.op
+  | Insn.Unop (o, d) ->
+      let r, fl = Sem.eval_unop o (old_of d) in
+      set_dst e d r;
+      set_dst e Reg.flags fl;
+      e.Rob_entry.cycles_left <- alu_latency t insn.Insn.op
+  | Insn.Div (d, n, s) | Insn.Rem (d, n, s) ->
+      let nv = src_value e n Insn.Divide in
+      let dv = operand_value e s Insn.Divide in
+      let lat =
+        if Int64.equal dv 0L then t.S.cfg.Config.div_base_latency
+        else t.S.cfg.Config.div_base_latency + (Sem.bit_length nv / 8)
+      in
+      S.emit t (Hooks.On_div_busy { latency = lat });
+      if Int64.equal dv 0L then begin
+        e.Rob_entry.fault <- true;
+        set_dst e d Int64.minus_one
+      end
+      else begin
+        let q =
+          match insn.Insn.op with
+          | Insn.Div _ -> Sem.eval_div nv dv
+          | _ -> Sem.eval_rem nv dv
+        in
+        set_dst e d q
+      end;
+      e.Rob_entry.cycles_left <- lat
+  | Insn.Cmp (a, s) ->
+      set_dst e Reg.flags
+        (Sem.eval_cmp (src_value e a Insn.Data) (operand_value e s Insn.Data));
+      e.Rob_entry.cycles_left <- alu_latency t insn.Insn.op
+  | Insn.Test (a, s) ->
+      set_dst e Reg.flags
+        (Sem.eval_test (src_value e a Insn.Data) (operand_value e s Insn.Data));
+      e.Rob_entry.cycles_left <- alu_latency t insn.Insn.op
+  | Insn.Setcc (c, d) ->
+      let fl = src_value e Reg.flags Insn.Cond_in in
+      set_dst e d (if Sem.eval_cond c fl then 1L else 0L);
+      e.Rob_entry.cycles_left <- alu_latency t insn.Insn.op
+  | Insn.Cmov (c, d, s) ->
+      let fl = src_value e Reg.flags Insn.Cond_in in
+      let v =
+        if Sem.eval_cond c fl then operand_value e s Insn.Data else old_of d
+      in
+      set_dst e d v;
+      e.Rob_entry.cycles_left <- alu_latency t insn.Insn.op
+  | Insn.Jcc (c, target) ->
+      let fl = src_value e Reg.flags Insn.Cond_in in
+      e.Rob_entry.actual_target <-
+        (if Sem.eval_cond c fl then target else e.Rob_entry.pc + 1);
+      e.Rob_entry.cycles_left <- 1
+  | Insn.Jmp target ->
+      e.Rob_entry.actual_target <- target;
+      e.Rob_entry.cycles_left <- 1
+  | Insn.Jmpi r ->
+      e.Rob_entry.actual_target <- Int64.to_int (src_value e r Insn.Target);
+      e.Rob_entry.cycles_left <- 1
+  | Insn.Load (w, d, m) ->
+      let addr = ea_of e m in
+      let size = Insn.width_bytes w in
+      (match Stage_memory.forward_search t e addr size with
+      | Stage_memory.Fwd_wait -> started := false
+      | Stage_memory.Fwd_value st ->
+          e.Rob_entry.addr <- addr;
+          e.Rob_entry.msize <- size;
+          e.Rob_entry.addr_ready <- true;
+          e.Rob_entry.fwd_from <- st.Rob_entry.seq;
+          let v = Stage_memory.forwarded_value st addr size in
+          e.Rob_entry.mem_value <- v;
+          e.Rob_entry.mem_prot <- st.Rob_entry.mem_prot;
+          let old = match w with Insn.W8 -> old_of d | _ -> 0L in
+          set_dst e d (Sem.apply_width w ~old (Sem.truncate_width w v));
+          e.Rob_entry.cycles_left <- t.S.cfg.Config.store_forward_latency;
+          S.emit t (Hooks.On_forward { load = e; store = st })
+      | Stage_memory.Fwd_none ->
+          e.Rob_entry.addr <- addr;
+          e.Rob_entry.msize <- size;
+          e.Rob_entry.addr_ready <- true;
+          let v = Memory.read t.S.mem addr size in
+          e.Rob_entry.mem_value <- v;
+          e.Rob_entry.mem_prot <- S.l1d_protected t addr size;
+          let old = match w with Insn.W8 -> old_of d | _ -> 0L in
+          set_dst e d (Sem.apply_width w ~old v);
+          let lat = t.S.cfg.Config.load_agu_latency + Mem_hierarchy.access t addr in
+          e.Rob_entry.cycles_left <- lat);
+      if !started then S.emit t (Hooks.On_load_executed e)
+  | Insn.Store (w, m, s) ->
+      let addr = ea_of e m in
+      let size = Insn.width_bytes w in
+      e.Rob_entry.addr <- addr;
+      e.Rob_entry.msize <- size;
+      e.Rob_entry.addr_ready <- true;
+      e.Rob_entry.mem_value <-
+        Sem.truncate_width w (operand_value e s Insn.Data);
+      (* The store's LSQ protection bit: its data operand's tag. *)
+      e.Rob_entry.mem_prot <-
+        (match s with
+        | Insn.Reg r ->
+            let i = Rob_entry.find_src e r Insn.Data in
+            i >= 0 && e.Rob_entry.src_prot.(i)
+        | Insn.Imm _ -> false);
+      ignore (Tlb.access t.S.tlb addr);
+      e.Rob_entry.cycles_left <- 1
+  | Insn.Push s ->
+      let sp = src_value e Reg.rsp Insn.Addr in
+      let addr = Int64.sub sp 8L in
+      e.Rob_entry.addr <- addr;
+      e.Rob_entry.msize <- 8;
+      e.Rob_entry.addr_ready <- true;
+      e.Rob_entry.mem_value <- operand_value e s Insn.Data;
+      e.Rob_entry.mem_prot <-
+        (match s with
+        | Insn.Reg r ->
+            let i = Rob_entry.find_src e r Insn.Data in
+            i >= 0 && e.Rob_entry.src_prot.(i)
+        | Insn.Imm _ -> false);
+      set_dst e Reg.rsp addr;
+      ignore (Tlb.access t.S.tlb addr);
+      e.Rob_entry.cycles_left <- 1
+  | Insn.Call target ->
+      let sp = src_value e Reg.rsp Insn.Addr in
+      let addr = Int64.sub sp 8L in
+      e.Rob_entry.addr <- addr;
+      e.Rob_entry.msize <- 8;
+      e.Rob_entry.addr_ready <- true;
+      e.Rob_entry.mem_value <- Int64.of_int (e.Rob_entry.pc + 1);
+      e.Rob_entry.mem_prot <- false;
+      set_dst e Reg.rsp addr;
+      e.Rob_entry.actual_target <- target;
+      ignore (Tlb.access t.S.tlb addr);
+      e.Rob_entry.cycles_left <- 1
+  | Insn.Pop d ->
+      let sp = src_value e Reg.rsp Insn.Addr in
+      (match Stage_memory.forward_search t e sp 8 with
+      | Stage_memory.Fwd_wait -> started := false
+      | Stage_memory.Fwd_value st ->
+          e.Rob_entry.addr <- sp;
+          e.Rob_entry.msize <- 8;
+          e.Rob_entry.addr_ready <- true;
+          e.Rob_entry.fwd_from <- st.Rob_entry.seq;
+          let v = Stage_memory.forwarded_value st sp 8 in
+          e.Rob_entry.mem_value <- v;
+          e.Rob_entry.mem_prot <- st.Rob_entry.mem_prot;
+          set_dst e d v;
+          set_dst e Reg.rsp (Int64.add sp 8L);
+          e.Rob_entry.cycles_left <- t.S.cfg.Config.store_forward_latency;
+          S.emit t (Hooks.On_forward { load = e; store = st })
+      | Stage_memory.Fwd_none ->
+          e.Rob_entry.addr <- sp;
+          e.Rob_entry.msize <- 8;
+          e.Rob_entry.addr_ready <- true;
+          let v = Memory.read t.S.mem sp 8 in
+          e.Rob_entry.mem_value <- v;
+          e.Rob_entry.mem_prot <- S.l1d_protected t sp 8;
+          set_dst e d v;
+          set_dst e Reg.rsp (Int64.add sp 8L);
+          e.Rob_entry.cycles_left <-
+            t.S.cfg.Config.load_agu_latency + Mem_hierarchy.access t sp);
+      if !started then S.emit t (Hooks.On_load_executed e)
+  | Insn.Ret ->
+      let sp = src_value e Reg.rsp Insn.Addr in
+      (match Stage_memory.forward_search t e sp 8 with
+      | Stage_memory.Fwd_wait -> started := false
+      | Stage_memory.Fwd_value st ->
+          e.Rob_entry.addr <- sp;
+          e.Rob_entry.msize <- 8;
+          e.Rob_entry.addr_ready <- true;
+          e.Rob_entry.fwd_from <- st.Rob_entry.seq;
+          let v = Stage_memory.forwarded_value st sp 8 in
+          e.Rob_entry.mem_value <- v;
+          e.Rob_entry.mem_prot <- st.Rob_entry.mem_prot;
+          set_dst e Reg.tmp v;
+          set_dst e Reg.rsp (Int64.add sp 8L);
+          e.Rob_entry.actual_target <- Int64.to_int v;
+          e.Rob_entry.cycles_left <- t.S.cfg.Config.store_forward_latency;
+          S.emit t (Hooks.On_forward { load = e; store = st })
+      | Stage_memory.Fwd_none ->
+          e.Rob_entry.addr <- sp;
+          e.Rob_entry.msize <- 8;
+          e.Rob_entry.addr_ready <- true;
+          let v = Memory.read t.S.mem sp 8 in
+          e.Rob_entry.mem_value <- v;
+          e.Rob_entry.mem_prot <- S.l1d_protected t sp 8;
+          set_dst e Reg.tmp v;
+          set_dst e Reg.rsp (Int64.add sp 8L);
+          e.Rob_entry.actual_target <- Int64.to_int v;
+          e.Rob_entry.cycles_left <-
+            t.S.cfg.Config.load_agu_latency + Mem_hierarchy.access t sp);
+      if !started then S.emit t (Hooks.On_load_executed e));
+  if !started then begin
+    e.Rob_entry.issued <- true;
+    e.Rob_entry.t_issue <- t.S.cycle;
+    (* A store whose address just resolved may expose a memory-order
+       violation by a younger, already-executed load. *)
+    if Rob_entry.is_store e then
+      match Stage_memory.check_order_violation t e with
+      | Some ld ->
+          S.emit t (Hooks.On_order_violation { store = e; load = ld });
+          Stage_memory.mdp_flag t ld.Rob_entry.pc;
+          Squash.flush t ~from_seq:ld.Rob_entry.seq ~new_pc:ld.Rob_entry.pc
+      | None -> ()
+  end;
+  !started
+
+(* Transmitters whose execution (as opposed to resolution) the policy can
+   delay: memory accesses and divisions.  Branch resolution is gated
+   separately. *)
+let execution_gated (e : Rob_entry.t) =
+  match e.Rob_entry.insn.Insn.op with
+  | Insn.Load _ | Insn.Store _ | Insn.Push _ | Insn.Pop _ | Insn.Ret
+  | Insn.Call _ | Insn.Div _ | Insn.Rem _ ->
+      true
+  | _ -> false
+
+let run (t : S.t) =
+  let ap = S.api t in
+  let issued = ref 0 in
+  (try
+     S.iter_rob t (fun e ->
+         (* Tick in-flight instructions. *)
+         if e.Rob_entry.issued && not e.Rob_entry.executed then begin
+           e.Rob_entry.cycles_left <- e.Rob_entry.cycles_left - 1;
+           if e.Rob_entry.cycles_left <= 0 then begin
+             e.Rob_entry.executed <- true;
+             e.Rob_entry.t_complete <- t.S.cycle
+           end
+         end
+         else if not e.Rob_entry.issued then begin
+           if !issued < t.S.cfg.Config.issue_width && sources_ready t e then begin
+             if
+               execution_gated e
+               && not (t.S.policy.Policy.may_execute_transmitter ap e)
+             then S.emit t (Hooks.On_exec_blocked e)
+             else if
+               Rob_entry.is_load e
+               && Stage_memory.mdp_flagged t e.Rob_entry.pc
+               && Stage_memory.older_store_addr_unknown t e
+             then () (* memory-dependence predictor: wait for stores *)
+             else if start_execution t e then incr issued
+           end
+         end)
+   with Exit -> ())
+
+(* Resolve branches: confirm correctly-predicted ones and initiate at most
+   one squash per cycle from the oldest eligible misprediction.
+
+   With [squash_bug] set, the stage instead considers the oldest
+   *detected* misprediction regardless of whether the policy allows it to
+   resolve — so an older protected/tainted branch can block a younger
+   unprotected one from squashing, a secret-dependent timing difference
+   (the corner case AMuLeT* found in STT/SPT/SPT-SB, Section VII-B4b). *)
+let resolve (t : S.t) =
+  let ap = S.api t in
+  (* Confirm correct predictions (no squash needed). *)
+  S.iter_rob t (fun e ->
+      if
+        e.Rob_entry.is_branch && e.Rob_entry.executed
+        && (not e.Rob_entry.resolved)
+        && (not e.Rob_entry.mispredicted)
+        && e.Rob_entry.actual_target = e.Rob_entry.pred_target
+      then
+        if t.S.policy.Policy.may_resolve ap e then begin
+          e.Rob_entry.resolved <- true;
+          S.invalidate_unresolved_memo t
+        end
+        else S.emit t (Hooks.On_resolve_blocked e));
+  (* Detect mispredictions. *)
+  S.iter_rob t (fun e ->
+      if
+        e.Rob_entry.is_branch && e.Rob_entry.executed
+        && (not e.Rob_entry.resolved)
+        && e.Rob_entry.actual_target <> e.Rob_entry.pred_target
+      then e.Rob_entry.mispredicted <- true);
+  let candidate = ref None in
+  (try
+     S.iter_rob t (fun e ->
+         if
+           e.Rob_entry.is_branch && e.Rob_entry.executed
+           && (not e.Rob_entry.resolved)
+           && e.Rob_entry.mispredicted
+         then begin
+           if t.S.squash_bug then begin
+             (* Buggy notification: the oldest detected misprediction wins
+                the single notification slot even if its squash must be
+                deferred. *)
+             candidate := Some e;
+             raise Exit
+           end
+           else if t.S.policy.Policy.may_resolve ap e then begin
+             candidate := Some e;
+             raise Exit
+           end
+           else S.emit t (Hooks.On_resolve_blocked e)
+         end)
+   with Exit -> ());
+  match !candidate with
+  | Some e when t.S.policy.Policy.may_resolve ap e ->
+      e.Rob_entry.resolved <- true;
+      S.emit t (Hooks.On_mispredict e);
+      S.invalidate_unresolved_memo t;
+      Squash.flush t ~from_seq:(e.Rob_entry.seq + 1)
+        ~new_pc:e.Rob_entry.actual_target
+  | Some _ | None -> ()

@@ -1,0 +1,96 @@
+(* Memory-disambiguation machinery: the LSQ search used for
+   store-to-load forwarding, memory-order speculation and its recovery,
+   and the store-set-style memory-dependence predictor (MDP).
+
+   Pure queries over [Pipeline_state] plus the MDP bitmap; the actual
+   load/store execution lives in [Stage_issue_exec], order-violation
+   squashes in [Squash]. *)
+
+module S = Pipeline_state
+
+let mdp_index pc = pc land 1023
+let mdp_flagged (t : S.t) pc = Bytes.get t.S.mdp (mdp_index pc) = '\001'
+let mdp_flag (t : S.t) pc = Bytes.set t.S.mdp (mdp_index pc) '\001'
+
+(* Is there an older store whose address is still unknown? *)
+let older_store_addr_unknown (t : S.t) (e : Rob_entry.t) =
+  let found = ref false in
+  (try
+     for seq = e.Rob_entry.seq - 1 downto t.S.head_seq do
+       match S.get_entry t seq with
+       | Some st when Rob_entry.is_store st && not st.Rob_entry.addr_ready ->
+           found := true;
+           raise Exit
+       | _ -> ()
+     done
+   with Exit -> ());
+  !found
+
+type fwd_result =
+  | Fwd_value of Rob_entry.t (* fully-covering executed older store *)
+  | Fwd_wait (* overlapping older store not ready to forward *)
+  | Fwd_none
+
+(* Youngest older store overlapping the load's bytes.  Older stores whose
+   address is still unknown are speculatively ignored (memory-order
+   speculation); mis-speculation is caught when the store executes. *)
+let forward_search (t : S.t) (e : Rob_entry.t) addr size =
+  let result = ref Fwd_none in
+  (try
+     for seq = e.Rob_entry.seq - 1 downto t.S.head_seq do
+       match S.get_entry t seq with
+       | Some st when Rob_entry.is_store st && st.Rob_entry.addr_ready ->
+           let sa = st.Rob_entry.addr and ss = st.Rob_entry.msize in
+           let overlap =
+             Int64.compare sa (Int64.add addr (Int64.of_int size)) < 0
+             && Int64.compare addr (Int64.add sa (Int64.of_int ss)) < 0
+           in
+           if overlap then begin
+             let covers =
+               Int64.compare sa addr <= 0
+               && Int64.compare (Int64.add sa (Int64.of_int ss))
+                    (Int64.add addr (Int64.of_int size))
+                  >= 0
+             in
+             if covers && st.Rob_entry.executed then result := Fwd_value st
+             else result := Fwd_wait;
+             raise Exit
+           end
+       | _ -> ()
+     done
+   with Exit -> ());
+  !result
+
+(* Extract the forwarded bytes from a covering store. *)
+let forwarded_value (st : Rob_entry.t) addr size =
+  let shift = Int64.to_int (Int64.sub addr st.Rob_entry.addr) * 8 in
+  let v = Int64.shift_right_logical st.Rob_entry.mem_value shift in
+  if size >= 8 then v
+  else Int64.logand v (Int64.sub (Int64.shift_left 1L (8 * size)) 1L)
+
+(* Memory-order violation check, run when a store's address becomes
+   known: any younger load that already executed on overlapping bytes
+   without forwarding from this store read stale data. *)
+let check_order_violation (t : S.t) (st : Rob_entry.t) =
+  let victim = ref None in
+  S.iter_rob t (fun ld ->
+      if
+        Rob_entry.is_load ld
+        && ld.Rob_entry.seq > st.Rob_entry.seq
+        && ld.Rob_entry.addr_ready
+        && ld.Rob_entry.issued
+        && ld.Rob_entry.fwd_from <> st.Rob_entry.seq
+      then
+        let overlap =
+          Int64.compare st.Rob_entry.addr
+            (Int64.add ld.Rob_entry.addr (Int64.of_int ld.Rob_entry.msize))
+          < 0
+          && Int64.compare ld.Rob_entry.addr
+               (Int64.add st.Rob_entry.addr (Int64.of_int st.Rob_entry.msize))
+             < 0
+        in
+        if overlap then
+          match !victim with
+          | Some (v : Rob_entry.t) when v.Rob_entry.seq <= ld.Rob_entry.seq -> ()
+          | _ -> victim := Some ld);
+  !victim

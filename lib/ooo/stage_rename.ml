@@ -1,0 +1,89 @@
+(* Rename/dispatch stage: drain the fetch buffer into the ROB.
+
+   Owns the rename map (producer/value/protection per architectural
+   register) and ROB/LSQ insertion, including ProtISA's output-tag rule
+   for unprefixed sub-register writes (Section IV-B1).  Emits
+   [On_rename] once the entry is in the ROB — the point where defense
+   policies taint. *)
+
+open Protean_isa
+module S = Pipeline_state
+
+let rename_one (t : S.t) (item : S.fetch_item) =
+  let insn = item.S.f_insn in
+  let seq = t.S.next_seq in
+  let e =
+    Rob_entry.create ~seq ~pc:item.S.f_pc ~insn ~t_fetch:item.S.f_fetched
+  in
+  e.Rob_entry.t_rename <- t.S.cycle;
+  (* Read sources through the rename map. *)
+  Array.iteri
+    (fun i (r, _role) ->
+      let ri = Reg.to_int r in
+      let producer = t.S.rmap_producer.(ri) in
+      e.Rob_entry.src_producer.(i) <- producer;
+      e.Rob_entry.src_prot.(i) <- t.S.rmap_prot.(ri);
+      if producer < 0 then begin
+        e.Rob_entry.src_val.(i) <- t.S.rmap_value.(ri);
+        e.Rob_entry.src_ready.(i) <- true
+      end)
+    e.Rob_entry.srcs;
+  (* ProtISA output tag: PROT-prefixed instructions protect their outputs;
+     unprefixed sub-register writes leave the old protection unchanged
+     (Section IV-B1). *)
+  let subreg_dst =
+    match insn.Insn.op with
+    | Insn.Mov (Insn.W8, d, _) | Insn.Load (Insn.W8, d, _) -> Some d
+    | _ -> None
+  in
+  e.Rob_entry.out_prot <-
+    (match subreg_dst with
+    | Some d when not insn.Insn.prot -> t.S.rmap_prot.(Reg.to_int d)
+    | _ -> insn.Insn.prot);
+  (* Update the rename map. *)
+  Array.iter
+    (fun r ->
+      let ri = Reg.to_int r in
+      t.S.rmap_producer.(ri) <- seq;
+      (match subreg_dst with
+      | Some d when (not insn.Insn.prot) && Reg.equal d r -> ()
+      | _ -> t.S.rmap_prot.(ri) <- insn.Insn.prot))
+    e.Rob_entry.dsts;
+  (* Branch prediction bookkeeping. *)
+  if e.Rob_entry.is_branch then
+    e.Rob_entry.pred_target <- item.S.f_pred_target;
+  (* Insert into the ROB. *)
+  let idx = (t.S.head_idx + t.S.count) mod S.rob_size t in
+  if t.S.count = 0 then begin
+    t.S.head_idx <- idx;
+    t.S.head_seq <- seq
+  end;
+  t.S.rob.(idx) <- Some e;
+  t.S.count <- t.S.count + 1;
+  t.S.next_seq <- seq + 1;
+  if Rob_entry.is_load e then t.S.lq_used <- t.S.lq_used + 1;
+  if Rob_entry.is_store e then t.S.sq_used <- t.S.sq_used + 1;
+  S.emit t (Hooks.On_rename e)
+
+let run (t : S.t) =
+  let renamed = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !renamed < t.S.cfg.Config.rename_width do
+    match Queue.peek_opt t.S.fetch_buf with
+    | None -> continue_ := false
+    | Some item ->
+        if item.S.f_ready > t.S.cycle || S.rob_full t then continue_ := false
+        else begin
+          let is_ld = Insn.is_load item.S.f_insn.Insn.op in
+          let is_st = Insn.is_store item.S.f_insn.Insn.op in
+          if
+            (is_ld && t.S.lq_used >= t.S.cfg.Config.lq_size)
+            || (is_st && t.S.sq_used >= t.S.cfg.Config.sq_size)
+          then continue_ := false
+          else begin
+            ignore (Queue.pop t.S.fetch_buf);
+            rename_one t item;
+            incr renamed
+          end
+        end
+  done

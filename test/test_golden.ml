@@ -1,0 +1,54 @@
+(* Golden determinism suite: the stage-module pipeline must reproduce
+   the seed pipeline's recorded observables bit-for-bit — cycle counts,
+   committed/squash counters and the MD5 digest of the full
+   attacker-visible trace — for every corpus cell, both serially and
+   when the cells run on a parallel grid.
+
+   The expected file was recorded from the pre-refactor pipeline
+   (`protean-tables golden`); a mismatch means the refactor changed
+   simulated behavior, not that the expectation moved. *)
+
+module Golden = Protean_harness.Golden
+
+(* `dune runtest` executes in _build/default/test (where the (deps ...)
+   copy lives); `dune exec test/test_main.exe` runs from the project
+   root — accept both. *)
+let expected_file () =
+  List.find Sys.file_exists
+    [
+      "golden_pipeline.expected";
+      "test/golden_pipeline.expected";
+      Filename.concat (Filename.dirname Sys.executable_name)
+        "golden_pipeline.expected";
+    ]
+
+let read_expected () =
+  let ic = open_in (expected_file ()) in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let check_lines name actual =
+  let expected = read_expected () in
+  Alcotest.(check int)
+    (name ^ ": corpus size") (List.length expected) (List.length actual);
+  List.iteri
+    (fun i (e, a) ->
+      Alcotest.(check string) (Printf.sprintf "%s: cell %d" name i) e a)
+    (List.combine expected actual)
+
+let test_serial () = check_lines "serial" (Golden.lines ())
+
+let test_parallel () = check_lines "parallel -j 4" (Golden.lines ~jobs:4 ())
+
+let tests =
+  [
+    Alcotest.test_case "cycle-exact (serial)" `Slow test_serial;
+    Alcotest.test_case "cycle-exact (-j 4)" `Slow test_parallel;
+  ]

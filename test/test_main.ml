@@ -11,4 +11,5 @@ let () =
       ("harness", Test_harness.tests);
       ("edge", Test_edge.tests);
       ("robustness", Test_robustness.tests);
+      ("golden", Test_golden.tests);
     ]
