@@ -13,9 +13,13 @@
      -j 1/2/4, asserting the lines are identical at every width and
      recording wall-clock speedup over serial.
 
-   Speedups are only meaningful relative to `host_cores` (a 1-core
-   container can verify determinism but not show speedup; extra domains
-   there cost minor-GC barrier synchronization instead). *)
+   Speedups are only meaningful relative to the `topology` block (a
+   1-core container can verify determinism but not show speedup; extra
+   domains there cost minor-GC barrier synchronization instead, and
+   extra --shards workers time-slice one core).  The block records the
+   host core count plus the shard/worker layout a supervised
+   (`--shards N -j M`) run would use, so a stored JSON says whether its
+   numbers are a performance measurement or a determinism check. *)
 
 module Suite = Protean_workloads.Suite
 module Protcc = Protean_protcc.Protcc
@@ -73,8 +77,24 @@ let () =
   let cycles, committed, wall = bench_single () in
   let cells, t1, points = bench_grid () in
   let oc = open_out out in
+  let host_cores = Domain.recommended_domain_count () in
+  (* The canonical supervised layout: workers × domains-per-worker,
+     capped by the host.  total_lanes = host_cores means real
+     parallelism; total_lanes > host_cores means the run exercises the
+     machinery (determinism, crash recovery) without speedup. *)
+  let shards = min 2 host_cores in
+  let jobs_per_worker = max 1 (host_cores / shards) in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"host_cores\": %d,\n" host_cores;
+  Printf.fprintf oc "  \"topology\": {\n";
+  Printf.fprintf oc "    \"host_cores\": %d, \"default_jobs\": %d,\n" host_cores
+    (Protean_harness.Parallel.default_jobs ());
+  Printf.fprintf oc "    \"spawn_available\": %b,\n"
+    (Protean_harness.Shard.can_spawn ());
+  Printf.fprintf oc "    \"shards\": %d, \"jobs_per_worker\": %d, \"total_lanes\": %d,\n"
+    shards jobs_per_worker (shards * jobs_per_worker);
+  Printf.fprintf oc "    \"speedups_meaningful\": %b\n" (host_cores > 1);
+  Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"single\": {\n";
   Printf.fprintf oc "    \"bench\": \"ossl.bnexp\", \"pass\": \"unr\", \"defense\": \"prot-track\", \"core\": \"p\",\n";
   Printf.fprintf oc "    \"cycles\": %d, \"committed\": %d, \"wall_s\": %.3f,\n" cycles committed wall;

@@ -18,6 +18,9 @@ module Fault_inject = Protean_defense.Fault_inject
 module Protcc = Protean_protcc.Protcc
 module Tables = Protean_harness.Tables
 module Parallel = Protean_harness.Parallel
+module Supervisor = Protean_harness.Supervisor
+module Shard = Protean_harness.Shard
+module Json = Shard.Json
 
 let defense_arg =
   Arg.(value & opt string "prot-track" & info [ "defense"; "d" ] ~docv:"ID"
@@ -66,6 +69,26 @@ let jobs_arg =
                outcome is identical to -j 1 (programs are independent). \
                Incompatible with --resume: checkpointing is sequential, so \
                a resumed campaign runs serially (with a warning).")
+
+let shards_arg =
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+         ~doc:"Crash-isolated worker processes for the campaign (composes \
+               with -j inside each worker). A worker that segfaults or \
+               hangs is retried; a program that kills its worker on every \
+               attempt is bisected out and reported as a skip, like the \
+               in-process retry barrier. Incompatible with --resume.")
+
+let worker_arg =
+  Arg.(value & flag & info [ "worker" ]
+         ~doc:"Internal: serve campaign programs over the supervisor frame \
+               protocol on stdin/stdout. Spawned by --shards; not for \
+               interactive use.")
+
+let inject_worker_arg =
+  Arg.(value & opt (some string) None
+         & info [ "inject-worker-fault" ] ~docv:"MODE"
+         ~doc:"Self-test the shard supervisor: worker-kill, worker-stall, \
+               worker-truncate, or worker-poison:N. Requires --shards > 1.")
 
 let inject_arg =
   Arg.(value & flag & info [ "inject-faults" ]
@@ -139,15 +162,143 @@ let run_self_test ~jobs ~programs ~inputs ~seed ~timeout =
   end
   else Printf.printf "all injected faults detected\n"
 
-let run_campaign ~jobs campaign d contract resume =
+(* --- sharded campaigns ------------------------------------------------ *)
+
+(* One program of the campaign as a supervised cell: the worker applies
+   the same retry-once-then-skip barrier as [Fuzz.run_resilient] and
+   returns the sub-outcome as a frame payload.  Witnesses (programs)
+   don't cross the pipe — the supervisor replays the first violating
+   index in-process when it shrinks. *)
+let fuzz_cell campaign d index =
+  let sub_json (o : Fuzz.outcome) skip =
+    Json.Obj
+      [
+        ("tests", Json.Int o.Fuzz.tests);
+        ("skipped", Json.Int o.Fuzz.skipped);
+        ("violations", Json.Int o.Fuzz.violations);
+        ("false_positives", Json.Int o.Fuzz.false_positives);
+        ( "example",
+          match o.Fuzz.example with
+          | Some (s, k) -> Json.List [ Json.Int s; Json.Int k ]
+          | None -> Json.Null );
+        ( "skip",
+          match skip with Some r -> Json.Str r | None -> Json.Null );
+      ]
+  in
+  let program = Fuzz.generate_program campaign index in
+  let attempt () = Fuzz.test_program campaign d ~index ~program in
+  match attempt () with
+  | sub -> sub_json sub None
+  | exception _ -> (
+      match attempt () with
+      | sub -> sub_json sub None
+      | exception e -> sub_json (Fuzz.fresh_outcome ()) (Some (Fuzz.describe_exn e)))
+
+let outcome_of_json j =
+  {
+    Fuzz.tests = Json.(to_int (member "tests" j));
+    skipped = Json.(to_int (member "skipped" j));
+    violations = Json.(to_int (member "violations" j));
+    false_positives = Json.(to_int (member "false_positives" j));
+    example =
+      (match Json.member "example" j with
+      | Json.List [ Json.Int s; Json.Int k ] -> Some (s, k)
+      | _ -> None);
+  }
+
+(* Merge supervised per-program outcomes, in index order, into the same
+   report shape as the in-process resilient campaign.  A program whose
+   worker died on every attempt (a poisoned cell) becomes a structured
+   skip — exactly how the in-process barrier reports a program that
+   faults twice. *)
+let run_campaign_supervised ~shards ~jobs ~inject ?(shrink = true) campaign d =
+  let cells =
+    List.init campaign.Fuzz.programs (fun i ->
+        { Shard.c_id = i; c_key = string_of_int i })
+  in
+  let config =
+    {
+      Supervisor.default_config with
+      Supervisor.shards;
+      inject = Option.map Fault_inject.worker_mode_of_string inject;
+    }
+  in
+  let bus = Supervisor.create_bus () in
+  Supervisor.subscribe bus ~name:"log" (Supervisor.logger ());
+  let worker_argv =
+    Supervisor.self_worker_argv
+      ~drop:[ "--shards"; "--inject-worker-fault" ] ()
+  in
+  let fallback remaining =
+    let remaining = Array.of_list remaining in
+    let rs =
+      Parallel.map ~jobs
+        (Array.map
+           (fun (c : Shard.cell) () -> fuzz_cell campaign d c.Shard.c_id)
+           remaining)
+    in
+    Array.to_list
+      (Array.mapi (fun i (c : Shard.cell) -> (c.Shard.c_id, rs.(i))) remaining)
+  in
+  let outcomes = Supervisor.run ~bus config ~worker_argv ~fallback cells in
+  let out = Fuzz.fresh_outcome () in
+  let skips = ref [] in
+  List.iter
+    (fun (id, o) ->
+      let skip reason =
+        skips :=
+          {
+            Fuzz.sk_index = id;
+            sk_seed = Fuzz.program_seed campaign id;
+            sk_reason = reason;
+          }
+          :: !skips
+      in
+      match o with
+      | Supervisor.O_ok j -> (
+          Fuzz.merge_outcome ~into:out (outcome_of_json j);
+          match Json.member "skip" j with
+          | Json.Str reason -> skip reason
+          | _ -> ())
+      | Supervisor.O_fault { f_attempts; f_reason; _ } ->
+          skip
+            (Printf.sprintf "worker crashed on every attempt (%d): %s"
+               f_attempts f_reason))
+    outcomes;
+  let counterexample =
+    match out.Fuzz.example with
+    | Some (pseed, _) when shrink ->
+        (* Recover the program index from its seed, replay it with
+           witness capture, and shrink in-process. *)
+        let index = (pseed - campaign.Fuzz.seed) / 7919 in
+        let witness = ref None in
+        let program = Fuzz.generate_program campaign index in
+        (try
+           ignore (Fuzz.test_program ~witness campaign d ~index ~program)
+         with _ -> ());
+        Option.map (Fuzz.shrink_witness campaign d) !witness
+    | _ -> None
+  in
+  {
+    Fuzz.r_outcome = out;
+    r_completed = campaign.Fuzz.programs - List.length !skips;
+    r_skipped = List.rev !skips;
+    r_resumed_from = None;
+    r_counterexample = counterexample;
+  }
+
+let run_campaign ~jobs ~shards ~inject_worker campaign d contract resume =
   let r =
     match resume with
+    | None when shards > 1 ->
+        run_campaign_supervised ~shards ~jobs ~inject:inject_worker campaign d
     | None when jobs > 1 -> Parallel.fuzz_run_resilient ~jobs campaign d
     | _ ->
-        if jobs > 1 then
+        if jobs > 1 || shards > 1 then
           Printf.eprintf
-            "warning: --resume checkpoints sequentially; ignoring -j %d\n%!"
-            jobs;
+            "warning: --resume checkpoints sequentially; ignoring -j %d \
+             --shards %d\n%!"
+            jobs shards;
         Fuzz.run_resilient ?checkpoint:resume campaign d
   in
   let out = r.Fuzz.r_outcome in
@@ -173,16 +324,28 @@ let run_campaign ~jobs campaign d contract resume =
   if out.Fuzz.violations > 0 then exit 1
 
 let run table_ii defense contract programs inputs adversary seed squash_bug
-    timeout resume inject jobs =
+    timeout resume inject jobs shards worker inject_worker =
   let jobs = if jobs = 0 then Parallel.default_jobs () else max 1 jobs in
-  if table_ii then Tables.table_ii ~jobs ~programs ~inputs ()
+  let shards = max 1 shards in
+  if worker then begin
+    (* Spawned by a supervisor: serve per-program campaign cells over
+       stdin/stdout (cell key = program index). *)
+    let d = Defense.find defense in
+    let campaign =
+      campaign_of contract adversary programs inputs seed squash_bug timeout
+    in
+    Shard.worker_main ~jobs
+      ~compute:(fun key -> fuzz_cell campaign d (int_of_string key))
+      ()
+  end
+  else if table_ii then Tables.table_ii ~jobs ~programs ~inputs ()
   else if inject then run_self_test ~jobs ~programs ~inputs ~seed ~timeout
   else begin
     let d = Defense.find defense in
     let campaign =
       campaign_of contract adversary programs inputs seed squash_bug timeout
     in
-    run_campaign ~jobs campaign d contract resume
+    run_campaign ~jobs ~shards ~inject_worker campaign d contract resume
   end
 
 let cmd =
@@ -192,6 +355,7 @@ let cmd =
     Term.(
       const run $ table_ii_arg $ defense_arg $ contract_arg $ programs_arg
       $ inputs_arg $ adversary_arg $ seed_arg $ squash_bug_arg $ timeout_arg
-      $ resume_arg $ inject_arg $ jobs_arg)
+      $ resume_arg $ inject_arg $ jobs_arg $ shards_arg $ worker_arg
+      $ inject_worker_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -19,6 +19,10 @@ module Policy = Protean_ooo.Policy
 module Invariants = Protean_ooo.Invariants
 module Stats = Protean_ooo.Stats
 module Parallel = Protean_harness.Parallel
+module Supervisor = Protean_harness.Supervisor
+module Shard = Protean_harness.Shard
+module Json = Protean_harness.Shard.Json
+module Fault_inject = Protean_defense.Fault_inject
 
 let bench_arg =
   let doc = "Benchmark name (repeatable; see --list)." in
@@ -60,6 +64,35 @@ let jobs_arg =
 let list_arg =
   let doc = "List available benchmarks and exit." in
   Arg.(value & flag & info [ "list" ] ~doc)
+
+let shards_arg =
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+         ~doc:"Crash-isolated worker processes for multi-benchmark runs \
+               (composes with -j inside each worker). Reports still print \
+               in benchmark order; a benchmark whose worker keeps crashing \
+               is isolated and reported as a fault while the rest complete.")
+
+let worker_arg =
+  Arg.(value & flag & info [ "worker" ]
+         ~doc:"Internal: serve benchmark cells over the supervisor frame \
+               protocol on stdin/stdout. Spawned by --shards; not for \
+               interactive use.")
+
+let inject_arg =
+  Arg.(value & opt (some string) None & info [ "inject-faults" ] ~docv:"MODE"
+         ~doc:"Self-test the shard supervisor: worker-kill, worker-stall, \
+               worker-truncate, or worker-poison:N. Requires --shards > 1.")
+
+let heartbeat_arg =
+  Arg.(value & opt float 120.0 & info [ "shard-heartbeat" ] ~docv:"SECS"
+         ~doc:"Kill a worker that sends no frame for this long.")
+
+let wall_arg =
+  Arg.(value & opt float 3600.0 & info [ "shard-wall" ] ~docv:"SECS"
+         ~doc:"Kill a worker spawn that outlives this wall-clock budget.")
+
+let supervisor_flags =
+  [ "--shards"; "--inject-faults"; "--shard-heartbeat"; "--shard-wall" ]
 
 let config_of = function
   | "p" -> Config.p_core
@@ -124,7 +157,7 @@ let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
       Buffer.contents buf
 
 let run list benches defense pass core spec_model invariants invariant_every
-    jobs =
+    jobs shards worker inject heartbeat wall =
   if list then
     List.iter
       (fun (b : Suite.benchmark) ->
@@ -133,37 +166,104 @@ let run list benches defense pass core spec_model invariants invariant_every
       Suite.all
   else begin
     let jobs = if jobs = 0 then Parallel.default_jobs () else max 1 jobs in
+    let shards = max 1 shards in
     let d = Defense.find defense in
     let config = config_of core in
     let spec_model = model_of spec_model in
     let invariants = Invariants.mode_of_string invariants in
-    let tasks =
-      Array.of_list
-        (List.map
-           (fun bench () ->
-             let b = Suite.find bench in
-             match
-               simulate b d config spec_model pass invariants invariant_every
-                 bench
-             with
-             | report -> Ok report
-             | exception Pipeline.Sim_fault f -> Error (bench, f))
-           benches)
+    (* One cell per benchmark; the cell key is the benchmark name, so the
+       worker's enumeration is the supervisor's by construction. *)
+    let sim_cell bench =
+      let b = Suite.find bench in
+      match
+        simulate b d config spec_model pass invariants invariant_every bench
+      with
+      | report -> Json.Obj [ ("report", Json.Str report) ]
+      | exception Pipeline.Sim_fault f ->
+          Json.Obj [ ("fault", Json.Str (Pipeline.fault_to_string f)) ]
     in
-    let reports = Parallel.map ~jobs tasks in
-    let faulted = ref false in
-    Array.iter
-      (function
-        | Ok report -> print_string report
-        | Error (bench, f) ->
-            (* Report the faulting configuration instead of dying with a
-               raw backtrace, and exit non-zero so scripts notice. *)
-            Printf.eprintf "[fault] bench=%s defense=%s core=%s: %s\n%!"
-              bench d.Defense.id config.Config.name
-              (Pipeline.fault_to_string f);
-            faulted := true)
-      reports;
-    if !faulted then exit 3
+    let report_fault bench reason =
+      Printf.eprintf "[fault] bench=%s defense=%s core=%s: %s\n%!" bench
+        d.Defense.id config.Config.name reason
+    in
+    if worker then Shard.worker_main ~jobs ~compute:sim_cell ()
+    else if shards > 1 then begin
+      let cells =
+        List.mapi (fun i b -> { Shard.c_id = i; c_key = b }) benches
+      in
+      let sup_config =
+        {
+          Supervisor.default_config with
+          Supervisor.shards;
+          heartbeat;
+          wall;
+          inject = Option.map Fault_inject.worker_mode_of_string inject;
+        }
+      in
+      let bus = Supervisor.create_bus () in
+      Supervisor.subscribe bus ~name:"log" (Supervisor.logger ());
+      let worker_argv = Supervisor.self_worker_argv ~drop:supervisor_flags () in
+      let fallback cells =
+        let tasks =
+          Array.of_list
+            (List.map
+               (fun c () -> (c.Shard.c_id, sim_cell c.Shard.c_key))
+               cells)
+        in
+        Array.to_list (Parallel.map ~jobs tasks)
+      in
+      let outcomes = Supervisor.run ~bus sup_config ~worker_argv ~fallback cells in
+      let faulted = ref false in
+      List.iter
+        (fun (id, outcome) ->
+          let bench = List.nth benches id in
+          match outcome with
+          | Supervisor.O_ok j -> (
+              match Json.member "report" j with
+              | Json.Str report -> print_string report
+              | _ ->
+                  let reason =
+                    match Json.member "fault" j with
+                    | Json.Str s -> s
+                    | _ -> "malformed worker result frame"
+                  in
+                  report_fault bench reason;
+                  faulted := true)
+          | Supervisor.O_fault { f_attempts; f_reason; _ } ->
+              report_fault bench
+                (Printf.sprintf "worker crashed on every attempt (%d): %s"
+                   f_attempts f_reason);
+              faulted := true)
+        outcomes;
+      if !faulted then exit 3
+    end
+    else begin
+      let tasks =
+        Array.of_list
+          (List.map
+             (fun bench () ->
+               let b = Suite.find bench in
+               match
+                 simulate b d config spec_model pass invariants invariant_every
+                   bench
+               with
+               | report -> Ok report
+               | exception Pipeline.Sim_fault f -> Error (bench, f))
+             benches)
+      in
+      let reports = Parallel.map ~jobs tasks in
+      let faulted = ref false in
+      Array.iter
+        (function
+          | Ok report -> print_string report
+          | Error (bench, f) ->
+              (* Report the faulting configuration instead of dying with a
+                 raw backtrace, and exit non-zero so scripts notice. *)
+              report_fault bench (Pipeline.fault_to_string f);
+              faulted := true)
+        reports;
+      if !faulted then exit 3
+    end
   end
 
 let cmd =
@@ -172,6 +272,7 @@ let cmd =
     (Cmd.info "protean-sim" ~doc)
     Term.(
       const run $ list_arg $ bench_arg $ defense_arg $ pass_arg $ core_arg
-      $ spec_model_arg $ invariants_arg $ invariant_every_arg $ jobs_arg)
+      $ spec_model_arg $ invariants_arg $ invariant_every_arg $ jobs_arg
+      $ shards_arg $ worker_arg $ inject_arg $ heartbeat_arg $ wall_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -4,13 +4,22 @@
      protean-tables table-v
      protean-tables table-iv --bench perlbench --bench milc
      protean-tables all -j 8
+     protean-tables table-v --shards 4 -j 2
 
    `-j N` runs the experiment grid on N domains via Experiment.prewarm;
-   the printed output is byte-identical to the serial run. *)
+   `--shards N` additionally spreads the grid over N crash-isolated
+   worker *processes* (each running `-j N` domains internally) under
+   the Supervisor: a worker that segfaults, stalls or gets OOM-killed
+   is retried and, if a single cell keeps crashing, that cell is
+   bisected out and reported as a structured fault while the rest of
+   the grid completes.  Either way the printed output is byte-identical
+   to the serial run. *)
 
 open Cmdliner
 module E = Protean_harness.Experiment
 module Parallel = Protean_harness.Parallel
+module Supervisor = Protean_harness.Supervisor
+module Fault_inject = Protean_defense.Fault_inject
 module Tables = Protean_harness.Tables
 module Figures = Protean_harness.Figures
 module Studies = Protean_harness.Studies
@@ -36,8 +45,51 @@ let jobs_arg =
          ~doc:"Simulation domains; 0 = all cores. Output is byte-identical \
                to -j 1.")
 
-let run what benches fuzz_programs jobs =
+let shards_arg =
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+         ~doc:"Crash-isolated worker processes for the experiment grid \
+               (composes with -j inside each worker). Output is \
+               byte-identical to the serial run; a crashing cell is \
+               isolated by bisection and reported as a structured fault.")
+
+let worker_arg =
+  Arg.(value & flag & info [ "worker" ]
+         ~doc:"Internal: serve grid cells over the supervisor frame \
+               protocol on stdin/stdout. Spawned by --shards; not for \
+               interactive use.")
+
+let inject_arg =
+  Arg.(value & opt (some string) None & info [ "inject-faults" ] ~docv:"MODE"
+         ~doc:"Self-test the shard supervisor by arming a worker-level \
+               fault: worker-kill, worker-stall, worker-truncate, or \
+               worker-poison:N (abort whenever computing cell N). \
+               Requires --shards > 1; the supervised run must still \
+               complete (recovering, or isolating the poisoned cell).")
+
+let heartbeat_arg =
+  Arg.(value & opt float 120.0 & info [ "shard-heartbeat" ] ~docv:"SECS"
+         ~doc:"Kill a worker that sends no frame for this long.")
+
+let wall_arg =
+  Arg.(value & opt float 3600.0 & info [ "shard-wall" ] ~docv:"SECS"
+         ~doc:"Kill a worker spawn that outlives this wall-clock budget.")
+
+let checkpoint_dir_arg =
+  Arg.(value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR"
+         ~doc:"Persist per-shard results there (atomic JSON files); a \
+               restarted supervised run resumes completed cells from them.")
+
+(* Supervisor-only flags must not reach the worker's argv: the worker
+   re-runs the same discovery pass, and any argv drift would change the
+   cell enumeration. *)
+let supervisor_flags =
+  [ "--shards"; "--inject-faults"; "--shard-heartbeat"; "--shard-wall";
+    "--checkpoint-dir" ]
+
+let run what benches fuzz_programs jobs shards worker inject heartbeat wall
+    checkpoint_dir =
   let jobs = if jobs = 0 then Parallel.default_jobs () else max 1 jobs in
+  let shards = max 1 shards in
   let benches = match benches with [] -> None | bs -> Some bs in
   let session = E.create_session ~log:true () in
   (* Targets memoized through [session] can be prewarmed in parallel;
@@ -55,9 +107,41 @@ let run what benches fuzz_programs jobs =
     | "bugfix-cost" -> Some (fun () -> Studies.bugfix_cost ?benches session)
     | _ -> None
   in
+  let session_targets =
+    [
+      "table-v"; "table-iv"; "table-i"; "figure-6"; "figure-5";
+      "protcc-overhead"; "l1d-variants"; "ablation-access";
+      "control-model"; "bugfix-cost";
+    ]
+  in
+  (* One generator per sharded/prewarm scope: the target's own, or the
+     combined session sweep for `all` (cells shared between tables run
+     once, in one parallel or supervised pass). *)
+  let combined_gen () =
+    List.iter (fun w -> Option.get (session_gen w) ()) session_targets
+  in
+  let supervised gen =
+    let config =
+      {
+        Supervisor.default_config with
+        Supervisor.shards;
+        heartbeat;
+        wall;
+        checkpoint_dir;
+        inject = Option.map Fault_inject.worker_mode_of_string inject;
+      }
+    in
+    let bus = Supervisor.create_bus () in
+    Supervisor.subscribe bus ~name:"log" (Supervisor.logger ());
+    let worker_argv =
+      Supervisor.self_worker_argv ~drop:supervisor_flags ()
+    in
+    Supervisor.Grid.supervised ~bus ~config ~worker_argv ~jobs session gen
+  in
+  let gen_session g = if shards > 1 then supervised g else E.prewarm ~jobs session g in
   let gen w =
     match session_gen w with
-    | Some g -> E.prewarm ~jobs session g
+    | Some g -> gen_session g
     | None -> (
         match w with
         | "table-ii" -> Tables.table_ii ~jobs ~programs:fuzz_programs ()
@@ -68,27 +152,36 @@ let run what benches fuzz_programs jobs =
             List.iter print_endline (Protean_harness.Golden.lines ~jobs ())
         | s -> invalid_arg ("unknown table/figure: " ^ s))
   in
-  match what with
-  | "all" ->
-      let session_targets =
-        [
-          "table-v"; "table-iv"; "table-i"; "figure-6"; "figure-5";
-          "protcc-overhead"; "l1d-variants"; "ablation-access";
-          "control-model"; "bugfix-cost";
-        ]
-      in
-      (* One prewarm across every session target so the whole grid fills
-         in a single parallel pass (cells shared between tables run once). *)
-      E.prewarm ~jobs session (fun () ->
-          List.iter (fun w -> Option.get (session_gen w) ()) session_targets);
-      gen "area";
-      gen "table-ii"
-  | w -> gen w
+  if worker then
+    (* Spawned by a supervisor: serve this target's grid cells over
+       stdin/stdout.  The discovery pass below enumerates exactly the
+       parent's cells because the argv (minus supervisor flags) is the
+       parent's. *)
+    let g =
+      match what with
+      | "all" -> combined_gen
+      | w -> (
+          match session_gen w with
+          | Some g -> g
+          | None ->
+              invalid_arg ("--worker is only meaningful for grid targets: " ^ w))
+    in
+    Supervisor.Grid.worker ~jobs session g
+  else
+    match what with
+    | "all" ->
+        gen_session combined_gen;
+        gen "area";
+        gen "table-ii"
+    | w -> gen w
 
 let cmd =
   let doc = "regenerate the PROTEAN paper's tables and figures" in
   Cmd.v
     (Cmd.info "protean-tables" ~doc)
-    Term.(const run $ what_arg $ bench_arg $ fuzz_programs_arg $ jobs_arg)
+    Term.(
+      const run $ what_arg $ bench_arg $ fuzz_programs_arg $ jobs_arg
+      $ shards_arg $ worker_arg $ inject_arg $ heartbeat_arg $ wall_arg
+      $ checkpoint_dir_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -393,14 +393,27 @@ module Checkpoint = struct
     close_out oc;
     Sys.rename tmp path
 
-  let load path =
+  let default_warn path =
+    Printf.eprintf
+      "[checkpoint] warning: %s exists but is truncated or malformed; \
+       ignoring it and restarting the campaign from program 0\n%!"
+      path
+
+  let load ?(warn = default_warn) path =
     if not (Sys.file_exists path) then None
     else begin
       let ic = open_in path in
       let n = in_channel_length ic in
       let s = really_input_string ic n in
       close_in ic;
-      of_json s
+      match of_json s with
+      | Some c -> Some c
+      | None ->
+          (* A truncated or corrupt checkpoint must not abort the run —
+             the campaign is re-runnable from scratch — but silently
+             restarting a multi-hour campaign deserves a diagnostic. *)
+          warn path;
+          None
     end
 
   let matches campaign c =

@@ -151,8 +151,12 @@ module Checkpoint : sig
   val save : string -> t -> unit
   (** Atomic (write-then-rename) save. *)
 
-  val load : string -> t option
-  (** [None] when the file is absent or malformed. *)
+  val load : ?warn:(string -> unit) -> string -> t option
+  (** [None] when the file is absent or malformed.  A file that exists
+      but fails to parse (e.g. truncated by a crash mid-write of a
+      non-atomic copy) additionally invokes [warn] (default: a warning
+      line on stderr) before being ignored, so a silently restarted
+      campaign leaves a trace. *)
 
   val matches : campaign -> t -> bool
   (** Does the checkpoint belong to this campaign (seed, sizes)? *)

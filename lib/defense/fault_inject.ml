@@ -107,3 +107,66 @@ let inject mode (d : Defense.t) : Defense.t =
         (mode_description mode);
     make = (fun () -> wrap mode (d.Defense.make ()));
   }
+
+(* --- worker-level fault injection ------------------------------------ *)
+
+(* The supervised-execution layer (Protean_harness.Supervisor) is
+   self-tested the same way the detectors are: these modes break a
+   *worker process* instead of a defense layer, and the supervisor's
+   recovery paths (heartbeat kill, retry, bisection) must absorb each
+   one without corrupting the merged output.
+
+   - [WF_kill]: the worker SIGKILLs itself after its first result frame
+     (models an OOM kill or segfault mid-shard; transient — retries are
+     clean, so every cell still completes);
+   - [WF_stall]: the worker stops sending frames and sleeps (models a
+     hung simulation; the supervisor's heartbeat deadline must fire);
+   - [WF_truncate]: the worker emits a truncated result frame and exits
+     (models a crash mid-write; the frame decoder must not accept it);
+   - [WF_poison n]: the worker aborts whenever asked to compute the
+     cell with global id [n], on *every* attempt (models a cell whose
+     simulation segfaults deterministically; the supervisor must bisect
+     down to it, report a structured fault, and complete the rest). *)
+type worker_mode =
+  | WF_kill
+  | WF_stall
+  | WF_truncate
+  | WF_poison of int
+
+let worker_mode_name = function
+  | WF_kill -> "worker-kill"
+  | WF_stall -> "worker-stall"
+  | WF_truncate -> "worker-truncate"
+  | WF_poison n -> Printf.sprintf "worker-poison:%d" n
+
+let worker_mode_of_string s =
+  match s with
+  | "worker-kill" -> WF_kill
+  | "worker-stall" -> WF_stall
+  | "worker-truncate" -> WF_truncate
+  | _ ->
+      let prefix = "worker-poison:" in
+      let plen = String.length prefix in
+      if String.length s > plen && String.sub s 0 plen = prefix then
+        match int_of_string_opt (String.sub s plen (String.length s - plen)) with
+        | Some n when n >= 0 -> WF_poison n
+        | _ -> invalid_arg ("Fault_inject.worker_mode_of_string: " ^ s)
+      else invalid_arg ("Fault_inject.worker_mode_of_string: " ^ s)
+
+let worker_mode_description = function
+  | WF_kill -> "worker SIGKILLs itself after the first result"
+  | WF_stall -> "worker stops heartbeating and hangs"
+  | WF_truncate -> "worker writes a truncated result frame and exits"
+  | WF_poison n ->
+      Printf.sprintf "worker aborts whenever computing cell %d" n
+
+(* [WF_poison] is deterministic per cell, so it must stay armed across
+   retries for bisection to isolate the cell; the other modes model
+   one-off crashes and are armed only on the first spawn. *)
+let worker_mode_persistent = function
+  | WF_poison _ -> true
+  | WF_kill | WF_stall | WF_truncate -> false
+
+(* Environment variable through which a supervisor arms a fault in the
+   worker process it spawns. *)
+let worker_env = "PROTEAN_WORKER_FAULT"

@@ -205,9 +205,25 @@ let key spec =
 let faulted_result =
   { cycles = nan; stats = []; code_size_ratio = nan; inserted_moves = 0 }
 
-(* stderr is shared by parallel fill workers; serialize fault reports so
-   they don't interleave mid-line. *)
-let fault_log_lock = Mutex.create ()
+(* Diagnostic lines (fault reports, [run] cache-miss logs, [prewarm]
+   progress) are emitted by parallel fill workers on several domains —
+   and, under supervised execution, by several *processes*.  One
+   mutex-serialized sink keeps lines whole; shard workers retarget it at
+   the supervisor's frame protocol so per-worker output never shares a
+   raw stderr. *)
+let log_lock = Mutex.create ()
+let line_sink : (string -> unit) ref =
+  ref (fun line -> Printf.eprintf "%s\n%!" line)
+
+let set_line_sink f = line_sink := f
+
+let log_line fmt =
+  Printf.ksprintf
+    (fun s ->
+      Mutex.lock log_lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock log_lock) (fun () ->
+          !line_sink s))
+    fmt
 
 (* One cell, with the fault barrier: a deadlocked/livelocked simulation
    fails this cell only — report the faulting configuration and let the
@@ -216,18 +232,14 @@ let compute spec =
   match execute spec with
   | r -> r
   | exception Pipeline.Sim_fault f ->
-      Mutex.lock fault_log_lock;
-      Printf.eprintf "[fault] bench=%s defense=%s core=%s spec_model=%s: %s\n%!"
+      log_line "[fault] bench=%s defense=%s core=%s spec_model=%s: %s"
         spec.bench.Suite.name spec.dcfg.label spec.config.Config.name
         (Policy.spec_model_name spec.spec_model)
         (Pipeline.fault_to_string f);
-      Mutex.unlock fault_log_lock;
       faulted_result
   | exception Failure msg ->
-      Mutex.lock fault_log_lock;
-      Printf.eprintf "[fault] bench=%s defense=%s core=%s: %s\n%!"
+      log_line "[fault] bench=%s defense=%s core=%s: %s"
         spec.bench.Suite.name spec.dcfg.label spec.config.Config.name msg;
-      Mutex.unlock fault_log_lock;
       faulted_result
 
 let run session spec =
@@ -242,7 +254,7 @@ let run session spec =
           if not (Hashtbl.mem pending k) then Hashtbl.replace pending k spec;
           faulted_result
       | None ->
-          if session.log then Printf.eprintf "[run] %s\n%!" k;
+          if session.log then log_line "[run] %s" k;
           let r = compute spec in
           Hashtbl.replace session.cache k r;
           r)
@@ -291,45 +303,53 @@ let protcc_overhead session bench pass =
    Correctness rests on generators being output-only consumers: the set
    of cells they request doesn't depend on cell results, and cells are
    pure functions of their spec.  [jobs <= 1] just runs [gen]. *)
+(* Discovery (phase 1): run [gen] silenced with the session in collect
+   mode and return the cache misses sorted by key — a deterministic cell
+   list, so independent processes that run the same discovery enumerate
+   the same cells at the same indices (the supervised-execution layer
+   depends on this). *)
+let discover session (gen : unit -> unit) =
+  let pending = Hashtbl.create 64 in
+  let saved_log = session.log in
+  let ppf = Format.std_formatter in
+  let saved_out = Format.pp_get_formatter_out_functions ppf () in
+  Format.pp_print_flush ppf ();
+  session.collect <- Some pending;
+  session.log <- false;
+  Format.pp_set_formatter_out_functions ppf
+    {
+      Format.out_string = (fun _ _ _ -> ());
+      out_flush = (fun () -> ());
+      out_newline = (fun () -> ());
+      out_spaces = (fun _ -> ());
+      out_indent = (fun _ -> ());
+    };
+  Fun.protect
+    ~finally:(fun () ->
+      Format.pp_print_flush ppf ();
+      Format.pp_set_formatter_out_functions ppf saved_out;
+      session.collect <- None;
+      session.log <- saved_log)
+    gen;
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun k s acc -> (k, s) :: acc) pending [])
+
+(* Install externally computed results (phase 2's output) so the replay
+   run hits a warm cache. *)
+let install session results =
+  List.iter (fun (k, r) -> Hashtbl.replace session.cache k r) results
+
 let prewarm ?(jobs = Parallel.default_jobs ()) session (gen : unit -> unit) =
   if jobs <= 1 then gen ()
   else begin
-    let pending = Hashtbl.create 64 in
-    let saved_log = session.log in
-    let ppf = Format.std_formatter in
-    let saved_out = Format.pp_get_formatter_out_functions ppf () in
-    Format.pp_print_flush ppf ();
-    session.collect <- Some pending;
-    session.log <- false;
-    Format.pp_set_formatter_out_functions ppf
-      {
-        Format.out_string = (fun _ _ _ -> ());
-        out_flush = (fun () -> ());
-        out_newline = (fun () -> ());
-        out_spaces = (fun _ -> ());
-        out_indent = (fun _ -> ());
-      };
-    Fun.protect
-      ~finally:(fun () ->
-        Format.pp_print_flush ppf ();
-        Format.pp_set_formatter_out_functions ppf saved_out;
-        session.collect <- None;
-        session.log <- saved_log)
-      gen;
-    let cells =
-      List.sort
-        (fun (a, _) (b, _) -> compare a b)
-        (Hashtbl.fold (fun k s acc -> (k, s) :: acc) pending [])
-    in
+    let cells = discover session gen in
     if session.log then
-      Printf.eprintf "[prewarm] %d cells on %d domains\n%!" (List.length cells)
-        jobs;
+      log_line "[prewarm] %d cells on %d domains" (List.length cells) jobs;
     let tasks =
       Array.of_list (List.map (fun (_, s) () -> compute s) cells)
     in
     let results = Parallel.map ~jobs tasks in
-    List.iteri
-      (fun i (k, _) -> Hashtbl.replace session.cache k results.(i))
-      cells;
+    install session (List.mapi (fun i (k, _) -> (k, results.(i))) cells);
     gen ()
   end

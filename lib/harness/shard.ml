@@ -1,0 +1,587 @@
+(* Worker half of the supervised-execution layer (the supervisor half
+   is {!Supervisor}): a shard worker is a separate OS process that
+   receives a batch of cell ids over a pipe, computes them, and streams
+   results back, so that a segfault, OOM kill or runaway cell takes
+   down one worker instead of the whole grid.
+
+   The wire protocol is length-prefixed JSON frames on stdin/stdout
+   (stdout is therefore *owned* by the protocol in worker mode — all
+   worker diagnostics are routed through [F_log] frames instead of a
+   shared stderr, so per-worker output never interleaves mid-line):
+
+     <4-byte big-endian payload length> <payload: one JSON object>
+
+   supervisor -> worker
+     {"t":"work","cells":[{"id":I,"key":S},...]}   the shard's batch
+     {"t":"exit"}                                  drain and terminate
+
+   worker -> supervisor
+     {"t":"hb","next":I}          about to compute cell id I (liveness)
+     {"t":"result","id":I,"r":J}  cell I computed, payload J
+     {"t":"cellfault","id":I,"reason":S}
+                                  cell I raised in-process (structured
+                                  fault: no retry/bisection needed)
+     {"t":"log","line":S}         a diagnostic line for the run log
+     {"t":"done"}                 batch complete, worker exits 0
+
+   Cells are identified by a dense global id (their index in the
+   deterministic, key-sorted cell list that both supervisor and worker
+   enumerate independently) plus the key itself as a cross-check: a
+   worker that cannot resolve a key reports a cellfault rather than
+   computing the wrong cell.
+
+   Worker-level fault injection ([Protean_defense.Fault_inject]'s
+   [worker_mode], armed via the [worker_env] environment variable) is
+   implemented here so the supervisor's recovery paths are self-tested
+   end-to-end with real processes. *)
+
+module Fault_inject = Protean_defense.Fault_inject
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* No external JSON dependency is available, and the payloads are
+   machine-generated, so a small strict parser suffices.  Floats print
+   as %.17g (lossless for doubles) with nan/inf as quoted strings the
+   parser maps back, so numeric results round-trip bit-exactly — the
+   checkpoint-merge determinism guarantee depends on this. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let buf_add_escaped b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  let rec emit b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+        if Float.is_nan f then Buffer.add_string b "\"nan\""
+        else if f = Float.infinity then Buffer.add_string b "\"inf\""
+        else if f = Float.neg_infinity then Buffer.add_string b "\"-inf\""
+        else Buffer.add_string b (Printf.sprintf "%.17g" f)
+    | Str s ->
+        Buffer.add_char b '"';
+        buf_add_escaped b s;
+        Buffer.add_char b '"'
+    | List xs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            emit b x)
+          xs;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            buf_add_escaped b k;
+            Buffer.add_string b "\":";
+            emit b v)
+          kvs;
+        Buffer.add_char b '}'
+
+  let to_string j =
+    let b = Buffer.create 256 in
+    emit b j;
+    Buffer.contents b
+
+  exception Parse of string
+
+  let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse s)) fmt
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then advance ()
+      else parse_error "expected %c at %d" c !pos
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then parse_error "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+              advance ();
+              if !pos >= n then parse_error "unterminated escape";
+              (match s.[!pos] with
+              | '"' -> Buffer.add_char b '"'
+              | '\\' -> Buffer.add_char b '\\'
+              | '/' -> Buffer.add_char b '/'
+              | 'n' -> Buffer.add_char b '\n'
+              | 'r' -> Buffer.add_char b '\r'
+              | 't' -> Buffer.add_char b '\t'
+              | 'b' -> Buffer.add_char b '\b'
+              | 'f' -> Buffer.add_char b '\012'
+              | 'u' ->
+                  if !pos + 4 >= n then parse_error "short \\u escape";
+                  let hex = String.sub s (!pos + 1) 4 in
+                  let code =
+                    try int_of_string ("0x" ^ hex)
+                    with _ -> parse_error "bad \\u escape %s" hex
+                  in
+                  (* Payloads are generated by [emit], which only
+                     \u-escapes control characters. *)
+                  if code < 0x80 then Buffer.add_char b (Char.chr code)
+                  else parse_error "non-ascii \\u escape";
+                  pos := !pos + 4
+              | c -> parse_error "bad escape \\%c" c);
+              advance ();
+              go ()
+          | c ->
+              Buffer.add_char b c;
+              advance ();
+              go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num s.[!pos] do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> parse_error "bad number %s" tok)
+    in
+    let literal word v =
+      let w = String.length word in
+      if !pos + w <= n && String.sub s !pos w = word then begin
+        pos := !pos + w;
+        v
+      end
+      else parse_error "bad literal at %d" !pos
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> parse_error "unexpected end of input"
+      | Some '"' -> (
+          let str = parse_string () in
+          (* nan/inf round-trip through strings. *)
+          match str with
+          | "nan" -> Float Float.nan
+          | "inf" -> Float Float.infinity
+          | "-inf" -> Float Float.neg_infinity
+          | _ -> Str str)
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> parse_error "expected , or } at %d" !pos
+            in
+            Obj (members [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> parse_error "expected , or ] at %d" !pos
+            in
+            List (elements [])
+          end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then parse_error "trailing bytes at %d" !pos;
+    v
+
+  (* Accessors: the protocol is typed at the frame layer, so lookups
+     raise [Parse] on shape mismatches and the frame decoder turns that
+     into a protocol error. *)
+  let member k = function
+    | Obj kvs -> ( match List.assoc_opt k kvs with Some v -> v | None -> Null)
+    | _ -> Null
+
+  let to_int = function
+    | Int i -> i
+    | j -> parse_error "expected int, got %s" (to_string j)
+
+  let to_float = function
+    | Float f -> f
+    | Int i -> float_of_int i
+    | j -> parse_error "expected float, got %s" (to_string j)
+
+  let to_str = function
+    | Str s -> s
+    | j -> parse_error "expected string, got %s" (to_string j)
+
+  let to_list = function
+    | List xs -> xs
+    | j -> parse_error "expected list, got %s" (to_string j)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Length-prefixed frames                                              *)
+(* ------------------------------------------------------------------ *)
+
+type cell = { c_id : int; c_key : string }
+
+type frame =
+  | F_work of cell list
+  | F_exit
+  | F_hb of int (* next cell id the worker is about to compute *)
+  | F_result of int * Json.t
+  | F_cellfault of { fc_id : int; fc_reason : string }
+  | F_log of string
+  | F_done
+
+let frame_to_json = function
+  | F_work cells ->
+      Json.Obj
+        [
+          ("t", Json.Str "work");
+          ( "cells",
+            Json.List
+              (List.map
+                 (fun c ->
+                   Json.Obj
+                     [ ("id", Json.Int c.c_id); ("key", Json.Str c.c_key) ])
+                 cells) );
+        ]
+  | F_exit -> Json.Obj [ ("t", Json.Str "exit") ]
+  | F_hb next -> Json.Obj [ ("t", Json.Str "hb"); ("next", Json.Int next) ]
+  | F_result (id, r) ->
+      Json.Obj [ ("t", Json.Str "result"); ("id", Json.Int id); ("r", r) ]
+  | F_cellfault { fc_id; fc_reason } ->
+      Json.Obj
+        [
+          ("t", Json.Str "cellfault");
+          ("id", Json.Int fc_id);
+          ("reason", Json.Str fc_reason);
+        ]
+  | F_log line -> Json.Obj [ ("t", Json.Str "log"); ("line", Json.Str line) ]
+  | F_done -> Json.Obj [ ("t", Json.Str "done") ]
+
+let frame_of_json j =
+  match Json.(to_str (member "t" j)) with
+  | "work" ->
+      F_work
+        (List.map
+           (fun c ->
+             {
+               c_id = Json.(to_int (member "id" c));
+               c_key = Json.(to_str (member "key" c));
+             })
+           Json.(to_list (member "cells" j)))
+  | "exit" -> F_exit
+  | "hb" -> F_hb Json.(to_int (member "next" j))
+  | "result" -> F_result (Json.(to_int (member "id" j)), Json.member "r" j)
+  | "cellfault" ->
+      F_cellfault
+        {
+          fc_id = Json.(to_int (member "id" j));
+          fc_reason = Json.(to_str (member "reason" j));
+        }
+  | "log" -> F_log Json.(to_str (member "line" j))
+  | "done" -> F_done
+  | t -> Json.parse_error "unknown frame type %s" t
+
+(* A frame payload larger than this is a protocol error (a corrupted
+   length prefix would otherwise make the reader try to allocate and
+   then block on gigabytes). *)
+let max_frame = 64 * 1024 * 1024
+
+let encode_frame frame =
+  let payload = Json.to_string (frame_to_json frame) in
+  let len = String.length payload in
+  let b = Bytes.create (4 + len) in
+  Bytes.set b 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (len land 0xff));
+  Bytes.blit_string payload 0 b 4 len;
+  b
+
+(* Frame writes from a worker happen on multiple domains (log lines from
+   parallel cell computations), so they are serialized; a single
+   [Unix.write] of the whole frame also keeps a SIGKILL from splitting a
+   frame across the pipe except at its very end — which the decoder
+   rejects as truncated. *)
+let write_lock = Mutex.create ()
+
+let write_frame fd frame =
+  let b = encode_frame frame in
+  Mutex.lock write_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock write_lock)
+    (fun () ->
+      let len = Bytes.length b in
+      let off = ref 0 in
+      while !off < len do
+        off := !off + Unix.write fd b !off (len - !off)
+      done)
+
+(* Blocking frame read (worker side; the supervisor uses the incremental
+   [Decoder] below).  Returns [None] on clean EOF. *)
+let read_frame fd =
+  let read_exactly buf off len =
+    let got = ref 0 in
+    let eof = ref false in
+    while (not !eof) && !got < len do
+      let k = Unix.read fd buf (off + !got) (len - !got) in
+      if k = 0 then eof := true else got := !got + k
+    done;
+    !got = len
+  in
+  let hdr = Bytes.create 4 in
+  if not (read_exactly hdr 0 4) then None
+  else begin
+    let len =
+      (Char.code (Bytes.get hdr 0) lsl 24)
+      lor (Char.code (Bytes.get hdr 1) lsl 16)
+      lor (Char.code (Bytes.get hdr 2) lsl 8)
+      lor Char.code (Bytes.get hdr 3)
+    in
+    if len < 0 || len > max_frame then
+      Json.parse_error "frame length %d out of range" len;
+    let payload = Bytes.create len in
+    if not (read_exactly payload 0 len) then
+      Json.parse_error "truncated frame (%d bytes expected)" len;
+    Some (frame_of_json (Json.of_string (Bytes.to_string payload)))
+  end
+
+(* Incremental decoder for the supervisor's select loop: feed whatever
+   bytes arrived, pop the complete frames. *)
+module Decoder = struct
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create () = { buf = Bytes.create 4096; len = 0 }
+
+  let feed t bytes off count =
+    if t.len + count > Bytes.length t.buf then begin
+      let cap = ref (max 4096 (Bytes.length t.buf)) in
+      while t.len + count > !cap do
+        cap := !cap * 2
+      done;
+      let buf = Bytes.create !cap in
+      Bytes.blit t.buf 0 buf 0 t.len;
+      t.buf <- buf
+    end;
+    Bytes.blit bytes off t.buf t.len count;
+    t.len <- t.len + count
+
+  (* [Some frame] per complete frame; raises [Json.Parse] on a corrupt
+     prefix or payload (the supervisor treats that as a dead worker). *)
+  let next t =
+    if t.len < 4 then None
+    else begin
+      let len =
+        (Char.code (Bytes.get t.buf 0) lsl 24)
+        lor (Char.code (Bytes.get t.buf 1) lsl 16)
+        lor (Char.code (Bytes.get t.buf 2) lsl 8)
+        lor Char.code (Bytes.get t.buf 3)
+      in
+      if len < 0 || len > max_frame then
+        Json.parse_error "frame length %d out of range" len;
+      if t.len < 4 + len then None
+      else begin
+        let payload = Bytes.sub_string t.buf 4 len in
+        Bytes.blit t.buf (4 + len) t.buf 0 (t.len - 4 - len);
+        t.len <- t.len - 4 - len;
+        Some (frame_of_json (Json.of_string payload))
+      end
+    end
+
+  (* Bytes sitting in the buffer that do not form a complete frame —
+     non-zero after EOF means the worker died mid-write. *)
+  let pending_bytes t = t.len
+end
+
+(* ------------------------------------------------------------------ *)
+(* Worker loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Can this platform run exec'd shard workers at all?  [Sys.win32] lacks
+   the POSIX process control the supervisor needs; PROTEAN_NO_SPAWN=1
+   forces the in-process fallback (used to test graceful degradation).
+   When unavailable, supervised runs degrade to [Parallel.map]. *)
+let can_spawn () =
+  (not Sys.win32) && Sys.getenv_opt "PROTEAN_NO_SPAWN" = None
+
+let armed_fault () =
+  match Sys.getenv_opt Fault_inject.worker_env with
+  | None | Some "" -> None
+  | Some s -> Some (Fault_inject.worker_mode_of_string s)
+
+(* Abort the current process the way a real crash would: no OCaml
+   cleanup, no flush — the supervisor must cope with the raw pipe
+   state. *)
+let crash_self signal = Unix.kill (Unix.getpid ()) signal
+
+let inject_before_cell fault out (cell : cell) =
+  match fault with
+  | Some (Fault_inject.WF_poison n) when n = cell.c_id ->
+      (* Leave a half-written frame behind, like a segfault mid-cell. *)
+      ignore (Unix.write out (Bytes.of_string "\x00\x00\x01") 0 3);
+      crash_self Sys.sigabrt
+  | Some Fault_inject.WF_stall ->
+      (* Hold the pipe open but go silent; the heartbeat deadline must
+         convert this into a kill. *)
+      while true do
+        Unix.sleepf 3600.0
+      done
+  | _ -> ()
+
+let inject_after_first_result fault out ~results_sent =
+  if results_sent = 1 then
+    match fault with
+    | Some Fault_inject.WF_kill -> crash_self Sys.sigkill
+    | Some Fault_inject.WF_truncate ->
+        (* A length prefix promising 256 bytes, then silence. *)
+        ignore (Unix.write out (Bytes.of_string "\x00\x00\x01\x00junk") 0 8);
+        exit 2
+    | _ -> ()
+
+(* Serve one work batch on [input]/[output] (stdin/stdout of an exec'd
+   worker, or a pipe pair in tests).  [compute] resolves a cell key to
+   a result payload; exceptions it raises become structured cellfault
+   frames, not worker deaths.  [jobs] computes each chunk of the batch
+   on that many domains ([--shards] composes with [-j]): results are
+   still emitted in batch order, and the heartbeat granularity is the
+   chunk. *)
+let serve ?(jobs = 1) ~(compute : string -> Json.t) input output =
+  let fault = armed_fault () in
+  let results_sent = ref 0 in
+  let send frame =
+    write_frame output frame;
+    match frame with
+    | F_result _ | F_cellfault _ ->
+        incr results_sent;
+        inject_after_first_result fault output ~results_sent:!results_sent
+    | _ -> ()
+  in
+  let compute_cell (cell : cell) =
+    match compute cell.c_key with
+    | r -> F_result (cell.c_id, r)
+    | exception e ->
+        F_cellfault { fc_id = cell.c_id; fc_reason = Printexc.to_string e }
+  in
+  let run_batch cells =
+    let rec chunks = function
+      | [] -> ()
+      | cells ->
+          let chunk, rest =
+            let rec take k = function
+              | x :: xs when k > 0 ->
+                  let a, b = take (k - 1) xs in
+                  (x :: a, b)
+              | xs -> ([], xs)
+            in
+            take (max 1 jobs) cells
+          in
+          List.iter (fun c -> inject_before_cell fault output c) chunk;
+          (match chunk with
+          | c :: _ -> send (F_hb c.c_id)
+          | [] -> ());
+          let frames =
+            if jobs <= 1 then List.map compute_cell chunk
+            else
+              Array.to_list
+                (Parallel.map ~jobs
+                   (Array.of_list (List.map (fun c () -> compute_cell c) chunk)))
+          in
+          List.iter send frames;
+          chunks rest
+    in
+    chunks cells;
+    send F_done
+  in
+  let rec loop () =
+    match read_frame input with
+    | None | Some F_exit -> ()
+    | Some (F_work cells) ->
+        run_batch cells;
+        loop ()
+    | Some _ -> loop () (* supervisor-bound frames are ignored here *)
+  in
+  loop ()
+
+(* Entry point for a CLI's [--worker] mode: speak the protocol on
+   stdin/stdout and route every diagnostic line through log frames. *)
+let worker_main ?jobs ~compute () =
+  let stdout_fd = Unix.stdout in
+  Experiment.set_line_sink (fun line -> write_frame stdout_fd (F_log line));
+  serve ?jobs ~compute Unix.stdin stdout_fd

@@ -1,0 +1,918 @@
+(* Crash-isolated multi-process shard supervisor.
+
+   [run] shards a deterministic cell list across N worker processes
+   (exec'd copies of the current CLI in [--worker] mode, speaking
+   {!Shard}'s length-prefixed JSON frame protocol on stdin/stdout) and
+   owns robustness end-to-end:
+
+   - liveness: per-worker heartbeat deadlines (no frame for
+     [heartbeat] seconds) and a wall-clock budget per spawn; an expired
+     worker is SIGKILLed and its *uncompleted* cells requeued — results
+     streamed before the kill are kept;
+   - retry: a failed shard (crash, kill, protocol corruption) is
+     re-spawned with exponential backoff;
+   - bisection: a shard that keeps failing is split in half until the
+     failure is isolated to a single cell, which is reported as a
+     structured fault — in the style of [Pipeline.Sim_fault] — instead
+     of crashing the run, while every other cell completes;
+   - checkpointing: completed cells are persisted per origin shard in
+     atomic (write-to-temp + rename) JSON files, merged
+     deterministically by cell id, so a killed *supervisor* resumes and
+     the merged output is byte-identical to a serial run;
+   - degradation: when processes cannot be spawned (Windows,
+     PROTEAN_NO_SPAWN=1, exec failure) the whole batch falls back to
+     in-process [Parallel.map].
+
+   Shard lifecycle (spawn / heartbeat / retry / bisect / kill / poison)
+   is surfaced through the same observer pattern as the pipeline's hook
+   bus ([Protean_ooo.Hooks]): typed events, subscribers in registration
+   order, so run-log tooling needs no supervisor-code changes. *)
+
+module Fault_inject = Protean_defense.Fault_inject
+module Json = Shard.Json
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle event bus                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type event =
+  | Spawn of { shard : int; attempt : int; pid : int option; cells : int }
+  | Heartbeat of { shard : int; cell : int }
+  | Cell_done of { shard : int; cell : int }
+  | Cell_fault of { shard : int; cell : int; reason : string }
+  | Worker_log of { shard : int; line : string }
+  | Worker_stderr of { shard : int; line : string }
+  | Kill of { shard : int; reason : string }
+  | Worker_exit of { shard : int; status : string; ok : bool }
+  | Retry of { shard : int; attempt : int; delay : float }
+  | Bisect of { shard : int; left : int; right : int }
+  | Poisoned of { cell : int; key : string; attempts : int; reason : string }
+  | Checkpoint_loaded of { cells : int }
+  | Fallback of { reason : string }
+  | Merged of { cells : int; faults : int }
+
+type subscriber = { s_name : string; s_handler : event -> unit }
+type bus = { mutable subs : subscriber array }
+
+let create_bus () = { subs = [||] }
+
+let subscribe bus ~name handler =
+  bus.subs <- Array.append bus.subs [| { s_name = name; s_handler = handler } |]
+
+let unsubscribe bus name =
+  bus.subs <-
+    Array.of_list
+      (List.filter (fun s -> s.s_name <> name) (Array.to_list bus.subs))
+
+let emit bus ev = Array.iter (fun s -> s.s_handler ev) bus.subs
+
+let event_to_string = function
+  | Spawn { shard; attempt; pid; cells } ->
+      Printf.sprintf "shard %d: spawn attempt %d (%s) for %d cells" shard
+        attempt
+        (match pid with Some p -> "pid " ^ string_of_int p | None -> "in-proc")
+        cells
+  | Heartbeat { shard; cell } ->
+      Printf.sprintf "shard %d: heartbeat at cell %d" shard cell
+  | Cell_done { shard; cell } -> Printf.sprintf "shard %d: cell %d done" shard cell
+  | Cell_fault { shard; cell; reason } ->
+      Printf.sprintf "shard %d: cell %d faulted in-process: %s" shard cell reason
+  | Worker_log { shard; line } -> Printf.sprintf "shard %d: %s" shard line
+  | Worker_stderr { shard; line } ->
+      Printf.sprintf "shard %d (stderr): %s" shard line
+  | Kill { shard; reason } -> Printf.sprintf "shard %d: killed (%s)" shard reason
+  | Worker_exit { shard; status; ok } ->
+      Printf.sprintf "shard %d: exited %s (%s)" shard status
+        (if ok then "ok" else "failed")
+  | Retry { shard; attempt; delay } ->
+      Printf.sprintf "shard %d: retry attempt %d after %.2fs backoff" shard
+        attempt delay
+  | Bisect { shard; left; right } ->
+      Printf.sprintf "shard %d: bisected into %d + %d cells" shard left right
+  | Poisoned { cell; key; attempts; reason } ->
+      Printf.sprintf "cell %d poisoned after %d attempts (%s): %s" cell attempts
+        key reason
+  | Checkpoint_loaded { cells } ->
+      Printf.sprintf "resumed %d cells from checkpoints" cells
+  | Fallback { reason } -> Printf.sprintf "in-process fallback: %s" reason
+  | Merged { cells; faults } ->
+      Printf.sprintf "merged %d cells (%d faulted)" cells faults
+
+(* Run-log subscriber: serialized through the experiment-layer line sink
+   so supervisor lines never interleave with in-process fill output. *)
+let logger ?(quiet_heartbeat = true) () =
+  fun ev ->
+    match ev with
+    | Heartbeat _ when quiet_heartbeat -> ()
+    | Cell_done _ -> ()
+    | Worker_log { line; _ } -> Experiment.log_line "%s" line
+    | Worker_stderr { shard; line } ->
+        Experiment.log_line "[shard %d] %s" shard line
+    | ev -> Experiment.log_line "[supervisor] %s" (event_to_string ev)
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  shards : int;
+  heartbeat : float; (* s without any frame before a worker is killed *)
+  wall : float; (* s per spawn before a worker is killed *)
+  max_attempts : int; (* failures of one shard before bisect/poison *)
+  backoff : float; (* base retry delay, doubled per attempt *)
+  checkpoint_dir : string option;
+  inject : Fault_inject.worker_mode option;
+}
+
+let default_config =
+  {
+    shards = 2;
+    heartbeat = 120.0;
+    wall = 3600.0;
+    max_attempts = 2;
+    backoff = 0.25;
+    checkpoint_dir = None;
+    inject = None;
+  }
+
+type outcome =
+  | O_ok of Json.t
+  | O_fault of { f_key : string; f_attempts : int; f_reason : string }
+      (* the structured record a poisoned cell resolves to *)
+
+(* ------------------------------------------------------------------ *)
+(* Worker transports                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The process-management half is abstracted so tests can drive the
+   supervisor with in-process (domain-backed) workers while production
+   uses fork/exec. *)
+type transport = {
+  t_pid : int option;
+  t_read : Unix.file_descr; (* frames from the worker *)
+  t_write : Unix.file_descr; (* frames to the worker *)
+  t_err : Unix.file_descr option; (* the worker's raw stderr *)
+  t_kill : unit -> unit;
+  t_wait : unit -> string * bool; (* reap; (status text, clean exit) *)
+}
+
+(* OCaml's [Sys] signal numbers are its own encoding (negative for the
+   portable set); name the ones workers actually die of. *)
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else string_of_int s
+
+let status_to_string = function
+  | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "signal %s" (signal_name s)
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped %s" (signal_name s)
+
+(* Spawn [argv] (normally this executable with [--worker]) with frame
+   pipes on its stdin/stdout and a captured stderr. *)
+let spawn_exec ~argv ~env_fault : transport =
+  let to_worker_r, to_worker_w = Unix.pipe ~cloexec:false () in
+  let from_worker_r, from_worker_w = Unix.pipe ~cloexec:false () in
+  let err_r, err_w = Unix.pipe ~cloexec:false () in
+  let env =
+    let base =
+      Array.to_list (Unix.environment ())
+      |> List.filter (fun kv ->
+             not
+               (String.length kv > String.length Fault_inject.worker_env
+               && String.sub kv 0 (String.length Fault_inject.worker_env + 1)
+                  = Fault_inject.worker_env ^ "="))
+    in
+    match env_fault with
+    | None -> Array.of_list base
+    | Some m ->
+        Array.of_list ((Fault_inject.worker_env ^ "=" ^ m) :: base)
+  in
+  let pid =
+    Unix.create_process_env argv.(0) argv env to_worker_r from_worker_w err_w
+  in
+  Unix.close to_worker_r;
+  Unix.close from_worker_w;
+  Unix.close err_w;
+  {
+    t_pid = Some pid;
+    t_read = from_worker_r;
+    t_write = to_worker_w;
+    t_err = Some err_r;
+    t_kill =
+      (fun () -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    t_wait =
+      (fun () ->
+        let _, status = Unix.waitpid [] pid in
+        (status_to_string status, status = Unix.WEXITED 0));
+  }
+
+(* Build the argv for re-exec'ing the current CLI as a shard worker:
+   the original command line minus supervisor-only flags (so the
+   worker's discovery pass enumerates exactly the same cells), plus
+   [--worker].  Flags in [drop] are removed together with their
+   separate-token value; [--flag=value] spellings too. *)
+let self_worker_argv ~drop () =
+  let rec filter = function
+    | [] -> []
+    | tok :: rest when List.mem tok drop -> (
+        match rest with _ :: rest' -> filter rest' | [] -> [])
+    | tok :: rest
+      when List.exists
+             (fun d ->
+               let dl = String.length d in
+               String.length tok > dl + 1 && String.sub tok 0 (dl + 1) = d ^ "=")
+             drop ->
+        filter rest
+    | tok :: rest -> tok :: filter rest
+  in
+  let args =
+    match Array.to_list Sys.argv with
+    | _ :: rest -> filter rest
+    | [] -> []
+  in
+  Array.of_list ((Sys.executable_name :: args) @ [ "--worker" ])
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Checkpoint = struct
+  let path dir origin = Filename.concat dir (Printf.sprintf "shard-%d.json" origin)
+
+  let rec ensure_dir dir =
+    if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir)
+    then begin
+      ensure_dir (Filename.dirname dir);
+      try Unix.mkdir dir 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+
+  (* Atomic per-shard save: a kill mid-write leaves the previous file
+     intact, never a truncated one. *)
+  let save dir origin (completed : (int * string * Json.t) list) =
+    ensure_dir dir;
+    let file = path dir origin in
+    let tmp = file ^ ".tmp" in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc
+          (Json.to_string
+             (Json.List
+                (List.map
+                   (fun (id, key, r) ->
+                     Json.Obj
+                       [ ("id", Json.Int id); ("key", Json.Str key); ("r", r) ])
+                   completed)));
+        output_char oc '\n');
+    Sys.rename tmp file
+
+  (* Load every shard-*.json in [dir]; entries whose (id, key) no longer
+     match the current cell list are ignored (a stale checkpoint from a
+     different grid must not poison the merge). *)
+  let load_all dir (cells : Shard.cell list) =
+    if not (Sys.file_exists dir) then []
+    else begin
+      let key_of = Hashtbl.create 64 in
+      List.iter (fun c -> Hashtbl.replace key_of c.Shard.c_id c.Shard.c_key) cells;
+      let files =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f > 6
+               && String.sub f 0 6 = "shard-"
+               && Filename.check_suffix f ".json")
+        |> List.sort compare
+      in
+      List.concat_map
+        (fun f ->
+          let file = Filename.concat dir f in
+          match
+            let ic = open_in_bin file in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            Json.of_string (String.trim s)
+          with
+          | exception _ -> [] (* unreadable/corrupt checkpoint: ignored *)
+          | Json.List entries ->
+              List.filter_map
+                (fun e ->
+                  match
+                    ( Json.(to_int (member "id" e)),
+                      Json.(to_str (member "key" e)) )
+                  with
+                  | id, key when Hashtbl.find_opt key_of id = Some key ->
+                      Some (id, key, Json.member "r" e)
+                  | _ -> None
+                  | exception _ -> None)
+                entries
+          | _ -> [])
+        files
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* The supervision loop                                                *)
+(* ------------------------------------------------------------------ *)
+
+type pending = {
+  p_shard : int; (* display id *)
+  p_origin : int; (* initial shard this work descends from *)
+  p_cells : Shard.cell list;
+  p_attempt : int;
+  p_not_before : float;
+}
+
+type active = {
+  a_shard : int;
+  a_origin : int;
+  a_cells : Shard.cell list;
+  a_attempt : int;
+  a_tr : transport;
+  a_dec : Shard.Decoder.t;
+  mutable a_errbuf : string;
+  mutable a_last : float; (* last frame (liveness) *)
+  a_spawned : float;
+  mutable a_done : bool; (* F_done received *)
+  mutable a_failed : string option; (* kill/protocol failure reason *)
+}
+
+let split_shards shards (cells : Shard.cell list) =
+  let n = List.length cells in
+  let shards = max 1 (min shards n) in
+  let arr = Array.of_list cells in
+  (* Contiguous ranges: deterministic, and bisection then narrows a
+     crashing range monotonically. *)
+  List.init shards (fun s ->
+      let lo = s * n / shards and hi = (s + 1) * n / shards in
+      Array.to_list (Array.sub arr lo (hi - lo)))
+  |> List.filter (fun l -> l <> [])
+
+let run ?(bus = create_bus ()) ?spawn (cfg : config)
+    ~(worker_argv : string array)
+    ~(fallback : Shard.cell list -> (int * Json.t) list)
+    (cells : Shard.cell list) : (int * outcome) list =
+  let n = List.length cells in
+  let key_of_id = Hashtbl.create 64 in
+  List.iter (fun c -> Hashtbl.replace key_of_id c.Shard.c_id c.Shard.c_key) cells;
+  let results : (int, outcome) Hashtbl.t = Hashtbl.create 64 in
+  let completed_by_origin : (int, (int * string * Json.t) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let fault_count = ref 0 in
+  let finish () =
+    emit bus (Merged { cells = n; faults = !fault_count });
+    List.map
+      (fun c ->
+        match Hashtbl.find_opt results c.Shard.c_id with
+        | Some o -> (c.Shard.c_id, o)
+        | None ->
+            (* Unreachable by construction — every cell is either
+               resulted, poisoned, or recomputed by the fallback. *)
+            ( c.Shard.c_id,
+              O_fault
+                {
+                  f_key = c.Shard.c_key;
+                  f_attempts = 0;
+                  f_reason = "supervisor lost track of cell";
+                } ))
+      cells
+  in
+  let record_ok ~origin id r =
+    if not (Hashtbl.mem results id) then begin
+      Hashtbl.replace results id (O_ok r);
+      let key = try Hashtbl.find key_of_id id with Not_found -> "" in
+      let lst =
+        match Hashtbl.find_opt completed_by_origin origin with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.replace completed_by_origin origin l;
+            l
+      in
+      lst := (id, key, r) :: !lst
+    end
+  in
+  let save_checkpoint origin =
+    match cfg.checkpoint_dir with
+    | None -> ()
+    | Some dir -> (
+        match Hashtbl.find_opt completed_by_origin origin with
+        | Some l when !l <> [] ->
+            (try Checkpoint.save dir origin (List.rev !l)
+             with Sys_error _ | Unix.Unix_error _ -> ()
+             (* checkpointing is best-effort *))
+        | _ -> ())
+  in
+  let run_fallback reason remaining =
+    emit bus (Fallback { reason });
+    List.iter (fun (id, r) -> record_ok ~origin:0 id r) (fallback remaining);
+    save_checkpoint 0
+  in
+  if n = 0 then finish ()
+  else begin
+    (* Resume from per-shard checkpoints, when given. *)
+    (match cfg.checkpoint_dir with
+    | Some dir ->
+        let loaded = Checkpoint.load_all dir cells in
+        if loaded <> [] then begin
+          List.iter (fun (id, _, r) -> record_ok ~origin:0 id r) loaded;
+          emit bus (Checkpoint_loaded { cells = List.length loaded })
+        end
+    | None -> ());
+    let remaining =
+      List.filter (fun c -> not (Hashtbl.mem results c.Shard.c_id)) cells
+    in
+    if remaining = [] then finish ()
+    else if not (Shard.can_spawn ()) then begin
+      run_fallback "process spawning unavailable" remaining;
+      finish ()
+    end
+    else begin
+      let next_shard = ref 0 in
+      let fresh_shard () =
+        let s = !next_shard in
+        incr next_shard;
+        s
+      in
+      let now () = Unix.gettimeofday () in
+      let pending : pending list ref =
+        ref
+          (List.map
+             (fun cs ->
+               let s = fresh_shard () in
+               {
+                 p_shard = s;
+                 p_origin = s;
+                 p_cells = cs;
+                 p_attempt = 1;
+                 p_not_before = 0.0;
+               })
+             (split_shards cfg.shards remaining))
+      in
+      let active : active list ref = ref [] in
+      let aborted = ref None in
+      let spawn_one (p : pending) =
+        let env_fault =
+          match cfg.inject with
+          | None -> None
+          | Some m ->
+              if Fault_inject.worker_mode_persistent m then
+                Some (Fault_inject.worker_mode_name m)
+              else if p.p_shard = 0 && p.p_attempt = 1 then
+                Some (Fault_inject.worker_mode_name m)
+              else None
+        in
+        let tr =
+          match spawn with
+          | Some f -> f ~shard:p.p_shard ~attempt:p.p_attempt ~env_fault
+          | None -> spawn_exec ~argv:worker_argv ~env_fault
+        in
+        emit bus
+          (Spawn
+             {
+               shard = p.p_shard;
+               attempt = p.p_attempt;
+               pid = tr.t_pid;
+               cells = List.length p.p_cells;
+             });
+        Shard.write_frame tr.t_write (Shard.F_work p.p_cells);
+        active :=
+          {
+            a_shard = p.p_shard;
+            a_origin = p.p_origin;
+            a_cells = p.p_cells;
+            a_attempt = p.p_attempt;
+            a_tr = tr;
+            a_dec = Shard.Decoder.create ();
+            a_errbuf = "";
+            a_last = now ();
+            a_spawned = now ();
+            a_done = false;
+            a_failed = None;
+          }
+          :: !active
+      in
+      let requeue (a : active) reason =
+        let rest =
+          List.filter (fun c -> not (Hashtbl.mem results c.Shard.c_id)) a.a_cells
+        in
+        if rest = [] then ()
+        else if a.a_attempt >= cfg.max_attempts then
+          if List.length rest > 1 then begin
+            (* Bisect: narrow the crashing shard towards the poisoned
+               cell; each half restarts its attempt budget. *)
+            let arr = Array.of_list rest in
+            let mid = Array.length arr / 2 in
+            let left = Array.to_list (Array.sub arr 0 mid) in
+            let right =
+              Array.to_list (Array.sub arr mid (Array.length arr - mid))
+            in
+            emit bus
+              (Bisect
+                 {
+                   shard = a.a_shard;
+                   left = List.length left;
+                   right = List.length right;
+                 });
+            let mk cells =
+              {
+                p_shard = fresh_shard ();
+                p_origin = a.a_origin;
+                p_cells = cells;
+                p_attempt = 1;
+                p_not_before = now () +. cfg.backoff;
+              }
+            in
+            let pl = mk left in
+            let pr = mk right in
+            pending := !pending @ [ pl; pr ]
+          end
+          else begin
+            let c = List.hd rest in
+            incr fault_count;
+            emit bus
+              (Poisoned
+                 {
+                   cell = c.Shard.c_id;
+                   key = c.Shard.c_key;
+                   attempts = a.a_attempt;
+                   reason;
+                 });
+            Hashtbl.replace results c.Shard.c_id
+              (O_fault
+                 {
+                   f_key = c.Shard.c_key;
+                   f_attempts = a.a_attempt;
+                   f_reason = reason;
+                 })
+          end
+        else begin
+          let delay = cfg.backoff *. (2.0 ** float_of_int (a.a_attempt - 1)) in
+          emit bus
+            (Retry { shard = a.a_shard; attempt = a.a_attempt + 1; delay });
+          pending :=
+            !pending
+            @ [
+                {
+                  p_shard = a.a_shard;
+                  p_origin = a.a_origin;
+                  p_cells = rest;
+                  p_attempt = a.a_attempt + 1;
+                  p_not_before = now () +. delay;
+                };
+              ]
+        end
+      in
+      let finalize (a : active) =
+        active := List.filter (fun x -> x != a) !active;
+        (try Unix.close a.a_tr.t_write with Unix.Unix_error _ -> ());
+        let status, clean = a.a_tr.t_wait () in
+        (try Unix.close a.a_tr.t_read with Unix.Unix_error _ -> ());
+        (match a.a_tr.t_err with
+        | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+        | None -> ());
+        let all_resulted =
+          List.for_all (fun c -> Hashtbl.mem results c.Shard.c_id) a.a_cells
+        in
+        let truncated = Shard.Decoder.pending_bytes a.a_dec > 0 in
+        let ok =
+          a.a_failed = None && a.a_done && clean && all_resulted
+          && not truncated
+        in
+        emit bus (Worker_exit { shard = a.a_shard; status; ok });
+        save_checkpoint a.a_origin;
+        if not ok then begin
+          let reason =
+            match a.a_failed with
+            | Some r -> r
+            | None ->
+                if truncated then
+                  Printf.sprintf "worker died mid-frame (%s)" status
+                else if not (a.a_done && clean) then
+                  Printf.sprintf "worker crashed (%s)" status
+                else "worker exited without completing its cells"
+          in
+          requeue a reason
+        end
+      in
+      let kill (a : active) reason =
+        emit bus (Kill { shard = a.a_shard; reason });
+        a.a_failed <- Some reason;
+        a.a_tr.t_kill ();
+        finalize a
+      in
+      let handle_frame (a : active) = function
+        | Shard.F_hb cell ->
+            emit bus (Heartbeat { shard = a.a_shard; cell })
+        | Shard.F_result (id, r) ->
+            record_ok ~origin:a.a_origin id r;
+            emit bus (Cell_done { shard = a.a_shard; cell = id })
+        | Shard.F_cellfault { fc_id; fc_reason } ->
+            (* The worker caught the failure itself: a structured fault,
+               final immediately — no retry or bisection needed. *)
+            if not (Hashtbl.mem results fc_id) then begin
+              incr fault_count;
+              let key = try Hashtbl.find key_of_id fc_id with Not_found -> "" in
+              Hashtbl.replace results fc_id
+                (O_fault
+                   {
+                     f_key = key;
+                     f_attempts = a.a_attempt;
+                     f_reason = fc_reason;
+                   });
+              emit bus
+                (Poisoned
+                   {
+                     cell = fc_id;
+                     key;
+                     attempts = a.a_attempt;
+                     reason = fc_reason;
+                   })
+            end;
+            emit bus
+              (Cell_fault { shard = a.a_shard; cell = fc_id; reason = fc_reason })
+        | Shard.F_log line -> emit bus (Worker_log { shard = a.a_shard; line })
+        | Shard.F_done ->
+            a.a_done <- true;
+            (* Ask the worker to exit cleanly; EOF follows. *)
+            (try Shard.write_frame a.a_tr.t_write Shard.F_exit
+             with Unix.Unix_error _ -> ())
+        | Shard.F_work _ | Shard.F_exit -> ()
+      in
+      let buf = Bytes.create 65536 in
+      let drain_err (a : active) =
+        match a.a_tr.t_err with
+        | None -> ()
+        | Some fd -> (
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> ()
+            | k ->
+                a.a_errbuf <- a.a_errbuf ^ Bytes.sub_string buf 0 k;
+                let rec lines () =
+                  match String.index_opt a.a_errbuf '\n' with
+                  | Some i ->
+                      let line = String.sub a.a_errbuf 0 i in
+                      a.a_errbuf <-
+                        String.sub a.a_errbuf (i + 1)
+                          (String.length a.a_errbuf - i - 1);
+                      if line <> "" then
+                        emit bus (Worker_stderr { shard = a.a_shard; line });
+                      lines ()
+                  | None -> ()
+                in
+                lines ()
+            | exception Unix.Unix_error _ -> ())
+      in
+      (try
+         while (!pending <> [] || !active <> []) && !aborted = None do
+           let t = now () in
+           (* Spawn what is due, up to the concurrency cap. *)
+           let due, later =
+             List.partition (fun p -> p.p_not_before <= t) !pending
+           in
+           let slots = cfg.shards - List.length !active in
+           let to_spawn, back =
+             let rec take k = function
+               | x :: xs when k > 0 ->
+                   let a, b = take (k - 1) xs in
+                   (x :: a, b)
+               | xs -> ([], xs)
+             in
+             take (max 0 slots) due
+           in
+           pending := back @ later;
+           (try List.iter spawn_one to_spawn
+            with e ->
+              (* exec failed: degrade to in-process execution for
+                 everything not yet computed. *)
+              List.iter (fun (a : active) -> a.a_tr.t_kill ()) !active;
+              List.iter (fun (a : active) -> ignore (a.a_tr.t_wait ())) !active;
+              active := [];
+              pending := [];
+              aborted := Some (Printexc.to_string e));
+           if !aborted = None then begin
+             (* Deadlines. *)
+             List.iter
+               (fun (a : active) ->
+                 if t -. a.a_last > cfg.heartbeat then
+                   kill a
+                     (Printf.sprintf "heartbeat deadline (%.0fs) expired"
+                        cfg.heartbeat)
+                 else if t -. a.a_spawned > cfg.wall then
+                   kill a
+                     (Printf.sprintf "wall-clock budget (%.0fs) expired" cfg.wall))
+               (List.filter (fun a -> a.a_failed = None) !active);
+             (* Wait for frames. *)
+             let fds =
+               List.concat_map
+                 (fun (a : active) ->
+                   a.a_tr.t_read
+                   :: (match a.a_tr.t_err with Some e -> [ e ] | None -> []))
+                 !active
+             in
+             let timeout =
+               let next_deadline =
+                 List.fold_left
+                   (fun acc (a : active) ->
+                     min acc
+                       (min (a.a_last +. cfg.heartbeat) (a.a_spawned +. cfg.wall)))
+                   infinity !active
+               in
+               let next_spawn =
+                 List.fold_left
+                   (fun acc p -> min acc p.p_not_before)
+                   infinity !pending
+               in
+               let dt = min next_deadline next_spawn -. now () in
+               if dt = infinity then 0.5 else Float.max 0.01 (Float.min dt 0.5)
+             in
+             if fds = [] then (if !pending <> [] then Unix.sleepf timeout)
+             else begin
+               match Unix.select fds [] [] timeout with
+               | readable, _, _ ->
+                   List.iter
+                     (fun (a : active) ->
+                       if
+                         List.exists (fun x -> x == a) !active
+                         (* may have been killed this round *)
+                       then begin
+                         (match a.a_tr.t_err with
+                         | Some e when List.memq e readable -> drain_err a
+                         | _ -> ());
+                         if List.memq a.a_tr.t_read readable then begin
+                           match
+                             Unix.read a.a_tr.t_read buf 0 (Bytes.length buf)
+                           with
+                           | 0 -> finalize a (* EOF *)
+                           | k -> (
+                               a.a_last <- now ();
+                               Shard.Decoder.feed a.a_dec buf 0 k;
+                               try
+                                 let rec pop () =
+                                   match Shard.Decoder.next a.a_dec with
+                                   | Some f ->
+                                       handle_frame a f;
+                                       pop ()
+                                   | None -> ()
+                                 in
+                                 pop ()
+                               with Json.Parse msg ->
+                                 kill a ("protocol corruption: " ^ msg))
+                           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                           | exception Unix.Unix_error _ -> finalize a
+                         end
+                       end)
+                     (List.filter (fun _ -> true) !active)
+               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+             end
+           end
+         done
+       with e ->
+         (* Never leak workers, whatever happens in the loop. *)
+         List.iter
+           (fun (a : active) ->
+             a.a_tr.t_kill ();
+             ignore (a.a_tr.t_wait ()))
+           !active;
+         raise e);
+      (match !aborted with
+      | Some reason ->
+          let remaining =
+            List.filter (fun c -> not (Hashtbl.mem results c.Shard.c_id)) cells
+          in
+          run_fallback ("spawn failed: " ^ reason) remaining
+      | None -> ());
+      finish ()
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Experiment-grid client                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Glue between the generic supervisor and [Experiment] sessions: the
+   discovery pass enumerates the cells (sorted by serializable key, so
+   supervisor and workers agree on ids), workers compute
+   [Experiment.run_result]s, and the merged results are installed in
+   the session cache before the generator replays — making supervised
+   output byte-identical to the serial run. *)
+module Grid = struct
+  module E = Experiment
+  module Stats = Protean_ooo.Stats
+
+  let stats_to_json (s : Stats.t) =
+    Json.List
+      (List.map
+         (fun i -> Json.Int i)
+         [
+           s.Stats.cycles; s.Stats.marker_cycle; s.Stats.committed;
+           s.Stats.fetched; s.Stats.squashes; s.Stats.squashed_insns;
+           s.Stats.branch_mispredicts; s.Stats.machine_clears;
+           s.Stats.mem_order_violations; s.Stats.l1d_accesses;
+           s.Stats.l1d_misses; s.Stats.transmitter_stall_cycles;
+           s.Stats.wakeup_delay_cycles; s.Stats.resolution_delay_cycles;
+           s.Stats.access_pred_lookups; s.Stats.access_pred_mispredicts;
+           s.Stats.access_pred_false_negatives; s.Stats.loads_executed;
+           s.Stats.loads_protected_mem;
+         ])
+
+  let stats_of_json j =
+    match List.map Json.to_int (Json.to_list j) with
+    | [
+     cycles; marker_cycle; committed; fetched; squashes; squashed_insns;
+     branch_mispredicts; machine_clears; mem_order_violations; l1d_accesses;
+     l1d_misses; transmitter_stall_cycles; wakeup_delay_cycles;
+     resolution_delay_cycles; access_pred_lookups; access_pred_mispredicts;
+     access_pred_false_negatives; loads_executed; loads_protected_mem;
+    ] ->
+        {
+          Stats.cycles; marker_cycle; committed; fetched; squashes;
+          squashed_insns; branch_mispredicts; machine_clears;
+          mem_order_violations; l1d_accesses; l1d_misses;
+          transmitter_stall_cycles; wakeup_delay_cycles;
+          resolution_delay_cycles; access_pred_lookups;
+          access_pred_mispredicts; access_pred_false_negatives;
+          loads_executed; loads_protected_mem;
+        }
+    | _ -> Json.parse_error "bad stats payload"
+
+  let result_to_json (r : E.run_result) =
+    Json.Obj
+      [
+        ("cycles", Json.Float r.E.cycles);
+        ("stats", Json.List (List.map stats_to_json r.E.stats));
+        ("code_size_ratio", Json.Float r.E.code_size_ratio);
+        ("inserted_moves", Json.Int r.E.inserted_moves);
+      ]
+
+  let result_of_json j =
+    {
+      E.cycles = Json.(to_float (member "cycles" j));
+      stats = List.map stats_of_json Json.(to_list (member "stats" j));
+      code_size_ratio = Json.(to_float (member "code_size_ratio" j));
+      inserted_moves = Json.(to_int (member "inserted_moves" j));
+    }
+
+  (* [--worker] mode of a tables/figures CLI: rerun the same discovery
+     (same argv modulo supervisor flags, so the same cells at the same
+     ids), then serve cell computations over stdin/stdout. *)
+  let worker ?(jobs = 1) session gen =
+    let cells = E.discover session gen in
+    let by_key = Hashtbl.create 64 in
+    List.iter (fun (k, s) -> Hashtbl.replace by_key k s) cells;
+    Shard.worker_main ~jobs
+      ~compute:(fun key ->
+        match Hashtbl.find_opt by_key key with
+        | Some spec -> result_to_json (E.compute spec)
+        | None -> failwith ("unknown cell key: " ^ key))
+      ()
+
+  (* Supervised [Experiment.prewarm]: discovery, sharded fill across
+     worker processes, deterministic merge into the session cache,
+     serial replay.  Poisoned cells resolve to the grid's usual faulted
+     sentinel (a nan cell) plus a structured fault report, so one
+     crashing cell cannot take the grid down. *)
+  let supervised ?bus ?(config = default_config) ~worker_argv ?(jobs = 1)
+      session gen =
+    let cells = E.discover session gen in
+    if cells = [] then gen ()
+    else begin
+      let specs = Array.of_list (List.map snd cells) in
+      let keys = Array.of_list (List.map fst cells) in
+      let shard_cells =
+        List.mapi (fun i (k, _) -> { Shard.c_id = i; c_key = k }) cells
+      in
+      let fallback remaining =
+        let remaining = Array.of_list remaining in
+        let rs =
+          Parallel.map ~jobs
+            (Array.map
+               (fun (c : Shard.cell) () ->
+                 result_to_json (E.compute specs.(c.Shard.c_id)))
+               remaining)
+        in
+        Array.to_list
+          (Array.mapi (fun i (c : Shard.cell) -> (c.Shard.c_id, rs.(i))) remaining)
+      in
+      let outcomes = run ?bus config ~worker_argv ~fallback shard_cells in
+      let merged =
+        List.map
+          (fun (id, o) ->
+            match o with
+            | O_ok r -> (keys.(id), result_of_json r)
+            | O_fault { f_key; f_attempts; f_reason } ->
+                E.log_line "[fault] cell=%s: %s (after %d worker attempts)"
+                  f_key f_reason f_attempts;
+                (keys.(id), E.faulted_result))
+          outcomes
+      in
+      E.install session merged;
+      gen ()
+    end
+end

@@ -3,6 +3,7 @@
 
 module E = Protean_harness.Experiment
 module Textplot = Protean_harness.Textplot
+module Parallel = Protean_harness.Parallel
 module Suite = Protean_workloads.Suite
 
 let tiny =
@@ -54,6 +55,64 @@ let test_protcc_overhead_metric () =
   Alcotest.(check bool) "code grows or stays" true (size >= 1.0);
   Alcotest.(check bool) "runtime sane" true (runtime > 0.5 && runtime < 3.0)
 
+(* --- Parallel.map failure semantics ---------------------------------- *)
+
+exception Boom of int
+
+(* A raising task must not hang or starve the scheduler: every other
+   task still runs to completion before the exception propagates. *)
+let test_parallel_raise_does_not_hang () =
+  let n = 16 in
+  let ran = Array.make n false in
+  let tasks =
+    Array.init n (fun i () ->
+        ran.(i) <- true;
+        if i = 5 then raise (Boom i);
+        i * i)
+  in
+  (match Parallel.map ~jobs:4 tasks with
+  | _ -> Alcotest.fail "exception was swallowed"
+  | exception Boom 5 -> ());
+  Alcotest.(check bool) "all tasks ran despite the failure" true
+    (Array.for_all Fun.id ran)
+
+(* When several tasks raise, the exception of the lowest task index is
+   the one re-raised — independent of scheduling — so parallel failures
+   are as deterministic as serial ones. *)
+let test_parallel_first_by_index_raised () =
+  let tasks =
+    Array.init 12 (fun i () ->
+        if i = 3 || i = 7 || i = 11 then raise (Boom i);
+        i)
+  in
+  (* Serial and parallel agree on which failure surfaces. *)
+  (match Parallel.map ~jobs:1 tasks with
+  | _ -> Alcotest.fail "serial: exception was swallowed"
+  | exception Boom i -> Alcotest.(check int) "serial first-by-index" 3 i);
+  match Parallel.map ~jobs:4 tasks with
+  | _ -> Alcotest.fail "parallel: exception was swallowed"
+  | exception Boom i -> Alcotest.(check int) "parallel first-by-index" 3 i
+
+(* Non-failing results are still computed (visible via side effects):
+   a failed cell costs exactly that cell, nothing downstream of it. *)
+let test_parallel_survivors_computed () =
+  let n = 10 in
+  let acc = Array.make n (-1) in
+  let tasks =
+    Array.init n (fun i () ->
+        if i = 0 then raise (Boom 0);
+        acc.(i) <- 2 * i;
+        2 * i)
+  in
+  (match Parallel.map ~jobs:3 tasks with
+  | _ -> Alcotest.fail "exception was swallowed"
+  | exception Boom 0 -> ());
+  for i = 1 to n - 1 do
+    Alcotest.(check int) (Printf.sprintf "task %d result materialized" i)
+      (2 * i) acc.(i)
+  done;
+  Alcotest.(check int) "failed task left no result" (-1) acc.(0)
+
 let tests =
   [
     Alcotest.test_case "normalized unsafe = 1" `Quick test_normalized_unsafe_is_one;
@@ -62,4 +121,10 @@ let tests =
     Alcotest.test_case "geomean" `Quick test_geomean;
     Alcotest.test_case "textplot table" `Quick test_textplot_table;
     Alcotest.test_case "protcc overhead metric" `Quick test_protcc_overhead_metric;
+    Alcotest.test_case "parallel raise does not hang" `Quick
+      test_parallel_raise_does_not_hang;
+    Alcotest.test_case "parallel re-raises first failure by index" `Quick
+      test_parallel_first_by_index_raised;
+    Alcotest.test_case "parallel failure spares other results" `Quick
+      test_parallel_survivors_computed;
   ]

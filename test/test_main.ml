@@ -11,5 +11,6 @@ let () =
       ("harness", Test_harness.tests);
       ("edge", Test_edge.tests);
       ("robustness", Test_robustness.tests);
+      ("supervisor", Test_supervisor.tests);
       ("golden", Test_golden.tests);
     ]

@@ -183,6 +183,44 @@ let test_checkpoint_malformed () =
   Alcotest.(check bool) "garbage rejected" true
     (Fuzz.Checkpoint.of_json "{not json" = None)
 
+(* A checkpoint file truncated mid-write (crash before the atomic rename
+   could be introduced, disk-full, ...) must be detected and ignored with
+   a warning — never raise, never resume from half a record. *)
+let test_checkpoint_truncated_warns () =
+  let path = Filename.temp_file "protean_trunc" ".json" in
+  let full = Fuzz.Checkpoint.to_json ck in
+  let oc = open_out path in
+  output_string oc (String.sub full 0 (String.length full / 2));
+  close_out oc;
+  let warned = ref [] in
+  let back = Fuzz.Checkpoint.load ~warn:(fun p -> warned := p :: !warned) path in
+  Alcotest.(check bool) "truncated checkpoint ignored" true (back = None);
+  Alcotest.(check (list string)) "warning fired once, naming the file"
+    [ path ] !warned;
+  (* An intact file must load silently through the same path. *)
+  Fuzz.Checkpoint.save path ck;
+  warned := [];
+  let back = Fuzz.Checkpoint.load ~warn:(fun p -> warned := p :: !warned) path in
+  Sys.remove path;
+  Alcotest.(check bool) "intact checkpoint loads" true (back = Some ck);
+  Alcotest.(check (list string)) "no warning for intact file" [] !warned
+
+(* Checkpoint saves are atomic: a save over an existing checkpoint goes
+   through a tmp file + rename, so a reader never observes a mix of old
+   and new bytes and no .tmp residue survives a completed save. *)
+let test_checkpoint_save_atomic () =
+  let path = Filename.temp_file "protean_atomic" ".json" in
+  Fuzz.Checkpoint.save path ck;
+  Fuzz.Checkpoint.save path { ck with Fuzz.Checkpoint.ck_next = 9 };
+  Alcotest.(check bool) "tmp file removed by rename" false
+    (Sys.file_exists (path ^ ".tmp"));
+  let back = Fuzz.Checkpoint.load path in
+  Sys.remove path;
+  match back with
+  | Some c ->
+      Alcotest.(check int) "second save wins" 9 c.Fuzz.Checkpoint.ck_next
+  | None -> Alcotest.fail "overwritten checkpoint did not load"
+
 (* A checkpoint claiming the campaign already finished makes
    run_resilient return the saved counts without re-running anything. *)
 let test_checkpoint_resume () =
@@ -283,6 +321,10 @@ let tests =
       test_checkpoint_file_roundtrip;
     Alcotest.test_case "malformed checkpoint rejected" `Quick
       test_checkpoint_malformed;
+    Alcotest.test_case "truncated checkpoint warns and is ignored" `Quick
+      test_checkpoint_truncated_warns;
+    Alcotest.test_case "checkpoint saves are atomic" `Quick
+      test_checkpoint_save_atomic;
     Alcotest.test_case "campaign resumes from checkpoint" `Quick
       test_checkpoint_resume;
     Alcotest.test_case "mismatched checkpoint ignored" `Quick
