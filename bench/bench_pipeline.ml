@@ -1,17 +1,31 @@
 (* Pipeline micro-benchmark: simulation throughput of the stage-module
-   pipeline, and the parallel-grid scaling of `-j N`.
+   pipeline, the hot-loop cost model, and the parallel-grid scaling of
+   `-j N`.
 
      dune exec bench/bench_pipeline.exe            # writes BENCH_pipeline.json
      dune exec bench/bench_pipeline.exe -- out.json
+     dune exec bench/bench_pipeline.exe -- --smoke # CI smoke: identity + alloc ceiling
 
-   Two measurements:
+   Measurements:
 
    - single: the UNR workload (ossl.bnexp compiled with ProtCC-UNR,
      ProtTrack defense, P-core) on one domain — simulated cycles per
-     wall-clock second, the basic cost of a pipeline step;
+     wall-clock second including pipeline construction, the end-to-end
+     cost of an experiment cell;
+   - hotloop: the same workload with construction excluded — loop-only
+     cycles/second, minor GC words allocated per simulated cycle
+     (Gc.quick_stat deltas around the step loop), the per-stage
+     wall-clock breakdown from the [Profile] observer, and the overhead
+     the profiler itself adds (the off-path must stay measurably free);
    - grid: the golden corpus (44 mixed single/multicore cells) at
      -j 1/2/4, asserting the lines are identical at every width and
      recording wall-clock speedup over serial.
+
+   `--smoke` is the CI guard: it replays a reduced prefix of the golden
+   corpus against test/golden_pipeline.expected (bit-identity) and
+   fails if minor words per cycle exceed the checked-in ceiling in
+   bench/hotloop_ceiling.txt — an allocation regression in the cycle
+   loop breaks the build before it breaks throughput.
 
    Speedups are only meaningful relative to the `topology` block (a
    1-core container can verify determinism but not show speedup; extra
@@ -26,6 +40,7 @@ module Protcc = Protean_protcc.Protcc
 module Defense = Protean_defense.Defense
 module Config = Protean_ooo.Config
 module Pipeline = Protean_ooo.Pipeline
+module Profile = Protean_ooo.Profile
 module Stats = Protean_ooo.Stats
 module Golden = Protean_harness.Golden
 
@@ -34,18 +49,20 @@ let timed f =
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
 
-let bench_single () =
+let fuel = 30_000_000
+
+let unr_workload () =
   let b = Suite.find "ossl.bnexp" in
-  let program =
-    match b.Suite.kind with
-    | Suite.Single f -> (Protcc.instrument ~pass_override:Protcc.P_unr (f ())).Protcc.program
-    | Suite.Multi _ -> assert false
-  in
+  match b.Suite.kind with
+  | Suite.Single f ->
+      (Protcc.instrument ~pass_override:Protcc.P_unr (f ())).Protcc.program
+  | Suite.Multi _ -> assert false
+
+let bench_single program =
   let d = Defense.find "prot-track" in
   (* One warm-up run so the measurement excludes first-touch costs. *)
   let run () =
-    Pipeline.run ~fuel:30_000_000 Config.p_core (d.Defense.make ()) program
-      ~overlays:[]
+    Pipeline.run ~fuel Config.p_core (d.Defense.make ()) program ~overlays:[]
   in
   ignore (run ());
   let r, wall = timed run in
@@ -55,6 +72,62 @@ let bench_single () =
     cycles committed wall
     (float_of_int cycles /. wall);
   (cycles, committed, wall)
+
+(* Drive a pre-built pipeline to completion: the loop the interest mask,
+   the O(active) scheduler and the allocation diet optimize. *)
+let drive t =
+  while (not (Pipeline.is_done t)) && t.Protean_ooo.Pipeline_state.cycle < fuel do
+    Pipeline.step t
+  done
+
+type hotloop = {
+  hl_cycles : int;
+  hl_loop_wall : float; (* step loop only, construction excluded *)
+  hl_minor_words_per_cycle : float;
+  hl_profiler_overhead : float; (* (profiled - plain) / plain wall *)
+  hl_stages : (string * float * float) list; (* name, seconds, share *)
+}
+
+let bench_hotloop program =
+  let d = Defense.find "prot-track" in
+  let make () =
+    Pipeline.create Config.p_core (d.Defense.make ()) program ~overlays:[]
+  in
+  (* Warm-up. *)
+  drive (make ());
+  (* Loop-only wall clock and allocation rate.  Gc.quick_stat reads the
+     allocation pointer without walking the heap, so the probe itself is
+     cheap and allocation-free. *)
+  let t = make () in
+  let g0 = Gc.quick_stat () in
+  let (), loop_wall = timed (fun () -> drive t) in
+  let g1 = Gc.quick_stat () in
+  let cycles = t.Protean_ooo.Pipeline_state.cycle in
+  let minor_words = g1.Gc.minor_words -. g0.Gc.minor_words in
+  let mwpc = minor_words /. float_of_int cycles in
+  (* Profiled run: per-stage breakdown, and the cost of profiling. *)
+  let tp = make () in
+  let p = Profile.create () in
+  Profile.attach p tp;
+  let (), prof_wall = timed (fun () -> drive tp) in
+  let overhead = (prof_wall -. loop_wall) /. loop_wall in
+  Printf.printf
+    "hotloop: %d cycles in %.4fs loop-only (%.0f cycles/s), %.0f minor words/cycle\n%!"
+    cycles loop_wall
+    (float_of_int cycles /. loop_wall)
+    mwpc;
+  List.iter
+    (fun (name, s, share) ->
+      Printf.printf "hotloop:   %-10s %.4fs (%.0f%%)\n%!" name s (share *. 100.))
+    (Profile.stage_breakdown p);
+  Printf.printf "hotloop: profiler overhead %.0f%%\n%!" (overhead *. 100.);
+  {
+    hl_cycles = cycles;
+    hl_loop_wall = loop_wall;
+    hl_minor_words_per_cycle = mwpc;
+    hl_profiler_overhead = overhead;
+    hl_stages = Profile.stage_breakdown p;
+  }
 
 let bench_grid () =
   let baseline, t1 = timed (fun () -> Golden.lines ()) in
@@ -72,43 +145,137 @@ let bench_grid () =
   in
   (List.length baseline, t1, points)
 
-let () =
-  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_pipeline.json" in
-  let cycles, committed, wall = bench_single () in
-  let cells, t1, points = bench_grid () in
-  let oc = open_out out in
-  let host_cores = Domain.recommended_domain_count () in
-  (* The canonical supervised layout: workers × domains-per-worker,
-     capped by the host.  total_lanes = host_cores means real
-     parallelism; total_lanes > host_cores means the run exercises the
-     machinery (determinism, crash recovery) without speedup. *)
-  let shards = min 2 host_cores in
-  let jobs_per_worker = max 1 (host_cores / shards) in
-  Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"host_cores\": %d,\n" host_cores;
-  Printf.fprintf oc "  \"topology\": {\n";
-  Printf.fprintf oc "    \"host_cores\": %d, \"default_jobs\": %d,\n" host_cores
-    (Protean_harness.Parallel.default_jobs ());
-  Printf.fprintf oc "    \"spawn_available\": %b,\n"
-    (Protean_harness.Shard.can_spawn ());
-  Printf.fprintf oc "    \"shards\": %d, \"jobs_per_worker\": %d, \"total_lanes\": %d,\n"
-    shards jobs_per_worker (shards * jobs_per_worker);
-  Printf.fprintf oc "    \"speedups_meaningful\": %b\n" (host_cores > 1);
-  Printf.fprintf oc "  },\n";
-  Printf.fprintf oc "  \"single\": {\n";
-  Printf.fprintf oc "    \"bench\": \"ossl.bnexp\", \"pass\": \"unr\", \"defense\": \"prot-track\", \"core\": \"p\",\n";
-  Printf.fprintf oc "    \"cycles\": %d, \"committed\": %d, \"wall_s\": %.3f,\n" cycles committed wall;
-  Printf.fprintf oc "    \"cycles_per_sec\": %.0f\n" (float_of_int cycles /. wall);
-  Printf.fprintf oc "  },\n";
-  Printf.fprintf oc "  \"grid\": {\n";
-  Printf.fprintf oc "    \"corpus\": \"golden\", \"cells\": %d, \"serial_wall_s\": %.3f,\n" cells t1;
-  Printf.fprintf oc "    \"parallel\": [\n";
+(* --smoke: the CI guard.  Replays the first [smoke_cells] golden cells
+   serially and checks them against the recorded expectation
+   (bit-identity of the fast scheduler), then asserts the loop-only
+   allocation rate stays under the checked-in ceiling. *)
+
+let smoke_cells = 10
+
+let find_file candidates =
+  try List.find Sys.file_exists candidates
+  with Not_found ->
+    failwith ("smoke: none of " ^ String.concat ", " candidates ^ " found")
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let smoke () =
+  let expected =
+    take smoke_cells
+      (read_lines
+         (find_file
+            [ "test/golden_pipeline.expected"; "golden_pipeline.expected" ]))
+  in
+  let actual = List.map Golden.run_cell (take smoke_cells Golden.corpus) in
   List.iteri
-    (fun i (jobs, tj, sp) ->
-      Printf.fprintf oc "      {\"jobs\": %d, \"wall_s\": %.3f, \"speedup\": %.2f, \"identical\": true}%s\n"
-        jobs tj sp
-        (if i = List.length points - 1 then "" else ","))
-    points;
-  Printf.fprintf oc "    ]\n  }\n}\n";
-  close_out oc;
-  Printf.printf "wrote %s\n%!" out
+    (fun i (e, a) ->
+      if e <> a then (
+        Printf.eprintf "smoke: cell %d diverged\n  expected %s\n  actual   %s\n"
+          i e a;
+        exit 1))
+    (List.combine expected actual);
+  Printf.printf "smoke: %d golden cells bit-identical\n%!" smoke_cells;
+  let ceiling =
+    float_of_string
+      (String.trim
+         (String.concat "\n"
+            (read_lines
+               (find_file
+                  [ "bench/hotloop_ceiling.txt"; "hotloop_ceiling.txt" ]))))
+  in
+  let hl = bench_hotloop (unr_workload ()) in
+  if hl.hl_minor_words_per_cycle > ceiling then (
+    Printf.eprintf
+      "smoke: allocation regression: %.1f minor words/cycle > ceiling %.1f\n"
+      hl.hl_minor_words_per_cycle ceiling;
+    exit 1);
+  Printf.printf "smoke: %.1f minor words/cycle within ceiling %.1f\n%!"
+    hl.hl_minor_words_per_cycle ceiling
+
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--smoke" then smoke ()
+  else begin
+    let out =
+      if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_pipeline.json"
+    in
+    let program = unr_workload () in
+    let cycles, committed, wall = bench_single program in
+    let hl = bench_hotloop program in
+    let cells, t1, points = bench_grid () in
+    let oc = open_out out in
+    let host_cores = Domain.recommended_domain_count () in
+    (* The canonical supervised layout: workers × domains-per-worker,
+       capped by the host.  total_lanes = host_cores means real
+       parallelism; total_lanes > host_cores means the run exercises the
+       machinery (determinism, crash recovery) without speedup. *)
+    let shards = min 2 host_cores in
+    let jobs_per_worker = max 1 (host_cores / shards) in
+    Printf.fprintf oc "{\n";
+    Printf.fprintf oc "  \"host_cores\": %d,\n" host_cores;
+    Printf.fprintf oc "  \"topology\": {\n";
+    Printf.fprintf oc "    \"host_cores\": %d, \"default_jobs\": %d,\n" host_cores
+      (Protean_harness.Parallel.default_jobs ());
+    Printf.fprintf oc "    \"spawn_available\": %b,\n"
+      (Protean_harness.Shard.can_spawn ());
+    Printf.fprintf oc
+      "    \"shards\": %d, \"jobs_per_worker\": %d, \"total_lanes\": %d,\n"
+      shards jobs_per_worker (shards * jobs_per_worker);
+    Printf.fprintf oc "    \"speedups_meaningful\": %b\n" (host_cores > 1);
+    Printf.fprintf oc "  },\n";
+    Printf.fprintf oc "  \"single\": {\n";
+    Printf.fprintf oc
+      "    \"bench\": \"ossl.bnexp\", \"pass\": \"unr\", \"defense\": \"prot-track\", \"core\": \"p\",\n";
+    Printf.fprintf oc "    \"cycles\": %d, \"committed\": %d, \"wall_s\": %.3f,\n"
+      cycles committed wall;
+    Printf.fprintf oc "    \"cycles_per_sec\": %.0f\n"
+      (float_of_int cycles /. wall);
+    Printf.fprintf oc "  },\n";
+    Printf.fprintf oc "  \"hotloop\": {\n";
+    Printf.fprintf oc "    \"cycles\": %d, \"loop_wall_s\": %.4f,\n" hl.hl_cycles
+      hl.hl_loop_wall;
+    Printf.fprintf oc "    \"loop_cycles_per_sec\": %.0f,\n"
+      (float_of_int hl.hl_cycles /. hl.hl_loop_wall);
+    Printf.fprintf oc "    \"minor_words_per_cycle\": %.1f,\n"
+      hl.hl_minor_words_per_cycle;
+    Printf.fprintf oc "    \"profiler_overhead\": %.2f,\n"
+      hl.hl_profiler_overhead;
+    Printf.fprintf oc "    \"stages\": [\n";
+    List.iteri
+      (fun i (name, s, share) ->
+        Printf.fprintf oc
+          "      {\"stage\": \"%s\", \"seconds\": %.4f, \"share\": %.3f}%s\n"
+          name s share
+          (if i = List.length hl.hl_stages - 1 then "" else ","))
+      hl.hl_stages;
+    Printf.fprintf oc "    ]\n  },\n";
+    Printf.fprintf oc "  \"grid\": {\n";
+    Printf.fprintf oc
+      "    \"corpus\": \"golden\", \"cells\": %d, \"serial_wall_s\": %.3f,\n"
+      cells t1;
+    Printf.fprintf oc "    \"parallel\": [\n";
+    List.iteri
+      (fun i (jobs, tj, sp) ->
+        Printf.fprintf oc
+          "      {\"jobs\": %d, \"wall_s\": %.3f, \"speedup\": %.2f, \"identical\": true}%s\n"
+          jobs tj sp
+          (if i = List.length points - 1 then "" else ","))
+      points;
+    Printf.fprintf oc "    ]\n  }\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s\n%!" out
+  end

@@ -57,6 +57,16 @@ let invariant_every_arg =
   let doc = "Check invariants every N cycles (with --invariants)." in
   Arg.(value & opt int 1 & info [ "invariant-every" ] ~docv:"N" ~doc)
 
+let paranoid_sched_arg =
+  let doc =
+    "Cross-check the O(active) scheduler indexes (unissued/branch lists, \
+     in-flight and LSQ queues, wakeup chains, dormancy) against a \
+     brute-force ROB scan every cycle, raising a simulation fault on any \
+     mismatch. Slow; a debugging aid for scheduler changes. Also enabled \
+     by PROTEAN_PARANOID_SCHED=1."
+  in
+  Arg.(value & flag & info [ "paranoid-sched" ] ~doc)
+
 let jobs_arg =
   let doc = "Domains for multi-benchmark runs; 0 = all cores." in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
@@ -157,7 +167,12 @@ let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
       Buffer.contents buf
 
 let run list benches defense pass core spec_model invariants invariant_every
-    jobs shards worker inject heartbeat wall =
+    paranoid_sched jobs shards worker inject heartbeat wall =
+  if paranoid_sched then begin
+    Pipeline.set_paranoid_sched true;
+    (* Spawned --shards workers re-read the environment at startup. *)
+    Unix.putenv "PROTEAN_PARANOID_SCHED" "1"
+  end;
   if list then
     List.iter
       (fun (b : Suite.benchmark) ->
@@ -272,7 +287,8 @@ let cmd =
     (Cmd.info "protean-sim" ~doc)
     Term.(
       const run $ list_arg $ bench_arg $ defense_arg $ pass_arg $ core_arg
-      $ spec_model_arg $ invariants_arg $ invariant_every_arg $ jobs_arg
-      $ shards_arg $ worker_arg $ inject_arg $ heartbeat_arg $ wall_arg)
+      $ spec_model_arg $ invariants_arg $ invariant_every_arg
+      $ paranoid_sched_arg $ jobs_arg $ shards_arg $ worker_arg $ inject_arg
+      $ heartbeat_arg $ wall_arg)
 
 let () = exit (Cmd.eval cmd)

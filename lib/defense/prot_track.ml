@@ -86,17 +86,19 @@ let make ?(predictor = true) ?(predictor_entries = 1024) () =
       && (not e.Rob_entry.access_at_rename)
       && not e.Rob_entry.late_access
     then
-      match api.Policy.get_entry e.Rob_entry.fwd_from with
-      | Some st when Policy.root_speculative api st.Rob_entry.taint_root ->
-          e.Rob_entry.fwd_block_store <- st.Rob_entry.seq
-      | _ -> ()
+      let st = api.Policy.peek e.Rob_entry.fwd_from in
+      if
+        (not (Rob_entry.is_null st))
+        && Policy.root_speculative api st.Rob_entry.taint_root
+      then e.Rob_entry.fwd_block_store <- st.Rob_entry.seq
   in
   let may_forward api (e : Rob_entry.t) =
     if e.Rob_entry.late_access then not (Policy.is_speculative api e)
     else if e.Rob_entry.fwd_block_store >= 0 then
-      match api.Policy.get_entry e.Rob_entry.fwd_block_store with
-      | Some st -> not (Policy.root_speculative api st.Rob_entry.taint_root)
-      | None -> true (* the store committed: its data is architectural *)
+      let st = api.Policy.peek e.Rob_entry.fwd_block_store in
+      if Rob_entry.is_null st then true
+        (* the store committed: its data is architectural *)
+      else not (Policy.root_speculative api st.Rob_entry.taint_root)
     else true
   in
   let may_execute_transmitter api (e : Rob_entry.t) =

@@ -37,13 +37,13 @@ let src_pub st (e : Rob_entry.t) api i =
   let p = e.Rob_entry.src_producer.(i) in
   if p < 0 then st.reg_xmit.(Reg.to_int r)
   else
-    match api.Policy.get_entry p with
-    | Some prod ->
-        (* An in-flight producer's flags output is always a fresh,
-           untransmitted value (its [pol_out_pub] describes the data
-           destination). *)
-        if Reg.equal r Reg.flags then false else prod.Rob_entry.pol_out_pub
-    | None -> st.reg_xmit.(Reg.to_int r)
+    let prod = api.Policy.peek p in
+    if Rob_entry.is_null prod then st.reg_xmit.(Reg.to_int r)
+      (* An in-flight producer's flags output is always a fresh,
+         untransmitted value (its [pol_out_pub] describes the data
+         destination). *)
+    else if Reg.equal r Reg.flags then false
+    else prod.Rob_entry.pol_out_pub
 
 (* Transmitted-status of the value a register operand holds, looked up in
    the per-entry snapshot filled at rename. *)

@@ -18,9 +18,8 @@ let src_root (api : Policy.api) (e : Rob_entry.t) i =
   let p = e.Rob_entry.src_producer.(i) in
   if p < 0 then -1
   else
-    match api.Policy.get_entry p with
-    | Some prod -> prod.Rob_entry.taint_root
-    | None -> -1
+    let prod = api.Policy.peek p in
+    if Rob_entry.is_null prod then -1 else prod.Rob_entry.taint_root
 
 (* Is any *sensitive* operand of [e] tainted?  Used to gate transmitter
    execution and branch resolution. *)

@@ -7,7 +7,15 @@
    attached to L1D lines: a line fill starts with every byte protected
    (evictions make ProtISA forget what was unprotected), committing
    unprefixed loads clear the bits of accessed bytes, and stores write
-   their data operand's protection. *)
+   their data operand's protection.
+
+   Protection tracking is per-instance ([create ~prot:false] for the
+   L2/L3, whose bytes ProtISA never tracks): untracked caches share one
+   dummy protection buffer between all lines and skip the per-fill
+   reset.  Sets are materialized lazily on the first miss that touches
+   them — an empty set behaves exactly like one whose ways are all
+   invalid, so a multi-megabyte L3 costs one pointer per set to create
+   instead of half a million line records. *)
 
 type line = {
   mutable tag : int64;
@@ -18,42 +26,62 @@ type line = {
 
 type t = {
   cfg : Config.cache_cfg;
-  sets : line array array;
+  nsets : int;
+  lbits : int; (* log2 line size *)
+  track_prot : bool;
+  shared_prot : Bytes.t; (* every line's [prot] when not tracking *)
+  sets : line array array; (* [||] = untouched set (all ways invalid) *)
   mutable clock : int;
   mutable accesses : int;
   mutable misses : int;
 }
 
-let create (cfg : Config.cache_cfg) =
+let create ?(prot = true) (cfg : Config.cache_cfg) =
   let nsets = Config.cache_sets cfg in
-  let sets =
-    Array.init nsets (fun _ ->
-        Array.init cfg.ways (fun _ ->
-            {
-              tag = 0L;
-              valid = false;
-              lru = 0;
-              prot = Bytes.make cfg.line '\001';
-            }))
-  in
-  { cfg; sets; clock = 0; accesses = 0; misses = 0 }
-
-let line_bits t =
   let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
-  log2 t.cfg.line
+  {
+    cfg;
+    nsets;
+    lbits = log2 cfg.line;
+    track_prot = prot;
+    shared_prot = Bytes.make cfg.line '\001';
+    sets = Array.make nsets [||];
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
 
 let set_index t addr =
-  let nsets = Array.length t.sets in
   Int64.to_int
     (Int64.rem
-       (Int64.shift_right_logical addr (line_bits t))
-       (Int64.of_int nsets))
+       (Int64.shift_right_logical addr t.lbits)
+       (Int64.of_int t.nsets))
 
-let tag_of t addr = Int64.shift_right_logical addr (line_bits t)
-let line_addr t addr =
-  Int64.shift_left (tag_of t addr) (line_bits t)
+let tag_of t addr = Int64.shift_right_logical addr t.lbits
+let line_addr t addr = Int64.shift_left (tag_of t addr) t.lbits
 let line_offset t addr = Int64.to_int (Int64.logand addr (Int64.of_int (t.cfg.line - 1)))
 
+(* Materialize a set's ways on first (miss) use. *)
+let get_set t idx =
+  let s = t.sets.(idx) in
+  if Array.length s > 0 then s
+  else begin
+    let s =
+      Array.init t.cfg.ways (fun _ ->
+          {
+            tag = 0L;
+            valid = false;
+            lru = 0;
+            prot =
+              (if t.track_prot then Bytes.make t.cfg.line '\001'
+               else t.shared_prot);
+          })
+    in
+    t.sets.(idx) <- s;
+    s
+  end
+
+(* Read-only lookup: an unmaterialized set holds nothing. *)
 let find t addr =
   let set = t.sets.(set_index t addr) in
   let tag = tag_of t addr in
@@ -87,7 +115,7 @@ let access t addr =
       { hit = true; set = set_idx; tag; evicted = None }
   | None ->
       t.misses <- t.misses + 1;
-      let set = t.sets.(set_idx) in
+      let set = get_set t set_idx in
       let victim =
         Array.fold_left
           (fun acc line ->
@@ -102,16 +130,13 @@ let access t addr =
       in
       let line = Option.get victim in
       let evicted =
-        if line.valid then
-          Some (Int64.shift_left line.tag (line_bits t))
-        else None
+        if line.valid then Some (Int64.shift_left line.tag t.lbits) else None
       in
       line.valid <- true;
       line.tag <- tag;
-      Bytes.fill line.prot 0 t.cfg.line '\001';
+      if t.track_prot then Bytes.fill line.prot 0 t.cfg.line '\001';
       touch t line;
       { hit = false; set = set_idx; tag; evicted }
-
 
 let _probe t addr = find t addr
 

@@ -8,7 +8,11 @@
 
 type t
 
-val create : Config.cache_cfg -> t
+val create : ?prot:bool -> Config.cache_cfg -> t
+(** [prot] (default true) enables per-byte protection tracking; pass
+    [~prot:false] for caches whose bytes ProtISA never tracks (L2/L3) —
+    they share one dummy protection buffer and skip the per-fill reset.
+    Timing and tag behavior are identical either way. *)
 
 type result = {
   hit : bool;

@@ -16,6 +16,17 @@
    - A subscriber may raise (the invariant checker's [Fail] mode raises
      [Pipeline_state.Sim_fault]); the emission point then unwinds, so
      raising subscribers should be registered last.
+   - [emit] iterates a snapshot of the subscriber array: a handler that
+     subscribes or unsubscribes (itself included) takes effect from the
+     *next* emission, never mid-delivery.
+
+   Interest mask: every event has a small integer [kind]; each
+   subscriber declares the kinds it consumes and the bus keeps
+   [interest], the OR of all subscriber masks.  Emission sites that
+   would allocate an event record guard on [wanted bus kind] first, so
+   an event nobody listens to costs one load and one bit test — no
+   allocation, no subscriber loop.  [emit] additionally filters
+   per-subscriber, so a handler never sees a kind it did not declare.
 
    The bus is parameterized over the state type to break the circular
    dependency with [Pipeline_state] (whose record carries its bus). *)
@@ -46,7 +57,9 @@ type event =
       addr : int64;
       l1_hit : bool;
       latency : int;
-      path : mem_step list; (* fills/evicts down the hierarchy, in order *)
+      path : mem_step list;
+          (* fills/evicts down the hierarchy, in order; built only when
+             some subscriber declared [k_mem_path] *)
     }
   | On_div_busy of { latency : int } (* the divider was occupied *)
   | On_mispredict of Rob_entry.t
@@ -59,24 +72,116 @@ type event =
   | On_commit of Rob_entry.t
       (* after architectural effects, before ROB removal *)
   | On_cycle_end (* end of [Pipeline.step], after the watchdog *)
+  | On_stage of int
+      (* a pipeline stage finished this cycle (stage id, see [Profile]);
+         only emitted when a subscriber declared [k_stage] *)
+
+(* Event kinds: one bit per constructor, plus pseudo-kinds that gate
+   optional *detail* inside an event ([k_mem_path] gates the [path] list
+   of [On_mem_access]). *)
+
+type kind = int
+
+let k_fetch = 0
+let k_rename = 1
+let k_wakeup = 2
+let k_wakeup_blocked = 3
+let k_exec_blocked = 4
+let k_resolve_blocked = 5
+let k_forward = 6
+let k_load_executed = 7
+let k_mem_access = 8
+let k_div_busy = 9
+let k_mispredict = 10
+let k_order_violation = 11
+let k_squash = 12
+let k_machine_clear = 13
+let k_commit = 14
+let k_cycle_end = 15
+let k_stage = 16
+let k_mem_path = 17 (* pseudo: request the On_mem_access fill/evict path *)
+let n_kinds = 18
+let mask_all = (1 lsl n_kinds) - 1
+
+let kind_of_event = function
+  | On_fetch _ -> k_fetch
+  | On_rename _ -> k_rename
+  | On_wakeup _ -> k_wakeup
+  | On_wakeup_blocked _ -> k_wakeup_blocked
+  | On_exec_blocked _ -> k_exec_blocked
+  | On_resolve_blocked _ -> k_resolve_blocked
+  | On_forward _ -> k_forward
+  | On_load_executed _ -> k_load_executed
+  | On_mem_access _ -> k_mem_access
+  | On_div_busy _ -> k_div_busy
+  | On_mispredict _ -> k_mispredict
+  | On_order_violation _ -> k_order_violation
+  | On_squash _ -> k_squash
+  | On_machine_clear -> k_machine_clear
+  | On_commit _ -> k_commit
+  | On_cycle_end -> k_cycle_end
+  | On_stage _ -> k_stage
+
+let mask_of_kinds kinds =
+  List.fold_left (fun m k -> m lor (1 lsl k)) 0 kinds
 
 type 'state handler = 'state -> event -> unit
-type 'state subscriber = { name : string; handler : 'state handler }
-type 'state t = { mutable subs : 'state subscriber array }
+type 'state subscriber = { name : string; mask : int; handler : 'state handler }
 
-let create () = { subs = [||] }
+type 'state t = {
+  mutable subs : 'state subscriber array;
+  mutable interest : int; (* OR of every subscriber's mask *)
+}
 
-let subscribe bus ~name handler =
-  bus.subs <- Array.append bus.subs [| { name; handler } |]
+let create () = { subs = [||]; interest = 0 }
+
+(* Fast-path guard for emission sites: does anyone care about [kind]? *)
+let wanted bus kind = bus.interest land (1 lsl kind) <> 0
+
+(* Subscribe/unsubscribe replace [bus.subs] wholesale (never mutate the
+   array in place): [emit] reads the array once per emission, so handlers
+   may re-register freely without corrupting an in-flight delivery. *)
+
+let subscribe ?kinds bus ~name handler =
+  let mask =
+    match kinds with None -> mask_all | Some ks -> mask_of_kinds ks
+  in
+  bus.subs <- Array.append bus.subs [| { name; mask; handler } |];
+  bus.interest <- bus.interest lor mask
 
 let unsubscribe bus name =
-  bus.subs <-
-    Array.of_list (List.filter (fun s -> s.name <> name) (Array.to_list bus.subs))
+  let old = bus.subs in
+  let n = Array.length old in
+  let kept = ref 0 in
+  for i = 0 to n - 1 do
+    if old.(i).name <> name then incr kept
+  done;
+  if !kept <> n then begin
+    (if !kept = 0 then bus.subs <- [||]
+     else begin
+       let fresh = Array.make !kept old.(0) in
+       let j = ref 0 in
+       for i = 0 to n - 1 do
+         if old.(i).name <> name then begin
+           fresh.(!j) <- old.(i);
+           incr j
+         end
+       done;
+       bus.subs <- fresh
+     end);
+    (* Recompute interest so the last subscriber of a kind leaving also
+       clears its bit — emission sites go back to the zero-cost path. *)
+    let interest = ref 0 in
+    Array.iter (fun s -> interest := !interest lor s.mask) bus.subs;
+    bus.interest <- !interest
+  end
 
 let subscribers bus = Array.to_list (Array.map (fun s -> s.name) bus.subs)
 
 let emit bus state ev =
-  let subs = bus.subs in
+  let subs = bus.subs (* snapshot *) in
+  let m = 1 lsl kind_of_event ev in
   for i = 0 to Array.length subs - 1 do
-    subs.(i).handler state ev
+    let s = subs.(i) in
+    if s.mask land m <> 0 then s.handler state ev
   done

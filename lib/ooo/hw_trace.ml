@@ -27,6 +27,7 @@ type event =
 type t = { mutable events : event list; mutable enabled : bool }
 
 let create ~enabled = { events = []; enabled }
+let enabled t = t.enabled
 
 let record t e = if t.enabled then t.events <- e :: t.events
 

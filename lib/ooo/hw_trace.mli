@@ -27,6 +27,7 @@ type event =
 type t
 
 val create : enabled:bool -> t
+val enabled : t -> bool
 val record : t -> event -> unit
 val all : t -> event list
 

@@ -7,11 +7,14 @@
    corrupted simulation can report a defense as secure when it is not.
 
    [check] audits a pipeline snapshot and returns the violations it
-   finds; [checker] packages it as a per-cycle hook (usable directly as
-   [Pipeline.run]'s [on_cycle]) with off/warn/fail modes, sampled every
-   [every] cycles; [attach] subscribes the same checker to the
-   pipeline's hook bus on [On_cycle_end], which is how [Multicore.run]
-   wires it per core. *)
+   finds; [check_sched] cross-checks the O(active) scheduler's redundant
+   indexes (unissued/branch lists, in-flight deque, store/load queues,
+   wakeup chains, dormancy) against a brute-force ROB scan — it is what
+   [Pipeline.step] runs per cycle under [--paranoid-sched].  [checker]
+   packages both as a per-cycle hook (usable directly as [Pipeline.run]'s
+   [on_cycle]) with off/warn/fail modes, sampled every [every] cycles;
+   [attach] subscribes the same checker to the pipeline's hook bus on
+   [On_cycle_end], which is how [Multicore.run] wires it per core. *)
 
 open Protean_isa
 module S = Pipeline_state
@@ -27,6 +30,169 @@ let mode_of_string = function
   | s -> invalid_arg ("Invariants.mode_of_string: " ^ s)
 
 type violation = { inv : string; detail : string }
+
+(* Cross-check the scheduler indexes against the ring.  Counting
+   argument per index: every member must be a live entry in the right
+   state (soundness), and the member count must equal the ring count of
+   entries in that state (completeness) — together they prove the index
+   is exactly the set it claims to be, without per-cycle hash tables. *)
+let check_sched (t : S.t) : violation list =
+  let vs = ref [] in
+  let fail inv fmt =
+    Printf.ksprintf (fun detail -> vs := { inv; detail } :: !vs) fmt
+  in
+  let live (e : Rob_entry.t) =
+    (not (Rob_entry.is_null e)) && S.peek t e.Rob_entry.seq == e
+  in
+  (* Unissued list: exactly the live unissued entries, seq-ascending. *)
+  let uq_count = ref 0 in
+  let prev_seq = ref min_int in
+  let cursor = ref t.S.uq_head in
+  while not (Rob_entry.is_null !cursor) do
+    let e = !cursor in
+    incr uq_count;
+    if not (live e) then fail "sched-uq" "dead entry seq %d linked" e.Rob_entry.seq;
+    if e.Rob_entry.issued then
+      fail "sched-uq" "issued entry seq %d still linked" e.Rob_entry.seq;
+    if e.Rob_entry.seq <= !prev_seq then
+      fail "sched-uq" "not seq-ascending at seq %d" e.Rob_entry.seq;
+    prev_seq := e.Rob_entry.seq;
+    cursor := e.Rob_entry.uq_next
+  done;
+  let ring_unissued = ref 0 in
+  S.iter_rob t (fun e -> if not e.Rob_entry.issued then incr ring_unissued);
+  if !uq_count <> !ring_unissued then
+    fail "sched-uq" "list has %d entries, ring has %d unissued" !uq_count
+      !ring_unissued;
+  (* Unresolved-branch list: exactly the live unresolved branches. *)
+  let bq_count = ref 0 in
+  let prev_seq = ref min_int in
+  let cursor = ref t.S.bq_head in
+  while not (Rob_entry.is_null !cursor) do
+    let e = !cursor in
+    incr bq_count;
+    if not (live e) then fail "sched-bq" "dead entry seq %d linked" e.Rob_entry.seq;
+    if (not e.Rob_entry.is_branch) || e.Rob_entry.resolved then
+      fail "sched-bq" "seq %d is not a live unresolved branch" e.Rob_entry.seq;
+    if e.Rob_entry.seq <= !prev_seq then
+      fail "sched-bq" "not seq-ascending at seq %d" e.Rob_entry.seq;
+    prev_seq := e.Rob_entry.seq;
+    cursor := e.Rob_entry.bq_next
+  done;
+  let ring_unresolved = ref 0 in
+  S.iter_rob t (fun e ->
+      if e.Rob_entry.is_branch && not e.Rob_entry.resolved then
+        incr ring_unresolved);
+  if !bq_count <> !ring_unresolved then
+    fail "sched-bq" "list has %d entries, ring has %d unresolved branches"
+      !bq_count !ring_unresolved;
+  (* In-flight deque: exactly the live issued-but-not-executed entries. *)
+  let inflight_count = ref 0 in
+  Entryq.iter
+    (fun e ->
+      incr inflight_count;
+      if not (live e) then
+        fail "sched-inflight" "dead entry seq %d queued" e.Rob_entry.seq;
+      if (not e.Rob_entry.issued) || e.Rob_entry.executed then
+        fail "sched-inflight" "seq %d is not issued-and-unexecuted"
+          e.Rob_entry.seq)
+    t.S.inflight;
+  let ring_inflight = ref 0 in
+  S.iter_rob t (fun e ->
+      if e.Rob_entry.issued && not e.Rob_entry.executed then incr ring_inflight);
+  if !inflight_count <> !ring_inflight then
+    fail "sched-inflight" "deque has %d entries, ring has %d in flight"
+      !inflight_count !ring_inflight;
+  (* Store/load queues: exactly the live stores/loads, seq-ascending
+     (ascent is implied by membership + count + push order, but check it
+     directly — it is what [lower_bound] relies on). *)
+  let check_lsq name q is_kind used =
+    let n = ref 0 in
+    let prev_seq = ref min_int in
+    Entryq.iter
+      (fun e ->
+        incr n;
+        if not (live e) then fail name "dead entry seq %d queued" e.Rob_entry.seq;
+        if not (is_kind e) then fail name "seq %d has the wrong kind" e.Rob_entry.seq;
+        if e.Rob_entry.seq <= !prev_seq then
+          fail name "not seq-ascending at seq %d" e.Rob_entry.seq;
+        prev_seq := e.Rob_entry.seq)
+      q;
+    if !n <> used then fail name "queue has %d entries, counter says %d" !n used
+  in
+  check_lsq "sched-sq" t.S.lsq_stores Rob_entry.is_store t.S.sq_used;
+  check_lsq "sched-lq" t.S.lsq_loads Rob_entry.is_load t.S.lq_used;
+  (* Wakeup chains.  Soundness: every chain node (consumer, slot) must
+     name a live consumer whose slot is non-ready and produced by the
+     chain's owner.  Completeness: the total node count must equal the
+     ring count of (entry, slot) pairs that are non-ready with a live,
+     un-executed producer — so no waiting slot is missing from a chain.
+     Dormancy: a dormant entry must be unissued with at least one
+     non-ready source and *no* non-ready source whose producer is
+     committed or executed (such an entry must stay active: its forward
+     could be policy-gated, which emits per-cycle events). *)
+  let chain_nodes = ref 0 in
+  S.iter_rob t (fun p ->
+      let c = ref p.Rob_entry.waiters in
+      let s = ref p.Rob_entry.waiters_slot in
+      if (not (Rob_entry.is_null !c)) && p.Rob_entry.executed then
+        fail "sched-wake" "executed producer seq %d has a non-empty chain"
+          p.Rob_entry.seq;
+      while not (Rob_entry.is_null !c) do
+        let cur = !c and slot = !s in
+        incr chain_nodes;
+        if slot < 0 || slot >= Array.length cur.Rob_entry.src_ready then begin
+          fail "sched-wake" "bad slot %d for consumer seq %d in chain of seq %d"
+            slot cur.Rob_entry.seq p.Rob_entry.seq;
+          c := Rob_entry.null (* cannot follow a corrupt link *)
+        end
+        else begin
+          if not (live cur) then
+            fail "sched-wake" "dead consumer seq %d in chain of seq %d"
+              cur.Rob_entry.seq p.Rob_entry.seq
+          else begin
+            if cur.Rob_entry.src_ready.(slot) then
+              fail "sched-wake" "ready slot %d of seq %d still chained" slot
+                cur.Rob_entry.seq;
+            if cur.Rob_entry.src_producer.(slot) <> p.Rob_entry.seq then
+              fail "sched-wake" "slot %d of seq %d chained to wrong producer %d"
+                slot cur.Rob_entry.seq p.Rob_entry.seq
+          end;
+          c := cur.Rob_entry.wl_next.(slot);
+          s := cur.Rob_entry.wl_slot.(slot)
+        end
+      done);
+  let waiting_slots = ref 0 in
+  S.iter_rob t (fun e ->
+      let n = Array.length e.Rob_entry.src_ready in
+      let pending = ref false in
+      let blocked_or_done = ref false in
+      for i = 0 to n - 1 do
+        if not e.Rob_entry.src_ready.(i) then begin
+          let p = S.peek t e.Rob_entry.src_producer.(i) in
+          if Rob_entry.is_null p || p.Rob_entry.executed then
+            blocked_or_done := true
+          else begin
+            pending := true;
+            incr waiting_slots
+          end
+        end
+      done;
+      if e.Rob_entry.dormant then begin
+        if e.Rob_entry.issued then
+          fail "sched-dormant" "issued entry seq %d is dormant" e.Rob_entry.seq;
+        if not !pending then
+          fail "sched-dormant" "dormant seq %d has no pending producer"
+            e.Rob_entry.seq;
+        if !blocked_or_done then
+          fail "sched-dormant"
+            "dormant seq %d has a source with an executed/committed producer"
+            e.Rob_entry.seq
+      end);
+  if !chain_nodes <> !waiting_slots then
+    fail "sched-wake" "chains hold %d nodes, ring has %d waiting slots"
+      !chain_nodes !waiting_slots;
+  List.rev !vs
 
 let check (t : S.t) : violation list =
   let vs = ref [] in
@@ -46,20 +212,19 @@ let check (t : S.t) : violation list =
        implies; every slot outside the live window is empty. *)
     for i = 0 to count - 1 do
       let idx = (head_idx + i) mod n in
-      match rob.(idx) with
-      | None -> fail "rob-ring" "hole at slot %d (expected seq %d)" i (head_seq + i)
-      | Some e ->
-          if e.Rob_entry.seq <> head_seq + i then
-            fail "rob-ring" "slot %d holds seq %d, expected %d" i
-              e.Rob_entry.seq (head_seq + i)
+      let e = rob.(idx) in
+      if Rob_entry.is_null e then
+        fail "rob-ring" "hole at slot %d (expected seq %d)" i (head_seq + i)
+      else if e.Rob_entry.seq <> head_seq + i then
+        fail "rob-ring" "slot %d holds seq %d, expected %d" i e.Rob_entry.seq
+          (head_seq + i)
     done;
     for i = count to n - 1 do
       let idx = (head_idx + i) mod n in
-      match rob.(idx) with
-      | Some e ->
-          fail "rob-ring" "stale entry seq %d outside the live window"
-            e.Rob_entry.seq
-      | None -> ()
+      let e = rob.(idx) in
+      if not (Rob_entry.is_null e) then
+        fail "rob-ring" "stale entry seq %d outside the live window"
+          e.Rob_entry.seq
     done
   end;
   if t.S.next_seq <> head_seq + count then
@@ -144,7 +309,7 @@ let check (t : S.t) : violation list =
           (item.S.f_ready - item.S.f_fetched)
           t.S.cfg.Config.frontend_latency)
     t.S.fetch_buf;
-  List.rev !vs
+  List.rev !vs @ check_sched t
 
 let violations_to_string vs =
   String.concat "; " (List.map (fun v -> v.inv ^ ": " ^ v.detail) vs)
@@ -186,5 +351,5 @@ let checker ?(every = 1) (mode : mode) : S.t -> unit =
    table is per subscription. *)
 let attach ?every mode (t : S.t) =
   let f = checker ?every mode in
-  Hooks.subscribe t.S.hooks ~name:"invariants" (fun st ev ->
-      match ev with Hooks.On_cycle_end -> f st | _ -> ())
+  Hooks.subscribe t.S.hooks ~name:"invariants" ~kinds:[ Hooks.k_cycle_end ]
+    (fun st ev -> match ev with Hooks.On_cycle_end -> f st | _ -> ())

@@ -5,24 +5,31 @@
    fills are exactly the side channel the defenses must close.  The walk
    is reported as a single [On_mem_access] event whose [path] lists the
    fills and evictions in the order they happened; the trace observer
-   replays them, the stats observer counts the L1D access/miss. *)
+   replays them, the stats observer counts the L1D access/miss.
+
+   Building the path costs allocations per access, so it is gated on the
+   pseudo-kind [Hooks.k_mem_path] (claimed by the trace observer): when
+   no subscriber wants path detail, the walk records nothing and the
+   event carries [path = []].  Cache/TLB mutations are identical either
+   way. *)
 
 module S = Pipeline_state
 
 (* Walk the hierarchy for a data access at [addr]; returns the latency. *)
 let access (t : S.t) addr =
+  let with_path = S.wants t Hooks.k_mem_path in
   let path = ref [] in
-  let add s = path := s :: !path in
   let fill level (r : Cache.result) =
-    if not r.Cache.hit then begin
-      add (Hooks.M_fill { level; set = r.Cache.set; tag = r.Cache.tag });
+    if with_path && not r.Cache.hit then begin
+      path := Hooks.M_fill { level; set = r.Cache.set; tag = r.Cache.tag } :: !path;
       match r.Cache.evicted with
-      | Some line -> add (Hooks.M_evict { level; line })
+      | Some line -> path := Hooks.M_evict { level; line } :: !path
       | None -> ()
     end
   in
   let tlb_hit = Tlb.access t.S.tlb addr in
-  if not tlb_hit then add (Hooks.M_tlb_fill (Tlb.page_of addr));
+  if with_path && not tlb_hit then
+    path := Hooks.M_tlb_fill (Tlb.page_of addr) :: !path;
   let tlb_penalty = if tlb_hit then 0 else t.S.cfg.Config.tlb_miss_latency in
   let r1 = Cache.access t.S.l1d addr in
   fill 1 r1;
@@ -45,5 +52,6 @@ let access (t : S.t) addr =
         | None -> tlb_penalty + t.S.cfg.Config.mem_latency
     end
   in
-  S.emit t (Hooks.On_mem_access { addr; l1_hit; latency; path = List.rev !path });
+  if S.wants t Hooks.k_mem_access then
+    S.emit t (Hooks.On_mem_access { addr; l1_hit; latency; path = List.rev !path });
   latency

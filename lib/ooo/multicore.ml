@@ -26,7 +26,7 @@ let run ?squash_bug ?spec_model ?(fuel = 10_000_000)
     ?(watchdog = Pipeline.default_watchdog) ?(invariants = Invariants.Off)
     ?invariant_every (cfg : Config.t) ~(make_policy : unit -> Policy.t)
     (programs : Protean_isa.Program.t array) =
-  let shared_l3 = Option.map Cache.create cfg.Config.l3 in
+  let shared_l3 = Option.map (Cache.create ~prot:false) cfg.Config.l3 in
   let cores =
     Array.map
       (fun program ->

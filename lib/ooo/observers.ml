@@ -9,8 +9,16 @@
      hooks are what this subscriber delivers.
    - "trace": the hardware observer trace ([Hw_trace]) — cache/TLB
      fills and evictions, squashes, machine clears, divider busy,
-     per-stage commit timing.
+     per-stage commit timing.  Installed only when tracing is enabled:
+     it is the sole claimant of the expensive kinds ([k_mem_path],
+     [k_div_busy]), so untraced runs never pay for them.
    - "stats": the [Stats] counters.
+
+   Each subscriber declares the event kinds it handles, which feeds the
+   bus's interest mask: an emit site whose kind has no subscriber costs
+   one load and a bit test.  The kind lists below must stay a superset
+   of each handler's match arms — a kind missing here silently drops
+   events for that handler.
 
    Registration order is policy, trace, stats; subscribers only touch
    state they own, so the order is not observable (policies write only
@@ -19,12 +27,17 @@
 open Protean_isa
 module S = Pipeline_state
 
+let policy_kinds = Hooks.[ k_rename; k_load_executed; k_commit ]
+
 let policy_handler (t : S.t) (ev : Hooks.event) =
   match ev with
   | Hooks.On_rename e -> t.S.policy.Policy.on_rename (S.api t) e
   | Hooks.On_load_executed e -> t.S.policy.Policy.on_load_executed (S.api t) e
   | Hooks.On_commit e -> t.S.policy.Policy.on_commit (S.api t) e
   | _ -> ()
+
+let trace_kinds =
+  Hooks.[ k_mem_access; k_mem_path; k_div_busy; k_squash; k_machine_clear; k_commit ]
 
 let trace_handler (t : S.t) (ev : Hooks.event) =
   let record = Hw_trace.record t.S.trace in
@@ -56,6 +69,22 @@ let trace_handler (t : S.t) (ev : Hooks.event) =
              commit = t.S.cycle;
            })
   | _ -> ()
+
+let stats_kinds =
+  Hooks.
+    [
+      k_fetch;
+      k_wakeup_blocked;
+      k_exec_blocked;
+      k_resolve_blocked;
+      k_mem_access;
+      k_load_executed;
+      k_mispredict;
+      k_order_violation;
+      k_squash;
+      k_machine_clear;
+      k_commit;
+    ]
 
 let stats_handler (t : S.t) (ev : Hooks.event) =
   let st = t.S.stats in
@@ -98,6 +127,7 @@ let stats_handler (t : S.t) (ev : Hooks.event) =
   | _ -> ()
 
 let install (t : S.t) =
-  Hooks.subscribe t.S.hooks ~name:"policy" policy_handler;
-  Hooks.subscribe t.S.hooks ~name:"trace" trace_handler;
-  Hooks.subscribe t.S.hooks ~name:"stats" stats_handler
+  Hooks.subscribe t.S.hooks ~name:"policy" ~kinds:policy_kinds policy_handler;
+  if Hw_trace.enabled t.S.trace then
+    Hooks.subscribe t.S.hooks ~name:"trace" ~kinds:trace_kinds trace_handler;
+  Hooks.subscribe t.S.hooks ~name:"stats" ~kinds:stats_kinds stats_handler

@@ -38,6 +38,7 @@ let fetch_buf_capacity = Pipeline_state.fetch_buf_capacity
 (* ROB / policy-API accessors. *)
 let rob_size = Pipeline_state.rob_size
 let get_entry = Pipeline_state.get_entry
+let peek = Pipeline_state.peek
 let head_entry = Pipeline_state.head_entry
 let iter_rob = Pipeline_state.iter_rob
 let tail_seq = Pipeline_state.tail_seq
@@ -45,6 +46,11 @@ let oldest_unresolved_branch = Pipeline_state.oldest_unresolved_branch
 let l1d_protected = Pipeline_state.l1d_protected
 let api = Pipeline_state.api
 let measurement_marker = Stage_commit.measurement_marker
+
+(* Brute-force cross-checking of the scheduler indexes each cycle
+   (protean-sim --paranoid-sched / PROTEAN_PARANOID_SCHED=1).  Takes
+   effect for pipelines created afterwards. *)
+let set_paranoid_sched v = Pipeline_state.paranoid_sched := v
 
 (* Structured faults and the watchdog. *)
 
@@ -80,8 +86,8 @@ let default_watchdog = Pipeline_state.default_watchdog
 
 (* Observer registration: extra subscribers (profilers, checkers) on top
    of the defaults installed by [create]. *)
-let subscribe (t : t) ~name handler =
-  Hooks.subscribe t.Pipeline_state.hooks ~name handler
+let subscribe ?kinds (t : t) ~name handler =
+  Hooks.subscribe ?kinds t.Pipeline_state.hooks ~name handler
 
 let unsubscribe (t : t) name = Hooks.unsubscribe t.Pipeline_state.hooks name
 
@@ -96,15 +102,25 @@ let create ?trace ?squash_bug ?spec_model ?shared_l3 (cfg : Config.t)
 
 (* One cycle: commit → resolve → execute → rename → fetch (reverse stage
    order, so each instruction spends ≥ 1 cycle per stage), then the
-   watchdog, then [On_cycle_end]. *)
+   watchdog, then [On_cycle_end].  With a [Profile] observer attached,
+   each stage boundary additionally emits [On_stage] (stage ids 0-4);
+   without one, [prof] is false and the cycle pays one interest-mask
+   test.  Under [--paranoid-sched] the scheduler indexes are
+   cross-checked against a brute-force ROB scan every cycle. *)
 let step ?(watchdog = default_watchdog) (t : t) =
   let open Pipeline_state in
+  let prof = Pipeline_state.wants t Hooks.k_stage in
   Stage_commit.run t;
+  if prof then Pipeline_state.emit t (Hooks.On_stage 0);
   if not t.done_ then begin
     Stage_issue_exec.resolve t;
+    if prof then Pipeline_state.emit t (Hooks.On_stage 1);
     Stage_issue_exec.run t;
+    if prof then Pipeline_state.emit t (Hooks.On_stage 2);
     Stage_rename.run t;
-    Stage_fetch.run t
+    if prof then Pipeline_state.emit t (Hooks.On_stage 3);
+    Stage_fetch.run t;
+    if prof then Pipeline_state.emit t (Hooks.On_stage 4)
   end;
   t.cycle <- t.cycle + 1;
   t.stats.Stats.cycles <- t.cycle;
@@ -115,7 +131,16 @@ let step ?(watchdog = default_watchdog) (t : t) =
     | Some b when t.cycle >= b -> raise (Sim_fault (fault t Budget_exhausted))
     | _ -> ()
   end;
-  Pipeline_state.emit t Hooks.On_cycle_end
+  if t.paranoid then (
+    match Invariants.check_sched t with
+    | [] -> ()
+    | vs ->
+        raise
+          (Sim_fault
+             (fault t
+                (Invariant_violation (Invariants.violations_to_string vs)))));
+  if Pipeline_state.wants t Hooks.k_cycle_end then
+    Pipeline_state.emit t Hooks.On_cycle_end
 
 type result = {
   stats : Stats.t;

@@ -4,7 +4,17 @@
    hierarchy walker and the squash engine operate on this one typed
    record; cross-cutting observers react to [Hooks] events carried by
    the [hooks] bus embedded in the record.  [Pipeline] composes the
-   stages into a cycle and owns the public API. *)
+   stages into a cycle and owns the public API.
+
+   Besides the architectural/microarchitectural state, the record holds
+   the O(active) issue scheduler's index structures (see
+   docs/architecture.md, "Performance"): the ROB ring is a flat
+   [Rob_entry.t array] with [Rob_entry.null] for empty slots, the
+   unissued and unresolved-branch sets are intrusive doubly-linked lists
+   threaded through the entries, and the in-flight/store/load sets are
+   [Entryq] deques.  All of them are *redundant* indexes over the ring:
+   [Invariants.check_sched] cross-checks them against a brute-force ROB
+   scan (per cycle under [paranoid_sched]). *)
 
 open Protean_isa
 open Protean_arch
@@ -32,14 +42,28 @@ type t = {
   rmap_producer : int array; (* per arch register: seq, or -1 *)
   rmap_value : int64 array;
   rmap_prot : bool array;
-  (* Reorder buffer: a ring indexed by sequence number. *)
-  rob : Rob_entry.t option array;
+  (* Reorder buffer: a ring indexed by sequence number; [Rob_entry.null]
+     marks an empty slot. *)
+  rob : Rob_entry.t array;
   mutable head_idx : int;
   mutable head_seq : int;
   mutable count : int;
   mutable next_seq : int;
   mutable lq_used : int;
   mutable sq_used : int;
+  (* O(active) scheduler indexes (redundant views over the ring). *)
+  mutable uq_head : Rob_entry.t; (* unissued entries, seq-ascending DLL *)
+  mutable uq_tail : Rob_entry.t;
+  mutable bq_head : Rob_entry.t; (* unresolved branches, seq-ascending DLL *)
+  mutable bq_tail : Rob_entry.t;
+  inflight : Entryq.t; (* issued && not executed, issue order *)
+  lsq_stores : Entryq.t; (* live stores, seq-ascending *)
+  lsq_loads : Entryq.t; (* live loads, seq-ascending *)
+  paranoid : bool; (* cross-check the indexes every cycle *)
+  (* Per-pc operand templates: [Insn.reads]/[Insn.writes] precomputed so
+     rename shares one immutable srcs/dsts array per program location. *)
+  tmpl_srcs : (Reg.t * Insn.role) array array;
+  tmpl_dsts : Reg.t array array;
   (* Frontend. *)
   mutable fetch_pc : int;
   mutable fetch_stalled : bool;
@@ -59,14 +83,22 @@ type t = {
   trace : Hw_trace.t;
   stats : Stats.t;
   hooks : t Hooks.t;
+  mutable api_memo : Policy.api option; (* built on first use, then reused *)
   mutable cycle : int;
   mutable done_ : bool;
   mutable last_commit_cycle : int;
-  mutable unresolved_memo_cycle : int;
-  mutable unresolved_memo : int;
 }
 
 let fetch_buf_capacity = 48
+
+(* Opt-in brute-force cross-checking of the scheduler indexes, for fuzz
+   campaigns chasing scheduler bugs: `protean-sim --paranoid-sched` or
+   PROTEAN_PARANOID_SCHED=1.  Consulted at [create]; per-pipeline. *)
+let paranoid_sched =
+  ref
+    (match Sys.getenv_opt "PROTEAN_PARANOID_SCHED" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
 
 let create ?(trace = false) ?(squash_bug = false)
     ?(spec_model = Policy.Atcommit) ?shared_l3 (cfg : Config.t)
@@ -81,8 +113,16 @@ let create ?(trace = false) ?(squash_bug = false)
   let l3 =
     match shared_l3 with
     | Some c -> Some c
-    | None -> Option.map Cache.create cfg.Config.l3
+    | None -> Option.map (Cache.create ~prot:false) cfg.Config.l3
   in
+  let plen = Program.length program in
+  let tmpl_srcs = Array.make plen [||] in
+  let tmpl_dsts = Array.make plen [||] in
+  for pc = 0 to plen - 1 do
+    let insn = Program.insn program pc in
+    tmpl_srcs.(pc) <- Array.of_list (Insn.reads insn.Insn.op);
+    tmpl_dsts.(pc) <- Array.of_list (Insn.writes insn.Insn.op)
+  done;
   {
     cfg;
     policy;
@@ -95,20 +135,30 @@ let create ?(trace = false) ?(squash_bug = false)
     rmap_producer = Array.make Reg.count (-1);
     rmap_value = Array.copy regs;
     rmap_prot = Array.make Reg.count false;
-    rob = Array.make cfg.Config.rob_size None;
+    rob = Array.make cfg.Config.rob_size Rob_entry.null;
     head_idx = 0;
     head_seq = 0;
     count = 0;
     next_seq = 0;
     lq_used = 0;
     sq_used = 0;
+    uq_head = Rob_entry.null;
+    uq_tail = Rob_entry.null;
+    bq_head = Rob_entry.null;
+    bq_tail = Rob_entry.null;
+    inflight = Entryq.create ~capacity:64 ();
+    lsq_stores = Entryq.create ~capacity:64 ();
+    lsq_loads = Entryq.create ~capacity:64 ();
+    paranoid = !paranoid_sched;
+    tmpl_srcs;
+    tmpl_dsts;
     fetch_pc = program.Program.main;
     fetch_stalled = false;
     fetch_buf = Queue.create ();
     bp = Branch_pred.create cfg.Config.bp;
     mdp = Bytes.make 1024 '\000';
     l1d = Cache.create cfg.Config.l1d;
-    l2 = Cache.create cfg.Config.l2;
+    l2 = Cache.create ~prot:false cfg.Config.l2;
     l3;
     tlb = Tlb.create cfg.Config.tlb_entries;
     shadow_prot =
@@ -118,14 +168,14 @@ let create ?(trace = false) ?(squash_bug = false)
     trace = Hw_trace.create ~enabled:trace;
     stats = Stats.create ();
     hooks = Hooks.create ();
+    api_memo = None;
     cycle = 0;
     done_ = false;
     last_commit_cycle = 0;
-    unresolved_memo_cycle = -1;
-    unresolved_memo = max_int;
   }
 
 let emit t ev = Hooks.emit t.hooks t ev
+let wants t kind = Hooks.wanted t.hooks kind
 
 (* ------------------------------------------------------------------ *)
 (* ROB ring operations                                                 *)
@@ -136,43 +186,87 @@ let rob_full t = t.count >= rob_size t
 
 let idx_of_seq t seq = (t.head_idx + (seq - t.head_seq)) mod rob_size t
 
-let get_entry t seq =
-  if seq < t.head_seq || seq >= t.head_seq + t.count then None
+(* Allocation-free lookup: [Rob_entry.null] when [seq] is not live. *)
+let peek t seq =
+  if seq < t.head_seq || seq >= t.head_seq + t.count then Rob_entry.null
   else t.rob.(idx_of_seq t seq)
 
-let head_entry t = if t.count = 0 then None else t.rob.(t.head_idx)
+let get_entry t seq =
+  let e = peek t seq in
+  if Rob_entry.is_null e then None else Some e
+
+let head_entry t = if t.count = 0 then None else Some t.rob.(t.head_idx)
 
 (* Iterate over ROB entries from oldest to youngest. *)
 let iter_rob t f =
+  let n = rob_size t in
   for i = 0 to t.count - 1 do
-    match t.rob.((t.head_idx + i) mod rob_size t) with
-    | Some e -> f e
-    | None -> ()
+    f t.rob.((t.head_idx + i) mod n)
   done
 
 let tail_seq t = t.head_seq + t.count - 1
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler index maintenance                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Unissued list: entries append at rename (seq-ascending by
+   construction), unlink when they issue, truncate from the tail on a
+   squash.  Dormant entries stay linked — the issue scan skips them with
+   one flag test; what makes the scan O(active) is never visiting
+   issued/executed/committed entries at all. *)
+
+let uq_push t (e : Rob_entry.t) =
+  if Rob_entry.is_null t.uq_tail then begin
+    t.uq_head <- e;
+    t.uq_tail <- e
+  end
+  else begin
+    e.Rob_entry.uq_prev <- t.uq_tail;
+    t.uq_tail.Rob_entry.uq_next <- e;
+    t.uq_tail <- e
+  end
+
+let uq_unlink t (e : Rob_entry.t) =
+  let p = e.Rob_entry.uq_prev and n = e.Rob_entry.uq_next in
+  if Rob_entry.is_null p then t.uq_head <- n
+  else p.Rob_entry.uq_next <- n;
+  if Rob_entry.is_null n then t.uq_tail <- p
+  else n.Rob_entry.uq_prev <- p;
+  e.Rob_entry.uq_prev <- Rob_entry.null;
+  e.Rob_entry.uq_next <- Rob_entry.null
+
+(* Unresolved-branch list: append at rename, unlink the moment an entry
+   resolves, truncate from the tail on a squash.  Its head therefore *is*
+   the oldest unresolved branch — the CONTROL speculation model's query
+   is O(1) instead of a memoized ROB scan. *)
+
+let bq_push t (e : Rob_entry.t) =
+  if Rob_entry.is_null t.bq_tail then begin
+    t.bq_head <- e;
+    t.bq_tail <- e
+  end
+  else begin
+    e.Rob_entry.bq_prev <- t.bq_tail;
+    t.bq_tail.Rob_entry.bq_next <- e;
+    t.bq_tail <- e
+  end
+
+let bq_unlink t (e : Rob_entry.t) =
+  let p = e.Rob_entry.bq_prev and n = e.Rob_entry.bq_next in
+  if Rob_entry.is_null p then t.bq_head <- n
+  else p.Rob_entry.bq_next <- n;
+  if Rob_entry.is_null n then t.bq_tail <- p
+  else n.Rob_entry.bq_prev <- p;
+  e.Rob_entry.bq_prev <- Rob_entry.null;
+  e.Rob_entry.bq_next <- Rob_entry.null
 
 (* ------------------------------------------------------------------ *)
 (* Policy API                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let oldest_unresolved_branch t =
-  if t.unresolved_memo_cycle = t.cycle then t.unresolved_memo
-  else begin
-    let min_seq = ref max_int in
-    (try
-       iter_rob t (fun e ->
-           if e.Rob_entry.is_branch && not e.Rob_entry.resolved then begin
-             min_seq := e.Rob_entry.seq;
-             raise Exit
-           end)
-     with Exit -> ());
-    t.unresolved_memo_cycle <- t.cycle;
-    t.unresolved_memo <- !min_seq;
-    !min_seq
-  end
-
-let invalidate_unresolved_memo t = t.unresolved_memo_cycle <- -1
+  if Rob_entry.is_null t.bq_head then max_int else t.bq_head.Rob_entry.seq
 
 let l1d_protected t addr size =
   match t.cfg.Config.prot_mem with
@@ -181,16 +275,27 @@ let l1d_protected t addr size =
   | Config.Prot_mem_perfect ->
       Protset.mem_protected (Option.get t.shadow_prot) addr size
 
+(* One api record per pipeline, built on first use: the closures are
+   loop-invariant, so handing policies a fresh record per query (the old
+   behavior) only fed the minor heap. *)
 let api t : Policy.api =
-  {
-    Policy.cfg = t.cfg;
-    spec_model = t.spec_model;
-    head_seq = (fun () -> if t.count = 0 then max_int else t.head_seq);
-    oldest_unresolved_branch = (fun () -> oldest_unresolved_branch t);
-    get_entry = (fun seq -> get_entry t seq);
-    l1d_protected = (fun addr size -> l1d_protected t addr size);
-    stats = t.stats;
-  }
+  match t.api_memo with
+  | Some a -> a
+  | None ->
+      let a =
+        {
+          Policy.cfg = t.cfg;
+          spec_model = t.spec_model;
+          head_seq = (fun () -> if t.count = 0 then max_int else t.head_seq);
+          oldest_unresolved_branch = (fun () -> oldest_unresolved_branch t);
+          get_entry = (fun seq -> get_entry t seq);
+          peek = (fun seq -> peek t seq);
+          l1d_protected = (fun addr size -> l1d_protected t addr size);
+          stats = t.stats;
+        }
+      in
+      t.api_memo <- Some a;
+      a
 
 (* ------------------------------------------------------------------ *)
 (* Watchdog and structured faults                                      *)
@@ -288,15 +393,15 @@ let debug_dump t =
 let check_ring t =
   for i = 0 to t.count - 1 do
     let idx = (t.head_idx + i) mod rob_size t in
-    match t.rob.(idx) with
-    | Some e ->
-        if e.Rob_entry.seq <> t.head_seq + i then begin
-          debug_dump t;
-          failwith
-            (Printf.sprintf "ring desync: slot %d has seq %d, expected %d" i
-               e.Rob_entry.seq (t.head_seq + i))
-        end
-    | None ->
-        debug_dump t;
-        failwith (Printf.sprintf "ring hole at slot %d (seq %d)" i (t.head_seq + i))
+    let e = t.rob.(idx) in
+    if Rob_entry.is_null e then begin
+      debug_dump t;
+      failwith (Printf.sprintf "ring hole at slot %d (seq %d)" i (t.head_seq + i))
+    end
+    else if e.Rob_entry.seq <> t.head_seq + i then begin
+      debug_dump t;
+      failwith
+        (Printf.sprintf "ring desync: slot %d has seq %d, expected %d" i
+           e.Rob_entry.seq (t.head_seq + i))
+    end
   done

@@ -24,6 +24,9 @@ type api = {
   head_seq : unit -> int; (* seq at the ROB head; max_int when empty *)
   oldest_unresolved_branch : unit -> int; (* max_int when none *)
   get_entry : int -> Rob_entry.t option;
+  peek : int -> Rob_entry.t;
+      (* allocation-free [get_entry]: [Rob_entry.null] when not live —
+         prefer it in per-cycle policy paths *)
   l1d_protected : int64 -> int -> bool;
   stats : Stats.t;
 }
@@ -49,14 +52,18 @@ let tainted api (e : Rob_entry.t) = root_speculative api e.Rob_entry.taint_root
    their taint roots (the youngest root dominates, exactly STT's
    youngest-root-of-taint).  Committed producers contribute no taint. *)
 let inherited_taint api (e : Rob_entry.t) =
+  let producers = e.Rob_entry.src_producer in
+  let n = Array.length producers in
   let root = ref (-1) in
-  Array.iter
-    (fun p ->
-      if p >= 0 then
-        match api.get_entry p with
-        | Some prod -> root := max !root prod.Rob_entry.taint_root
-        | None -> ())
-    e.Rob_entry.src_producer;
+  for i = 0 to n - 1 do
+    let p = producers.(i) in
+    if p >= 0 then begin
+      let prod = api.peek p in
+      if not (Rob_entry.is_null prod) then
+        if prod.Rob_entry.taint_root > !root then
+          root := prod.Rob_entry.taint_root
+    end
+  done;
   !root
 
 type t = {

@@ -1,0 +1,87 @@
+(* Sampling stage profiler, attached through the hook bus.
+
+   When attached it subscribes to [On_stage] (emitted by [Pipeline.step]
+   after each stage, ids below), [On_cycle_end] and [On_commit], and
+   accumulates
+   - wall-clock seconds per pipeline stage (delta between consecutive
+     stage marks within a cycle),
+   - simulated-cycle attribution per program counter: each committed
+     instruction adds its fetch-to-commit latency to its pc's bucket, a
+     cheap "where do the cycles go" histogram.
+
+   Cost contract: the profiler is *provably free when off*.  [k_stage]
+   and [k_cycle_end] have no other default claimant, so with no profiler
+   attached [Pipeline.step] skips the [On_stage] emissions entirely (one
+   interest-mask test per cycle) and allocates nothing.  The per-commit
+   attribution rides the always-on [On_commit] event and only costs when
+   attached. *)
+
+module S = Pipeline_state
+
+(* Stage ids, in the order [Pipeline.step] runs them.  Id 5 ("between")
+   collects everything outside the five stages: watchdog, invariant
+   subscribers, the driver's own per-cycle work. *)
+let stage_names = [| "commit"; "resolve"; "issue_exec"; "rename"; "fetch"; "between" |]
+let n_stages = Array.length stage_names
+
+type t = {
+  stage_s : float array; (* wall seconds per stage id *)
+  mutable last : float; (* timestamp of the previous mark *)
+  mutable cycles : int; (* cycles profiled *)
+  pc_cycles : (int, int) Hashtbl.t; (* pc -> summed fetch-to-commit cycles *)
+}
+
+let create () =
+  {
+    stage_s = Array.make n_stages 0.0;
+    last = 0.0;
+    cycles = 0;
+    pc_cycles = Hashtbl.create 64;
+  }
+
+let handler (p : t) (t : S.t) (ev : Hooks.event) =
+  match ev with
+  | Hooks.On_stage i ->
+      let now = Unix.gettimeofday () in
+      p.stage_s.(i) <- p.stage_s.(i) +. (now -. p.last);
+      p.last <- now
+  | Hooks.On_cycle_end ->
+      let now = Unix.gettimeofday () in
+      p.stage_s.(n_stages - 1) <- p.stage_s.(n_stages - 1) +. (now -. p.last);
+      p.last <- now;
+      p.cycles <- p.cycles + 1
+  | Hooks.On_commit e ->
+      let pc = e.Rob_entry.pc in
+      let dt = t.S.cycle - e.Rob_entry.t_fetch in
+      let prev = try Hashtbl.find p.pc_cycles pc with Not_found -> 0 in
+      Hashtbl.replace p.pc_cycles pc (prev + dt)
+  | _ -> ()
+
+let attach (p : t) (t : S.t) =
+  p.last <- Unix.gettimeofday ();
+  Hooks.subscribe t.S.hooks ~name:"profile"
+    ~kinds:Hooks.[ k_stage; k_cycle_end; k_commit ]
+    (handler p)
+
+let detach (t : S.t) = Hooks.unsubscribe t.S.hooks "profile"
+let total_seconds p = Array.fold_left ( +. ) 0.0 p.stage_s
+
+(* (stage name, seconds, share of profiled time), stage order. *)
+let stage_breakdown p =
+  let total = total_seconds p in
+  Array.to_list
+    (Array.mapi
+       (fun i s ->
+         (stage_names.(i), p.stage_s.(i), if total > 0.0 then s /. total else 0.0))
+       p.stage_s)
+
+(* Top-[n] program counters by attributed cycles. *)
+let top_pcs ?(n = 10) p =
+  let all = Hashtbl.fold (fun pc c acc -> (pc, c) :: acc) p.pc_cycles [] in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) all in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: tl -> x :: take (k - 1) tl
+  in
+  take n sorted

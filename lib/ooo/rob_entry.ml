@@ -1,6 +1,8 @@
 (* A reorder-buffer entry: one in-flight instruction with its renamed
-   sources, results, memory/branch state, ProtISA protection tags and the
-   defense policies' taint bookkeeping. *)
+   sources, results, memory/branch state, ProtISA protection tags, the
+   defense policies' taint bookkeeping, and the intrusive links of the
+   O(active) issue scheduler (unissued list, unresolved-branch list,
+   producer→consumer wakeup chain). *)
 
 open Protean_isa
 
@@ -10,7 +12,8 @@ type t = {
   seq : int;
   pc : int;
   insn : Insn.t;
-  (* Renamed sources, in the order of [Insn.reads]. *)
+  (* Renamed sources, in the order of [Insn.reads].  [srcs] and [dsts]
+     are immutable and may be shared between entries of the same pc. *)
   srcs : (Reg.t * Insn.role) array;
   src_producer : int array; (* producer seq, or -1 when read from regfile *)
   src_val : int64 array;
@@ -55,6 +58,25 @@ type t = {
       (* per-source scratch for policies that track their own notion of
          public data (SPT's transmitted-state), parallel to [srcs] *)
   mutable pol_out_pub : bool;
+  (* O(active) scheduler state.  All links are [null]-terminated; [null]
+     itself is a shared sentinel that must never be mutated. *)
+  mutable dormant : bool;
+      (* unissued and every non-ready source has a live, un-executed
+         producer: skipped by the issue scan until a producer executes *)
+  wl_next : t array;
+      (* per-source wakeup-chain links.  Invariant: source slot [i] is a
+         member of its producer's waiter chain iff the slot is non-ready
+         and the producer is live and un-executed (membership is created
+         at rename and cleared by the producer's execution or a squash).
+         A chain node is the pair (entry, slot): [wl_next.(i)]/[wl_slot.(i)]
+         name the next node. *)
+  wl_slot : int array;
+  mutable waiters : t; (* head entry of the chain of waiting consumers *)
+  mutable waiters_slot : int; (* slot of the head node *)
+  mutable uq_prev : t; (* unissued list (seq-ascending doubly linked) *)
+  mutable uq_next : t;
+  mutable bq_prev : t; (* unresolved-branch list (seq-ascending) *)
+  mutable bq_next : t;
   (* Timing, for the timing-based adversary and statistics. *)
   mutable t_fetch : int;
   mutable t_rename : int;
@@ -62,14 +84,76 @@ type t = {
   mutable t_complete : int;
 }
 
+(* The shared sentinel: one immutable-in-practice entry standing for
+   "no entry" everywhere an [option] would otherwise allocate.  Never
+   write through it. *)
+let rec null =
+  {
+    seq = -1;
+    pc = -1;
+    insn = Insn.make Insn.Nop;
+    srcs = [||];
+    src_producer = [||];
+    src_val = [||];
+    src_ready = [||];
+    src_prot = [||];
+    dsts = [||];
+    dst_val = [||];
+    out_prot = false;
+    issued = false;
+    cycles_left = -1;
+    executed = false;
+    fault = false;
+    mem_kind = M_none;
+    addr = 0L;
+    msize = 0;
+    addr_ready = false;
+    mem_value = 0L;
+    mem_prot = false;
+    fwd_from = -1;
+    is_branch = false;
+    pred_target = -1;
+    actual_target = -1;
+    mispredicted = false;
+    resolved = false;
+    taint_root = -1;
+    access_at_rename = false;
+    late_access = false;
+    fwd_block_store = -1;
+    pred_no_access = false;
+    pol_src_pub = [||];
+    pol_out_pub = false;
+    dormant = false;
+    wl_next = [||];
+    wl_slot = [||];
+    waiters = null;
+    waiters_slot = 0;
+    uq_prev = null;
+    uq_next = null;
+    bq_prev = null;
+    bq_next = null;
+    t_fetch = -1;
+    t_rename = -1;
+    t_issue = -1;
+    t_complete = -1;
+  }
+
+let is_null e = e == null
+
 let mem_kind_of op =
   if Insn.is_load op then M_load
   else if Insn.is_store op then M_store
   else M_none
 
-let create ~seq ~pc ~(insn : Insn.t) ~t_fetch =
-  let srcs = Array.of_list (Insn.reads insn.op) in
-  let dsts = Array.of_list (Insn.writes insn.op) in
+(* [srcs]/[dsts] may be passed in (shared, per-pc templates built at
+   rename) to avoid recomputing [Insn.reads]/[Insn.writes] per entry. *)
+let create ?srcs ?dsts ~seq ~pc ~(insn : Insn.t) ~t_fetch () =
+  let srcs =
+    match srcs with Some a -> a | None -> Array.of_list (Insn.reads insn.op)
+  in
+  let dsts =
+    match dsts with Some a -> a | None -> Array.of_list (Insn.writes insn.op)
+  in
   let n = Array.length srcs in
   {
     seq;
@@ -106,6 +190,15 @@ let create ~seq ~pc ~(insn : Insn.t) ~t_fetch =
     pred_no_access = false;
     pol_src_pub = Array.make n false;
     pol_out_pub = false;
+    dormant = false;
+    wl_next = Array.make n null;
+    wl_slot = Array.make n (-1);
+    waiters = null;
+    waiters_slot = 0;
+    uq_prev = null;
+    uq_next = null;
+    bq_prev = null;
+    bq_next = null;
     t_fetch;
     t_rename = -1;
     t_issue = -1;
@@ -120,22 +213,29 @@ let is_transmitter e = Insn.is_transmitter e.insn.Insn.op
    transmitters (Definition 1) additionally include loads whose sensitive
    memory input is protected, checked at execute via [mem_prot]. *)
 let protected_sensitive_reg e =
-  let any = ref false in
-  Array.iteri
-    (fun i (_, role) ->
-      match role with
-      | Insn.Addr | Insn.Cond_in | Insn.Target | Insn.Divide ->
-          if e.src_prot.(i) then any := true
-      | Insn.Data -> ())
-    e.srcs;
-  !any
+  let n = Array.length e.srcs in
+  let rec loop i =
+    i < n
+    && ((match snd e.srcs.(i) with
+        | Insn.Addr | Insn.Cond_in | Insn.Target | Insn.Divide ->
+            e.src_prot.(i)
+        | Insn.Data -> false)
+       || loop (i + 1))
+  in
+  loop 0
 
 (* Any protected register input at all (including data inputs). *)
-let protected_reg_input e = Array.exists (fun b -> b) e.src_prot
+let protected_reg_input e =
+  let n = Array.length e.src_prot in
+  let rec loop i = i < n && (e.src_prot.(i) || loop (i + 1)) in
+  loop 0
 
 let find_src e reg role =
-  let found = ref (-1) in
-  Array.iteri
-    (fun i (r, ro) -> if Reg.equal r reg && ro = role && !found < 0 then found := i)
-    e.srcs;
-  !found
+  let n = Array.length e.srcs in
+  let rec loop i =
+    if i >= n then -1
+    else
+      let r, ro = e.srcs.(i) in
+      if Reg.equal r reg && ro = role then i else loop (i + 1)
+  in
+  loop 0

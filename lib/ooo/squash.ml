@@ -5,7 +5,17 @@
    itself — ROB truncation, LSQ accounting, rename-map rebuild with
    ProtISA protection replay, RSB clear — is structural state owned
    here; observers learn about it from the [On_squash] event emitted
-   once the pipeline is consistent again. *)
+   once the pipeline is consistent again.
+
+   The flush also rebuilds every scheduler index exactly:
+   - unissued/branch lists: truncated from the tail (both seq-ascending),
+   - in-flight deque and live store/load queues: filtered/truncated,
+   - wakeup chains: flushed consumers are removed from surviving
+     producers' chains.  A flushed *producer*'s chain needs no care —
+     its waiters are younger than it, hence also flushed.
+   Truncation must be eager (not lazy tombstoning) because squashed
+   sequence numbers are reused: a stale entry left in an index could
+   later alias a re-renamed entry with the same seq. *)
 
 open Protean_isa
 module S = Pipeline_state
@@ -17,13 +27,15 @@ let flush (t : S.t) ~from_seq ~new_pc =
   let keep = if keep < 0 then 0 else keep in
   for i = keep to t.S.count - 1 do
     let idx = (t.S.head_idx + i) mod S.rob_size t in
-    (match t.S.rob.(idx) with
-    | Some e ->
-        incr flushed;
-        if Rob_entry.is_load e then t.S.lq_used <- t.S.lq_used - 1;
-        if Rob_entry.is_store e then t.S.sq_used <- t.S.sq_used - 1
-    | None -> ());
-    t.S.rob.(idx) <- None
+    let e = t.S.rob.(idx) in
+    if not (Rob_entry.is_null e) then begin
+      incr flushed;
+      if Rob_entry.is_load e then t.S.lq_used <- t.S.lq_used - 1;
+      if Rob_entry.is_store e then t.S.sq_used <- t.S.sq_used - 1;
+      e.Rob_entry.dormant <- false;
+      e.Rob_entry.waiters <- Rob_entry.null
+    end;
+    t.S.rob.(idx) <- Rob_entry.null
   done;
   t.S.count <- min t.S.count keep;
   (* Squashed sequence numbers are reused so the ROB ring stays
@@ -31,6 +43,48 @@ let flush (t : S.t) ~from_seq ~new_pc =
      roots, forwarding stores) points at strictly older entries, so no
      alias with a reused number can arise. *)
   t.S.next_seq <- t.S.head_seq + t.S.count;
+  (* Scheduler indexes: drop everything from [from_seq] on. *)
+  while
+    (not (Rob_entry.is_null t.S.uq_tail))
+    && t.S.uq_tail.Rob_entry.seq >= from_seq
+  do
+    S.uq_unlink t t.S.uq_tail
+  done;
+  while
+    (not (Rob_entry.is_null t.S.bq_tail))
+    && t.S.bq_tail.Rob_entry.seq >= from_seq
+  do
+    S.bq_unlink t t.S.bq_tail
+  done;
+  Entryq.truncate_ge t.S.lsq_stores from_seq;
+  Entryq.truncate_ge t.S.lsq_loads from_seq;
+  Entryq.filter_lt t.S.inflight from_seq;
+  (* Remove flushed consumers from surviving producers' wakeup chains
+     (chain nodes are (entry, source-slot) pairs; surviving members keep
+     their membership, rebuilt by prepending). *)
+  S.iter_rob t (fun p ->
+      if not (Rob_entry.is_null p.Rob_entry.waiters) then begin
+        let kept = ref Rob_entry.null and kept_slot = ref 0 in
+        let c = ref p.Rob_entry.waiters in
+        let s = ref p.Rob_entry.waiters_slot in
+        while not (Rob_entry.is_null !c) do
+          let cur = !c and slot = !s in
+          c := cur.Rob_entry.wl_next.(slot);
+          s := cur.Rob_entry.wl_slot.(slot);
+          if cur.Rob_entry.seq < from_seq then begin
+            cur.Rob_entry.wl_next.(slot) <- !kept;
+            cur.Rob_entry.wl_slot.(slot) <- !kept_slot;
+            kept := cur;
+            kept_slot := slot
+          end
+          else begin
+            cur.Rob_entry.wl_next.(slot) <- Rob_entry.null;
+            cur.Rob_entry.wl_slot.(slot) <- -1
+          end
+        done;
+        p.Rob_entry.waiters <- !kept;
+        p.Rob_entry.waiters_slot <- !kept_slot
+      end);
   flushed := !flushed + Queue.length t.S.fetch_buf;
   Queue.clear t.S.fetch_buf;
   (* Rebuild the rename map from the committed state plus surviving
@@ -59,5 +113,5 @@ let flush (t : S.t) ~from_seq ~new_pc =
   Branch_pred.rsb_clear t.S.bp;
   t.S.fetch_stalled <- false;
   t.S.fetch_pc <- new_pc;
-  S.invalidate_unresolved_memo t;
-  S.emit t (Hooks.On_squash { from_seq; new_pc; flushed = !flushed })
+  if S.wants t Hooks.k_squash then
+    S.emit t (Hooks.On_squash { from_seq; new_pc; flushed = !flushed })

@@ -48,22 +48,21 @@ let commit_one (t : S.t) (e : Rob_entry.t) =
     ignore (Mem_hierarchy.access t e.Rob_entry.addr)
   end;
   commit_protisa_memory t e;
-  Array.iteri
-    (fun i r ->
-      let ri = Reg.to_int r in
-      t.S.regs.(ri) <- e.Rob_entry.dst_val.(i);
-      t.S.reg_prot.(ri) <- e.Rob_entry.out_prot)
-    e.Rob_entry.dsts;
+  let dsts = e.Rob_entry.dsts in
+  for i = 0 to Array.length dsts - 1 do
+    let ri = Reg.to_int dsts.(i) in
+    t.S.regs.(ri) <- e.Rob_entry.dst_val.(i);
+    t.S.reg_prot.(ri) <- e.Rob_entry.out_prot
+  done;
   (* Release the rename-map mapping if this entry is still the youngest
      writer. *)
-  Array.iter
-    (fun r ->
-      let ri = Reg.to_int r in
-      if t.S.rmap_producer.(ri) = e.Rob_entry.seq then begin
-        t.S.rmap_producer.(ri) <- -1;
-        t.S.rmap_value.(ri) <- t.S.regs.(ri)
-      end)
-    e.Rob_entry.dsts;
+  for i = 0 to Array.length dsts - 1 do
+    let ri = Reg.to_int dsts.(i) in
+    if t.S.rmap_producer.(ri) = e.Rob_entry.seq then begin
+      t.S.rmap_producer.(ri) <- -1;
+      t.S.rmap_value.(ri) <- t.S.regs.(ri)
+    end
+  done;
   (* Train predictors. *)
   (match e.Rob_entry.insn.Insn.op with
   | Insn.Jcc (_, target) ->
@@ -73,14 +72,21 @@ let commit_one (t : S.t) (e : Rob_entry.t) =
       Branch_pred.update_indirect t.S.bp e.Rob_entry.pc
         e.Rob_entry.actual_target
   | _ -> ());
-  S.emit t (Hooks.On_commit e);
-  (* Remove from the ROB. *)
-  t.S.rob.(t.S.head_idx) <- None;
+  if S.wants t Hooks.k_commit then S.emit t (Hooks.On_commit e);
+  (* Remove from the ROB (and the live load/store queues — a committing
+     load/store is necessarily the front of its seq-ascending queue). *)
+  t.S.rob.(t.S.head_idx) <- Rob_entry.null;
   t.S.head_idx <- (t.S.head_idx + 1) mod S.rob_size t;
   t.S.head_seq <- t.S.head_seq + 1;
   t.S.count <- t.S.count - 1;
-  if Rob_entry.is_load e then t.S.lq_used <- t.S.lq_used - 1;
-  if Rob_entry.is_store e then t.S.sq_used <- t.S.sq_used - 1;
+  if Rob_entry.is_load e then begin
+    t.S.lq_used <- t.S.lq_used - 1;
+    Entryq.drop_front t.S.lsq_loads
+  end;
+  if Rob_entry.is_store e then begin
+    t.S.sq_used <- t.S.sq_used - 1;
+    Entryq.drop_front t.S.lsq_stores
+  end;
   t.S.last_commit_cycle <- t.S.cycle
 
 let run (t : S.t) =
@@ -88,30 +94,32 @@ let run (t : S.t) =
   let continue_ = ref true in
   while !continue_ && !committed < t.S.cfg.Config.commit_width && not t.S.done_
   do
-    match S.head_entry t with
-    | None -> continue_ := false
-    | Some e ->
-        if not e.Rob_entry.executed then continue_ := false
-        else if e.Rob_entry.is_branch && not e.Rob_entry.resolved then
-          (* The resolution stage handles it (at the head the policy must
-             allow resolution: the branch is non-speculative). *)
+    if t.S.count = 0 then continue_ := false
+    else begin
+      let e = t.S.rob.(t.S.head_idx) in
+      if not e.Rob_entry.executed then continue_ := false
+      else if e.Rob_entry.is_branch && not e.Rob_entry.resolved then
+        (* The resolution stage handles it (at the head the policy must
+           allow resolution: the branch is non-speculative). *)
+        continue_ := false
+      else begin
+        let was_halt = e.Rob_entry.insn.Insn.op = Insn.Halt in
+        let faulted = e.Rob_entry.fault in
+        let next_pc = e.Rob_entry.pc + 1 in
+        commit_one t e;
+        incr committed;
+        if was_halt then begin
+          t.S.done_ <- true;
           continue_ := false
-        else begin
-          let was_halt = e.Rob_entry.insn.Insn.op = Insn.Halt in
-          let faulted = e.Rob_entry.fault in
-          let next_pc = e.Rob_entry.pc + 1 in
-          commit_one t e;
-          incr committed;
-          if was_halt then begin
-            t.S.done_ <- true;
-            continue_ := false
-          end
-          else if faulted then begin
-            (* Division fault: machine clear (squash everything younger
-               and refetch). *)
-            S.emit t Hooks.On_machine_clear;
-            Squash.flush t ~from_seq:t.S.head_seq ~new_pc:next_pc;
-            continue_ := false
-          end
         end
+        else if faulted then begin
+          (* Division fault: machine clear (squash everything younger
+             and refetch). *)
+          if S.wants t Hooks.k_machine_clear then
+            S.emit t Hooks.On_machine_clear;
+          Squash.flush t ~from_seq:t.S.head_seq ~new_pc:next_pc;
+          continue_ := false
+        end
+      end
+    end
   done

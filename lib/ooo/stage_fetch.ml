@@ -46,7 +46,7 @@ let run (t : S.t) =
         f_fetched = t.S.cycle;
       }
       t.S.fetch_buf;
-    S.emit t (Hooks.On_fetch { pc; insn });
+    if S.wants t Hooks.k_fetch then S.emit t (Hooks.On_fetch { pc; insn });
     incr fetched;
     if next < 0 then t.S.fetch_stalled <- true else t.S.fetch_pc <- next
   done

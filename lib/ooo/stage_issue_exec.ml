@@ -7,6 +7,19 @@
    with MDP-guided stalls, hierarchy walks via [Mem_hierarchy]), and
    delayed branch resolution with at most one squash per cycle.
 
+   Cost model (the O(active) scheduler): the per-cycle work is
+   - [tick]: one pass over the in-flight deque (issued, not executed),
+   - the issue scan: the unissued list in seq order, skipping dormant
+     entries with one flag test, breaking once [issue_width] is spent,
+   - [resolve]: three passes over the unresolved-branch list.
+   None of these ever visits an executed-but-uncommitted or committed
+   slot, so cost tracks active instructions, not ROB capacity.  The
+   traversal orders equal the old full-ring scans' (both seq-ascending),
+   so every emission and policy query happens at the same point of the
+   same cycle — asserted bit-for-bit by the golden corpus, and
+   cross-checked against brute-force ring scans under
+   [Pipeline_state.paranoid_sched].
+
    Events: [On_wakeup]/[On_wakeup_blocked] per source, [On_exec_blocked]
    and [On_resolve_blocked] per denied cycle, [On_forward] on LSQ hits,
    [On_load_executed], [On_div_busy], [On_order_violation],
@@ -16,51 +29,66 @@ open Protean_isa
 open Protean_arch
 module S = Pipeline_state
 
-(* Value produced for register [r] by entry [p]. *)
-let producer_value (p : Rob_entry.t) r =
-  let n = Array.length p.Rob_entry.dsts in
-  let rec loop i =
-    if i >= n then None
-    else if Reg.equal p.Rob_entry.dsts.(i) r then Some p.Rob_entry.dst_val.(i)
-    else loop (i + 1)
+(* Copy the value produced for register [r] by entry [p] into
+   [e.src_val.(i)] (no-op when [p] does not write [r], matching the old
+   [producer_value] returning [None]). *)
+let copy_producer_value (p : Rob_entry.t) r (e : Rob_entry.t) i =
+  let dsts = p.Rob_entry.dsts in
+  let n = Array.length dsts in
+  let rec loop j =
+    if j < n then
+      if Reg.equal dsts.(j) r then e.Rob_entry.src_val.(i) <- p.Rob_entry.dst_val.(j)
+      else loop (j + 1)
   in
   loop 0
 
 (* Try to make all of [e]'s sources ready; returns true when they are.
    Values from in-flight producers are only visible once the producer has
    executed *and* the policy allows it to forward (the AccessDelay /
-   ProtDelay wakeup-gating point). *)
+   ProtDelay wakeup-gating point).
+
+   Side effect on the scheduler: when nothing blocked on policy and some
+   producer simply has not executed yet, every remaining non-ready
+   source is waiting on an un-executed producer — the entry goes dormant
+   and the issue scan skips it until [tick] wakes it.  Skipping is
+   exact: for such an entry this function is pure and false (no
+   emission, no mutation), and each of those sources already sits in its
+   producer's wakeup chain (registered at rename, membership cleared
+   only by the producer executing), so the *first* producer to execute
+   wakes the entry.  No chain registration happens here. *)
 let sources_ready (t : S.t) (e : Rob_entry.t) =
   let ap = S.api t in
+  let ready = e.Rob_entry.src_ready in
+  let n = Array.length ready in
   let all = ref true in
-  Array.iteri
-    (fun i ready ->
-      if not ready then begin
-        let r, _ = e.Rob_entry.srcs.(i) in
-        let p = e.Rob_entry.src_producer.(i) in
-        match S.get_entry t p with
-        | None ->
-            (* Producer committed: its value is in the architectural
-               register file (no younger writer can have committed). *)
-            e.Rob_entry.src_val.(i) <- t.S.regs.(Reg.to_int r);
-            e.Rob_entry.src_ready.(i) <- true
-        | Some prod ->
-            if prod.Rob_entry.executed then
-              if t.S.policy.Policy.may_forward ap prod then begin
-                (match producer_value prod r with
-                | Some v -> e.Rob_entry.src_val.(i) <- v
-                | None -> ());
-                e.Rob_entry.src_ready.(i) <- true;
-                S.emit t (Hooks.On_wakeup { consumer = e; producer = prod })
-              end
-              else begin
-                S.emit t
-                  (Hooks.On_wakeup_blocked { consumer = e; producer = prod });
-                all := false
-              end
-            else all := false
-      end)
-    e.Rob_entry.src_ready;
+  let policy_blocked = ref false in
+  for i = 0 to n - 1 do
+    if not ready.(i) then begin
+      let r, _ = e.Rob_entry.srcs.(i) in
+      let prod = S.peek t e.Rob_entry.src_producer.(i) in
+      if Rob_entry.is_null prod then begin
+        (* Producer committed: its value is in the architectural
+           register file (no younger writer can have committed). *)
+        e.Rob_entry.src_val.(i) <- t.S.regs.(Reg.to_int r);
+        ready.(i) <- true
+      end
+      else if prod.Rob_entry.executed then
+        if t.S.policy.Policy.may_forward ap prod then begin
+          copy_producer_value prod r e i;
+          ready.(i) <- true;
+          if S.wants t Hooks.k_wakeup then
+            S.emit t (Hooks.On_wakeup { consumer = e; producer = prod })
+        end
+        else begin
+          if S.wants t Hooks.k_wakeup_blocked then
+            S.emit t (Hooks.On_wakeup_blocked { consumer = e; producer = prod });
+          all := false;
+          policy_blocked := true
+        end
+      else all := false
+    end
+  done;
+  if (not !all) && not !policy_blocked then e.Rob_entry.dormant <- true;
   !all
 
 let src_value (e : Rob_entry.t) reg role =
@@ -127,7 +155,8 @@ let start_execution (t : S.t) (e : Rob_entry.t) =
         if Int64.equal dv 0L then t.S.cfg.Config.div_base_latency
         else t.S.cfg.Config.div_base_latency + (Sem.bit_length nv / 8)
       in
-      S.emit t (Hooks.On_div_busy { latency = lat });
+      if S.wants t Hooks.k_div_busy then
+        S.emit t (Hooks.On_div_busy { latency = lat });
       if Int64.equal dv 0L then begin
         e.Rob_entry.fault <- true;
         set_dst e d Int64.minus_one
@@ -187,7 +216,8 @@ let start_execution (t : S.t) (e : Rob_entry.t) =
           let old = match w with Insn.W8 -> old_of d | _ -> 0L in
           set_dst e d (Sem.apply_width w ~old (Sem.truncate_width w v));
           e.Rob_entry.cycles_left <- t.S.cfg.Config.store_forward_latency;
-          S.emit t (Hooks.On_forward { load = e; store = st })
+          if S.wants t Hooks.k_forward then
+            S.emit t (Hooks.On_forward { load = e; store = st })
       | Stage_memory.Fwd_none ->
           e.Rob_entry.addr <- addr;
           e.Rob_entry.msize <- size;
@@ -199,7 +229,8 @@ let start_execution (t : S.t) (e : Rob_entry.t) =
           set_dst e d (Sem.apply_width w ~old v);
           let lat = t.S.cfg.Config.load_agu_latency + Mem_hierarchy.access t addr in
           e.Rob_entry.cycles_left <- lat);
-      if !started then S.emit t (Hooks.On_load_executed e)
+      if !started && S.wants t Hooks.k_load_executed then
+        S.emit t (Hooks.On_load_executed e)
   | Insn.Store (w, m, s) ->
       let addr = ea_of e m in
       let size = Insn.width_bytes w in
@@ -260,7 +291,8 @@ let start_execution (t : S.t) (e : Rob_entry.t) =
           set_dst e d v;
           set_dst e Reg.rsp (Int64.add sp 8L);
           e.Rob_entry.cycles_left <- t.S.cfg.Config.store_forward_latency;
-          S.emit t (Hooks.On_forward { load = e; store = st })
+          if S.wants t Hooks.k_forward then
+            S.emit t (Hooks.On_forward { load = e; store = st })
       | Stage_memory.Fwd_none ->
           e.Rob_entry.addr <- sp;
           e.Rob_entry.msize <- 8;
@@ -272,7 +304,8 @@ let start_execution (t : S.t) (e : Rob_entry.t) =
           set_dst e Reg.rsp (Int64.add sp 8L);
           e.Rob_entry.cycles_left <-
             t.S.cfg.Config.load_agu_latency + Mem_hierarchy.access t sp);
-      if !started then S.emit t (Hooks.On_load_executed e)
+      if !started && S.wants t Hooks.k_load_executed then
+        S.emit t (Hooks.On_load_executed e)
   | Insn.Ret ->
       let sp = src_value e Reg.rsp Insn.Addr in
       (match Stage_memory.forward_search t e sp 8 with
@@ -289,7 +322,8 @@ let start_execution (t : S.t) (e : Rob_entry.t) =
           set_dst e Reg.rsp (Int64.add sp 8L);
           e.Rob_entry.actual_target <- Int64.to_int v;
           e.Rob_entry.cycles_left <- t.S.cfg.Config.store_forward_latency;
-          S.emit t (Hooks.On_forward { load = e; store = st })
+          if S.wants t Hooks.k_forward then
+            S.emit t (Hooks.On_forward { load = e; store = st })
       | Stage_memory.Fwd_none ->
           e.Rob_entry.addr <- sp;
           e.Rob_entry.msize <- 8;
@@ -302,19 +336,22 @@ let start_execution (t : S.t) (e : Rob_entry.t) =
           e.Rob_entry.actual_target <- Int64.to_int v;
           e.Rob_entry.cycles_left <-
             t.S.cfg.Config.load_agu_latency + Mem_hierarchy.access t sp);
-      if !started then S.emit t (Hooks.On_load_executed e));
+      if !started && S.wants t Hooks.k_load_executed then
+        S.emit t (Hooks.On_load_executed e));
   if !started then begin
     e.Rob_entry.issued <- true;
     e.Rob_entry.t_issue <- t.S.cycle;
     (* A store whose address just resolved may expose a memory-order
        violation by a younger, already-executed load. *)
-    if Rob_entry.is_store e then
-      match Stage_memory.check_order_violation t e with
-      | Some ld ->
+    if Rob_entry.is_store e then begin
+      let ld = Stage_memory.check_order_violation t e in
+      if not (Rob_entry.is_null ld) then begin
+        if S.wants t Hooks.k_order_violation then
           S.emit t (Hooks.On_order_violation { store = e; load = ld });
-          Stage_memory.mdp_flag t ld.Rob_entry.pc;
-          Squash.flush t ~from_seq:ld.Rob_entry.seq ~new_pc:ld.Rob_entry.pc
-      | None -> ()
+        Stage_memory.mdp_flag t ld.Rob_entry.pc;
+        Squash.flush t ~from_seq:ld.Rob_entry.seq ~new_pc:ld.Rob_entry.pc
+      end
+    end
   end;
   !started
 
@@ -328,37 +365,93 @@ let execution_gated (e : Rob_entry.t) =
       true
   | _ -> false
 
+(* Tick the in-flight set: decrement, mark executed at zero, wake the
+   dormant consumers parked on the completing producer, and compact the
+   deque in place.  Runs before the issue scan, which is exact because
+   every producer is strictly older than its consumers: in the old
+   interleaved full-ring pass, a producer's tick always preceded its
+   consumers' wakeup checks within the same cycle. *)
+let tick (t : S.t) =
+  let q = t.S.inflight in
+  let a = q.Entryq.a in
+  let front = q.Entryq.front and back = q.Entryq.back in
+  let w = ref front in
+  for i = front to back - 1 do
+    let e = a.(i) in
+    e.Rob_entry.cycles_left <- e.Rob_entry.cycles_left - 1;
+    if e.Rob_entry.cycles_left <= 0 then begin
+      e.Rob_entry.executed <- true;
+      e.Rob_entry.t_complete <- t.S.cycle;
+      (* Wake waiters: clear their chain memberships and let them rejoin
+         the issue scan from this cycle on. *)
+      let c = ref e.Rob_entry.waiters in
+      let s = ref e.Rob_entry.waiters_slot in
+      e.Rob_entry.waiters <- Rob_entry.null;
+      while not (Rob_entry.is_null !c) do
+        let cur = !c and slot = !s in
+        c := cur.Rob_entry.wl_next.(slot);
+        s := cur.Rob_entry.wl_slot.(slot);
+        cur.Rob_entry.wl_next.(slot) <- Rob_entry.null;
+        cur.Rob_entry.wl_slot.(slot) <- -1;
+        cur.Rob_entry.dormant <- false
+      done
+    end
+    else begin
+      a.(!w) <- e;
+      incr w
+    end
+  done;
+  for i = !w to back - 1 do
+    a.(i) <- Rob_entry.null
+  done;
+  q.Entryq.back <- !w
+
 let run (t : S.t) =
+  tick t;
   let ap = S.api t in
+  let width = t.S.cfg.Config.issue_width in
   let issued = ref 0 in
-  (try
-     S.iter_rob t (fun e ->
-         (* Tick in-flight instructions. *)
-         if e.Rob_entry.issued && not e.Rob_entry.executed then begin
-           e.Rob_entry.cycles_left <- e.Rob_entry.cycles_left - 1;
-           if e.Rob_entry.cycles_left <= 0 then begin
-             e.Rob_entry.executed <- true;
-             e.Rob_entry.t_complete <- t.S.cycle
-           end
-         end
-         else if not e.Rob_entry.issued then begin
-           if !issued < t.S.cfg.Config.issue_width && sources_ready t e then begin
-             if
-               execution_gated e
-               && not (t.S.policy.Policy.may_execute_transmitter ap e)
-             then S.emit t (Hooks.On_exec_blocked e)
-             else if
-               Rob_entry.is_load e
-               && Stage_memory.mdp_flagged t e.Rob_entry.pc
-               && Stage_memory.older_store_addr_unknown t e
-             then () (* memory-dependence predictor: wait for stores *)
-             else if start_execution t e then incr issued
-           end
-         end)
-   with Exit -> ())
+  let cursor = ref t.S.uq_head in
+  while (not (Rob_entry.is_null !cursor)) && !issued < width do
+    let e = !cursor in
+    let next = e.Rob_entry.uq_next in
+    if (not e.Rob_entry.dormant) && sources_ready t e then begin
+      if
+        execution_gated e
+        && not (t.S.policy.Policy.may_execute_transmitter ap e)
+      then begin
+        if S.wants t Hooks.k_exec_blocked then
+          S.emit t (Hooks.On_exec_blocked e)
+      end
+      else if
+        Rob_entry.is_load e
+        && Stage_memory.mdp_flagged t e.Rob_entry.pc
+        && Stage_memory.older_store_addr_unknown t e
+      then () (* memory-dependence predictor: wait for stores *)
+      else if start_execution t e then begin
+        incr issued;
+        S.uq_unlink t e;
+        Entryq.push t.S.inflight e
+      end
+    end;
+    (* A store issuing above may have squashed from a younger load's seq,
+       flushing [next].  Because the unissued list is seq-ascending, no
+       unissued survivor can sit beyond a flushed [next] — stopping is
+       exactly what the old bounded ring scan did (flushed slots read as
+       empty). *)
+    cursor :=
+      (if
+         Rob_entry.is_null next
+         || S.peek t next.Rob_entry.seq != next
+       then Rob_entry.null
+       else next)
+  done
 
 (* Resolve branches: confirm correctly-predicted ones and initiate at most
-   one squash per cycle from the oldest eligible misprediction.
+   one squash per cycle from the oldest eligible misprediction.  All three
+   passes walk the unresolved-branch list in seq order — the same entries,
+   in the same order, as the old full-ring scans (every list member is a
+   live unresolved branch and vice versa).
 
    With [squash_bug] set, the stage instead considers the oldest
    *detected* misprediction regardless of whether the policy allows it to
@@ -367,53 +460,66 @@ let run (t : S.t) =
    (the corner case AMuLeT* found in STT/SPT/SPT-SB, Section VII-B4b). *)
 let resolve (t : S.t) =
   let ap = S.api t in
-  (* Confirm correct predictions (no squash needed). *)
-  S.iter_rob t (fun e ->
-      if
-        e.Rob_entry.is_branch && e.Rob_entry.executed
-        && (not e.Rob_entry.resolved)
-        && (not e.Rob_entry.mispredicted)
-        && e.Rob_entry.actual_target = e.Rob_entry.pred_target
-      then
-        if t.S.policy.Policy.may_resolve ap e then begin
-          e.Rob_entry.resolved <- true;
-          S.invalidate_unresolved_memo t
-        end
-        else S.emit t (Hooks.On_resolve_blocked e));
+  (* Confirm correct predictions (no squash needed).  Resolving unlinks
+     the entry, which immediately updates [oldest_unresolved_branch] —
+     the same mid-pass visibility the memo-invalidation used to give. *)
+  let cursor = ref t.S.bq_head in
+  while not (Rob_entry.is_null !cursor) do
+    let e = !cursor in
+    let next = e.Rob_entry.bq_next in
+    if
+      e.Rob_entry.executed
+      && (not e.Rob_entry.mispredicted)
+      && e.Rob_entry.actual_target = e.Rob_entry.pred_target
+    then
+      if t.S.policy.Policy.may_resolve ap e then begin
+        e.Rob_entry.resolved <- true;
+        S.bq_unlink t e
+      end
+      else if S.wants t Hooks.k_resolve_blocked then
+        S.emit t (Hooks.On_resolve_blocked e);
+    cursor := next
+  done;
   (* Detect mispredictions. *)
-  S.iter_rob t (fun e ->
-      if
-        e.Rob_entry.is_branch && e.Rob_entry.executed
-        && (not e.Rob_entry.resolved)
-        && e.Rob_entry.actual_target <> e.Rob_entry.pred_target
-      then e.Rob_entry.mispredicted <- true);
-  let candidate = ref None in
+  let cursor = ref t.S.bq_head in
+  while not (Rob_entry.is_null !cursor) do
+    let e = !cursor in
+    if
+      e.Rob_entry.executed
+      && e.Rob_entry.actual_target <> e.Rob_entry.pred_target
+    then e.Rob_entry.mispredicted <- true;
+    cursor := e.Rob_entry.bq_next
+  done;
+  (* Oldest eligible misprediction wins the squash slot. *)
+  let candidate = ref Rob_entry.null in
   (try
-     S.iter_rob t (fun e ->
-         if
-           e.Rob_entry.is_branch && e.Rob_entry.executed
-           && (not e.Rob_entry.resolved)
-           && e.Rob_entry.mispredicted
-         then begin
-           if t.S.squash_bug then begin
-             (* Buggy notification: the oldest detected misprediction wins
-                the single notification slot even if its squash must be
-                deferred. *)
-             candidate := Some e;
-             raise Exit
-           end
-           else if t.S.policy.Policy.may_resolve ap e then begin
-             candidate := Some e;
-             raise Exit
-           end
-           else S.emit t (Hooks.On_resolve_blocked e)
-         end)
+     let cursor = ref t.S.bq_head in
+     while not (Rob_entry.is_null !cursor) do
+       let e = !cursor in
+       let next = e.Rob_entry.bq_next in
+       if e.Rob_entry.executed && e.Rob_entry.mispredicted then begin
+         if t.S.squash_bug then begin
+           (* Buggy notification: the oldest detected misprediction wins
+              the single notification slot even if its squash must be
+              deferred. *)
+           candidate := e;
+           raise Exit
+         end
+         else if t.S.policy.Policy.may_resolve ap e then begin
+           candidate := e;
+           raise Exit
+         end
+         else if S.wants t Hooks.k_resolve_blocked then
+           S.emit t (Hooks.On_resolve_blocked e)
+       end;
+       cursor := next
+     done
    with Exit -> ());
-  match !candidate with
-  | Some e when t.S.policy.Policy.may_resolve ap e ->
-      e.Rob_entry.resolved <- true;
-      S.emit t (Hooks.On_mispredict e);
-      S.invalidate_unresolved_memo t;
-      Squash.flush t ~from_seq:(e.Rob_entry.seq + 1)
-        ~new_pc:e.Rob_entry.actual_target
-  | Some _ | None -> ()
+  let c = !candidate in
+  if (not (Rob_entry.is_null c)) && t.S.policy.Policy.may_resolve ap c then begin
+    c.Rob_entry.resolved <- true;
+    S.bq_unlink t c;
+    if S.wants t Hooks.k_mispredict then S.emit t (Hooks.On_mispredict c);
+    Squash.flush t ~from_seq:(c.Rob_entry.seq + 1)
+      ~new_pc:c.Rob_entry.actual_target
+  end

@@ -4,7 +4,13 @@
 
    Pure queries over [Pipeline_state] plus the MDP bitmap; the actual
    load/store execution lives in [Stage_issue_exec], order-violation
-   squashes in [Squash]. *)
+   squashes in [Squash].
+
+   All three searches run over the live store/load deques
+   ([S.lsq_stores]/[S.lsq_loads], seq-ascending), not the ROB ring:
+   cost is O(log lsq + matches scanned) instead of O(ROB occupancy),
+   with the identical scan order (youngest-older-first for forwarding,
+   oldest-younger-first for violation detection). *)
 
 module S = Pipeline_state
 
@@ -14,17 +20,15 @@ let mdp_flag (t : S.t) pc = Bytes.set t.S.mdp (mdp_index pc) '\001'
 
 (* Is there an older store whose address is still unknown? *)
 let older_store_addr_unknown (t : S.t) (e : Rob_entry.t) =
-  let found = ref false in
-  (try
-     for seq = e.Rob_entry.seq - 1 downto t.S.head_seq do
-       match S.get_entry t seq with
-       | Some st when Rob_entry.is_store st && not st.Rob_entry.addr_ready ->
-           found := true;
-           raise Exit
-       | _ -> ()
-     done
-   with Exit -> ());
-  !found
+  let q = t.S.lsq_stores in
+  let hi = Entryq.lower_bound q e.Rob_entry.seq in
+  let rec loop i =
+    i > q.Entryq.front
+    &&
+    let st = q.Entryq.a.(i - 1) in
+    (not st.Rob_entry.addr_ready) || loop (i - 1)
+  in
+  loop hi
 
 type fwd_result =
   | Fwd_value of Rob_entry.t (* fully-covering executed older store *)
@@ -35,31 +39,33 @@ type fwd_result =
    address is still unknown are speculatively ignored (memory-order
    speculation); mis-speculation is caught when the store executes. *)
 let forward_search (t : S.t) (e : Rob_entry.t) addr size =
-  let result = ref Fwd_none in
-  (try
-     for seq = e.Rob_entry.seq - 1 downto t.S.head_seq do
-       match S.get_entry t seq with
-       | Some st when Rob_entry.is_store st && st.Rob_entry.addr_ready ->
-           let sa = st.Rob_entry.addr and ss = st.Rob_entry.msize in
-           let overlap =
-             Int64.compare sa (Int64.add addr (Int64.of_int size)) < 0
-             && Int64.compare addr (Int64.add sa (Int64.of_int ss)) < 0
-           in
-           if overlap then begin
-             let covers =
-               Int64.compare sa addr <= 0
-               && Int64.compare (Int64.add sa (Int64.of_int ss))
-                    (Int64.add addr (Int64.of_int size))
-                  >= 0
-             in
-             if covers && st.Rob_entry.executed then result := Fwd_value st
-             else result := Fwd_wait;
-             raise Exit
-           end
-       | _ -> ()
-     done
-   with Exit -> ());
-  !result
+  let q = t.S.lsq_stores in
+  let hi = Entryq.lower_bound q e.Rob_entry.seq in
+  let rec loop i =
+    if i <= q.Entryq.front then Fwd_none
+    else begin
+      let st = q.Entryq.a.(i - 1) in
+      if st.Rob_entry.addr_ready then begin
+        let sa = st.Rob_entry.addr and ss = st.Rob_entry.msize in
+        let overlap =
+          Int64.compare sa (Int64.add addr (Int64.of_int size)) < 0
+          && Int64.compare addr (Int64.add sa (Int64.of_int ss)) < 0
+        in
+        if overlap then begin
+          let covers =
+            Int64.compare sa addr <= 0
+            && Int64.compare (Int64.add sa (Int64.of_int ss))
+                 (Int64.add addr (Int64.of_int size))
+               >= 0
+          in
+          if covers && st.Rob_entry.executed then Fwd_value st else Fwd_wait
+        end
+        else loop (i - 1)
+      end
+      else loop (i - 1)
+    end
+  in
+  loop hi
 
 (* Extract the forwarded bytes from a covering store. *)
 let forwarded_value (st : Rob_entry.t) addr size =
@@ -70,27 +76,27 @@ let forwarded_value (st : Rob_entry.t) addr size =
 
 (* Memory-order violation check, run when a store's address becomes
    known: any younger load that already executed on overlapping bytes
-   without forwarding from this store read stale data. *)
+   without forwarding from this store read stale data.  The oldest such
+   load (= the first match of an ascending scan) is the squash point;
+   [Rob_entry.null] when there is none. *)
 let check_order_violation (t : S.t) (st : Rob_entry.t) =
-  let victim = ref None in
-  S.iter_rob t (fun ld ->
+  let q = t.S.lsq_loads in
+  let lo = Entryq.lower_bound q (st.Rob_entry.seq + 1) in
+  let rec loop i =
+    if i >= q.Entryq.back then Rob_entry.null
+    else begin
+      let ld = q.Entryq.a.(i) in
       if
-        Rob_entry.is_load ld
-        && ld.Rob_entry.seq > st.Rob_entry.seq
-        && ld.Rob_entry.addr_ready
-        && ld.Rob_entry.issued
+        ld.Rob_entry.addr_ready && ld.Rob_entry.issued
         && ld.Rob_entry.fwd_from <> st.Rob_entry.seq
-      then
-        let overlap =
-          Int64.compare st.Rob_entry.addr
-            (Int64.add ld.Rob_entry.addr (Int64.of_int ld.Rob_entry.msize))
-          < 0
-          && Int64.compare ld.Rob_entry.addr
-               (Int64.add st.Rob_entry.addr (Int64.of_int st.Rob_entry.msize))
-             < 0
-        in
-        if overlap then
-          match !victim with
-          | Some (v : Rob_entry.t) when v.Rob_entry.seq <= ld.Rob_entry.seq -> ()
-          | _ -> victim := Some ld);
-  !victim
+        && Int64.compare st.Rob_entry.addr
+             (Int64.add ld.Rob_entry.addr (Int64.of_int ld.Rob_entry.msize))
+           < 0
+        && Int64.compare ld.Rob_entry.addr
+             (Int64.add st.Rob_entry.addr (Int64.of_int st.Rob_entry.msize))
+           < 0
+      then ld
+      else loop (i + 1)
+    end
+  in
+  loop lo

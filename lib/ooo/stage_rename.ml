@@ -4,30 +4,71 @@
    register) and ROB/LSQ insertion, including ProtISA's output-tag rule
    for unprefixed sub-register writes (Section IV-B1).  Emits
    [On_rename] once the entry is in the ROB — the point where defense
-   policies taint. *)
+   policies taint.
+
+   Rename is also where the O(active) scheduler learns about an entry:
+   it joins the unissued list (and the branch/store/load queues as
+   applicable), and when every non-ready source has an un-executed
+   in-flight producer the entry is parked *dormant* on one of those
+   producers' wakeup chains — the issue scan will not look at it again
+   until a producer executes, which is cycle-exact because such an entry
+   could neither issue nor emit anything. *)
 
 open Protean_isa
 module S = Pipeline_state
 
+(* Register [e]'s wakeup-chain memberships: every non-ready source slot
+   whose producer is in flight and un-executed joins that producer's
+   waiter chain (cleared again when the producer executes or a squash
+   flushes [e]).  When *every* non-ready source is such a slot, [e] also
+   goes dormant — the issue scan skips it until a producer executes.  An
+   already-executed producer keeps the entry active: its forward may be
+   policy-gated, which must emit [On_wakeup_blocked] every cycle the
+   entry is considered. *)
+let register_waiters (t : S.t) (e : Rob_entry.t) =
+  let n = Array.length e.Rob_entry.src_ready in
+  let pending = ref false in
+  let executed_producer = ref false in
+  for i = 0 to n - 1 do
+    if not e.Rob_entry.src_ready.(i) then begin
+      let p = S.peek t e.Rob_entry.src_producer.(i) in
+      if Rob_entry.is_null p || p.Rob_entry.executed then
+        executed_producer := true
+      else begin
+        pending := true;
+        e.Rob_entry.wl_next.(i) <- p.Rob_entry.waiters;
+        e.Rob_entry.wl_slot.(i) <- p.Rob_entry.waiters_slot;
+        p.Rob_entry.waiters <- e;
+        p.Rob_entry.waiters_slot <- i
+      end
+    end
+  done;
+  if !pending && not !executed_producer then e.Rob_entry.dormant <- true
+
 let rename_one (t : S.t) (item : S.fetch_item) =
   let insn = item.S.f_insn in
+  let pc = item.S.f_pc in
   let seq = t.S.next_seq in
   let e =
-    Rob_entry.create ~seq ~pc:item.S.f_pc ~insn ~t_fetch:item.S.f_fetched
+    if Program.in_bounds t.S.program pc then
+      Rob_entry.create ~srcs:t.S.tmpl_srcs.(pc) ~dsts:t.S.tmpl_dsts.(pc) ~seq
+        ~pc ~insn ~t_fetch:item.S.f_fetched ()
+    else Rob_entry.create ~seq ~pc ~insn ~t_fetch:item.S.f_fetched ()
   in
   e.Rob_entry.t_rename <- t.S.cycle;
   (* Read sources through the rename map. *)
-  Array.iteri
-    (fun i (r, _role) ->
-      let ri = Reg.to_int r in
-      let producer = t.S.rmap_producer.(ri) in
-      e.Rob_entry.src_producer.(i) <- producer;
-      e.Rob_entry.src_prot.(i) <- t.S.rmap_prot.(ri);
-      if producer < 0 then begin
-        e.Rob_entry.src_val.(i) <- t.S.rmap_value.(ri);
-        e.Rob_entry.src_ready.(i) <- true
-      end)
-    e.Rob_entry.srcs;
+  let srcs = e.Rob_entry.srcs in
+  for i = 0 to Array.length srcs - 1 do
+    let r, _role = srcs.(i) in
+    let ri = Reg.to_int r in
+    let producer = t.S.rmap_producer.(ri) in
+    e.Rob_entry.src_producer.(i) <- producer;
+    e.Rob_entry.src_prot.(i) <- t.S.rmap_prot.(ri);
+    if producer < 0 then begin
+      e.Rob_entry.src_val.(i) <- t.S.rmap_value.(ri);
+      e.Rob_entry.src_ready.(i) <- true
+    end
+  done;
   (* ProtISA output tag: PROT-prefixed instructions protect their outputs;
      unprefixed sub-register writes leave the old protection unchanged
      (Section IV-B1). *)
@@ -41,14 +82,15 @@ let rename_one (t : S.t) (item : S.fetch_item) =
     | Some d when not insn.Insn.prot -> t.S.rmap_prot.(Reg.to_int d)
     | _ -> insn.Insn.prot);
   (* Update the rename map. *)
-  Array.iter
-    (fun r ->
-      let ri = Reg.to_int r in
-      t.S.rmap_producer.(ri) <- seq;
-      (match subreg_dst with
-      | Some d when (not insn.Insn.prot) && Reg.equal d r -> ()
-      | _ -> t.S.rmap_prot.(ri) <- insn.Insn.prot))
-    e.Rob_entry.dsts;
+  let dsts = e.Rob_entry.dsts in
+  for i = 0 to Array.length dsts - 1 do
+    let r = dsts.(i) in
+    let ri = Reg.to_int r in
+    t.S.rmap_producer.(ri) <- seq;
+    match subreg_dst with
+    | Some d when (not insn.Insn.prot) && Reg.equal d r -> ()
+    | _ -> t.S.rmap_prot.(ri) <- insn.Insn.prot
+  done;
   (* Branch prediction bookkeeping. *)
   if e.Rob_entry.is_branch then
     e.Rob_entry.pred_target <- item.S.f_pred_target;
@@ -58,32 +100,43 @@ let rename_one (t : S.t) (item : S.fetch_item) =
     t.S.head_idx <- idx;
     t.S.head_seq <- seq
   end;
-  t.S.rob.(idx) <- Some e;
+  t.S.rob.(idx) <- e;
   t.S.count <- t.S.count + 1;
   t.S.next_seq <- seq + 1;
-  if Rob_entry.is_load e then t.S.lq_used <- t.S.lq_used + 1;
-  if Rob_entry.is_store e then t.S.sq_used <- t.S.sq_used + 1;
-  S.emit t (Hooks.On_rename e)
+  if Rob_entry.is_load e then begin
+    t.S.lq_used <- t.S.lq_used + 1;
+    Entryq.push t.S.lsq_loads e
+  end;
+  if Rob_entry.is_store e then begin
+    t.S.sq_used <- t.S.sq_used + 1;
+    Entryq.push t.S.lsq_stores e
+  end;
+  (* Scheduler indexes. *)
+  S.uq_push t e;
+  if e.Rob_entry.is_branch then S.bq_push t e;
+  register_waiters t e;
+  if S.wants t Hooks.k_rename then S.emit t (Hooks.On_rename e)
 
 let run (t : S.t) =
   let renamed = ref 0 in
   let continue_ = ref true in
   while !continue_ && !renamed < t.S.cfg.Config.rename_width do
-    match Queue.peek_opt t.S.fetch_buf with
-    | None -> continue_ := false
-    | Some item ->
-        if item.S.f_ready > t.S.cycle || S.rob_full t then continue_ := false
+    if Queue.is_empty t.S.fetch_buf then continue_ := false
+    else begin
+      let item = Queue.peek t.S.fetch_buf in
+      if item.S.f_ready > t.S.cycle || S.rob_full t then continue_ := false
+      else begin
+        let is_ld = Insn.is_load item.S.f_insn.Insn.op in
+        let is_st = Insn.is_store item.S.f_insn.Insn.op in
+        if
+          (is_ld && t.S.lq_used >= t.S.cfg.Config.lq_size)
+          || (is_st && t.S.sq_used >= t.S.cfg.Config.sq_size)
+        then continue_ := false
         else begin
-          let is_ld = Insn.is_load item.S.f_insn.Insn.op in
-          let is_st = Insn.is_store item.S.f_insn.Insn.op in
-          if
-            (is_ld && t.S.lq_used >= t.S.cfg.Config.lq_size)
-            || (is_st && t.S.sq_used >= t.S.cfg.Config.sq_size)
-          then continue_ := false
-          else begin
-            ignore (Queue.pop t.S.fetch_buf);
-            rename_one t item;
-            incr renamed
-          end
+          ignore (Queue.pop t.S.fetch_buf);
+          rename_one t item;
+          incr renamed
         end
+      end
+    end
   done

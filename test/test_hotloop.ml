@@ -1,0 +1,143 @@
+(* Hot-loop regression suite.
+
+   Two halves:
+
+   - hook-bus semantics under re-registration: [emit] iterates a
+     snapshot, so a handler that unsubscribes (itself or a peer) or
+     subscribes mid-delivery must not disturb the in-flight emission,
+     and the change must be visible from the next emission on;
+     unsubscribing the last subscriber of a kind must clear its
+     interest bit so the guarded emission sites go back to the
+     zero-cost path;
+
+   - the paranoid scheduler cross-check: with --paranoid-sched the
+     pipeline re-derives every scheduler index (unissued list, branch
+     list, in-flight queue, LSQ queues, wakeup chains, dormancy) from a
+     brute-force ROB scan each cycle and faults on any mismatch.  The
+     whole golden corpus must run to completion under it and still
+     reproduce the recorded lines bit-for-bit — the O(active) indexes
+     are exactly the sets the scans would compute. *)
+
+module Hooks = Protean_ooo.Hooks
+module Pipeline = Protean_ooo.Pipeline
+module Golden = Protean_harness.Golden
+
+(* --- Hook bus re-registration semantics ------------------------------ *)
+
+let test_unsubscribe_during_emit () =
+  let bus : unit Hooks.t = Hooks.create () in
+  let log = ref [] in
+  let seen name = log := name :: !log in
+  Hooks.subscribe bus ~name:"a" (fun () _ ->
+      seen "a";
+      (* Unsubscribe a peer later in the array and ourselves: both must
+         still be delivered to for *this* emission. *)
+      Hooks.unsubscribe bus "b";
+      Hooks.unsubscribe bus "a");
+  Hooks.subscribe bus ~name:"b" (fun () _ -> seen "b");
+  Hooks.emit bus () Hooks.On_cycle_end;
+  Alcotest.(check (list string))
+    "first emission delivers to the snapshot" [ "a"; "b" ] (List.rev !log);
+  Alcotest.(check (list string)) "both gone afterwards" [] (Hooks.subscribers bus);
+  log := [];
+  Hooks.emit bus () Hooks.On_cycle_end;
+  Alcotest.(check (list string)) "second emission delivers to nobody" [] !log
+
+let test_subscribe_during_emit () =
+  let bus : unit Hooks.t = Hooks.create () in
+  let log = ref [] in
+  Hooks.subscribe bus ~name:"a" (fun () _ ->
+      log := "a" :: !log;
+      if not (List.mem "late" (Hooks.subscribers bus)) then
+        Hooks.subscribe bus ~name:"late" (fun () _ -> log := "late" :: !log));
+  Hooks.emit bus () Hooks.On_cycle_end;
+  Alcotest.(check (list string))
+    "new subscriber not delivered to mid-flight" [ "a" ] (List.rev !log);
+  Hooks.emit bus () Hooks.On_cycle_end;
+  Alcotest.(check (list string))
+    "visible from the next emission" [ "a"; "a"; "late" ]
+    (List.sort compare !log)
+
+let test_interest_mask_clearing () =
+  let bus : unit Hooks.t = Hooks.create () in
+  Alcotest.(check bool) "empty bus wants nothing" false
+    (Hooks.wanted bus Hooks.k_stage);
+  Hooks.subscribe bus ~name:"p1" ~kinds:[ Hooks.k_stage ] (fun () _ -> ());
+  Hooks.subscribe bus ~name:"p2"
+    ~kinds:[ Hooks.k_stage; Hooks.k_cycle_end ]
+    (fun () _ -> ());
+  Alcotest.(check bool) "k_stage wanted" true (Hooks.wanted bus Hooks.k_stage);
+  Alcotest.(check bool) "k_cycle_end wanted" true
+    (Hooks.wanted bus Hooks.k_cycle_end);
+  Alcotest.(check bool) "undeclared kind not wanted" false
+    (Hooks.wanted bus Hooks.k_fetch);
+  Hooks.unsubscribe bus "p2";
+  Alcotest.(check bool) "k_stage still wanted (p1 remains)" true
+    (Hooks.wanted bus Hooks.k_stage);
+  Alcotest.(check bool) "k_cycle_end bit cleared with its last subscriber"
+    false
+    (Hooks.wanted bus Hooks.k_cycle_end);
+  Hooks.unsubscribe bus "p1";
+  Alcotest.(check bool) "all bits cleared" false
+    (Hooks.wanted bus Hooks.k_stage)
+
+let test_mask_filtering () =
+  let bus : unit Hooks.t = Hooks.create () in
+  let got = ref 0 in
+  Hooks.subscribe bus ~name:"narrow" ~kinds:[ Hooks.k_cycle_end ] (fun () _ ->
+      incr got);
+  Hooks.emit bus () Hooks.On_machine_clear;
+  Alcotest.(check int) "undeclared kind filtered out" 0 !got;
+  Hooks.emit bus () Hooks.On_cycle_end;
+  Alcotest.(check int) "declared kind delivered" 1 !got
+
+(* --- Paranoid scheduler cross-check over the golden corpus ----------- *)
+
+let expected_file () =
+  List.find Sys.file_exists
+    [
+      "golden_pipeline.expected";
+      "test/golden_pipeline.expected";
+      Filename.concat (Filename.dirname Sys.executable_name)
+        "golden_pipeline.expected";
+    ]
+
+let read_expected () =
+  let ic = open_in (expected_file ()) in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_paranoid_golden () =
+  Pipeline.set_paranoid_sched true;
+  Fun.protect
+    ~finally:(fun () -> Pipeline.set_paranoid_sched false)
+    (fun () ->
+      let expected = read_expected () in
+      let actual = Golden.lines () in
+      Alcotest.(check int) "corpus size" (List.length expected)
+        (List.length actual);
+      List.iteri
+        (fun i (e, a) ->
+          Alcotest.(check string) (Printf.sprintf "paranoid cell %d" i) e a)
+        (List.combine expected actual))
+
+let tests =
+  [
+    Alcotest.test_case "hooks: unsubscribe during emit" `Quick
+      test_unsubscribe_during_emit;
+    Alcotest.test_case "hooks: subscribe during emit" `Quick
+      test_subscribe_during_emit;
+    Alcotest.test_case "hooks: interest bits track subscribers" `Quick
+      test_interest_mask_clearing;
+    Alcotest.test_case "hooks: per-subscriber kind filtering" `Quick
+      test_mask_filtering;
+    Alcotest.test_case "paranoid scheduler cross-check (golden corpus)" `Slow
+      test_paranoid_golden;
+  ]

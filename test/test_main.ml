@@ -13,4 +13,5 @@ let () =
       ("robustness", Test_robustness.tests);
       ("supervisor", Test_supervisor.tests);
       ("golden", Test_golden.tests);
+      ("hotloop", Test_hotloop.tests);
     ]
