@@ -129,6 +129,49 @@ let bench_hotloop program =
     hl_stages = Profile.stage_breakdown p;
   }
 
+(* Telemetry-detached throughput: the collection switches flipped on
+   (exactly what `--metrics-out` does in a worker process) but no
+   profiler attached and no exporter draining anything.  Nothing in the
+   cycle path reads the switches — only [Experiment]'s attach points do
+   — so the loop must be unchanged; this measurement guards that the
+   telemetry layer stays free when detached.  Best-of-3 on each side to
+   keep the ratio out of scheduler noise. *)
+type telemetry_overhead = {
+  to_plain_wall : float;
+  to_detached_wall : float;
+  to_ratio : float; (* (detached - plain) / plain *)
+}
+
+let bench_telemetry_detached program =
+  let d = Defense.find "prot-track" in
+  let make () =
+    Pipeline.create Config.p_core (d.Defense.make ()) program ~overlays:[]
+  in
+  let best f =
+    List.fold_left min infinity
+      (List.init 3 (fun _ -> snd (timed (fun () -> drive (f ())))))
+  in
+  drive (make ());
+  let plain = best make in
+  Protean_harness.Experiment.collect_policy_metrics := true;
+  Protean_harness.Experiment.collect_flame := true;
+  let detached = best make in
+  Protean_harness.Experiment.collect_policy_metrics := false;
+  Protean_harness.Experiment.collect_flame := false;
+  let ratio = (detached -. plain) /. plain in
+  Printf.printf
+    "telemetry: detached %.4fs vs plain %.4fs (overhead %+.1f%%)\n%!"
+    detached plain (ratio *. 100.);
+  { to_plain_wall = plain; to_detached_wall = detached; to_ratio = ratio }
+
+let telemetry_json oc (t : telemetry_overhead) =
+  Printf.fprintf oc "  \"telemetry\": {\n";
+  Printf.fprintf oc
+    "    \"plain_wall_s\": %.4f, \"detached_wall_s\": %.4f,\n" t.to_plain_wall
+    t.to_detached_wall;
+  Printf.fprintf oc "    \"detached_overhead\": %.4f\n" t.to_ratio;
+  Printf.fprintf oc "  }"
+
 let bench_grid () =
   let baseline, t1 = timed (fun () -> Golden.lines ()) in
   Printf.printf "grid: -j 1 %.3fs (%d cells)\n%!" t1 (List.length baseline);
@@ -198,14 +241,40 @@ let smoke () =
                (find_file
                   [ "bench/hotloop_ceiling.txt"; "hotloop_ceiling.txt" ]))))
   in
-  let hl = bench_hotloop (unr_workload ()) in
+  let program = unr_workload () in
+  let hl = bench_hotloop program in
   if hl.hl_minor_words_per_cycle > ceiling then (
     Printf.eprintf
       "smoke: allocation regression: %.1f minor words/cycle > ceiling %.1f\n"
       hl.hl_minor_words_per_cycle ceiling;
     exit 1);
   Printf.printf "smoke: %.1f minor words/cycle within ceiling %.1f\n%!"
-    hl.hl_minor_words_per_cycle ceiling
+    hl.hl_minor_words_per_cycle ceiling;
+  (* Detached telemetry must not tax the loop: the acceptance bound is
+     2%, widened a little here against wall-clock noise on shared CI
+     runners (best-of-3 already smooths most of it). *)
+  let tele = bench_telemetry_detached program in
+  if tele.to_ratio > 0.05 then (
+    Printf.eprintf
+      "smoke: detached telemetry costs %.1f%% of hotloop throughput\n"
+      (tele.to_ratio *. 100.);
+    exit 1);
+  Printf.printf "smoke: detached telemetry overhead %+.1f%% within bound\n%!"
+    (tele.to_ratio *. 100.);
+  (* Record the smoke measurements so CI archives them alongside the
+     full bench's BENCH_pipeline.json. *)
+  let oc = open_out "BENCH_pipeline.json" in
+  Printf.fprintf oc "{\n  \"smoke\": true,\n";
+  Printf.fprintf oc "  \"hotloop\": {\n";
+  Printf.fprintf oc "    \"cycles\": %d, \"loop_wall_s\": %.4f,\n" hl.hl_cycles
+    hl.hl_loop_wall;
+  Printf.fprintf oc "    \"minor_words_per_cycle\": %.1f,\n"
+    hl.hl_minor_words_per_cycle;
+  Printf.fprintf oc "    \"minor_words_ceiling\": %.1f\n  },\n" ceiling;
+  telemetry_json oc tele;
+  Printf.fprintf oc "\n}\n";
+  close_out oc;
+  Printf.printf "smoke: wrote BENCH_pipeline.json\n%!"
 
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "--smoke" then smoke ()
@@ -216,6 +285,7 @@ let () =
     let program = unr_workload () in
     let cycles, committed, wall = bench_single program in
     let hl = bench_hotloop program in
+    let tele = bench_telemetry_detached program in
     let cells, t1, points = bench_grid () in
     let oc = open_out out in
     let host_cores = Domain.recommended_domain_count () in
@@ -263,6 +333,8 @@ let () =
           (if i = List.length hl.hl_stages - 1 then "" else ","))
       hl.hl_stages;
     Printf.fprintf oc "    ]\n  },\n";
+    telemetry_json oc tele;
+    Printf.fprintf oc ",\n";
     Printf.fprintf oc "  \"grid\": {\n";
     Printf.fprintf oc
       "    \"corpus\": \"golden\", \"cells\": %d, \"serial_wall_s\": %.3f,\n"

@@ -21,6 +21,11 @@ module Parallel = Protean_harness.Parallel
 module Supervisor = Protean_harness.Supervisor
 module Shard = Protean_harness.Shard
 module Json = Shard.Json
+module Report = Protean_harness.Report
+module Metrics = Protean_telemetry.Metrics
+module Trace = Protean_telemetry.Trace
+module Flame = Protean_telemetry.Flame
+module Tlog = Protean_telemetry.Log
 
 let defense_arg =
   Arg.(value & opt string "prot-track" & info [ "defense"; "d" ] ~docv:"ID"
@@ -90,6 +95,26 @@ let inject_worker_arg =
          ~doc:"Self-test the shard supervisor: worker-kill, worker-stall, \
                worker-truncate, or worker-poison:N. Requires --shards > 1.")
 
+let metrics_out_arg =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"PATH"
+         ~doc:"Write campaign metrics to $(docv): Prometheus text \
+               exposition, or JSON when the path ends in .json.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"PATH"
+         ~doc:"Write a Chrome trace-event JSON timeline to $(docv); load \
+               it in Perfetto or chrome://tracing.")
+
+let flamegraph_out_arg =
+  Arg.(value & opt (some string) None & info [ "flamegraph-out" ] ~docv:"PATH"
+         ~doc:"Write a collapsed-stack flamegraph of campaign effort \
+               (contract tests by defense, contract and verdict) to \
+               $(docv); render with flamegraph.pl or speedscope.")
+
+let log_json_arg =
+  Arg.(value & flag & info [ "log-json" ]
+         ~doc:"Emit diagnostic log lines as structured JSON on stderr.")
+
 let inject_arg =
   Arg.(value & flag & info [ "inject-faults" ]
          ~doc:"Self-test the fuzzer: inject deliberate faults into the \
@@ -112,6 +137,98 @@ let campaign_of contract adversary programs inputs seed squash_bug timeout =
     squash_bug;
     timeout_cycles = timeout;
   }
+
+(* --- telemetry -------------------------------------------------------- *)
+
+(* Campaigns don't run through an [Experiment] session, so the exporters
+   feed a binary-local registry and flame accumulator instead: campaign
+   effort (contract tests) folded by defense, contract and verdict.
+   Supervisor lifecycle counters and the trace recorder are shared with
+   the other binaries through [Report]. *)
+let fuzz_reg = Metrics.create ()
+let fuzz_flame = Flame.create ()
+
+let record_campaign ~defense_id ~contract ~adversary (r : Fuzz.report) =
+  let labels =
+    [
+      ("adversary", adversary); ("contract", contract); ("defense", defense_id);
+    ]
+  in
+  let c name help =
+    Metrics.counter fuzz_reg ~help ~labels ("protean_fuzz_" ^ name)
+  in
+  let out = r.Fuzz.r_outcome in
+  Metrics.inc ~n:out.Fuzz.tests (c "tests_total" "contract tests executed");
+  Metrics.inc ~n:out.Fuzz.skipped (c "tests_skipped_total" "tests skipped");
+  Metrics.inc ~n:out.Fuzz.violations
+    (c "violations_total" "contract violations observed");
+  Metrics.inc ~n:out.Fuzz.false_positives
+    (c "false_positives_total" "tolerated false positives");
+  Metrics.inc ~n:r.Fuzz.r_completed
+    (c "programs_completed_total" "programs fully tested");
+  Metrics.inc
+    ~n:(List.length r.Fuzz.r_skipped)
+    (c "programs_skipped_total" "programs skipped after retry");
+  let stack verdict n =
+    Flame.add fuzz_flame ~frames:[ defense_id; contract ^ "-seq"; verdict ] n
+  in
+  stack "violation" out.Fuzz.violations;
+  stack "false-positive" out.Fuzz.false_positives;
+  stack "clean"
+    (out.Fuzz.tests - out.Fuzz.violations - out.Fuzz.false_positives);
+  stack "skipped" out.Fuzz.skipped
+
+let record_self_test rows =
+  List.iter
+    (fun (defense_id, contract, (g : Fuzz.gap)) ->
+      let labels =
+        [
+          ("contract", contract); ("defense", defense_id);
+          ("mode", Fault_inject.mode_name g.Fuzz.g_mode);
+        ]
+      in
+      let c name help =
+        Metrics.counter fuzz_reg ~help ~labels ("protean_fuzz_selftest_" ^ name)
+      in
+      Metrics.inc ~n:g.Fuzz.g_tests (c "tests_total" "self-test executions");
+      Metrics.inc ~n:g.Fuzz.g_violations
+        (c "violations_total" "violations under the injected fault");
+      if g.Fuzz.g_detected then
+        Metrics.inc (c "detected_total" "injected faults caught"))
+    rows
+
+(* Write whatever the exporter flags asked for; merged with [Report]'s
+   runtime (supervisor) registry so sharded campaigns expose their
+   process lifecycle too. *)
+let write_telemetry (tele : Report.config) =
+  (match tele.Report.metrics_out with
+  | Some path ->
+      let snap =
+        Metrics.merge (Metrics.snapshot fuzz_reg)
+          (Metrics.snapshot Report.runtime)
+      in
+      Report.write_file path
+        (if Filename.check_suffix path ".json" then Metrics.to_json snap
+         else Metrics.to_prometheus snap)
+  | None -> ());
+  (match tele.Report.trace_out with
+  | Some path -> (
+      match !Report.tracer with
+      | Some tr -> Report.write_file path (Trace.to_chrome_json tr)
+      | None -> ())
+  | None -> ());
+  match tele.Report.flamegraph_out with
+  | Some path -> Report.write_file path (Flame.to_folded fuzz_flame)
+  | None -> ()
+
+let with_span name f =
+  match !Report.tracer with
+  | None -> f ()
+  | Some tr ->
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      Trace.span tr ~cat:"campaign" ~t0 ~t1:(Unix.gettimeofday ()) name;
+      r
 
 let report_skips (r : Fuzz.report) =
   (match r.Fuzz.r_resumed_from with
@@ -143,6 +260,7 @@ let run_self_test ~jobs ~programs ~inputs ~seed ~timeout =
          Fuzz.canonical_pairings)
   in
   let rows = Array.to_list (Parallel.map ~jobs tasks) in
+  record_self_test rows;
   Printf.printf "fuzzer self-test (%d injected fault modes):\n"
     (List.length rows);
   List.iter
@@ -158,9 +276,12 @@ let run_self_test ~jobs ~programs ~inputs ~seed ~timeout =
   if missed <> [] then begin
     Printf.printf "%d/%d injected faults went undetected\n" (List.length missed)
       (List.length rows);
-    exit 1
+    true
   end
-  else Printf.printf "all injected faults detected\n"
+  else begin
+    Printf.printf "all injected faults detected\n";
+    false
+  end
 
 (* --- sharded campaigns ------------------------------------------------ *)
 
@@ -211,7 +332,8 @@ let outcome_of_json j =
    worker died on every attempt (a poisoned cell) becomes a structured
    skip — exactly how the in-process barrier reports a program that
    faults twice. *)
-let run_campaign_supervised ~shards ~jobs ~inject ?(shrink = true) campaign d =
+let run_campaign_supervised ~tele ~shards ~jobs ~inject ?(shrink = true)
+    campaign d =
   let cells =
     List.init campaign.Fuzz.programs (fun i ->
         { Shard.c_id = i; c_key = string_of_int i })
@@ -225,6 +347,8 @@ let run_campaign_supervised ~shards ~jobs ~inject ?(shrink = true) campaign d =
   in
   let bus = Supervisor.create_bus () in
   Supervisor.subscribe bus ~name:"log" (Supervisor.logger ());
+  if Report.wanted tele then
+    Supervisor.subscribe bus ~name:"telemetry" (Report.supervisor_observer ());
   let worker_argv =
     Supervisor.self_worker_argv
       ~drop:[ "--shards"; "--inject-worker-fault" ] ()
@@ -287,20 +411,26 @@ let run_campaign_supervised ~shards ~jobs ~inject ?(shrink = true) campaign d =
     r_counterexample = counterexample;
   }
 
-let run_campaign ~jobs ~shards ~inject_worker campaign d contract resume =
+let run_campaign ~tele ~jobs ~shards ~inject_worker campaign d contract resume =
   let r =
-    match resume with
-    | None when shards > 1 ->
-        run_campaign_supervised ~shards ~jobs ~inject:inject_worker campaign d
-    | None when jobs > 1 -> Parallel.fuzz_run_resilient ~jobs campaign d
-    | _ ->
-        if jobs > 1 || shards > 1 then
-          Printf.eprintf
-            "warning: --resume checkpoints sequentially; ignoring -j %d \
-             --shards %d\n%!"
-            jobs shards;
-        Fuzz.run_resilient ?checkpoint:resume campaign d
+    with_span
+      (Printf.sprintf "%s|%s" d.Defense.id contract)
+      (fun () ->
+        match resume with
+        | None when shards > 1 ->
+            run_campaign_supervised ~tele ~shards ~jobs ~inject:inject_worker
+              campaign d
+        | None when jobs > 1 -> Parallel.fuzz_run_resilient ~jobs campaign d
+        | _ ->
+            if jobs > 1 || shards > 1 then
+              Tlog.warn ~src:"fuzz"
+                "--resume checkpoints sequentially; ignoring -j %d --shards %d"
+                jobs shards;
+            Fuzz.run_resilient ?checkpoint:resume campaign d)
   in
+  record_campaign ~defense_id:d.Defense.id ~contract
+    ~adversary:(Fuzz.adversary_name campaign.Fuzz.adversary)
+    r;
   let out = r.Fuzz.r_outcome in
   Printf.printf
     "%s vs %s-SEQ (%s adversary): %d tests, %d skipped, %d violations, %d \
@@ -321,10 +451,14 @@ let run_campaign ~jobs ~shards ~inject_worker campaign d contract resume =
         sh.Fuzz.sh_original_insns sh.Fuzz.sh_insns sh.Fuzz.sh_attempts
         (if sh.Fuzz.sh_verified then "" else "; NOT verified")
   | None -> ());
-  if out.Fuzz.violations > 0 then exit 1
+  out.Fuzz.violations > 0
 
 let run table_ii defense contract programs inputs adversary seed squash_bug
-    timeout resume inject jobs shards worker inject_worker =
+    timeout resume inject jobs shards worker inject_worker metrics_out
+    trace_out flamegraph_out log_json =
+  if log_json then Tlog.set_json true;
+  let tele = { Report.metrics_out; trace_out; flamegraph_out } in
+  Report.enable ~worker tele;
   let jobs = if jobs = 0 then Parallel.default_jobs () else max 1 jobs in
   let shards = max 1 shards in
   if worker then begin
@@ -338,14 +472,25 @@ let run table_ii defense contract programs inputs adversary seed squash_bug
       ~compute:(fun key -> fuzz_cell campaign d (int_of_string key))
       ()
   end
-  else if table_ii then Tables.table_ii ~jobs ~programs ~inputs ()
-  else if inject then run_self_test ~jobs ~programs ~inputs ~seed ~timeout
   else begin
-    let d = Defense.find defense in
-    let campaign =
-      campaign_of contract adversary programs inputs seed squash_bug timeout
+    let failed =
+      if table_ii then begin
+        Tables.table_ii ~jobs ~programs ~inputs ();
+        false
+      end
+      else if inject then run_self_test ~jobs ~programs ~inputs ~seed ~timeout
+      else begin
+        let d = Defense.find defense in
+        let campaign =
+          campaign_of contract adversary programs inputs seed squash_bug
+            timeout
+        in
+        run_campaign ~tele ~jobs ~shards ~inject_worker campaign d contract
+          resume
+      end
     in
-    run_campaign ~jobs ~shards ~inject_worker campaign d contract resume
+    if Report.wanted tele then write_telemetry tele;
+    if failed then exit 1
   end
 
 let cmd =
@@ -356,6 +501,7 @@ let cmd =
       const run $ table_ii_arg $ defense_arg $ contract_arg $ programs_arg
       $ inputs_arg $ adversary_arg $ seed_arg $ squash_bug_arg $ timeout_arg
       $ resume_arg $ inject_arg $ jobs_arg $ shards_arg $ worker_arg
-      $ inject_worker_arg)
+      $ inject_worker_arg $ metrics_out_arg $ trace_out_arg
+      $ flamegraph_out_arg $ log_json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -23,6 +23,12 @@ module Supervisor = Protean_harness.Supervisor
 module Shard = Protean_harness.Shard
 module Json = Protean_harness.Shard.Json
 module Fault_inject = Protean_defense.Fault_inject
+module E = Protean_harness.Experiment
+module Report = Protean_harness.Report
+module Profile = Protean_ooo.Profile
+module Flame = Protean_telemetry.Flame
+module Trace = Protean_telemetry.Trace
+module Tlog = Protean_telemetry.Log
 
 let bench_arg =
   let doc = "Benchmark name (repeatable; see --list)." in
@@ -101,6 +107,30 @@ let wall_arg =
   Arg.(value & opt float 3600.0 & info [ "shard-wall" ] ~docv:"SECS"
          ~doc:"Kill a worker spawn that outlives this wall-clock budget.")
 
+let metrics_out_arg =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"PATH"
+         ~doc:"Write run metrics to $(docv): Prometheus text exposition, \
+               or JSON when the path ends in .json.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"PATH"
+         ~doc:"Write a Chrome trace-event JSON timeline to $(docv); load \
+               it in Perfetto or chrome://tracing.")
+
+let flamegraph_out_arg =
+  Arg.(value & opt (some string) None & info [ "flamegraph-out" ] ~docv:"PATH"
+         ~doc:"Write a collapsed-stack flamegraph (simulated cycles by \
+               defense, benchmark and function) to $(docv); render with \
+               flamegraph.pl or speedscope.")
+
+let log_json_arg =
+  Arg.(value & flag & info [ "log-json" ]
+         ~doc:"Emit diagnostic log lines as structured JSON on stderr.")
+
+(* Dropped from the worker argv.  The exporter flags are deliberately
+   *not* here: workers keep them so they collect telemetry for their
+   cells (the results ride home over the frame protocol); only the
+   parent writes files. *)
 let supervisor_flags =
   [ "--shards"; "--inject-faults"; "--shard-heartbeat"; "--shard-wall" ]
 
@@ -131,9 +161,42 @@ let instrument pass program =
       (Protcc.instrument ~pass_override:pass program).Protcc.program
 
 (* Render one benchmark's report into a string, so parallel runs can
-   print completed reports in benchmark order. *)
+   print completed reports in benchmark order.  Also returns the run's
+   telemetry as an [Experiment.run_result] (stats always; policy
+   counters and flame stacks only when collection is enabled) so the
+   exporters can fold it into a session. *)
 let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
     invariants invariant_every bench =
+  let flame_acc = if !E.collect_flame then Some (Flame.create ()) else None in
+  let attached = ref [] in
+  let attach ~root program t =
+    match flame_acc with
+    | None -> ()
+    | Some acc ->
+        let p = Profile.create () in
+        let sink snap = E.fold_flame ~root program snap acc in
+        Profile.attach ~sink p t;
+        attached := t :: !attached
+  in
+  let finish_tele policies =
+    List.iter Profile.detach !attached;
+    let pm =
+      if !E.collect_policy_metrics then E.merge_policy_metrics policies
+      else []
+    in
+    let fl = match flame_acc with None -> [] | Some acc -> Flame.to_list acc in
+    (pm, fl)
+  in
+  let result ~cycles ~stats ~pm ~fl =
+    {
+      E.cycles = float_of_int cycles;
+      stats;
+      code_size_ratio = nan;
+      inserted_moves = 0;
+      policy_metrics = pm;
+      flame = fl;
+    }
+  in
   match b.Suite.kind with
   | Suite.Single f ->
       let program = instrument pass (f ()) in
@@ -142,19 +205,40 @@ let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
         | Invariants.Off -> None
         | mode -> Some (Invariants.checker ~every:invariant_every mode)
       in
+      let policy = d.Defense.make () in
       let r =
-        Pipeline.run ~spec_model ~fuel:50_000_000 ?on_cycle config
-          (d.Defense.make ()) program ~overlays:[]
+        Pipeline.run ~spec_model ~fuel:50_000_000 ?on_cycle
+          ~on_start:(attach ~root:[ d.Defense.id; bench ] program)
+          config policy program ~overlays:[]
       in
-      Format.asprintf "%s under %s on %s:@.  %a@.  measured cycles: %d@."
-        bench d.Defense.id config.Config.name Stats.pp r.Pipeline.stats
-        (Stats.measured_cycles r.Pipeline.stats)
+      let pm, fl = finish_tele [ policy ] in
+      let report =
+        Format.asprintf "%s under %s on %s:@.  %a@.  measured cycles: %d@."
+          bench d.Defense.id config.Config.name Stats.pp r.Pipeline.stats
+          (Stats.measured_cycles r.Pipeline.stats)
+      in
+      ( report,
+        result
+          ~cycles:(Stats.measured_cycles r.Pipeline.stats)
+          ~stats:[ r.Pipeline.stats ] ~pm ~fl )
   | Suite.Multi f ->
       let programs = Array.map (instrument pass) (f ()) in
+      let policies = ref [] in
+      let make_policy () =
+        let p = d.Defense.make () in
+        policies := p :: !policies;
+        p
+      in
+      let on_core i t =
+        attach
+          ~root:[ d.Defense.id; bench; Printf.sprintf "core%d" i ]
+          programs.(i) t
+      in
       let r =
         Multicore.run ~spec_model ~fuel:50_000_000 ~invariants
-          ~invariant_every config ~make_policy:d.Defense.make programs
+          ~invariant_every ~on_core config ~make_policy programs
       in
+      let pm, fl = finish_tele !policies in
       let buf = Buffer.create 256 in
       let ppf = Format.formatter_of_buffer buf in
       Format.fprintf ppf "%s under %s on %d cores: %d cycles@." bench
@@ -164,10 +248,18 @@ let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
           Format.fprintf ppf "  core %d: %a@." i Stats.pp c.Pipeline.stats)
         r.Multicore.per_core;
       Format.pp_print_flush ppf ();
-      Buffer.contents buf
+      ( Buffer.contents buf,
+        result ~cycles:r.Multicore.cycles
+          ~stats:
+            (Array.to_list
+               (Array.map (fun (c : Pipeline.result) -> c.Pipeline.stats)
+                  r.Multicore.per_core))
+          ~pm ~fl )
 
 let run list benches defense pass core spec_model invariants invariant_every
-    paranoid_sched jobs shards worker inject heartbeat wall =
+    paranoid_sched jobs shards worker inject heartbeat wall metrics_out
+    trace_out flamegraph_out log_json =
+  if log_json then Tlog.set_json true;
   if paranoid_sched then begin
     Pipeline.set_paranoid_sched true;
     (* Spawned --shards workers re-read the environment at startup. *)
@@ -186,6 +278,31 @@ let run list benches defense pass core spec_model invariants invariant_every
     let config = config_of core in
     let spec_model = model_of spec_model in
     let invariants = Invariants.mode_of_string invariants in
+    let tele = { Report.metrics_out; trace_out; flamegraph_out } in
+    Report.enable ~worker tele;
+    let session = E.create_session () in
+    let cell_key bench =
+      Printf.sprintf "%s|%s|%s" bench d.Defense.id config.Config.name
+    in
+    let record bench res =
+      if Report.wanted tele then
+        Hashtbl.replace session.E.cache (cell_key bench) res
+    in
+    let with_span bench f =
+      match !Report.tracer with
+      | None -> f ()
+      | Some tr ->
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          Trace.span tr ~cat:"cell" ~t0 ~t1:(Unix.gettimeofday ())
+            (cell_key bench);
+          r
+    in
+    let finish code =
+      if (not worker) && Report.wanted tele then
+        Report.write_outputs tele session;
+      if code <> 0 then exit code
+    in
     (* One cell per benchmark; the cell key is the benchmark name, so the
        worker's enumeration is the supervisor's by construction. *)
     let sim_cell bench =
@@ -193,7 +310,12 @@ let run list benches defense pass core spec_model invariants invariant_every
       match
         simulate b d config spec_model pass invariants invariant_every bench
       with
-      | report -> Json.Obj [ ("report", Json.Str report) ]
+      | report, res ->
+          Json.Obj
+            [
+              ("report", Json.Str report);
+              ("result", Supervisor.Grid.result_to_json res);
+            ]
       | exception Pipeline.Sim_fault f ->
           Json.Obj [ ("fault", Json.Str (Pipeline.fault_to_string f)) ]
     in
@@ -217,6 +339,9 @@ let run list benches defense pass core spec_model invariants invariant_every
       in
       let bus = Supervisor.create_bus () in
       Supervisor.subscribe bus ~name:"log" (Supervisor.logger ());
+      if Report.wanted tele then
+        Supervisor.subscribe bus ~name:"telemetry"
+          (Report.supervisor_observer ());
       let worker_argv = Supervisor.self_worker_argv ~drop:supervisor_flags () in
       let fallback cells =
         let tasks =
@@ -235,7 +360,11 @@ let run list benches defense pass core spec_model invariants invariant_every
           match outcome with
           | Supervisor.O_ok j -> (
               match Json.member "report" j with
-              | Json.Str report -> print_string report
+              | Json.Str report ->
+                  print_string report;
+                  (match Json.member "result" j with
+                  | Json.Null -> ()
+                  | rj -> record bench (Supervisor.Grid.result_of_json rj))
               | _ ->
                   let reason =
                     match Json.member "fault" j with
@@ -250,7 +379,7 @@ let run list benches defense pass core spec_model invariants invariant_every
                    f_attempts f_reason);
               faulted := true)
         outcomes;
-      if !faulted then exit 3
+      finish (if !faulted then 3 else 0)
     end
     else begin
       let tasks =
@@ -259,10 +388,11 @@ let run list benches defense pass core spec_model invariants invariant_every
              (fun bench () ->
                let b = Suite.find bench in
                match
-                 simulate b d config spec_model pass invariants invariant_every
-                   bench
+                 with_span bench (fun () ->
+                     simulate b d config spec_model pass invariants
+                       invariant_every bench)
                with
-               | report -> Ok report
+               | report, res -> Ok (bench, report, res)
                | exception Pipeline.Sim_fault f -> Error (bench, f))
              benches)
       in
@@ -270,14 +400,16 @@ let run list benches defense pass core spec_model invariants invariant_every
       let faulted = ref false in
       Array.iter
         (function
-          | Ok report -> print_string report
+          | Ok (bench, report, res) ->
+              print_string report;
+              record bench res
           | Error (bench, f) ->
               (* Report the faulting configuration instead of dying with a
                  raw backtrace, and exit non-zero so scripts notice. *)
               report_fault bench (Pipeline.fault_to_string f);
               faulted := true)
         reports;
-      if !faulted then exit 3
+      finish (if !faulted then 3 else 0)
     end
   end
 
@@ -289,6 +421,7 @@ let cmd =
       const run $ list_arg $ bench_arg $ defense_arg $ pass_arg $ core_arg
       $ spec_model_arg $ invariants_arg $ invariant_every_arg
       $ paranoid_sched_arg $ jobs_arg $ shards_arg $ worker_arg $ inject_arg
-      $ heartbeat_arg $ wall_arg)
+      $ heartbeat_arg $ wall_arg $ metrics_out_arg $ trace_out_arg
+      $ flamegraph_out_arg $ log_json_arg)
 
 let () = exit (Cmd.eval cmd)

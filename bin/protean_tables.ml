@@ -23,6 +23,7 @@ module Fault_inject = Protean_defense.Fault_inject
 module Tables = Protean_harness.Tables
 module Figures = Protean_harness.Figures
 module Studies = Protean_harness.Studies
+module Report = Protean_harness.Report
 
 let what_arg =
   let doc =
@@ -79,18 +80,46 @@ let checkpoint_dir_arg =
          ~doc:"Persist per-shard results there (atomic JSON files); a \
                restarted supervised run resumes completed cells from them.")
 
+let metrics_out_arg =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"PATH"
+         ~doc:"Write grid metrics to $(docv): Prometheus text exposition, \
+               or JSON when the path ends in .json. Simulation-derived \
+               families are byte-identical across -j and --shards.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"PATH"
+         ~doc:"Write a Chrome trace-event JSON timeline (cell spans, \
+               supervisor lifecycle instants) to $(docv); load it in \
+               Perfetto or chrome://tracing.")
+
+let flamegraph_out_arg =
+  Arg.(value & opt (some string) None & info [ "flamegraph-out" ] ~docv:"PATH"
+         ~doc:"Write a collapsed-stack flamegraph (simulated cycles by \
+               defense, benchmark and function) to $(docv); render with \
+               flamegraph.pl or speedscope.")
+
+let log_json_arg =
+  Arg.(value & flag & info [ "log-json" ]
+         ~doc:"Emit diagnostic log lines as structured JSON on stderr.")
+
 (* Supervisor-only flags must not reach the worker's argv: the worker
    re-runs the same discovery pass, and any argv drift would change the
-   cell enumeration. *)
+   cell enumeration.  The telemetry exporter flags are deliberately
+   *kept*: workers flip the collection switches from them, and cell
+   telemetry rides home over the frame protocol ([F_result]'s "pm"/"fl"
+   fields); only the parent writes files. *)
 let supervisor_flags =
   [ "--shards"; "--inject-faults"; "--shard-heartbeat"; "--shard-wall";
     "--checkpoint-dir" ]
 
 let run what benches fuzz_programs jobs shards worker inject heartbeat wall
-    checkpoint_dir =
+    checkpoint_dir metrics_out trace_out flamegraph_out log_json =
+  if log_json then Protean_telemetry.Log.set_json true;
   let jobs = if jobs = 0 then Parallel.default_jobs () else max 1 jobs in
   let shards = max 1 shards in
   let benches = match benches with [] -> None | bs -> Some bs in
+  let tele = { Report.metrics_out; trace_out; flamegraph_out } in
+  Report.enable ~worker tele;
   let session = E.create_session ~log:true () in
   (* Targets memoized through [session] can be prewarmed in parallel;
      the rest manage their own parallelism (or have none to exploit). *)
@@ -133,6 +162,9 @@ let run what benches fuzz_programs jobs shards worker inject heartbeat wall
     in
     let bus = Supervisor.create_bus () in
     Supervisor.subscribe bus ~name:"log" (Supervisor.logger ());
+    if Report.wanted tele then
+      Supervisor.subscribe bus ~name:"telemetry"
+        (Report.supervisor_observer ());
     let worker_argv =
       Supervisor.self_worker_argv ~drop:supervisor_flags ()
     in
@@ -167,13 +199,15 @@ let run what benches fuzz_programs jobs shards worker inject heartbeat wall
               invalid_arg ("--worker is only meaningful for grid targets: " ^ w))
     in
     Supervisor.Grid.worker ~jobs session g
-  else
-    match what with
+  else begin
+    (match what with
     | "all" ->
         gen_session combined_gen;
         gen "area";
         gen "table-ii"
-    | w -> gen w
+    | w -> gen w);
+    if Report.wanted tele then Report.write_outputs tele session
+  end
 
 let cmd =
   let doc = "regenerate the PROTEAN paper's tables and figures" in
@@ -182,6 +216,7 @@ let cmd =
     Term.(
       const run $ what_arg $ bench_arg $ fuzz_programs_arg $ jobs_arg
       $ shards_arg $ worker_arg $ inject_arg $ heartbeat_arg $ wall_arg
-      $ checkpoint_dir_arg)
+      $ checkpoint_dir_arg $ metrics_out_arg $ trace_out_arg
+      $ flamegraph_out_arg $ log_json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -394,9 +394,10 @@ module Checkpoint = struct
     Sys.rename tmp path
 
   let default_warn path =
-    Printf.eprintf
-      "[checkpoint] warning: %s exists but is truncated or malformed; \
-       ignoring it and restarting the campaign from program 0\n%!"
+    Protean_telemetry.Log.warn ~src:"checkpoint"
+      ~fields:[ ("path", path) ]
+      "%s exists but is truncated or malformed; ignoring it and restarting \
+       the campaign from program 0"
       path
 
   let load ?(warn = default_warn) path =

@@ -10,10 +10,17 @@
 open Protean_ooo
 
 let make () =
+  let n_fwd_blocks = ref 0 in
   {
     Policy.unsafe with
     Policy.name = "access-delay";
     may_forward =
       (fun api e ->
-        if Rob_entry.is_load e then not (Policy.is_speculative api e) else true);
+        if Rob_entry.is_load e then begin
+          let ok = not (Policy.is_speculative api e) in
+          if not ok then incr n_fwd_blocks;
+          ok
+        end
+        else true);
+    metrics = (fun () -> [ ("forward_blocks", !n_fwd_blocks) ]);
   }

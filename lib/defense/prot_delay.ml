@@ -32,6 +32,8 @@ let is_access (e : Rob_entry.t) =
   || (Rob_entry.is_load e && e.Rob_entry.addr_ready && e.Rob_entry.mem_prot)
 
 let make ?(selective_wakeup = true) () =
+  let n_fwd_blocks = ref 0 in
+  let n_selective_passes = ref 0 in
   let may_execute_transmitter api (e : Rob_entry.t) =
     (not (protected_sensitive e)) || not (Policy.is_speculative api e)
   in
@@ -44,11 +46,14 @@ let make ?(selective_wakeup = true) () =
   let may_forward api (e : Rob_entry.t) =
     if not (Policy.is_speculative api e) then true
     else if not (is_access e) then true
-    else
+    else begin
       (* Accesses with protected outputs may wake their dependents
          immediately: the dependents are access instructions themselves
          and will be delayed as needed. *)
-      selective_wakeup && e.Rob_entry.out_prot
+      let ok = selective_wakeup && e.Rob_entry.out_prot in
+      if ok then incr n_selective_passes else incr n_fwd_blocks;
+      ok
+    end
   in
   {
     Policy.unsafe with
@@ -58,4 +63,10 @@ let make ?(selective_wakeup = true) () =
     may_execute_transmitter;
     may_resolve;
     may_forward;
+    metrics =
+      (fun () ->
+        [
+          ("forward_blocks", !n_fwd_blocks);
+          ("selective_wakeup_passes", !n_selective_passes);
+        ]);
   }

@@ -48,6 +48,13 @@ let predictor_update p pc access =
 
 let make ?(predictor = true) ?(predictor_entries = 1024) () =
   let pred = predictor_create predictor_entries in
+  (* Policy-local counters, surfaced through [Policy.metrics]: the
+     predictor split and the two recovery mechanisms the Stats record
+     has no fields for. *)
+  let n_taints = ref 0 in
+  let n_pred_no_access = ref 0 in
+  let n_late_access = ref 0 in
+  let n_fwd_blocks = ref 0 in
   let on_rename api (e : Rob_entry.t) =
     let inherited = Policy.inherited_taint api e in
     let self_access =
@@ -62,6 +69,7 @@ let make ?(predictor = true) ?(predictor_entries = 1024) () =
             (* Predicted no-access with an unprotected output: leave the
                load untainted (Fig. 4b). *)
             e.Rob_entry.pred_no_access <- true;
+            incr n_pred_no_access;
             false
           end
           else true
@@ -69,6 +77,7 @@ let make ?(predictor = true) ?(predictor_entries = 1024) () =
       else false
     in
     e.Rob_entry.access_at_rename <- self_access;
+    if self_access then incr n_taints;
     e.Rob_entry.taint_root <-
       max inherited (if self_access then e.Rob_entry.seq else -1)
   in
@@ -77,6 +86,7 @@ let make ?(predictor = true) ?(predictor_entries = 1024) () =
     if e.Rob_entry.pred_no_access && actual_access then begin
       (* False negative: fall back to ProtDelay for this load. *)
       e.Rob_entry.late_access <- true;
+      incr n_late_access;
       api.Policy.stats.Stats.access_pred_false_negatives <-
         api.Policy.stats.Stats.access_pred_false_negatives + 1
     end;
@@ -90,7 +100,10 @@ let make ?(predictor = true) ?(predictor_entries = 1024) () =
       if
         (not (Rob_entry.is_null st))
         && Policy.root_speculative api st.Rob_entry.taint_root
-      then e.Rob_entry.fwd_block_store <- st.Rob_entry.seq
+      then begin
+        e.Rob_entry.fwd_block_store <- st.Rob_entry.seq;
+        incr n_fwd_blocks
+      end
   in
   let may_forward api (e : Rob_entry.t) =
     if e.Rob_entry.late_access then not (Policy.is_speculative api e)
@@ -128,6 +141,14 @@ let make ?(predictor = true) ?(predictor_entries = 1024) () =
       predictor_update pred e.Rob_entry.pc actual_access
     end
   in
+  let metrics () =
+    [
+      ("taints_applied", !n_taints);
+      ("pred_no_access", !n_pred_no_access);
+      ("protdelay_fallbacks", !n_late_access);
+      ("tainted_fwd_blocks", !n_fwd_blocks);
+    ]
+  in
   {
     Policy.name = (if predictor then "prot-track" else "prot-track-nopred");
     uses_protisa = true;
@@ -137,4 +158,5 @@ let make ?(predictor = true) ?(predictor_entries = 1024) () =
     may_resolve;
     on_load_executed;
     on_commit;
+    metrics;
   }

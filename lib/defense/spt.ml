@@ -127,6 +127,11 @@ let make ?(w32_fix = true) () =
   in
   (* The stack pointer's initial value is public. *)
   st.reg_xmit.(Reg.to_int Reg.rsp) <- true;
+  (* Policy-local counters for [Policy.metrics]: how much of the
+     transmitted-status machinery actually fires. *)
+  let n_xmit_retire = ref 0 in
+  let n_public_loads = ref 0 in
+  let n_shadow_stores = ref 0 in
   let on_rename api (e : Rob_entry.t) =
     Array.iteri
       (fun i _ -> e.Rob_entry.pol_src_pub.(i) <- src_pub st e api i)
@@ -142,7 +147,10 @@ let make ?(w32_fix = true) () =
     (* The shadow tracks transmitted memory precisely: a load of
        transmitted bytes produces transmitted (public) data. *)
     if not (Protset.mem_protected st.mem_xmit e.Rob_entry.addr e.Rob_entry.msize)
-    then e.Rob_entry.pol_out_pub <- true
+    then begin
+      e.Rob_entry.pol_out_pub <- true;
+      incr n_public_loads
+    end
   in
   let may_execute_transmitter api (e : Rob_entry.t) =
     (not (Policy.is_speculative api e))
@@ -186,10 +194,12 @@ let make ?(w32_fix = true) () =
         | _ -> false
       in
       Protset.set_mem st.mem_xmit e.Rob_entry.addr e.Rob_entry.msize
-        ~protected:(not data_pub)
+        ~protected:(not data_pub);
+      incr n_shadow_stores
     end;
     (* Retiring a transmitter architecturally transmits its sensitive
        register operands: they are now public forever. *)
+    if Rob_entry.is_transmitter e then incr n_xmit_retire;
     if Rob_entry.is_transmitter e then
       Array.iteri
         (fun i (r, role) ->
@@ -200,6 +210,13 @@ let make ?(w32_fix = true) () =
           | Insn.Divide | Insn.Data -> ())
         e.Rob_entry.srcs
   in
+  let metrics () =
+    [
+      ("transmitter_retirements", !n_xmit_retire);
+      ("public_load_upgrades", !n_public_loads);
+      ("shadow_store_writes", !n_shadow_stores);
+    ]
+  in
   {
     Policy.unsafe with
     Policy.name = (if w32_fix then "spt" else "spt-no-w32-fix");
@@ -208,4 +225,5 @@ let make ?(w32_fix = true) () =
     may_execute_transmitter;
     may_resolve;
     on_commit;
+    metrics;
   }

@@ -16,7 +16,12 @@ module Pipeline = Protean_ooo.Pipeline
 module Policy = Protean_ooo.Policy
 module Multicore = Protean_ooo.Multicore
 module Stats = Protean_ooo.Stats
+module Profile = Protean_ooo.Profile
+module Pstate = Protean_ooo.Pipeline_state
 module Suite = Protean_workloads.Suite
+module Program = Protean_isa.Program
+module Tlog = Protean_telemetry.Log
+module Flame = Protean_telemetry.Flame
 
 type defense_cfg = {
   label : string;
@@ -69,7 +74,28 @@ type run_result = {
   stats : Stats.t list; (* one per core *)
   code_size_ratio : float;
   inserted_moves : int;
+  policy_metrics : (string * int) list;
+      (* the defense policy's named counters ([Policy.metrics]), read
+         once after the run; [] unless telemetry collection is enabled *)
+  flame : (string * int) list;
+      (* folded flamegraph stacks ("bench;klass;func" -> simulated
+         cycles) from the commit-gap profiler; [] unless flame
+         collection is enabled.  Per cell, sum of weights == the cell's
+         [Stats.cycles] (summed over cores). *)
 }
+
+(* Telemetry collection switches, process-global like the line sink:
+   flipped by the CLIs (and by [--worker] re-execs, which keep the
+   exporter flags in argv precisely so workers collect too).  Both
+   default off, so grids without exporters simulate exactly as before —
+   no profiler subscription, no policy-metrics read. *)
+let collect_policy_metrics = ref false
+let collect_flame = ref false
+
+(* Observation hook for cell computations (key, wall start, wall end),
+   installed by the reporting layer to record Chrome-trace spans.  A
+   plain callback so this module needs no dependency on the tracer. *)
+let cell_hook : (string -> float -> float -> unit) option ref = ref None
 
 let default_fuel = 30_000_000
 
@@ -125,19 +151,76 @@ let instrument_program ~ckey spec program =
           Mutex.unlock protcc_cache_lock;
           r)
 
+(* Fold one profiler snapshot through the program's function table into
+   collapsed stacks under [root] (defense label, benchmark, optionally
+   core).  The residual — cycles after the last commit — goes to a
+   synthetic "(no-commit)" frame so the folded weights sum to the run's
+   cycle count exactly. *)
+let fold_flame ~root program (snap : Profile.snapshot) acc =
+  List.iter
+    (fun (pc, cyc) ->
+      let frames =
+        match Program.func_at program pc with
+        | Some f ->
+            root @ [ Program.string_of_klass f.Program.klass; f.Program.fname ]
+        | None -> root @ [ "(unknown)"; Printf.sprintf "pc_%d" pc ]
+      in
+      Flame.add acc ~frames cyc)
+    snap.Profile.snap_flame;
+  Flame.add acc ~frames:(root @ [ "(no-commit)" ]) snap.Profile.snap_residual
+
+(* Sum named policy counters across cores (sorted by name, so the list
+   is deterministic whatever order cores were created in). *)
+let merge_policy_metrics (policies : Policy.t list) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Policy.t) ->
+      List.iter
+        (fun (k, v) ->
+          let prev = try Hashtbl.find tbl k with Not_found -> 0 in
+          Hashtbl.replace tbl k (prev + v))
+        (p.Policy.metrics ()))
+    policies;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
+
 let execute spec =
   let bkey =
     Printf.sprintf "%s/%s" spec.bench.Suite.suite spec.bench.Suite.name
   in
+  (* Flame collection: a commit-gap profiler per core, flushed through
+     the unsubscribe finalizer when we detach after the run. *)
+  let flame_acc = if !collect_flame then Some (Flame.create ()) else None in
+  let attached : Pipeline.t list ref = ref [] in
+  let attach_profiler ~root program (t : Pipeline.t) =
+    match flame_acc with
+    | None -> ()
+    | Some acc ->
+        let p = Profile.create () in
+        let sink snap = fold_flame ~root program snap acc in
+        Profile.attach ~sink p t;
+        attached := t :: !attached
+  in
+  let detach_all () = List.iter Profile.detach !attached in
+  let finish_tele policies =
+    detach_all ();
+    let pm =
+      if !collect_policy_metrics then merge_policy_metrics policies else []
+    in
+    let fl = match flame_acc with None -> [] | Some acc -> Flame.to_list acc in
+    (pm, fl)
+  in
   match spec.bench.Suite.kind with
   | Suite.Single f ->
       let program, ratio, moves = instrument_program ~ckey:bkey spec (f ()) in
+      let policy = spec.dcfg.defense.Defense.make () in
       let r =
         Pipeline.run ~squash_bug:spec.squash_bug ~spec_model:spec.spec_model
-          ~fuel:default_fuel spec.config
-          (spec.dcfg.defense.Defense.make ())
-          program ~overlays:[]
+          ~fuel:default_fuel
+          ~on_start:(attach_profiler ~root:[ spec.dcfg.label; bkey ] program)
+          spec.config policy program ~overlays:[]
       in
+      let policy_metrics, flame = finish_tele [ policy ] in
       if not r.Pipeline.finished then
         failwith
           (Printf.sprintf "experiment %s/%s did not finish"
@@ -147,6 +230,8 @@ let execute spec =
         stats = [ r.Pipeline.stats ];
         code_size_ratio = ratio;
         inserted_moves = moves;
+        policy_metrics;
+        flame;
       }
   | Suite.Multi f ->
       let programs = f () in
@@ -161,11 +246,22 @@ let execute spec =
             p')
           programs
       in
+      let policies = ref [] in
+      let make_policy () =
+        let p = spec.dcfg.defense.Defense.make () in
+        policies := p :: !policies;
+        p
+      in
+      let on_core i t =
+        attach_profiler
+          ~root:[ spec.dcfg.label; bkey; Printf.sprintf "core%d" i ]
+          programs.(i) t
+      in
       let r =
         Multicore.run ~squash_bug:spec.squash_bug ~spec_model:spec.spec_model
-          ~fuel:default_fuel spec.config
-          ~make_policy:spec.dcfg.defense.Defense.make programs
+          ~fuel:default_fuel ~on_core spec.config ~make_policy programs
       in
+      let policy_metrics, flame = finish_tele !policies in
       if not r.Multicore.finished then
         failwith
           (Printf.sprintf "experiment %s/%s did not finish"
@@ -177,6 +273,8 @@ let execute spec =
             (Array.map (fun (c : Pipeline.result) -> c.Pipeline.stats) r.Multicore.per_core);
         code_size_ratio = !ratio;
         inserted_moves = !moves;
+        policy_metrics;
+        flame;
       }
 
 (* Memoized session.  [collect], when set, switches [run] into a
@@ -203,44 +301,50 @@ let key spec =
 (* Sentinel for a faulted run: grids keep going and the affected table
    cells read as nan instead of the whole process aborting. *)
 let faulted_result =
-  { cycles = nan; stats = []; code_size_ratio = nan; inserted_moves = 0 }
+  {
+    cycles = nan;
+    stats = [];
+    code_size_ratio = nan;
+    inserted_moves = 0;
+    policy_metrics = [];
+    flame = [];
+  }
 
 (* Diagnostic lines (fault reports, [run] cache-miss logs, [prewarm]
    progress) are emitted by parallel fill workers on several domains —
-   and, under supervised execution, by several *processes*.  One
-   mutex-serialized sink keeps lines whole; shard workers retarget it at
-   the supervisor's frame protocol so per-worker output never shares a
-   raw stderr. *)
-let log_lock = Mutex.create ()
-let line_sink : (string -> unit) ref =
-  ref (fun line -> Printf.eprintf "%s\n%!" line)
+   and, under supervised execution, by several *processes*.  They all
+   route through the structured logger ([Telemetry.Log]), whose single
+   mutex-serialized sink keeps lines whole; shard workers retarget the
+   sink at the supervisor's frame protocol so per-worker output never
+   shares a raw stderr. *)
+let set_line_sink = Tlog.set_sink
 
-let set_line_sink f = line_sink := f
-
-let log_line fmt =
-  Printf.ksprintf
-    (fun s ->
-      Mutex.lock log_lock;
-      Fun.protect ~finally:(fun () -> Mutex.unlock log_lock) (fun () ->
-          !line_sink s))
-    fmt
+let log_line fmt = Printf.ksprintf (fun s -> Tlog.info ~src:"harness" "%s" s) fmt
 
 (* One cell, with the fault barrier: a deadlocked/livelocked simulation
    fails this cell only — report the faulting configuration and let the
    grid continue with a nan cell. *)
 let compute spec =
+  let t0 = Unix.gettimeofday () in
+  let finish r =
+    (match !cell_hook with
+    | Some f -> f (key spec) t0 (Unix.gettimeofday ())
+    | None -> ());
+    r
+  in
   match execute spec with
-  | r -> r
+  | r -> finish r
   | exception Pipeline.Sim_fault f ->
-      log_line "[fault] bench=%s defense=%s core=%s spec_model=%s: %s"
+      Tlog.warn ~src:"harness"
+        "[fault] bench=%s defense=%s core=%s spec_model=%s: %s"
         spec.bench.Suite.name spec.dcfg.label spec.config.Config.name
         (Policy.spec_model_name spec.spec_model)
         (Pipeline.fault_to_string f);
-      faulted_result
+      finish faulted_result
   | exception Failure msg ->
-      log_line "[fault] bench=%s defense=%s core=%s: %s"
+      Tlog.warn ~src:"harness" "[fault] bench=%s defense=%s core=%s: %s"
         spec.bench.Suite.name spec.dcfg.label spec.config.Config.name msg;
-      faulted_result
+      finish faulted_result
 
 let run session spec =
   let k = key spec in

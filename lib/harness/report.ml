@@ -1,0 +1,293 @@
+(* The telemetry reporting layer: turns a memoized experiment session
+   (plus the supervisor's lifecycle bus and wall-clock cell spans) into
+   the three exporter formats — Prometheus/JSON metrics, Chrome
+   trace-event JSON, and collapsed-stack flamegraphs.
+
+   Split of responsibilities:
+   - *deterministic* metrics (pipeline counters from [Stats.t], defense
+     policy counters, flame totals) derive purely from the session
+     cache, so serial / [-j N] / [--shards N] runs render byte-identical
+     metric families;
+   - *runtime* metrics (the [protean_supervisor_*] families) and the
+     trace record wall-clock process topology and are excluded from
+     determinism comparisons (they describe *this* run's execution, not
+     the simulated machine).
+
+   Collection is free when no exporter asked for it: [enable] flips the
+   experiment-layer switches, and without it no profiler subscribes, no
+   policy counters are read, and no span is recorded. *)
+
+module Metrics = Protean_telemetry.Metrics
+module Trace = Protean_telemetry.Trace
+module Flame = Protean_telemetry.Flame
+module Stats = Protean_ooo.Stats
+module E = Experiment
+
+type config = {
+  metrics_out : string option;
+  trace_out : string option;
+  flamegraph_out : string option;
+}
+
+let no_exports = { metrics_out = None; trace_out = None; flamegraph_out = None }
+
+let wanted c =
+  c.metrics_out <> None || c.trace_out <> None || c.flamegraph_out <> None
+
+(* Runtime registry: supervisor lifecycle counters, filled by the bus
+   observer as the run executes. *)
+let runtime = Metrics.create ()
+let tracer : Trace.t option ref = ref None
+
+(* Flip the collection switches for this process.  Workers call this
+   too ([--worker] keeps the exporter flags in argv) so cells computed
+   in shard processes carry their telemetry home over the frame
+   protocol — but only the parent ever opens the tracer or writes
+   files. *)
+let enable ?(worker = false) c =
+  if c.metrics_out <> None then E.collect_policy_metrics := true;
+  if c.flamegraph_out <> None then E.collect_flame := true;
+  if (not worker) && wanted c then begin
+    let tr = Trace.create () in
+    Trace.name_process tr ~pid:0 "protean";
+    tracer := Some tr;
+    if c.trace_out <> None then
+      E.cell_hook :=
+        Some (fun key t0 t1 -> Trace.span tr ~cat:"cell" ~t0 ~t1 key)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic metrics from the session cache                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Cell keys are "suite/name|defense|config|spec_model|squash_bug|mc";
+   the first three become the per-cell label set. *)
+let labels_of_key key =
+  match String.split_on_char '|' key with
+  | bench :: defense :: core :: _ ->
+      [ ("bench", bench); ("core", core); ("defense", defense) ]
+  | _ -> [ ("cell", key) ]
+
+(* One row per [Stats.t] field worth a family of its own (the marker
+   position is bookkeeping, not a count, and is skipped). *)
+let stat_families : (string * string * (Stats.t -> int)) list =
+  [
+    ( "protean_pipeline_cycles_total",
+      "simulated cycles",
+      fun s -> s.Stats.cycles );
+    ( "protean_pipeline_committed_total",
+      "instructions committed",
+      fun s -> s.Stats.committed );
+    ( "protean_pipeline_fetched_total",
+      "instructions fetched (wrong path included)",
+      fun s -> s.Stats.fetched );
+    ( "protean_pipeline_squashes_total",
+      "pipeline squashes",
+      fun s -> s.Stats.squashes );
+    ( "protean_pipeline_squashed_insns_total",
+      "instructions flushed by squashes",
+      fun s -> s.Stats.squashed_insns );
+    ( "protean_pipeline_branch_mispredicts_total",
+      "branch mispredictions",
+      fun s -> s.Stats.branch_mispredicts );
+    ( "protean_pipeline_machine_clears_total",
+      "machine clears (faulting commits)",
+      fun s -> s.Stats.machine_clears );
+    ( "protean_pipeline_mem_order_violations_total",
+      "memory order violations",
+      fun s -> s.Stats.mem_order_violations );
+    ( "protean_pipeline_loads_executed_total",
+      "loads executed",
+      fun s -> s.Stats.loads_executed );
+    ( "protean_pipeline_loads_protected_mem_total",
+      "loads that read protected memory",
+      fun s -> s.Stats.loads_protected_mem );
+    ( "protean_cache_l1d_accesses_total",
+      "L1D accesses",
+      fun s -> s.Stats.l1d_accesses );
+    ( "protean_cache_l1d_misses_total",
+      "L1D misses",
+      fun s -> s.Stats.l1d_misses );
+    ( "protean_defense_transmitter_stall_cycles_total",
+      "cycles ready transmitters were stalled by the policy",
+      fun s -> s.Stats.transmitter_stall_cycles );
+    ( "protean_defense_wakeup_delay_cycles_total",
+      "cycles completed results were held back from dependents",
+      fun s -> s.Stats.wakeup_delay_cycles );
+    ( "protean_defense_resolution_delay_cycles_total",
+      "cycles executed branches were denied resolution",
+      fun s -> s.Stats.resolution_delay_cycles );
+    ( "protean_predictor_lookups_total",
+      "access-predictor lookups",
+      fun s -> s.Stats.access_pred_lookups );
+    ( "protean_predictor_mispredicts_total",
+      "access-predictor mispredictions among retired loads",
+      fun s -> s.Stats.access_pred_mispredicts );
+    ( "protean_predictor_false_negatives_total",
+      "access-predictor false negatives (ProtDelay fallbacks)",
+      fun s -> s.Stats.access_pred_false_negatives );
+  ]
+
+(* Per-cell measured-cycle histogram bounds: decades from 1k to 10M
+   (cells beyond the fuel limit cannot exist). *)
+let cell_cycle_buckets =
+  [| 1_000; 10_000; 100_000; 1_000_000; 10_000_000 |]
+
+let flame_total fl = List.fold_left (fun acc (_, n) -> acc + n) 0 fl
+
+(* Build the deterministic registry from every cached cell.  Hashtable
+   iteration order varies with insertion history (serial vs parallel
+   fill), but every fold below is a commutative integer sum and
+   snapshots sort by (family, labels), so the rendered bytes do not. *)
+let of_session (session : E.session) =
+  let reg = Metrics.create () in
+  let cells =
+    Metrics.counter reg ~help:"experiment cells computed"
+      "protean_harness_cells_total"
+  in
+  let faults =
+    Metrics.counter reg ~help:"cells resolved to the faulted sentinel"
+      "protean_harness_cell_faults_total"
+  in
+  Hashtbl.iter
+    (fun key (r : E.run_result) ->
+      let labels = labels_of_key key in
+      Metrics.inc cells;
+      if Float.is_nan r.E.cycles then Metrics.inc faults
+      else begin
+        let h =
+          Metrics.histogram reg
+            ~help:"measured cycles per experiment cell"
+            ~labels:[ ("defense", List.assoc "defense" labels) ]
+            ~buckets:cell_cycle_buckets "protean_harness_cell_cycles"
+        in
+        Metrics.observe h (int_of_float r.E.cycles)
+      end;
+      List.iter
+        (fun (st : Stats.t) ->
+          List.iter
+            (fun (family, help, field) ->
+              let v = field st in
+              if v <> 0 then
+                Metrics.inc ~n:v (Metrics.counter reg ~help ~labels family))
+            stat_families)
+        r.E.stats;
+      List.iter
+        (fun (name, v) ->
+          let m =
+            Metrics.counter reg ~help:"defense policy-local counter" ~labels
+              ("protean_defense_" ^ name ^ "_total")
+          in
+          Metrics.inc ~n:v m)
+        r.E.policy_metrics;
+      match r.E.flame with
+      | [] -> ()
+      | fl ->
+          let m =
+            Metrics.counter reg
+              ~help:
+                "cycles attributed by the commit-gap flame profiler \
+                 (equals protean_pipeline_cycles_total when flame export \
+                 is on)"
+              ~labels "protean_flame_cycles_total"
+          in
+          Metrics.inc ~n:(flame_total fl) m)
+    session.E.cache;
+  reg
+
+let flame_of_session (session : E.session) =
+  let acc = Flame.create () in
+  Hashtbl.iter
+    (fun _ (r : E.run_result) ->
+      List.iter (fun (stack, n) -> Flame.add_stack acc stack n) r.E.flame)
+    session.E.cache;
+  acc
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor lifecycle observer                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Subscribe the returned handler to a supervisor bus: lifecycle events
+   become [protean_supervisor_*] counters in the runtime registry, plus
+   trace instants when a tracer is open. *)
+let supervisor_observer () =
+  let c name help =
+    Metrics.counter runtime ~help ("protean_supervisor_" ^ name)
+  in
+  let spawns = c "spawns_total" "worker processes spawned" in
+  let heartbeats = c "heartbeats_total" "worker heartbeat frames" in
+  let cells_done = c "cells_done_total" "cells completed by workers" in
+  let cell_faults = c "cell_faults_total" "structured in-worker cell faults" in
+  let kills = c "kills_total" "workers killed (deadline or corruption)" in
+  let exits = c "worker_exits_total" "worker processes reaped" in
+  let retries = c "retries_total" "shard retry attempts" in
+  let bisects = c "bisects_total" "shard bisections" in
+  let poisoned = c "poisoned_cells_total" "cells poisoned after retries" in
+  let checkpoint =
+    c "checkpoint_cells_total" "cells resumed from checkpoints"
+  in
+  let fallbacks = c "fallbacks_total" "in-process fallbacks" in
+  let merged = c "merged_cells_total" "cells in the final merge" in
+  fun (ev : Supervisor.event) ->
+    (match !tracer with
+    | Some tr -> (
+        match ev with
+        | Supervisor.Heartbeat _ | Supervisor.Cell_done _
+        | Supervisor.Worker_log _ | Supervisor.Worker_stderr _ ->
+            () (* too chatty for instants; counted below *)
+        | ev ->
+            Trace.instant tr ~cat:"supervisor"
+              (Supervisor.event_to_string ev))
+    | None -> ());
+    match ev with
+    | Supervisor.Spawn _ -> Metrics.inc spawns
+    | Supervisor.Heartbeat _ -> Metrics.inc heartbeats
+    | Supervisor.Cell_done _ -> Metrics.inc cells_done
+    | Supervisor.Cell_fault _ -> Metrics.inc cell_faults
+    | Supervisor.Kill _ -> Metrics.inc kills
+    | Supervisor.Worker_exit _ -> Metrics.inc exits
+    | Supervisor.Retry _ -> Metrics.inc retries
+    | Supervisor.Bisect _ -> Metrics.inc bisects
+    | Supervisor.Poisoned _ -> Metrics.inc poisoned
+    | Supervisor.Checkpoint_loaded { cells } ->
+        Metrics.inc ~n:cells checkpoint
+    | Supervisor.Fallback _ -> Metrics.inc fallbacks
+    | Supervisor.Merged { cells; _ } -> Metrics.inc ~n:cells merged
+    | Supervisor.Worker_log _ | Supervisor.Worker_stderr _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Writers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* Deterministic session metrics merged with the runtime families. *)
+let final_snapshot session =
+  Metrics.merge
+    (Metrics.snapshot (of_session session))
+    (Metrics.snapshot runtime)
+
+(* Write whatever [c] asked for.  [.json] metric paths get the JSON
+   exporter, anything else Prometheus text. *)
+let write_outputs c session =
+  (match c.metrics_out with
+  | Some path ->
+      let snap = final_snapshot session in
+      if Filename.check_suffix path ".json" then
+        write_file path (Metrics.to_json snap)
+      else write_file path (Metrics.to_prometheus snap)
+  | None -> ());
+  (match c.trace_out with
+  | Some path -> (
+      match !tracer with
+      | Some tr -> write_file path (Trace.to_chrome_json tr)
+      | None -> ())
+  | None -> ());
+  match c.flamegraph_out with
+  | Some path ->
+      write_file path (Flame.to_folded (flame_of_session session))
+  | None -> ()

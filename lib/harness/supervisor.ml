@@ -842,14 +842,36 @@ module Grid = struct
         }
     | _ -> Json.parse_error "bad stats payload"
 
+  (* Named-counter lists (policy metrics, folded flame stacks) ride the
+     frame protocol as [[name, n], ...] pairs. *)
+  let counters_to_json kvs =
+    Json.List
+      (List.map
+         (fun (k, v) -> Json.List [ Json.Str k; Json.Int v ])
+         kvs)
+
+  let counters_of_json j =
+    List.map
+      (fun e ->
+        match Json.to_list e with
+        | [ k; v ] -> (Json.to_str k, Json.to_int v)
+        | _ -> Json.parse_error "bad counter pair")
+      (Json.to_list j)
+
   let result_to_json (r : E.run_result) =
     Json.Obj
-      [
-        ("cycles", Json.Float r.E.cycles);
-        ("stats", Json.List (List.map stats_to_json r.E.stats));
-        ("code_size_ratio", Json.Float r.E.code_size_ratio);
-        ("inserted_moves", Json.Int r.E.inserted_moves);
-      ]
+      ([
+         ("cycles", Json.Float r.E.cycles);
+         ("stats", Json.List (List.map stats_to_json r.E.stats));
+         ("code_size_ratio", Json.Float r.E.code_size_ratio);
+         ("inserted_moves", Json.Int r.E.inserted_moves);
+       ]
+      (* Telemetry payloads are omitted when empty: keeps frames (and
+         checkpoints written by telemetry-free runs) byte-compatible. *)
+      @ (if r.E.policy_metrics = [] then []
+         else [ ("pm", counters_to_json r.E.policy_metrics) ])
+      @
+      if r.E.flame = [] then [] else [ ("fl", counters_to_json r.E.flame) ])
 
   let result_of_json j =
     {
@@ -857,6 +879,14 @@ module Grid = struct
       stats = List.map stats_of_json Json.(to_list (member "stats" j));
       code_size_ratio = Json.(to_float (member "code_size_ratio" j));
       inserted_moves = Json.(to_int (member "inserted_moves" j));
+      policy_metrics =
+        (match Json.member "pm" j with
+        | Json.Null -> []
+        | pm -> counters_of_json pm);
+      flame =
+        (match Json.member "fl" j with
+        | Json.Null -> []
+        | fl -> counters_of_json fl);
     }
 
   (* [--worker] mode of a tables/figures CLI: rerun the same discovery

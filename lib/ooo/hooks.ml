@@ -126,7 +126,15 @@ let mask_of_kinds kinds =
   List.fold_left (fun m k -> m lor (1 lsl k)) 0 kinds
 
 type 'state handler = 'state -> event -> unit
-type 'state subscriber = { name : string; mask : int; handler : 'state handler }
+
+type 'state subscriber = {
+  name : string;
+  mask : int;
+  handler : 'state handler;
+  on_remove : (unit -> unit) option;
+      (* finalizer run by [unsubscribe]: stateful subscribers (the
+         profiler) flush partial samples here instead of dropping them *)
+}
 
 type 'state t = {
   mutable subs : 'state subscriber array;
@@ -142,11 +150,11 @@ let wanted bus kind = bus.interest land (1 lsl kind) <> 0
    array in place): [emit] reads the array once per emission, so handlers
    may re-register freely without corrupting an in-flight delivery. *)
 
-let subscribe ?kinds bus ~name handler =
+let subscribe ?kinds ?on_remove bus ~name handler =
   let mask =
     match kinds with None -> mask_all | Some ks -> mask_of_kinds ks
   in
-  bus.subs <- Array.append bus.subs [| { name; mask; handler } |];
+  bus.subs <- Array.append bus.subs [| { name; mask; handler; on_remove } |];
   bus.interest <- bus.interest lor mask
 
 let unsubscribe bus name =
@@ -173,7 +181,14 @@ let unsubscribe bus name =
        clears its bit — emission sites go back to the zero-cost path. *)
     let interest = ref 0 in
     Array.iter (fun s -> interest := !interest lor s.mask) bus.subs;
-    bus.interest <- !interest
+    bus.interest <- !interest;
+    (* Run finalizers after the subscriber array is consistent: an
+       [on_remove] that re-subscribes or emits must see the bus without
+       the departed subscriber. *)
+    for i = 0 to n - 1 do
+      if old.(i).name = name then
+        match old.(i).on_remove with None -> () | Some f -> f ()
+    done
   end
 
 let subscribers bus = Array.to_list (Array.map (fun s -> s.name) bus.subs)

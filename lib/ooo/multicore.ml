@@ -22,9 +22,12 @@ type result = {
   finished : bool;
 }
 
+(* [on_core i t] runs once per freshly created core, before the first
+   cycle — the registration point for per-core observers (profilers). *)
 let run ?squash_bug ?spec_model ?(fuel = 10_000_000)
     ?(watchdog = Pipeline.default_watchdog) ?(invariants = Invariants.Off)
-    ?invariant_every (cfg : Config.t) ~(make_policy : unit -> Policy.t)
+    ?invariant_every ?on_core (cfg : Config.t)
+    ~(make_policy : unit -> Policy.t)
     (programs : Protean_isa.Program.t array) =
   let shared_l3 = Option.map (Cache.create ~prot:false) cfg.Config.l3 in
   let cores =
@@ -40,6 +43,9 @@ let run ?squash_bug ?spec_model ?(fuel = 10_000_000)
       Array.iter
         (fun core -> Invariants.attach ?every:invariant_every mode core)
         cores);
+  (match on_core with
+  | Some f -> Array.iteri f cores
+  | None -> ());
   let cycles = ref 0 in
   let all_done () = Array.for_all Pipeline.is_done cores in
   while (not (all_done ())) && !cycles < fuel do

@@ -16,6 +16,7 @@ val run :
   ?watchdog:Pipeline.watchdog ->
   ?invariants:Invariants.mode ->
   ?invariant_every:int ->
+  ?on_core:(int -> Pipeline.t -> unit) ->
   Config.t ->
   make_policy:(unit -> Policy.t) ->
   Protean_isa.Program.t array ->
@@ -26,4 +27,6 @@ val run :
     subscribes a per-core invariant checker, sampled every
     [invariant_every] cycles, to each core's hook bus.  Either failure
     raises {!Pipeline.Sim_fault} with [fault_core] set to the faulting
-    core's index. *)
+    core's index.  [on_core i t] runs once per freshly created core
+    before the first cycle — the registration point for per-core
+    observers such as profilers. *)

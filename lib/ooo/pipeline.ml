@@ -163,13 +163,17 @@ let finish (t : t) =
     finished = t.done_;
   }
 
+(* [on_start] runs once on the freshly created state, before the first
+   cycle — the registration point for observers (profilers) that must
+   see the whole run. *)
 let run ?trace ?squash_bug ?spec_model ?shared_l3 ?(fuel = 5_000_000)
-    ?(watchdog = default_watchdog) ?on_cycle (cfg : Config.t)
+    ?(watchdog = default_watchdog) ?on_start ?on_cycle (cfg : Config.t)
     (policy : Policy.t) (program : Protean_isa.Program.t) ~overlays =
   let t =
     create ?trace ?squash_bug ?spec_model ?shared_l3 cfg policy program
       ~overlays
   in
+  (match on_start with Some f -> f t | None -> ());
   let open Pipeline_state in
   while (not t.done_) && t.cycle < fuel do
     step ~watchdog t;

@@ -77,10 +77,16 @@ type t = {
   may_resolve : api -> Rob_entry.t -> bool;
   on_load_executed : api -> Rob_entry.t -> unit;
   on_commit : api -> Rob_entry.t -> unit;
+  metrics : unit -> (string * int) list;
+      (* named policy-local counters for the telemetry layer, read once
+         after a run; [] when the policy keeps no private state.  Names
+         become Prometheus families (protean_defense_<name>_total), so
+         use lowercase snake_case nouns. *)
 }
 
 let nop_hook _ _ = ()
 let always _ _ = true
+let no_metrics () = []
 
 (* The unmodified out-of-order core: no protection at all. *)
 let unsafe =
@@ -93,4 +99,5 @@ let unsafe =
     may_resolve = always;
     on_load_executed = nop_hook;
     on_commit = nop_hook;
+    metrics = no_metrics;
   }

@@ -29,6 +29,12 @@ type t = {
   mutable last : float; (* timestamp of the previous mark *)
   mutable cycles : int; (* cycles profiled *)
   pc_cycles : (int, int) Hashtbl.t; (* pc -> summed fetch-to-commit cycles *)
+  pc_commit : (int, int) Hashtbl.t;
+      (* pc -> commit-gap cycles: each commit owns the simulated cycles
+         since the previous commit, so summing this table plus the
+         residual after the last commit reproduces the run's cycle count
+         exactly — the invariant the flamegraph exporter relies on *)
+  mutable commit_last : int; (* cycle of the most recent commit *)
 }
 
 let create () =
@@ -37,6 +43,8 @@ let create () =
     last = 0.0;
     cycles = 0;
     pc_cycles = Hashtbl.create 64;
+    pc_commit = Hashtbl.create 64;
+    commit_last = 0;
   }
 
 let handler (p : t) (t : S.t) (ev : Hooks.event) =
@@ -54,12 +62,55 @@ let handler (p : t) (t : S.t) (ev : Hooks.event) =
       let pc = e.Rob_entry.pc in
       let dt = t.S.cycle - e.Rob_entry.t_fetch in
       let prev = try Hashtbl.find p.pc_cycles pc with Not_found -> 0 in
-      Hashtbl.replace p.pc_cycles pc (prev + dt)
+      Hashtbl.replace p.pc_cycles pc (prev + dt);
+      let gap = t.S.cycle - p.commit_last in
+      p.commit_last <- t.S.cycle;
+      if gap > 0 then begin
+        let prev = try Hashtbl.find p.pc_commit pc with Not_found -> 0 in
+        Hashtbl.replace p.pc_commit pc (prev + gap)
+      end
   | _ -> ()
 
-let attach (p : t) (t : S.t) =
+(* A snapshot is plain data: everything a reporting layer needs to fold
+   the profile into exporter formats, detached from the live tables.
+   [snap_residual] is the cycles between the last commit and [cycle]
+   (the pipeline's clock when the snapshot was taken): attributed to no
+   pc, it is what makes [snap_flame] + residual == simulated cycles. *)
+type snapshot = {
+  snap_cycles : int; (* cycles profiled while attached *)
+  snap_stage_s : (string * float) list; (* wall seconds per stage *)
+  snap_pc_cycles : (int * int) list; (* fetch-to-commit latency per pc *)
+  snap_flame : (int * int) list; (* commit-gap cycles per pc *)
+  snap_residual : int; (* cycles after the last commit *)
+}
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+
+let snapshot (p : t) ~cycle =
+  {
+    snap_cycles = p.cycles;
+    snap_stage_s =
+      Array.to_list (Array.mapi (fun i s -> (stage_names.(i), s)) p.stage_s);
+    snap_pc_cycles = sorted_bindings p.pc_cycles;
+    snap_flame = sorted_bindings p.pc_commit;
+    snap_residual = max 0 (cycle - p.commit_last);
+  }
+
+(* [sink], when given, receives a final snapshot when the profiler is
+   unsubscribed — including an unsubscribe mid-run, so partial samples
+   are flushed rather than silently dropped (the bus runs the finalizer
+   from [Hooks.unsubscribe]). *)
+let attach ?sink (p : t) (t : S.t) =
   p.last <- Unix.gettimeofday ();
-  Hooks.subscribe t.S.hooks ~name:"profile"
+  p.commit_last <- t.S.cycle;
+  let on_remove =
+    match sink with
+    | None -> None
+    | Some f -> Some (fun () -> f (snapshot p ~cycle:t.S.cycle))
+  in
+  Hooks.subscribe ?on_remove t.S.hooks ~name:"profile"
     ~kinds:Hooks.[ k_stage; k_cycle_end; k_commit ]
     (handler p)
 

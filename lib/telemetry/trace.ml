@@ -1,0 +1,151 @@
+(* Span-based tracing with Chrome trace-event JSON export.
+
+   A recorder accumulates typed events — spans with a duration, instant
+   markers, and counter series — and renders them in the Trace Event
+   Format's "JSON array" flavor, which chrome://tracing and Perfetto
+   load directly (https://ui.perfetto.dev, "Open trace file").
+
+   Timestamps are microseconds relative to the recorder's epoch (its
+   creation time by default), as integers: Perfetto needs only relative
+   ordering, and small integers keep traces compact and diff-friendly.
+
+   Recording is mutex-serialized: spans arrive from parallel fill
+   domains and from the supervisor's select loop.  When no recorder is
+   installed the producers are gated at their call sites (the same
+   attached/detached discipline as the metrics registry), so tracing
+   costs nothing unless an exporter asked for it. *)
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;
+      ts_us : int; (* start, relative to epoch *)
+      dur_us : int;
+      pid : int;
+      tid : int;
+      args : (string * string) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      ts_us : int;
+      pid : int;
+      tid : int;
+      args : (string * string) list;
+    }
+  | Counter of {
+      name : string;
+      ts_us : int;
+      pid : int;
+      series : (string * int) list;
+    }
+  | Meta of { name : string; pid : int; tid : int; label : string }
+      (* process_name / thread_name metadata records *)
+
+type t = {
+  epoch : float; (* Unix.gettimeofday at creation *)
+  mutable events : event list; (* newest first *)
+  lock : Mutex.t;
+}
+
+let create ?epoch () =
+  {
+    epoch = (match epoch with Some e -> e | None -> Unix.gettimeofday ());
+    events = [];
+    lock = Mutex.create ();
+  }
+
+let now_us t = int_of_float ((Unix.gettimeofday () -. t.epoch) *. 1e6)
+let us_of t wall = int_of_float ((wall -. t.epoch) *. 1e6)
+
+let record t ev =
+  Mutex.lock t.lock;
+  t.events <- ev :: t.events;
+  Mutex.unlock t.lock
+
+(* A completed span from wall-clock endpoints ([Unix.gettimeofday]). *)
+let span t ?(cat = "cell") ?(pid = 0) ?(tid = 0) ?(args = []) ~t0 ~t1 name =
+  record t
+    (Span
+       {
+         name;
+         cat;
+         ts_us = us_of t t0;
+         dur_us = max 0 (int_of_float ((t1 -. t0) *. 1e6));
+         pid;
+         tid;
+         args;
+       })
+
+(* A span measured around [f]. *)
+let with_span t ?cat ?pid ?tid ?args name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () -> span t ?cat ?pid ?tid ?args ~t0 ~t1:(Unix.gettimeofday ()) name)
+    f
+
+let instant t ?(cat = "event") ?(pid = 0) ?(tid = 0) ?(args = []) name =
+  record t (Instant { name; cat; ts_us = now_us t; pid; tid; args })
+
+let counter t ?(pid = 0) name series =
+  record t (Counter { name; ts_us = now_us t; pid; series })
+
+let name_process t ~pid label = record t (Meta { name = "process_name"; pid; tid = 0; label })
+let name_thread t ~pid ~tid label = record t (Meta { name = "thread_name"; pid; tid; label })
+
+let count t =
+  Mutex.lock t.lock;
+  let n = List.length t.events in
+  Mutex.unlock t.lock;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON                                             *)
+(* ------------------------------------------------------------------ *)
+
+let esc = Metrics.json_escape
+
+let args_json args =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (esc k) (esc v)) args)
+  ^ "}"
+
+let event_json = function
+  | Span { name; cat; ts_us; dur_us; pid; tid; args } ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\
+         \"pid\":%d,\"tid\":%d,\"args\":%s}"
+        (esc name) (esc cat) ts_us dur_us pid tid (args_json args)
+  | Instant { name; cat; ts_us; pid; tid; args } ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%d,\
+         \"pid\":%d,\"tid\":%d,\"args\":%s}"
+        (esc name) (esc cat) ts_us pid tid (args_json args)
+  | Counter { name; ts_us; pid; series } ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%d,\"pid\":%d,\"args\":{%s}}"
+        (esc name) ts_us pid
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (esc k) v) series))
+  | Meta { name; pid; tid; label } ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+        (esc name) pid tid (esc label)
+
+(* The JSON-array format: events in chronological record order.  A
+   trailing newline and no trailing comma — strict parsers (Perfetto's
+   JSON ingestion, python -m json.tool) accept it as-is. *)
+let to_chrome_json t =
+  Mutex.lock t.lock;
+  let events = List.rev t.events in
+  Mutex.unlock t.lock;
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (event_json ev))
+    events;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Schema check for the three telemetry exporter outputs:
+#
+#   check_telemetry.sh <metrics.prom> <trace.json> <flame.folded> [min_families]
+#
+# - the metrics file must be valid Prometheus text exposition 0.0.4:
+#   every sample line is `name{labels} <integer>`, every family carries
+#   # HELP / # TYPE headers, and at least [min_families] (default 20)
+#   distinct families spanning the pipeline, defense and supervisor
+#   layers are present;
+# - the trace file must be a well-formed Chrome trace-event JSON array
+#   whose events all carry "ph" and "name" (Perfetto's loader rejects
+#   anything less);
+# - the folded flamegraph must be `stack <integer>` per line, and its
+#   total weight must equal both the flame and pipeline cycle counters
+#   in the metrics file — the profiler attributes every simulated
+#   cycle, or it lies.
+set -euo pipefail
+
+metrics=${1:?usage: check_telemetry.sh metrics.prom trace.json flame.folded [min_families]}
+trace=${2:?missing trace.json}
+flame=${3:?missing flame.folded}
+min_families=${4:-20}
+
+fail() { echo "check_telemetry: $*" >&2; exit 1; }
+
+[ -s "$metrics" ] || fail "$metrics is missing or empty"
+[ -s "$trace" ] || fail "$trace is missing or empty"
+[ -s "$flame" ] || fail "$flame is missing or empty"
+
+# --- Prometheus text format -------------------------------------------
+
+awk '
+  /^#/ { next }
+  /^$/ { next }
+  # name, optional {labels}, single space, integer value
+  !/^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]+$/ {
+    print "bad sample line: " $0; bad = 1
+  }
+  END { exit bad }
+' "$metrics" || fail "$metrics has malformed sample lines"
+
+families=$(awk '!/^#/ && !/^$/ { sub(/[{ ].*/, "", $0); print }' "$metrics" \
+  | sed -e 's/_bucket$//' -e 's/_sum$//' -e 's/_count$//' | sort -u)
+n_families=$(printf '%s\n' "$families" | sed '/^$/d' | wc -l)
+[ "$n_families" -ge "$min_families" ] \
+  || fail "only $n_families metric families (< $min_families)"
+
+for layer in protean_pipeline_ protean_defense_ protean_harness_; do
+  printf '%s\n' "$families" | grep -q "^$layer" \
+    || fail "no $layer* family in $metrics"
+done
+
+helped=$(grep -c '^# HELP ' "$metrics")
+typed=$(grep -c '^# TYPE ' "$metrics")
+[ "$helped" -ge 1 ] && [ "$typed" -ge 1 ] || fail "missing HELP/TYPE headers"
+[ "$helped" -eq "$typed" ] || fail "HELP/TYPE header counts differ"
+
+# --- Chrome trace-event JSON ------------------------------------------
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$trace" <<'EOF' || exit 1
+import json, sys
+with open(sys.argv[1]) as f:
+    events = json.load(f)
+assert isinstance(events, list) and events, "trace is not a non-empty array"
+for e in events:
+    assert "ph" in e and "name" in e, f"event missing ph/name: {e}"
+    assert e["ph"] in ("X", "i", "C", "M"), f"unknown phase: {e['ph']}"
+print(f"trace ok: {len(events)} events")
+EOF
+else
+  # No python3: at least require the array shape and a phase field.
+  head -c 1 "$trace" | grep -q '\[' || fail "$trace does not start with ["
+  grep -q '"ph":' "$trace" || fail "$trace has no phase fields"
+  echo "trace ok (shallow check; python3 unavailable)"
+fi
+
+# --- folded flamegraph -------------------------------------------------
+
+awk '
+  !/^[^ ]+ [0-9]+$/ { print "bad folded line: " $0; bad = 1 }
+  END { exit bad }
+' "$flame" || fail "$flame has malformed folded lines"
+
+flame_total=$(awk '{ sum += $NF } END { print sum + 0 }' "$flame")
+metric_flame=$(awk '!/^#/ && $1 ~ /^protean_flame_cycles_total/ { sum += $NF } END { print sum + 0 }' "$metrics")
+metric_cycles=$(awk '!/^#/ && $1 ~ /^protean_pipeline_cycles_total/ { sum += $NF } END { print sum + 0 }' "$metrics")
+
+[ "$flame_total" -gt 0 ] || fail "flamegraph total is zero"
+[ "$flame_total" -eq "$metric_flame" ] \
+  || fail "folded total $flame_total != protean_flame_cycles_total $metric_flame"
+[ "$flame_total" -eq "$metric_cycles" ] \
+  || fail "folded total $flame_total != protean_pipeline_cycles_total $metric_cycles"
+
+echo "check_telemetry: ok ($n_families families, flame total $flame_total cycles)"
