@@ -115,6 +115,33 @@ let log_json_arg =
   Arg.(value & flag & info [ "log-json" ]
          ~doc:"Emit diagnostic log lines as structured JSON on stderr.")
 
+let listen_arg =
+  Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT"
+         ~doc:"Run the campaign as a TCP worker pool: bind $(docv) (port 0 \
+               picks one), lease program batches to workers that dial in \
+               with --connect, and re-dispatch the lease of any worker \
+               that disconnects or times out. --shards then bounds \
+               in-flight leases.")
+
+let connect_arg =
+  Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT"
+         ~doc:"Serve campaign programs as a remote worker: dial a \
+               --listen'ing supervisor, authenticate with \
+               --campaign-token, and reconnect with backoff if the \
+               connection drops.")
+
+let token_arg =
+  Arg.(value & opt string "protean" & info [ "campaign-token" ] ~docv:"TOKEN"
+         ~doc:"Shared secret for the worker-pool handshake; a dial-in \
+               worker presenting a different token is rejected.")
+
+let metrics_listen_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-listen" ] ~docv:"HOST:PORT"
+         ~doc:"Serve live Prometheus metrics over HTTP at $(docv)/metrics \
+               for the duration of the campaign (port 0 picks one; the \
+               bound port is logged).")
+
 let inject_arg =
   Arg.(value & flag & info [ "inject-faults" ]
          ~doc:"Self-test the fuzzer: inject deliberate faults into the \
@@ -332,8 +359,8 @@ let outcome_of_json j =
    worker died on every attempt (a poisoned cell) becomes a structured
    skip — exactly how the in-process barrier reports a program that
    faults twice. *)
-let run_campaign_supervised ~tele ~shards ~jobs ~inject ?(shrink = true)
-    campaign d =
+let run_campaign_supervised ~tele ~shards ~jobs ~inject ?pool ?http
+    ?(shrink = true) campaign d =
   let cells =
     List.init campaign.Fuzz.programs (fun i ->
         { Shard.c_id = i; c_key = string_of_int i })
@@ -347,11 +374,16 @@ let run_campaign_supervised ~tele ~shards ~jobs ~inject ?(shrink = true)
   in
   let bus = Supervisor.create_bus () in
   Supervisor.subscribe bus ~name:"log" (Supervisor.logger ());
-  if Report.wanted tele then
+  if Report.wanted tele || http <> None then
     Supervisor.subscribe bus ~name:"telemetry" (Report.supervisor_observer ());
   let worker_argv =
     Supervisor.self_worker_argv
-      ~drop:[ "--shards"; "--inject-worker-fault" ] ()
+      ~drop:
+        [
+          "--shards"; "--inject-worker-fault"; "--listen"; "--metrics-listen";
+          "--campaign-token";
+        ]
+      ()
   in
   let fallback remaining =
     let remaining = Array.of_list remaining in
@@ -364,7 +396,11 @@ let run_campaign_supervised ~tele ~shards ~jobs ~inject ?(shrink = true)
     Array.to_list
       (Array.mapi (fun i (c : Shard.cell) -> (c.Shard.c_id, rs.(i))) remaining)
   in
-  let outcomes = Supervisor.run ~bus config ~worker_argv ~fallback cells in
+  let outcomes =
+    match pool with
+    | Some p -> Supervisor.run_pool ~bus ?http config ~pool:p ~fallback cells
+    | None -> Supervisor.run ~bus ?http config ~worker_argv ~fallback cells
+  in
   let out = Fuzz.fresh_outcome () in
   let skips = ref [] in
   List.iter
@@ -411,15 +447,16 @@ let run_campaign_supervised ~tele ~shards ~jobs ~inject ?(shrink = true)
     r_counterexample = counterexample;
   }
 
-let run_campaign ~tele ~jobs ~shards ~inject_worker campaign d contract resume =
+let run_campaign ~tele ~jobs ~shards ~inject_worker ?pool ?http campaign d
+    contract resume =
   let r =
     with_span
       (Printf.sprintf "%s|%s" d.Defense.id contract)
       (fun () ->
         match resume with
-        | None when shards > 1 ->
+        | None when shards > 1 || pool <> None ->
             run_campaign_supervised ~tele ~shards ~jobs ~inject:inject_worker
-              campaign d
+              ?pool ?http campaign d
         | None when jobs > 1 -> Parallel.fuzz_run_resilient ~jobs campaign d
         | _ ->
             if jobs > 1 || shards > 1 then
@@ -455,39 +492,69 @@ let run_campaign ~tele ~jobs ~shards ~inject_worker campaign d contract resume =
 
 let run table_ii defense contract programs inputs adversary seed squash_bug
     timeout resume inject jobs shards worker inject_worker metrics_out
-    trace_out flamegraph_out log_json =
+    trace_out flamegraph_out log_json listen connect token metrics_listen =
   if log_json then Tlog.set_json true;
   let tele = { Report.metrics_out; trace_out; flamegraph_out } in
-  Report.enable ~worker tele;
+  Report.enable ~worker:(worker || connect <> None) tele;
   let jobs = if jobs = 0 then Parallel.default_jobs () else max 1 jobs in
   let shards = max 1 shards in
-  if worker then begin
-    (* Spawned by a supervisor: serve per-program campaign cells over
-       stdin/stdout (cell key = program index). *)
+  if worker || connect <> None then begin
+    (* Spawned by a supervisor (--worker: frames on stdin/stdout) or
+       dialing one remotely (--connect); cell key = program index. *)
     let d = Defense.find defense in
     let campaign =
       campaign_of contract adversary programs inputs seed squash_bug timeout
     in
-    Shard.worker_main ~jobs
-      ~compute:(fun key -> fuzz_cell campaign d (int_of_string key))
-      ()
+    let compute key = fuzz_cell campaign d (int_of_string key) in
+    match connect with
+    | None -> Shard.worker_main ~jobs ~compute ()
+    | Some addr -> Shard.connect_worker ~jobs ~addr ~token ~compute ()
   end
   else begin
+    let pool =
+      Option.map
+        (fun addr ->
+          {
+            Supervisor.default_pool_config with
+            Supervisor.pl_listen = addr;
+            pl_token = token;
+          })
+        listen
+    in
+    let http =
+      Option.map
+        (fun addr ->
+          let h =
+            Protean_telemetry.Http_listener.create ~addr (fun () ->
+                Metrics.to_prometheus
+                  (Metrics.merge (Metrics.snapshot fuzz_reg)
+                     (Metrics.snapshot Report.runtime)))
+          in
+          Tlog.info ~src:"fuzz" "serving /metrics on port %d"
+            (Protean_telemetry.Http_listener.port h);
+          h)
+        metrics_listen
+    in
     let failed =
-      if table_ii then begin
-        Tables.table_ii ~jobs ~programs ~inputs ();
-        false
-      end
-      else if inject then run_self_test ~jobs ~programs ~inputs ~seed ~timeout
-      else begin
-        let d = Defense.find defense in
-        let campaign =
-          campaign_of contract adversary programs inputs seed squash_bug
-            timeout
-        in
-        run_campaign ~tele ~jobs ~shards ~inject_worker campaign d contract
-          resume
-      end
+      Fun.protect
+        ~finally:(fun () ->
+          Option.iter Protean_telemetry.Http_listener.close http)
+        (fun () ->
+          if table_ii then begin
+            Tables.table_ii ~jobs ~programs ~inputs ();
+            false
+          end
+          else if inject then
+            run_self_test ~jobs ~programs ~inputs ~seed ~timeout
+          else begin
+            let d = Defense.find defense in
+            let campaign =
+              campaign_of contract adversary programs inputs seed squash_bug
+                timeout
+            in
+            run_campaign ~tele ~jobs ~shards ~inject_worker ?pool ?http
+              campaign d contract resume
+          end)
     in
     if Report.wanted tele then write_telemetry tele;
     if failed then exit 1
@@ -502,6 +569,7 @@ let cmd =
       $ inputs_arg $ adversary_arg $ seed_arg $ squash_bug_arg $ timeout_arg
       $ resume_arg $ inject_arg $ jobs_arg $ shards_arg $ worker_arg
       $ inject_worker_arg $ metrics_out_arg $ trace_out_arg
-      $ flamegraph_out_arg $ log_json_arg)
+      $ flamegraph_out_arg $ log_json_arg $ listen_arg $ connect_arg
+      $ token_arg $ metrics_listen_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -127,12 +127,40 @@ let log_json_arg =
   Arg.(value & flag & info [ "log-json" ]
          ~doc:"Emit diagnostic log lines as structured JSON on stderr.")
 
+let listen_arg =
+  Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT"
+         ~doc:"Run multi-benchmark simulation as a TCP worker pool: bind \
+               $(docv) (port 0 picks one), lease benchmarks to workers \
+               that dial in with --connect, and re-dispatch the lease of \
+               any worker that disconnects or times out. --shards then \
+               bounds in-flight leases.")
+
+let connect_arg =
+  Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT"
+         ~doc:"Serve benchmark cells as a remote worker: dial a \
+               --listen'ing supervisor, authenticate with \
+               --campaign-token, and reconnect with backoff if the \
+               connection drops.")
+
+let token_arg =
+  Arg.(value & opt string "protean" & info [ "campaign-token" ] ~docv:"TOKEN"
+         ~doc:"Shared secret for the worker-pool handshake; a dial-in \
+               worker presenting a different token is rejected.")
+
+let metrics_listen_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-listen" ] ~docv:"HOST:PORT"
+         ~doc:"Serve live Prometheus metrics over HTTP at $(docv)/metrics \
+               for the duration of the run (port 0 picks one; the bound \
+               port is logged).")
+
 (* Dropped from the worker argv.  The exporter flags are deliberately
    *not* here: workers keep them so they collect telemetry for their
    cells (the results ride home over the frame protocol); only the
    parent writes files. *)
 let supervisor_flags =
-  [ "--shards"; "--inject-faults"; "--shard-heartbeat"; "--shard-wall" ]
+  [ "--shards"; "--inject-faults"; "--shard-heartbeat"; "--shard-wall";
+    "--listen"; "--metrics-listen"; "--campaign-token" ]
 
 let config_of = function
   | "p" -> Config.p_core
@@ -258,7 +286,7 @@ let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
 
 let run list benches defense pass core spec_model invariants invariant_every
     paranoid_sched jobs shards worker inject heartbeat wall metrics_out
-    trace_out flamegraph_out log_json =
+    trace_out flamegraph_out log_json listen connect token metrics_listen =
   if log_json then Tlog.set_json true;
   if paranoid_sched then begin
     Pipeline.set_paranoid_sched true;
@@ -324,7 +352,10 @@ let run list benches defense pass core spec_model invariants invariant_every
         d.Defense.id config.Config.name reason
     in
     if worker then Shard.worker_main ~jobs ~compute:sim_cell ()
-    else if shards > 1 then begin
+    else if connect <> None then
+      Shard.connect_worker ~jobs ~addr:(Option.get connect) ~token
+        ~compute:sim_cell ()
+    else if shards > 1 || listen <> None then begin
       let cells =
         List.mapi (fun i b -> { Shard.c_id = i; c_key = b }) benches
       in
@@ -339,7 +370,7 @@ let run list benches defense pass core spec_model invariants invariant_every
       in
       let bus = Supervisor.create_bus () in
       Supervisor.subscribe bus ~name:"log" (Supervisor.logger ());
-      if Report.wanted tele then
+      if Report.wanted tele || metrics_listen <> None then
         Supervisor.subscribe bus ~name:"telemetry"
           (Report.supervisor_observer ());
       let worker_argv = Supervisor.self_worker_argv ~drop:supervisor_flags () in
@@ -352,7 +383,41 @@ let run list benches defense pass core spec_model invariants invariant_every
         in
         Array.to_list (Parallel.map ~jobs tasks)
       in
-      let outcomes = Supervisor.run ~bus sup_config ~worker_argv ~fallback cells in
+      let pool =
+        Option.map
+          (fun addr ->
+            {
+              Supervisor.default_pool_config with
+              Supervisor.pl_listen = addr;
+              pl_token = token;
+            })
+          listen
+      in
+      let http =
+        Option.map
+          (fun addr ->
+            let h =
+              Protean_telemetry.Http_listener.create ~addr
+                (Report.live_metrics session)
+            in
+            Tlog.info ~src:"sim" "serving /metrics on port %d"
+              (Protean_telemetry.Http_listener.port h);
+            h)
+          metrics_listen
+      in
+      let outcomes =
+        Fun.protect
+          ~finally:(fun () ->
+            Option.iter Protean_telemetry.Http_listener.close http)
+          (fun () ->
+            match pool with
+            | Some p ->
+                Supervisor.run_pool ~bus ?http sup_config ~pool:p ~fallback
+                  cells
+            | None ->
+                Supervisor.run ~bus ?http sup_config ~worker_argv ~fallback
+                  cells)
+      in
       let faulted = ref false in
       List.iter
         (fun (id, outcome) ->
@@ -422,6 +487,7 @@ let cmd =
       $ spec_model_arg $ invariants_arg $ invariant_every_arg
       $ paranoid_sched_arg $ jobs_arg $ shards_arg $ worker_arg $ inject_arg
       $ heartbeat_arg $ wall_arg $ metrics_out_arg $ trace_out_arg
-      $ flamegraph_out_arg $ log_json_arg)
+      $ flamegraph_out_arg $ log_json_arg $ listen_arg $ connect_arg
+      $ token_arg $ metrics_listen_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -102,6 +102,32 @@ let log_json_arg =
   Arg.(value & flag & info [ "log-json" ]
          ~doc:"Emit diagnostic log lines as structured JSON on stderr.")
 
+let listen_arg =
+  Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT"
+         ~doc:"Run the grid as a TCP worker pool: bind $(docv) (port 0 \
+               picks one), lease work to workers that dial in with \
+               --connect, and re-dispatch the lease of any worker that \
+               disconnects or times out. --shards then bounds in-flight \
+               leases. Output stays byte-identical to the serial run.")
+
+let connect_arg =
+  Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT"
+         ~doc:"Serve grid cells as a remote worker: dial a --listen'ing \
+               supervisor, authenticate with --campaign-token, and \
+               reconnect with backoff if the connection drops.")
+
+let token_arg =
+  Arg.(value & opt string "protean" & info [ "campaign-token" ] ~docv:"TOKEN"
+         ~doc:"Shared secret for the worker-pool handshake; a dial-in \
+               worker presenting a different token is rejected.")
+
+let metrics_listen_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-listen" ] ~docv:"HOST:PORT"
+         ~doc:"Serve live Prometheus metrics over HTTP at $(docv)/metrics \
+               for the duration of the run (port 0 picks one; the bound \
+               port is logged).")
+
 (* Supervisor-only flags must not reach the worker's argv: the worker
    re-runs the same discovery pass, and any argv drift would change the
    cell enumeration.  The telemetry exporter flags are deliberately
@@ -110,10 +136,11 @@ let log_json_arg =
    fields); only the parent writes files. *)
 let supervisor_flags =
   [ "--shards"; "--inject-faults"; "--shard-heartbeat"; "--shard-wall";
-    "--checkpoint-dir" ]
+    "--checkpoint-dir"; "--listen"; "--metrics-listen"; "--campaign-token" ]
 
 let run what benches fuzz_programs jobs shards worker inject heartbeat wall
-    checkpoint_dir metrics_out trace_out flamegraph_out log_json =
+    checkpoint_dir metrics_out trace_out flamegraph_out log_json listen
+    connect token metrics_listen =
   if log_json then Protean_telemetry.Log.set_json true;
   let jobs = if jobs = 0 then Parallel.default_jobs () else max 1 jobs in
   let shards = max 1 shards in
@@ -162,15 +189,45 @@ let run what benches fuzz_programs jobs shards worker inject heartbeat wall
     in
     let bus = Supervisor.create_bus () in
     Supervisor.subscribe bus ~name:"log" (Supervisor.logger ());
-    if Report.wanted tele then
+    if Report.wanted tele || metrics_listen <> None then
       Supervisor.subscribe bus ~name:"telemetry"
         (Report.supervisor_observer ());
     let worker_argv =
       Supervisor.self_worker_argv ~drop:supervisor_flags ()
     in
-    Supervisor.Grid.supervised ~bus ~config ~worker_argv ~jobs session gen
+    let pool =
+      Option.map
+        (fun addr ->
+          {
+            Supervisor.default_pool_config with
+            Supervisor.pl_listen = addr;
+            pl_token = token;
+          })
+        listen
+    in
+    let http =
+      Option.map
+        (fun addr ->
+          let h =
+            Protean_telemetry.Http_listener.create ~addr
+              (Report.live_metrics session)
+          in
+          E.log_line "[metrics] serving /metrics on port %d"
+            (Protean_telemetry.Http_listener.port h);
+          h)
+        metrics_listen
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter Protean_telemetry.Http_listener.close http)
+      (fun () ->
+        Supervisor.Grid.supervised ~bus ~config ?pool ?http ~worker_argv ~jobs
+          session gen)
   in
-  let gen_session g = if shards > 1 then supervised g else E.prewarm ~jobs session g in
+  let gen_session g =
+    if shards > 1 || listen <> None then supervised g
+    else E.prewarm ~jobs session g
+  in
   let gen w =
     match session_gen w with
     | Some g -> gen_session g
@@ -184,11 +241,11 @@ let run what benches fuzz_programs jobs shards worker inject heartbeat wall
             List.iter print_endline (Protean_harness.Golden.lines ~jobs ())
         | s -> invalid_arg ("unknown table/figure: " ^ s))
   in
-  if worker then
-    (* Spawned by a supervisor: serve this target's grid cells over
-       stdin/stdout.  The discovery pass below enumerates exactly the
-       parent's cells because the argv (minus supervisor flags) is the
-       parent's. *)
+  if worker || connect <> None then
+    (* Spawned by a supervisor (--worker: frames on stdin/stdout) or
+       dialing one remotely (--connect).  The discovery pass below
+       enumerates exactly the supervisor's cells because the argv
+       (minus supervisor flags) matches. *)
     let g =
       match what with
       | "all" -> combined_gen
@@ -198,7 +255,7 @@ let run what benches fuzz_programs jobs shards worker inject heartbeat wall
           | None ->
               invalid_arg ("--worker is only meaningful for grid targets: " ^ w))
     in
-    Supervisor.Grid.worker ~jobs session g
+    Supervisor.Grid.worker ~jobs ?connect ~token session g
   else begin
     (match what with
     | "all" ->
@@ -217,6 +274,7 @@ let cmd =
       const run $ what_arg $ bench_arg $ fuzz_programs_arg $ jobs_arg
       $ shards_arg $ worker_arg $ inject_arg $ heartbeat_arg $ wall_arg
       $ checkpoint_dir_arg $ metrics_out_arg $ trace_out_arg
-      $ flamegraph_out_arg $ log_json_arg)
+      $ flamegraph_out_arg $ log_json_arg $ listen_arg $ connect_arg
+      $ token_arg $ metrics_listen_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -170,3 +170,91 @@ let worker_mode_persistent = function
 (* Environment variable through which a supervisor arms a fault in the
    worker process it spawns. *)
 let worker_env = "PROTEAN_WORKER_FAULT"
+
+(* --- network-level fault injection ----------------------------------- *)
+
+(* The TCP shard transport (Protean_harness.Shard.Transport) is hardened
+   the same way: these modes corrupt the *byte stream between supervisor
+   and worker* instead of the worker process, modelling the failure
+   modes of a real network.  Applied at the transport seam (every frame
+   send passes through it), so pipe and socket transports are faulted
+   identically.  The campaign must still complete with byte-identical
+   merged output: the supervisor treats a corrupted or half-closed
+   connection as a dead worker and re-dispatches its lease.
+
+   - [NF_drop n]: the nth frame sent is silently discarded (a lost
+     datagram / a switch eating a segment): the peer sees a gap — a
+     missing result must be re-dispatched, never invented;
+   - [NF_garbage n]: the nth frame is replaced by garbage bytes whose
+     length prefix is invalid, poisoning the stream (bit corruption /
+     a confused middlebox): the peer's decoder must reject it as a
+     structured protocol fault, not allocate gigabytes;
+   - [NF_delay s]: every send stalls [s] seconds first (congestion);
+     correctness must not depend on latency;
+   - [NF_half_close n]: before the nth frame the sender shuts down its
+     write side and stops (a half-open TCP connection): the peer sees
+     clean EOF mid-lease;
+   - [NF_short_write n]: the nth frame is cut off after a few bytes and
+     the write side shut down (sender crashed mid-write): the peer sees
+     a truncated frame.
+
+   All modes except [NF_delay] fire exactly once per *process* (tracked
+   by the transport layer), so a worker that reconnects after its own
+   injected fault serves cleanly — which is exactly the reconnect path
+   chaos tests need to exercise. *)
+type net_mode =
+  | NF_drop of int
+  | NF_garbage of int
+  | NF_delay of float
+  | NF_half_close of int
+  | NF_short_write of int
+
+let net_mode_name = function
+  | NF_drop n -> Printf.sprintf "net-drop:%d" n
+  | NF_garbage n -> Printf.sprintf "net-garbage:%d" n
+  | NF_delay s -> Printf.sprintf "net-delay:%g" s
+  | NF_half_close n -> Printf.sprintf "net-half-close:%d" n
+  | NF_short_write n -> Printf.sprintf "net-short-write:%d" n
+
+let net_mode_of_string s =
+  let num prefix of_tok mk =
+    let plen = String.length prefix in
+    if String.length s > plen && String.sub s 0 plen = prefix then
+      match of_tok (String.sub s plen (String.length s - plen)) with
+      | Some n -> Some (mk n)
+      | None -> invalid_arg ("Fault_inject.net_mode_of_string: " ^ s)
+    else None
+  in
+  let pos_int tok =
+    match int_of_string_opt tok with Some n when n >= 1 -> Some n | _ -> None
+  in
+  let pos_float tok =
+    match float_of_string_opt tok with
+    | Some f when f >= 0.0 -> Some f
+    | _ -> None
+  in
+  let candidates =
+    [
+      num "net-drop:" pos_int (fun n -> NF_drop n);
+      num "net-garbage:" pos_int (fun n -> NF_garbage n);
+      num "net-delay:" pos_float (fun f -> NF_delay f);
+      num "net-half-close:" pos_int (fun n -> NF_half_close n);
+      num "net-short-write:" pos_int (fun n -> NF_short_write n);
+    ]
+  in
+  match List.find_opt Option.is_some candidates with
+  | Some (Some m) -> m
+  | _ -> invalid_arg ("Fault_inject.net_mode_of_string: " ^ s)
+
+let net_mode_description = function
+  | NF_drop n -> Printf.sprintf "frame %d silently dropped" n
+  | NF_garbage n -> Printf.sprintf "frame %d replaced by garbage bytes" n
+  | NF_delay s -> Printf.sprintf "every frame delayed %gs" s
+  | NF_half_close n ->
+      Printf.sprintf "write side shut down before frame %d" n
+  | NF_short_write n ->
+      Printf.sprintf "frame %d cut off mid-write, then shutdown" n
+
+(* Environment variable through which a chaos harness arms a network
+   fault in a worker process (read by the transport layer at dial-in). *)
+let net_env = "PROTEAN_NET_FAULT"

@@ -228,6 +228,12 @@ let supervisor_observer () =
   in
   let fallbacks = c "fallbacks_total" "in-process fallbacks" in
   let merged = c "merged_cells_total" "cells in the final merge" in
+  let connects = c "workers_connected_total" "dial-in workers accepted" in
+  let rejects = c "workers_rejected_total" "dial-in handshakes refused" in
+  let leases = c "leases_granted_total" "work batches leased to workers" in
+  let disconnects =
+    c "workers_disconnected_total" "dial-in workers lost mid-campaign"
+  in
   fun (ev : Supervisor.event) ->
     (match !tracer with
     | Some tr -> (
@@ -253,7 +259,13 @@ let supervisor_observer () =
         Metrics.inc ~n:cells checkpoint
     | Supervisor.Fallback _ -> Metrics.inc fallbacks
     | Supervisor.Merged { cells; _ } -> Metrics.inc ~n:cells merged
-    | Supervisor.Worker_log _ | Supervisor.Worker_stderr _ -> ()
+    | Supervisor.Worker_connected _ -> Metrics.inc connects
+    | Supervisor.Worker_rejected _ -> Metrics.inc rejects
+    | Supervisor.Lease_granted _ -> Metrics.inc leases
+    | Supervisor.Worker_disconnected _ -> Metrics.inc disconnects
+    | Supervisor.Listening _ | Supervisor.Worker_log _
+    | Supervisor.Worker_stderr _ ->
+        ()
 
 (* ------------------------------------------------------------------ *)
 (* Writers                                                             *)
@@ -270,6 +282,11 @@ let final_snapshot session =
   Metrics.merge
     (Metrics.snapshot (of_session session))
     (Metrics.snapshot runtime)
+
+(* Scrape body for a live /metrics HTTP listener: rendered per request,
+   so mid-campaign scrapes see the runtime families (supervisor
+   lifecycle counters) the observer is filling in real time. *)
+let live_metrics session () = Metrics.to_prometheus (final_snapshot session)
 
 (* Write whatever [c] asked for.  [.json] metric paths get the JSON
    exporter, anything else Prometheus text. *)

@@ -30,6 +30,7 @@
 
 module Fault_inject = Protean_defense.Fault_inject
 module Json = Shard.Json
+module Http_listener = Protean_telemetry.Http_listener
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle event bus                                                 *)
@@ -50,6 +51,12 @@ type event =
   | Checkpoint_loaded of { cells : int }
   | Fallback of { reason : string }
   | Merged of { cells : int; faults : int }
+  (* TCP worker-pool lifecycle ([run_pool]): *)
+  | Listening of { addr : string; port : int }
+  | Worker_connected of { worker : int; peer : string }
+  | Worker_rejected of { peer : string; reason : string }
+  | Lease_granted of { shard : int; worker : int; cells : int; attempt : int }
+  | Worker_disconnected of { worker : int; reason : string }
 
 type subscriber = { s_name : string; s_handler : event -> unit }
 type bus = { mutable subs : subscriber array }
@@ -97,6 +104,17 @@ let event_to_string = function
   | Fallback { reason } -> Printf.sprintf "in-process fallback: %s" reason
   | Merged { cells; faults } ->
       Printf.sprintf "merged %d cells (%d faulted)" cells faults
+  | Listening { addr; port } ->
+      Printf.sprintf "worker pool listening on %s (port %d)" addr port
+  | Worker_connected { worker; peer } ->
+      Printf.sprintf "worker %d connected from %s" worker peer
+  | Worker_rejected { peer; reason } ->
+      Printf.sprintf "connection from %s rejected: %s" peer reason
+  | Lease_granted { shard; worker; cells; attempt } ->
+      Printf.sprintf "lease %d (attempt %d, %d cells) granted to worker %d"
+        shard attempt cells worker
+  | Worker_disconnected { worker; reason } ->
+      Printf.sprintf "worker %d disconnected: %s" worker reason
 
 (* Run-log subscriber: serialized through the experiment-layer line sink
    so supervisor lines never interleave with in-process fill output. *)
@@ -134,6 +152,23 @@ let default_config =
     checkpoint_dir = None;
     inject = None;
   }
+
+(* Worker-pool mode ([run_pool]): instead of exec'ing local workers the
+   supervisor listens on TCP and remote workers dial in, so a campaign
+   spans machines.  [cfg.shards] then bounds the number of in-flight
+   *leases* (work batches), not processes.  Dial-in connections must
+   present the campaign [token] and a matching protocol version before
+   they are leased any work. *)
+type pool_config = {
+  pl_listen : string; (* HOST:PORT to bind; port 0 picks one *)
+  pl_token : string; (* shared campaign secret for the handshake *)
+  pl_accept_wall : float;
+      (* s with work pending but no workers connected before the
+         campaign degrades to the in-process fallback *)
+}
+
+let default_pool_config =
+  { pl_listen = "127.0.0.1:0"; pl_token = "protean"; pl_accept_wall = 60.0 }
 
 type outcome =
   | O_ok of Json.t
@@ -353,23 +388,96 @@ let split_shards shards (cells : Shard.cell list) =
       Array.to_list (Array.sub arr lo (hi - lo)))
   |> List.filter (fun l -> l <> [])
 
-let run ?(bus = create_bus ()) ?spawn (cfg : config)
-    ~(worker_argv : string array)
-    ~(fallback : Shard.cell list -> (int * Json.t) list)
-    (cells : Shard.cell list) : (int * outcome) list =
-  let n = List.length cells in
-  let key_of_id = Hashtbl.create 64 in
-  List.iter (fun c -> Hashtbl.replace key_of_id c.Shard.c_id c.Shard.c_key) cells;
-  let results : (int, outcome) Hashtbl.t = Hashtbl.create 64 in
-  let completed_by_origin : (int, (int * string * Json.t) list ref) Hashtbl.t =
-    Hashtbl.create 8
-  in
-  let fault_count = ref 0 in
-  let finish () =
-    emit bus (Merged { cells = n; faults = !fault_count });
+(* Result ledger shared by the pipe supervisor ([run]) and the TCP
+   worker pool ([run_pool]): which cells are resolved, the per-origin
+   completion lists that back checkpoints, and the final deterministic
+   merge.  Commutative bookkeeping — results can arrive from any
+   worker in any order and the merge is still byte-identical to a
+   serial run. *)
+module Ledger = struct
+  type t = {
+    g_bus : bus;
+    g_cells : Shard.cell list;
+    g_n : int;
+    g_key_of_id : (int, string) Hashtbl.t;
+    g_results : (int, outcome) Hashtbl.t;
+    g_completed : (int, (int * string * Json.t) list ref) Hashtbl.t;
+    g_dir : string option;
+    mutable g_faults : int;
+  }
+
+  let create ~bus ~checkpoint_dir cells =
+    let key_of_id = Hashtbl.create 64 in
+    List.iter
+      (fun c -> Hashtbl.replace key_of_id c.Shard.c_id c.Shard.c_key)
+      cells;
+    {
+      g_bus = bus;
+      g_cells = cells;
+      g_n = List.length cells;
+      g_key_of_id = key_of_id;
+      g_results = Hashtbl.create 64;
+      g_completed = Hashtbl.create 8;
+      g_dir = checkpoint_dir;
+      g_faults = 0;
+    }
+
+  let have t id = Hashtbl.mem t.g_results id
+  let key_of t id = try Hashtbl.find t.g_key_of_id id with Not_found -> ""
+
+  let record_ok t ~origin id r =
+    if not (have t id) then begin
+      Hashtbl.replace t.g_results id (O_ok r);
+      let lst =
+        match Hashtbl.find_opt t.g_completed origin with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.replace t.g_completed origin l;
+            l
+      in
+      lst := (id, key_of t id, r) :: !lst
+    end
+
+  (* A structured fault is final: no retry or bisection rescues it. *)
+  let poison t ~attempts id reason =
+    if not (have t id) then begin
+      t.g_faults <- t.g_faults + 1;
+      let key = key_of t id in
+      Hashtbl.replace t.g_results id
+        (O_fault { f_key = key; f_attempts = attempts; f_reason = reason });
+      emit t.g_bus (Poisoned { cell = id; key; attempts; reason })
+    end
+
+  let save_checkpoint t origin =
+    match t.g_dir with
+    | None -> ()
+    | Some dir -> (
+        match Hashtbl.find_opt t.g_completed origin with
+        | Some l when !l <> [] -> (
+            try Checkpoint.save dir origin (List.rev !l)
+            with Sys_error _ | Unix.Unix_error _ -> ()
+            (* checkpointing is best-effort *))
+        | _ -> ())
+
+  let load_checkpoints t =
+    match t.g_dir with
+    | None -> ()
+    | Some dir ->
+        let loaded = Checkpoint.load_all dir t.g_cells in
+        if loaded <> [] then begin
+          List.iter (fun (id, _, r) -> record_ok t ~origin:0 id r) loaded;
+          emit t.g_bus (Checkpoint_loaded { cells = List.length loaded })
+        end
+
+  let remaining t =
+    List.filter (fun c -> not (have t c.Shard.c_id)) t.g_cells
+
+  let finish t =
+    emit t.g_bus (Merged { cells = t.g_n; faults = t.g_faults });
     List.map
       (fun c ->
-        match Hashtbl.find_opt results c.Shard.c_id with
+        match Hashtbl.find_opt t.g_results c.Shard.c_id with
         | Some o -> (c.Shard.c_id, o)
         | None ->
             (* Unreachable by construction — every cell is either
@@ -381,53 +489,76 @@ let run ?(bus = create_bus ()) ?spawn (cfg : config)
                   f_attempts = 0;
                   f_reason = "supervisor lost track of cell";
                 } ))
-      cells
+      t.g_cells
+end
+
+(* Failure disposition shared by pipe shards and pool leases: retry
+   with exponential backoff while the attempt budget lasts, then
+   bisect a multi-cell batch towards the failing cell, and poison a
+   single cell that keeps failing. *)
+let requeue_failed ~bus ~cfg ~(ledger : Ledger.t) ~pending ~fresh_shard ~now
+    ~shard ~origin ~cells ~attempt reason =
+  let rest =
+    List.filter (fun c -> not (Ledger.have ledger c.Shard.c_id)) cells
   in
-  let record_ok ~origin id r =
-    if not (Hashtbl.mem results id) then begin
-      Hashtbl.replace results id (O_ok r);
-      let key = try Hashtbl.find key_of_id id with Not_found -> "" in
-      let lst =
-        match Hashtbl.find_opt completed_by_origin origin with
-        | Some l -> l
-        | None ->
-            let l = ref [] in
-            Hashtbl.replace completed_by_origin origin l;
-            l
+  if rest = [] then ()
+  else if attempt >= cfg.max_attempts then
+    if List.length rest > 1 then begin
+      (* Bisect: narrow the crashing batch towards the poisoned cell;
+         each half restarts its attempt budget. *)
+      let arr = Array.of_list rest in
+      let mid = Array.length arr / 2 in
+      let left = Array.to_list (Array.sub arr 0 mid) in
+      let right = Array.to_list (Array.sub arr mid (Array.length arr - mid)) in
+      emit bus
+        (Bisect { shard; left = List.length left; right = List.length right });
+      let mk cells =
+        {
+          p_shard = fresh_shard ();
+          p_origin = origin;
+          p_cells = cells;
+          p_attempt = 1;
+          p_not_before = now () +. cfg.backoff;
+        }
       in
-      lst := (id, key, r) :: !lst
+      pending := !pending @ [ mk left; mk right ]
     end
-  in
-  let save_checkpoint origin =
-    match cfg.checkpoint_dir with
-    | None -> ()
-    | Some dir -> (
-        match Hashtbl.find_opt completed_by_origin origin with
-        | Some l when !l <> [] ->
-            (try Checkpoint.save dir origin (List.rev !l)
-             with Sys_error _ | Unix.Unix_error _ -> ()
-             (* checkpointing is best-effort *))
-        | _ -> ())
-  in
+    else Ledger.poison ledger ~attempts:attempt (List.hd rest).Shard.c_id reason
+  else begin
+    let delay = cfg.backoff *. (2.0 ** float_of_int (attempt - 1)) in
+    emit bus (Retry { shard; attempt = attempt + 1; delay });
+    pending :=
+      !pending
+      @ [
+          {
+            p_shard = shard;
+            p_origin = origin;
+            p_cells = rest;
+            p_attempt = attempt + 1;
+            p_not_before = now () +. delay;
+          };
+        ]
+  end
+
+let run ?(bus = create_bus ()) ?spawn ?http (cfg : config)
+    ~(worker_argv : string array)
+    ~(fallback : Shard.cell list -> (int * Json.t) list)
+    (cells : Shard.cell list) : (int * outcome) list =
+  Shard.ignore_sigpipe ();
+  let ledger = Ledger.create ~bus ~checkpoint_dir:cfg.checkpoint_dir cells in
+  let record_ok = Ledger.record_ok ledger in
+  let save_checkpoint = Ledger.save_checkpoint ledger in
+  let finish () = Ledger.finish ledger in
   let run_fallback reason remaining =
     emit bus (Fallback { reason });
     List.iter (fun (id, r) -> record_ok ~origin:0 id r) (fallback remaining);
     save_checkpoint 0
   in
-  if n = 0 then finish ()
+  if cells = [] then finish ()
   else begin
     (* Resume from per-shard checkpoints, when given. *)
-    (match cfg.checkpoint_dir with
-    | Some dir ->
-        let loaded = Checkpoint.load_all dir cells in
-        if loaded <> [] then begin
-          List.iter (fun (id, _, r) -> record_ok ~origin:0 id r) loaded;
-          emit bus (Checkpoint_loaded { cells = List.length loaded })
-        end
-    | None -> ());
-    let remaining =
-      List.filter (fun c -> not (Hashtbl.mem results c.Shard.c_id)) cells
-    in
+    Ledger.load_checkpoints ledger;
+    let remaining = Ledger.remaining ledger in
     if remaining = [] then finish ()
     else if not (Shard.can_spawn ()) then begin
       run_fallback "process spawning unavailable" remaining;
@@ -499,75 +630,9 @@ let run ?(bus = create_bus ()) ?spawn (cfg : config)
           :: !active
       in
       let requeue (a : active) reason =
-        let rest =
-          List.filter (fun c -> not (Hashtbl.mem results c.Shard.c_id)) a.a_cells
-        in
-        if rest = [] then ()
-        else if a.a_attempt >= cfg.max_attempts then
-          if List.length rest > 1 then begin
-            (* Bisect: narrow the crashing shard towards the poisoned
-               cell; each half restarts its attempt budget. *)
-            let arr = Array.of_list rest in
-            let mid = Array.length arr / 2 in
-            let left = Array.to_list (Array.sub arr 0 mid) in
-            let right =
-              Array.to_list (Array.sub arr mid (Array.length arr - mid))
-            in
-            emit bus
-              (Bisect
-                 {
-                   shard = a.a_shard;
-                   left = List.length left;
-                   right = List.length right;
-                 });
-            let mk cells =
-              {
-                p_shard = fresh_shard ();
-                p_origin = a.a_origin;
-                p_cells = cells;
-                p_attempt = 1;
-                p_not_before = now () +. cfg.backoff;
-              }
-            in
-            let pl = mk left in
-            let pr = mk right in
-            pending := !pending @ [ pl; pr ]
-          end
-          else begin
-            let c = List.hd rest in
-            incr fault_count;
-            emit bus
-              (Poisoned
-                 {
-                   cell = c.Shard.c_id;
-                   key = c.Shard.c_key;
-                   attempts = a.a_attempt;
-                   reason;
-                 });
-            Hashtbl.replace results c.Shard.c_id
-              (O_fault
-                 {
-                   f_key = c.Shard.c_key;
-                   f_attempts = a.a_attempt;
-                   f_reason = reason;
-                 })
-          end
-        else begin
-          let delay = cfg.backoff *. (2.0 ** float_of_int (a.a_attempt - 1)) in
-          emit bus
-            (Retry { shard = a.a_shard; attempt = a.a_attempt + 1; delay });
-          pending :=
-            !pending
-            @ [
-                {
-                  p_shard = a.a_shard;
-                  p_origin = a.a_origin;
-                  p_cells = rest;
-                  p_attempt = a.a_attempt + 1;
-                  p_not_before = now () +. delay;
-                };
-              ]
-        end
+        requeue_failed ~bus ~cfg ~ledger ~pending ~fresh_shard ~now
+          ~shard:a.a_shard ~origin:a.a_origin ~cells:a.a_cells
+          ~attempt:a.a_attempt reason
       in
       let finalize (a : active) =
         active := List.filter (fun x -> x != a) !active;
@@ -578,7 +643,7 @@ let run ?(bus = create_bus ()) ?spawn (cfg : config)
         | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
         | None -> ());
         let all_resulted =
-          List.for_all (fun c -> Hashtbl.mem results c.Shard.c_id) a.a_cells
+          List.for_all (fun c -> Ledger.have ledger c.Shard.c_id) a.a_cells
         in
         let truncated = Shard.Decoder.pending_bytes a.a_dec > 0 in
         let ok =
@@ -616,25 +681,7 @@ let run ?(bus = create_bus ()) ?spawn (cfg : config)
         | Shard.F_cellfault { fc_id; fc_reason } ->
             (* The worker caught the failure itself: a structured fault,
                final immediately — no retry or bisection needed. *)
-            if not (Hashtbl.mem results fc_id) then begin
-              incr fault_count;
-              let key = try Hashtbl.find key_of_id fc_id with Not_found -> "" in
-              Hashtbl.replace results fc_id
-                (O_fault
-                   {
-                     f_key = key;
-                     f_attempts = a.a_attempt;
-                     f_reason = fc_reason;
-                   });
-              emit bus
-                (Poisoned
-                   {
-                     cell = fc_id;
-                     key;
-                     attempts = a.a_attempt;
-                     reason = fc_reason;
-                   })
-            end;
+            Ledger.poison ledger ~attempts:a.a_attempt fc_id fc_reason;
             emit bus
               (Cell_fault { shard = a.a_shard; cell = fc_id; reason = fc_reason })
         | Shard.F_log line -> emit bus (Worker_log { shard = a.a_shard; line })
@@ -643,14 +690,16 @@ let run ?(bus = create_bus ()) ?spawn (cfg : config)
             (* Ask the worker to exit cleanly; EOF follows. *)
             (try Shard.write_frame a.a_tr.t_write Shard.F_exit
              with Unix.Unix_error _ -> ())
-        | Shard.F_work _ | Shard.F_exit -> ()
+        | Shard.F_work _ | Shard.F_exit | Shard.F_hello _ | Shard.F_welcome _
+        | Shard.F_reject _ ->
+            ()
       in
       let buf = Bytes.create 65536 in
       let drain_err (a : active) =
         match a.a_tr.t_err with
         | None -> ()
         | Some fd -> (
-            match Unix.read fd buf 0 (Bytes.length buf) with
+            match Shard.retry_intr (fun () -> Unix.read fd buf 0 (Bytes.length buf)) with
             | 0 -> ()
             | k ->
                 a.a_errbuf <- a.a_errbuf ^ Bytes.sub_string buf 0 k;
@@ -708,13 +757,18 @@ let run ?(bus = create_bus ()) ?spawn (cfg : config)
                    kill a
                      (Printf.sprintf "wall-clock budget (%.0fs) expired" cfg.wall))
                (List.filter (fun a -> a.a_failed = None) !active);
-             (* Wait for frames. *)
+             (* Wait for frames (and, when live-scraping is enabled,
+                /metrics requests on the same select). *)
+             let http_fds =
+               match http with Some h -> Http_listener.fds h | None -> []
+             in
              let fds =
                List.concat_map
                  (fun (a : active) ->
                    a.a_tr.t_read
                    :: (match a.a_tr.t_err with Some e -> [ e ] | None -> []))
                  !active
+               @ http_fds
              in
              let timeout =
                let next_deadline =
@@ -734,8 +788,13 @@ let run ?(bus = create_bus ()) ?spawn (cfg : config)
              in
              if fds = [] then (if !pending <> [] then Unix.sleepf timeout)
              else begin
-               match Unix.select fds [] [] timeout with
+               match
+                 Shard.retry_intr (fun () -> Unix.select fds [] [] timeout)
+               with
                | readable, _, _ ->
+                   (match http with
+                   | Some h -> Http_listener.handle h readable
+                   | None -> ());
                    List.iter
                      (fun (a : active) ->
                        if
@@ -747,7 +806,8 @@ let run ?(bus = create_bus ()) ?spawn (cfg : config)
                          | _ -> ());
                          if List.memq a.a_tr.t_read readable then begin
                            match
-                             Unix.read a.a_tr.t_read buf 0 (Bytes.length buf)
+                             Shard.retry_intr (fun () ->
+                                 Unix.read a.a_tr.t_read buf 0 (Bytes.length buf))
                            with
                            | 0 -> finalize a (* EOF *)
                            | k -> (
@@ -762,14 +822,15 @@ let run ?(bus = create_bus ()) ?spawn (cfg : config)
                                    | None -> ()
                                  in
                                  pop ()
-                               with Json.Parse msg ->
-                                 kill a ("protocol corruption: " ^ msg))
-                           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                               with
+                               | Json.Parse msg ->
+                                   kill a ("protocol corruption: " ^ msg)
+                               | Shard.Protocol msg ->
+                                   kill a ("protocol corruption: " ^ msg))
                            | exception Unix.Unix_error _ -> finalize a
                          end
                        end)
                      (List.filter (fun _ -> true) !active)
-               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
              end
            end
          done
@@ -783,10 +844,340 @@ let run ?(bus = create_bus ()) ?spawn (cfg : config)
          raise e);
       (match !aborted with
       | Some reason ->
-          let remaining =
-            List.filter (fun c -> not (Hashtbl.mem results c.Shard.c_id)) cells
-          in
-          run_fallback ("spawn failed: " ^ reason) remaining
+          run_fallback ("spawn failed: " ^ reason) (Ledger.remaining ledger)
+      | None -> ());
+      finish ()
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* TCP worker pool                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One dial-in connection.  [pc_worker] is a stable display id granted
+   at accept; a connection holds at most one lease (work batch) at a
+   time, so a dead connection forfeits exactly one batch. *)
+type pool_conn = {
+  pc_worker : int;
+  pc_fd : Unix.file_descr;
+  pc_peer : string;
+  pc_dec : Shard.Decoder.t;
+  mutable pc_authed : bool;
+  mutable pc_last : float; (* last byte received (liveness) *)
+  mutable pc_lease : pending option;
+  mutable pc_leased_at : float;
+}
+
+(* [run] over TCP: listen on [pool.pl_listen], lease work batches to
+   authenticated dial-in workers, and re-dispatch the lease of any
+   worker that disconnects, times out, half-closes, or corrupts the
+   stream — through the same backoff/bisection/poison logic as the
+   pipe supervisor, against the same ledger, so the merged output is
+   byte-identical to a serial run no matter which machines computed
+   what.  [cfg.shards] bounds in-flight leases; worker count is
+   whatever dials in.  Emits [Listening] with the bound port before
+   accepting (subscribers — tests, log tooling — learn the real port
+   when [pl_listen] ends in ":0"). *)
+let run_pool ?(bus = create_bus ()) ?http (cfg : config)
+    ?(pool = default_pool_config)
+    ~(fallback : Shard.cell list -> (int * Json.t) list)
+    (cells : Shard.cell list) : (int * outcome) list =
+  Shard.ignore_sigpipe ();
+  let ledger = Ledger.create ~bus ~checkpoint_dir:cfg.checkpoint_dir cells in
+  let finish () = Ledger.finish ledger in
+  let run_fallback reason remaining =
+    emit bus (Fallback { reason });
+    List.iter
+      (fun (id, r) -> Ledger.record_ok ledger ~origin:0 id r)
+      (fallback remaining);
+    Ledger.save_checkpoint ledger 0
+  in
+  if cells = [] then finish ()
+  else begin
+    Ledger.load_checkpoints ledger;
+    let remaining = Ledger.remaining ledger in
+    if remaining = [] then finish ()
+    else begin
+      let lsock, port = Shard.listen_socket pool.pl_listen in
+      emit bus (Listening { addr = pool.pl_listen; port });
+      let now () = Unix.gettimeofday () in
+      let next_shard = ref 0 in
+      let fresh_shard () =
+        let s = !next_shard in
+        incr next_shard;
+        s
+      in
+      let next_worker = ref 0 in
+      let pending : pending list ref =
+        ref
+          (List.map
+             (fun cs ->
+               let s = fresh_shard () in
+               {
+                 p_shard = s;
+                 p_origin = s;
+                 p_cells = cs;
+                 p_attempt = 1;
+                 p_not_before = 0.0;
+               })
+             (split_shards cfg.shards remaining))
+      in
+      let conns : pool_conn list ref = ref [] in
+      let aborted = ref None in
+      (* Last time the campaign moved (connect, lease, result): the
+         no-worker give-up clock measures from here. *)
+      let progress = ref (now ()) in
+      let close_conn (c : pool_conn) =
+        conns := List.filter (fun x -> x != c) !conns;
+        try Unix.close c.pc_fd with Unix.Unix_error _ -> ()
+      in
+      let requeue_lease (p : pending) reason =
+        requeue_failed ~bus ~cfg ~ledger ~pending ~fresh_shard ~now
+          ~shard:p.p_shard ~origin:p.p_origin ~cells:p.p_cells
+          ~attempt:p.p_attempt reason;
+        Ledger.save_checkpoint ledger p.p_origin
+      in
+      let drop_conn (c : pool_conn) reason =
+        if c.pc_authed then
+          emit bus (Worker_disconnected { worker = c.pc_worker; reason });
+        (match c.pc_lease with
+        | Some p ->
+            c.pc_lease <- None;
+            requeue_lease p reason
+        | None -> ());
+        close_conn c
+      in
+      let shard_of (c : pool_conn) =
+        match c.pc_lease with Some p -> p.p_shard | None -> c.pc_worker
+      in
+      let attempt_of (c : pool_conn) =
+        match c.pc_lease with Some p -> p.p_attempt | None -> 1
+      in
+      let reject (c : pool_conn) reason =
+        emit bus (Worker_rejected { peer = c.pc_peer; reason });
+        (try Shard.write_frame c.pc_fd (Shard.F_reject reason)
+         with Unix.Unix_error _ -> ());
+        close_conn c
+      in
+      let dispatch () =
+        let t = now () in
+        let due, later = List.partition (fun p -> p.p_not_before <= t) !pending in
+        let idle =
+          ref (List.filter (fun c -> c.pc_authed && c.pc_lease = None) !conns)
+        in
+        let still_due = ref [] in
+        List.iter
+          (fun p ->
+            match !idle with
+            | [] -> still_due := p :: !still_due
+            | c :: rest -> (
+                match Shard.write_frame c.pc_fd (Shard.F_work p.p_cells) with
+                | () ->
+                    idle := rest;
+                    c.pc_lease <- Some p;
+                    c.pc_leased_at <- t;
+                    c.pc_last <- t;
+                    progress := t;
+                    emit bus
+                      (Lease_granted
+                         {
+                           shard = p.p_shard;
+                           worker = c.pc_worker;
+                           cells = List.length p.p_cells;
+                           attempt = p.p_attempt;
+                         })
+                | exception Unix.Unix_error _ ->
+                    (* Found dead at grant time: the lease never left,
+                       so it stays pending rather than burning an
+                       attempt. *)
+                    idle := rest;
+                    still_due := p :: !still_due;
+                    drop_conn c "write failed at lease grant"))
+          due;
+        pending := List.rev !still_due @ later
+      in
+      let handle_frame (c : pool_conn) frame =
+        if not c.pc_authed then
+          match frame with
+          | Shard.F_hello { h_version; h_token } ->
+              if h_version <> Shard.protocol_version then
+                reject c
+                  (Printf.sprintf "protocol version %d (supervisor speaks %d)"
+                     h_version Shard.protocol_version)
+              else if h_token <> pool.pl_token then reject c "bad campaign token"
+              else begin
+                match
+                  Shard.write_frame c.pc_fd
+                    (Shard.F_welcome Shard.protocol_version)
+                with
+                | () ->
+                    c.pc_authed <- true;
+                    progress := now ();
+                    emit bus
+                      (Worker_connected { worker = c.pc_worker; peer = c.pc_peer })
+                | exception Unix.Unix_error _ -> close_conn c
+              end
+          | _ -> reject c "frame before handshake"
+        else
+          match frame with
+          | Shard.F_hb cell -> emit bus (Heartbeat { shard = shard_of c; cell })
+          | Shard.F_result (id, r) ->
+              (match c.pc_lease with
+              | Some p -> Ledger.record_ok ledger ~origin:p.p_origin id r
+              | None -> Ledger.record_ok ledger ~origin:0 id r);
+              progress := now ();
+              emit bus (Cell_done { shard = shard_of c; cell = id })
+          | Shard.F_cellfault { fc_id; fc_reason } ->
+              Ledger.poison ledger ~attempts:(attempt_of c) fc_id fc_reason;
+              progress := now ();
+              emit bus
+                (Cell_fault { shard = shard_of c; cell = fc_id; reason = fc_reason })
+          | Shard.F_log line -> emit bus (Worker_log { shard = shard_of c; line })
+          | Shard.F_done -> (
+              match c.pc_lease with
+              | None -> ()
+              | Some p ->
+                  c.pc_lease <- None;
+                  Ledger.save_checkpoint ledger p.p_origin;
+                  (* A "done" lease can still be short of results (a
+                     dropped frame): the missing cells are requeued —
+                     never invented — and the conn stays in the pool. *)
+                  if
+                    List.exists
+                      (fun cell -> not (Ledger.have ledger cell.Shard.c_id))
+                      p.p_cells
+                  then
+                    requeue_failed ~bus ~cfg ~ledger ~pending ~fresh_shard ~now
+                      ~shard:p.p_shard ~origin:p.p_origin ~cells:p.p_cells
+                      ~attempt:p.p_attempt "lease completed with missing results")
+          | Shard.F_hello _ -> () (* duplicate hello: ignored *)
+          | Shard.F_work _ | Shard.F_exit | Shard.F_welcome _ | Shard.F_reject _
+            ->
+              ()
+      in
+      let buf = Bytes.create 65536 in
+      let outstanding () =
+        !pending <> [] || List.exists (fun c -> c.pc_lease <> None) !conns
+      in
+      (try
+         while outstanding () && !aborted = None do
+           dispatch ();
+           let t = now () in
+           (* Deadlines: a leased connection is held to the same
+              heartbeat/wall budgets as a pipe worker; an unauthed
+              connection gets a short handshake budget. *)
+           List.iter
+             (fun (c : pool_conn) ->
+               if List.exists (fun x -> x == c) !conns then
+                 match c.pc_lease with
+                 | Some _ when t -. c.pc_last > cfg.heartbeat ->
+                     drop_conn c
+                       (Printf.sprintf "heartbeat deadline (%.0fs) expired"
+                          cfg.heartbeat)
+                 | Some _ when t -. c.pc_leased_at > cfg.wall ->
+                     drop_conn c
+                       (Printf.sprintf "wall-clock budget (%.0fs) expired"
+                          cfg.wall)
+                 | None
+                   when (not c.pc_authed)
+                        && t -. c.pc_last > Float.min cfg.heartbeat 10.0 ->
+                     close_conn c
+                 | _ -> ())
+             (List.filter (fun _ -> true) !conns);
+           (* Work is pending, nobody is serving it, nothing has moved
+              for the accept budget: degrade instead of hanging. *)
+           if
+             !pending <> []
+             && List.for_all (fun c -> c.pc_lease = None) !conns
+             && t -. !progress > pool.pl_accept_wall
+           then aborted := Some "no connected workers"
+           else begin
+             let http_fds =
+               match http with Some h -> Http_listener.fds h | None -> []
+             in
+             let fds =
+               (lsock :: List.map (fun c -> c.pc_fd) !conns) @ http_fds
+             in
+             match Shard.retry_intr (fun () -> Unix.select fds [] [] 0.25) with
+             | readable, _, _ ->
+                 if List.memq lsock readable then begin
+                   match Shard.retry_intr (fun () -> Unix.accept lsock) with
+                   | fd, peer ->
+                       let w = !next_worker in
+                       incr next_worker;
+                       conns :=
+                         {
+                           pc_worker = w;
+                           pc_fd = fd;
+                           pc_peer = Shard.string_of_sockaddr peer;
+                           pc_dec = Shard.Decoder.create ();
+                           pc_authed = false;
+                           pc_last = now ();
+                           pc_lease = None;
+                           pc_leased_at = now ();
+                         }
+                         :: !conns
+                   | exception Unix.Unix_error _ -> ()
+                 end;
+                 (match http with
+                 | Some h -> Http_listener.handle h readable
+                 | None -> ());
+                 List.iter
+                   (fun (c : pool_conn) ->
+                     if
+                       List.exists (fun x -> x == c) !conns
+                       && List.memq c.pc_fd readable
+                     then begin
+                       match
+                         Shard.retry_intr (fun () ->
+                             Unix.read c.pc_fd buf 0 (Bytes.length buf))
+                       with
+                       | 0 -> drop_conn c "connection closed"
+                       | k -> (
+                           c.pc_last <- now ();
+                           Shard.Decoder.feed c.pc_dec buf 0 k;
+                           try
+                             let rec pop () =
+                               if List.exists (fun x -> x == c) !conns then
+                                 match Shard.Decoder.next c.pc_dec with
+                                 | Some f ->
+                                     handle_frame c f;
+                                     pop ()
+                                 | None -> ()
+                             in
+                             pop ()
+                           with
+                           | Json.Parse msg ->
+                               drop_conn c ("protocol corruption: " ^ msg)
+                           | Shard.Protocol msg ->
+                               drop_conn c ("protocol corruption: " ^ msg))
+                       | exception Unix.Unix_error _ -> drop_conn c "read error"
+                     end)
+                   (List.filter (fun _ -> true) !conns)
+           end
+         done
+       with e ->
+         List.iter
+           (fun (c : pool_conn) ->
+             try Unix.close c.pc_fd with Unix.Unix_error _ -> ())
+           !conns;
+         (try Unix.close lsock with Unix.Unix_error _ -> ());
+         raise e);
+      (* Campaign over: tell every surviving worker to exit cleanly
+         (a dial-in worker that merely lost its connection would
+         redial; F_exit is what ends it). *)
+      List.iter
+        (fun (c : pool_conn) ->
+          (try Shard.write_frame c.pc_fd Shard.F_exit
+           with Unix.Unix_error _ -> ());
+          try Unix.close c.pc_fd with Unix.Unix_error _ -> ())
+        !conns;
+      conns := [];
+      (try Unix.close lsock with Unix.Unix_error _ -> ());
+      (match !aborted with
+      | Some reason ->
+          run_fallback ("worker pool gave up: " ^ reason)
+            (Ledger.remaining ledger)
       | None -> ());
       finish ()
     end
@@ -891,25 +1282,30 @@ module Grid = struct
 
   (* [--worker] mode of a tables/figures CLI: rerun the same discovery
      (same argv modulo supervisor flags, so the same cells at the same
-     ids), then serve cell computations over stdin/stdout. *)
-  let worker ?(jobs = 1) session gen =
+     ids), then serve cell computations — over stdin/stdout for a local
+     supervisor, or by dialing a [--listen]ing one when [connect] is
+     given. *)
+  let worker ?(jobs = 1) ?connect ?(token = default_pool_config.pl_token)
+      session gen =
     let cells = E.discover session gen in
     let by_key = Hashtbl.create 64 in
     List.iter (fun (k, s) -> Hashtbl.replace by_key k s) cells;
-    Shard.worker_main ~jobs
-      ~compute:(fun key ->
-        match Hashtbl.find_opt by_key key with
-        | Some spec -> result_to_json (E.compute spec)
-        | None -> failwith ("unknown cell key: " ^ key))
-      ()
+    let compute key =
+      match Hashtbl.find_opt by_key key with
+      | Some spec -> result_to_json (E.compute spec)
+      | None -> failwith ("unknown cell key: " ^ key)
+    in
+    match connect with
+    | None -> Shard.worker_main ~jobs ~compute ()
+    | Some addr -> Shard.connect_worker ~jobs ~addr ~token ~compute ()
 
   (* Supervised [Experiment.prewarm]: discovery, sharded fill across
      worker processes, deterministic merge into the session cache,
      serial replay.  Poisoned cells resolve to the grid's usual faulted
      sentinel (a nan cell) plus a structured fault report, so one
      crashing cell cannot take the grid down. *)
-  let supervised ?bus ?(config = default_config) ~worker_argv ?(jobs = 1)
-      session gen =
+  let supervised ?bus ?(config = default_config) ?pool ?http ~worker_argv
+      ?(jobs = 1) session gen =
     let cells = E.discover session gen in
     if cells = [] then gen ()
     else begin
@@ -930,7 +1326,11 @@ module Grid = struct
         Array.to_list
           (Array.mapi (fun i (c : Shard.cell) -> (c.Shard.c_id, rs.(i))) remaining)
       in
-      let outcomes = run ?bus config ~worker_argv ~fallback shard_cells in
+      let outcomes =
+        match pool with
+        | Some p -> run_pool ?bus ?http config ~pool:p ~fallback shard_cells
+        | None -> run ?bus ?http config ~worker_argv ~fallback shard_cells
+      in
       let merged =
         List.map
           (fun (id, o) ->

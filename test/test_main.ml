@@ -12,6 +12,7 @@ let () =
       ("edge", Test_edge.tests);
       ("robustness", Test_robustness.tests);
       ("supervisor", Test_supervisor.tests);
+      ("transport", Test_transport.tests);
       ("telemetry", Test_telemetry.tests);
       ("golden", Test_golden.tests);
       ("hotloop", Test_hotloop.tests);

@@ -475,6 +475,295 @@ let test_supervised_checkpoint_resume () =
              | Supervisor.Checkpoint_loaded { cells = 2 } -> true | _ -> false)
            (events ())))
 
+(* --- transport-level chaos over pipes ---------------------------------- *)
+
+(* Stream one good result, then raw garbage bytes whose length prefix
+   is absurd: the supervisor must fault structurally ("protocol
+   corruption"), kill the worker, and recover on retry — keeping the
+   result that arrived before the corruption. *)
+let garbage_after_first compute in_r out_w =
+  (match Shard.read_frame in_r with
+  | Some (Shard.F_work (c :: _)) ->
+      Shard.write_frame out_w
+        (Shard.F_result (c.Shard.c_id, compute c.Shard.c_key));
+      ignore (Unix.write out_w (Bytes.make 64 '\xff') 0 64)
+  | _ -> ());
+  raise Exit
+
+let test_supervised_garbage_midstream () =
+  let bus = Supervisor.create_bus () in
+  let events = record_events bus in
+  let spawn ~shard:_ ~attempt ~env_fault:_ =
+    if attempt = 1 then
+      domain_transport ~misbehave:(garbage_after_first compute) ~compute ()
+    else domain_transport ~compute ()
+  in
+  let out =
+    Supervisor.run ~bus ~spawn
+      (config ~shards:1 ())
+      ~worker_argv:[||] ~fallback:no_fallback (cells_of 4)
+  in
+  Alcotest.(check bool) "identical to serial despite the corruption" true
+    (out = expected_ok 4);
+  Alcotest.(check bool) "kill cites protocol corruption" true
+    (List.exists
+       (function
+         | Supervisor.Kill { reason; _ } ->
+             String.length reason >= 19
+             && String.sub reason 0 19 = "protocol corruption"
+         | _ -> false)
+       (events ()))
+
+(* A well-behaved but slow wire: every frame dribbles in one byte at a
+   time, with heartbeats interleaved between results.  Frame boundaries
+   never align with reads; the decoder must reassemble everything. *)
+let dribble_with_heartbeats compute in_r out_w =
+  let put frame =
+    let b = Shard.encode_frame frame in
+    Bytes.iter (fun ch -> ignore (Unix.write out_w (Bytes.make 1 ch) 0 1)) b
+  in
+  (match Shard.read_frame in_r with
+  | Some (Shard.F_work cells) ->
+      List.iter
+        (fun c ->
+          put (Shard.F_hb c.Shard.c_id);
+          put (Shard.F_result (c.Shard.c_id, compute c.Shard.c_key)))
+        cells;
+      put Shard.F_done;
+      ignore (Shard.read_frame in_r)
+  | _ -> ());
+  ()
+
+let test_supervised_partial_frames_and_heartbeats () =
+  let bus = Supervisor.create_bus () in
+  let events = record_events bus in
+  let spawn ~shard:_ ~attempt:_ ~env_fault:_ =
+    domain_transport ~misbehave:(dribble_with_heartbeats compute) ~compute ()
+  in
+  let out =
+    Supervisor.run ~bus ~spawn
+      (config ~shards:1 ())
+      ~worker_argv:[||] ~fallback:no_fallback (cells_of 5)
+  in
+  Alcotest.(check bool) "byte-dribbled frames reassemble" true
+    (out = expected_ok 5);
+  Alcotest.(check bool) "interleaved heartbeats observed" true
+    (List.exists
+       (function Supervisor.Heartbeat _ -> true | _ -> false)
+       (events ()));
+  Alcotest.(check bool) "no kill, no retry" true
+    (not
+       (List.exists
+          (function Supervisor.Kill _ | Supervisor.Retry _ -> true | _ -> false)
+          (events ())))
+
+(* --- TCP worker pool --------------------------------------------------- *)
+
+let pool_config () =
+  {
+    Supervisor.default_pool_config with
+    Supervisor.pl_listen = "127.0.0.1:0";
+    pl_accept_wall = 30.0;
+  }
+
+(* Spawn [n] dial-in workers — real [Shard.connect_worker] loops on
+   domains — as soon as the pool announces its bound port.  Returns a
+   join function yielding each worker's terminal outcome ([None] =
+   clean F_exit, [Some e] = raised). *)
+let dialers ?(name = "dialers") ?(token = "protean") ?(compute = compute) bus n
+    =
+  let domains = ref [] in
+  Supervisor.subscribe bus ~name (function
+    | Supervisor.Listening { port; _ } ->
+        let addr = Printf.sprintf "127.0.0.1:%d" port in
+        for _ = 1 to n do
+          domains :=
+            Domain.spawn (fun () ->
+                match
+                  Shard.connect_worker ~reconnect:8 ~backoff:0.05 ~addr ~token
+                    ~compute ()
+                with
+                | () -> None
+                | exception e -> Some e)
+            :: !domains
+        done
+    | _ -> ());
+  fun () ->
+    let outcomes = List.map Domain.join !domains in
+    (* connect_worker rewired the global log sink to its (now closed)
+       connection; put stderr back for the rest of the suite. *)
+    Protean_telemetry.Log.reset_sink ();
+    outcomes
+
+(* Happy path: two remote workers dial in, lease work, and the merged
+   output is byte-identical to the serial run. *)
+let test_pool_happy_path () =
+  let bus = Supervisor.create_bus () in
+  let events = record_events bus in
+  let join = dialers bus 2 in
+  let out =
+    Supervisor.run_pool ~bus (config ()) ~pool:(pool_config ())
+      ~fallback:no_fallback (cells_of 6)
+  in
+  Alcotest.(check bool) "all workers exited cleanly" true
+    (List.for_all (( = ) None) (join ()));
+  Alcotest.(check bool) "identical to serial" true (out = expected_ok 6);
+  Alcotest.(check bool) "workers authenticated" true
+    (List.exists
+       (function Supervisor.Worker_connected _ -> true | _ -> false)
+       (events ()));
+  Alcotest.(check bool) "leases granted" true
+    (List.exists
+       (function Supervisor.Lease_granted _ -> true | _ -> false)
+       (events ()));
+  Alcotest.(check bool) "merged event closes the run" true
+    (List.exists
+       (function Supervisor.Merged { cells = 6; faults = 0 } -> true | _ -> false)
+       (events ()))
+
+(* A worker with the wrong campaign token is rejected (and does not
+   redial — the rejection is terminal); the campaign completes on the
+   healthy worker alone. *)
+let test_pool_rejects_bad_token () =
+  let bus = Supervisor.create_bus () in
+  let events = record_events bus in
+  let join_bad = dialers ~name:"bad" ~token:"WRONG" bus 1 in
+  let join_good = dialers ~name:"good" bus 1 in
+  let out =
+    Supervisor.run_pool ~bus (config ()) ~pool:(pool_config ())
+      ~fallback:no_fallback (cells_of 4)
+  in
+  (match join_bad () with
+  | [ Some (Failure msg) ] ->
+      Alcotest.(check bool) "rejection names the token" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "bad-token worker was not rejected");
+  Alcotest.(check bool) "good worker exits cleanly" true
+    (join_good () = [ None ]);
+  Alcotest.(check bool) "campaign unaffected" true (out = expected_ok 4);
+  Alcotest.(check bool) "rejection event emitted" true
+    (List.exists
+       (function
+         | Supervisor.Worker_rejected { reason = "bad campaign token"; _ } ->
+             true
+         | _ -> false)
+       (events ()))
+
+(* A peer speaking a different protocol generation is turned away at
+   the handshake with a reason naming both versions. *)
+let test_pool_rejects_bad_version () =
+  let bus = Supervisor.create_bus () in
+  let reply = ref None in
+  Supervisor.subscribe bus ~name:"archaic" (function
+    | Supervisor.Listening { port; _ } ->
+        let addr = Printf.sprintf "127.0.0.1:%d" port in
+        ignore
+          (Domain.spawn (fun () ->
+               let sock = Shard.dial addr in
+               Shard.write_frame sock
+                 (Shard.F_hello { h_version = 999; h_token = "protean" });
+               reply := Shard.read_frame sock;
+               Unix.close sock))
+    | _ -> ());
+  let join = dialers bus 1 in
+  let out =
+    Supervisor.run_pool ~bus (config ()) ~pool:(pool_config ())
+      ~fallback:no_fallback (cells_of 3)
+  in
+  ignore (join ());
+  Alcotest.(check bool) "campaign unaffected" true (out = expected_ok 3);
+  match !reply with
+  | Some (Shard.F_reject reason) ->
+      Alcotest.(check bool) "reason names the version skew" true
+        (String.length reason >= 16
+        && String.sub reason 0 16 = "protocol version")
+  | _ -> Alcotest.fail "version-skewed hello was not rejected"
+
+(* Run [f] with a network fault armed for dial-in workers in this
+   process, restoring a clean slate afterwards. *)
+let with_net_fault mode f =
+  Unix.putenv Protean_defense.Fault_inject.net_env mode;
+  Shard.Transport.fault_spent := false;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv Protean_defense.Fault_inject.net_env "";
+      Shard.Transport.fault_spent := false)
+    f
+
+(* A dropped result frame: the worker's F_done arrives short of one
+   cell.  The missing cell is requeued (never invented) and the same —
+   still connected — worker completes it on the retry lease. *)
+let test_pool_dropped_frame_requeued () =
+  with_net_fault "net-drop:2" (fun () ->
+      let bus = Supervisor.create_bus () in
+      let events = record_events bus in
+      let join = dialers bus 1 in
+      let out =
+        Supervisor.run_pool ~bus
+          (config ~shards:1 ())
+          ~pool:(pool_config ()) ~fallback:no_fallback (cells_of 4)
+      in
+      Alcotest.(check bool) "worker exits cleanly" true (join () = [ None ]);
+      Alcotest.(check bool) "identical to serial despite the drop" true
+        (out = expected_ok 4);
+      Alcotest.(check bool) "missing results requeued" true
+        (List.exists
+           (function Supervisor.Retry { attempt = 2; _ } -> true | _ -> false)
+           (events ())))
+
+(* Garbage bytes mid-stream on TCP: the supervisor faults the
+   connection ("protocol corruption"), the worker redials — its
+   one-shot fault is spent — and the re-dispatched lease completes.
+   This is the acceptance scenario: a garbage-injected worker pool
+   still produces byte-identical output. *)
+let test_pool_garbage_worker_reconnects () =
+  with_net_fault "net-garbage:2" (fun () ->
+      let bus = Supervisor.create_bus () in
+      let events = record_events bus in
+      let join = dialers bus 1 in
+      let out =
+        Supervisor.run_pool ~bus
+          (config ~shards:1 ())
+          ~pool:(pool_config ()) ~fallback:no_fallback (cells_of 4)
+      in
+      Alcotest.(check bool) "worker exits cleanly after reconnect" true
+        (join () = [ None ]);
+      Alcotest.(check bool) "identical to serial despite the garbage" true
+        (out = expected_ok 4);
+      Alcotest.(check bool) "disconnect cites protocol corruption" true
+        (List.exists
+           (function
+             | Supervisor.Worker_disconnected { reason; _ } ->
+                 String.length reason >= 19
+                 && String.sub reason 0 19 = "protocol corruption"
+             | _ -> false)
+           (events ()));
+      Alcotest.(check bool) "lease re-dispatched" true
+        (List.exists
+           (function
+             | Supervisor.Retry _ | Supervisor.Bisect _ -> true | _ -> false)
+           (events ())))
+
+(* A pool with work but no workers must not hang: after the accept
+   budget it degrades to the in-process fallback. *)
+let test_pool_no_workers_falls_back () =
+  let bus = Supervisor.create_bus () in
+  let events = record_events bus in
+  let pool =
+    { (pool_config ()) with Supervisor.pl_accept_wall = 0.3 }
+  in
+  let fallback cells =
+    List.map (fun c -> (c.Shard.c_id, compute c.Shard.c_key)) cells
+  in
+  let out =
+    Supervisor.run_pool ~bus (config ()) ~pool ~fallback (cells_of 3)
+  in
+  Alcotest.(check bool) "fallback served the batch" true (out = expected_ok 3);
+  Alcotest.(check bool) "fallback event emitted" true
+    (List.exists
+       (function Supervisor.Fallback _ -> true | _ -> false)
+       (events ()))
+
 (* PROTEAN_NO_SPAWN disables process spawning entirely (the documented
    degradation path for platforms without fork/exec).  Runs last in the
    suite: the environment variable cannot be unset portably. *)
@@ -527,6 +816,21 @@ let tests =
       test_supervised_spawn_failure_falls_back;
     Alcotest.test_case "checkpoint resume skips completed cells" `Quick
       test_supervised_checkpoint_resume;
+    Alcotest.test_case "garbage bytes mid-stream killed and retried" `Quick
+      test_supervised_garbage_midstream;
+    Alcotest.test_case "byte-dribbled frames with interleaved heartbeats"
+      `Quick test_supervised_partial_frames_and_heartbeats;
+    Alcotest.test_case "tcp pool happy path" `Quick test_pool_happy_path;
+    Alcotest.test_case "tcp pool rejects a bad campaign token" `Quick
+      test_pool_rejects_bad_token;
+    Alcotest.test_case "tcp pool rejects a protocol version skew" `Quick
+      test_pool_rejects_bad_version;
+    Alcotest.test_case "tcp pool requeues a dropped result frame" `Quick
+      test_pool_dropped_frame_requeued;
+    Alcotest.test_case "tcp pool survives a garbage-injecting worker" `Quick
+      test_pool_garbage_worker_reconnects;
+    Alcotest.test_case "tcp pool with no workers falls back" `Quick
+      test_pool_no_workers_falls_back;
     Alcotest.test_case "PROTEAN_NO_SPAWN forces fallback" `Quick
       test_supervised_no_spawn_env_falls_back;
   ]
