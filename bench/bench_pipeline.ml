@@ -88,10 +88,10 @@ type hotloop = {
   hl_stages : (string * float * float) list; (* name, seconds, share *)
 }
 
-let bench_hotloop program =
+let bench_hotloop ?(config = Config.p_core) ?(label = "hotloop") program =
   let d = Defense.find "prot-track" in
   let make () =
-    Pipeline.create Config.p_core (d.Defense.make ()) program ~overlays:[]
+    Pipeline.create config (d.Defense.make ()) program ~overlays:[]
   in
   (* Warm-up. *)
   drive (make ());
@@ -112,15 +112,15 @@ let bench_hotloop program =
   let (), prof_wall = timed (fun () -> drive tp) in
   let overhead = (prof_wall -. loop_wall) /. loop_wall in
   Printf.printf
-    "hotloop: %d cycles in %.4fs loop-only (%.0f cycles/s), %.0f minor words/cycle\n%!"
-    cycles loop_wall
+    "%s: %d cycles in %.4fs loop-only (%.0f cycles/s), %.0f minor words/cycle\n%!"
+    label cycles loop_wall
     (float_of_int cycles /. loop_wall)
     mwpc;
   List.iter
     (fun (name, s, share) ->
-      Printf.printf "hotloop:   %-10s %.4fs (%.0f%%)\n%!" name s (share *. 100.))
+      Printf.printf "%s:   %-10s %.4fs (%.0f%%)\n%!" label name s (share *. 100.))
     (Profile.stage_breakdown p);
-  Printf.printf "hotloop: profiler overhead %.0f%%\n%!" (overhead *. 100.);
+  Printf.printf "%s: profiler overhead %.0f%%\n%!" label (overhead *. 100.);
   {
     hl_cycles = cycles;
     hl_loop_wall = loop_wall;
@@ -250,6 +250,28 @@ let smoke () =
     exit 1);
   Printf.printf "smoke: %.1f minor words/cycle within ceiling %.1f\n%!"
     hl.hl_minor_words_per_cycle ceiling;
+  (* The structural port/writeback model only runs on [Config.ports]
+     configs; measure its loop so a per-issue regression in port binding
+     or CDB arbitration is visible.  The allocation diet must hold there
+     too: port binding is pure array scans, so the ported loop gets the
+     same ceiling as the port-free one. *)
+  let hp =
+    bench_hotloop
+      ~config:(Config.with_width 4 Config.p_core)
+      ~label:"hotloop-ports" program
+  in
+  if hp.hl_minor_words_per_cycle > ceiling then (
+    Printf.eprintf
+      "smoke: ported-core allocation regression: %.1f minor words/cycle > \
+       ceiling %.1f\n"
+      hp.hl_minor_words_per_cycle ceiling;
+    exit 1);
+  Printf.printf
+    "smoke: ported core (w4) %.1f minor words/cycle within ceiling %.1f \
+     (throughput %.2fx of port-free loop)\n%!"
+    hp.hl_minor_words_per_cycle ceiling
+    (float_of_int hp.hl_cycles /. hp.hl_loop_wall
+    /. (float_of_int hl.hl_cycles /. hl.hl_loop_wall));
   (* Detached telemetry must not tax the loop: the acceptance bound is
      2%, widened a little here against wall-clock noise on shared CI
      runners (best-of-3 already smooths most of it). *)
@@ -271,6 +293,11 @@ let smoke () =
   Printf.fprintf oc "    \"minor_words_per_cycle\": %.1f,\n"
     hl.hl_minor_words_per_cycle;
   Printf.fprintf oc "    \"minor_words_ceiling\": %.1f\n  },\n" ceiling;
+  Printf.fprintf oc "  \"hotloop_ports\": {\n";
+  Printf.fprintf oc "    \"cycles\": %d, \"loop_wall_s\": %.4f,\n" hp.hl_cycles
+    hp.hl_loop_wall;
+  Printf.fprintf oc "    \"minor_words_per_cycle\": %.1f\n  },\n"
+    hp.hl_minor_words_per_cycle;
   telemetry_json oc tele;
   Printf.fprintf oc "\n}\n";
   close_out oc;
@@ -285,6 +312,11 @@ let () =
     let program = unr_workload () in
     let cycles, committed, wall = bench_single program in
     let hl = bench_hotloop program in
+    let hp =
+      bench_hotloop
+        ~config:(Config.with_width 4 Config.p_core)
+        ~label:"hotloop-ports" program
+    in
     let tele = bench_telemetry_detached program in
     let cells, t1, points = bench_grid () in
     let oc = open_out out in
@@ -333,6 +365,14 @@ let () =
           (if i = List.length hl.hl_stages - 1 then "" else ","))
       hl.hl_stages;
     Printf.fprintf oc "    ]\n  },\n";
+    Printf.fprintf oc "  \"hotloop_ports\": {\n";
+    Printf.fprintf oc "    \"core\": \"p@w4\",\n";
+    Printf.fprintf oc "    \"cycles\": %d, \"loop_wall_s\": %.4f,\n" hp.hl_cycles
+      hp.hl_loop_wall;
+    Printf.fprintf oc "    \"loop_cycles_per_sec\": %.0f,\n"
+      (float_of_int hp.hl_cycles /. hp.hl_loop_wall);
+    Printf.fprintf oc "    \"minor_words_per_cycle\": %.1f\n  },\n"
+      hp.hl_minor_words_per_cycle;
     telemetry_json oc tele;
     Printf.fprintf oc ",\n";
     Printf.fprintf oc "  \"grid\": {\n";

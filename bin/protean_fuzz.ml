@@ -13,6 +13,7 @@
 open Cmdliner
 module Fuzz = Protean_amulet.Fuzz
 module Gen = Protean_amulet.Gen
+module Config = Protean_ooo.Config
 module Defense = Protean_defense.Defense
 module Fault_inject = Protean_defense.Fault_inject
 module Protcc = Protean_protcc.Protcc
@@ -49,6 +50,14 @@ let adversary_arg =
 
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let core_width_arg =
+  Arg.(value & opt int 0 & info [ "core-width" ] ~docv:"N"
+         ~doc:"Rescale the campaign's core to an $(docv)-wide superscalar \
+               with the structural execution-port model attached \
+               (Config.with_width); fuzzes the port/writeback scheduler \
+               paths the default port-free config never reaches. 0 keeps \
+               the campaign's native core.")
 
 let squash_bug_arg =
   Arg.(value & flag & info [ "squash-bug" ]
@@ -151,18 +160,23 @@ let inject_arg =
                is load-bearing), so --defense/--contract are ignored. \
                Undetected faults (detector gaps) fail the run.")
 
-let campaign_of contract adversary programs inputs seed squash_bug timeout =
+let campaign_of contract adversary programs inputs seed squash_bug timeout
+    core_width =
   let adversary =
     match adversary with
     | "cache" -> Fuzz.Cache_tlb
     | "timing" -> Fuzz.Timing
     | s -> invalid_arg ("unknown adversary: " ^ s)
   in
+  let base = Fuzz.campaign_for ~seed ~programs ~inputs contract in
   {
-    (Fuzz.campaign_for ~seed ~programs ~inputs contract) with
+    base with
     Fuzz.adversary;
     squash_bug;
     timeout_cycles = timeout;
+    config =
+      (if core_width > 0 then Config.with_width core_width base.Fuzz.config
+       else base.Fuzz.config);
   }
 
 (* --- telemetry -------------------------------------------------------- *)
@@ -490,9 +504,10 @@ let run_campaign ~tele ~jobs ~shards ~inject_worker ?pool ?http campaign d
   | None -> ());
   out.Fuzz.violations > 0
 
-let run table_ii defense contract programs inputs adversary seed squash_bug
-    timeout resume inject jobs shards worker inject_worker metrics_out
-    trace_out flamegraph_out log_json listen connect token metrics_listen =
+let run table_ii defense contract programs inputs adversary seed core_width
+    squash_bug timeout resume inject jobs shards worker inject_worker
+    metrics_out trace_out flamegraph_out log_json listen connect token
+    metrics_listen =
   if log_json then Tlog.set_json true;
   let tele = { Report.metrics_out; trace_out; flamegraph_out } in
   Report.enable ~worker:(worker || connect <> None) tele;
@@ -504,6 +519,7 @@ let run table_ii defense contract programs inputs adversary seed squash_bug
     let d = Defense.find defense in
     let campaign =
       campaign_of contract adversary programs inputs seed squash_bug timeout
+        core_width
     in
     let compute key = fuzz_cell campaign d (int_of_string key) in
     match connect with
@@ -550,7 +566,7 @@ let run table_ii defense contract programs inputs adversary seed squash_bug
             let d = Defense.find defense in
             let campaign =
               campaign_of contract adversary programs inputs seed squash_bug
-                timeout
+                timeout core_width
             in
             run_campaign ~tele ~jobs ~shards ~inject_worker ?pool ?http
               campaign d contract resume
@@ -566,7 +582,8 @@ let cmd =
     (Cmd.info "protean-fuzz" ~doc)
     Term.(
       const run $ table_ii_arg $ defense_arg $ contract_arg $ programs_arg
-      $ inputs_arg $ adversary_arg $ seed_arg $ squash_bug_arg $ timeout_arg
+      $ inputs_arg $ adversary_arg $ seed_arg $ core_width_arg
+      $ squash_bug_arg $ timeout_arg
       $ resume_arg $ inject_arg $ jobs_arg $ shards_arg $ worker_arg
       $ inject_worker_arg $ metrics_out_arg $ trace_out_arg
       $ flamegraph_out_arg $ log_json_arg $ listen_arg $ connect_arg

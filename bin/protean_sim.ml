@@ -48,6 +48,17 @@ let core_arg =
   let doc = "Core configuration: p, e or test." in
   Arg.(value & opt string "p" & info [ "core" ] ~docv:"CORE" ~doc)
 
+let core_width_arg =
+  let doc =
+    "Rescale the chosen core to an $(docv)-wide superscalar: \
+     fetch/rename/issue/commit widths become $(docv), the ROB/LSQ window \
+     scales proportionally, and the structural execution-port model \
+     (per-port capability masks, blocking mul/div, a bounded writeback \
+     bus) is attached. 0 keeps the core's native width with the \
+     port-unconstrained issue model."
+  in
+  Arg.(value & opt int 0 & info [ "core-width" ] ~docv:"N" ~doc)
+
 let spec_model_arg =
   let doc = "Speculation model: atcommit or control." in
   Arg.(value & opt string "atcommit" & info [ "spec-model" ] ~docv:"MODEL" ~doc)
@@ -284,9 +295,10 @@ let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
                   r.Multicore.per_core))
           ~pm ~fl )
 
-let run list benches defense pass core spec_model invariants invariant_every
-    paranoid_sched jobs shards worker inject heartbeat wall metrics_out
-    trace_out flamegraph_out log_json listen connect token metrics_listen =
+let run list benches defense pass core core_width spec_model invariants
+    invariant_every paranoid_sched jobs shards worker inject heartbeat wall
+    metrics_out trace_out flamegraph_out log_json listen connect token
+    metrics_listen =
   if log_json then Tlog.set_json true;
   if paranoid_sched then begin
     Pipeline.set_paranoid_sched true;
@@ -304,6 +316,11 @@ let run list benches defense pass core spec_model invariants invariant_every
     let shards = max 1 shards in
     let d = Defense.find defense in
     let config = config_of core in
+    (* --core-width stays in the worker argv (it is not a supervisor
+       flag), so --shards workers rebuild the identical config. *)
+    let config =
+      if core_width > 0 then Config.with_width core_width config else config
+    in
     let spec_model = model_of spec_model in
     let invariants = Invariants.mode_of_string invariants in
     let tele = { Report.metrics_out; trace_out; flamegraph_out } in
@@ -484,7 +501,7 @@ let cmd =
     (Cmd.info "protean-sim" ~doc)
     Term.(
       const run $ list_arg $ bench_arg $ defense_arg $ pass_arg $ core_arg
-      $ spec_model_arg $ invariants_arg $ invariant_every_arg
+      $ core_width_arg $ spec_model_arg $ invariants_arg $ invariant_every_arg
       $ paranoid_sched_arg $ jobs_arg $ shards_arg $ worker_arg $ inject_arg
       $ heartbeat_arg $ wall_arg $ metrics_out_arg $ trace_out_arg
       $ flamegraph_out_arg $ log_json_arg $ listen_arg $ connect_arg

@@ -29,13 +29,19 @@ let what_arg =
   let doc =
     "What to generate: table-i, table-ii, table-iv, table-v, figure-5, \
      figure-6, protcc-overhead, l1d-variants, ablation-access, \
-     control-model, bugfix-cost, area, golden, or all."
+     control-model, bugfix-cost, width-sweep, area, golden, golden-width, \
+     or all."
   in
   Arg.(value & pos 0 string "table-v" & info [] ~docv:"WHAT" ~doc)
 
 let bench_arg =
   let doc = "Restrict to these benchmarks (repeatable)." in
   Arg.(value & opt_all string [] & info [ "bench"; "b" ] ~docv:"NAME" ~doc)
+
+let core_width_arg =
+  Arg.(value & opt_all int [] & info [ "core-width" ] ~docv:"N"
+         ~doc:"Restrict the width-sweep target to these issue widths \
+               (repeatable; default 1 2 4 6 8). Other targets ignore it.")
 
 let fuzz_programs_arg =
   Arg.(value & opt int 10 & info [ "fuzz-programs" ] ~docv:"N"
@@ -138,13 +144,14 @@ let supervisor_flags =
   [ "--shards"; "--inject-faults"; "--shard-heartbeat"; "--shard-wall";
     "--checkpoint-dir"; "--listen"; "--metrics-listen"; "--campaign-token" ]
 
-let run what benches fuzz_programs jobs shards worker inject heartbeat wall
-    checkpoint_dir metrics_out trace_out flamegraph_out log_json listen
-    connect token metrics_listen =
+let run what benches core_widths fuzz_programs jobs shards worker inject
+    heartbeat wall checkpoint_dir metrics_out trace_out flamegraph_out
+    log_json listen connect token metrics_listen =
   if log_json then Protean_telemetry.Log.set_json true;
   let jobs = if jobs = 0 then Parallel.default_jobs () else max 1 jobs in
   let shards = max 1 shards in
   let benches = match benches with [] -> None | bs -> Some bs in
+  let widths = match core_widths with [] -> None | ws -> Some ws in
   let tele = { Report.metrics_out; trace_out; flamegraph_out } in
   Report.enable ~worker tele;
   let session = E.create_session ~log:true () in
@@ -161,6 +168,8 @@ let run what benches fuzz_programs jobs shards worker inject heartbeat wall
     | "ablation-access" -> Some (fun () -> Studies.ablation_access ?benches session)
     | "control-model" -> Some (fun () -> Studies.control_model ?benches session)
     | "bugfix-cost" -> Some (fun () -> Studies.bugfix_cost ?benches session)
+    | "width-sweep" ->
+        Some (fun () -> Tables.width_sweep ?benches ?widths session)
     | _ -> None
   in
   let session_targets =
@@ -239,6 +248,11 @@ let run what benches fuzz_programs jobs shards worker inject heartbeat wall
             (* Regenerate the golden determinism corpus
                (test/golden_pipeline.expected). *)
             List.iter print_endline (Protean_harness.Golden.lines ~jobs ())
+        | "golden-width" ->
+            (* Regenerate the width-sweep golden corpus
+               (test/golden_width.expected). *)
+            List.iter print_endline
+              (Protean_harness.Golden.width_lines ~jobs ())
         | s -> invalid_arg ("unknown table/figure: " ^ s))
   in
   if worker || connect <> None then
@@ -271,7 +285,8 @@ let cmd =
   Cmd.v
     (Cmd.info "protean-tables" ~doc)
     Term.(
-      const run $ what_arg $ bench_arg $ fuzz_programs_arg $ jobs_arg
+      const run $ what_arg $ bench_arg $ core_width_arg $ fuzz_programs_arg
+      $ jobs_arg
       $ shards_arg $ worker_arg $ inject_arg $ heartbeat_arg $ wall_arg
       $ checkpoint_dir_arg $ metrics_out_arg $ trace_out_arg
       $ flamegraph_out_arg $ log_json_arg $ listen_arg $ connect_arg

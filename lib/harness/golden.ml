@@ -57,10 +57,26 @@ let key c =
     (Policy.spec_model_name c.c_model)
     c.c_squash_bug
 
-let config_of = function
-  | "test" -> Config.test_core
-  | "p" -> Config.p_core
-  | s -> invalid_arg ("Golden.config_of: " ^ s)
+(* Config names accept a "@wN" suffix ("test@w4"): the base core
+   rescaled to an N-wide structural-port superscalar
+   ([Config.with_width]).  The rescaled config names itself with the
+   same suffix, so cell keys and experiment cache keys stay aligned. *)
+let config_of s =
+  let base = function
+    | "test" -> Config.test_core
+    | "p" -> Config.p_core
+    | b -> invalid_arg ("Golden.config_of: " ^ b)
+  in
+  match String.index_opt s '@' with
+  | Some i
+    when i + 2 < String.length s
+         && s.[i + 1] = 'w'
+         && String.for_all (fun c -> c >= '0' && c <= '9')
+              (String.sub s (i + 2) (String.length s - i - 2)) ->
+      Config.with_width
+        (int_of_string (String.sub s (i + 2) (String.length s - i - 2)))
+        (base (String.sub s 0 i))
+  | _ -> base s
 
 let instrument pass program =
   match pass with
@@ -199,3 +215,44 @@ let lines ?(jobs = 1) () =
   else
     let tasks = Array.of_list (List.map (fun c () -> run_cell c) corpus) in
     Array.to_list (Parallel.map ~jobs tasks)
+
+(* Width-sweep corpus: the structural-port model across issue widths
+   1/2/4/6/8 on three single-core benchmarks × three defenses.  Each
+   (bench, delay-defense) pair keeps the instrumentation pass already
+   proven for it in the main corpus.  Recorded in
+   test/golden_width.expected; the suite asserts serial, `-j 4` and a
+   two-shard supervised run all reproduce it byte-for-byte. *)
+let width_corpus =
+  let widths = [ 1; 2; 4; 6; 8 ] in
+  let benches =
+    [ ("bearssl", "ct"); ("hacl.poly1305", "cts"); ("ossl.bnexp", "unr") ]
+  in
+  List.concat_map
+    (fun w ->
+      let config = "test@w" ^ string_of_int w in
+      List.concat_map
+        (fun (b, delay_pass) ->
+          [
+            cell ~config (Bench b) "unsafe";
+            cell ~config (Bench b) "stt";
+            cell ~config ~pass:delay_pass (Bench b) "prot-delay";
+          ])
+        benches)
+    widths
+
+let width_lines ?(jobs = 1) () =
+  if jobs <= 1 then List.map run_cell width_corpus
+  else
+    let tasks =
+      Array.of_list (List.map (fun c () -> run_cell c) width_corpus)
+    in
+    Array.to_list (Parallel.map ~jobs tasks)
+
+let width_keys () = List.map key width_corpus
+
+(* Run one width cell by key — the compute function a supervised shard
+   worker uses when the grid distributes the width corpus. *)
+let run_width_key k =
+  match List.find_opt (fun c -> String.equal (key c) k) width_corpus with
+  | Some c -> run_cell c
+  | None -> invalid_arg ("Golden.run_width_key: unknown cell " ^ k)

@@ -170,7 +170,44 @@ let of_session (session : E.session) =
               let v = field st in
               if v <> 0 then
                 Metrics.inc ~n:v (Metrics.counter reg ~help ~labels family))
-            stat_families)
+            stat_families;
+          (* Structural-port families (nonzero only when the cell ran a
+             [Config.ports] config): per-port issue counts, and the
+             stall attribution split into structural causes (no free
+             port, CDB budget) vs protection causes (the defense's
+             delay gates) — both labeled by kind so dashboards can
+             stack them against total cycles. *)
+          Array.iteri
+            (fun port v ->
+              if v <> 0 then
+                Metrics.inc ~n:v
+                  (Metrics.counter reg
+                     ~help:"issues bound to each execution port"
+                     ~labels:(("port", string_of_int port) :: labels)
+                     "protean_port_busy_total"))
+            st.Stats.port_busy;
+          let stall family kind help v =
+            if v <> 0 then
+              Metrics.inc ~n:v
+                (Metrics.counter reg ~help
+                   ~labels:(("kind", kind) :: labels)
+                   family)
+          in
+          stall "protean_stall_structural_cycles_total" "port"
+            "entry-cycles ready instructions found no compatible free port"
+            st.Stats.port_structural_stall_cycles;
+          stall "protean_stall_structural_cycles_total" "writeback"
+            "entry-cycles completions were deferred by the CDB budget"
+            st.Stats.wb_queue_stall_cycles;
+          stall "protean_stall_protection_cycles_total" "transmitter"
+            "entry-cycles ready transmitters were stalled by the policy"
+            st.Stats.transmitter_stall_cycles;
+          stall "protean_stall_protection_cycles_total" "wakeup"
+            "entry-cycles completed results were held back from dependents"
+            st.Stats.wakeup_delay_cycles;
+          stall "protean_stall_protection_cycles_total" "resolution"
+            "entry-cycles executed branches were denied resolution"
+            st.Stats.resolution_delay_cycles)
         r.E.stats;
       List.iter
         (fun (name, v) ->

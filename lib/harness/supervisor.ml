@@ -1197,31 +1197,36 @@ module Grid = struct
   module E = Experiment
   module Stats = Protean_ooo.Stats
 
+  (* The per-port array rides as the list tail, after the fixed scalar
+     counters — variable-length, so it must come last. *)
   let stats_to_json (s : Stats.t) =
     Json.List
       (List.map
          (fun i -> Json.Int i)
-         [
-           s.Stats.cycles; s.Stats.marker_cycle; s.Stats.committed;
-           s.Stats.fetched; s.Stats.squashes; s.Stats.squashed_insns;
-           s.Stats.branch_mispredicts; s.Stats.machine_clears;
-           s.Stats.mem_order_violations; s.Stats.l1d_accesses;
-           s.Stats.l1d_misses; s.Stats.transmitter_stall_cycles;
-           s.Stats.wakeup_delay_cycles; s.Stats.resolution_delay_cycles;
-           s.Stats.access_pred_lookups; s.Stats.access_pred_mispredicts;
-           s.Stats.access_pred_false_negatives; s.Stats.loads_executed;
-           s.Stats.loads_protected_mem;
-         ])
+         ([
+            s.Stats.cycles; s.Stats.marker_cycle; s.Stats.committed;
+            s.Stats.fetched; s.Stats.squashes; s.Stats.squashed_insns;
+            s.Stats.branch_mispredicts; s.Stats.machine_clears;
+            s.Stats.mem_order_violations; s.Stats.l1d_accesses;
+            s.Stats.l1d_misses; s.Stats.transmitter_stall_cycles;
+            s.Stats.wakeup_delay_cycles; s.Stats.resolution_delay_cycles;
+            s.Stats.access_pred_lookups; s.Stats.access_pred_mispredicts;
+            s.Stats.access_pred_false_negatives; s.Stats.loads_executed;
+            s.Stats.loads_protected_mem; s.Stats.port_structural_stall_cycles;
+            s.Stats.wb_queue_stall_cycles;
+          ]
+         @ Array.to_list s.Stats.port_busy))
 
   let stats_of_json j =
     match List.map Json.to_int (Json.to_list j) with
-    | [
-     cycles; marker_cycle; committed; fetched; squashes; squashed_insns;
-     branch_mispredicts; machine_clears; mem_order_violations; l1d_accesses;
-     l1d_misses; transmitter_stall_cycles; wakeup_delay_cycles;
-     resolution_delay_cycles; access_pred_lookups; access_pred_mispredicts;
-     access_pred_false_negatives; loads_executed; loads_protected_mem;
-    ] ->
+    | cycles :: marker_cycle :: committed :: fetched :: squashes
+      :: squashed_insns :: branch_mispredicts :: machine_clears
+      :: mem_order_violations :: l1d_accesses :: l1d_misses
+      :: transmitter_stall_cycles :: wakeup_delay_cycles
+      :: resolution_delay_cycles :: access_pred_lookups
+      :: access_pred_mispredicts :: access_pred_false_negatives
+      :: loads_executed :: loads_protected_mem
+      :: port_structural_stall_cycles :: wb_queue_stall_cycles :: port_busy ->
         {
           Stats.cycles; marker_cycle; committed; fetched; squashes;
           squashed_insns; branch_mispredicts; machine_clears;
@@ -1229,7 +1234,8 @@ module Grid = struct
           transmitter_stall_cycles; wakeup_delay_cycles;
           resolution_delay_cycles; access_pred_lookups;
           access_pred_mispredicts; access_pred_false_negatives;
-          loads_executed; loads_protected_mem;
+          loads_executed; loads_protected_mem; port_structural_stall_cycles;
+          wb_queue_stall_cycles; port_busy = Array.of_list port_busy;
         }
     | _ -> Json.parse_error "bad stats payload"
 

@@ -173,6 +173,101 @@ let table_i ?benches session =
   Format.printf "@."
 
 (* ------------------------------------------------------------------ *)
+(* Width sweep: defense stall attribution across issue widths on the   *)
+(* structural-port core ([Config.with_width]).                         *)
+(* ------------------------------------------------------------------ *)
+
+let width_sweep_widths = [ 1; 2; 4; 6; 8 ]
+
+(* Bench × instrumentation pairs proven in the golden corpus; each
+   delay-style cell uses the pass already exercised for it there. *)
+let width_sweep_benches =
+  [
+    ("bearssl", Protcc.P_ct);
+    ("hacl.poly1305", Protcc.P_cts);
+    ("ossl.bnexp", Protcc.P_unr);
+  ]
+
+(* STT needs no instrumentation pass and only bites on workloads with
+   tainted speculative transmitters; lbm is the corpus's strongest. *)
+let width_sweep_stt_benches = [ "bearssl"; "ossl.bnexp"; "lbm" ]
+
+let width_sweep ?benches ?widths session =
+  let widths = Option.value widths ~default:width_sweep_widths in
+  let picked =
+    match benches with
+    | None -> width_sweep_benches
+    | Some ns -> List.filter (fun (n, _) -> List.mem n ns) width_sweep_benches
+  in
+  let picked_stt =
+    match benches with
+    | None -> width_sweep_stt_benches
+    | Some ns -> List.filter (fun n -> List.mem n ns) width_sweep_stt_benches
+  in
+  Format.printf
+    "Width sweep: stall attribution vs issue width (test core rescaled by \
+     Config.with_width; structural = no-free-port + CDB-deferral \
+     entry-cycles, protection = transmitter + wakeup + resolution \
+     entry-cycles; shares are per simulated cycle, geomean runtime is \
+     vs unsafe at the same width)@.@.";
+  let pct num den =
+    if den = 0 then "0.00%"
+    else Printf.sprintf "%.2f%%" (100.0 *. float_of_int num /. float_of_int den)
+  in
+  let sweep label cells =
+    let rows =
+      List.map
+        (fun w ->
+          let config = Config.with_width w Config.test_core in
+          let cycles = ref 0 in
+          let structural = ref 0 in
+          let protection = ref 0 in
+          let norms =
+            List.map
+              (fun (name, dcfg) ->
+                let b = Suite.find name in
+                let r = E.run session (E.spec ~config b dcfg) in
+                let u = E.run session (E.spec ~config b E.cfg_unsafe) in
+                List.iter
+                  (fun (st : Protean_ooo.Stats.t) ->
+                    let open Protean_ooo.Stats in
+                    cycles := !cycles + st.cycles;
+                    structural :=
+                      !structural + st.port_structural_stall_cycles
+                      + st.wb_queue_stall_cycles;
+                    protection :=
+                      !protection + st.transmitter_stall_cycles
+                      + st.wakeup_delay_cycles + st.resolution_delay_cycles)
+                  r.E.stats;
+                r.E.cycles /. u.E.cycles)
+              cells
+          in
+          [
+            string_of_int w;
+            fmt_norm (E.geomean norms);
+            pct !protection !cycles;
+            pct !structural !cycles;
+            string_of_int !protection;
+            string_of_int !structural;
+          ])
+        widths
+    in
+    Format.printf "-- %s --@." label;
+    Textplot.table
+      ~header:
+        [
+          "width"; "norm runtime"; "prot-stall share"; "struct-stall share";
+          "prot cycles"; "struct cycles";
+        ]
+      rows;
+    Format.printf "@."
+  in
+  let with_pass mech = List.map (fun (n, p) -> (n, E.protean_cfg mech p)) picked in
+  sweep "PROTEAN-Delay" (with_pass `Delay);
+  sweep "PROTEAN-Track" (with_pass `Track);
+  sweep "STT" (List.map (fun n -> (n, E.cfg_stt)) picked_stt)
+
+(* ------------------------------------------------------------------ *)
 (* Table II: AMuLeT* contract violations.                              *)
 (* ------------------------------------------------------------------ *)
 

@@ -25,6 +25,47 @@ type prot_mem_mode =
   | Prot_mem_none (* tagging disabled: all memory assumed protected *)
   | Prot_mem_perfect (* idealized shadow memory tracking all of memory *)
 
+(* Structural execution-port model.  Opcode classes partition the ISA by
+   the functional unit an instruction occupies; a port advertises the
+   classes it can accept as a bitmask.  With [ports = None] (every
+   default configuration) issue is limited only by [issue_width] and
+   writeback is unbounded — the historical behavior, bit-identical to
+   the golden corpus.  With [ports = Some _] an entry must win an issue
+   slot *and* a compatible free port, unpipelined classes occupy their
+   port for the full computation latency, and at most [wb_width]
+   completions broadcast per cycle (the rest queue in seq order). *)
+
+type op_class = Cls_alu | Cls_branch | Cls_muldiv | Cls_load | Cls_store
+
+let n_op_classes = 5
+
+let op_class_index = function
+  | Cls_alu -> 0
+  | Cls_branch -> 1
+  | Cls_muldiv -> 2
+  | Cls_load -> 3
+  | Cls_store -> 4
+
+let op_class_name = function
+  | Cls_alu -> "alu"
+  | Cls_branch -> "branch"
+  | Cls_muldiv -> "muldiv"
+  | Cls_load -> "load"
+  | Cls_store -> "store"
+
+let cls_bit c = 1 lsl op_class_index c
+
+type port_cfg = {
+  port_caps : int array; (* per port: OR of [cls_bit] capabilities *)
+  cls_pipelined : bool array;
+      (* per class (indexed by [op_class_index]): a pipelined class
+         accepts a new instruction on its port every cycle; an
+         unpipelined one blocks the port for the full latency *)
+  wb_width : int; (* CDB broadcast budget per cycle; 0 = unbounded *)
+}
+
+let port_can (pc : port_cfg) port cls = pc.port_caps.(port) land cls_bit cls <> 0
+
 type t = {
   name : string;
   fetch_width : int;
@@ -48,6 +89,7 @@ type t = {
   load_agu_latency : int; (* address generation before the cache access *)
   store_forward_latency : int;
   prot_mem : prot_mem_mode;
+  ports : port_cfg option; (* None = unconstrained issue/writeback *)
 }
 
 let p_core =
@@ -74,6 +116,7 @@ let p_core =
     load_agu_latency = 1;
     store_forward_latency = 2;
     prot_mem = Prot_mem_l1d;
+    ports = None;
   }
 
 let e_core =
@@ -119,5 +162,58 @@ let with_prot_mem mode t =
 
 let with_tage t =
   { t with bp = { t.bp with use_tage = true }; name = t.name ^ "+tage" }
+
+(* Port map for an N-wide structural core, after the Alder Lake P-core
+   pattern (Tab. III): every port does ALU work; the specialist classes
+   (mul/div, load AGU, store AGU, branch) rotate across the ports so an
+   N >= 4 machine has ~N/4 ports per specialist class, and narrower
+   machines fold the missing specialists onto the ports that exist
+   (N = 1 is a single universal port).  Mul/div is the only unpipelined
+   class; the writeback/CDB budget equals the machine width. *)
+(* Default topology for an n-wide core, shaped after the Alder Lake
+   P-core's split (Table III): every port takes ALU and branch ops, odd
+   ports are load AGUs, ports =2 (mod 4) are store AGUs, and port 0
+   carries the unpipelined multiply/divide unit.  Capability counts this
+   way scale *proportionally* with width (loads: 1/1/2/3/4 ports at
+   widths 1/2/4/6/8), so sweeps measure issue bandwidth rather than a
+   lumpy capability cliff; narrow cores fall back to port 0 for any
+   class that would otherwise have no home. *)
+let ports_for_width n =
+  let caps = Array.make n (cls_bit Cls_alu lor cls_bit Cls_branch) in
+  caps.(0) <- caps.(0) lor cls_bit Cls_muldiv;
+  for i = 0 to n - 1 do
+    if i mod 2 = 1 then caps.(i) <- caps.(i) lor cls_bit Cls_load;
+    if i mod 4 = 2 then caps.(i) <- caps.(i) lor cls_bit Cls_store
+  done;
+  if n < 2 then caps.(0) <- caps.(0) lor cls_bit Cls_load;
+  if n < 3 then caps.(0) <- caps.(0) lor cls_bit Cls_store;
+  let pipelined = Array.make n_op_classes true in
+  pipelined.(op_class_index Cls_muldiv) <- false;
+  { port_caps = caps; cls_pipelined = pipelined; wb_width = n }
+
+(* Rescale a base configuration to an N-wide structural superscalar:
+   all four pipeline widths become [n] and the execution-port /
+   bounded-writeback model switches on.  The speculation window
+   (ROB/LQ/SQ) scales proportionally with the width ratio — a wider
+   core needs a deeper window to feed it (cf. the E-core's 5-wide/256
+   vs the P-core's 6-wide/512 in Table III); without this, sweeps
+   saturate on the fixed window instead of measuring issue bandwidth.
+   At [n = t.issue_width] the window is exactly the base core's.  The
+   memory hierarchy and predictors are inherited unchanged. *)
+let with_width n t =
+  if n <= 0 then invalid_arg "Config.with_width: width must be positive";
+  let scale floor base = max floor (base * n / t.issue_width) in
+  {
+    t with
+    name = t.name ^ "@w" ^ string_of_int n;
+    fetch_width = n;
+    rename_width = n;
+    issue_width = n;
+    commit_width = n;
+    rob_size = scale 16 t.rob_size;
+    lq_size = scale 8 t.lq_size;
+    sq_size = scale 8 t.sq_size;
+    ports = Some (ports_for_width n);
+  }
 
 let cache_sets (c : cache_cfg) = c.size_kib * 1024 / (c.line * c.ways)

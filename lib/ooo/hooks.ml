@@ -75,6 +75,12 @@ type event =
   | On_stage of int
       (* a pipeline stage finished this cycle (stage id, see [Profile]);
          only emitted when a subscriber declared [k_stage] *)
+  | On_port_bound of { port : int; entry : Rob_entry.t }
+      (* an issuing entry won execution port [port] (structural model) *)
+  | On_port_stall of Rob_entry.t
+      (* a ready entry found no compatible free port this cycle *)
+  | On_wb_queued of Rob_entry.t
+      (* a finished computation was deferred by the CDB broadcast budget *)
 
 (* Event kinds: one bit per constructor, plus pseudo-kinds that gate
    optional *detail* inside an event ([k_mem_path] gates the [path] list
@@ -100,7 +106,10 @@ let k_commit = 14
 let k_cycle_end = 15
 let k_stage = 16
 let k_mem_path = 17 (* pseudo: request the On_mem_access fill/evict path *)
-let n_kinds = 18
+let k_port_bound = 18
+let k_port_stall = 19
+let k_wb_queued = 20
+let n_kinds = 21
 let mask_all = (1 lsl n_kinds) - 1
 
 let kind_of_event = function
@@ -121,6 +130,9 @@ let kind_of_event = function
   | On_commit _ -> k_commit
   | On_cycle_end -> k_cycle_end
   | On_stage _ -> k_stage
+  | On_port_bound _ -> k_port_bound
+  | On_port_stall _ -> k_port_stall
+  | On_wb_queued _ -> k_wb_queued
 
 let mask_of_kinds kinds =
   List.fold_left (fun m k -> m lor (1 lsl k)) 0 kinds

@@ -192,6 +192,88 @@ let check_sched (t : S.t) : violation list =
   if !chain_nodes <> !waiting_slots then
     fail "sched-wake" "chains hold %d nodes, ring has %d waiting slots"
       !chain_nodes !waiting_slots;
+  (* Structural port model (only when [Config.ports] is configured).
+     The checker runs after the cycle counter advanced, so "last cycle"
+     is [t.cycle - 1]; a blocking holder's busy-until satisfies
+     busy_until = t.cycle + cycles_left - 1 whether or not its first
+     tick has happened (both cases reduce to the same formula). *)
+  (match t.S.cfg.Config.ports with
+  | None -> ()
+  | Some pc ->
+      let n_ports = Array.length pc.Config.port_caps in
+      (* Binding sanity: every bound entry names a real, compatible
+         port; every issued entry is bound. *)
+      S.iter_rob t (fun e ->
+          let port = e.Rob_entry.port in
+          if e.Rob_entry.issued && port < 0 then
+            fail "sched-port" "issued entry seq %d has no port" e.Rob_entry.seq;
+          if port >= 0 then begin
+            if port >= n_ports then
+              fail "sched-port" "seq %d bound to port %d of %d" e.Rob_entry.seq
+                port n_ports
+            else begin
+              if not e.Rob_entry.issued then
+                fail "sched-port" "unissued entry seq %d bound to port %d"
+                  e.Rob_entry.seq port;
+              let cls = Rob_entry.op_class e in
+              if not (Config.port_can pc port cls) then
+                fail "sched-port" "seq %d (%s) bound to incapable port %d"
+                  e.Rob_entry.seq
+                  (Config.op_class_name cls)
+                  port
+            end
+          end);
+      (* Port oversubscription, two forms.  Same-cycle: the entries that
+         issued last cycle must occupy pairwise-distinct ports.
+         Cross-cycle: at most one live, still-computing entry of an
+         unpipelined class may hold each port, and the schedule's
+         busy-until must agree with its remaining latency. *)
+      let issued_on = Array.make n_ports (-1) in
+      let holder_on = Array.make n_ports (-1) in
+      S.iter_rob t (fun e ->
+          let port = e.Rob_entry.port in
+          if port >= 0 && port < n_ports then begin
+            if e.Rob_entry.t_issue = t.S.cycle - 1 then begin
+              if issued_on.(port) >= 0 then
+                fail "sched-port" "seq %d and seq %d both issued to port %d"
+                  issued_on.(port) e.Rob_entry.seq port;
+              issued_on.(port) <- e.Rob_entry.seq
+            end;
+            if
+              (not e.Rob_entry.executed)
+              && e.Rob_entry.cycles_left > 0
+              && not
+                   pc.Config.cls_pipelined.(Config.op_class_index
+                                              (Rob_entry.op_class e))
+            then begin
+              if holder_on.(port) >= 0 then
+                fail "sched-port" "seq %d and seq %d both hold blocking port %d"
+                  holder_on.(port) e.Rob_entry.seq port;
+              holder_on.(port) <- e.Rob_entry.seq;
+              let expect = t.S.cycle + e.Rob_entry.cycles_left - 1 in
+              if t.S.port_busy_until.(port) <> expect then
+                fail "sched-port"
+                  "port %d busy-until %d disagrees with holder seq %d \
+                   (expected %d)"
+                  port
+                  t.S.port_busy_until.(port)
+                  e.Rob_entry.seq expect
+            end
+          end);
+      (* Writeback budget: completions stamped last cycle cannot exceed
+         the CDB width.  Every such entry is still live at check time
+         (commit precedes the execute tick within a cycle), so a ring
+         scan sees them all; a mid-cycle squash can only undercount,
+         which keeps the bound sound. *)
+      if pc.Config.wb_width > 0 then begin
+        let completed_last = ref 0 in
+        S.iter_rob t (fun e ->
+            if e.Rob_entry.executed && e.Rob_entry.t_complete = t.S.cycle - 1
+            then incr completed_last);
+        if !completed_last > pc.Config.wb_width then
+          fail "sched-wb" "%d completions last cycle exceed CDB width %d"
+            !completed_last pc.Config.wb_width
+      end);
   List.rev !vs
 
 let check (t : S.t) : violation list =

@@ -84,6 +84,9 @@ let stats_kinds =
       k_squash;
       k_machine_clear;
       k_commit;
+      k_port_bound;
+      k_port_stall;
+      k_wb_queued;
     ]
 
 let stats_handler (t : S.t) (ev : Hooks.event) =
@@ -117,6 +120,12 @@ let stats_handler (t : S.t) (ev : Hooks.event) =
       st.Stats.squashed_insns <- st.Stats.squashed_insns + flushed
   | Hooks.On_machine_clear ->
       st.Stats.machine_clears <- st.Stats.machine_clears + 1
+  | Hooks.On_port_bound { port; _ } -> Stats.bump_port_busy st port
+  | Hooks.On_port_stall _ ->
+      st.Stats.port_structural_stall_cycles <-
+        st.Stats.port_structural_stall_cycles + 1
+  | Hooks.On_wb_queued _ ->
+      st.Stats.wb_queue_stall_cycles <- st.Stats.wb_queue_stall_cycles + 1
   | Hooks.On_commit e ->
       if
         Rob_entry.is_store e

@@ -59,6 +59,13 @@ type t = {
   inflight : Entryq.t; (* issued && not executed, issue order *)
   lsq_stores : Entryq.t; (* live stores, seq-ascending *)
   lsq_loads : Entryq.t; (* live loads, seq-ascending *)
+  (* Structural execution ports ([Config.ports]; both arrays are empty
+     when the model is off).  [port_busy_until] is the first cycle an
+     unpipelined computation's port accepts new work again;
+     [port_used] is per-cycle scratch marking ports already bound this
+     cycle, cleared at the top of each issue scan. *)
+  port_busy_until : int array;
+  port_used : bool array;
   paranoid : bool; (* cross-check the indexes every cycle *)
   (* Per-pc operand templates: [Insn.reads]/[Insn.writes] precomputed so
      rename shares one immutable srcs/dsts array per program location. *)
@@ -149,6 +156,14 @@ let create ?(trace = false) ?(squash_bug = false)
     inflight = Entryq.create ~capacity:64 ();
     lsq_stores = Entryq.create ~capacity:64 ();
     lsq_loads = Entryq.create ~capacity:64 ();
+    port_busy_until =
+      (match cfg.Config.ports with
+      | None -> [||]
+      | Some pc -> Array.make (Array.length pc.Config.port_caps) 0);
+    port_used =
+      (match cfg.Config.ports with
+      | None -> [||]
+      | Some pc -> Array.make (Array.length pc.Config.port_caps) false);
     paranoid = !paranoid_sched;
     tmpl_srcs;
     tmpl_dsts;

@@ -28,6 +28,9 @@ type t = {
   mutable cycles_left : int;
   mutable executed : bool; (* results computed and visible *)
   mutable fault : bool; (* division fault pending (machine clear at commit) *)
+  mutable port : int;
+      (* execution port bound at issue under [Config.ports]; -1 when
+         unbound (not yet issued, or the structural model is off) *)
   (* Memory access state (LSQ). *)
   mem_kind : mem_kind;
   mutable addr : int64;
@@ -104,6 +107,7 @@ let rec null =
     cycles_left = -1;
     executed = false;
     fault = false;
+    port = -1;
     mem_kind = M_none;
     addr = 0L;
     msize = 0;
@@ -171,6 +175,7 @@ let create ?srcs ?dsts ~seq ~pc ~(insn : Insn.t) ~t_fetch () =
     cycles_left = -1;
     executed = false;
     fault = false;
+    port = -1;
     mem_kind = mem_kind_of insn.op;
     addr = 0L;
     msize = 0;
@@ -208,6 +213,22 @@ let create ?srcs ?dsts ~seq ~pc ~(insn : Insn.t) ~t_fetch () =
 let is_load e = e.mem_kind = M_load
 let is_store e = e.mem_kind = M_store
 let is_transmitter e = Insn.is_transmitter e.insn.Insn.op
+
+(* Port-capability class for the structural execution-port model.
+   Memory kind wins (RET/POP occupy the load AGU path, CALL/PUSH the
+   store path — they access memory even though they also redirect
+   control); then branches, then the unpipelined mul/div unit. *)
+let op_class e : Config.op_class =
+  match e.mem_kind with
+  | M_load -> Config.Cls_load
+  | M_store -> Config.Cls_store
+  | M_none -> (
+      if e.is_branch then Config.Cls_branch
+      else
+        match e.insn.Insn.op with
+        | Insn.Div _ | Insn.Rem _ | Insn.Binop (Insn.Mul, _, _) ->
+            Config.Cls_muldiv
+        | _ -> Config.Cls_alu)
 
 (* Does this entry have a protected *sensitive* register operand?  Access
    transmitters (Definition 1) additionally include loads whose sensitive

@@ -32,6 +32,23 @@ let flush (t : S.t) ~from_seq ~new_pc =
       incr flushed;
       if Rob_entry.is_load e then t.S.lq_used <- t.S.lq_used - 1;
       if Rob_entry.is_store e then t.S.sq_used <- t.S.sq_used - 1;
+      (* Release an execution port held across cycles by a flushed,
+         still-computing unpipelined entry.  The cycles_left > 0 guard
+         matters: such a holder's [port_busy_until] lies in the future,
+         so nothing else can have re-bound the port since it issued —
+         the reset cannot free a port an older survivor occupies.  (A
+         finished-but-writeback-deferred entry holds no port: its
+         busy-until already lapsed.) *)
+      (match t.S.cfg.Config.ports with
+      | Some pc
+        when e.Rob_entry.port >= 0
+             && (not e.Rob_entry.executed)
+             && e.Rob_entry.cycles_left > 0
+             && not
+                  pc.Config.cls_pipelined.(Config.op_class_index
+                                             (Rob_entry.op_class e)) ->
+          t.S.port_busy_until.(e.Rob_entry.port) <- 0
+      | _ -> ());
       e.Rob_entry.dormant <- false;
       e.Rob_entry.waiters <- Rob_entry.null
     end;

@@ -365,51 +365,139 @@ let execution_gated (e : Rob_entry.t) =
       true
   | _ -> false
 
+(* Complete [e]: mark it executed and wake the consumers parked on its
+   wakeup chain (clear their chain memberships and let them rejoin the
+   issue scan from this cycle on). *)
+let complete_entry (t : S.t) (e : Rob_entry.t) =
+  e.Rob_entry.executed <- true;
+  e.Rob_entry.t_complete <- t.S.cycle;
+  let c = ref e.Rob_entry.waiters in
+  let s = ref e.Rob_entry.waiters_slot in
+  e.Rob_entry.waiters <- Rob_entry.null;
+  while not (Rob_entry.is_null !c) do
+    let cur = !c and slot = !s in
+    c := cur.Rob_entry.wl_next.(slot);
+    s := cur.Rob_entry.wl_slot.(slot);
+    cur.Rob_entry.wl_next.(slot) <- Rob_entry.null;
+    cur.Rob_entry.wl_slot.(slot) <- -1;
+    cur.Rob_entry.dormant <- false
+  done
+
 (* Tick the in-flight set: decrement, mark executed at zero, wake the
    dormant consumers parked on the completing producer, and compact the
    deque in place.  Runs before the issue scan, which is exact because
    every producer is strictly older than its consumers: in the old
    interleaved full-ring pass, a producer's tick always preceded its
-   consumers' wakeup checks within the same cycle. *)
+   consumers' wakeup checks within the same cycle.
+
+   Under a bounded writeback budget ([Config.ports] with [wb_width] > 0)
+   at most [wb_width] finished computations broadcast per cycle, oldest
+   sequence numbers first; the rest stay in the deque (cycles_left <= 0,
+   still issued-and-unexecuted, so every scheduler invariant holds and
+   their consumers stay correctly dormant) and contend again next
+   cycle.  Each deferred completion is reported via [On_wb_queued]. *)
 let tick (t : S.t) =
   let q = t.S.inflight in
   let a = q.Entryq.a in
   let front = q.Entryq.front and back = q.Entryq.back in
-  let w = ref front in
-  for i = front to back - 1 do
-    let e = a.(i) in
-    e.Rob_entry.cycles_left <- e.Rob_entry.cycles_left - 1;
-    if e.Rob_entry.cycles_left <= 0 then begin
-      e.Rob_entry.executed <- true;
-      e.Rob_entry.t_complete <- t.S.cycle;
-      (* Wake waiters: clear their chain memberships and let them rejoin
-         the issue scan from this cycle on. *)
-      let c = ref e.Rob_entry.waiters in
-      let s = ref e.Rob_entry.waiters_slot in
-      e.Rob_entry.waiters <- Rob_entry.null;
-      while not (Rob_entry.is_null !c) do
-        let cur = !c and slot = !s in
-        c := cur.Rob_entry.wl_next.(slot);
-        s := cur.Rob_entry.wl_slot.(slot);
-        cur.Rob_entry.wl_next.(slot) <- Rob_entry.null;
-        cur.Rob_entry.wl_slot.(slot) <- -1;
-        cur.Rob_entry.dormant <- false
-      done
-    end
-    else begin
-      a.(!w) <- e;
-      incr w
-    end
-  done;
-  for i = !w to back - 1 do
-    a.(i) <- Rob_entry.null
-  done;
-  q.Entryq.back <- !w
+  let wb_budget =
+    match t.S.cfg.Config.ports with
+    | None -> 0
+    | Some pc -> pc.Config.wb_width
+  in
+  if wb_budget <= 0 then begin
+    (* Unbounded broadcast: the historical single compacting pass. *)
+    let w = ref front in
+    for i = front to back - 1 do
+      let e = a.(i) in
+      e.Rob_entry.cycles_left <- e.Rob_entry.cycles_left - 1;
+      if e.Rob_entry.cycles_left <= 0 then complete_entry t e
+      else begin
+        a.(!w) <- e;
+        incr w
+      end
+    done;
+    for i = !w to back - 1 do
+      a.(i) <- Rob_entry.null
+    done;
+    q.Entryq.back <- !w
+  end
+  else begin
+    (* Decrement everything first; candidates are entries whose
+       computation has finished (including ones deferred earlier). *)
+    for i = front to back - 1 do
+      let e = a.(i) in
+      e.Rob_entry.cycles_left <- e.Rob_entry.cycles_left - 1
+    done;
+    (* Grant the broadcast slots oldest-seq-first: up to [wb_budget]
+       selection passes over the deque (the deque is in issue order, not
+       seq order).  Completing marks the entry executed, which both
+       excludes it from later passes and lets the compaction below drop
+       it. *)
+    let granted = ref 0 in
+    let continue_ = ref true in
+    while !granted < wb_budget && !continue_ do
+      let best = ref Rob_entry.null in
+      for i = front to back - 1 do
+        let e = a.(i) in
+        if
+          (not e.Rob_entry.executed)
+          && e.Rob_entry.cycles_left <= 0
+          && (Rob_entry.is_null !best
+             || e.Rob_entry.seq < !best.Rob_entry.seq)
+        then best := e
+      done;
+      if Rob_entry.is_null !best then continue_ := false
+      else begin
+        complete_entry t !best;
+        incr granted
+      end
+    done;
+    (* Compact: drop completed entries, keep running and deferred ones
+       (a kept entry with cycles_left <= 0 lost the broadcast race). *)
+    let w = ref front in
+    for i = front to back - 1 do
+      let e = a.(i) in
+      if not e.Rob_entry.executed then begin
+        if e.Rob_entry.cycles_left <= 0 && S.wants t Hooks.k_wb_queued then
+          S.emit t (Hooks.On_wb_queued e);
+        a.(!w) <- e;
+        incr w
+      end
+    done;
+    for i = !w to back - 1 do
+      a.(i) <- Rob_entry.null
+    done;
+    q.Entryq.back <- !w
+  end
+
+(* Lowest-numbered execution port that can accept an instruction of
+   class [cls] this cycle: capability match, not already bound this
+   cycle, and not held across cycles by an unpipelined computation.
+   Returns -1 when every compatible port is occupied (a structural
+   stall).  Lowest-first selection is deterministic and mirrors
+   hardware's fixed port-arbitration priority. *)
+let find_port (t : S.t) (pc : Config.port_cfg) cls =
+  let n = Array.length pc.Config.port_caps in
+  let rec go i =
+    if i >= n then -1
+    else if
+      Config.port_can pc i cls
+      && (not t.S.port_used.(i))
+      && t.S.port_busy_until.(i) <= t.S.cycle
+    then i
+    else go (i + 1)
+  in
+  go 0
 
 let run (t : S.t) =
   tick t;
   let ap = S.api t in
   let width = t.S.cfg.Config.issue_width in
+  let pcfg = t.S.cfg.Config.ports in
+  (match pcfg with
+  | None -> ()
+  | Some _ -> Array.fill t.S.port_used 0 (Array.length t.S.port_used) false);
   let issued = ref 0 in
   let cursor = ref t.S.uq_head in
   while (not (Rob_entry.is_null !cursor)) && !issued < width do
@@ -428,10 +516,41 @@ let run (t : S.t) =
         && Stage_memory.mdp_flagged t e.Rob_entry.pc
         && Stage_memory.older_store_addr_unknown t e
       then () (* memory-dependence predictor: wait for stores *)
-      else if start_execution t e then begin
-        incr issued;
-        S.uq_unlink t e;
-        Entryq.push t.S.inflight e
+      else begin
+        (* Structural port arbitration: a ready entry must win a
+           compatible free port before it may start.  Losing does not
+           consume an issue slot — a younger entry of another class may
+           still issue behind it this cycle.  The port is claimed only
+           after [start_execution] succeeds (a load parked on Fwd_wait
+           holds neither a slot nor a port). *)
+        let port =
+          match pcfg with
+          | None -> 0
+          | Some pc -> find_port t pc (Rob_entry.op_class e)
+        in
+        if port < 0 then begin
+          if S.wants t Hooks.k_port_stall then
+            S.emit t (Hooks.On_port_stall e)
+        end
+        else if start_execution t e then begin
+          incr issued;
+          (match pcfg with
+          | None -> ()
+          | Some pc ->
+              e.Rob_entry.port <- port;
+              t.S.port_used.(port) <- true;
+              if
+                not
+                  pc.Config.cls_pipelined.(Config.op_class_index
+                                             (Rob_entry.op_class e))
+              then
+                t.S.port_busy_until.(port) <-
+                  t.S.cycle + e.Rob_entry.cycles_left;
+              if S.wants t Hooks.k_port_bound then
+                S.emit t (Hooks.On_port_bound { port; entry = e }));
+          S.uq_unlink t e;
+          Entryq.push t.S.inflight e
+        end
       end
     end;
     (* A store issuing above may have squashed from a younger load's seq,

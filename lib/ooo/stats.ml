@@ -25,6 +25,15 @@ type t = {
   mutable access_pred_false_negatives : int;
   mutable loads_executed : int;
   mutable loads_protected_mem : int;
+  (* Structural-port model counters (all zero when [Config.ports] is
+     [None]).  [port_busy] is grown on demand to the highest port seen;
+     protection stalls (the three *_delay/_stall counters above) and
+     these structural stalls together attribute every denied cycle. *)
+  mutable port_busy : int array; (* per port: cycles an issue was bound *)
+  mutable port_structural_stall_cycles : int;
+      (* ready entry found no compatible free port (entry-cycles) *)
+  mutable wb_queue_stall_cycles : int;
+      (* completion deferred by the CDB broadcast budget (entry-cycles) *)
 }
 
 let create () =
@@ -48,7 +57,20 @@ let create () =
     access_pred_false_negatives = 0;
     loads_executed = 0;
     loads_protected_mem = 0;
+    port_busy = [||];
+    port_structural_stall_cycles = 0;
+    wb_queue_stall_cycles = 0;
   }
+
+(* Count an issue bound to [port], growing the per-port array on first
+   sight of a new port (at most once per port per run). *)
+let bump_port_busy t port =
+  if Array.length t.port_busy <= port then begin
+    let grown = Array.make (port + 1) 0 in
+    Array.blit t.port_busy 0 grown 0 (Array.length t.port_busy);
+    t.port_busy <- grown
+  end;
+  t.port_busy.(port) <- t.port_busy.(port) + 1
 
 (* Cycles after the measurement marker (whole run when no marker). *)
 let measured_cycles t = t.cycles - t.marker_cycle

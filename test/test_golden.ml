@@ -9,21 +9,23 @@
    simulated behavior, not that the expectation moved. *)
 
 module Golden = Protean_harness.Golden
+module Supervisor = Protean_harness.Supervisor
+module Shard = Protean_harness.Shard
+module Json = Protean_harness.Shard.Json
 
 (* `dune runtest` executes in _build/default/test (where the (deps ...)
    copy lives); `dune exec test/test_main.exe` runs from the project
    root — accept both. *)
-let expected_file () =
+let expected_file base =
   List.find Sys.file_exists
     [
-      "golden_pipeline.expected";
-      "test/golden_pipeline.expected";
-      Filename.concat (Filename.dirname Sys.executable_name)
-        "golden_pipeline.expected";
+      base;
+      Filename.concat "test" base;
+      Filename.concat (Filename.dirname Sys.executable_name) base;
     ]
 
-let read_expected () =
-  let ic = open_in (expected_file ()) in
+let read_expected base =
+  let ic = open_in (expected_file base) in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
@@ -34,8 +36,8 @@ let read_expected () =
       in
       go [])
 
-let check_lines name actual =
-  let expected = read_expected () in
+let check_lines ?(base = "golden_pipeline.expected") name actual =
+  let expected = read_expected base in
   Alcotest.(check int)
     (name ^ ": corpus size") (List.length expected) (List.length actual);
   List.iteri
@@ -47,8 +49,78 @@ let test_serial () = check_lines "serial" (Golden.lines ())
 
 let test_parallel () = check_lines "parallel -j 4" (Golden.lines ~jobs:4 ())
 
+(* --- width corpus ------------------------------------------------------ *)
+
+let check_width name actual =
+  check_lines ~base:"golden_width.expected" name actual
+
+let test_width_serial () = check_width "width serial" (Golden.width_lines ())
+
+let test_width_parallel () =
+  check_width "width -j 4" (Golden.width_lines ~jobs:4 ())
+
+(* Two crash-isolated shard workers (in-process domains running the real
+   [Shard.serve] loop over pipes) compute the width corpus by cell key;
+   the supervised merge must be byte-identical to the serial lines. *)
+let domain_transport ~compute () =
+  let in_r, in_w = Unix.pipe ~cloexec:false () in
+  let out_r, out_w = Unix.pipe ~cloexec:false () in
+  let crashed = ref false in
+  let d =
+    Domain.spawn (fun () ->
+        (try Shard.serve ~compute in_r out_w with _ -> crashed := true);
+        (try Unix.close out_w with Unix.Unix_error _ -> ());
+        try Unix.close in_r with Unix.Unix_error _ -> ())
+  in
+  {
+    Supervisor.t_pid = None;
+    t_read = out_r;
+    t_write = in_w;
+    t_err = None;
+    t_kill = ignore;
+    t_wait =
+      (fun () ->
+        Domain.join d;
+        if !crashed then ("signal SIGSEGV", false) else ("exit 0", true));
+  }
+
+let test_width_shards () =
+  let keys = Golden.width_keys () in
+  let cells = List.mapi (fun i k -> { Shard.c_id = i; c_key = k }) keys in
+  let compute k = Json.Str (Golden.run_width_key k) in
+  let spawn ~shard:_ ~attempt:_ ~env_fault:_ = domain_transport ~compute () in
+  let config =
+    {
+      Supervisor.default_config with
+      Supervisor.shards = 2;
+      max_attempts = 2;
+      heartbeat = 60.0;
+      wall = 300.0;
+      backoff = 0.01;
+    }
+  in
+  let out =
+    Supervisor.run ~spawn config ~worker_argv:[||]
+      ~fallback:(fun _ -> Alcotest.fail "width shard fell back in-process")
+      cells
+  in
+  let actual =
+    List.map
+      (function
+        | _, Supervisor.O_ok (Json.Str line) -> line
+        | id, _ -> Alcotest.fail (Printf.sprintf "width cell %d faulted" id))
+      out
+  in
+  check_width "width --shards 2" actual
+
 let tests =
   [
     Alcotest.test_case "cycle-exact (serial)" `Slow test_serial;
     Alcotest.test_case "cycle-exact (-j 4)" `Slow test_parallel;
+    Alcotest.test_case "width sweep cycle-exact (serial)" `Slow
+      test_width_serial;
+    Alcotest.test_case "width sweep cycle-exact (-j 4)" `Slow
+      test_width_parallel;
+    Alcotest.test_case "width sweep cycle-exact (--shards 2)" `Slow
+      test_width_shards;
   ]

@@ -128,6 +128,22 @@ let test_paranoid_golden () =
           Alcotest.(check string) (Printf.sprintf "paranoid cell %d" i) e a)
         (List.combine expected actual))
 
+(* The width corpus under the paranoid checker exercises the structural
+   invariants the plain corpus cannot: port binding/oversubscription and
+   the writeback-budget bound only fire on [Config.ports] configs. *)
+let test_paranoid_width () =
+  Pipeline.set_paranoid_sched true;
+  Fun.protect
+    ~finally:(fun () -> Pipeline.set_paranoid_sched false)
+    (fun () ->
+      List.iteri
+        (fun i line ->
+          Alcotest.(check bool)
+            (Printf.sprintf "paranoid width cell %d nonempty" i)
+            true
+            (String.length line > 0))
+        (Golden.width_lines ()))
+
 let tests =
   [
     Alcotest.test_case "hooks: unsubscribe during emit" `Quick
@@ -140,4 +156,6 @@ let tests =
       test_mask_filtering;
     Alcotest.test_case "paranoid scheduler cross-check (golden corpus)" `Slow
       test_paranoid_golden;
+    Alcotest.test_case "paranoid structural-port cross-check (width corpus)"
+      `Slow test_paranoid_width;
   ]
