@@ -17,6 +17,7 @@ module Config = Protean_ooo.Config
 module Defense = Protean_defense.Defense
 module Fault_inject = Protean_defense.Fault_inject
 module Protcc = Protean_protcc.Protcc
+module Certify = Protean_protcc.Certify
 module Tables = Protean_harness.Tables
 module Parallel = Protean_harness.Parallel
 module Supervisor = Protean_harness.Supervisor
@@ -151,6 +152,25 @@ let metrics_listen_arg =
                for the duration of the campaign (port 0 picks one; the \
                bound port is logged).")
 
+let check_certs_arg =
+  Arg.(value & flag & info [ "check-certs" ]
+         ~doc:"Audit the protection certificates of every instrumented \
+               program against the SEQ contract executor (static claim \
+               audit plus lockstep replay on the campaign's own input \
+               pairs), so the campaign doubles as a translation-validation \
+               audit of ProtCC. A certificate violation fails the run; \
+               under --shards it poisons only the offending program's \
+               cell.")
+
+let inject_pass_fault_arg =
+  Arg.(value & opt (some string) None
+       & info [ "inject-pass-fault" ] ~docv:"MODE"
+         ~doc:"Self-test the certificate checker: mutate each compile \
+               result as a broken ProtCC pass would (cert-drop-prot, \
+               cert-widen-safe or cert-stale-fact) and verify \
+               --check-certs refutes it. Implies nothing by itself; \
+               combine with --check-certs.")
+
 let inject_arg =
   Arg.(value & flag & info [ "inject-faults" ]
          ~doc:"Self-test the fuzzer: inject deliberate faults into the \
@@ -161,7 +181,7 @@ let inject_arg =
                Undetected faults (detector gaps) fail the run.")
 
 let campaign_of contract adversary programs inputs seed squash_bug timeout
-    core_width =
+    core_width check_certs pass_fault =
   let adversary =
     match adversary with
     | "cache" -> Fuzz.Cache_tlb
@@ -174,6 +194,8 @@ let campaign_of contract adversary programs inputs seed squash_bug timeout
     Fuzz.adversary;
     squash_bug;
     timeout_cycles = timeout;
+    check_certs;
+    cert_fault = Option.map Fault_inject.cert_mode_of_string pass_fault;
     config =
       (if core_width > 0 then Config.with_width core_width base.Fuzz.config
        else base.Fuzz.config);
@@ -210,6 +232,17 @@ let record_campaign ~defense_id ~contract ~adversary (r : Fuzz.report) =
   Metrics.inc
     ~n:(List.length r.Fuzz.r_skipped)
     (c "programs_skipped_total" "programs skipped after retry");
+  if out.Fuzz.certs_checked > 0 || out.Fuzz.cert_violations > 0 then begin
+    let cc name help =
+      Metrics.counter fuzz_reg ~help ~labels ("protean_cert_" ^ name)
+    in
+    Metrics.inc ~n:out.Fuzz.certs_checked
+      (cc "checked_total" "protection certificates audited");
+    Metrics.inc ~n:out.Fuzz.cert_claims
+      (cc "claims_total" "individual certificate claims audited");
+    Metrics.inc ~n:out.Fuzz.cert_violations
+      (cc "violations_total" "certificate claims refuted by the checker")
+  end;
   let stack verdict n =
     Flame.add fuzz_flame ~frames:[ defense_id; contract ^ "-seq"; verdict ] n
   in
@@ -331,32 +364,61 @@ let run_self_test ~jobs ~programs ~inputs ~seed ~timeout =
    returns the sub-outcome as a frame payload.  Witnesses (programs)
    don't cross the pipe — the supervisor replays the first violating
    index in-process when it shrinks. *)
-let fuzz_cell campaign d index =
+let fuzz_cell ?(cert_poison = false) campaign d index =
   let sub_json (o : Fuzz.outcome) skip =
     Json.Obj
-      [
-        ("tests", Json.Int o.Fuzz.tests);
-        ("skipped", Json.Int o.Fuzz.skipped);
-        ("violations", Json.Int o.Fuzz.violations);
-        ("false_positives", Json.Int o.Fuzz.false_positives);
-        ( "example",
-          match o.Fuzz.example with
-          | Some (s, k) -> Json.List [ Json.Int s; Json.Int k ]
-          | None -> Json.Null );
-        ( "skip",
-          match skip with Some r -> Json.Str r | None -> Json.Null );
-      ]
+      ([
+         ("tests", Json.Int o.Fuzz.tests);
+         ("skipped", Json.Int o.Fuzz.skipped);
+         ("violations", Json.Int o.Fuzz.violations);
+         ("false_positives", Json.Int o.Fuzz.false_positives);
+         ( "example",
+           match o.Fuzz.example with
+           | Some (s, k) -> Json.List [ Json.Int s; Json.Int k ]
+           | None -> Json.Null );
+         ( "skip",
+           match skip with Some r -> Json.Str r | None -> Json.Null );
+       ]
+      @
+      (* Certificate counters only when the campaign audits them: frames
+         of a plain campaign stay byte-identical to the uncertified
+         protocol. *)
+      if campaign.Fuzz.check_certs then
+        [
+          ("certs_checked", Json.Int o.Fuzz.certs_checked);
+          ("cert_claims", Json.Int o.Fuzz.cert_claims);
+          ("cert_violations", Json.Int o.Fuzz.cert_violations);
+          ( "cert_example",
+            match o.Fuzz.cert_example with
+            | Some s -> Json.Str s
+            | None -> Json.Null );
+        ]
+      else [])
   in
   let program = Fuzz.generate_program campaign index in
-  let attempt () = Fuzz.test_program campaign d ~index ~program in
+  let cert_witness = ref None in
+  let attempt () = Fuzz.test_program ~cert_witness campaign d ~index ~program in
+  let finish sub =
+    (* In a shard worker a refuted certificate is escalated to the
+       structured fault: the supervisor retries, bisects and poisons
+       only this cell, and the ledger records the printed violation. *)
+    match (cert_poison, !cert_witness) with
+    | true, Some v -> raise (Certify.Cert_violation v)
+    | _ -> sub_json sub None
+  in
   match attempt () with
-  | sub -> sub_json sub None
+  | sub -> finish sub
+  | exception (Certify.Cert_violation _ as e) -> raise e
   | exception _ -> (
       match attempt () with
-      | sub -> sub_json sub None
+      | sub -> finish sub
       | exception e -> sub_json (Fuzz.fresh_outcome ()) (Some (Fuzz.describe_exn e)))
 
 let outcome_of_json j =
+  let int_member key = match Json.member key j with
+    | Json.Int n -> n
+    | _ -> 0
+  in
   {
     Fuzz.tests = Json.(to_int (member "tests" j));
     skipped = Json.(to_int (member "skipped" j));
@@ -365,6 +427,13 @@ let outcome_of_json j =
     example =
       (match Json.member "example" j with
       | Json.List [ Json.Int s; Json.Int k ] -> Some (s, k)
+      | _ -> None);
+    certs_checked = int_member "certs_checked";
+    cert_claims = int_member "cert_claims";
+    cert_violations = int_member "cert_violations";
+    cert_example =
+      (match Json.member "cert_example" j with
+      | Json.Str s -> Some s
       | _ -> None);
   }
 
@@ -502,15 +571,48 @@ let run_campaign ~tele ~jobs ~shards ~inject_worker ?pool ?http campaign d
         sh.Fuzz.sh_original_insns sh.Fuzz.sh_insns sh.Fuzz.sh_attempts
         (if sh.Fuzz.sh_verified then "" else "; NOT verified")
   | None -> ());
-  out.Fuzz.violations > 0
+  let cert_failed =
+    if not campaign.Fuzz.check_certs then false
+    else begin
+      (* A refuted certificate surfaces either in the merged counters
+         (serial/-j paths) or as a poisoned cell whose skip reason
+         carries the rendered violation (--shards path). *)
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        n = 0 || go 0
+      in
+      let poisoned =
+        List.filter
+          (fun (s : Fuzz.skip) -> contains s.Fuzz.sk_reason "cert-violation")
+          r.Fuzz.r_skipped
+      in
+      Printf.printf
+        "certificates: %d checked, %d claims, %d violations%s\n"
+        out.Fuzz.certs_checked out.Fuzz.cert_claims
+        (out.Fuzz.cert_violations + List.length poisoned)
+        (if poisoned = [] then ""
+         else Printf.sprintf " (%d as poisoned cells)" (List.length poisoned));
+      (match (out.Fuzz.cert_example, poisoned) with
+      | Some ex, _ -> Printf.printf "first certificate violation: %s\n" ex
+      | None, s :: _ ->
+          Printf.printf "first certificate violation: %s\n" s.Fuzz.sk_reason
+      | None, [] -> ());
+      out.Fuzz.cert_violations > 0 || poisoned <> []
+    end
+  in
+  out.Fuzz.violations > 0 || cert_failed
 
 let run table_ii defense contract programs inputs adversary seed core_width
     squash_bug timeout resume inject jobs shards worker inject_worker
-    metrics_out trace_out flamegraph_out log_json listen connect token
-    metrics_listen =
+    check_certs pass_fault metrics_out trace_out flamegraph_out log_json
+    listen connect token metrics_listen =
   if log_json then Tlog.set_json true;
   let tele = { Report.metrics_out; trace_out; flamegraph_out } in
   Report.enable ~worker:(worker || connect <> None) tele;
+  if check_certs then Certify.enabled := true;
   let jobs = if jobs = 0 then Parallel.default_jobs () else max 1 jobs in
   let shards = max 1 shards in
   if worker || connect <> None then begin
@@ -519,9 +621,11 @@ let run table_ii defense contract programs inputs adversary seed core_width
     let d = Defense.find defense in
     let campaign =
       campaign_of contract adversary programs inputs seed squash_bug timeout
-        core_width
+        core_width check_certs pass_fault
     in
-    let compute key = fuzz_cell campaign d (int_of_string key) in
+    let compute key =
+      fuzz_cell ~cert_poison:check_certs campaign d (int_of_string key)
+    in
     match connect with
     | None -> Shard.worker_main ~jobs ~compute ()
     | Some addr -> Shard.connect_worker ~jobs ~addr ~token ~compute ()
@@ -538,18 +642,11 @@ let run table_ii defense contract programs inputs adversary seed core_width
         listen
     in
     let http =
-      Option.map
-        (fun addr ->
-          let h =
-            Protean_telemetry.Http_listener.create ~addr (fun () ->
-                Metrics.to_prometheus
-                  (Metrics.merge (Metrics.snapshot fuzz_reg)
-                     (Metrics.snapshot Report.runtime)))
-          in
-          Tlog.info ~src:"fuzz" "serving /metrics on port %d"
-            (Protean_telemetry.Http_listener.port h);
-          h)
-        metrics_listen
+      Option.bind metrics_listen (fun addr ->
+          Report.listen_metrics ~src:"fuzz" addr (fun () ->
+              Metrics.to_prometheus
+                (Metrics.merge (Metrics.snapshot fuzz_reg)
+                   (Metrics.snapshot Report.runtime))))
     in
     let failed =
       Fun.protect
@@ -566,7 +663,7 @@ let run table_ii defense contract programs inputs adversary seed core_width
             let d = Defense.find defense in
             let campaign =
               campaign_of contract adversary programs inputs seed squash_bug
-                timeout core_width
+                timeout core_width check_certs pass_fault
             in
             run_campaign ~tele ~jobs ~shards ~inject_worker ?pool ?http
               campaign d contract resume
@@ -585,7 +682,8 @@ let cmd =
       $ inputs_arg $ adversary_arg $ seed_arg $ core_width_arg
       $ squash_bug_arg $ timeout_arg
       $ resume_arg $ inject_arg $ jobs_arg $ shards_arg $ worker_arg
-      $ inject_worker_arg $ metrics_out_arg $ trace_out_arg
+      $ inject_worker_arg $ check_certs_arg $ inject_pass_fault_arg
+      $ metrics_out_arg $ trace_out_arg
       $ flamegraph_out_arg $ log_json_arg $ listen_arg $ connect_arg
       $ token_arg $ metrics_listen_arg)
 

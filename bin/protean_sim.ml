@@ -12,6 +12,7 @@ open Cmdliner
 module Suite = Protean_workloads.Suite
 module Defense = Protean_defense.Defense
 module Protcc = Protean_protcc.Protcc
+module Certify = Protean_protcc.Certify
 module Config = Protean_ooo.Config
 module Pipeline = Protean_ooo.Pipeline
 module Multicore = Protean_ooo.Multicore
@@ -83,6 +84,14 @@ let paranoid_sched_arg =
      by PROTEAN_PARANOID_SCHED=1."
   in
   Arg.(value & flag & info [ "paranoid-sched" ] ~doc)
+
+let check_certs_arg =
+  Arg.(value & flag & info [ "check-certs" ]
+         ~doc:"Audit each compiled benchmark's protection certificates \
+               with the independent checker (static claim audit plus SEQ \
+               lockstep replay) before simulating it; a refuted \
+               certificate is reported as a structured fault for that \
+               benchmark while the rest complete.")
 
 let jobs_arg =
   let doc = "Domains for multi-benchmark runs; 0 = all cores." in
@@ -185,9 +194,16 @@ let model_of = function
   | s -> invalid_arg ("unknown speculation model: " ^ s)
 
 let instrument pass program =
+  (* With --check-certs every compile result passes the independent
+     checker before it is simulated; a refuted certificate raises the
+     structured [Certify.Cert_violation] handled by the fault paths. *)
+  let audited (r : Protcc.result) =
+    if !Certify.enabled then ignore (Certify.audit_exn ~original:program r);
+    r.Protcc.program
+  in
   match pass with
   | "none" -> program
-  | "multiclass" -> (Protcc.instrument program).Protcc.program
+  | "multiclass" -> audited (Protcc.instrument program)
   | p ->
       let pass =
         match p with
@@ -197,7 +213,7 @@ let instrument pass program =
         | "unr" -> Protcc.P_unr
         | s -> invalid_arg ("unknown pass: " ^ s)
       in
-      (Protcc.instrument ~pass_override:pass program).Protcc.program
+      audited (Protcc.instrument ~pass_override:pass program)
 
 (* Render one benchmark's report into a string, so parallel runs can
    print completed reports in benchmark order.  Also returns the run's
@@ -296,10 +312,13 @@ let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
           ~pm ~fl )
 
 let run list benches defense pass core core_width spec_model invariants
-    invariant_every paranoid_sched jobs shards worker inject heartbeat wall
-    metrics_out trace_out flamegraph_out log_json listen connect token
-    metrics_listen =
+    invariant_every paranoid_sched check_certs jobs shards worker inject
+    heartbeat wall metrics_out trace_out flamegraph_out log_json listen
+    connect token metrics_listen =
   if log_json then Tlog.set_json true;
+  (* Stays in the worker argv (not a supervisor flag): shard workers
+     audit the certificates of the cells they compile. *)
+  if check_certs then Report.enable_cert_audit ();
   if paranoid_sched then begin
     Pipeline.set_paranoid_sched true;
     (* Spawned --shards workers re-read the environment at startup. *)
@@ -363,6 +382,8 @@ let run list benches defense pass core core_width spec_model invariants
             ]
       | exception Pipeline.Sim_fault f ->
           Json.Obj [ ("fault", Json.Str (Pipeline.fault_to_string f)) ]
+      | exception (Certify.Cert_violation _ as e) ->
+          Json.Obj [ ("fault", Json.Str (Printexc.to_string e)) ]
     in
     let report_fault bench reason =
       Printf.eprintf "[fault] bench=%s defense=%s core=%s: %s\n%!" bench
@@ -411,16 +432,9 @@ let run list benches defense pass core core_width spec_model invariants
           listen
       in
       let http =
-        Option.map
-          (fun addr ->
-            let h =
-              Protean_telemetry.Http_listener.create ~addr
-                (Report.live_metrics session)
-            in
-            Tlog.info ~src:"sim" "serving /metrics on port %d"
-              (Protean_telemetry.Http_listener.port h);
-            h)
-          metrics_listen
+        Option.bind metrics_listen (fun addr ->
+            Report.listen_metrics ~src:"sim" addr
+              (Report.live_metrics session))
       in
       let outcomes =
         Fun.protect
@@ -475,7 +489,10 @@ let run list benches defense pass core core_width spec_model invariants
                        invariant_every bench)
                with
                | report, res -> Ok (bench, report, res)
-               | exception Pipeline.Sim_fault f -> Error (bench, f))
+               | exception Pipeline.Sim_fault f ->
+                   Error (bench, Pipeline.fault_to_string f)
+               | exception (Certify.Cert_violation _ as e) ->
+                   Error (bench, Printexc.to_string e))
              benches)
       in
       let reports = Parallel.map ~jobs tasks in
@@ -485,10 +502,10 @@ let run list benches defense pass core core_width spec_model invariants
           | Ok (bench, report, res) ->
               print_string report;
               record bench res
-          | Error (bench, f) ->
+          | Error (bench, reason) ->
               (* Report the faulting configuration instead of dying with a
                  raw backtrace, and exit non-zero so scripts notice. *)
-              report_fault bench (Pipeline.fault_to_string f);
+              report_fault bench reason;
               faulted := true)
         reports;
       finish (if !faulted then 3 else 0)
@@ -502,7 +519,8 @@ let cmd =
     Term.(
       const run $ list_arg $ bench_arg $ defense_arg $ pass_arg $ core_arg
       $ core_width_arg $ spec_model_arg $ invariants_arg $ invariant_every_arg
-      $ paranoid_sched_arg $ jobs_arg $ shards_arg $ worker_arg $ inject_arg
+      $ paranoid_sched_arg $ check_certs_arg $ jobs_arg $ shards_arg
+      $ worker_arg $ inject_arg
       $ heartbeat_arg $ wall_arg $ metrics_out_arg $ trace_out_arg
       $ flamegraph_out_arg $ log_json_arg $ listen_arg $ connect_arg
       $ token_arg $ metrics_listen_arg)

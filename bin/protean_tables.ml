@@ -47,6 +47,14 @@ let fuzz_programs_arg =
   Arg.(value & opt int 10 & info [ "fuzz-programs" ] ~docv:"N"
          ~doc:"Programs per Table II campaign.")
 
+let check_certs_arg =
+  Arg.(value & flag & info [ "check-certs" ]
+         ~doc:"Audit the protection certificates of every ProtCC compile \
+               in the grid with the independent checker before the binary \
+               runs; a refuted certificate becomes a structured cell \
+               fault. Stays in the worker argv, so shard workers audit \
+               the cells they compile.")
+
 let jobs_arg =
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
          ~doc:"Simulation domains; 0 = all cores. Output is byte-identical \
@@ -144,10 +152,11 @@ let supervisor_flags =
   [ "--shards"; "--inject-faults"; "--shard-heartbeat"; "--shard-wall";
     "--checkpoint-dir"; "--listen"; "--metrics-listen"; "--campaign-token" ]
 
-let run what benches core_widths fuzz_programs jobs shards worker inject
-    heartbeat wall checkpoint_dir metrics_out trace_out flamegraph_out
+let run what benches core_widths fuzz_programs check_certs jobs shards worker
+    inject heartbeat wall checkpoint_dir metrics_out trace_out flamegraph_out
     log_json listen connect token metrics_listen =
   if log_json then Protean_telemetry.Log.set_json true;
+  if check_certs then Report.enable_cert_audit ();
   let jobs = if jobs = 0 then Parallel.default_jobs () else max 1 jobs in
   let shards = max 1 shards in
   let benches = match benches with [] -> None | bs -> Some bs in
@@ -215,16 +224,9 @@ let run what benches core_widths fuzz_programs jobs shards worker inject
         listen
     in
     let http =
-      Option.map
-        (fun addr ->
-          let h =
-            Protean_telemetry.Http_listener.create ~addr
-              (Report.live_metrics session)
-          in
-          E.log_line "[metrics] serving /metrics on port %d"
-            (Protean_telemetry.Http_listener.port h);
-          h)
-        metrics_listen
+      Option.bind metrics_listen (fun addr ->
+          Report.listen_metrics ~src:"tables" addr
+            (Report.live_metrics session))
     in
     Fun.protect
       ~finally:(fun () ->
@@ -286,7 +288,7 @@ let cmd =
     (Cmd.info "protean-tables" ~doc)
     Term.(
       const run $ what_arg $ bench_arg $ core_width_arg $ fuzz_programs_arg
-      $ jobs_arg
+      $ check_certs_arg $ jobs_arg
       $ shards_arg $ worker_arg $ inject_arg $ heartbeat_arg $ wall_arg
       $ checkpoint_dir_arg $ metrics_out_arg $ trace_out_arg
       $ flamegraph_out_arg $ log_json_arg $ listen_arg $ connect_arg

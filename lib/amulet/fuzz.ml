@@ -50,6 +50,14 @@ type campaign = {
   timeout_cycles : int option;
       (* per-simulation watchdog budget: a run exceeding it raises
          [Pipeline.Sim_fault], which [run_resilient] turns into a skip *)
+  check_certs : bool;
+      (* audit each instrumented program's protection certificates
+         against the SEQ executor (translation validation of ProtCC) on
+         the same input pairs the campaign tests *)
+  cert_fault : Protean_defense.Fault_inject.cert_mode option;
+      (* pass-mutation injection: compile results are mutated as by a
+         broken pass, so a campaign with [check_certs] must report
+         certificate violations (checker self-test) *)
 }
 
 let default_campaign =
@@ -65,6 +73,8 @@ let default_campaign =
     squash_bug = false;
     spec_model = Policy.Atcommit;
     timeout_cycles = None;
+    check_certs = false;
+    cert_fault = None;
   }
 
 type outcome = {
@@ -73,17 +83,35 @@ type outcome = {
   mutable violations : int;
   mutable false_positives : int;
   mutable example : (int * int) option; (* (program seed, input index) *)
+  mutable certs_checked : int; (* certificates audited (check_certs) *)
+  mutable cert_claims : int; (* individual (pc, register) claims *)
+  mutable cert_violations : int;
+  mutable cert_example : string option; (* first rendered Cert_violation *)
 }
 
 let fresh_outcome () =
-  { tests = 0; skipped = 0; violations = 0; false_positives = 0; example = None }
+  {
+    tests = 0;
+    skipped = 0;
+    violations = 0;
+    false_positives = 0;
+    example = None;
+    certs_checked = 0;
+    cert_claims = 0;
+    cert_violations = 0;
+    cert_example = None;
+  }
 
 let merge_outcome ~into:(a : outcome) (b : outcome) =
   a.tests <- a.tests + b.tests;
   a.skipped <- a.skipped + b.skipped;
   a.violations <- a.violations + b.violations;
   a.false_positives <- a.false_positives + b.false_positives;
-  if a.example = None then a.example <- b.example
+  if a.example = None then a.example <- b.example;
+  a.certs_checked <- a.certs_checked + b.certs_checked;
+  a.cert_claims <- a.cert_claims + b.cert_claims;
+  a.cert_violations <- a.cert_violations + b.cert_violations;
+  if a.cert_example = None then a.cert_example <- b.cert_example
 
 (* Committed-PC projection of a hardware trace: equal streams mean any
    adversary-view divergence is transient leakage (true positive). *)
@@ -151,13 +179,21 @@ let test_pair campaign defense program mode ~public ~secret_a ~secret_b out
   end
 
 (* Instrument a generated program per the campaign, returning the program
-   to run and the CTS typing table for the observer. *)
+   to run, the CTS typing table for the observer, and the full compile
+   result (with certificates) for the checker.  An armed [cert_fault]
+   mutates the result exactly as a broken pass would, so the campaign's
+   hardware runs see the faulty binary too. *)
 let prepare campaign program =
   match campaign.instrumentation with
-  | I_none -> (program, Hashtbl.create 0)
+  | I_none -> (program, Hashtbl.create 0, None)
   | I_pass pass ->
       let r = Protean_protcc.Protcc.instrument ~pass_override:pass program in
-      (r.Protean_protcc.Protcc.program, r.Protean_protcc.Protcc.typing)
+      let r =
+        match campaign.cert_fault with
+        | Some mode -> Fault_inject.mutate mode r
+        | None -> r
+      in
+      (r.Protean_protcc.Protcc.program, r.Protean_protcc.Protcc.typing, Some r)
 
 let program_seed campaign index = campaign.seed + (index * 7919)
 
@@ -182,16 +218,48 @@ type witness = {
 (* Run every input pair of program [index] into a fresh outcome; the
    caller merges it on success, so a mid-program fault never leaves
    half-counted pairs behind.  [witness] captures the first violation. *)
-let test_program ?witness campaign defense ~index ~program =
+let test_program ?witness ?cert_witness campaign defense ~index ~program =
   let out = fresh_outcome () in
   let pseed = program_seed campaign index in
-  let program, typing = prepare campaign program in
+  let original = program in
+  let program, typing, compile = prepare campaign program in
   let mode = campaign.mode_of typing in
   let rng = Random.State.make [| pseed; 0xfeed |] in
   let public = Gen.random_public rng in
   let base_secret = Gen.random_secret rng in
-  for k = 1 to campaign.inputs_per_program do
-    let other = Gen.random_secret rng in
+  (* Same RNG draw order as the plain loop below consumed, so enabling
+     the certificate audit does not perturb the campaign's inputs. *)
+  let others =
+    List.init campaign.inputs_per_program (fun _ -> Gen.random_secret rng)
+  in
+  (match (campaign.check_certs, compile) with
+  | true, Some res ->
+      (* Translation validation: audit the pass's certificates on the
+         very input pairs this campaign tests. *)
+      let inputs =
+        List.map
+          (fun other -> ([ public; base_secret ], [ public; other ]))
+          others
+      in
+      let stats =
+        Protean_protcc.Certify.audit ~inputs ~original res
+      in
+      out.certs_checked <- stats.Protean_protcc.Certify.checked;
+      out.cert_claims <- stats.Protean_protcc.Certify.claims;
+      out.cert_violations <-
+        List.length stats.Protean_protcc.Certify.violations;
+      (match stats.Protean_protcc.Certify.violations with
+      | v :: _ ->
+          out.cert_example <-
+            Some (Protean_protcc.Certify.violation_to_string v);
+          (match cert_witness with
+          | Some r when !r = None -> r := Some v
+          | _ -> ())
+      | [] -> ())
+  | _ -> ());
+  List.iteri
+    (fun k0 other ->
+    let k = k0 + 1 in
     let status =
       test_pair campaign defense program mode ~public ~secret_a:base_secret
         ~secret_b:other out ~tag:(pseed, k)
@@ -208,8 +276,8 @@ let test_program ?witness campaign defense ~index ~program =
               w_secret_b = other;
               w_tag = (pseed, k);
             }
-    | _ -> ()
-  done;
+    | _ -> ())
+    others;
   out
 
 let run campaign (defense : Protean_defense.Defense.t) =
@@ -441,6 +509,8 @@ type report = {
 
 let describe_exn = function
   | Pipeline.Sim_fault f -> Pipeline.fault_to_string f
+  | Protean_protcc.Certify.Cert_violation v ->
+      Protean_protcc.Certify.violation_to_string v
   | e -> Printexc.to_string e
 
 (* Run a campaign with a per-program exception barrier: a program whose

@@ -46,6 +46,15 @@ type campaign = {
       (** per-simulation watchdog budget: a hardware run exceeding it
           raises {!Pipeline.Sim_fault}, which {!run_resilient} turns into
           a reported per-program skip *)
+  check_certs : bool;
+      (** audit each instrumented program's protection certificates
+          against the SEQ executor on the campaign's own input pairs —
+          every campaign doubles as a translation-validation soundness
+          audit of ProtCC *)
+  cert_fault : Protean_defense.Fault_inject.cert_mode option;
+      (** pass-mutation injection: compile results (binary and/or
+          certificates) are mutated as by a broken pass; a campaign with
+          [check_certs] must then report certificate violations *)
 }
 
 val default_campaign : campaign
@@ -57,6 +66,11 @@ type outcome = {
   mutable false_positives : int;
   mutable example : (int * int) option;
       (** (program seed, input index) of the first violation *)
+  mutable certs_checked : int;  (** certificates audited ([check_certs]) *)
+  mutable cert_claims : int;  (** individual (pc, register) claims *)
+  mutable cert_violations : int;
+  mutable cert_example : string option;
+      (** first certificate violation, rendered *)
 }
 
 val program_seed : campaign -> int -> int
@@ -87,6 +101,7 @@ type witness
 
 val test_program :
   ?witness:witness option ref ->
+  ?cert_witness:Protean_protcc.Certify.violation option ref ->
   campaign ->
   Protean_defense.Defense.t ->
   index:int ->
@@ -95,7 +110,9 @@ val test_program :
 (** Run every input pair of program [index] into a fresh outcome; the
     caller merges it on success, so a mid-program fault never leaves
     half-counted pairs behind.  [witness] captures the first violation
-    for {!shrink_witness}. *)
+    for {!shrink_witness}; [cert_witness] the first certificate
+    violation, for drivers that escalate it to a structured
+    {!Protean_protcc.Certify.Cert_violation} cell fault. *)
 
 val describe_exn : exn -> string
 (** [Sim_fault] dumps rendered via {!Pipeline.fault_to_string}; other

@@ -204,6 +204,30 @@ let step (p : Program.t) state =
     eff
   end
 
+(* Step two states over the same program in lockstep, for relational
+   (two-trace) analyses such as certificate refutation: the pair
+   advances while the pcs agree and neither machine has halted.
+   [before pc] runs ahead of each paired step, [after pc] behind it;
+   either may stop the replay. *)
+let lockstep ?(fuel = 50_000) p s1 s2 ~before ~after =
+  let steps = ref 0 in
+  let continue = ref true in
+  while
+    !continue && (not s1.halted) && (not s2.halted) && s1.pc = s2.pc
+    && !steps < fuel
+  do
+    incr steps;
+    let pc = s1.pc in
+    match before pc with
+    | `Stop -> continue := false
+    | `Continue -> (
+        ignore (step p s1);
+        ignore (step p s2);
+        match after pc with
+        | `Stop -> continue := false
+        | `Continue -> ())
+  done
+
 (* Run until halt or [fuel] instructions, applying [f] to each effect. *)
 let run ?(fuel = 1_000_000) p state ~f =
   let rec loop n =

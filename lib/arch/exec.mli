@@ -43,5 +43,19 @@ val step : Program.t -> state -> effect_
 (** Execute the instruction at [state.pc]; running off the end of the
     code halts. *)
 
+val lockstep :
+  ?fuel:int ->
+  Program.t ->
+  state ->
+  state ->
+  before:(int -> [ `Continue | `Stop ]) ->
+  after:(int -> [ `Continue | `Stop ]) ->
+  unit
+(** Step two states over the same program in lockstep, for relational
+    (two-trace) analyses such as certificate refutation.  The pair
+    advances while the pcs agree and neither machine has halted;
+    [before pc] runs ahead of each paired step and [after pc] behind
+    it, and either callback may stop the replay. *)
+
 val run : ?fuel:int -> Program.t -> state -> f:(effect_ -> unit) -> unit
 val run_to_halt : ?fuel:int -> Program.t -> state -> unit

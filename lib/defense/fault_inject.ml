@@ -108,6 +108,116 @@ let inject mode (d : Defense.t) : Defense.t =
     make = (fun () -> wrap mode (d.Defense.make ()));
   }
 
+(* --- ProtCC pass-mutation fault injection ---------------------------- *)
+
+(* The certificate checker (Protean_protcc.Certify) is self-tested the
+   same way the contract-violation detectors are: these modes mutate a
+   *compiler pass result* — the instrumented binary and/or its
+   protection certificates — the way a broken dataflow analysis would,
+   and the checker must refute each one as a structured Cert_violation.
+   A checker that stays green under an injected pass bug has an audit
+   gap.
+
+   - [CF_drop_prot]: the first installed PROT prefix of every certified
+     function is dropped, and the certificate's bookkeeping is updated
+     to match (models a pass whose emission step loses a protection it
+     proved necessary; the static audit must find the uncovered
+     output);
+   - [CF_widen_safe]: every forward claim is widened to the full
+     register set while the binary is untouched (models an analysis
+     whose transfer function is unsound-optimistic; only the dynamic
+     executor-backed replay can refute value-equality claims);
+   - [CF_stale_fact]: each certificate point keeps its installed
+     instrumentation but takes the dataflow facts of its successor
+     point (models an off-by-one between analysis and emission — stale
+     facts justifying the wrong instruction). *)
+
+module Pcc = Protean_protcc
+
+type cert_mode = CF_drop_prot | CF_widen_safe | CF_stale_fact
+
+let cert_modes = [ CF_drop_prot; CF_widen_safe; CF_stale_fact ]
+
+let cert_mode_name = function
+  | CF_drop_prot -> "cert-drop-prot"
+  | CF_widen_safe -> "cert-widen-safe"
+  | CF_stale_fact -> "cert-stale-fact"
+
+let cert_mode_of_string s =
+  match
+    List.find_opt (fun m -> String.equal (cert_mode_name m) s) cert_modes
+  with
+  | Some m -> m
+  | None -> invalid_arg ("Fault_inject.cert_mode_of_string: " ^ s)
+
+let cert_mode_description = function
+  | CF_drop_prot -> "installed PROT prefix dropped, certificate updated"
+  | CF_widen_safe -> "forward claims widened to every register"
+  | CF_stale_fact -> "certificate points justify their successor's facts"
+
+let mutate_cert mode (res : Pcc.Protcc.result) (code : Protean_isa.Insn.t array)
+    (c : Pcc.Certificate.t) =
+  let open Pcc in
+  if Certificate.claims_nothing c then c
+  else
+    let n = Array.length c.Certificate.points in
+    match mode with
+    | CF_drop_prot -> (
+        let first_prot = ref None in
+        Array.iteri
+          (fun i (p : Certificate.point) ->
+            if !first_prot = None && p.Certificate.prot then
+              first_prot := Some i)
+          c.Certificate.points;
+        match !first_prot with
+        | None -> c
+        | Some i ->
+            let np = res.Protcc.old_to_new.(c.Certificate.lo + i + 1) - 1 in
+            code.(np) <-
+              { (code.(np)) with Protean_isa.Insn.prot = false };
+            let points = Array.copy c.Certificate.points in
+            points.(i) <- { (points.(i)) with Certificate.prot = false };
+            { c with Certificate.points })
+    | CF_widen_safe ->
+        let points =
+          Array.map
+            (fun (p : Certificate.point) ->
+              {
+                p with
+                Certificate.fwd_before = Regset.full;
+                fwd_after = Regset.full;
+              })
+            c.Certificate.points
+        in
+        { c with Certificate.points }
+    | CF_stale_fact ->
+        if n < 2 then c
+        else
+          let points =
+            Array.init n (fun i ->
+                let own = c.Certificate.points.(i) in
+                let next = c.Certificate.points.((i + 1) mod n) in
+                {
+                  next with
+                  Certificate.prot = own.Certificate.prot;
+                  unprotect_before = own.Certificate.unprotect_before;
+                })
+          in
+          { c with Certificate.points }
+
+(* Apply a pass mutation to a compile result: the returned result is
+   what a buggy pass would have produced.  [CF_drop_prot] changes the
+   binary itself; the other modes corrupt only the certificates. *)
+let mutate mode (res : Pcc.Protcc.result) : Pcc.Protcc.result =
+  let code = Array.copy res.Pcc.Protcc.program.Protean_isa.Program.code in
+  let certs = List.map (mutate_cert mode res code) res.Pcc.Protcc.certs in
+  {
+    res with
+    Pcc.Protcc.program =
+      Protean_isa.Program.with_code res.Pcc.Protcc.program code;
+    certs;
+  }
+
 (* --- worker-level fault injection ------------------------------------ *)
 
 (* The supervised-execution layer (Protean_harness.Supervisor) is

@@ -117,14 +117,20 @@ let pass_id = function
 (* [ckey] identifies the source program (benchmark + core index). *)
 let instrument_program ~ckey spec program =
   let compile () =
+    (* --check-certs: every compile result is audited by the independent
+       checker before the binary runs; a refuted certificate raises the
+       structured [Certify.Cert_violation], which the cell fault paths
+       report without taking down the rest of the grid.  Cache hits skip
+       the re-audit (the verdict is deterministic per compile). *)
+    let audited (r : Protcc.result) =
+      if !Protean_protcc.Certify.enabled then
+        ignore (Protean_protcc.Certify.audit_exn ~original:program r);
+      (r.Protcc.program, r.Protcc.code_size_ratio, r.Protcc.inserted_moves)
+    in
     match (spec.dcfg.pass, spec.multiclass) with
     | None, false -> (program, 1.0, 0)
-    | None, true ->
-        let r = Protcc.instrument program in
-        (r.Protcc.program, r.Protcc.code_size_ratio, r.Protcc.inserted_moves)
-    | Some pass, _ ->
-        let r = Protcc.instrument ~pass_override:pass program in
-        (r.Protcc.program, r.Protcc.code_size_ratio, r.Protcc.inserted_moves)
+    | None, true -> audited (Protcc.instrument program)
+    | Some pass, _ -> audited (Protcc.instrument ~pass_override:pass program)
   in
   match (spec.dcfg.pass, spec.multiclass) with
   | None, false -> compile ()

@@ -56,6 +56,26 @@ let enable ?(worker = false) c =
         Some (fun key t0 t1 -> Trace.span tr ~cat:"cell" ~t0 ~t1 key)
   end
 
+(* --check-certs: flip the independent checker's switch and feed its
+   per-certificate observations into protean_cert_* counters.  These
+   live in the *runtime* registry, not the deterministic session one:
+   the ProtCC compile cache is per-process, so audit counts vary with
+   the -j/--shards process topology even though the verdicts do not. *)
+let enable_cert_audit () =
+  Protean_protcc.Certify.enabled := true;
+  Protean_protcc.Certify.on_audit :=
+    fun ~style ~claims ~violations ->
+      let c name help =
+        Metrics.counter runtime ~help
+          ~labels:[ ("pass", style) ]
+          ("protean_cert_" ^ name)
+      in
+      Metrics.inc (c "checked_total" "protection certificates audited");
+      Metrics.inc ~n:claims
+        (c "claims_total" "individual certificate claims audited");
+      Metrics.inc ~n:violations
+        (c "violations_total" "certificate claims refuted by the checker")
+
 (* ------------------------------------------------------------------ *)
 (* Deterministic metrics from the session cache                        *)
 (* ------------------------------------------------------------------ *)
@@ -324,6 +344,30 @@ let final_snapshot session =
    so mid-campaign scrapes see the runtime families (supervisor
    lifecycle counters) the observer is filling in real time. *)
 let live_metrics session () = Metrics.to_prometheus (final_snapshot session)
+
+(* Bind the live /metrics HTTP listener for [--metrics-listen],
+   degrading gracefully when the address is unavailable (port already
+   bound, unresolvable interface): a structured warning and [None], so
+   the run continues without live metrics instead of aborting — losing
+   a scrape endpoint is never worth losing the campaign. *)
+let listen_metrics ~src addr body =
+  match Protean_telemetry.Http_listener.create ~addr body with
+  | h ->
+      Protean_telemetry.Log.info ~src "serving /metrics on port %d"
+        (Protean_telemetry.Http_listener.port h);
+      Some h
+  | exception Unix.Unix_error (err, fn, _) ->
+      Protean_telemetry.Log.warn ~src
+        "--metrics-listen %s unavailable (%s in %s); continuing without \
+         live metrics"
+        addr (Unix.error_message err) fn;
+      None
+  | exception Failure reason ->
+      Protean_telemetry.Log.warn ~src
+        "--metrics-listen %s unavailable (%s); continuing without live \
+         metrics"
+        addr reason;
+      None
 
 (* Write whatever [c] asked for.  [.json] metric paths get the JSON
    exporter, anything else Prometheus text. *)

@@ -846,16 +846,23 @@ let worker_main ?jobs ~compute () =
 
 (* Entry point for a CLI's [--connect HOST:PORT] mode: dial a
    [--listen]ing supervisor, authenticate with the campaign token,
-   serve batches, and redial (with linear backoff, up to [reconnect]
-   extra attempts) if the connection drops before the supervisor says
-   [F_exit].  The reconnect path is what turns a network blip — or an
-   injected transport fault on our own side — into a re-dispatched
-   lease instead of a lost campaign.
+   serve batches, and redial (up to [reconnect] extra attempts) if the
+   connection drops before the supervisor says [F_exit].  The reconnect
+   path is what turns a network blip — or an injected transport fault
+   on our own side — into a re-dispatched lease instead of a lost
+   campaign.
+
+   Redials pace themselves with exponential backoff and decorrelated
+   jitter: each sleep is drawn uniformly from [backoff, 3 * previous],
+   capped at [backoff_cap].  A fleet of workers redialing a restarted
+   supervisor therefore spreads out instead of thundering in lockstep
+   at fixed multiples of [backoff] — and no worker ever waits more than
+   the cap, however many attempts it has made.
 
    Raises [Failure] if the supervisor rejects the handshake (wrong
    token or protocol version: redialing would be rejected again). *)
-let connect_worker ?jobs ?(reconnect = 5) ?(backoff = 0.2) ~addr ~token
-    ~compute () =
+let connect_worker ?jobs ?(reconnect = 5) ?(backoff = 0.2)
+    ?(backoff_cap = 5.0) ~addr ~token ~compute () =
   ignore_sigpipe ();
   let session () =
     let sock = dial addr in
@@ -887,20 +894,28 @@ let connect_worker ?jobs ?(reconnect = 5) ?(backoff = 0.2) ~addr ~token
     | exception (Unix.Unix_error _ | Protocol _ | Json.Parse _) ->
         finish `Eof
   in
-  let rec attempt n =
+  (* Jitter only perturbs wall-clock pacing, never campaign output, so
+     the state seeds itself (pid + clock) rather than touching the
+     global [Random] sequence deterministic runs rely on. *)
+  let rng =
+    Random.State.make
+      [| Unix.getpid (); int_of_float (Unix.gettimeofday () *. 1e6) |]
+  in
+  let pause prev =
+    let hi = Float.min backoff_cap (prev *. 3.) in
+    let s =
+      if hi <= backoff then backoff
+      else backoff +. Random.State.float rng (hi -. backoff)
+    in
+    Unix.sleepf s;
+    s
+  in
+  let rec attempt n prev =
     match session () with
     | `Exit -> ()
-    | `Eof ->
-        if n < reconnect then begin
-          Unix.sleepf (backoff *. float_of_int (n + 1));
-          attempt (n + 1)
-        end
+    | `Eof -> if n < reconnect then attempt (n + 1) (pause prev)
     | exception (Unix.Unix_error _ as e) ->
         (* Dial failure: the supervisor may not be listening yet. *)
-        if n < reconnect then begin
-          Unix.sleepf (backoff *. float_of_int (n + 1));
-          attempt (n + 1)
-        end
-        else raise e
+        if n < reconnect then attempt (n + 1) (pause prev) else raise e
   in
-  attempt 0
+  attempt 0 backoff

@@ -1,0 +1,77 @@
+(* Protection certificates: a machine-checkable record of what a ProtCC
+   pass claims at each program point and why (the dataflow facts that
+   justify each PROT omission).
+
+   Certificates are emitted against the *original* (pre-layout) pc range
+   of a function and are independent of the relaid-out binary; the
+   checker in [Certify] uses [Protcc.result.old_to_new] to locate the
+   instrumented instructions.
+
+   Claims are split into two classes with different checking semantics:
+
+   - forward claims ([fwd_before]/[fwd_after]) assert that the register's
+     value is a deterministic function of data the pass considers already
+     public — constants, the stack pointer, past fully-transmitted
+     operands.  These are *relationally refutable*: in two sequential
+     executions that differ only in secret memory and agree on everything
+     transmitted so far, a forward-claimed register must hold equal
+     values.  ProtCC-CT's past-leaked facts and ProtCC-UNR's safe set are
+     forward claims.
+
+   - backward claims ([bwd_before]/[bwd_after]) assert that the register
+     is *doomed* to be transmitted (CT's bound-to-leak) or is required
+     public by secrecy typing (all of CTS — the publicly-derivable
+     analysis is seeded from the typing assumption at entry, so every CTS
+     fact is conditional on the program conforming to its type).  These
+     justify PROT omissions but are not value-equality statements, so the
+     executor can only audit them structurally. *)
+
+type style = S_arch | S_cts | S_ct | S_unr | S_rand
+
+let style_name = function
+  | S_arch -> "arch"
+  | S_cts -> "cts"
+  | S_ct -> "ct"
+  | S_unr -> "unr"
+  | S_rand -> "rand"
+
+(* Facts at one original pc.  [prot] and [unprotect_before] mirror the
+   pass's emitted instrumentation so the checker audits the certificate
+   against what was actually installed, not against a re-run of the
+   (possibly buggy) analysis. *)
+type point = {
+  fwd_before : Regset.t;
+  fwd_after : Regset.t;
+  bwd_before : Regset.t;
+  bwd_after : Regset.t;
+  prot : bool;
+  unprotect_before : Regset.t;
+}
+
+type t = {
+  style : style;
+  fname : string;
+  lo : int;  (* original pc range [lo, hi) *)
+  hi : int;
+  entry_public : Regset.t;
+  points : point array;
+      (* indexed by pc - lo; empty for vacuous/uncertified styles *)
+}
+
+(* ARCH makes no protection claims (unmodified binaries program the ARCH
+   ProtSet, whose contract permits everything architecturally
+   observable); RAND is a testing-only pass that certifies nothing. *)
+let claims_nothing c =
+  match c.style with S_arch | S_rand -> true | S_cts | S_ct | S_unr -> false
+
+let vacuous ~style ~fname ~lo ~hi ~entry_public =
+  { style; fname; lo; hi; entry_public; points = [||] }
+
+(* Number of individual (pc, register) protection claims: the registers
+   the pass asserts safe after each point. *)
+let claim_count c =
+  Array.fold_left
+    (fun acc p ->
+      acc
+      + List.length (Regset.to_list (Regset.union p.fwd_after p.bwd_after)))
+    0 c.points

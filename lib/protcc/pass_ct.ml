@@ -75,6 +75,28 @@ let analyze ~entry_public code cfg =
   let btl_before, btl_after = bound_to_leak code cfg in
   { pl_before; pl_after; btl_before; btl_after }
 
+(* Protection certificate (translation validation): past-leaked facts
+   are forward (relationally refutable) claims, bound-to-leak facts are
+   backward claims.  The [prot]/[unprotect_before] recorded are the ones
+   actually emitted, so the checker audits the installed instrumentation
+   rather than a re-run of this analysis. *)
+let certificate ~entry_public ~fname (code : Insn.t array) ~lo ~hi
+    (instr : Instr.t) =
+  let cfg = Cfg.build code ~lo ~hi in
+  let f = analyze ~entry_public code cfg in
+  let points =
+    Array.init (hi - lo) (fun i ->
+        {
+          Certificate.fwd_before = f.pl_before.(i);
+          fwd_after = f.pl_after.(i);
+          bwd_before = f.btl_before.(i);
+          bwd_after = f.btl_after.(i);
+          prot = instr.Instr.prot.(i);
+          unprotect_before = instr.Instr.unprotect_before.(i);
+        })
+  in
+  { Certificate.style = Certificate.S_ct; fname; lo; hi; entry_public; points }
+
 let run ?(entry_public = Regset.empty) (code : Insn.t array) ~lo ~hi =
   let cfg = Cfg.build code ~lo ~hi in
   let f = analyze ~entry_public code cfg in

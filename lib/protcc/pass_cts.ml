@@ -73,6 +73,39 @@ let public_derivable ~entry_public (code : Insn.t array) cfg
   Dataflow.solve cfg ~dir:Dataflow.Forward ~top:Regset.full ~boundary
     ~meet:Regset.inter ~transfer
 
+(* Protection certificate: every CTS fact — required-public and
+   derivable-public alike — is a *backward* claim.  The derivable
+   analysis seeds its entry boundary from [pubreq_before.(0)] (the
+   typing assumption about function arguments), so even its forward-
+   looking facts are conditional on the program conforming to its
+   inferred secrecy type and cannot be checked as value equalities. *)
+let certificate ~entry_public ~fname (code : Insn.t array) ~lo ~hi
+    (instr : Instr.t) =
+  let cfg = Cfg.build code ~lo ~hi in
+  let before, after = public_required code cfg in
+  let deriv_before, deriv_after =
+    public_derivable ~entry_public code cfg (before, after)
+  in
+  let points =
+    Array.init (hi - lo) (fun i ->
+        {
+          Certificate.fwd_before = Regset.empty;
+          fwd_after = Regset.empty;
+          bwd_before = Regset.union before.(i) deriv_before.(i);
+          bwd_after = Regset.union after.(i) deriv_after.(i);
+          prot = instr.Instr.prot.(i);
+          unprotect_before = instr.Instr.unprotect_before.(i);
+        })
+  in
+  {
+    Certificate.style = Certificate.S_cts;
+    fname;
+    lo;
+    hi;
+    entry_public;
+    points;
+  }
+
 let run ?(entry_public = Regset.empty) (code : Insn.t array) ~lo ~hi =
   let cfg = Cfg.build code ~lo ~hi in
   let before, after = public_required code cfg in

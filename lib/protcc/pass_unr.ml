@@ -30,6 +30,33 @@ let safe_registers ~entry_public (code : Insn.t array) cfg =
   Dataflow.solve cfg ~dir:Dataflow.Forward ~top:Regset.full
     ~boundary:(Regset.add Reg.rsp entry_public) ~meet:Regset.inter ~transfer
 
+(* Protection certificate: the safe set consists of registers derived
+   solely from constants and the stack pointer, so every fact is an
+   unconditional forward (value-equality) claim. *)
+let certificate ~entry_public ~fname (code : Insn.t array) ~lo ~hi
+    (instr : Instr.t) =
+  let cfg = Cfg.build code ~lo ~hi in
+  let before, after = safe_registers ~entry_public code cfg in
+  let points =
+    Array.init (hi - lo) (fun i ->
+        {
+          Certificate.fwd_before = before.(i);
+          fwd_after = after.(i);
+          bwd_before = Regset.empty;
+          bwd_after = Regset.empty;
+          prot = instr.Instr.prot.(i);
+          unprotect_before = instr.Instr.unprotect_before.(i);
+        })
+  in
+  {
+    Certificate.style = Certificate.S_unr;
+    fname;
+    lo;
+    hi;
+    entry_public;
+    points;
+  }
+
 let run ?(entry_public = Regset.empty) (code : Insn.t array) ~lo ~hi =
   let cfg = Cfg.build code ~lo ~hi in
   let _, after = safe_registers ~entry_public code cfg in

@@ -36,6 +36,7 @@ type result = {
   old_to_new : int array; (* length old+1; start position of each old pc *)
   inserted_moves : int;
   code_size_ratio : float;
+  certs : Certificate.t list; (* one per function, in [funcs] order *)
 }
 
 let run_pass pass ~entry_public code ~lo ~hi =
@@ -56,7 +57,9 @@ let instrument ?(classes = []) ?(annotations = []) ?pass_override
   let new_prot = Array.map (fun i -> i.Insn.prot) p.Program.code in
   let insert_before = Array.make len Regset.empty in
   let is_cts_pc = Array.make len false in
-  (* Run the per-function passes. *)
+  let certs = ref [] in
+  (* Run the per-function passes, each emitting a protection
+     certificate over the function's original pc range. *)
   List.iter
     (fun (f : Program.func) ->
       let klass =
@@ -72,15 +75,36 @@ let instrument ?(classes = []) ?(annotations = []) ?pass_override
         | Some regs -> Regset.of_list regs
         | None -> Regset.empty
       in
+      let fname = f.Program.fname in
       let lo = f.Program.entry and hi = f.Program.entry + f.Program.size in
-      match run_pass pass ~entry_public p.Program.code ~lo ~hi with
-      | None -> ()
-      | Some instr ->
-          for pc = lo to hi - 1 do
-            new_prot.(pc) <- instr.Instr.prot.(pc - lo);
-            insert_before.(pc) <- instr.Instr.unprotect_before.(pc - lo);
-            if pass = P_cts then is_cts_pc.(pc) <- true
-          done)
+      let cert =
+        match run_pass pass ~entry_public p.Program.code ~lo ~hi with
+        | None ->
+            Certificate.vacuous ~style:Certificate.S_arch ~fname ~lo ~hi
+              ~entry_public
+        | Some instr ->
+            for pc = lo to hi - 1 do
+              new_prot.(pc) <- instr.Instr.prot.(pc - lo);
+              insert_before.(pc) <- instr.Instr.unprotect_before.(pc - lo);
+              if pass = P_cts then is_cts_pc.(pc) <- true
+            done;
+            (match pass with
+            | P_arch -> assert false (* run_pass P_arch = None *)
+            | P_cts ->
+                Pass_cts.certificate ~entry_public ~fname p.Program.code ~lo
+                  ~hi instr
+            | P_ct ->
+                Pass_ct.certificate ~entry_public ~fname p.Program.code ~lo
+                  ~hi instr
+            | P_unr ->
+                Pass_unr.certificate ~entry_public ~fname p.Program.code ~lo
+                  ~hi instr
+            | P_rand _ ->
+                (* Testing-only pass: certifies nothing. *)
+                Certificate.vacuous ~style:Certificate.S_rand ~fname ~lo ~hi
+                  ~entry_public)
+      in
+      certs := cert :: !certs)
     p.Program.funcs;
   (* Relayout. *)
   let buf = ref [] in
@@ -147,4 +171,5 @@ let instrument ?(classes = []) ?(annotations = []) ?pass_override
     old_to_new;
     inserted_moves = !inserted;
     code_size_ratio = ratio;
+    certs = List.rev !certs;
   }

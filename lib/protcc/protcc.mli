@@ -29,6 +29,9 @@ type result = {
   old_to_new : int array;  (** start position of each old pc (length+1) *)
   inserted_moves : int;
   code_size_ratio : float;
+  certs : Certificate.t list;
+      (** per-function protection certificates, in [funcs] order — the
+          machine-checkable claims audited by {!Certify} *)
 }
 
 val instrument :

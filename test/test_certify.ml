@@ -1,0 +1,176 @@
+(* Certificate checker tests: every pass's certificates must validate on
+   real benchmarks and on large fuzzed-program populations (translation
+   validation with zero false positives), while each Fault_inject
+   pass-mutation mode must be refuted as a structured Cert_violation. *)
+
+module Protcc = Protean_protcc.Protcc
+module Certificate = Protean_protcc.Certificate
+module Certify = Protean_protcc.Certify
+module Gen = Protean_amulet.Gen
+module Fault_inject = Protean_defense.Fault_inject
+module Suite = Protean_workloads.Suite
+
+let check_clean what stats =
+  (match stats.Certify.violations with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "%s: %s" what (Certify.violation_to_string v));
+  Alcotest.(check bool) (what ^ ": audited") true (stats.Certify.checked > 0)
+
+(* Every single-program benchmark, compiled in the default multi-class
+   mode (each function under the pass for its own class), must carry
+   certificates the independent checker validates. *)
+let test_benchmarks_validate () =
+  let audited = ref 0 in
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      match b.Suite.kind with
+      | Suite.Multi _ -> ()
+      | Suite.Single f ->
+          let p = f () in
+          let res = Protcc.instrument p in
+          let stats = Certify.audit ~original:p res in
+          check_clean ("benchmark " ^ b.Suite.name) stats;
+          audited := !audited + 1)
+    Suite.all;
+  Alcotest.(check bool) "audited a real population" true (!audited >= 10)
+
+(* Fuzzer-style audit: overlay pairs sharing the public region and
+   differing in the secret region, exactly as the AMuLeT campaigns
+   drive the checker. *)
+let fuzz_inputs seed =
+  let rng = Random.State.make [| seed; 0xce47 |] in
+  List.init 3 (fun _ ->
+      let public = Gen.random_public rng in
+      let a = Gen.random_secret rng in
+      let b = Gen.random_secret rng in
+      ([ public; a ], [ public; b ]))
+
+let audit_generated pass gen seed =
+  let p = Gen.generate { Gen.default_spec with Gen.seed; klass = gen } in
+  let res = Protcc.instrument ~pass_override:pass p in
+  Certify.audit ~inputs:(fuzz_inputs seed) ~original:p res
+
+(* The acceptance bar: a 500-program fuzz population across all four
+   passes with zero violations — the passes are sound and the checker
+   raises no false refutations. *)
+let test_fuzz_population_clean () =
+  let combos =
+    [
+      ("ct", Protcc.P_ct, Gen.G_ct);
+      ("cts", Protcc.P_cts, Gen.G_ct);
+      ("unr", Protcc.P_unr, Gen.G_unr);
+      ("arch", Protcc.P_arch, Gen.G_arch);
+      ("rand", Protcc.P_rand (7, 0.5), Gen.G_arch);
+    ]
+  in
+  List.iter
+    (fun (name, pass, gen) ->
+      for seed = 1 to 100 do
+        let stats = audit_generated pass gen seed in
+        check_clean (Printf.sprintf "%s seed %d" name seed) stats
+      done)
+    combos
+
+(* ARCH and RAND certify nothing: their certificates are vacuous /
+   uncertified markers with zero claims. *)
+let test_vacuous_styles () =
+  let p = Gen.generate { Gen.default_spec with Gen.seed = 3 } in
+  List.iter
+    (fun pass ->
+      let res = Protcc.instrument ~pass_override:pass p in
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) "claims nothing" true
+            (Certificate.claims_nothing c);
+          Alcotest.(check int) "no claims" 0 (Certificate.claim_count c))
+        res.Protcc.certs)
+    [ Protcc.P_arch; Protcc.P_rand (11, 0.5) ]
+
+(* A certified pass must produce a non-trivial number of claims — the
+   certificate actually says something. *)
+let test_certified_claims_exist () =
+  let p = Gen.generate { Gen.default_spec with Gen.seed = 5; klass = Gen.G_ct } in
+  let res = Protcc.instrument ~pass_override:Protcc.P_ct p in
+  let claims =
+    List.fold_left (fun n c -> n + Certificate.claim_count c) 0 res.Protcc.certs
+  in
+  Alcotest.(check bool) "claims emitted" true (claims > 0)
+
+(* Each pass-mutation mode must be refuted somewhere in a seeded
+   population; cert-drop-prot must be refuted on *every* program that
+   has an installed PROT to drop (the static audit is deterministic). *)
+let mutation_catches mode pass gen =
+  let caught = ref 0 and mutated = ref 0 in
+  for seed = 1 to 20 do
+    let p = Gen.generate { Gen.default_spec with Gen.seed; klass = gen } in
+    let res = Protcc.instrument ~pass_override:pass p in
+    let res' = Fault_inject.mutate mode res in
+    if res' <> res then begin
+      incr mutated;
+      let stats = Certify.audit ~inputs:(fuzz_inputs seed) ~original:p res' in
+      if stats.Certify.violations <> [] then incr caught
+    end
+  done;
+  (!caught, !mutated)
+
+let test_mutation_drop_prot () =
+  let caught, mutated =
+    mutation_catches Fault_inject.CF_drop_prot Protcc.P_ct Gen.G_ct
+  in
+  Alcotest.(check bool) "population mutated" true (mutated > 0);
+  Alcotest.(check int) "every dropped PROT refuted" mutated caught
+
+let test_mutation_widen_safe () =
+  let caught, mutated =
+    mutation_catches Fault_inject.CF_widen_safe Protcc.P_ct Gen.G_ct
+  in
+  Alcotest.(check bool) "population mutated" true (mutated > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "widened claims refuted (%d/%d)" caught mutated)
+    true
+    (caught > mutated / 2)
+
+let test_mutation_stale_fact () =
+  let caught, mutated =
+    mutation_catches Fault_inject.CF_stale_fact Protcc.P_ct Gen.G_ct
+  in
+  Alcotest.(check bool) "population mutated" true (mutated > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "stale facts refuted (%d/%d)" caught mutated)
+    true
+    (caught > mutated / 2)
+
+(* audit_exn surfaces the first violation as the structured exception
+   the supervisor fault path expects (and the registered printer gives
+   it a readable form). *)
+let test_violation_exception () =
+  let p = Gen.generate { Gen.default_spec with Gen.seed = 2; klass = Gen.G_ct } in
+  let res =
+    Fault_inject.mutate Fault_inject.CF_drop_prot
+      (Protcc.instrument ~pass_override:Protcc.P_ct p)
+  in
+  match Certify.audit_exn ~inputs:(fuzz_inputs 2) ~original:p res with
+  | _ -> Alcotest.fail "mutated certificate must raise"
+  | exception Certify.Cert_violation v ->
+      let s = Printexc.to_string (Certify.Cert_violation v) in
+      Alcotest.(check bool) "printer registered" true
+        (String.length s >= 14 && String.sub s 0 14 = "cert-violation")
+
+let tests =
+  [
+    Alcotest.test_case "benchmark certificates validate" `Quick
+      test_benchmarks_validate;
+    Alcotest.test_case "500-program fuzz population clean" `Slow
+      test_fuzz_population_clean;
+    Alcotest.test_case "arch/rand are vacuous" `Quick test_vacuous_styles;
+    Alcotest.test_case "certified passes emit claims" `Quick
+      test_certified_claims_exist;
+    Alcotest.test_case "mutation: drop-prot refuted" `Quick
+      test_mutation_drop_prot;
+    Alcotest.test_case "mutation: widen-safe refuted" `Quick
+      test_mutation_widen_safe;
+    Alcotest.test_case "mutation: stale-fact refuted" `Quick
+      test_mutation_stale_fact;
+    Alcotest.test_case "violation raises structured fault" `Quick
+      test_violation_exception;
+  ]

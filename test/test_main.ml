@@ -4,6 +4,7 @@ let () =
       ("isa", Test_isa.tests);
       ("arch", Test_arch.tests);
       ("protcc", Test_protcc.tests);
+      ("certify", Test_certify.tests);
       ("ooo", Test_ooo.tests);
       ("defense", Test_defense.tests);
       ("workloads", Test_workloads.tests);

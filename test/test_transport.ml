@@ -327,6 +327,133 @@ let test_http_metrics_endpoint () =
       Alcotest.(check bool) "listener survives across scrapes" true
         (has "200 OK" again))
 
+(* --- pool-level fault injection ---------------------------------------- *)
+
+(* The in-process mode tests above pin down per-frame semantics; these
+   drive the remaining PROTEAN_NET_FAULT modes (delay, half-close)
+   through a real TCP worker pool and assert the supervisor's lease
+   re-dispatch keeps the merged output byte-identical to a serial run —
+   the same acceptance bar the drop/garbage modes already meet in the
+   supervisor suite. *)
+
+module Supervisor = Protean_harness.Supervisor
+
+let pool_compute key = Json.Obj [ ("v", Json.Str ("computed:" ^ key)) ]
+
+let pool_cells n =
+  List.init n (fun i -> { Shard.c_id = i; c_key = "k" ^ string_of_int i })
+
+let pool_expected n =
+  List.init n (fun i ->
+      ( i,
+        Supervisor.O_ok
+          (Json.Obj [ ("v", Json.Str (Printf.sprintf "computed:k%d" i)) ]) ))
+
+let pool_no_fallback _ = Alcotest.fail "fallback must not run in this scenario"
+
+let pool_sup_config () =
+  {
+    Supervisor.default_config with
+    Supervisor.shards = 1;
+    max_attempts = 2;
+    heartbeat = 30.0;
+    wall = 60.0;
+    backoff = 0.01;
+  }
+
+let pool_config () =
+  {
+    Supervisor.default_pool_config with
+    Supervisor.pl_listen = "127.0.0.1:0";
+    pl_accept_wall = 30.0;
+  }
+
+let pool_record_events bus =
+  let events = ref [] in
+  Supervisor.subscribe bus ~name:"record" (fun e -> events := e :: !events);
+  fun () -> List.rev !events
+
+(* One real dial-in worker on a domain, started as soon as the pool
+   announces its port; join returns its terminal outcome. *)
+let pool_dialer bus =
+  let domain = ref None in
+  Supervisor.subscribe bus ~name:"dialer" (function
+    | Supervisor.Listening { port; _ } ->
+        let addr = Printf.sprintf "127.0.0.1:%d" port in
+        domain :=
+          Some
+            (Domain.spawn (fun () ->
+                 match
+                   Shard.connect_worker ~reconnect:8 ~backoff:0.05 ~addr
+                     ~token:"protean" ~compute:pool_compute ()
+                 with
+                 | () -> None
+                 | exception e -> Some e))
+    | _ -> ());
+  fun () ->
+    let outcome = Option.map Domain.join !domain in
+    (* connect_worker rewired the global log sink to its (now closed)
+       connection; put stderr back for the rest of the suite. *)
+    Protean_telemetry.Log.reset_sink ();
+    outcome
+
+let with_net_fault mode f =
+  Unix.putenv Fault_inject.net_env mode;
+  Transport.fault_spent := false;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv Fault_inject.net_env "";
+      Transport.fault_spent := false)
+    f
+
+(* net-delay throttles every frame on the wire but loses none: the
+   campaign completes without any re-dispatch, byte-identical. *)
+let test_pool_delay_byte_identical () =
+  with_net_fault "net-delay:0.02" (fun () ->
+      let bus = Supervisor.create_bus () in
+      let events = pool_record_events bus in
+      let join = pool_dialer bus in
+      let out =
+        Supervisor.run_pool ~bus (pool_sup_config ()) ~pool:(pool_config ())
+          ~fallback:pool_no_fallback (pool_cells 4)
+      in
+      Alcotest.(check bool) "worker exits cleanly" true (join () = Some None);
+      Alcotest.(check bool) "identical to serial despite the delay" true
+        (out = pool_expected 4);
+      Alcotest.(check bool) "no cell was poisoned" true
+        (not
+           (List.exists
+              (function Supervisor.Poisoned _ -> true | _ -> false)
+              (events ()))))
+
+(* net-half-close silently ends the worker's sends mid-lease: the
+   supervisor sees a clean EOF, re-dispatches the lease, the worker
+   redials (its one-shot fault now spent), and the merged output is
+   still byte-identical to the serial run. *)
+let test_pool_half_close_redispatches () =
+  with_net_fault "net-half-close:2" (fun () ->
+      let bus = Supervisor.create_bus () in
+      let events = pool_record_events bus in
+      let join = pool_dialer bus in
+      let out =
+        Supervisor.run_pool ~bus (pool_sup_config ()) ~pool:(pool_config ())
+          ~fallback:pool_no_fallback (pool_cells 4)
+      in
+      Alcotest.(check bool) "worker exits cleanly after redial" true
+        (join () = Some None);
+      Alcotest.(check bool) "identical to serial despite the half-close" true
+        (out = pool_expected 4);
+      Alcotest.(check bool) "worker loss observed" true
+        (List.exists
+           (function Supervisor.Worker_disconnected _ -> true | _ -> false)
+           (events ()));
+      Alcotest.(check bool) "lease re-dispatched" true
+        (List.exists
+           (function
+             | Supervisor.Retry _ | Supervisor.Bisect _ -> true
+             | _ -> false)
+           (events ())))
+
 let tests =
   [
     Alcotest.test_case "sockaddr parsing" `Quick test_sockaddr_parsing;
@@ -353,4 +480,8 @@ let tests =
       test_sigpipe_write_to_dead_peer;
     Alcotest.test_case "/metrics http listener" `Quick
       test_http_metrics_endpoint;
+    Alcotest.test_case "pool survives net-delay byte-identically" `Quick
+      test_pool_delay_byte_identical;
+    Alcotest.test_case "pool re-dispatches after net-half-close" `Quick
+      test_pool_half_close_redispatches;
   ]
