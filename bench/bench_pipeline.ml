@@ -74,10 +74,12 @@ let bench_single program =
   (cycles, committed, wall)
 
 (* Drive a pre-built pipeline to completion: the loop the interest mask,
-   the O(active) scheduler and the allocation diet optimize. *)
+   the O(active) scheduler, event-driven skip-ahead and the allocation
+   diet optimize.  [~until] opts the stepper into skip-ahead, exactly as
+   [Pipeline.run] does. *)
 let drive t =
   while (not (Pipeline.is_done t)) && t.Protean_ooo.Pipeline_state.cycle < fuel do
-    Pipeline.step t
+    Pipeline.step ~until:fuel t
   done
 
 type hotloop = {
@@ -93,23 +95,48 @@ let bench_hotloop ?(config = Config.p_core) ?(label = "hotloop") program =
   let make () =
     Pipeline.create config (d.Defense.make ()) program ~overlays:[]
   in
-  (* Warm-up. *)
-  drive (make ());
+  (* Warm-up: enough drives to fault in code paths, size the minor heap
+     and settle branch predictors — one run lasts ~10 ms, so a handful
+     of milliseconds-cheap repetitions is what moves the best case from
+     "cold" to "steady state". *)
+  for _ = 1 to 20 do
+    drive (make ())
+  done;
   (* Loop-only wall clock and allocation rate.  Gc.quick_stat reads the
      allocation pointer without walking the heap, so the probe itself is
-     cheap and allocation-free. *)
+     cheap and allocation-free.  The wall clock is the best of a hundred
+     runs (fresh pipeline each): a ~10 ms run on a shared runner is
+     hostage to scheduler noise, so the minimum is the honest
+     steady-state figure — the same treatment
+     [bench_telemetry_detached] already applies, with more repetitions
+     because this number gates CI. *)
   let t = make () in
-  let g0 = Gc.quick_stat () in
-  let (), loop_wall = timed (fun () -> drive t) in
-  let g1 = Gc.quick_stat () in
+  (* [Gc.minor_words] reads the allocation pointer exactly; the
+     [Gc.quick_stat] counters only refresh at collection boundaries, so
+     with the tuned (large) nursery a whole run can fit between
+     collections and quick_stat deltas would under- or over-count. *)
+  let g0 = Gc.minor_words () in
+  let (), w0 = timed (fun () -> drive t) in
+  let g1 = Gc.minor_words () in
+  let loop_wall =
+    List.fold_left min w0
+      (List.init 99 (fun _ ->
+           let t = make () in
+           snd (timed (fun () -> drive t))))
+  in
   let cycles = t.Protean_ooo.Pipeline_state.cycle in
-  let minor_words = g1.Gc.minor_words -. g0.Gc.minor_words in
-  let mwpc = minor_words /. float_of_int cycles in
-  (* Profiled run: per-stage breakdown, and the cost of profiling. *)
-  let tp = make () in
+  let mwpc = (g1 -. g0) /. float_of_int cycles in
+  (* Profiled runs: per-stage breakdown, and the cost of profiling
+     (best-of-3 against the best plain wall; the profiler accumulates
+     across runs and [stage_breakdown] normalizes to shares). *)
   let p = Profile.create () in
-  Profile.attach p tp;
-  let (), prof_wall = timed (fun () -> drive tp) in
+  let prof_wall =
+    List.fold_left min infinity
+      (List.init 3 (fun _ ->
+           let tp = make () in
+           Profile.attach p tp;
+           snd (timed (fun () -> drive tp))))
+  in
   let overhead = (prof_wall -. loop_wall) /. loop_wall in
   Printf.printf
     "%s: %d cycles in %.4fs loop-only (%.0f cycles/s), %.0f minor words/cycle\n%!"
@@ -147,11 +174,16 @@ let bench_telemetry_detached program =
   let make () =
     Pipeline.create Config.p_core (d.Defense.make ()) program ~overlays:[]
   in
+  (* Best-of-10 per side: the skip-ahead + GC-tuned loop finishes this
+     workload in single-digit milliseconds, so a best-of-3 delta gated
+     CI on scheduler noise. *)
   let best f =
     List.fold_left min infinity
-      (List.init 3 (fun _ -> snd (timed (fun () -> drive (f ())))))
+      (List.init 10 (fun _ -> snd (timed (fun () -> drive (f ())))))
   in
-  drive (make ());
+  for _ = 1 to 5 do
+    drive (make ())
+  done;
   let plain = best make in
   Protean_harness.Experiment.collect_policy_metrics := true;
   Protean_harness.Experiment.collect_flame := true;
@@ -172,7 +204,13 @@ let telemetry_json oc (t : telemetry_overhead) =
   Printf.fprintf oc "    \"detached_overhead\": %.4f\n" t.to_ratio;
   Printf.fprintf oc "  }"
 
+(* On a single-core host the timed -j sweep is meaningless — every lane
+   multiplexes one CPU and any "speedup" is scheduler noise — so there
+   the determinism diff still runs (parallel results must stay
+   bit-identical to serial) but the timings are not reported as a sweep;
+   the JSON says why. *)
 let bench_grid () =
+  let sweep_timed = Domain.recommended_domain_count () > 1 in
   let baseline, t1 = timed (fun () -> Golden.lines ()) in
   Printf.printf "grid: -j 1 %.3fs (%d cells)\n%!" t1 (List.length baseline);
   let points =
@@ -180,13 +218,18 @@ let bench_grid () =
       (fun jobs ->
         let lines, tj = timed (fun () -> Golden.lines ~jobs ()) in
         let identical = lines = baseline in
-        Printf.printf "grid: -j %d %.3fs speedup %.2f identical %b\n%!" jobs
-          tj (t1 /. tj) identical;
+        if sweep_timed then
+          Printf.printf "grid: -j %d %.3fs speedup %.2f identical %b\n%!" jobs
+            tj (t1 /. tj) identical
+        else
+          Printf.printf
+            "grid: -j %d identical %b (timing not reported: 1-core host)\n%!"
+            jobs identical;
         if not identical then failwith "parallel grid diverged from serial";
         (jobs, tj, t1 /. tj))
       [ 2; 4 ]
   in
-  (List.length baseline, t1, points)
+  (List.length baseline, t1, points, sweep_timed)
 
 (* --smoke: the CI guard.  Replays the first [smoke_cells] golden cells
    serially and checks them against the recorded expectation
@@ -304,6 +347,9 @@ let smoke () =
   Printf.printf "smoke: wrote BENCH_pipeline.json\n%!"
 
 let () =
+  (* Same runtime shape as the CLIs: the large nursery is part of the
+     configuration whose throughput this benchmark records. *)
+  Protean_ooo.Gc_tune.tune ();
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "--smoke" then smoke ()
   else begin
     let out =
@@ -318,7 +364,7 @@ let () =
         ~label:"hotloop-ports" program
     in
     let tele = bench_telemetry_detached program in
-    let cells, t1, points = bench_grid () in
+    let cells, t1, points, sweep_timed = bench_grid () in
     let oc = open_out out in
     let host_cores = Domain.recommended_domain_count () in
     (* The canonical supervised layout: workers × domains-per-worker,
@@ -379,15 +425,28 @@ let () =
     Printf.fprintf oc
       "    \"corpus\": \"golden\", \"cells\": %d, \"serial_wall_s\": %.3f,\n"
       cells t1;
-    Printf.fprintf oc "    \"parallel\": [\n";
-    List.iteri
-      (fun i (jobs, tj, sp) ->
-        Printf.fprintf oc
-          "      {\"jobs\": %d, \"wall_s\": %.3f, \"speedup\": %.2f, \"identical\": true}%s\n"
-          jobs tj sp
-          (if i = List.length points - 1 then "" else ","))
-      points;
-    Printf.fprintf oc "    ]\n  }\n}\n";
+    if sweep_timed then begin
+      Printf.fprintf oc "    \"parallel\": [\n";
+      List.iteri
+        (fun i (jobs, tj, sp) ->
+          Printf.fprintf oc
+            "      {\"jobs\": %d, \"wall_s\": %.3f, \"speedup\": %.2f, \"identical\": true}%s\n"
+            jobs tj sp
+            (if i = List.length points - 1 then "" else ","))
+        points;
+      Printf.fprintf oc "    ]\n  }\n}\n"
+    end
+    else begin
+      (* 1-core host: the sweep still ran for the determinism diff (all
+         points identical or we'd have failed), but its timings are
+         noise, not speedups — record that instead of fake numbers. *)
+      Printf.fprintf oc "    \"parallel_identical\": [%s],\n"
+        (String.concat ", "
+           (List.map (fun (jobs, _, _) -> string_of_int jobs) points));
+      Printf.fprintf oc
+        "    \"jobs_sweep_timed\": false, \"jobs_sweep_note\": \"timings \
+         not reported: host_cores=1\"\n  }\n}\n"
+    end;
     close_out oc;
     Printf.printf "wrote %s\n%!" out
   end

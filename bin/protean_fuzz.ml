@@ -152,6 +152,21 @@ let metrics_listen_arg =
                for the duration of the campaign (port 0 picks one; the \
                bound port is logged).")
 
+let no_skip_ahead_arg =
+  Arg.(value & flag & info [ "no-skip-ahead" ]
+         ~doc:"Disable event-driven skip-ahead: the simulator steps every \
+               idle cycle instead of jumping to the next event horizon. \
+               Results are bit-identical either way; this is the escape \
+               hatch (also PROTEAN_NO_SKIP_AHEAD=1). Exported to the \
+               environment so --shards workers inherit it.")
+
+let no_shared_frontend_arg =
+  Arg.(value & flag & info [ "no-shared-frontend" ]
+         ~doc:"Disable shared-frontend batching in the harness layers \
+               (--table-ii reaches the experiment grid); the escape hatch, \
+               also PROTEAN_NO_SHARED_FRONTEND=1. Results are \
+               bit-identical either way.")
+
 let check_certs_arg =
   Arg.(value & flag & info [ "check-certs" ]
          ~doc:"Audit the protection certificates of every instrumented \
@@ -607,9 +622,20 @@ let run_campaign ~tele ~jobs ~shards ~inject_worker ?pool ?http campaign d
 
 let run table_ii defense contract programs inputs adversary seed core_width
     squash_bug timeout resume inject jobs shards worker inject_worker
-    check_certs pass_fault metrics_out trace_out flamegraph_out log_json
-    listen connect token metrics_listen =
+    check_certs no_skip_ahead no_shared_frontend pass_fault metrics_out
+    trace_out flamegraph_out log_json listen connect token metrics_listen =
+  Protean_ooo.Gc_tune.tune ();
   if log_json then Tlog.set_json true;
+  (* Escape hatches, exported to the environment so spawned --shards
+     workers (which re-read it at startup) run the same mode. *)
+  if no_skip_ahead then begin
+    Protean_ooo.Pipeline.set_skip_ahead false;
+    Unix.putenv "PROTEAN_NO_SKIP_AHEAD" "1"
+  end;
+  if no_shared_frontend then begin
+    Protean_harness.Experiment.share_frontend := false;
+    Unix.putenv "PROTEAN_NO_SHARED_FRONTEND" "1"
+  end;
   let tele = { Report.metrics_out; trace_out; flamegraph_out } in
   Report.enable ~worker:(worker || connect <> None) tele;
   if check_certs then Certify.enabled := true;
@@ -682,7 +708,8 @@ let cmd =
       $ inputs_arg $ adversary_arg $ seed_arg $ core_width_arg
       $ squash_bug_arg $ timeout_arg
       $ resume_arg $ inject_arg $ jobs_arg $ shards_arg $ worker_arg
-      $ inject_worker_arg $ check_certs_arg $ inject_pass_fault_arg
+      $ inject_worker_arg $ check_certs_arg $ no_skip_ahead_arg
+      $ no_shared_frontend_arg $ inject_pass_fault_arg
       $ metrics_out_arg $ trace_out_arg
       $ flamegraph_out_arg $ log_json_arg $ listen_arg $ connect_arg
       $ token_arg $ metrics_listen_arg)

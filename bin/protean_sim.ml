@@ -85,6 +85,22 @@ let paranoid_sched_arg =
   in
   Arg.(value & flag & info [ "paranoid-sched" ] ~doc)
 
+let no_skip_ahead_arg =
+  Arg.(value & flag & info [ "no-skip-ahead" ]
+         ~doc:"Disable event-driven skip-ahead: the simulator steps every \
+               idle cycle instead of jumping to the next event horizon. \
+               Results are bit-identical either way; this is the escape \
+               hatch (also PROTEAN_NO_SKIP_AHEAD=1). Exported to the \
+               environment so --shards workers inherit it.")
+
+let no_shared_frontend_arg =
+  Arg.(value & flag & info [ "no-shared-frontend" ]
+         ~doc:"Disable shared-frontend batching in the harness layers: \
+               build, instrument and decode each workload independently \
+               instead of reusing one frontend per (benchmark, pass) \
+               group. Results are bit-identical either way (also \
+               PROTEAN_NO_SHARED_FRONTEND=1).")
+
 let check_certs_arg =
   Arg.(value & flag & info [ "check-certs" ]
          ~doc:"Audit each compiled benchmark's protection certificates \
@@ -250,6 +266,7 @@ let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
       inserted_moves = 0;
       policy_metrics = pm;
       flame = fl;
+      frontend = "";
     }
   in
   match b.Suite.kind with
@@ -312,9 +329,10 @@ let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
           ~pm ~fl )
 
 let run list benches defense pass core core_width spec_model invariants
-    invariant_every paranoid_sched check_certs jobs shards worker inject
-    heartbeat wall metrics_out trace_out flamegraph_out log_json listen
-    connect token metrics_listen =
+    invariant_every paranoid_sched no_skip_ahead no_shared_frontend
+    check_certs jobs shards worker inject heartbeat wall metrics_out trace_out
+    flamegraph_out log_json listen connect token metrics_listen =
+  Protean_ooo.Gc_tune.tune ();
   if log_json then Tlog.set_json true;
   (* Stays in the worker argv (not a supervisor flag): shard workers
      audit the certificates of the cells they compile. *)
@@ -323,6 +341,14 @@ let run list benches defense pass core core_width spec_model invariants
     Pipeline.set_paranoid_sched true;
     (* Spawned --shards workers re-read the environment at startup. *)
     Unix.putenv "PROTEAN_PARANOID_SCHED" "1"
+  end;
+  if no_skip_ahead then begin
+    Pipeline.set_skip_ahead false;
+    Unix.putenv "PROTEAN_NO_SKIP_AHEAD" "1"
+  end;
+  if no_shared_frontend then begin
+    E.share_frontend := false;
+    Unix.putenv "PROTEAN_NO_SHARED_FRONTEND" "1"
   end;
   if list then
     List.iter
@@ -519,7 +545,8 @@ let cmd =
     Term.(
       const run $ list_arg $ bench_arg $ defense_arg $ pass_arg $ core_arg
       $ core_width_arg $ spec_model_arg $ invariants_arg $ invariant_every_arg
-      $ paranoid_sched_arg $ check_certs_arg $ jobs_arg $ shards_arg
+      $ paranoid_sched_arg $ no_skip_ahead_arg $ no_shared_frontend_arg
+      $ check_certs_arg $ jobs_arg $ shards_arg
       $ worker_arg $ inject_arg
       $ heartbeat_arg $ wall_arg $ metrics_out_arg $ trace_out_arg
       $ flamegraph_out_arg $ log_json_arg $ listen_arg $ connect_arg

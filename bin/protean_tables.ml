@@ -55,6 +55,23 @@ let check_certs_arg =
                fault. Stays in the worker argv, so shard workers audit \
                the cells they compile.")
 
+let no_skip_ahead_arg =
+  Arg.(value & flag & info [ "no-skip-ahead" ]
+         ~doc:"Disable event-driven skip-ahead: the simulator steps every \
+               idle cycle instead of jumping to the next event horizon. \
+               Results are bit-identical either way; this is the escape \
+               hatch (also PROTEAN_NO_SKIP_AHEAD=1). Stays in the worker \
+               argv, and is exported to the environment so shard workers \
+               inherit it.")
+
+let no_shared_frontend_arg =
+  Arg.(value & flag & info [ "no-shared-frontend" ]
+         ~doc:"Disable shared-frontend batching: build, instrument and \
+               decode every grid cell's workload independently instead of \
+               reusing one frontend per (benchmark, pass) group. Results \
+               are bit-identical either way; this is the escape hatch \
+               (also PROTEAN_NO_SHARED_FRONTEND=1).")
+
 let jobs_arg =
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
          ~doc:"Simulation domains; 0 = all cores. Output is byte-identical \
@@ -152,11 +169,24 @@ let supervisor_flags =
   [ "--shards"; "--inject-faults"; "--shard-heartbeat"; "--shard-wall";
     "--checkpoint-dir"; "--listen"; "--metrics-listen"; "--campaign-token" ]
 
-let run what benches core_widths fuzz_programs check_certs jobs shards worker
-    inject heartbeat wall checkpoint_dir metrics_out trace_out flamegraph_out
-    log_json listen connect token metrics_listen =
+let run what benches core_widths fuzz_programs check_certs no_skip_ahead
+    no_shared_frontend jobs shards worker inject heartbeat wall checkpoint_dir
+    metrics_out trace_out flamegraph_out log_json listen connect token
+    metrics_listen =
+  Protean_ooo.Gc_tune.tune ();
   if log_json then Protean_telemetry.Log.set_json true;
   if check_certs then Report.enable_cert_audit ();
+  (* Both escape hatches stay in the worker argv and are exported to the
+     environment: spawned --shards workers re-read it at startup, so the
+     whole grid runs one scheduling mode. *)
+  if no_skip_ahead then begin
+    Protean_ooo.Pipeline.set_skip_ahead false;
+    Unix.putenv "PROTEAN_NO_SKIP_AHEAD" "1"
+  end;
+  if no_shared_frontend then begin
+    E.share_frontend := false;
+    Unix.putenv "PROTEAN_NO_SHARED_FRONTEND" "1"
+  end;
   let jobs = if jobs = 0 then Parallel.default_jobs () else max 1 jobs in
   let shards = max 1 shards in
   let benches = match benches with [] -> None | bs -> Some bs in
@@ -288,7 +318,8 @@ let cmd =
     (Cmd.info "protean-tables" ~doc)
     Term.(
       const run $ what_arg $ bench_arg $ core_width_arg $ fuzz_programs_arg
-      $ check_certs_arg $ jobs_arg
+      $ check_certs_arg $ no_skip_ahead_arg $ no_shared_frontend_arg
+      $ jobs_arg
       $ shards_arg $ worker_arg $ inject_arg $ heartbeat_arg $ wall_arg
       $ checkpoint_dir_arg $ metrics_out_arg $ trace_out_arg
       $ flamegraph_out_arg $ log_json_arg $ listen_arg $ connect_arg

@@ -82,6 +82,12 @@ type run_result = {
          cycles) from the commit-gap profiler; [] unless flame
          collection is enabled.  Per cell, sum of weights == the cell's
          [Stats.cycles] (summed over cores). *)
+  frontend : string;
+      (* the shared-frontend group this cell ran under (its frontend
+         key), or "" when frontend sharing is disabled / the cell
+         faulted before the frontend was prepared.  Purely an
+         accounting tag: the reporting layer sums reuse per group into
+         [protean_frontend_reuse_total]. *)
 }
 
 (* Telemetry collection switches, process-global like the line sink:
@@ -157,6 +163,107 @@ let instrument_program ~ckey spec program =
           Mutex.unlock protcc_cache_lock;
           r)
 
+(* ------------------------------------------------------------------ *)
+(* Shared frontend                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The defense-*independent* frontend of a cell: the built workload
+   program(s), their ProtCC instrumentation, and the per-pc decode
+   operand templates ([Pipeline.decode_program]).  Cells that differ
+   only in defense mechanism / core model / speculation model share all
+   of it — the dynamic fetch/rename *stream* cannot be shared
+   bit-identically (squash timing, and hence the wrong-path fetch
+   schedule, differs per defense), so the replayable trace is exactly
+   the per-pc part the stream is generated from.  The record is
+   immutable and domain-safe: programs are never mutated by runs (the
+   ProtCC cache already shares them across cells), and the decode
+   templates are read-only per construction. *)
+type frontend = {
+  fe_key : string;
+  fe_programs : Program.t array; (* one per core *)
+  fe_decode :
+    ((Protean_isa.Reg.t * Protean_isa.Insn.role) array array
+    * Protean_isa.Reg.t array array)
+    array; (* one template pair per core, same order *)
+  fe_ratio : float;
+  fe_moves : int;
+}
+
+(* Escape hatch: [--no-shared-frontend] / PROTEAN_NO_SHARED_FRONTEND
+   fall back to per-cell frontend construction.  The env var is how the
+   CLI flag reaches [--shards] worker re-execs. *)
+let share_frontend =
+  ref (Sys.getenv_opt "PROTEAN_NO_SHARED_FRONTEND" = None)
+
+(* The defense-independent prefix of {!key}: suite/name, the ProtCC
+   pass actually applied (base binary when none), multiclass.  Core
+   model, speculation model, squash bug and defense label are absent on
+   purpose — none of them affect what the frontend produces. *)
+let frontend_key spec =
+  Printf.sprintf "%s/%s|%s|%b" spec.bench.Suite.suite spec.bench.Suite.name
+    (match spec.dcfg.pass with
+    | Some pass -> pass_id pass
+    | None -> if spec.multiclass then "multiclass" else "base")
+    spec.multiclass
+
+(* Process-wide, like [protcc_cache] (and mutex-guarded for the same
+   reason: parallel prewarm fills run on multiple domains). *)
+let frontend_cache : (string, frontend) Hashtbl.t = Hashtbl.create 64
+let frontend_cache_lock = Mutex.create ()
+
+let build_frontend ~fe_key spec =
+  let bkey =
+    Printf.sprintf "%s/%s" spec.bench.Suite.suite spec.bench.Suite.name
+  in
+  let programs, ratio, moves =
+    match spec.bench.Suite.kind with
+    | Suite.Single f ->
+        let program, ratio, moves =
+          instrument_program ~ckey:bkey spec (f ())
+        in
+        ([| program |], ratio, moves)
+    | Suite.Multi f ->
+        let ratio = ref 1.0 and moves = ref 0 in
+        let programs =
+          Array.mapi
+            (fun i p ->
+              let ckey = Printf.sprintf "%s#%d" bkey i in
+              let p', r, m = instrument_program ~ckey spec p in
+              ratio := r;
+              moves := m;
+              p')
+            (f ())
+        in
+        (programs, !ratio, !moves)
+  in
+  {
+    fe_key;
+    fe_programs = programs;
+    fe_decode = Array.map Pipeline.decode_program programs;
+    fe_ratio = ratio;
+    fe_moves = moves;
+  }
+
+(* A compile fault (e.g. a refuted certificate under [--check-certs])
+   propagates out uncached, exactly as the per-cell path would raise
+   it — the cell fault barrier in {!compute} owns the reporting. *)
+let prepare_frontend spec =
+  if not !share_frontend then build_frontend ~fe_key:"" spec
+  else begin
+    let fe_key = frontend_key spec in
+    Mutex.lock frontend_cache_lock;
+    let cached = Hashtbl.find_opt frontend_cache fe_key in
+    Mutex.unlock frontend_cache_lock;
+    match cached with
+    | Some fe -> fe
+    | None ->
+        let fe = build_frontend ~fe_key spec in
+        Mutex.lock frontend_cache_lock;
+        Hashtbl.replace frontend_cache fe_key fe;
+        Mutex.unlock frontend_cache_lock;
+        fe
+  end
+
 (* Fold one profiler snapshot through the program's function table into
    collapsed stacks under [root] (defense label, benchmark, optionally
    core).  The residual — cycles after the last commit — goes to a
@@ -216,13 +323,14 @@ let execute spec =
     let fl = match flame_acc with None -> [] | Some acc -> Flame.to_list acc in
     (pm, fl)
   in
+  let fe = prepare_frontend spec in
   match spec.bench.Suite.kind with
-  | Suite.Single f ->
-      let program, ratio, moves = instrument_program ~ckey:bkey spec (f ()) in
+  | Suite.Single _ ->
+      let program = fe.fe_programs.(0) in
       let policy = spec.dcfg.defense.Defense.make () in
       let r =
         Pipeline.run ~squash_bug:spec.squash_bug ~spec_model:spec.spec_model
-          ~fuel:default_fuel
+          ~decode:fe.fe_decode.(0) ~fuel:default_fuel
           ~on_start:(attach_profiler ~root:[ spec.dcfg.label; bkey ] program)
           spec.config policy program ~overlays:[]
       in
@@ -234,24 +342,14 @@ let execute spec =
       {
         cycles = float_of_int (Stats.measured_cycles r.Pipeline.stats);
         stats = [ r.Pipeline.stats ];
-        code_size_ratio = ratio;
-        inserted_moves = moves;
+        code_size_ratio = fe.fe_ratio;
+        inserted_moves = fe.fe_moves;
         policy_metrics;
         flame;
+        frontend = fe.fe_key;
       }
-  | Suite.Multi f ->
-      let programs = f () in
-      let ratio = ref 1.0 and moves = ref 0 in
-      let programs =
-        Array.mapi
-          (fun i p ->
-            let ckey = Printf.sprintf "%s#%d" bkey i in
-            let p', r, m = instrument_program ~ckey spec p in
-            ratio := r;
-            moves := m;
-            p')
-          programs
-      in
+  | Suite.Multi _ ->
+      let programs = fe.fe_programs in
       let policies = ref [] in
       let make_policy () =
         let p = spec.dcfg.defense.Defense.make () in
@@ -265,7 +363,8 @@ let execute spec =
       in
       let r =
         Multicore.run ~squash_bug:spec.squash_bug ~spec_model:spec.spec_model
-          ~fuel:default_fuel ~on_core spec.config ~make_policy programs
+          ~decode:fe.fe_decode ~fuel:default_fuel ~on_core spec.config
+          ~make_policy programs
       in
       let policy_metrics, flame = finish_tele !policies in
       if not r.Multicore.finished then
@@ -277,10 +376,11 @@ let execute spec =
         stats =
           Array.to_list
             (Array.map (fun (c : Pipeline.result) -> c.Pipeline.stats) r.Multicore.per_core);
-        code_size_ratio = !ratio;
-        inserted_moves = !moves;
+        code_size_ratio = fe.fe_ratio;
+        inserted_moves = fe.fe_moves;
         policy_metrics;
         flame;
+        frontend = fe.fe_key;
       }
 
 (* Memoized session.  [collect], when set, switches [run] into a
@@ -314,6 +414,7 @@ let faulted_result =
     inserted_moves = 0;
     policy_metrics = [];
     flame = [];
+    frontend = "";
   }
 
 (* Diagnostic lines (fault reports, [run] cache-miss logs, [prewarm]
@@ -450,16 +551,44 @@ let discover session (gen : unit -> unit) =
 let install session results =
   List.iter (fun (k, r) -> Hashtbl.replace session.cache k r) results
 
+(* Batch the (key-sorted) cell list by frontend group, preserving the
+   order of first appearance.  Each group is the parallel-fill
+   scheduling unit: its cells run sequentially on one domain, so the
+   group's frontend is prepared exactly once instead of being raced by
+   every cell.  With sharing disabled every cell is its own group —
+   the pre-sharing per-cell schedule. *)
+let group_cells cells =
+  if not !share_frontend then List.map (fun c -> [ c ]) cells
+  else begin
+    let tbl = Hashtbl.create 32 in
+    let order = ref [] in
+    List.iter
+      (fun ((_, s) as cell) ->
+        let fk = frontend_key s in
+        match Hashtbl.find_opt tbl fk with
+        | Some group -> group := cell :: !group
+        | None ->
+            Hashtbl.replace tbl fk (ref [ cell ]);
+            order := fk :: !order)
+      cells;
+    List.rev_map (fun fk -> List.rev !(Hashtbl.find tbl fk)) !order
+  end
+
 let prewarm ?(jobs = Parallel.default_jobs ()) session (gen : unit -> unit) =
   if jobs <= 1 then gen ()
   else begin
     let cells = discover session gen in
+    let groups = group_cells cells in
     if session.log then
-      log_line "[prewarm] %d cells on %d domains" (List.length cells) jobs;
+      log_line "[prewarm] %d cells in %d frontend groups on %d domains"
+        (List.length cells) (List.length groups) jobs;
     let tasks =
-      Array.of_list (List.map (fun (_, s) () -> compute s) cells)
+      Array.of_list
+        (List.map
+           (fun group () -> List.map (fun (k, s) -> (k, compute s)) group)
+           groups)
     in
     let results = Parallel.map ~jobs tasks in
-    install session (List.mapi (fun i (k, _) -> (k, results.(i))) cells);
+    install session (List.concat (Array.to_list results));
     gen ()
   end

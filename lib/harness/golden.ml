@@ -93,6 +93,52 @@ let instrument pass program =
       in
       (Protcc.instrument ~pass_override:pass program).Protcc.program
 
+(* Shared frontend: program construction + ProtCC instrumentation + the
+   per-pc decode templates are defense- and core-config-independent, so
+   corpus cells that differ only in defense/config/model share one
+   build.  Keyed by (source, pass) — the only inputs the frontend
+   reads.  Honors the same escape hatch as the experiment layer
+   ([Experiment.share_frontend], i.e. --no-shared-frontend /
+   PROTEAN_NO_SHARED_FRONTEND); mutex-guarded because parallel corpus
+   runs fill from several domains. *)
+let frontend_cache = Hashtbl.create 32
+let frontend_cache_lock = Mutex.create ()
+
+let build_frontend c =
+  let programs =
+    match c.c_source with
+    | Rand (klass, seed) ->
+        [|
+          instrument c.c_pass
+            (Gen.generate { Gen.seed; klass; blocks = 24; block_len = 12 });
+        |]
+    | Bench name -> (
+        let b = Suite.find name in
+        match b.Suite.kind with
+        | Suite.Single f -> [| instrument c.c_pass (f ()) |]
+        | Suite.Multi f -> Array.map (instrument c.c_pass) (f ()))
+  in
+  (programs, Array.map Pipeline.decode_program programs)
+
+let frontend_key c = source_name c.c_source ^ "|" ^ c.c_pass
+
+let frontend c =
+  if not !Experiment.share_frontend then build_frontend c
+  else begin
+    let k = frontend_key c in
+    Mutex.lock frontend_cache_lock;
+    let cached = Hashtbl.find_opt frontend_cache k in
+    Mutex.unlock frontend_cache_lock;
+    match cached with
+    | Some fe -> fe
+    | None ->
+        let fe = build_frontend c in
+        Mutex.lock frontend_cache_lock;
+        Hashtbl.replace frontend_cache k fe;
+        Mutex.unlock frontend_cache_lock;
+        fe
+  end
+
 let trace_digest trace =
   let buf = Buffer.create 4096 in
   List.iter
@@ -107,39 +153,28 @@ let run_cell c =
   let d = Defense.find c.c_defense in
   let config = config_of c.c_config in
   let fuel = 30_000_000 in
+  let programs, decode = frontend c in
+  let single () =
+    let r =
+      Pipeline.run ~trace:true ~squash_bug:c.c_squash_bug
+        ~spec_model:c.c_model ~decode:decode.(0) ~fuel config
+        (d.Defense.make ()) programs.(0) ~overlays:[]
+    in
+    Printf.sprintf "%d|%d|%d|%s" r.Pipeline.stats.Stats.cycles
+      r.Pipeline.stats.Stats.committed r.Pipeline.stats.Stats.squashes
+      (trace_digest r.Pipeline.trace)
+  in
   let outcome =
     match c.c_source with
-    | Rand (klass, seed) ->
-        let program =
-          instrument c.c_pass
-            (Gen.generate { Gen.seed; klass; blocks = 24; block_len = 12 })
-        in
-        let r =
-          Pipeline.run ~trace:true ~squash_bug:c.c_squash_bug
-            ~spec_model:c.c_model ~fuel config (d.Defense.make ()) program
-            ~overlays:[]
-        in
-        Printf.sprintf "%d|%d|%d|%s" r.Pipeline.stats.Stats.cycles
-          r.Pipeline.stats.Stats.committed r.Pipeline.stats.Stats.squashes
-          (trace_digest r.Pipeline.trace)
+    | Rand _ -> single ()
     | Bench name -> (
         let b = Suite.find name in
         match b.Suite.kind with
-        | Suite.Single f ->
-            let program = instrument c.c_pass (f ()) in
-            let r =
-              Pipeline.run ~trace:true ~squash_bug:c.c_squash_bug
-                ~spec_model:c.c_model ~fuel config (d.Defense.make ()) program
-                ~overlays:[]
-            in
-            Printf.sprintf "%d|%d|%d|%s" r.Pipeline.stats.Stats.cycles
-              r.Pipeline.stats.Stats.committed r.Pipeline.stats.Stats.squashes
-              (trace_digest r.Pipeline.trace)
-        | Suite.Multi f ->
-            let programs = Array.map (instrument c.c_pass) (f ()) in
+        | Suite.Single _ -> single ()
+        | Suite.Multi _ ->
             let r =
               Multicore.run ~squash_bug:c.c_squash_bug ~spec_model:c.c_model
-                ~fuel config ~make_policy:d.Defense.make programs
+                ~decode ~fuel config ~make_policy:d.Defense.make programs
             in
             let per_core =
               Array.to_list r.Multicore.per_core
@@ -207,14 +242,46 @@ let corpus =
   in
   rand @ benches
 
+(* Parallel corpus runner: cells are batched by shared-frontend group
+   (each group's cells run sequentially on one domain, so the group's
+   frontend is built once instead of being raced by every cell), and
+   the lines are re-emitted in corpus order.  With sharing disabled
+   every cell is its own task — the per-cell schedule. *)
+let parallel_lines ~jobs corpus =
+  let cells = List.mapi (fun i c -> (i, c)) corpus in
+  let groups =
+    if not !Experiment.share_frontend then List.map (fun c -> [ c ]) cells
+    else begin
+      let tbl = Hashtbl.create 32 in
+      let order = ref [] in
+      List.iter
+        (fun ((_, c) as cell) ->
+          let fk = frontend_key c in
+          match Hashtbl.find_opt tbl fk with
+          | Some group -> group := cell :: !group
+          | None ->
+              Hashtbl.replace tbl fk (ref [ cell ]);
+              order := fk :: !order)
+        cells;
+      List.rev_map (fun fk -> List.rev !(Hashtbl.find tbl fk)) !order
+    end
+  in
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun group () -> List.map (fun (i, c) -> (i, run_cell c)) group)
+         groups)
+  in
+  Parallel.map ~jobs tasks
+  |> Array.to_list |> List.concat
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+  |> List.map snd
+
 (* All corpus lines, in corpus order.  [jobs > 1] runs the cells on a
    parallel grid ([Parallel.map]); the lines are identical either way —
    that equality is the determinism property the golden suite asserts. *)
 let lines ?(jobs = 1) () =
-  if jobs <= 1 then List.map run_cell corpus
-  else
-    let tasks = Array.of_list (List.map (fun c () -> run_cell c) corpus) in
-    Array.to_list (Parallel.map ~jobs tasks)
+  if jobs <= 1 then List.map run_cell corpus else parallel_lines ~jobs corpus
 
 (* Width-sweep corpus: the structural-port model across issue widths
    1/2/4/6/8 on three single-core benchmarks × three defenses.  Each
@@ -242,11 +309,7 @@ let width_corpus =
 
 let width_lines ?(jobs = 1) () =
   if jobs <= 1 then List.map run_cell width_corpus
-  else
-    let tasks =
-      Array.of_list (List.map (fun c () -> run_cell c) width_corpus)
-    in
-    Array.to_list (Parallel.map ~jobs tasks)
+  else parallel_lines ~jobs width_corpus
 
 let width_keys () = List.map key width_corpus
 

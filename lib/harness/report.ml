@@ -101,6 +101,10 @@ let stat_families : (string * string * (Stats.t -> int)) list =
     ( "protean_pipeline_fetched_total",
       "instructions fetched (wrong path included)",
       fun s -> s.Stats.fetched );
+    ( "protean_cycles_skipped_total",
+      "idle cycles the event-driven scheduler skipped instead of \
+       spinning (a subset of protean_pipeline_cycles_total)",
+      fun s -> s.Stats.skipped_cycles );
     ( "protean_pipeline_squashes_total",
       "pipeline squashes",
       fun s -> s.Stats.squashes );
@@ -250,6 +254,29 @@ let of_session (session : E.session) =
           in
           Metrics.inc ~n:(flame_total fl) m)
     session.E.cache;
+  (* Shared-frontend accounting: every cell tagged with a frontend
+     group key shared that group's one workload build + instrumentation
+     + decode; reuse per group = group size - 1 (the first cell paid
+     for the build).  Zero groups — sharing disabled, or no cells —
+     emit no family at all, keeping sharing-off snapshots byte-stable
+     with pre-sharing ones. *)
+  let fe_groups = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ (r : E.run_result) ->
+      if r.E.frontend <> "" then
+        Hashtbl.replace fe_groups r.E.frontend
+          (1
+          + Option.value ~default:0 (Hashtbl.find_opt fe_groups r.E.frontend)))
+    session.E.cache;
+  Hashtbl.iter
+    (fun fe n ->
+      if n > 1 then
+        Metrics.inc ~n:(n - 1)
+          (Metrics.counter reg
+             ~help:"cells that reused a shared frontend build"
+             ~labels:[ ("frontend", fe) ]
+             "protean_frontend_reuse_total"))
+    fe_groups;
   reg
 
 let flame_of_session (session : E.session) =

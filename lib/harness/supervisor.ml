@@ -1213,7 +1213,7 @@ module Grid = struct
             s.Stats.access_pred_lookups; s.Stats.access_pred_mispredicts;
             s.Stats.access_pred_false_negatives; s.Stats.loads_executed;
             s.Stats.loads_protected_mem; s.Stats.port_structural_stall_cycles;
-            s.Stats.wb_queue_stall_cycles;
+            s.Stats.wb_queue_stall_cycles; s.Stats.skipped_cycles;
           ]
          @ Array.to_list s.Stats.port_busy))
 
@@ -1226,7 +1226,8 @@ module Grid = struct
       :: resolution_delay_cycles :: access_pred_lookups
       :: access_pred_mispredicts :: access_pred_false_negatives
       :: loads_executed :: loads_protected_mem
-      :: port_structural_stall_cycles :: wb_queue_stall_cycles :: port_busy ->
+      :: port_structural_stall_cycles :: wb_queue_stall_cycles
+      :: skipped_cycles :: port_busy ->
         {
           Stats.cycles; marker_cycle; committed; fetched; squashes;
           squashed_insns; branch_mispredicts; machine_clears;
@@ -1235,7 +1236,8 @@ module Grid = struct
           resolution_delay_cycles; access_pred_lookups;
           access_pred_mispredicts; access_pred_false_negatives;
           loads_executed; loads_protected_mem; port_structural_stall_cycles;
-          wb_queue_stall_cycles; port_busy = Array.of_list port_busy;
+          wb_queue_stall_cycles; skipped_cycles;
+          port_busy = Array.of_list port_busy;
         }
     | _ -> Json.parse_error "bad stats payload"
 
@@ -1263,12 +1265,13 @@ module Grid = struct
          ("code_size_ratio", Json.Float r.E.code_size_ratio);
          ("inserted_moves", Json.Int r.E.inserted_moves);
        ]
-      (* Telemetry payloads are omitted when empty: keeps frames (and
-         checkpoints written by telemetry-free runs) byte-compatible. *)
+      (* Telemetry payloads (and the shared-frontend tag) are omitted
+         when empty: keeps frames (and checkpoints written by
+         telemetry-free or sharing-disabled runs) byte-compatible. *)
       @ (if r.E.policy_metrics = [] then []
          else [ ("pm", counters_to_json r.E.policy_metrics) ])
-      @
-      if r.E.flame = [] then [] else [ ("fl", counters_to_json r.E.flame) ])
+      @ (if r.E.flame = [] then [] else [ ("fl", counters_to_json r.E.flame) ])
+      @ if r.E.frontend = "" then [] else [ ("fe", Json.Str r.E.frontend) ])
 
   let result_of_json j =
     {
@@ -1284,6 +1287,10 @@ module Grid = struct
         (match Json.member "fl" j with
         | Json.Null -> []
         | fl -> counters_of_json fl);
+      frontend =
+        (match Json.member "fe" j with
+        | Json.Null -> ""
+        | fe -> Json.to_str fe);
     }
 
   (* [--worker] mode of a tables/figures CLI: rerun the same discovery
@@ -1315,6 +1322,22 @@ module Grid = struct
     let cells = E.discover session gen in
     if cells = [] then gen ()
     else begin
+      (* Re-sort so cells of one shared-frontend group are contiguous:
+         [split_shards] hands out contiguous id ranges, so grouped
+         cells land on the same worker and its process-local frontend
+         cache is built once per group instead of once per shard-span
+         fragment.  Purely a scheduling permutation — the merge below
+         is key-based, so replayed output stays byte-identical. *)
+      let cells =
+        if not !E.share_frontend then cells
+        else
+          List.stable_sort
+            (fun (ka, sa) (kb, sb) ->
+              match compare (E.frontend_key sa) (E.frontend_key sb) with
+              | 0 -> compare (ka : string) kb
+              | c -> c)
+            cells
+      in
       let specs = Array.of_list (List.map snd cells) in
       let keys = Array.of_list (List.map fst cells) in
       let shard_cells =

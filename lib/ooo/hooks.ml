@@ -81,6 +81,10 @@ type event =
       (* a ready entry found no compatible free port this cycle *)
   | On_wb_queued of Rob_entry.t
       (* a finished computation was deferred by the CDB broadcast budget *)
+  | On_skip of { cycles : int }
+      (* event-driven skip-ahead advanced the cycle counter by [cycles]
+         quiet cycles in one jump (emitted once per skipped span, after
+         the counter moved) *)
 
 (* Event kinds: one bit per constructor, plus pseudo-kinds that gate
    optional *detail* inside an event ([k_mem_path] gates the [path] list
@@ -109,7 +113,8 @@ let k_mem_path = 17 (* pseudo: request the On_mem_access fill/evict path *)
 let k_port_bound = 18
 let k_port_stall = 19
 let k_wb_queued = 20
-let n_kinds = 21
+let k_skip = 21
+let n_kinds = 22
 let mask_all = (1 lsl n_kinds) - 1
 
 let kind_of_event = function
@@ -133,6 +138,7 @@ let kind_of_event = function
   | On_port_bound _ -> k_port_bound
   | On_port_stall _ -> k_port_stall
   | On_wb_queued _ -> k_wb_queued
+  | On_skip _ -> k_skip
 
 let mask_of_kinds kinds =
   List.fold_left (fun m k -> m lor (1 lsl k)) 0 kinds

@@ -374,11 +374,11 @@ let check (t : S.t) : violation list =
       end)
     t.S.rmap_producer;
   (* --- Fetch-buffer sanity ------------------------------------------ *)
-  let buf_len = Queue.length t.S.fetch_buf in
+  let buf_len = S.fb_length t in
   if buf_len > S.fetch_buf_capacity then
     fail "fetch-buf" "length %d exceeds capacity %d" buf_len
       S.fetch_buf_capacity;
-  Queue.iter
+  S.fb_iter
     (fun (item : S.fetch_item) ->
       if item.S.f_fetched > t.S.cycle then
         fail "fetch-buf" "item at pc %d fetched in the future (cycle %d)"
@@ -390,7 +390,7 @@ let check (t : S.t) : violation list =
           item.S.f_pc
           (item.S.f_ready - item.S.f_fetched)
           t.S.cfg.Config.frontend_latency)
-    t.S.fetch_buf;
+    t;
   List.rev !vs @ check_sched t
 
 let violations_to_string vs =

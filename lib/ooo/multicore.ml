@@ -24,17 +24,22 @@ type result = {
 
 (* [on_core i t] runs once per freshly created core, before the first
    cycle — the registration point for per-core observers (profilers). *)
-let run ?squash_bug ?spec_model ?(fuel = 10_000_000)
+let run ?squash_bug ?spec_model ?decode ?(fuel = 10_000_000)
     ?(watchdog = Pipeline.default_watchdog) ?(invariants = Invariants.Off)
     ?invariant_every ?on_core (cfg : Config.t)
     ~(make_policy : unit -> Policy.t)
     (programs : Protean_isa.Program.t array) =
   let shared_l3 = Option.map (Cache.create ~prot:false) cfg.Config.l3 in
   let cores =
-    Array.map
-      (fun program ->
-        Pipeline.create ?squash_bug ?spec_model ?shared_l3 cfg (make_policy ())
-          program ~overlays:[])
+    Array.mapi
+      (fun i program ->
+        (* [decode], when given, carries one precomputed template pair
+           per core program (see [Pipeline.decode_program]). *)
+        let decode =
+          match decode with Some d -> Some d.(i) | None -> None
+        in
+        Pipeline.create ?squash_bug ?spec_model ?shared_l3 ?decode cfg
+          (make_policy ()) program ~overlays:[])
       programs
   in
   (match invariants with
@@ -48,6 +53,17 @@ let run ?squash_bug ?spec_model ?(fuel = 10_000_000)
   | None -> ());
   let cycles = ref 0 in
   let all_done () = Array.for_all Pipeline.is_done cores in
+  (* Joint skip-ahead: per-core stepping never skips (a lone core
+     jumping would break the lockstep clock every core's shared-L3
+     interactions assume), but when a lockstep cycle ends with *every*
+     live core quiet, all of them can jump together to the earliest of
+     their next-event horizons.  Quiet cores touch no shared state (any
+     L3 access coincides with per-core progress), so the joint jump is
+     bit-exact for the same reason the single-core one is.  Live cores
+     share the lockstep clock (a halted core's clock freezes, and its
+     [quiet] is false), so one minimum serves them all; capping by
+     [fuel] makes the lockstep loop terminate on the exact cycle the
+     spinning run would. *)
   while (not (all_done ())) && !cycles < fuel do
     Array.iteri
       (fun i core ->
@@ -56,7 +72,33 @@ let run ?squash_bug ?spec_model ?(fuel = 10_000_000)
           with Pipeline.Sim_fault f ->
             raise (Pipeline.Sim_fault { f with Pipeline.fault_core = i }))
       cores;
-    incr cycles
+    incr cycles;
+    let live = ref 0 in
+    let all_quiet = ref true in
+    Array.iter
+      (fun core ->
+        if not (Pipeline.is_done core) then begin
+          incr live;
+          all_quiet := !all_quiet && Pipeline.quiet core
+        end)
+      cores;
+    if !live > 0 && !all_quiet then begin
+      let target = ref fuel in
+      Array.iter
+        (fun core ->
+          if not (Pipeline.is_done core) then
+            target :=
+              min !target (Pipeline.skip_target ~watchdog ~until:fuel core))
+        cores;
+      if !target > !cycles then begin
+        Array.iter
+          (fun core ->
+            if not (Pipeline.is_done core) then
+              Pipeline.apply_skip core ~target:!target)
+          cores;
+        cycles := !target
+      end
+    end
   done;
   {
     cycles = !cycles;

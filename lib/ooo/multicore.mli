@@ -12,6 +12,10 @@ type result = {
 val run :
   ?squash_bug:bool ->
   ?spec_model:Policy.spec_model ->
+  ?decode:
+    ((Protean_isa.Reg.t * Protean_isa.Insn.role) array array
+    * Protean_isa.Reg.t array array)
+    array ->
   ?fuel:int ->
   ?watchdog:Pipeline.watchdog ->
   ?invariants:Invariants.mode ->
@@ -21,7 +25,10 @@ val run :
   make_policy:(unit -> Policy.t) ->
   Protean_isa.Program.t array ->
   result
-(** [make_policy] is called once per core: policies carry per-core
+(** [decode], when given, carries one precomputed operand-template pair
+    per core program (see {!Pipeline.decode_program}) so a batch of runs
+    over the same programs shares the decode work.
+    [make_policy] is called once per core: policies carry per-core
     mutable state.  The [watchdog] applies per core (default
     {!Pipeline.default_watchdog}); [invariants] (default [Off])
     subscribes a per-core invariant checker, sampled every

@@ -87,6 +87,7 @@ let stats_kinds =
       k_port_bound;
       k_port_stall;
       k_wb_queued;
+      k_skip;
     ]
 
 let stats_handler (t : S.t) (ev : Hooks.event) =
@@ -126,6 +127,8 @@ let stats_handler (t : S.t) (ev : Hooks.event) =
         st.Stats.port_structural_stall_cycles + 1
   | Hooks.On_wb_queued _ ->
       st.Stats.wb_queue_stall_cycles <- st.Stats.wb_queue_stall_cycles + 1
+  | Hooks.On_skip { cycles } ->
+      st.Stats.skipped_cycles <- st.Stats.skipped_cycles + cycles
   | Hooks.On_commit e ->
       if
         Rob_entry.is_store e

@@ -26,11 +26,10 @@ open Protean_arch
 type t = Pipeline_state.t
 
 type fetch_item = Pipeline_state.fetch_item = {
-  f_pc : int;
-  f_insn : Protean_isa.Insn.t;
-  f_pred_target : int;
-  f_ready : int;
-  f_fetched : int;
+  mutable f_pc : int;
+  mutable f_pred_target : int;
+  mutable f_ready : int;
+  mutable f_fetched : int;
 }
 
 let fetch_buf_capacity = Pipeline_state.fetch_buf_capacity
@@ -51,6 +50,13 @@ let measurement_marker = Stage_commit.measurement_marker
    (protean-sim --paranoid-sched / PROTEAN_PARANOID_SCHED=1).  Takes
    effect for pipelines created afterwards. *)
 let set_paranoid_sched v = Pipeline_state.paranoid_sched := v
+
+(* Event-driven skip-ahead (--no-skip-ahead / PROTEAN_NO_SKIP_AHEAD=1
+   disables).  Takes effect for pipelines created afterwards; paranoid
+   scheduling always forces the spinning machine, which is what the
+   cross-check compares against. *)
+let set_skip_ahead v = Pipeline_state.skip_ahead := v
+let skip_ahead_enabled () = !Pipeline_state.skip_ahead
 
 (* Structured faults and the watchdog. *)
 
@@ -91,14 +97,107 @@ let subscribe ?kinds (t : t) ~name handler =
 
 let unsubscribe (t : t) name = Hooks.unsubscribe t.Pipeline_state.hooks name
 
-let create ?trace ?squash_bug ?spec_model ?shared_l3 (cfg : Config.t)
+(* Precompute the per-pc decode templates for [program], shareable
+   across every [create] of the same program (any defense, any core). *)
+let decode_program = Pipeline_state.decode_program
+
+let create ?trace ?squash_bug ?spec_model ?shared_l3 ?decode (cfg : Config.t)
     (policy : Policy.t) (program : Protean_isa.Program.t) ~overlays =
   let t =
-    Pipeline_state.create ?trace ?squash_bug ?spec_model ?shared_l3 cfg policy
-      program ~overlays
+    Pipeline_state.create ?trace ?squash_bug ?spec_model ?shared_l3 ?decode cfg
+      policy program ~overlays
   in
   Observers.install t;
   t
+
+(* Event-driven skip-ahead.
+
+   A cycle is *quiet* when no stage set [progress]: nothing fetched,
+   renamed, issued, completed, resolved, committed or squashed, no
+   source-readiness flip, and no per-cycle stall accounting (every
+   blocked/stall emission site marks progress, because its counter must
+   increment each spun cycle).  Replaying a quiet cycle changes nothing
+   except the cycle counter and the in-flight [cycles_left] decrements —
+   both of which [apply_skip] performs in bulk — so jumping from one is
+   bit-exact: same architectural state, same stats, same trace, same
+   event stream as the spinning machine.
+
+   Policy gates are safe to invoke on a quiet cycle: no gate reads the
+   clock, [may_execute_transmitter] and [may_resolve] are pure in every
+   defense, and [may_forward] — the one gate that bumps policy-local
+   counters (AccessDelay/ProtDelay block metrics) — has a single call
+   site whose allow *and* deny branches both mark progress, so its
+   per-spun-cycle increments are never elided.
+
+   [skip_target] is the next-event horizon: the earliest future cycle at
+   which the machine can make progress again.  Two event sources exist
+   on a quiet machine (port-stall / writeback-deferral cycles are not
+   quiet, so [port_busy_until] never bounds a skip):
+   - an in-flight computation completes: its tick reaches zero during
+     the cycle that starts at [cycle + cycles_left - 1] (post-tick
+     [cycles_left] >= 1 on a quiet cycle, a deferred writeback having
+     marked progress);
+   - the frontend pipe delivers: the fetch-buffer front (earliest
+     [f_ready], stamps are monotone) becomes visible to rename at
+     [f_ready].
+   The jump is capped so the watchdog heartbeat, the cycle budget and
+   the driver's fuel bound ([until]) fire on exactly the cycle they
+   would have under spinning; a genuinely stuck machine therefore still
+   walks into its [Commit_stall] fault.  Undershooting the horizon is
+   harmless (the landed-on cycle is quiet again and skips further);
+   overshooting is impossible because every source of progress is either
+   in the horizon or can only be enabled by an event already in it. *)
+
+let quiet (t : t) =
+  let open Pipeline_state in
+  t.skip_enabled && (not t.progress) && not t.done_
+
+let skip_target ?(watchdog = default_watchdog) ~until (t : t) =
+  let open Pipeline_state in
+  let horizon = ref max_int in
+  let q = t.inflight in
+  let a = q.Entryq.a in
+  for i = q.Entryq.front to q.Entryq.back - 1 do
+    let h = t.cycle + a.(i).Rob_entry.cycles_left - 1 in
+    if h < !horizon then horizon := h
+  done;
+  (* The quiet cycle's pre-increment clock was [t.cycle - 1].  A front
+     item with [f_ready >= t.cycle] was readiness-blocked then and
+     enables rename at exactly [f_ready] (an [f_ready = t.cycle] item
+     enables the very next cycle: target = t.cycle, no jump).  A front
+     item already ready ([f_ready < t.cycle]) means rename was blocked
+     structurally (ROB/LQ/SQ full) — hazards only other progress can
+     clear, so the in-flight term bounds them. *)
+  if not (Pipeline_state.fb_is_empty t) then begin
+    let item = Pipeline_state.fb_peek t in
+    if item.f_ready >= t.cycle && item.f_ready < !horizon then
+      horizon := item.f_ready
+  end;
+  let target = min !horizon (t.last_commit_cycle + watchdog.heartbeat) in
+  let target =
+    match watchdog.budget with Some b -> min target (b - 1) | None -> target
+  in
+  min target until
+
+(* Advance a quiet machine to [target] in one jump: bulk-apply the
+   per-cycle decrements the spun cycles would have performed, move the
+   clock, and account the span ([Stats.skipped_cycles] via the stats
+   subscriber, the profiler's "skipped" pseudo-stage via [On_skip]). *)
+let apply_skip (t : t) ~target =
+  let open Pipeline_state in
+  let k = target - t.cycle in
+  if k > 0 then begin
+    let q = t.inflight in
+    let a = q.Entryq.a in
+    for i = q.Entryq.front to q.Entryq.back - 1 do
+      let e = a.(i) in
+      e.Rob_entry.cycles_left <- e.Rob_entry.cycles_left - k
+    done;
+    t.cycle <- target;
+    t.stats.Stats.cycles <- target;
+    if Pipeline_state.wants t Hooks.k_skip then
+      Pipeline_state.emit t (Hooks.On_skip { cycles = k })
+  end
 
 (* One cycle: commit → resolve → execute → rename → fetch (reverse stage
    order, so each instruction spends ≥ 1 cycle per stage), then the
@@ -106,10 +205,17 @@ let create ?trace ?squash_bug ?spec_model ?shared_l3 (cfg : Config.t)
    each stage boundary additionally emits [On_stage] (stage ids 0-4);
    without one, [prof] is false and the cycle pays one interest-mask
    test.  Under [--paranoid-sched] the scheduler indexes are
-   cross-checked against a brute-force ROB scan every cycle. *)
-let step ?(watchdog = default_watchdog) (t : t) =
+   cross-checked against a brute-force ROB scan every cycle.
+
+   [until] is the driver's fuel bound (exclusive loop bound on
+   [t.cycle]) and doubles as the skip-ahead opt-in: when given and the
+   cycle ends quiet, the clock jumps to the next-event horizon (capped
+   so watchdog/budget/fuel fire unchanged).  Drivers that step without
+   [until] get the spinning machine. *)
+let step ?(watchdog = default_watchdog) ?until (t : t) =
   let open Pipeline_state in
   let prof = Pipeline_state.wants t Hooks.k_stage in
+  t.progress <- false;
   Stage_commit.run t;
   if prof then Pipeline_state.emit t (Hooks.On_stage 0);
   if not t.done_ then begin
@@ -140,7 +246,11 @@ let step ?(watchdog = default_watchdog) (t : t) =
              (fault t
                 (Invariant_violation (Invariants.violations_to_string vs)))));
   if Pipeline_state.wants t Hooks.k_cycle_end then
-    Pipeline_state.emit t Hooks.On_cycle_end
+    Pipeline_state.emit t Hooks.On_cycle_end;
+  match until with
+  | Some u when quiet t ->
+      apply_skip t ~target:(skip_target ~watchdog ~until:u t)
+  | _ -> ()
 
 type result = {
   stats : Stats.t;
@@ -166,17 +276,18 @@ let finish (t : t) =
 (* [on_start] runs once on the freshly created state, before the first
    cycle — the registration point for observers (profilers) that must
    see the whole run. *)
-let run ?trace ?squash_bug ?spec_model ?shared_l3 ?(fuel = 5_000_000)
-    ?(watchdog = default_watchdog) ?on_start ?on_cycle (cfg : Config.t)
-    (policy : Policy.t) (program : Protean_isa.Program.t) ~overlays =
+let run ?trace ?squash_bug ?spec_model ?shared_l3 ?decode
+    ?(fuel = 5_000_000) ?(watchdog = default_watchdog) ?on_start ?on_cycle
+    (cfg : Config.t) (policy : Policy.t) (program : Protean_isa.Program.t)
+    ~overlays =
   let t =
-    create ?trace ?squash_bug ?spec_model ?shared_l3 cfg policy program
-      ~overlays
+    create ?trace ?squash_bug ?spec_model ?shared_l3 ?decode cfg policy
+      program ~overlays
   in
   (match on_start with Some f -> f t | None -> ());
   let open Pipeline_state in
   while (not t.done_) && t.cycle < fuel do
-    step ~watchdog t;
+    step ~watchdog ~until:fuel t;
     match on_cycle with Some f -> f t | None -> ()
   done;
   finish t

@@ -19,13 +19,24 @@
 open Protean_isa
 open Protean_arch
 
+(* Fetch-buffer slots live in a pre-allocated ring ([fetch_ring]) and
+   are overwritten in place — the frontend fetches several instructions
+   per cycle, so a per-item allocation would dominate the minor heap.
+   Mutable only for that recycling; stages treat a slot as read-only
+   between push and pop.  The slot is deliberately all-int (the insn is
+   re-derived from [f_pc] by rename) so slot writes never touch the GC
+   write barrier. *)
 type fetch_item = {
-  f_pc : int;
-  f_insn : Insn.t;
-  f_pred_target : int; (* -1 = no prediction (fetch stalled after this) *)
-  f_ready : int; (* cycle at which the item can rename *)
-  f_fetched : int;
+  mutable f_pc : int;
+  mutable f_pred_target : int;
+      (* -1 = no prediction (fetch stalled after this) *)
+  mutable f_ready : int; (* cycle at which the item can rename *)
+  mutable f_fetched : int;
 }
+
+(* The shared out-of-program instruction: what a runaway [fetch_pc]
+   decodes to.  One static value so the fetch path never allocates. *)
+let halt_insn = Insn.make Insn.Halt
 
 type t = {
   cfg : Config.t;
@@ -71,10 +82,29 @@ type t = {
      rename shares one immutable srcs/dsts array per program location. *)
   tmpl_srcs : (Reg.t * Insn.role) array array;
   tmpl_dsts : Reg.t array array;
+  (* Per-pc free list of dead ROB entries ([Rob_entry.null]-terminated,
+     chained through [uq_next]): commit releases, rename recycles via
+     [Rob_entry.reset].  Loop bodies re-rename the same pcs over and
+     over, so in steady state rename allocates nothing.  Safe because a
+     committed entry has no inbound physical pointers (wakeup chains are
+     cleared at execution, scheduler lists at issue/resolve, ROB/LSQ
+     slots at commit) — every cross-entry reference is by sequence
+     number, and [peek] range-checks those.  Squashed entries are pooled
+     too, but only at the *end* of the flush: the index cleanup still
+     walks their list/chain links, so [Squash.flush] parks them in
+     [squash_scratch] (pre-allocated, ROB-sized) until the pipeline is
+     consistent again. *)
+  entry_pool : Rob_entry.t array;
+  squash_scratch : Rob_entry.t array;
   (* Frontend. *)
   mutable fetch_pc : int;
   mutable fetch_stalled : bool;
-  fetch_buf : fetch_item Queue.t;
+  (* Fetch buffer: a fixed ring of [fetch_buf_capacity] recycled slots.
+     [fetch_front] indexes the oldest item; [fetch_len] counts live
+     items.  Use the [fb_*] operations below. *)
+  fetch_ring : fetch_item array;
+  mutable fetch_front : int;
+  mutable fetch_len : int;
   bp : Branch_pred.t;
   mdp : Bytes.t;
       (* memory-dependence predictor (store-set style): a bit per load PC
@@ -94,6 +124,16 @@ type t = {
   mutable cycle : int;
   mutable done_ : bool;
   mutable last_commit_cycle : int;
+  (* Event-driven skip-ahead (see [Pipeline.step]).  [progress] is reset
+     at the top of every cycle and set by the stage modules at each
+     meaningful-activity site (a fetch, a rename, an issue, a wakeup
+     flip, a completion, a resolve, a squash, a commit, or any emitted
+     stall/deny event — every site that mutates machine state or bumps a
+     counter).  A cycle that ends with [progress = false] is *quiet*:
+     replaying it changes nothing observable, so the cycle counter may
+     jump to the next event horizon instead of spinning. *)
+  mutable progress : bool;
+  mutable skip_enabled : bool;
 }
 
 let fetch_buf_capacity = 48
@@ -107,8 +147,37 @@ let paranoid_sched =
     | None | Some "" | Some "0" -> false
     | Some _ -> true)
 
+(* Event-driven skip-ahead: on by default, disabled by `--no-skip-ahead`
+   or PROTEAN_NO_SKIP_AHEAD=1 (the escape hatch), and force-disabled per
+   pipeline under [paranoid_sched] — the paranoid machine *is* the
+   spinning cross-check the golden corpora compare against.  Consulted
+   at [create]; per-pipeline. *)
+let skip_ahead =
+  ref
+    (match Sys.getenv_opt "PROTEAN_NO_SKIP_AHEAD" with
+    | None | Some "" | Some "0" -> true
+    | Some _ -> false)
+
+(* Decode templates: the per-pc operand arrays rename shares across all
+   instances of one program location.  Building them walks the whole
+   program ([Insn.reads]/[Insn.writes] allocate per insn), so harnesses
+   that simulate one instrumented binary under many defense
+   configurations precompute them once and pass [?decode] to [create] —
+   the templates are immutable and safe to share between pipelines (and
+   domains). *)
+let decode_program (program : Program.t) =
+  let plen = Program.length program in
+  let tmpl_srcs = Array.make plen [||] in
+  let tmpl_dsts = Array.make plen [||] in
+  for pc = 0 to plen - 1 do
+    let insn = Program.insn program pc in
+    tmpl_srcs.(pc) <- Array.of_list (Insn.reads insn.Insn.op);
+    tmpl_dsts.(pc) <- Array.of_list (Insn.writes insn.Insn.op)
+  done;
+  (tmpl_srcs, tmpl_dsts)
+
 let create ?(trace = false) ?(squash_bug = false)
-    ?(spec_model = Policy.Atcommit) ?shared_l3 (cfg : Config.t)
+    ?(spec_model = Policy.Atcommit) ?shared_l3 ?decode (cfg : Config.t)
     (policy : Policy.t) (program : Program.t) ~overlays =
   let mem = Memory.create () in
   List.iter
@@ -123,13 +192,12 @@ let create ?(trace = false) ?(squash_bug = false)
     | None -> Option.map (Cache.create ~prot:false) cfg.Config.l3
   in
   let plen = Program.length program in
-  let tmpl_srcs = Array.make plen [||] in
-  let tmpl_dsts = Array.make plen [||] in
-  for pc = 0 to plen - 1 do
-    let insn = Program.insn program pc in
-    tmpl_srcs.(pc) <- Array.of_list (Insn.reads insn.Insn.op);
-    tmpl_dsts.(pc) <- Array.of_list (Insn.writes insn.Insn.op)
-  done;
+  let tmpl_srcs, tmpl_dsts =
+    match decode with
+    | Some ((s, _) as d) when Array.length s = plen -> d
+    | Some _ -> invalid_arg "Pipeline_state.create: decode/program mismatch"
+    | None -> decode_program program
+  in
   {
     cfg;
     policy;
@@ -167,9 +235,15 @@ let create ?(trace = false) ?(squash_bug = false)
     paranoid = !paranoid_sched;
     tmpl_srcs;
     tmpl_dsts;
+    entry_pool = Array.make plen Rob_entry.null;
+    squash_scratch = Array.make cfg.Config.rob_size Rob_entry.null;
     fetch_pc = program.Program.main;
     fetch_stalled = false;
-    fetch_buf = Queue.create ();
+    fetch_ring =
+      Array.init fetch_buf_capacity (fun _ ->
+          { f_pc = -1; f_pred_target = -1; f_ready = -1; f_fetched = -1 });
+    fetch_front = 0;
+    fetch_len = 0;
     bp = Branch_pred.create cfg.Config.bp;
     mdp = Bytes.make 1024 '\000';
     l1d = Cache.create cfg.Config.l1d;
@@ -187,6 +261,8 @@ let create ?(trace = false) ?(squash_bug = false)
     cycle = 0;
     done_ = false;
     last_commit_cycle = 0;
+    progress = false;
+    skip_enabled = !skip_ahead && not !paranoid_sched;
   }
 
 let emit t ev = Hooks.emit t.hooks t ev
@@ -199,7 +275,14 @@ let wants t kind = Hooks.wanted t.hooks kind
 let rob_size t = Array.length t.rob
 let rob_full t = t.count >= rob_size t
 
-let idx_of_seq t seq = (t.head_idx + (seq - t.head_seq)) mod rob_size t
+(* Ring indexing without division: [head_idx < size] and the offset is
+   in [0, size), so one conditional subtract replaces the [mod] — this
+   is the hottest address computation in the simulator ([peek] runs per
+   source per active entry per cycle). *)
+let idx_of_seq t seq =
+  let i = t.head_idx + (seq - t.head_seq) in
+  let n = Array.length t.rob in
+  if i >= n then i - n else i
 
 (* Allocation-free lookup: [Rob_entry.null] when [seq] is not live. *)
 let peek t seq =
@@ -215,11 +298,82 @@ let head_entry t = if t.count = 0 then None else Some t.rob.(t.head_idx)
 (* Iterate over ROB entries from oldest to youngest. *)
 let iter_rob t f =
   let n = rob_size t in
-  for i = 0 to t.count - 1 do
-    f t.rob.((t.head_idx + i) mod n)
+  let idx = ref t.head_idx in
+  for _ = 0 to t.count - 1 do
+    f t.rob.(!idx);
+    incr idx;
+    if !idx >= n then idx := 0
   done
 
 let tail_seq t = t.head_seq + t.count - 1
+
+(* Entry recycling (see [entry_pool]).  [pool_put] is called from commit
+   once the entry is out of every index; the free list borrows the then
+   unused [uq_next] field, which [Rob_entry.reset] re-nulls on reuse. *)
+
+let pool_put t (e : Rob_entry.t) =
+  let pc = e.Rob_entry.pc in
+  if pc >= 0 && pc < Array.length t.entry_pool then begin
+    e.Rob_entry.uq_next <- t.entry_pool.(pc);
+    t.entry_pool.(pc) <- e
+  end
+
+(* Pop a recyclable entry for [pc], or [Rob_entry.null].  The physical
+   [insn] comparison guards against harnesses that patch program code
+   between runs of one image (certificate fault injection): a patched pc
+   simply falls back to a fresh allocation. *)
+let pool_take t pc (insn : Insn.t) =
+  if pc >= 0 && pc < Array.length t.entry_pool then begin
+    let e = t.entry_pool.(pc) in
+    if (not (Rob_entry.is_null e)) && e.Rob_entry.insn == insn then begin
+      t.entry_pool.(pc) <- e.Rob_entry.uq_next;
+      e
+    end
+    else Rob_entry.null
+  end
+  else Rob_entry.null
+
+(* ------------------------------------------------------------------ *)
+(* Fetch-buffer ring operations                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fb_length t = t.fetch_len
+let fb_is_empty t = t.fetch_len = 0
+let fb_full t = t.fetch_len >= fetch_buf_capacity
+let fb_peek t = t.fetch_ring.(t.fetch_front)
+
+(* The returned item's slot stays valid until a later [fb_push] reuses
+   it — pushes happen only in the fetch stage, after rename consumed the
+   popped item, so the reference never outlives its contents. *)
+let fb_pop t =
+  let item = t.fetch_ring.(t.fetch_front) in
+  let f = t.fetch_front + 1 in
+  t.fetch_front <- (if f >= fetch_buf_capacity then 0 else f);
+  t.fetch_len <- t.fetch_len - 1;
+  item
+
+let fb_push t ~pc ~pred_target ~ready ~fetched =
+  let i =
+    let j = t.fetch_front + t.fetch_len in
+    if j >= fetch_buf_capacity then j - fetch_buf_capacity else j
+  in
+  let s = t.fetch_ring.(i) in
+  s.f_pc <- pc;
+  s.f_pred_target <- pred_target;
+  s.f_ready <- ready;
+  s.f_fetched <- fetched;
+  t.fetch_len <- t.fetch_len + 1
+
+let fb_clear t = t.fetch_len <- 0
+
+(* Iterate oldest to youngest (diagnostics/invariants only). *)
+let fb_iter f t =
+  let idx = ref t.fetch_front in
+  for _ = 0 to t.fetch_len - 1 do
+    f t.fetch_ring.(!idx);
+    incr idx;
+    if !idx >= fetch_buf_capacity then idx := 0
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler index maintenance                                         *)
@@ -390,8 +544,8 @@ let is_done t = t.done_
 (* Diagnostic dump of pipeline state, for debugging. *)
 let debug_dump t =
   Printf.printf "cycle=%d head_seq=%d count=%d fetch_pc=%d stalled=%b buf=%d done=%b\n"
-    t.cycle t.head_seq t.count t.fetch_pc t.fetch_stalled
-    (Queue.length t.fetch_buf) t.done_;
+    t.cycle t.head_seq t.count t.fetch_pc t.fetch_stalled t.fetch_len
+    t.done_;
   iter_rob t (fun e ->
       Printf.printf
         "  seq=%d pc=%d %s issued=%b exec=%b resolved=%b mispred=%b cycles=%d ready=[%s]\n"

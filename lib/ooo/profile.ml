@@ -18,11 +18,17 @@
 
 module S = Pipeline_state
 
-(* Stage ids, in the order [Pipeline.step] runs them.  Id 5 ("between")
-   collects everything outside the five stages: watchdog, invariant
-   subscribers, the driver's own per-cycle work. *)
-let stage_names = [| "commit"; "resolve"; "issue_exec"; "rename"; "fetch"; "between" |]
+(* Stage ids, in the order [Pipeline.step] runs them.  "skipped" is the
+   pseudo-stage owning the spans event-driven skip-ahead advanced in
+   bulk (simulated cycles without stage work; its wall share is the
+   skip bookkeeping itself).  The final id ("between") collects
+   everything outside the five stages: watchdog, invariant subscribers,
+   the driver's own per-cycle work. *)
+let stage_names =
+  [| "commit"; "resolve"; "issue_exec"; "rename"; "fetch"; "skipped"; "between" |]
+
 let n_stages = Array.length stage_names
+let skipped_stage = n_stages - 2
 
 type t = {
   stage_s : float array; (* wall seconds per stage id *)
@@ -58,6 +64,14 @@ let handler (p : t) (t : S.t) (ev : Hooks.event) =
       p.stage_s.(n_stages - 1) <- p.stage_s.(n_stages - 1) +. (now -. p.last);
       p.last <- now;
       p.cycles <- p.cycles + 1
+  | Hooks.On_skip { cycles } ->
+      (* Bulk-advanced quiet span: count the simulated cycles so
+         profiled cycles still equal the pipeline's clock, and bill the
+         (tiny) wall time of the jump to the pseudo-stage. *)
+      let now = Unix.gettimeofday () in
+      p.stage_s.(skipped_stage) <- p.stage_s.(skipped_stage) +. (now -. p.last);
+      p.last <- now;
+      p.cycles <- p.cycles + cycles
   | Hooks.On_commit e ->
       let pc = e.Rob_entry.pc in
       let dt = t.S.cycle - e.Rob_entry.t_fetch in
@@ -111,7 +125,7 @@ let attach ?sink (p : t) (t : S.t) =
     | Some f -> Some (fun () -> f (snapshot p ~cycle:t.S.cycle))
   in
   Hooks.subscribe ?on_remove t.S.hooks ~name:"profile"
-    ~kinds:Hooks.[ k_stage; k_cycle_end; k_commit ]
+    ~kinds:Hooks.[ k_stage; k_cycle_end; k_commit; k_skip ]
     (handler p)
 
 let detach (t : S.t) = Hooks.unsubscribe t.S.hooks "profile"

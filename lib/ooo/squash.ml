@@ -20,15 +20,24 @@
 open Protean_isa
 module S = Pipeline_state
 
-(* Remove every entry with seq >= [from_seq] and refetch at [new_pc]. *)
+(* Remove every entry with seq >= [from_seq] and refetch at [new_pc].
+   Flushed entries are parked in [squash_scratch] and released to the
+   per-pc entry pool only once every index is consistent — the list
+   truncations and the wakeup-chain cleanup below still read (and write)
+   their link fields. *)
 let flush (t : S.t) ~from_seq ~new_pc =
   let flushed = ref 0 in
   let keep = from_seq - t.S.head_seq in
   let keep = if keep < 0 then 0 else keep in
   for i = keep to t.S.count - 1 do
-    let idx = (t.S.head_idx + i) mod S.rob_size t in
+    let idx =
+      let j = t.S.head_idx + i in
+      let n = S.rob_size t in
+      if j >= n then j - n else j
+    in
     let e = t.S.rob.(idx) in
     if not (Rob_entry.is_null e) then begin
+      t.S.squash_scratch.(!flushed) <- e;
       incr flushed;
       if Rob_entry.is_load e then t.S.lq_used <- t.S.lq_used - 1;
       if Rob_entry.is_store e then t.S.sq_used <- t.S.sq_used - 1;
@@ -102,8 +111,9 @@ let flush (t : S.t) ~from_seq ~new_pc =
         p.Rob_entry.waiters <- !kept;
         p.Rob_entry.waiters_slot <- !kept_slot
       end);
-  flushed := !flushed + Queue.length t.S.fetch_buf;
-  Queue.clear t.S.fetch_buf;
+  let scratched = !flushed in
+  flushed := !flushed + S.fb_length t;
+  S.fb_clear t;
   (* Rebuild the rename map from the committed state plus surviving
      entries, replaying ProtISA's protection updates in order. *)
   Array.iteri
@@ -128,7 +138,14 @@ let flush (t : S.t) ~from_seq ~new_pc =
           | _ -> t.S.rmap_prot.(ri) <- insn.Insn.prot)
         e.Rob_entry.dsts);
   Branch_pred.rsb_clear t.S.bp;
+  (* Every index is consistent: recycle the flushed entries.  Their
+     remaining link-field garbage is reset on reuse. *)
+  for i = 0 to scratched - 1 do
+    S.pool_put t t.S.squash_scratch.(i);
+    t.S.squash_scratch.(i) <- Rob_entry.null
+  done;
   t.S.fetch_stalled <- false;
   t.S.fetch_pc <- new_pc;
+  t.S.progress <- true;
   if S.wants t Hooks.k_squash then
     S.emit t (Hooks.On_squash { from_seq; new_pc; flushed = !flushed })

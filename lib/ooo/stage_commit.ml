@@ -76,7 +76,9 @@ let commit_one (t : S.t) (e : Rob_entry.t) =
   (* Remove from the ROB (and the live load/store queues — a committing
      load/store is necessarily the front of its seq-ascending queue). *)
   t.S.rob.(t.S.head_idx) <- Rob_entry.null;
-  t.S.head_idx <- (t.S.head_idx + 1) mod S.rob_size t;
+  t.S.head_idx <-
+    (let i = t.S.head_idx + 1 in
+     if i >= S.rob_size t then 0 else i);
   t.S.head_seq <- t.S.head_seq + 1;
   t.S.count <- t.S.count - 1;
   if Rob_entry.is_load e then begin
@@ -87,7 +89,11 @@ let commit_one (t : S.t) (e : Rob_entry.t) =
     t.S.sq_used <- t.S.sq_used - 1;
     Entryq.drop_front t.S.lsq_stores
   end;
-  t.S.last_commit_cycle <- t.S.cycle
+  t.S.last_commit_cycle <- t.S.cycle;
+  t.S.progress <- true;
+  (* The entry is now out of every index and every inbound pointer is
+     gone (seq references range-check against [head_seq]): recycle it. *)
+  S.pool_put t e
 
 let run (t : S.t) =
   let committed = ref 0 in

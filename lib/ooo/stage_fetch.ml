@@ -29,24 +29,19 @@ let run (t : S.t) =
   while
     (not t.S.fetch_stalled)
     && !fetched < t.S.cfg.Config.fetch_width
-    && Queue.length t.S.fetch_buf < S.fetch_buf_capacity
+    && not (S.fb_full t)
   do
     let pc = t.S.fetch_pc in
     let insn =
       if Program.in_bounds t.S.program pc then Program.insn t.S.program pc
-      else Insn.make Insn.Halt
+      else S.halt_insn
     in
     let next = predict_next t pc insn in
-    Queue.add
-      {
-        S.f_pc = pc;
-        f_insn = insn;
-        f_pred_target = next;
-        f_ready = t.S.cycle + t.S.cfg.Config.frontend_latency;
-        f_fetched = t.S.cycle;
-      }
-      t.S.fetch_buf;
+    S.fb_push t ~pc ~pred_target:next
+      ~ready:(t.S.cycle + t.S.cfg.Config.frontend_latency)
+      ~fetched:t.S.cycle;
     if S.wants t Hooks.k_fetch then S.emit t (Hooks.On_fetch { pc; insn });
+    t.S.progress <- true;
     incr fetched;
     if next < 0 then t.S.fetch_stalled <- true else t.S.fetch_pc <- next
   done

@@ -70,16 +70,19 @@ let sources_ready (t : S.t) (e : Rob_entry.t) =
         (* Producer committed: its value is in the architectural
            register file (no younger writer can have committed). *)
         e.Rob_entry.src_val.(i) <- t.S.regs.(Reg.to_int r);
-        ready.(i) <- true
+        ready.(i) <- true;
+        t.S.progress <- true
       end
       else if prod.Rob_entry.executed then
         if t.S.policy.Policy.may_forward ap prod then begin
           copy_producer_value prod r e i;
           ready.(i) <- true;
+          t.S.progress <- true;
           if S.wants t Hooks.k_wakeup then
             S.emit t (Hooks.On_wakeup { consumer = e; producer = prod })
         end
         else begin
+          t.S.progress <- true;
           if S.wants t Hooks.k_wakeup_blocked then
             S.emit t (Hooks.On_wakeup_blocked { consumer = e; producer = prod });
           all := false;
@@ -88,7 +91,10 @@ let sources_ready (t : S.t) (e : Rob_entry.t) =
       else all := false
     end
   done;
-  if (not !all) && not !policy_blocked then e.Rob_entry.dormant <- true;
+  if (not !all) && not !policy_blocked then begin
+    e.Rob_entry.dormant <- true;
+    t.S.progress <- true
+  end;
   !all
 
 let src_value (e : Rob_entry.t) reg role =
@@ -341,6 +347,7 @@ let start_execution (t : S.t) (e : Rob_entry.t) =
   if !started then begin
     e.Rob_entry.issued <- true;
     e.Rob_entry.t_issue <- t.S.cycle;
+    t.S.progress <- true;
     (* A store whose address just resolved may expose a memory-order
        violation by a younger, already-executed load. *)
     if Rob_entry.is_store e then begin
@@ -371,6 +378,7 @@ let execution_gated (e : Rob_entry.t) =
 let complete_entry (t : S.t) (e : Rob_entry.t) =
   e.Rob_entry.executed <- true;
   e.Rob_entry.t_complete <- t.S.cycle;
+  t.S.progress <- true;
   let c = ref e.Rob_entry.waiters in
   let s = ref e.Rob_entry.waiters_slot in
   e.Rob_entry.waiters <- Rob_entry.null;
@@ -459,8 +467,13 @@ let tick (t : S.t) =
     for i = front to back - 1 do
       let e = a.(i) in
       if not e.Rob_entry.executed then begin
-        if e.Rob_entry.cycles_left <= 0 && S.wants t Hooks.k_wb_queued then
-          S.emit t (Hooks.On_wb_queued e);
+        if e.Rob_entry.cycles_left <= 0 then begin
+          (* Deferred completion: the per-cycle [wb_queue_stall_cycles]
+             accounting makes this cycle (and every cycle until the
+             broadcast slot is won) unskippable. *)
+          t.S.progress <- true;
+          if S.wants t Hooks.k_wb_queued then S.emit t (Hooks.On_wb_queued e)
+        end;
         a.(!w) <- e;
         incr w
       end
@@ -508,6 +521,7 @@ let run (t : S.t) =
         execution_gated e
         && not (t.S.policy.Policy.may_execute_transmitter ap e)
       then begin
+        t.S.progress <- true;
         if S.wants t Hooks.k_exec_blocked then
           S.emit t (Hooks.On_exec_blocked e)
       end
@@ -529,6 +543,7 @@ let run (t : S.t) =
           | Some pc -> find_port t pc (Rob_entry.op_class e)
         in
         if port < 0 then begin
+          t.S.progress <- true;
           if S.wants t Hooks.k_port_stall then
             S.emit t (Hooks.On_port_stall e)
         end
@@ -593,10 +608,14 @@ let resolve (t : S.t) =
     then
       if t.S.policy.Policy.may_resolve ap e then begin
         e.Rob_entry.resolved <- true;
-        S.bq_unlink t e
+        S.bq_unlink t e;
+        t.S.progress <- true
       end
-      else if S.wants t Hooks.k_resolve_blocked then
-        S.emit t (Hooks.On_resolve_blocked e);
+      else begin
+        t.S.progress <- true;
+        if S.wants t Hooks.k_resolve_blocked then
+          S.emit t (Hooks.On_resolve_blocked e)
+      end;
     cursor := next
   done;
   (* Detect mispredictions. *)
@@ -606,7 +625,11 @@ let resolve (t : S.t) =
     if
       e.Rob_entry.executed
       && e.Rob_entry.actual_target <> e.Rob_entry.pred_target
-    then e.Rob_entry.mispredicted <- true;
+      && not e.Rob_entry.mispredicted
+    then begin
+      e.Rob_entry.mispredicted <- true;
+      t.S.progress <- true
+    end;
     cursor := e.Rob_entry.bq_next
   done;
   (* Oldest eligible misprediction wins the squash slot. *)
@@ -628,8 +651,11 @@ let resolve (t : S.t) =
            candidate := e;
            raise Exit
          end
-         else if S.wants t Hooks.k_resolve_blocked then
-           S.emit t (Hooks.On_resolve_blocked e)
+         else begin
+           t.S.progress <- true;
+           if S.wants t Hooks.k_resolve_blocked then
+             S.emit t (Hooks.On_resolve_blocked e)
+         end
        end;
        cursor := next
      done
@@ -638,6 +664,7 @@ let resolve (t : S.t) =
   if (not (Rob_entry.is_null c)) && t.S.policy.Policy.may_resolve ap c then begin
     c.Rob_entry.resolved <- true;
     S.bq_unlink t c;
+    t.S.progress <- true;
     if S.wants t Hooks.k_mispredict then S.emit t (Hooks.On_mispredict c);
     Squash.flush t ~from_seq:(c.Rob_entry.seq + 1)
       ~new_pc:c.Rob_entry.actual_target

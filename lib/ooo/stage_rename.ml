@@ -45,14 +45,25 @@ let register_waiters (t : S.t) (e : Rob_entry.t) =
   done;
   if !pending && not !executed_producer then e.Rob_entry.dormant <- true
 
-let rename_one (t : S.t) (item : S.fetch_item) =
-  let insn = item.S.f_insn in
+(* [insn] is the decode of [item.f_pc], re-derived by [run] — the fetch
+   slot itself carries only ints. *)
+let rename_one (t : S.t) (item : S.fetch_item) (insn : Insn.t) =
   let pc = item.S.f_pc in
   let seq = t.S.next_seq in
   let e =
-    if Program.in_bounds t.S.program pc then
-      Rob_entry.create ~srcs:t.S.tmpl_srcs.(pc) ~dsts:t.S.tmpl_dsts.(pc) ~seq
-        ~pc ~insn ~t_fetch:item.S.f_fetched ()
+    if Program.in_bounds t.S.program pc then begin
+      (* Recycle a dead entry for this pc when one is pooled (the common
+         case in steady-state loops); [Rob_entry.reset] makes it
+         bit-identical to a fresh allocation. *)
+      let p = S.pool_take t pc insn in
+      if not (Rob_entry.is_null p) then begin
+        Rob_entry.reset p ~seq ~t_fetch:item.S.f_fetched;
+        p
+      end
+      else
+        Rob_entry.create ~srcs:t.S.tmpl_srcs.(pc) ~dsts:t.S.tmpl_dsts.(pc) ~seq
+          ~pc ~insn ~t_fetch:item.S.f_fetched ()
+    end
     else Rob_entry.create ~seq ~pc ~insn ~t_fetch:item.S.f_fetched ()
   in
   e.Rob_entry.t_rename <- t.S.cycle;
@@ -94,8 +105,12 @@ let rename_one (t : S.t) (item : S.fetch_item) =
   (* Branch prediction bookkeeping. *)
   if e.Rob_entry.is_branch then
     e.Rob_entry.pred_target <- item.S.f_pred_target;
-  (* Insert into the ROB. *)
-  let idx = (t.S.head_idx + t.S.count) mod S.rob_size t in
+  (* Insert into the ROB (division-free ring wrap). *)
+  let idx =
+    let i = t.S.head_idx + t.S.count in
+    let n = S.rob_size t in
+    if i >= n then i - n else i
+  in
   if t.S.count = 0 then begin
     t.S.head_idx <- idx;
     t.S.head_seq <- seq
@@ -115,26 +130,32 @@ let rename_one (t : S.t) (item : S.fetch_item) =
   S.uq_push t e;
   if e.Rob_entry.is_branch then S.bq_push t e;
   register_waiters t e;
+  t.S.progress <- true;
   if S.wants t Hooks.k_rename then S.emit t (Hooks.On_rename e)
 
 let run (t : S.t) =
   let renamed = ref 0 in
   let continue_ = ref true in
   while !continue_ && !renamed < t.S.cfg.Config.rename_width do
-    if Queue.is_empty t.S.fetch_buf then continue_ := false
+    if S.fb_is_empty t then continue_ := false
     else begin
-      let item = Queue.peek t.S.fetch_buf in
+      let item = S.fb_peek t in
       if item.S.f_ready > t.S.cycle || S.rob_full t then continue_ := false
       else begin
-        let is_ld = Insn.is_load item.S.f_insn.Insn.op in
-        let is_st = Insn.is_store item.S.f_insn.Insn.op in
+        let pc = item.S.f_pc in
+        let insn =
+          if Program.in_bounds t.S.program pc then Program.insn t.S.program pc
+          else S.halt_insn
+        in
+        let is_ld = Insn.is_load insn.Insn.op in
+        let is_st = Insn.is_store insn.Insn.op in
         if
           (is_ld && t.S.lq_used >= t.S.cfg.Config.lq_size)
           || (is_st && t.S.sq_used >= t.S.cfg.Config.sq_size)
         then continue_ := false
         else begin
-          ignore (Queue.pop t.S.fetch_buf);
-          rename_one t item;
+          ignore (S.fb_pop t);
+          rename_one t item insn;
           incr renamed
         end
       end

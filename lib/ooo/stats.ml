@@ -34,6 +34,11 @@ type t = {
       (* ready entry found no compatible free port (entry-cycles) *)
   mutable wb_queue_stall_cycles : int;
       (* completion deferred by the CDB broadcast budget (entry-cycles) *)
+  mutable skipped_cycles : int;
+      (* quiet cycles advanced in bulk by event-driven skip-ahead;
+         always <= [cycles], and 0 when skip-ahead is disabled — every
+         other counter is unaffected by skipping (a skippable cycle by
+         definition changes no counter) *)
 }
 
 let create () =
@@ -60,6 +65,7 @@ let create () =
     port_busy = [||];
     port_structural_stall_cycles = 0;
     wb_queue_stall_cycles = 0;
+    skipped_cycles = 0;
   }
 
 (* Count an issue bound to [port], growing the per-port array on first

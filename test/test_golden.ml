@@ -12,6 +12,16 @@ module Golden = Protean_harness.Golden
 module Supervisor = Protean_harness.Supervisor
 module Shard = Protean_harness.Shard
 module Json = Protean_harness.Shard.Json
+module Pipeline = Protean_ooo.Pipeline
+
+(* The recorded expectations were produced by the spinning machine;
+   event-driven skip-ahead is the optimization under test, so the
+   corpus must be byte-identical with it on (the default everywhere
+   else in this file) *and* off. *)
+let with_skip_ahead v f =
+  let saved = Pipeline.skip_ahead_enabled () in
+  Pipeline.set_skip_ahead v;
+  Fun.protect ~finally:(fun () -> Pipeline.set_skip_ahead saved) f
 
 (* `dune runtest` executes in _build/default/test (where the (deps ...)
    copy lives); `dune exec test/test_main.exe` runs from the project
@@ -49,6 +59,14 @@ let test_serial () = check_lines "serial" (Golden.lines ())
 
 let test_parallel () = check_lines "parallel -j 4" (Golden.lines ~jobs:4 ())
 
+let test_serial_no_skip () =
+  with_skip_ahead false (fun () ->
+      check_lines "serial --no-skip-ahead" (Golden.lines ()))
+
+let test_parallel_no_skip () =
+  with_skip_ahead false (fun () ->
+      check_lines "-j 4 --no-skip-ahead" (Golden.lines ~jobs:4 ()))
+
 (* --- width corpus ------------------------------------------------------ *)
 
 let check_width name actual =
@@ -84,7 +102,7 @@ let domain_transport ~compute () =
         if !crashed then ("signal SIGSEGV", false) else ("exit 0", true));
   }
 
-let test_width_shards () =
+let run_width_shards name =
   let keys = Golden.width_keys () in
   let cells = List.mapi (fun i k -> { Shard.c_id = i; c_key = k }) keys in
   let compute k = Json.Str (Golden.run_width_key k) in
@@ -111,16 +129,28 @@ let test_width_shards () =
         | id, _ -> Alcotest.fail (Printf.sprintf "width cell %d faulted" id))
       out
   in
-  check_width "width --shards 2" actual
+  check_width name actual
+
+let test_width_shards () = run_width_shards "width --shards 2"
+
+let test_width_shards_no_skip () =
+  with_skip_ahead false (fun () ->
+      run_width_shards "width --shards 2 --no-skip-ahead")
 
 let tests =
   [
     Alcotest.test_case "cycle-exact (serial)" `Slow test_serial;
     Alcotest.test_case "cycle-exact (-j 4)" `Slow test_parallel;
+    Alcotest.test_case "cycle-exact (serial, --no-skip-ahead)" `Slow
+      test_serial_no_skip;
+    Alcotest.test_case "cycle-exact (-j 4, --no-skip-ahead)" `Slow
+      test_parallel_no_skip;
     Alcotest.test_case "width sweep cycle-exact (serial)" `Slow
       test_width_serial;
     Alcotest.test_case "width sweep cycle-exact (-j 4)" `Slow
       test_width_parallel;
     Alcotest.test_case "width sweep cycle-exact (--shards 2)" `Slow
       test_width_shards;
+    Alcotest.test_case "width sweep cycle-exact (--shards 2, --no-skip-ahead)"
+      `Slow test_width_shards_no_skip;
   ]

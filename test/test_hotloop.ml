@@ -21,6 +21,10 @@
 module Hooks = Protean_ooo.Hooks
 module Pipeline = Protean_ooo.Pipeline
 module Golden = Protean_harness.Golden
+module E = Protean_harness.Experiment
+module Suite = Protean_workloads.Suite
+module Protcc = Protean_protcc.Protcc
+module Config = Protean_ooo.Config
 
 (* --- Hook bus re-registration semantics ------------------------------ *)
 
@@ -144,6 +148,93 @@ let test_paranoid_width () =
             (String.length line > 0))
         (Golden.width_lines ()))
 
+(* --- Shared-frontend batch vs per-cell equivalence ------------------- *)
+
+(* A mixed-defense grid slice: the base-binary defenses (unsafe, STT,
+   SPT-SB) share one frontend per benchmark, each ProtCC pass gets one
+   per (benchmark, pass) — several groups, each spanning multiple
+   cells. *)
+let grid_slice () =
+  let bn = Suite.find "ossl.bnexp" in
+  let bear = Suite.find "bearssl" in
+  let config = Config.test_core in
+  [
+    E.spec ~config bn E.cfg_unsafe;
+    E.spec ~config bn E.cfg_stt;
+    E.spec ~config bn E.cfg_spt_sb;
+    E.spec ~config bn (E.protean_cfg `Track Protcc.P_unr);
+    E.spec ~config bn (E.protean_cfg `Delay Protcc.P_unr);
+    E.spec ~config bear E.cfg_unsafe;
+    E.spec ~config bear (E.protean_cfg `Track Protcc.P_ct);
+  ]
+
+let with_sharing v f =
+  let saved = !E.share_frontend in
+  E.share_frontend := v;
+  Fun.protect ~finally:(fun () -> E.share_frontend := saved) f
+
+(* Every observable of a cell must be identical whether its frontend
+   came from the shared cache or was built per cell. *)
+let test_shared_frontend_equivalence () =
+  let specs = grid_slice () in
+  let shared = with_sharing true (fun () -> List.map E.compute specs) in
+  let solo = with_sharing false (fun () -> List.map E.compute specs) in
+  List.iteri
+    (fun i ((sh : E.run_result), (so : E.run_result)) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cell %d cycles" i)
+        true
+        (compare sh.E.cycles so.E.cycles = 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "cell %d stats" i)
+        true (sh.E.stats = so.E.stats);
+      Alcotest.(check bool)
+        (Printf.sprintf "cell %d code size" i)
+        true
+        (compare sh.E.code_size_ratio so.E.code_size_ratio = 0);
+      Alcotest.(check int)
+        (Printf.sprintf "cell %d moves" i)
+        so.E.inserted_moves sh.E.inserted_moves;
+      Alcotest.(check string)
+        (Printf.sprintf "cell %d per-cell run untagged" i)
+        "" so.E.frontend)
+    (List.combine shared solo);
+  (* ... and the shared run really did group: every cell tagged with
+     its frontend key, strictly fewer groups than cells. *)
+  let tags = List.map (fun (r : E.run_result) -> r.E.frontend) shared in
+  List.iteri
+    (fun i t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cell %d tagged" i)
+        true (t <> ""))
+    tags;
+  Alcotest.(check bool) "frontends shared across cells" true
+    (List.length (List.sort_uniq compare tags) < List.length tags)
+
+(* Batched parallel prewarm (frontend groups as scheduling units) must
+   land exactly the serial per-cell results in the session cache. *)
+let test_shared_frontend_prewarm () =
+  let specs = grid_slice () in
+  let gen session () = List.iter (fun s -> ignore (E.run session s)) specs in
+  let serial = E.create_session () in
+  gen serial ();
+  let par = E.create_session () in
+  E.prewarm ~jobs:2 par (gen par);
+  Alcotest.(check int) "cell count" (Hashtbl.length serial.E.cache)
+    (Hashtbl.length par.E.cache);
+  Hashtbl.iter
+    (fun k (r : E.run_result) ->
+      match Hashtbl.find_opt par.E.cache k with
+      | None -> Alcotest.fail ("missing cell " ^ k)
+      | Some (r' : E.run_result) ->
+          Alcotest.(check bool) (k ^ " identical") true
+            (compare r.E.cycles r'.E.cycles = 0
+            && r.E.stats = r'.E.stats
+            && compare r.E.code_size_ratio r'.E.code_size_ratio = 0
+            && r.E.inserted_moves = r'.E.inserted_moves
+            && String.equal r.E.frontend r'.E.frontend))
+    serial.E.cache
+
 let tests =
   [
     Alcotest.test_case "hooks: unsubscribe during emit" `Quick
@@ -158,4 +249,8 @@ let tests =
       test_paranoid_golden;
     Alcotest.test_case "paranoid structural-port cross-check (width corpus)"
       `Slow test_paranoid_width;
+    Alcotest.test_case "shared frontend: batch == per-cell" `Slow
+      test_shared_frontend_equivalence;
+    Alcotest.test_case "shared frontend: prewarm batches == serial" `Slow
+      test_shared_frontend_prewarm;
   ]
