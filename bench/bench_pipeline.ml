@@ -43,6 +43,18 @@ module Pipeline = Protean_ooo.Pipeline
 module Profile = Protean_ooo.Profile
 module Stats = Protean_ooo.Stats
 module Golden = Protean_harness.Golden
+module Report = Protean_harness.Report
+module Spec_window = Protean_ooo.Spec_window
+
+(* Host/build provenance, same labels as the `protean_build_info` metric:
+   a stored BENCH_pipeline.json identifies the machine, compiler, source
+   revision and active escape hatches that produced its numbers. *)
+let build_info_json oc =
+  Printf.fprintf oc "  \"build_info\": {%s}"
+    (String.concat ", "
+       (List.map
+          (fun (k, v) -> Printf.sprintf "\"%s\": \"%s\"" k (String.escaped v))
+          (Report.build_info_labels ())))
 
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -326,10 +338,58 @@ let smoke () =
     exit 1);
   Printf.printf "smoke: detached telemetry overhead %+.1f%% within bound\n%!"
     (tele.to_ratio *. 100.);
+  (* Scheduler + ledger gates on the same workload, instrumented once:
+     event-driven skip-ahead must actually be skipping idle cycles (the
+     source stat of protean_cycles_skipped_total), and an attached
+     speculation-window ledger must observe the speculation this
+     workload is known to have — a silently dead hook chain would zero
+     the window metric families and the over-protection audit without
+     failing any bit-identity check. *)
+  let d = Defense.find "prot-track" in
+  let t =
+    Pipeline.create Config.p_core (d.Defense.make ()) program ~overlays:[]
+  in
+  let led = Spec_window.attach t in
+  drive t;
+  Spec_window.detach t led;
+  let skipped = t.Protean_ooo.Pipeline_state.stats.Stats.skipped_cycles in
+  let skip_ahead_on =
+    match Sys.getenv_opt "PROTEAN_NO_SKIP_AHEAD" with
+    | Some v when v <> "" && v <> "0" -> false
+    | _ -> true
+  in
+  if skip_ahead_on && skipped <= 0 then (
+    Printf.eprintf
+      "smoke: protean_cycles_skipped_total source is 0: event-driven \
+       skip-ahead is not engaging\n";
+    exit 1);
+  let wc = Spec_window.counters led in
+  let wcount name =
+    match List.assoc_opt name wc with Some n -> n | None -> 0
+  in
+  let opened = wcount "windows_opened" in
+  let closed =
+    wcount "windows_resolved" + wcount "windows_mispredicted"
+    + wcount "windows_flushed" + wcount "windows_unclosed"
+  in
+  if opened <= 0 || closed <> opened then (
+    Printf.eprintf
+      "smoke: speculation-window ledger inconsistent: opened %d, closed \
+       (resolved+mispredicted+flushed+unclosed) %d\n"
+      opened closed;
+    exit 1);
+  Printf.printf
+    "smoke: skip-ahead skipped %d cycles; ledger saw %d windows (%d \
+     mispredicted, %d interventions)\n%!"
+    skipped opened
+    (wcount "windows_mispredicted")
+    (wcount "interventions_leaky" + wcount "interventions_benign");
   (* Record the smoke measurements so CI archives them alongside the
      full bench's BENCH_pipeline.json. *)
   let oc = open_out "BENCH_pipeline.json" in
   Printf.fprintf oc "{\n  \"smoke\": true,\n";
+  build_info_json oc;
+  Printf.fprintf oc ",\n";
   Printf.fprintf oc "  \"hotloop\": {\n";
   Printf.fprintf oc "    \"cycles\": %d, \"loop_wall_s\": %.4f,\n" hl.hl_cycles
     hl.hl_loop_wall;
@@ -342,7 +402,11 @@ let smoke () =
   Printf.fprintf oc "    \"minor_words_per_cycle\": %.1f\n  },\n"
     hp.hl_minor_words_per_cycle;
   telemetry_json oc tele;
-  Printf.fprintf oc "\n}\n";
+  Printf.fprintf oc ",\n  \"scheduler\": { \"cycles_skipped\": %d },\n" skipped;
+  Printf.fprintf oc "  \"windows\": {%s}\n"
+    (String.concat ", "
+       (List.map (fun (name, n) -> Printf.sprintf "\"%s\": %d" name n) wc));
+  Printf.fprintf oc "}\n";
   close_out oc;
   Printf.printf "smoke: wrote BENCH_pipeline.json\n%!"
 
@@ -375,6 +439,8 @@ let () =
     let jobs_per_worker = max 1 (host_cores / shards) in
     Printf.fprintf oc "{\n";
     Printf.fprintf oc "  \"host_cores\": %d,\n" host_cores;
+    build_info_json oc;
+    Printf.fprintf oc ",\n";
     Printf.fprintf oc "  \"topology\": {\n";
     Printf.fprintf oc "    \"host_cores\": %d, \"default_jobs\": %d,\n" host_cores
       (Protean_harness.Parallel.default_jobs ());

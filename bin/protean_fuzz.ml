@@ -25,6 +25,7 @@ module Shard = Protean_harness.Shard
 module Json = Shard.Json
 module Report = Protean_harness.Report
 module Metrics = Protean_telemetry.Metrics
+module Twindow = Protean_telemetry.Window
 module Trace = Protean_telemetry.Trace
 module Flame = Protean_telemetry.Flame
 module Tlog = Protean_telemetry.Log
@@ -63,6 +64,13 @@ let core_width_arg =
 let squash_bug_arg =
   Arg.(value & flag & info [ "squash-bug" ]
          ~doc:"Re-enable the pending-squash corner case (Section VII-B4b).")
+
+let gadget_arg =
+  Arg.(value & flag & info [ "gadget" ]
+         ~doc:"Generate gadget-only programs: every slot emits the v1 \
+               bounds-check-bypass gadget, so an unsound defense (e.g. \
+               --defense unsafe) violates deterministically. The \
+               attribution smoke test's program source.")
 
 let table_ii_arg =
   Arg.(value & flag & info [ "table-ii" ]
@@ -120,6 +128,13 @@ let flamegraph_out_arg =
          ~doc:"Write a collapsed-stack flamegraph of campaign effort \
                (contract tests by defense, contract and verdict) to \
                $(docv); render with flamegraph.pl or speedscope.")
+
+let attr_out_arg =
+  Arg.(value & opt (some string) None & info [ "attr-out" ] ~docv:"PATH"
+         ~doc:"Write the campaign's leakage-attribution record (leaking \
+               transmitter pc, source access pc, trigger window, gadget \
+               family) as JSON to $(docv); the rendered record also \
+               prints on stdout.")
 
 let log_json_arg =
   Arg.(value & flag & info [ "log-json" ]
@@ -195,8 +210,8 @@ let inject_arg =
                is load-bearing), so --defense/--contract are ignored. \
                Undetected faults (detector gaps) fail the run.")
 
-let campaign_of contract adversary programs inputs seed squash_bug timeout
-    core_width check_certs pass_fault =
+let campaign_of ?(gadget = false) contract adversary programs inputs seed
+    squash_bug timeout core_width check_certs pass_fault =
   let adversary =
     match adversary with
     | "cache" -> Fuzz.Cache_tlb
@@ -211,6 +226,7 @@ let campaign_of contract adversary programs inputs seed squash_bug timeout
     timeout_cycles = timeout;
     check_certs;
     cert_fault = Option.map Fault_inject.cert_mode_of_string pass_fault;
+    gen_klass = (if gadget then Gen.G_gadget else base.Fuzz.gen_klass);
     config =
       (if core_width > 0 then Config.with_width core_width base.Fuzz.config
        else base.Fuzz.config);
@@ -247,6 +263,14 @@ let record_campaign ~defense_id ~contract ~adversary (r : Fuzz.report) =
   Metrics.inc
     ~n:(List.length r.Fuzz.r_skipped)
     (c "programs_skipped_total" "programs skipped after retry");
+  (match r.Fuzz.r_attribution with
+  | Some a ->
+      Metrics.inc
+        (Metrics.counter fuzz_reg
+           ~help:"contract violations attributed by the speculation ledger"
+           ~labels:[ ("defense", defense_id); ("family", a.Twindow.at_family) ]
+           "protean_leak_attributed_total")
+  | None -> ());
   if out.Fuzz.certs_checked > 0 || out.Fuzz.cert_violations > 0 then begin
     let cc name help =
       Metrics.counter fuzz_reg ~help ~labels ("protean_cert_" ^ name)
@@ -523,19 +547,26 @@ let run_campaign_supervised ~tele ~shards ~jobs ~inject ?pool ?http
             (Printf.sprintf "worker crashed on every attempt (%d): %s"
                f_attempts f_reason))
     outcomes;
-  let counterexample =
+  (* Recover the first violating program from its seed and replay it
+     with witness capture in-process (witnesses never cross the pipe);
+     the witness feeds both the shrinker and the attribution replay. *)
+  let witness =
     match out.Fuzz.example with
-    | Some (pseed, _) when shrink ->
-        (* Recover the program index from its seed, replay it with
-           witness capture, and shrink in-process. *)
+    | Some (pseed, _) ->
         let index = (pseed - campaign.Fuzz.seed) / 7919 in
-        let witness = ref None in
+        let w = ref None in
         let program = Fuzz.generate_program campaign index in
-        (try
-           ignore (Fuzz.test_program ~witness campaign d ~index ~program)
+        (try ignore (Fuzz.test_program ~witness:w campaign d ~index ~program)
          with _ -> ());
-        Option.map (Fuzz.shrink_witness campaign d) !witness
-    | _ -> None
+        !w
+    | None -> None
+  in
+  let counterexample =
+    if shrink then Option.map (Fuzz.shrink_witness campaign d) witness
+    else None
+  in
+  let attribution =
+    Option.bind witness (Fuzz.attribute_witness campaign d)
   in
   {
     Fuzz.r_outcome = out;
@@ -543,6 +574,7 @@ let run_campaign_supervised ~tele ~shards ~jobs ~inject ?pool ?http
     r_skipped = List.rev !skips;
     r_resumed_from = None;
     r_counterexample = counterexample;
+    r_attribution = attribution;
   }
 
 let run_campaign ~tele ~jobs ~shards ~inject_worker ?pool ?http campaign d
@@ -586,6 +618,20 @@ let run_campaign ~tele ~jobs ~shards ~inject_worker ?pool ?http campaign d
         sh.Fuzz.sh_original_insns sh.Fuzz.sh_insns sh.Fuzz.sh_attempts
         (if sh.Fuzz.sh_verified then "" else "; NOT verified")
   | None -> ());
+  (match r.Fuzz.r_attribution with
+  | Some a -> print_endline (Twindow.render_attribution a)
+  | None -> ());
+  (match tele.Report.attr_out with
+  | Some path ->
+      Report.write_file path
+        (Printf.sprintf
+           "{\"defense\":\"%s\",\"contract\":\"%s\",\"attribution\":%s}\n"
+           (String.escaped d.Defense.id)
+           (String.escaped contract)
+           (match r.Fuzz.r_attribution with
+           | Some a -> Twindow.attribution_to_json a
+           | None -> "null"))
+  | None -> ());
   let cert_failed =
     if not campaign.Fuzz.check_certs then false
     else begin
@@ -621,9 +667,10 @@ let run_campaign ~tele ~jobs ~shards ~inject_worker ?pool ?http campaign d
   out.Fuzz.violations > 0 || cert_failed
 
 let run table_ii defense contract programs inputs adversary seed core_width
-    squash_bug timeout resume inject jobs shards worker inject_worker
+    squash_bug gadget timeout resume inject jobs shards worker inject_worker
     check_certs no_skip_ahead no_shared_frontend pass_fault metrics_out
-    trace_out flamegraph_out log_json listen connect token metrics_listen =
+    trace_out flamegraph_out attr_out log_json listen connect token
+    metrics_listen =
   Protean_ooo.Gc_tune.tune ();
   if log_json then Tlog.set_json true;
   (* Escape hatches, exported to the environment so spawned --shards
@@ -636,7 +683,7 @@ let run table_ii defense contract programs inputs adversary seed core_width
     Protean_harness.Experiment.share_frontend := false;
     Unix.putenv "PROTEAN_NO_SHARED_FRONTEND" "1"
   end;
-  let tele = { Report.metrics_out; trace_out; flamegraph_out } in
+  let tele = { Report.metrics_out; trace_out; flamegraph_out; attr_out } in
   Report.enable ~worker:(worker || connect <> None) tele;
   if check_certs then Certify.enabled := true;
   let jobs = if jobs = 0 then Parallel.default_jobs () else max 1 jobs in
@@ -646,8 +693,8 @@ let run table_ii defense contract programs inputs adversary seed core_width
        dialing one remotely (--connect); cell key = program index. *)
     let d = Defense.find defense in
     let campaign =
-      campaign_of contract adversary programs inputs seed squash_bug timeout
-        core_width check_certs pass_fault
+      campaign_of ~gadget contract adversary programs inputs seed squash_bug
+        timeout core_width check_certs pass_fault
     in
     let compute key =
       fuzz_cell ~cert_poison:check_certs campaign d (int_of_string key)
@@ -688,8 +735,8 @@ let run table_ii defense contract programs inputs adversary seed core_width
           else begin
             let d = Defense.find defense in
             let campaign =
-              campaign_of contract adversary programs inputs seed squash_bug
-                timeout core_width check_certs pass_fault
+              campaign_of ~gadget contract adversary programs inputs seed
+                squash_bug timeout core_width check_certs pass_fault
             in
             run_campaign ~tele ~jobs ~shards ~inject_worker ?pool ?http
               campaign d contract resume
@@ -706,12 +753,12 @@ let cmd =
     Term.(
       const run $ table_ii_arg $ defense_arg $ contract_arg $ programs_arg
       $ inputs_arg $ adversary_arg $ seed_arg $ core_width_arg
-      $ squash_bug_arg $ timeout_arg
+      $ squash_bug_arg $ gadget_arg $ timeout_arg
       $ resume_arg $ inject_arg $ jobs_arg $ shards_arg $ worker_arg
       $ inject_worker_arg $ check_certs_arg $ no_skip_ahead_arg
       $ no_shared_frontend_arg $ inject_pass_fault_arg
       $ metrics_out_arg $ trace_out_arg
-      $ flamegraph_out_arg $ log_json_arg $ listen_arg $ connect_arg
-      $ token_arg $ metrics_listen_arg)
+      $ flamegraph_out_arg $ attr_out_arg $ log_json_arg $ listen_arg
+      $ connect_arg $ token_arg $ metrics_listen_arg)
 
 let () = exit (Cmd.eval cmd)

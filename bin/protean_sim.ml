@@ -27,6 +27,8 @@ module Fault_inject = Protean_defense.Fault_inject
 module E = Protean_harness.Experiment
 module Report = Protean_harness.Report
 module Profile = Protean_ooo.Profile
+module Spec_window = Protean_ooo.Spec_window
+module Twindow = Protean_telemetry.Window
 module Flame = Protean_telemetry.Flame
 module Trace = Protean_telemetry.Trace
 module Tlog = Protean_telemetry.Log
@@ -159,6 +161,13 @@ let flamegraph_out_arg =
                defense, benchmark and function) to $(docv); render with \
                flamegraph.pl or speedscope.")
 
+let attr_out_arg =
+  Arg.(value & opt (some string) None & info [ "attr-out" ] ~docv:"PATH"
+         ~doc:"Attach the speculation-window ledger and write the per-cell \
+               window summary (leaky windows, tainted transmitters, defense \
+               interventions, over-protection ratio) as JSON to $(docv); a \
+               rendered text summary prints on stdout.")
+
 let log_json_arg =
   Arg.(value & flag & info [ "log-json" ]
          ~doc:"Emit diagnostic log lines as structured JSON on stderr.")
@@ -249,6 +258,10 @@ let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
         Profile.attach ~sink p t;
         attached := t :: !attached
   in
+  let ledgers : (Pipeline.t * Spec_window.t) list ref = ref [] in
+  let attach_ledger (t : Pipeline.t) =
+    if !E.collect_window then ledgers := (t, Spec_window.attach t) :: !ledgers
+  in
   let finish_tele policies =
     List.iter Profile.detach !attached;
     let pm =
@@ -256,9 +269,19 @@ let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
       else []
     in
     let fl = match flame_acc with None -> [] | Some acc -> Flame.to_list acc in
-    (pm, fl)
+    let wn =
+      List.fold_left
+        (fun acc (t, led) ->
+          Spec_window.detach t led;
+          (match (!E.window_hook, Spec_window.leaky_windows led) with
+          | Some f, (_ :: _ as leaky) -> f (d.Defense.id ^ "/" ^ bench) leaky
+          | _ -> ());
+          Twindow.merge_counters acc (Spec_window.counters led))
+        [] !ledgers
+    in
+    (pm, fl, wn)
   in
-  let result ~cycles ~stats ~pm ~fl =
+  let result ~cycles ~stats ~pm ~fl ~wn =
     {
       E.cycles = float_of_int cycles;
       stats;
@@ -267,6 +290,7 @@ let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
       policy_metrics = pm;
       flame = fl;
       frontend = "";
+      window = wn;
     }
   in
   match b.Suite.kind with
@@ -280,10 +304,12 @@ let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
       let policy = d.Defense.make () in
       let r =
         Pipeline.run ~spec_model ~fuel:50_000_000 ?on_cycle
-          ~on_start:(attach ~root:[ d.Defense.id; bench ] program)
+          ~on_start:(fun t ->
+            attach ~root:[ d.Defense.id; bench ] program t;
+            attach_ledger t)
           config policy program ~overlays:[]
       in
-      let pm, fl = finish_tele [ policy ] in
+      let pm, fl, wn = finish_tele [ policy ] in
       let report =
         Format.asprintf "%s under %s on %s:@.  %a@.  measured cycles: %d@."
           bench d.Defense.id config.Config.name Stats.pp r.Pipeline.stats
@@ -292,7 +318,7 @@ let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
       ( report,
         result
           ~cycles:(Stats.measured_cycles r.Pipeline.stats)
-          ~stats:[ r.Pipeline.stats ] ~pm ~fl )
+          ~stats:[ r.Pipeline.stats ] ~pm ~fl ~wn )
   | Suite.Multi f ->
       let programs = Array.map (instrument pass) (f ()) in
       let policies = ref [] in
@@ -304,13 +330,14 @@ let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
       let on_core i t =
         attach
           ~root:[ d.Defense.id; bench; Printf.sprintf "core%d" i ]
-          programs.(i) t
+          programs.(i) t;
+        attach_ledger t
       in
       let r =
         Multicore.run ~spec_model ~fuel:50_000_000 ~invariants
           ~invariant_every ~on_core config ~make_policy programs
       in
-      let pm, fl = finish_tele !policies in
+      let pm, fl, wn = finish_tele !policies in
       let buf = Buffer.create 256 in
       let ppf = Format.formatter_of_buffer buf in
       Format.fprintf ppf "%s under %s on %d cores: %d cycles@." bench
@@ -326,12 +353,12 @@ let simulate (b : Suite.benchmark) (d : Defense.t) config spec_model pass
             (Array.to_list
                (Array.map (fun (c : Pipeline.result) -> c.Pipeline.stats)
                   r.Multicore.per_core))
-          ~pm ~fl )
+          ~pm ~fl ~wn )
 
 let run list benches defense pass core core_width spec_model invariants
     invariant_every paranoid_sched no_skip_ahead no_shared_frontend
     check_certs jobs shards worker inject heartbeat wall metrics_out trace_out
-    flamegraph_out log_json listen connect token metrics_listen =
+    flamegraph_out attr_out log_json listen connect token metrics_listen =
   Protean_ooo.Gc_tune.tune ();
   if log_json then Tlog.set_json true;
   (* Stays in the worker argv (not a supervisor flag): shard workers
@@ -368,7 +395,7 @@ let run list benches defense pass core core_width spec_model invariants
     in
     let spec_model = model_of spec_model in
     let invariants = Invariants.mode_of_string invariants in
-    let tele = { Report.metrics_out; trace_out; flamegraph_out } in
+    let tele = { Report.metrics_out; trace_out; flamegraph_out; attr_out } in
     Report.enable ~worker tele;
     let session = E.create_session () in
     let cell_key bench =
@@ -549,7 +576,7 @@ let cmd =
       $ check_certs_arg $ jobs_arg $ shards_arg
       $ worker_arg $ inject_arg
       $ heartbeat_arg $ wall_arg $ metrics_out_arg $ trace_out_arg
-      $ flamegraph_out_arg $ log_json_arg $ listen_arg $ connect_arg
-      $ token_arg $ metrics_listen_arg)
+      $ flamegraph_out_arg $ attr_out_arg $ log_json_arg $ listen_arg
+      $ connect_arg $ token_arg $ metrics_listen_arg)
 
 let () = exit (Cmd.eval cmd)

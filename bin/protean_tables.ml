@@ -29,8 +29,8 @@ let what_arg =
   let doc =
     "What to generate: table-i, table-ii, table-iv, table-v, figure-5, \
      figure-6, protcc-overhead, l1d-variants, ablation-access, \
-     control-model, bugfix-cost, width-sweep, area, golden, golden-width, \
-     or all."
+     control-model, bugfix-cost, width-sweep, over-protection, area, \
+     golden, golden-width, or all."
   in
   Arg.(value & pos 0 string "table-v" & info [] ~docv:"WHAT" ~doc)
 
@@ -129,6 +129,13 @@ let flamegraph_out_arg =
                defense, benchmark and function) to $(docv); render with \
                flamegraph.pl or speedscope.")
 
+let attr_out_arg =
+  Arg.(value & opt (some string) None & info [ "attr-out" ] ~docv:"PATH"
+         ~doc:"Write the per-cell speculation-window ledger summary \
+               (window counters and over-protection ratios) as JSON to \
+               $(docv), and print the rendered report. Byte-identical \
+               across -j and --shards.")
+
 let log_json_arg =
   Arg.(value & flag & info [ "log-json" ]
          ~doc:"Emit diagnostic log lines as structured JSON on stderr.")
@@ -171,8 +178,8 @@ let supervisor_flags =
 
 let run what benches core_widths fuzz_programs check_certs no_skip_ahead
     no_shared_frontend jobs shards worker inject heartbeat wall checkpoint_dir
-    metrics_out trace_out flamegraph_out log_json listen connect token
-    metrics_listen =
+    metrics_out trace_out flamegraph_out attr_out log_json listen connect
+    token metrics_listen =
   Protean_ooo.Gc_tune.tune ();
   if log_json then Protean_telemetry.Log.set_json true;
   if check_certs then Report.enable_cert_audit ();
@@ -191,7 +198,12 @@ let run what benches core_widths fuzz_programs check_certs no_skip_ahead
   let shards = max 1 shards in
   let benches = match benches with [] -> None | bs -> Some bs in
   let widths = match core_widths with [] -> None | ws -> Some ws in
-  let tele = { Report.metrics_out; trace_out; flamegraph_out } in
+  let tele = { Report.metrics_out; trace_out; flamegraph_out; attr_out } in
+  (* The over-protection audit reads the ledger's summary counters from
+     every cell; flip collection before any simulation runs.  The switch
+     rides the worker argv (the positional target is kept), so shard
+     workers collect too and the counters ride home in [F_result]. *)
+  if what = "over-protection" then E.collect_window := true;
   Report.enable ~worker tele;
   let session = E.create_session ~log:true () in
   (* Targets memoized through [session] can be prewarmed in parallel;
@@ -209,6 +221,10 @@ let run what benches core_widths fuzz_programs check_certs no_skip_ahead
     | "bugfix-cost" -> Some (fun () -> Studies.bugfix_cost ?benches session)
     | "width-sweep" ->
         Some (fun () -> Tables.width_sweep ?benches ?widths session)
+    (* Not in [session_targets]: `all` keeps the ledger detached so its
+       grid cells stay byte-identical to the golden corpora. *)
+    | "over-protection" ->
+        Some (fun () -> Tables.over_protection ?benches session)
     | _ -> None
   in
   let session_targets =
@@ -322,7 +338,7 @@ let cmd =
       $ jobs_arg
       $ shards_arg $ worker_arg $ inject_arg $ heartbeat_arg $ wall_arg
       $ checkpoint_dir_arg $ metrics_out_arg $ trace_out_arg
-      $ flamegraph_out_arg $ log_json_arg $ listen_arg $ connect_arg
-      $ token_arg $ metrics_listen_arg)
+      $ flamegraph_out_arg $ attr_out_arg $ log_json_arg $ listen_arg
+      $ connect_arg $ token_arg $ metrics_listen_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -372,6 +372,173 @@ let shrink_witness ?(budget = 64) campaign defense (w : witness) =
         ~secret_a:w.w_secret_a ~secret_b:w.w_secret_b;
   }
 
+(* --- leakage attribution --------------------------------------------- *)
+
+module Twindow = Protean_telemetry.Window
+
+(* Replay one hardware run of the witness with a full-mode speculation
+   ledger attached, returning the detached ledger. *)
+let run_hw_ledger campaign (defense : Protean_defense.Defense.t) program
+    overlays =
+  let slot = ref None in
+  let watchdog =
+    { Pipeline.default_watchdog with Pipeline.budget = campaign.timeout_cycles }
+  in
+  ignore
+    (Pipeline.run ~trace:true ~squash_bug:campaign.squash_bug
+       ~spec_model:campaign.spec_model ~watchdog ~fuel:400_000
+       ~on_start:(fun t -> slot := Some (t, Spec_window.attach ~full:true t))
+       campaign.config
+       (defense.Protean_defense.Defense.make ())
+       program ~overlays);
+  match !slot with
+  | Some (t, led) ->
+      Spec_window.detach t led;
+      led
+  | None -> invalid_arg "Fuzz.run_hw_ledger: on_start never fired"
+
+let attribution_of_window (w : Spec_window.window)
+    (x : Spec_window.xmit option) =
+  {
+    Twindow.at_family = Spec_window.trigger_family w.Spec_window.w_trigger;
+    at_xmit_pc = (match x with Some x -> x.Spec_window.x_pc | None -> -1);
+    at_src_pc = (match x with Some x -> x.Spec_window.x_src_pc | None -> -1);
+    at_window_id = w.Spec_window.w_id;
+    at_window_pc = w.Spec_window.w_pc;
+    at_window_depth = w.Spec_window.w_depth;
+  }
+
+(* Execution-order (pc, addr) walk over two transmitter logs (the ledger
+   stores them newest first): the first differing entry is the earliest
+   access the two runs disagree on — the divergence the adversary saw.
+   Prefer the tainted side of the disagreement: that is the entry whose
+   operand carried transient data. *)
+let first_diverging_xmit la lb =
+  let rec go xs ys =
+    match (xs, ys) with
+    | (x : Spec_window.xmit) :: xs', (y : Spec_window.xmit) :: ys' ->
+        if
+          x.Spec_window.x_pc = y.Spec_window.x_pc
+          && x.Spec_window.x_addr = y.Spec_window.x_addr
+        then go xs' ys'
+        else if x.Spec_window.x_tainted then Some x
+        else if y.Spec_window.x_tainted then Some y
+        else Some x
+    | x :: _, [] -> Some x
+    | [], y :: _ -> Some y
+    | [], [] -> None
+  in
+  go (List.rev la) (List.rev lb)
+
+(* Attribute a captured violation: replay both halves of the witness
+   pair with full ledgers and locate the leak.
+
+   Heuristic, strongest evidence first:
+   1. a *leaky* window (closed by its own misprediction with >= 1
+      tainted transmitter under it) on either run — the canonical
+      transient-leak shape; the record names its first tainted
+      transmitter and the access its operand derived from, and the
+      family follows the trigger (v1 conditional / v2 indirect / rsb
+      return);
+   2. otherwise, the first window (aligned by id — both runs execute the
+      same code, so ids agree up to the divergence) whose transmitter
+      logs differ between the runs;
+   3. otherwise a window-less divergence of the global transmitter logs:
+      with memory-order violations on either run that is the v4
+      (store-bypass) shape, else "unknown".
+
+   Replay faults degrade to [None] rather than aborting the campaign's
+   reporting. *)
+let attribute_witness campaign defense (w : witness) =
+  match
+    ( run_hw_ledger campaign defense w.w_program [ w.w_public; w.w_secret_a ],
+      run_hw_ledger campaign defense w.w_program [ w.w_public; w.w_secret_b ] )
+  with
+  | exception _ -> None
+  | la, lb -> (
+      let first_tainted log =
+        List.find_opt
+          (fun (x : Spec_window.xmit) -> x.Spec_window.x_tainted)
+          (List.rev log)
+      in
+      let leaky =
+        match (Spec_window.leaky_windows la, Spec_window.leaky_windows lb) with
+        | w :: _, [] | [], w :: _ -> Some w
+        | wa :: _, wb :: _ ->
+            Some
+              (if wa.Spec_window.w_id <= wb.Spec_window.w_id then wa else wb)
+        | [], [] -> None
+      in
+      match leaky with
+      | Some lw ->
+          let x =
+            match first_tainted lw.Spec_window.w_log with
+            | Some _ as x -> x
+            | None -> (
+                match List.rev lw.Spec_window.w_log with
+                | x :: _ -> Some x
+                | [] -> None)
+          in
+          Some (attribution_of_window lw x)
+      | None -> (
+          let by_id led =
+            List.map
+              (fun (w : Spec_window.window) -> (w.Spec_window.w_id, w))
+              (Spec_window.closed_windows led)
+          in
+          let wa = by_id la and wb = by_id lb in
+          let ids =
+            List.sort_uniq compare (List.map fst wa @ List.map fst wb)
+          in
+          let diverged =
+            List.find_map
+              (fun id ->
+                match (List.assoc_opt id wa, List.assoc_opt id wb) with
+                | Some a, Some b -> (
+                    match
+                      first_diverging_xmit a.Spec_window.w_log
+                        b.Spec_window.w_log
+                    with
+                    | Some x -> Some (a, Some x)
+                    | None -> None)
+                | Some a, None ->
+                    Some (a, first_diverging_xmit a.Spec_window.w_log [])
+                | None, Some b ->
+                    Some (b, first_diverging_xmit [] b.Spec_window.w_log)
+                | None, None -> None)
+              ids
+          in
+          match diverged with
+          | Some (w, x) -> Some (attribution_of_window w x)
+          | None ->
+              let family =
+                if
+                  Spec_window.order_violations la > 0
+                  || Spec_window.order_violations lb > 0
+                then "v4"
+                else "unknown"
+              in
+              let x =
+                first_diverging_xmit
+                  (List.rev (Spec_window.global_log la))
+                  (List.rev (Spec_window.global_log lb))
+              in
+              Some
+                {
+                  Twindow.at_family = family;
+                  at_xmit_pc =
+                    (match x with
+                    | Some x -> x.Spec_window.x_pc
+                    | None -> -1);
+                  at_src_pc =
+                    (match x with
+                    | Some x -> x.Spec_window.x_src_pc
+                    | None -> -1);
+                  at_window_id = -1;
+                  at_window_pc = -1;
+                  at_window_depth = -1;
+                }))
+
 (* --- campaign checkpointing ------------------------------------------ *)
 
 module Checkpoint = struct
@@ -505,6 +672,8 @@ type report = {
   r_skipped : skip list; (* programs dropped after retry, oldest first *)
   r_resumed_from : int option; (* index a matching checkpoint resumed at *)
   r_counterexample : shrunk option; (* shrunk first violation *)
+  r_attribution : Twindow.attribution option;
+      (* ledger replay of the first violation *)
 }
 
 let describe_exn = function
@@ -584,12 +753,18 @@ let run_resilient ?checkpoint ?(shrink = true) ?(shrink_budget = 64)
         Some (shrink_witness ~budget:shrink_budget campaign defense w)
     | _ -> None
   in
+  let attribution =
+    match !witness with
+    | Some w -> attribute_witness campaign defense w
+    | None -> None
+  in
   {
     r_outcome = out;
     r_completed = campaign.programs - !faulted;
     r_skipped = List.rev !skips;
     r_resumed_from = resumed_from;
     r_counterexample = counterexample;
+    r_attribution = attribution;
   }
 
 (* --- fuzzer self-test via fault injection ----------------------------- *)

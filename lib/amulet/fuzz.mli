@@ -146,6 +146,23 @@ val shrink_witness :
 (** Shrink a captured {!witness} (nop-out live instructions while the
     violation persists); used by parallel drivers after the campaign. *)
 
+(** {1 Leakage attribution} *)
+
+val attribute_witness :
+  campaign ->
+  Protean_defense.Defense.t ->
+  witness ->
+  Protean_telemetry.Window.attribution option
+(** Replay both halves of a captured violation with a full-mode
+    speculation-window ledger ({!Protean_ooo.Spec_window}) attached and
+    attribute the leak: the leaking transmitter pc, the access its
+    tainted operand derived from, the trigger window (id, pc, nesting
+    depth), and a heuristic gadget-family classification — "v1"
+    (conditional trigger, bounds-check bypass), "v2" (indirect branch),
+    "rsb" (return misprediction), "v4" (global transmitter divergence
+    driven by a memory-order violation, no window divergence), or
+    "unknown".  Replay faults degrade to [None]. *)
+
 (** {1 Campaign checkpointing} *)
 
 module Checkpoint : sig
@@ -194,6 +211,8 @@ type report = {
   r_resumed_from : int option;
       (** index a matching checkpoint resumed at *)
   r_counterexample : shrunk option;  (** shrunk first violation *)
+  r_attribution : Protean_telemetry.Window.attribution option;
+      (** {!attribute_witness} on the first violation *)
 }
 
 val run_resilient :

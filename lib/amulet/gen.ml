@@ -31,7 +31,13 @@ let probe_size = 4096
 let cold_base = 0xE000
 let cold_size = 4096
 
-type klass_gen = G_arch | G_ct | G_unr
+type klass_gen =
+  | G_arch
+  | G_ct
+  | G_unr
+  | G_gadget
+      (* every slot emits the full v1 bounds-check-bypass gadget:
+         deterministic leak bait for attribution smoke tests *)
 
 type spec = {
   seed : int;
@@ -136,7 +142,11 @@ let gen_load_secret g =
 
 let gen_store g =
   let idx = public_reg g in
-  let data = if g.klass = G_arch then public_reg g else any_reg g in
+  let data =
+    match g.klass with
+    | G_arch | G_gadget -> public_reg g
+    | G_ct | G_unr -> any_reg g
+  in
   (* Secret stores go to the (never publicly re-read) upper half of the
      secret region so the generator's register secrecy tracking stays
      sound for memory too. *)
@@ -150,7 +160,9 @@ let gen_store g =
 let gen_div g =
   let dst = any_reg g in
   let n =
-    match g.klass with G_unr -> any_reg g | G_arch | G_ct -> public_reg g
+    match g.klass with
+    | G_unr -> any_reg g
+    | G_arch | G_ct | G_gadget -> public_reg g
   in
   let d = public_reg g in
   (* Architecturally nonzero public divisor. *)
@@ -268,9 +280,12 @@ let gen_insn g =
       else if w < 82 then gen_cmov g
       else if w < 90 then gen_secret_branch g
       else gen_gadget g
+  | G_gadget -> gen_gadget g
 
+(* The gadget's transient body never runs architecturally, so a
+   gadget-only program is Arch-class: it never touches the secret. *)
 let klass_of_gen = function
-  | G_arch -> Program.Arch
+  | G_arch | G_gadget -> Program.Arch
   | G_ct -> Program.Ct
   | G_unr -> Program.Unr
 

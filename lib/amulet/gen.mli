@@ -22,6 +22,9 @@ type klass_gen =
   | G_arch  (** never architecturally touches the secret region *)
   | G_ct  (** holds secrets, never passes them to sensitive operands *)
   | G_unr  (** unconstrained, including secret-dependent branches *)
+  | G_gadget
+      (** every slot emits the v1 bounds-check-bypass gadget; used by the
+          attribution smoke tests (deterministic leaks under [unsafe]) *)
 
 type spec = { seed : int; klass : klass_gen; blocks : int; block_len : int }
 

@@ -18,10 +18,12 @@ module Multicore = Protean_ooo.Multicore
 module Stats = Protean_ooo.Stats
 module Profile = Protean_ooo.Profile
 module Pstate = Protean_ooo.Pipeline_state
+module Spec_window = Protean_ooo.Spec_window
 module Suite = Protean_workloads.Suite
 module Program = Protean_isa.Program
 module Tlog = Protean_telemetry.Log
 module Flame = Protean_telemetry.Flame
+module Twindow = Protean_telemetry.Window
 
 type defense_cfg = {
   label : string;
@@ -88,6 +90,11 @@ type run_result = {
          faulted before the frontend was prepared.  Purely an
          accounting tag: the reporting layer sums reuse per group into
          [protean_frontend_reuse_total]. *)
+  window : (string * int) list;
+      (* the speculation-window ledger's summary counters
+         ([Spec_window.counters]), summed across cores; [] unless window
+         collection is enabled.  All members merge by summation, so
+         shard/job merge order cannot change the totals. *)
 }
 
 (* Telemetry collection switches, process-global like the line sink:
@@ -97,6 +104,16 @@ type run_result = {
    no profiler subscription, no policy-metrics read. *)
 let collect_policy_metrics = ref false
 let collect_flame = ref false
+let collect_window = ref false
+
+(* Observation hook for leaky speculation windows (mispredicted with a
+   tainted transmitter under them), installed by the reporting layer to
+   record one Chrome-trace span per leaking window.  Called once per
+   attached ledger with a cell label and the (oldest-first) leaky
+   windows; a plain callback so this module needs no tracer
+   dependency. *)
+let window_hook : (string -> Spec_window.window list -> unit) option ref =
+  ref None
 
 (* Observation hook for cell computations (key, wall start, wall end),
    installed by the reporting layer to record Chrome-trace spans.  A
@@ -315,13 +332,30 @@ let execute spec =
         attached := t :: !attached
   in
   let detach_all () = List.iter Profile.detach !attached in
+  (* Window ledgers: one per core, attached alongside the profiler and
+     merged (summed) at the end of the run. *)
+  let ledgers : (Pipeline.t * Spec_window.t) list ref = ref [] in
+  let attach_ledger (t : Pipeline.t) =
+    if !collect_window then ledgers := (t, Spec_window.attach t) :: !ledgers
+  in
   let finish_tele policies =
     detach_all ();
     let pm =
       if !collect_policy_metrics then merge_policy_metrics policies else []
     in
     let fl = match flame_acc with None -> [] | Some acc -> Flame.to_list acc in
-    (pm, fl)
+    let wn =
+      List.fold_left
+        (fun acc (t, led) ->
+          Spec_window.detach t led;
+          (match (!window_hook, Spec_window.leaky_windows led) with
+          | Some f, (_ :: _ as leaky) ->
+              f (spec.dcfg.label ^ "/" ^ bkey) leaky
+          | _ -> ());
+          Twindow.merge_counters acc (Spec_window.counters led))
+        [] !ledgers
+    in
+    (pm, fl, wn)
   in
   let fe = prepare_frontend spec in
   match spec.bench.Suite.kind with
@@ -331,10 +365,12 @@ let execute spec =
       let r =
         Pipeline.run ~squash_bug:spec.squash_bug ~spec_model:spec.spec_model
           ~decode:fe.fe_decode.(0) ~fuel:default_fuel
-          ~on_start:(attach_profiler ~root:[ spec.dcfg.label; bkey ] program)
+          ~on_start:(fun t ->
+            attach_profiler ~root:[ spec.dcfg.label; bkey ] program t;
+            attach_ledger t)
           spec.config policy program ~overlays:[]
       in
-      let policy_metrics, flame = finish_tele [ policy ] in
+      let policy_metrics, flame, window = finish_tele [ policy ] in
       if not r.Pipeline.finished then
         failwith
           (Printf.sprintf "experiment %s/%s did not finish"
@@ -347,6 +383,7 @@ let execute spec =
         policy_metrics;
         flame;
         frontend = fe.fe_key;
+        window;
       }
   | Suite.Multi _ ->
       let programs = fe.fe_programs in
@@ -359,14 +396,15 @@ let execute spec =
       let on_core i t =
         attach_profiler
           ~root:[ spec.dcfg.label; bkey; Printf.sprintf "core%d" i ]
-          programs.(i) t
+          programs.(i) t;
+        attach_ledger t
       in
       let r =
         Multicore.run ~squash_bug:spec.squash_bug ~spec_model:spec.spec_model
           ~decode:fe.fe_decode ~fuel:default_fuel ~on_core spec.config
           ~make_policy programs
       in
-      let policy_metrics, flame = finish_tele !policies in
+      let policy_metrics, flame, window = finish_tele !policies in
       if not r.Multicore.finished then
         failwith
           (Printf.sprintf "experiment %s/%s did not finish"
@@ -381,6 +419,7 @@ let execute spec =
         policy_metrics;
         flame;
         frontend = fe.fe_key;
+        window;
       }
 
 (* Memoized session.  [collect], when set, switches [run] into a
@@ -415,6 +454,7 @@ let faulted_result =
     policy_metrics = [];
     flame = [];
     frontend = "";
+    window = [];
   }
 
 (* Diagnostic lines (fault reports, [run] cache-miss logs, [prewarm]

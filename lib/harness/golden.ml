@@ -47,7 +47,11 @@ let source_name = function
   | Bench n -> n
   | Rand (k, seed) ->
       let kn =
-        match k with Gen.G_arch -> "arch" | Gen.G_ct -> "ct" | Gen.G_unr -> "unr"
+        match k with
+        | Gen.G_arch -> "arch"
+        | Gen.G_ct -> "ct"
+        | Gen.G_unr -> "unr"
+        | Gen.G_gadget -> "gadget"
       in
       Printf.sprintf "gen:%s:%d" kn seed
 

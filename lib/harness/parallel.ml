@@ -187,10 +187,19 @@ let fuzz_run_resilient ?jobs ?(shrink = true) ?(shrink_budget = 64)
         Some (Fuzz.shrink_witness ~budget:shrink_budget campaign defense w)
     | _ -> None
   in
+  (* The attribution replay is serial and deterministic: the witness is
+     the index-order-first violation, identical to the serial
+     campaign's, so -j N attributes the same leak. *)
+  let attribution =
+    match !witness with
+    | Some w -> Fuzz.attribute_witness campaign defense w
+    | None -> None
+  in
   {
     Fuzz.r_outcome = out;
     r_completed = campaign.Fuzz.programs - List.length !skips;
     r_skipped = List.rev !skips;
     r_resumed_from = None;
     r_counterexample = counterexample;
+    r_attribution = attribution;
   }

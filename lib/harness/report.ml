@@ -20,24 +20,96 @@
 module Metrics = Protean_telemetry.Metrics
 module Trace = Protean_telemetry.Trace
 module Flame = Protean_telemetry.Flame
+module Twindow = Protean_telemetry.Window
 module Stats = Protean_ooo.Stats
+module Spec_window = Protean_ooo.Spec_window
 module E = Experiment
 
 type config = {
   metrics_out : string option;
   trace_out : string option;
   flamegraph_out : string option;
+  attr_out : string option;
+      (* per-cell speculation-window summary + over-protection report *)
 }
 
-let no_exports = { metrics_out = None; trace_out = None; flamegraph_out = None }
+let no_exports =
+  {
+    metrics_out = None;
+    trace_out = None;
+    flamegraph_out = None;
+    attr_out = None;
+  }
 
 let wanted c =
   c.metrics_out <> None || c.trace_out <> None || c.flamegraph_out <> None
+  || c.attr_out <> None
 
 (* Runtime registry: supervisor lifecycle counters, filled by the bus
    observer as the run executes. *)
 let runtime = Metrics.create ()
 let tracer : Trace.t option ref = ref None
+
+(* ------------------------------------------------------------------ *)
+(* Build/host metadata                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Self-describing runs: host parallelism, toolchain, source revision
+   and any active escape-hatch env vars, so a metrics snapshot (or a
+   bench JSON) records the environment that produced it — the ROADMAP's
+   1-core-host bench caveat made explicit. *)
+
+let escape_hatches =
+  [
+    "PROTEAN_NO_SKIP_AHEAD";
+    "PROTEAN_NO_SHARED_FRONTEND";
+    "PROTEAN_PARANOID_SCHED";
+    "PROTEAN_NET_FAULT";
+    "PROTEAN_NO_SPAWN";
+  ]
+
+let hatch_active v =
+  match Sys.getenv_opt v with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+(* Source revision from .git/HEAD (one level of ref indirection), no
+   subprocess; "unknown" outside a checkout. *)
+let git_rev () =
+  let first_line path =
+    match open_in path with
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> match input_line ic with l -> Some l | exception _ -> None)
+    | exception _ -> None
+  in
+  let short s = String.sub s 0 (min 12 (String.length s)) in
+  match first_line (Filename.concat ".git" "HEAD") with
+  | Some line when String.length line > 5 && String.sub line 0 5 = "ref: " ->
+      let r = String.sub line 5 (String.length line - 5) in
+      (match first_line (Filename.concat ".git" (String.trim r)) with
+      | Some rev -> short (String.trim rev)
+      | None -> "unknown")
+  | Some rev when String.trim rev <> "" -> short (String.trim rev)
+  | _ -> "unknown"
+
+let build_info_labels () =
+  [
+    ("cores", string_of_int (Domain.recommended_domain_count ()));
+    ("ocaml", Sys.ocaml_version);
+    ("rev", git_rev ());
+    ("hatches", String.concat "," (List.filter hatch_active escape_hatches));
+  ]
+
+(* Registered once into the runtime registry, which merges into every
+   metrics output path (files, /metrics scrapes, worker or parent). *)
+let () =
+  Metrics.set
+    (Metrics.gauge runtime
+       ~help:"build/host metadata (constant 1; the labels are the data)"
+       ~labels:(build_info_labels ()) "protean_build_info")
+    1
 
 (* Flip the collection switches for this process.  Workers call this
    too ([--worker] keeps the exporter flags in argv) so cells computed
@@ -47,13 +119,38 @@ let tracer : Trace.t option ref = ref None
 let enable ?(worker = false) c =
   if c.metrics_out <> None then E.collect_policy_metrics := true;
   if c.flamegraph_out <> None then E.collect_flame := true;
+  if c.metrics_out <> None || c.attr_out <> None then E.collect_window := true;
   if (not worker) && wanted c then begin
     let tr = Trace.create () in
     Trace.name_process tr ~pid:0 "protean";
     tracer := Some tr;
-    if c.trace_out <> None then
+    if c.trace_out <> None then begin
       E.cell_hook :=
-        Some (fun key t0 t1 -> Trace.span tr ~cat:"cell" ~t0 ~t1 key)
+        Some (fun key t0 t1 -> Trace.span tr ~cat:"cell" ~t0 ~t1 key);
+      (* One span per *leaking* speculation window, on a simulated-time
+         track (one cycle = one microsecond, its own pid). *)
+      Trace.name_process tr ~pid:1 "simulated-windows";
+      E.window_hook :=
+        Some
+          (fun label ws ->
+            List.iter
+              (fun (w : Spec_window.window) ->
+                Trace.span_us tr ~cat:"window" ~pid:1
+                  ~args:
+                    [
+                      ("trigger_pc", string_of_int w.Spec_window.w_pc);
+                      ( "family",
+                        Spec_window.trigger_family w.Spec_window.w_trigger );
+                      ( "tainted",
+                        string_of_int w.Spec_window.w_tainted );
+                      ( "interventions",
+                        string_of_int w.Spec_window.w_interventions );
+                    ]
+                  ~ts_us:w.Spec_window.w_opened
+                  ~dur_us:(w.Spec_window.w_closed - w.Spec_window.w_opened)
+                  (Printf.sprintf "%s window#%d" label w.Spec_window.w_id))
+              ws)
+    end
   end
 
 (* --check-certs: flip the independent checker's switch and feed its
@@ -152,6 +249,25 @@ let stat_families : (string * string * (Stats.t -> int)) list =
       fun s -> s.Stats.access_pred_false_negatives );
   ]
 
+(* Ledger counter names → metric families.  "windows_opened" →
+   protean_window_opened_total, "window_cycles" →
+   protean_window_cycles_total, "transmitters" →
+   protean_window_transmitters_total: strip the ledger's own
+   windows_/window_ prefix, then re-root under the one family prefix. *)
+let window_family name =
+  let strip p s =
+    let lp = String.length p in
+    if String.length s > lp && String.sub s 0 lp = p then
+      Some (String.sub s lp (String.length s - lp))
+    else None
+  in
+  let core =
+    match strip "windows_" name with
+    | Some s -> s
+    | None -> ( match strip "window_" name with Some s -> s | None -> name)
+  in
+  "protean_window_" ^ core ^ "_total"
+
 (* Per-cell measured-cycle histogram bounds: decades from 1k to 10M
    (cells beyond the fuel limit cannot exist). *)
 let cell_cycle_buckets =
@@ -241,6 +357,14 @@ let of_session (session : E.session) =
           in
           Metrics.inc ~n:v m)
         r.E.policy_metrics;
+      List.iter
+        (fun (name, v) ->
+          if v <> 0 then
+            Metrics.inc ~n:v
+              (Metrics.counter reg
+                 ~help:"speculation-window ledger counter" ~labels
+                 (window_family name)))
+        r.E.window;
       match r.E.flame with
       | [] -> ()
       | fl ->
@@ -396,6 +520,73 @@ let listen_metrics ~src addr body =
         addr reason;
       None
 
+(* --attr-out: the per-cell speculation-window report.  One JSON object
+   per cell that carried window counters (sorted by key — deterministic
+   across -j/--shards), each with its over-protection ratio, plus
+   campaign-wide totals; the rendered text summary goes to stdout so an
+   interactive run shows the audit without opening the file. *)
+let attr_report session =
+  let cells =
+    Hashtbl.fold
+      (fun key (r : E.run_result) acc ->
+        if r.E.window = [] then acc else (key, r.E.window) :: acc)
+      session.E.cache []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let totals =
+    List.fold_left
+      (fun acc (_, w) -> Twindow.merge_counters acc w)
+      [] cells
+  in
+  (cells, totals)
+
+let op_json = function
+  | Some r -> Printf.sprintf "%.4f" r
+  | None -> "null"
+
+let attr_json cells totals =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"cells\": [\n";
+  List.iteri
+    (fun i (key, w) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"cell\": \"%s\", \"window\": %s, \"over_protection\": %s}"
+           (String.escaped key)
+           (Twindow.counters_to_json w)
+           (op_json (Twindow.over_protection w))))
+    cells;
+  Buffer.add_string b
+    (Printf.sprintf
+       "\n  ],\n  \"totals\": %s,\n  \"over_protection\": %s\n}\n"
+       (Twindow.counters_to_json totals)
+       (op_json (Twindow.over_protection totals)));
+  Buffer.contents b
+
+let render_attr cells totals =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "speculation-window audit\n";
+  List.iter
+    (fun (key, w) ->
+      let op =
+        match Twindow.over_protection w with
+        | Some r -> Printf.sprintf "over-protection %.2f" r
+        | None -> "no interventions"
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  %-48s leaky %d/%d  %s\n" key
+           (Twindow.counter "windows_leaky" w)
+           (Twindow.counter "windows_opened" w)
+           op))
+    cells;
+  (match Twindow.over_protection totals with
+  | Some r ->
+      Buffer.add_string b
+        (Printf.sprintf "  total over-protection ratio: %.4f\n" r)
+  | None -> Buffer.add_string b "  total: no interventions recorded\n");
+  Buffer.contents b
+
 (* Write whatever [c] asked for.  [.json] metric paths get the JSON
    exporter, anything else Prometheus text. *)
 let write_outputs c session =
@@ -412,7 +603,13 @@ let write_outputs c session =
       | Some tr -> write_file path (Trace.to_chrome_json tr)
       | None -> ())
   | None -> ());
-  match c.flamegraph_out with
+  (match c.flamegraph_out with
   | Some path ->
       write_file path (Flame.to_folded (flame_of_session session))
+  | None -> ());
+  match c.attr_out with
+  | Some path ->
+      let cells, totals = attr_report session in
+      write_file path (attr_json cells totals);
+      print_string (render_attr cells totals)
   | None -> ()

@@ -1271,6 +1271,8 @@ module Grid = struct
       @ (if r.E.policy_metrics = [] then []
          else [ ("pm", counters_to_json r.E.policy_metrics) ])
       @ (if r.E.flame = [] then [] else [ ("fl", counters_to_json r.E.flame) ])
+      @ (if r.E.window = [] then []
+         else [ ("wn", counters_to_json r.E.window) ])
       @ if r.E.frontend = "" then [] else [ ("fe", Json.Str r.E.frontend) ])
 
   let result_of_json j =
@@ -1291,6 +1293,10 @@ module Grid = struct
         (match Json.member "fe" j with
         | Json.Null -> ""
         | fe -> Json.to_str fe);
+      window =
+        (match Json.member "wn" j with
+        | Json.Null -> []
+        | wn -> counters_of_json wn);
     }
 
   (* [--worker] mode of a tables/figures CLI: rerun the same discovery

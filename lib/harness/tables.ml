@@ -11,6 +11,7 @@ module Suite = Protean_workloads.Suite
 module Protcc = Protean_protcc.Protcc
 module Config = Protean_ooo.Config
 module Defense = Protean_defense.Defense
+module Twindow = Protean_telemetry.Window
 
 let fmt_norm v = Printf.sprintf "%.3f" v
 
@@ -383,4 +384,102 @@ let table_ii ?(jobs = 1) ?(programs = 10) ?(inputs = 4) () =
   Textplot.table
     ~header:([ "contract"; "instrumentation" ] @ List.map fst defenses)
     (List.map (fun (c, i, cs) -> c :: i :: cs) cells);
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Over-protection audit                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Interventions charged to windows that never leaked (resolved on the
+   correct path, flushed before retiring anything, or mispredicted but
+   with no tainted transmitter under them) ÷ all interventions, per
+   defense × benchmark.  A high ratio means the defense spends most of
+   its cost guarding speculation that could not have leaked — the
+   headroom a programmable policy can reclaim.  Needs the
+   speculation-window ledger: the CLI flips [E.collect_window] for this
+   target, so cached cells carry their window counters. *)
+let over_protection ?benches session =
+  Format.printf
+    "Over-protection audit: defense interventions charged to \
+     never-leaking speculation windows (benign) vs windows that leaked \
+     (mispredicted with a tainted transmitter); ratio = benign / total, \
+     '-' when the defense never intervened@.@.";
+  (* Per-defense cell lists, mirroring the width sweep's pairings: the
+     delay mechanism bites where ProtCC marked transmitters (its proven
+     (bench, pass) pairs), STT where tainted speculative transmitters
+     exist (lbm is the corpus's strongest); unsafe runs the union as the
+     zero-intervention control. *)
+  let keep cells =
+    match benches with
+    | None -> cells
+    | Some ns -> List.filter (fun (n, _) -> List.mem n ns) cells
+  in
+  let delay_cells =
+    List.map (fun (n, p) -> (n, E.protean_cfg `Delay p)) width_sweep_benches
+  in
+  let stt_cells =
+    List.map (fun n -> (n, E.cfg_stt)) width_sweep_stt_benches
+  in
+  let unsafe_cells =
+    List.map (fun (n, _) -> (n, E.cfg_unsafe))
+      (List.sort_uniq compare
+         (List.map (fun (n, _) -> (n, ())) (delay_cells @ stt_cells)))
+  in
+  let defenses =
+    [
+      ("unsafe", keep unsafe_cells);
+      ("STT", keep stt_cells);
+      ("PROT-Delay", keep delay_cells);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (dlabel, cells) ->
+        let total = ref [] in
+        let cells =
+          List.map
+            (fun (name, dcfg) ->
+              let b = Suite.find name in
+              let r = E.run session (E.spec b dcfg) in
+              total := Twindow.merge_counters !total r.E.window;
+              let c k = Twindow.counter k r.E.window in
+              let benign = c "interventions_benign" in
+              let leaky = c "interventions_leaky" in
+              [
+                dlabel;
+                name;
+                string_of_int (c "windows_opened");
+                string_of_int (c "windows_leaky");
+                string_of_int benign;
+                string_of_int leaky;
+                (match Twindow.over_protection r.E.window with
+                | None -> "-"
+                | Some ratio -> fmt_norm ratio);
+              ])
+            cells
+        in
+        let c k = Twindow.counter k !total in
+        cells
+        @ [
+            [
+              dlabel;
+              "TOTAL";
+              string_of_int (c "windows_opened");
+              string_of_int (c "windows_leaky");
+              string_of_int (c "interventions_benign");
+              string_of_int (c "interventions_leaky");
+              (match Twindow.over_protection !total with
+              | None -> "-"
+              | Some ratio -> fmt_norm ratio);
+            ];
+          ])
+      defenses
+  in
+  Textplot.table
+    ~header:
+      [
+        "defense"; "bench"; "windows"; "leaky"; "interv benign";
+        "interv leaky"; "over-protection";
+      ]
+    rows;
   Format.printf "@."

@@ -36,6 +36,13 @@ type mem_step =
   | M_fill of { level : int; set : int; tag : int64 }
   | M_evict of { level : int; line : int64 }
 
+(* How a speculation window (the lifetime of an unresolved branch in the
+   branch queue) ended. *)
+type window_close_cause =
+  | W_resolved (* branch resolved correctly: the window never diverged *)
+  | W_mispredicted (* the branch itself mispredicted and squashed *)
+  | W_flushed (* an older mispredict/clear truncated the branch queue *)
+
 type event =
   | On_fetch of { pc : int; insn : Protean_isa.Insn.t }
       (* an instruction entered the fetch buffer *)
@@ -85,6 +92,13 @@ type event =
       (* event-driven skip-ahead advanced the cycle counter by [cycles]
          quiet cycles in one jump (emitted once per skipped span, after
          the counter moved) *)
+  | On_window_open of Rob_entry.t
+      (* an unresolved branch entered the branch queue at rename: a
+         speculation window opened (the entry is its trigger) *)
+  | On_window_close of { entry : Rob_entry.t; cause : window_close_cause }
+      (* the branch left the branch queue: resolved correctly,
+         mispredicted (emitted before the squash), or flushed by an
+         older squash *)
 
 (* Event kinds: one bit per constructor, plus pseudo-kinds that gate
    optional *detail* inside an event ([k_mem_path] gates the [path] list
@@ -114,7 +128,9 @@ let k_port_bound = 18
 let k_port_stall = 19
 let k_wb_queued = 20
 let k_skip = 21
-let n_kinds = 22
+let k_window_open = 22
+let k_window_close = 23
+let n_kinds = 24
 let mask_all = (1 lsl n_kinds) - 1
 
 let kind_of_event = function
@@ -139,6 +155,8 @@ let kind_of_event = function
   | On_port_stall _ -> k_port_stall
   | On_wb_queued _ -> k_wb_queued
   | On_skip _ -> k_skip
+  | On_window_open _ -> k_window_open
+  | On_window_close _ -> k_window_close
 
 let mask_of_kinds kinds =
   List.fold_left (fun m k -> m lor (1 lsl k)) 0 kinds

@@ -80,7 +80,10 @@ let flush (t : S.t) ~from_seq ~new_pc =
     (not (Rob_entry.is_null t.S.bq_tail))
     && t.S.bq_tail.Rob_entry.seq >= from_seq
   do
-    S.bq_unlink t t.S.bq_tail
+    let b = t.S.bq_tail in
+    S.bq_unlink t b;
+    if S.wants t Hooks.k_window_close then
+      S.emit t (Hooks.On_window_close { entry = b; cause = Hooks.W_flushed })
   done;
   Entryq.truncate_ge t.S.lsq_stores from_seq;
   Entryq.truncate_ge t.S.lsq_loads from_seq;

@@ -609,7 +609,10 @@ let resolve (t : S.t) =
       if t.S.policy.Policy.may_resolve ap e then begin
         e.Rob_entry.resolved <- true;
         S.bq_unlink t e;
-        t.S.progress <- true
+        t.S.progress <- true;
+        if S.wants t Hooks.k_window_close then
+          S.emit t
+            (Hooks.On_window_close { entry = e; cause = Hooks.W_resolved })
       end
       else begin
         t.S.progress <- true;
@@ -665,6 +668,8 @@ let resolve (t : S.t) =
     c.Rob_entry.resolved <- true;
     S.bq_unlink t c;
     t.S.progress <- true;
+    if S.wants t Hooks.k_window_close then
+      S.emit t (Hooks.On_window_close { entry = c; cause = Hooks.W_mispredicted });
     if S.wants t Hooks.k_mispredict then S.emit t (Hooks.On_mispredict c);
     Squash.flush t ~from_seq:(c.Rob_entry.seq + 1)
       ~new_pc:c.Rob_entry.actual_target

@@ -128,7 +128,10 @@ let rename_one (t : S.t) (item : S.fetch_item) (insn : Insn.t) =
   end;
   (* Scheduler indexes. *)
   S.uq_push t e;
-  if e.Rob_entry.is_branch then S.bq_push t e;
+  if e.Rob_entry.is_branch then begin
+    S.bq_push t e;
+    if S.wants t Hooks.k_window_open then S.emit t (Hooks.On_window_open e)
+  end;
   register_waiters t e;
   t.S.progress <- true;
   if S.wants t Hooks.k_rename then S.emit t (Hooks.On_rename e)

@@ -24,6 +24,12 @@ type t = {
 
 let max_request = 8192
 
+(* A request *line* longer than this is rejected with 414 as soon as the
+   bound is crossed — before the blank line, so a scraper streaming an
+   endless URI is cut off after one read past the limit instead of being
+   buffered up to [max_request]. *)
+let max_request_line = 2048
+
 let rec retry_intr f =
   try f ()
   with Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> retry_intr f
@@ -104,6 +110,17 @@ let respond t (c : conn) =
       send_response c.fd "404 Not Found" "not found\n"
   | _ -> send_response c.fd "400 Bad Request" "bad request\n"
 
+(* True when the first CRLF has not arrived within [max_request_line]
+   bytes: the request line itself is over-long. *)
+let request_line_too_long buf =
+  let s = Buffer.contents buf in
+  let n = String.length s in
+  if n <= max_request_line then false
+  else
+    match String.index_opt s '\r' with
+    | Some i -> i > max_request_line
+    | None -> true
+
 let request_complete buf =
   let s = Buffer.contents buf in
   let n = String.length s in
@@ -137,6 +154,10 @@ let handle t readable =
           Buffer.add_subbytes c.buf scratch 0 k;
           if request_complete c.buf then begin
             respond t c;
+            None
+          end
+          else if request_line_too_long c.buf then begin
+            send_response c.fd "414 URI Too Long" "request line too long\n";
             None
           end
           else if Buffer.length c.buf > max_request then begin

@@ -77,6 +77,14 @@ let span t ?(cat = "cell") ?(pid = 0) ?(tid = 0) ?(args = []) ~t0 ~t1 name =
          args;
        })
 
+(* A completed span from raw microsecond endpoints already relative to
+   the epoch.  Used for simulated-time tracks (one simulated cycle = one
+   microsecond, on a pid of their own), where wall-clock conversion
+   would be meaningless. *)
+let span_us t ?(cat = "cell") ?(pid = 0) ?(tid = 0) ?(args = []) ~ts_us
+    ~dur_us name =
+  record t (Span { name; cat; ts_us; dur_us = max 0 dur_us; pid; tid; args })
+
 (* A span measured around [f]. *)
 let with_span t ?cat ?pid ?tid ?args name f =
   let t0 = Unix.gettimeofday () in

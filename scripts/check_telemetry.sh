@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Schema check for the three telemetry exporter outputs:
 #
-#   check_telemetry.sh <metrics.prom> <trace.json> <flame.folded> [min_families]
+#   check_telemetry.sh <metrics.prom> <trace.json> <flame.folded> [min_families] [expect_windows]
 #
 # - the metrics file must be valid Prometheus text exposition 0.0.4:
 #   every sample line is `name{labels} <integer>`, every family carries
@@ -50,6 +50,23 @@ for layer in protean_pipeline_ protean_defense_ protean_harness_; do
   printf '%s\n' "$families" | grep -q "^$layer" \
     || fail "no $layer* family in $metrics"
 done
+
+# Build/host provenance rides the runtime registry, so it must be in
+# every export regardless of what the run computed.
+printf '%s\n' "$families" | grep -q '^protean_build_info$' \
+  || fail "no protean_build_info family in $metrics"
+grep -q '^protean_build_info{.*ocaml=' "$metrics" \
+  || fail "protean_build_info missing its ocaml label"
+
+# Optional: a run that collected the speculation-window ledger must
+# export its counter families (pass expect_windows=1 to require them).
+expect_windows=${5:-0}
+if [ "$expect_windows" = 1 ]; then
+  printf '%s\n' "$families" | grep -q '^protean_window_opened_total$' \
+    || fail "no protean_window_opened_total family in $metrics"
+  printf '%s\n' "$families" | grep -q '^protean_window_interventions_' \
+    || fail "no protean_window_interventions_* family in $metrics"
+fi
 
 helped=$(grep -c '^# HELP ' "$metrics")
 typed=$(grep -c '^# TYPE ' "$metrics")

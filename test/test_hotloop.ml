@@ -25,6 +25,12 @@ module E = Protean_harness.Experiment
 module Suite = Protean_workloads.Suite
 module Protcc = Protean_protcc.Protcc
 module Config = Protean_ooo.Config
+module Defense = Protean_defense.Defense
+module Spec_window = Protean_ooo.Spec_window
+module S = Protean_ooo.Pipeline_state
+module Rob_entry = Protean_ooo.Rob_entry
+module Insn = Protean_isa.Insn
+module Reg = Protean_isa.Reg
 
 (* --- Hook bus re-registration semantics ------------------------------ *)
 
@@ -235,6 +241,102 @@ let test_shared_frontend_prewarm () =
             && String.equal r.E.frontend r'.E.frontend))
     serial.E.cache
 
+(* --- Speculation-window ledger: free when detached ------------------- *)
+
+let window_workload () =
+  let b = Suite.find "bearssl" in
+  match b.Suite.kind with
+  | Suite.Single f -> f ()
+  | Suite.Multi _ -> assert false
+
+let window_fuel = 400_000
+
+let window_drive t =
+  while (not (Pipeline.is_done t)) && t.S.cycle < window_fuel do
+    Pipeline.step ~until:window_fuel t
+  done
+
+(* A fresh pipeline (default stats subscriber only) must not want either
+   window kind: the On_window_* emission sites stay on their guarded
+   zero-cost path unless a ledger subscribes. *)
+let test_window_kinds_unwatched () =
+  let d = Defense.find "prot-track" in
+  let t =
+    Pipeline.create Config.test_core (d.Defense.make ()) (window_workload ())
+      ~overlays:[]
+  in
+  Alcotest.(check bool) "k_window_open not wanted" false
+    (S.wants t Hooks.k_window_open);
+  Alcotest.(check bool) "k_window_close not wanted" false
+    (S.wants t Hooks.k_window_close);
+  let led = Spec_window.attach t in
+  Alcotest.(check bool) "attached ledger wants window-open" true
+    (S.wants t Hooks.k_window_open);
+  Spec_window.detach t led;
+  Alcotest.(check bool) "detach clears the interest bit" false
+    (S.wants t Hooks.k_window_open)
+
+(* The guarded emission pattern of the real sites (stage_rename /
+   stage_issue_exec / squash): with no On_window_* subscriber the guard
+   is one load and a bit test — a million un-wanted emissions must
+   allocate zero minor words per iteration (only the two Gc probes'
+   boxed floats show up). *)
+let test_window_guard_alloc_free () =
+  let bus : unit Hooks.t = Hooks.create () in
+  Hooks.subscribe bus ~name:"other" ~kinds:[ Hooks.k_cycle_end ] (fun () _ ->
+      ());
+  let e =
+    Rob_entry.create ~seq:0 ~pc:0
+      ~insn:(Insn.make (Insn.Binop (Insn.Add, Reg.of_int 0, Insn.Imm 1L)))
+      ~t_fetch:0 ()
+  in
+  let sink = ref 0 in
+  let g0 = Gc.minor_words () in
+  for _ = 1 to 1_000_000 do
+    if Hooks.wanted bus Hooks.k_window_open then begin
+      incr sink;
+      Hooks.emit bus () (Hooks.On_window_open e)
+    end;
+    if Hooks.wanted bus Hooks.k_window_close then begin
+      incr sink;
+      Hooks.emit bus ()
+        (Hooks.On_window_close { entry = e; cause = Hooks.W_resolved })
+    end
+  done;
+  let g1 = Gc.minor_words () in
+  Alcotest.(check int) "no emission fired" 0 !sink;
+  Alcotest.(check bool)
+    (Printf.sprintf "un-wanted window emissions allocation-free (%.0f words)"
+       (g1 -. g0))
+    true
+    (g1 -. g0 < 64.)
+
+(* Attaching the ledger must be observationally transparent to the
+   simulation: identical cycle count and identical stats, with the
+   ledger itself seeing the speculation the workload is known to have. *)
+let test_window_ledger_transparent () =
+  let d = Defense.find "prot-track" in
+  let program = window_workload () in
+  let make () =
+    Pipeline.create Config.test_core (d.Defense.make ()) program ~overlays:[]
+  in
+  let plain = make () in
+  window_drive plain;
+  let t = make () in
+  let led = Spec_window.attach t in
+  window_drive t;
+  Spec_window.detach t led;
+  Alcotest.(check int) "cycles identical" plain.S.cycle t.S.cycle;
+  Alcotest.(check bool) "stats identical with ledger attached" true
+    (plain.S.stats = t.S.stats);
+  let c = Spec_window.counters led in
+  let n name = match List.assoc_opt name c with Some v -> v | None -> 0 in
+  Alcotest.(check bool) "ledger saw windows" true (n "windows_opened" > 0);
+  Alcotest.(check int) "every window accounted"
+    (n "windows_opened")
+    (n "windows_resolved" + n "windows_mispredicted" + n "windows_flushed"
+   + n "windows_unclosed")
+
 let tests =
   [
     Alcotest.test_case "hooks: unsubscribe during emit" `Quick
@@ -245,6 +347,12 @@ let tests =
       test_interest_mask_clearing;
     Alcotest.test_case "hooks: per-subscriber kind filtering" `Quick
       test_mask_filtering;
+    Alcotest.test_case "window ledger: kinds unwatched by default" `Quick
+      test_window_kinds_unwatched;
+    Alcotest.test_case "window ledger: un-wanted emission allocation-free"
+      `Quick test_window_guard_alloc_free;
+    Alcotest.test_case "window ledger: attach is observationally transparent"
+      `Quick test_window_ledger_transparent;
     Alcotest.test_case "paranoid scheduler cross-check (golden corpus)" `Slow
       test_paranoid_golden;
     Alcotest.test_case "paranoid structural-port cross-check (width corpus)"

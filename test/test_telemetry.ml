@@ -20,6 +20,11 @@ module E = Protean_harness.Experiment
 module Report = Protean_harness.Report
 module Supervisor = Protean_harness.Supervisor
 module Json = Protean_harness.Shard.Json
+module Fuzz = Protean_amulet.Fuzz
+module Gen = Protean_amulet.Gen
+module Parallel = Protean_harness.Parallel
+module Defense = Protean_defense.Defense
+module Twindow = Protean_telemetry.Window
 
 (* --- registry semantics ---------------------------------------------- *)
 
@@ -377,6 +382,111 @@ let test_session_metrics_deterministic () =
         true
         (List.length fams >= 15))
 
+(* --- speculation-window ledger: grid determinism --------------------- *)
+
+(* With window collection on, the ledger's summary counters ride the
+   run_result (and the frame codec's "wn" member) exactly like the
+   policy metrics: serial, -j 4 and the shard round-trip must render the
+   same registry bytes, window families included. *)
+let test_window_counters_deterministic () =
+  let saved = !E.collect_window in
+  E.collect_window := true;
+  Fun.protect
+    ~finally:(fun () -> E.collect_window := saved)
+    (fun () ->
+      let serial = E.create_session () in
+      grid serial;
+      let parallel = E.create_session () in
+      E.prewarm ~jobs:4 parallel (fun () -> grid parallel);
+      Alcotest.(check string) "serial == -j 4 (rendered bytes)"
+        (render serial) (render parallel);
+      let shipped = E.create_session () in
+      Hashtbl.iter
+        (fun key r ->
+          Hashtbl.replace shipped.E.cache key
+            (Supervisor.Grid.result_of_json (Supervisor.Grid.result_to_json r)))
+        serial.E.cache;
+      Alcotest.(check string) "frame round-trip preserves window counters"
+        (render serial) (render shipped);
+      let fams =
+        Metrics.families (Metrics.snapshot (Report.of_session serial))
+      in
+      Alcotest.(check bool) "window family exported" true
+        (List.mem "protean_window_opened_total" fams);
+      (* ... and the counters really came from the runs *)
+      Hashtbl.iter
+        (fun key (r : E.run_result) ->
+          Alcotest.(check bool) (key ^ " saw windows") true
+            (Twindow.counter "windows_opened" r.E.window > 0))
+        serial.E.cache)
+
+(* --- leakage attribution: deterministic across drivers --------------- *)
+
+(* Every program of a G_gadget campaign is the known v1
+   bounds-check-bypass gadget, so the unsafe baseline must violate and
+   the attribution must name the probe transmitter with family v1 —
+   identically from the serial driver, the -j 4 driver, and the
+   supervised-style recovery (per-shard outcomes merged in cell order,
+   witness replayed from the merged example's seed, exactly what
+   protean-fuzz does under --shards). *)
+let gadget_campaign =
+  {
+    Fuzz.default_campaign with
+    Fuzz.programs = 4;
+    inputs_per_program = 2;
+    seed = 11;
+    gen_klass = Gen.G_gadget;
+    mode_of = Fuzz.arch_seq;
+  }
+
+let supervised_style_attribution campaign d =
+  let ids = List.init campaign.Fuzz.programs Fun.id in
+  let shard k = List.filter (fun i -> i mod 2 = k) ids in
+  let per_cell =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun i ->
+            let program = Fuzz.generate_program campaign i in
+            (i, Fuzz.test_program campaign d ~index:i ~program))
+          (shard k))
+      [ 0; 1 ]
+  in
+  let out = Fuzz.fresh_outcome () in
+  List.iter
+    (fun (_, sub) -> Fuzz.merge_outcome ~into:out sub)
+    (List.sort (fun (a, _) (b, _) -> compare a b) per_cell);
+  match out.Fuzz.example with
+  | None -> None
+  | Some (pseed, _) ->
+      let index = (pseed - campaign.Fuzz.seed) / 7919 in
+      let w = ref None in
+      let program = Fuzz.generate_program campaign index in
+      (try ignore (Fuzz.test_program ~witness:w campaign d ~index ~program)
+       with _ -> ());
+      Option.bind !w (Fuzz.attribute_witness campaign d)
+
+let test_attribution_deterministic () =
+  let campaign = gadget_campaign in
+  let d = Defense.unsafe in
+  let serial = Fuzz.run_resilient ~shrink:false campaign d in
+  let par = Parallel.fuzz_run_resilient ~jobs:4 ~shrink:false campaign d in
+  let sharded = supervised_style_attribution campaign d in
+  match serial.Fuzz.r_attribution with
+  | None -> Alcotest.fail "gadget campaign produced no attribution"
+  | Some a ->
+      Alcotest.(check string) "gadget family" "v1" a.Twindow.at_family;
+      Alcotest.(check bool) "transmitter pc named" true
+        (a.Twindow.at_xmit_pc >= 0);
+      Alcotest.(check bool) "source access pc named" true
+        (a.Twindow.at_src_pc >= 0);
+      Alcotest.(check bool) "window identified" true
+        (a.Twindow.at_window_id >= 0 && a.Twindow.at_window_depth >= 0);
+      Alcotest.(check bool) "serial == -j 4" true
+        (par.Fuzz.r_attribution = Some a);
+      Alcotest.(check bool) "serial == shard-style recovery" true
+        (sharded = Some a)
+
 let tests =
   [
     Alcotest.test_case "registry basics" `Quick test_registry_basics;
@@ -400,4 +510,8 @@ let tests =
       test_telemetry_off_is_free;
     Alcotest.test_case "session metrics deterministic" `Quick
       test_session_metrics_deterministic;
+    Alcotest.test_case "window counters deterministic" `Quick
+      test_window_counters_deterministic;
+    Alcotest.test_case "attribution deterministic across drivers" `Quick
+      test_attribution_deterministic;
   ]
